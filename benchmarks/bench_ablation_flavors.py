@@ -1,0 +1,82 @@
+"""Ablation benches for the SS-TVS's design choices (DESIGN.md §5).
+
+The paper motivates three device-flavor decisions:
+
+1. high-Vt M4/M6 "to reduce leakage currents";
+2. low-Vt M8 so ctrl "can charge to a sufficiently large voltage
+   value ... also helps in increasing the voltage translation range";
+3. the MC hold capacitor "selected to be large enough".
+
+Each ablation swaps one choice and measures the consequence.
+"""
+
+from repro.cells.sstvs import SstvsSizing
+from repro.core import LevelShifter
+from repro.units import format_eng
+
+
+def test_ablation_high_vt_m4_m6(benchmark):
+    """Nominal-Vt M4/M6 must raise static leakage."""
+    def measure():
+        stock = LevelShifter("sstvs").characterize(0.8, 1.2)
+        ablated = LevelShifter("sstvs", sizing=SstvsSizing(
+            flavor_overrides={"m4": "nominal", "m6": "nominal"})
+        ).characterize(0.8, 1.2)
+        return stock, ablated
+
+    stock, ablated = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\n=== Ablation: M4/M6 high-Vt -> nominal (0.8 -> 1.2 V) ===")
+    for label, m in (("high-Vt (paper)", stock), ("nominal", ablated)):
+        print(f"  {label:18s} Lh={format_eng(m.leakage_high, 'A', 3):>9s} "
+              f"Ll={format_eng(m.leakage_low, 'A', 3):>9s} "
+              f"dr={format_eng(m.delay_rise, 's', 3):>9s}")
+    assert ablated.functional
+    total_stock = stock.leakage_high + stock.leakage_low
+    total_ablated = ablated.leakage_high + ablated.leakage_low
+    assert total_ablated > total_stock
+
+
+def test_ablation_low_vt_m8(benchmark):
+    """Nominal-Vt M8 must shrink the working range: ctrl cannot charge
+    high enough when both rails are low."""
+    from repro.analysis import SweepGrid, validate_functionality
+
+    def measure():
+        stock = validate_functionality("sstvs", SweepGrid.with_step(0.3))
+        ablated = validate_functionality(
+            "sstvs", SweepGrid.with_step(0.3),
+            sizing=SstvsSizing(flavor_overrides={"m8": "nominal"}))
+        return stock, ablated
+
+    stock, ablated = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\n=== Ablation: M8 low-Vt -> nominal ===")
+    print("  stock:   " + stock.summary())
+    print("  ablated: " + ablated.summary())
+    assert stock.all_passed
+    assert ablated.passed < stock.passed, \
+        "nominal-Vt M8 should lose grid coverage"
+
+
+def test_ablation_mc_size(benchmark):
+    """Shrinking MC must cost rising-edge integrity or delay: the ctrl
+    charge sags more under the M1 gate-coupling hit."""
+    def measure():
+        results = {}
+        for scale, w, l in (("stock", 1.5e-6, 0.25e-6),
+                            ("half", 0.75e-6, 0.25e-6),
+                            ("tiny", 0.3e-6, 0.15e-6)):
+            sizing = SstvsSizing(w_mc=w, l_mc=l)
+            results[scale] = LevelShifter(
+                "sstvs", sizing=sizing).characterize(0.8, 1.2)
+        return results
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\n=== Ablation: MC hold-capacitor size (0.8 -> 1.2 V) ===")
+    for label, m in results.items():
+        print(f"  MC={label:6s} dr={format_eng(m.delay_rise, 's', 3):>9s} "
+              f"func={m.functional}")
+    assert results["stock"].functional
+    # A tiny MC either fails outright or measurably slows the rise.
+    tiny = results["tiny"]
+    assert (not tiny.functional
+            or tiny.delay_rise > results["stock"].delay_rise * 0.9)

@@ -1,0 +1,22 @@
+"""Figure 9 — falling delay of the SS-TVS over the VDDI x VDDO grid.
+
+Companion to Figure 8 (the sweep result is shared/cached). The paper's
+claim: the falling delay also varies smoothly over the whole operating
+plane.
+"""
+
+from benchmarks.bench_fig8_rising_delay_surface import shared_surface
+from benchmarks.conftest import grid_step
+from benchmarks.paper_data import PAPER_VDD_RANGE
+from repro.analysis import render_surface_ascii
+
+
+def test_fig9_falling_delay_surface(benchmark):
+    surface = benchmark.pedantic(shared_surface, rounds=1, iterations=1)
+    print(f"\n=== Figure 9: SS-TVS falling delay [ps] over "
+          f"VDDI x VDDO = {PAPER_VDD_RANGE} (step {grid_step()} V) ===")
+    print(render_surface_ascii(surface, "fall"))
+
+    assert surface.functional_fraction == 1.0
+    assert surface.is_smooth(factor=6.0)
+    assert surface.worst_fall() < 2e-9

@@ -1,0 +1,39 @@
+"""Figure 7 — SS-TVS layout area (published: 4.47 um^2).
+
+Our analytical estimator (device area x calibrated overhead) must land
+on the published figure, and the per-cell comparison table shows where
+each design spends its silicon.
+"""
+
+from benchmarks.paper_data import PAPER_AREA_UM2
+from repro.cells import (
+    add_combined_vs, add_cvs, add_inverter, add_ssvs_khan, add_sstvs,
+)
+from repro.layout import estimate_cell_area
+from repro.pdk import Pdk
+
+CELLS = (("inverter", add_inverter), ("cvs", add_cvs),
+         ("ssvs_khan", add_ssvs_khan), ("combined_vs", add_combined_vs),
+         ("sstvs", add_sstvs))
+
+
+def _measure():
+    pdk = Pdk()
+    return {name: estimate_cell_area(builder, pdk)
+            for name, builder in CELLS}
+
+
+def test_layout_areas(benchmark):
+    areas = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print("\n=== Cell-area estimates (Figure 7) ===")
+    for name, est in areas.items():
+        print(f"  {name:12s} {est.total_area_um2:6.2f} um^2 "
+              f"({est.device_count} devices)")
+    print(f"  paper SS-TVS {PAPER_AREA_UM2:6.2f} um^2 "
+          f"(0.837 um x 5.355 um)")
+
+    sstvs = areas["sstvs"].total_area_um2
+    assert abs(sstvs - PAPER_AREA_UM2) / PAPER_AREA_UM2 < 0.15
+    # The SS-TVS costs area relative to a bare CVS cell — the price of
+    # single-supply true shifting (MC dominates).
+    assert sstvs > areas["cvs"].total_area_um2

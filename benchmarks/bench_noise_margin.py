@@ -1,0 +1,40 @@
+"""Extension: DC transfer curves and noise margins of the shifters.
+
+Not a paper table, but the natural DC companion to its transient
+results: the SS-TVS must be a *restoring* stage (full VDDO output swing
+with above-unity gain) for any input domain. The bench also documents
+the cell's asymmetric (latch-mediated) input thresholds.
+"""
+
+from repro.analysis import extract_vtc
+
+
+def _measure():
+    return {
+        ("sstvs", 0.8, 1.2): extract_vtc("sstvs", 0.8, 1.2, points=61),
+        ("sstvs", 1.2, 0.8): extract_vtc("sstvs", 1.2, 0.8, points=61),
+        ("inverter", 1.2, 0.8): extract_vtc("inverter", 1.2, 0.8,
+                                            points=61),
+        ("cvs", 0.8, 1.2): extract_vtc("cvs", 0.8, 1.2, points=61),
+    }
+
+
+def test_vtc_noise_margins(benchmark):
+    curves = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print("\n=== DC transfer curves ===")
+    print(f"{'cell':>9s} {'VDDI':>5s} {'VDDO':>5s} {'VOH':>6s} "
+          f"{'VOL':>6s} {'Vsw':>6s} {'NML':>6s} {'NMH':>6s} regen")
+    for (kind, vddi, vddo), vtc in curves.items():
+        print(f"{kind:>9s} {vddi:>5.2f} {vddo:>5.2f} {vtc.voh:>6.3f} "
+              f"{vtc.vol:>6.3f} {vtc.switching_point:>6.3f} "
+              f"{vtc.nml:>6.3f} {vtc.nmh:>6.3f} {vtc.regenerative()}")
+
+    for (kind, vddi, vddo), vtc in curves.items():
+        # Full output swing: the defining property of a level shifter.
+        assert vtc.voh > 0.93 * vddo, (kind, vddi, vddo)
+        assert vtc.vol < 0.07 * vddo, (kind, vddi, vddo)
+        assert vtc.regenerative(), (kind, vddi, vddo)
+
+    # The SS-TVS's falling-input threshold is low (M1 needs the input
+    # a threshold below ctrl) — the asymmetry the bench documents.
+    assert curves[("sstvs", 0.8, 1.2)].switching_point < 0.4

@@ -1,0 +1,64 @@
+"""Figures 2-3 — the SoC-level motivation, quantified.
+
+Four modules at 0.8/1.0/1.2/1.4 V exchanging signal bundles (the
+paper's multi-voltage system), with one domain running DVS. The
+planner compares shifter-insertion strategies on supply routing,
+control wiring, cell area, leakage, and DVS feasibility.
+
+Shape claims: CVS needs extra supply rails (the congestion the paper
+describes); the combined VS eliminates rails but needs control wires;
+the SS-TVS needs neither; one-way strategies are infeasible under DVS.
+"""
+
+from repro.soc import (
+    COMBINED_STRATEGY, CVS_STRATEGY, Crossing, DvsSchedule,
+    INVERTER_STRATEGY, Module, SSTVS_STRATEGY, SSVS_STRATEGY,
+    ShifterPlanner, Soc, VoltageDomain,
+)
+
+
+def paper_soc() -> Soc:
+    modules = [
+        Module("m08", VoltageDomain("v08", DvsSchedule(
+            ((0.0, 0.8), (10.0, 1.1), (20.0, 0.8)))), x=0, y=0),
+        Module("m10", VoltageDomain.fixed("v10", 1.0), x=300, y=0),
+        Module("m12", VoltageDomain.fixed("v12", 1.2), x=0, y=300),
+        Module("m14", VoltageDomain.fixed("v14", 1.4), x=300, y=300),
+    ]
+    crossings = [
+        Crossing("m08", "m10", 8), Crossing("m10", "m08", 8),
+        Crossing("m08", "m12", 4), Crossing("m12", "m14", 4),
+        Crossing("m14", "m08", 4), Crossing("m10", "m14", 2),
+        Crossing("m12", "m08", 4),
+    ]
+    return Soc(modules, crossings)
+
+
+def _measure():
+    planner = ShifterPlanner(paper_soc())
+    return planner.compare()
+
+
+def test_soc_strategy_comparison(benchmark):
+    reports = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print("\n=== Multi-voltage SoC: shifter-insertion strategies ===")
+    for report in reports.values():
+        print("  " + report.summary())
+
+    cvs = reports[CVS_STRATEGY]
+    combined = reports[COMBINED_STRATEGY]
+    sstvs = reports[SSTVS_STRATEGY]
+
+    # Figures 2 vs 3: dual-supply shifting forces extra rails.
+    assert cvs.extra_supply_rails > 0
+    assert sstvs.extra_supply_rails == 0
+    # The combined VS trades rails for control wiring; SS-TVS needs
+    # neither.
+    assert combined.control_wires > 0
+    assert sstvs.control_wires == 0
+    assert sstvs.total_wiring_area < cvs.total_wiring_area
+    # Static one-way strategies break under DVS.
+    assert not reports[INVERTER_STRATEGY].feasible
+    assert not reports[SSVS_STRATEGY].feasible
+    # And the SS-TVS fleet leaks less than the combined-VS fleet.
+    assert sstvs.leakage < combined.leakage

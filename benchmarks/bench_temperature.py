@@ -1,0 +1,52 @@
+"""Section 4 temperature validation — 27 / 60 / 90 C.
+
+The paper repeats its Monte Carlo functionality check at three
+temperatures and reports correct conversion everywhere with results
+"substantially similar" to the 27 C tables.
+"""
+
+from benchmarks.paper_data import PAPER_MC_TEMPS_C
+from repro.analysis import monte_carlo_over_temperature, sweep_temperature
+from repro.units import format_eng
+
+
+def _measure():
+    nominal = {
+        (vddi, vddo): sweep_temperature("sstvs", vddi, vddo,
+                                        temperatures=PAPER_MC_TEMPS_C)
+        for (vddi, vddo) in ((0.8, 1.2), (1.2, 0.8))
+    }
+    mc = monte_carlo_over_temperature("sstvs", 0.8, 1.2, runs=5,
+                                      temperatures=PAPER_MC_TEMPS_C)
+    return nominal, mc
+
+
+def test_temperature_validation(benchmark):
+    nominal, mc = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    print("\n=== SS-TVS vs temperature (nominal process) ===")
+    for (vddi, vddo), points in nominal.items():
+        print(f"-- {vddi} V -> {vddo} V --")
+        for p in points:
+            m = p.metrics
+            print(f"  T={p.temperature_c:5.1f} C  "
+                  f"dr={format_eng(m.delay_rise, 's', 3):>8s} "
+                  f"df={format_eng(m.delay_fall, 's', 3):>8s} "
+                  f"Lh={format_eng(m.leakage_high, 'A', 3):>8s} "
+                  f"Ll={format_eng(m.leakage_low, 'A', 3):>8s} "
+                  f"func={m.functional}")
+
+    print("=== MC functional yield per temperature (0.8 -> 1.2 V) ===")
+    for temp, result in mc.items():
+        print(f"  T={temp:5.1f} C  yield={result.functional_yield * 100:.0f}%")
+
+    # Functional at every temperature, nominal and under variation.
+    for points in nominal.values():
+        assert all(p.metrics.functional for p in points)
+    for result in mc.values():
+        assert result.functional_yield == 1.0
+
+    # Leakage must grow with temperature (subthreshold physics).
+    for points in nominal.values():
+        leaks = [p.metrics.leakage_high for p in points]
+        assert leaks[-1] > leaks[0]

@@ -1,0 +1,74 @@
+"""Shared helpers for the benchmark suite.
+
+Environment knobs (all optional):
+
+* ``REPRO_MC_RUNS`` — Monte Carlo sample count for Tables 3/4
+  (default 25; the paper used 1000 — set 1000 to match exactly).
+* ``REPRO_GRID_STEP`` — VDDI/VDDO grid step in volts for Figures 8/9
+  and the functional sweep (default 0.1; the paper used 0.005).
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.core.metrics import (  # noqa: E402
+    METRIC_FIELDS, METRIC_LABELS, METRIC_UNITS,
+)
+from repro.units import format_eng  # noqa: E402
+
+
+def mc_runs() -> int:
+    return int(os.environ.get("REPRO_MC_RUNS", "25"))
+
+
+def grid_step() -> float:
+    return float(os.environ.get("REPRO_GRID_STEP", "0.1"))
+
+
+def print_table(title: str, ours_sstvs, ours_combined, paper_sstvs,
+                paper_combined) -> None:
+    """Side-by-side table: our measurements vs the paper's."""
+    print(f"\n=== {title} ===")
+    header = (f"{'Performance Parameter':<24s} {'SS-TVS':>12s} "
+              f"{'Combined':>12s} {'paper SS-TVS':>13s} "
+              f"{'paper Comb.':>12s} {'ratio':>7s} {'paper':>7s}")
+    print(header)
+    print("-" * len(header))
+    for name in METRIC_FIELDS:
+        unit = METRIC_UNITS[name]
+        ours_a = getattr(ours_sstvs, name)
+        ours_b = getattr(ours_combined, name)
+        ref_a = getattr(paper_sstvs, name)
+        ref_b = getattr(paper_combined, name)
+        ratio = ours_b / ours_a if ours_a else float("nan")
+        ref_ratio = ref_b / ref_a if ref_a == ref_a and ref_a else \
+            float("nan")
+        print(f"{METRIC_LABELS[name]:<24s} "
+              f"{format_eng(ours_a, unit, 3):>12s} "
+              f"{format_eng(ours_b, unit, 3):>12s} "
+              f"{format_eng(ref_a, unit, 3):>13s} "
+              f"{format_eng(ref_b, unit, 3):>12s} "
+              f"{ratio:>6.1f}x {ref_ratio:>6.1f}x")
+
+
+def print_mc_table(title: str, result_sstvs, result_combined) -> None:
+    print(f"\n=== {title} ===")
+    header = (f"{'Performance Parameter':<24s} "
+              f"{'SSTVS mu':>11s} {'SSTVS sig':>11s} "
+              f"{'Comb mu':>11s} {'Comb sig':>11s}")
+    print(header)
+    print("-" * len(header))
+    for name in METRIC_FIELDS:
+        unit = METRIC_UNITS[name]
+        print(f"{METRIC_LABELS[name]:<24s} "
+              f"{format_eng(getattr(result_sstvs.statistics.mean, name), unit, 3):>11s} "
+              f"{format_eng(getattr(result_sstvs.statistics.std, name), unit, 3):>11s} "
+              f"{format_eng(getattr(result_combined.statistics.mean, name), unit, 3):>11s} "
+              f"{format_eng(getattr(result_combined.statistics.std, name), unit, 3):>11s}")
+    print(f"{'Functional yield':<24s} "
+          f"{result_sstvs.functional_yield * 100:>10.1f}% "
+          f"{'':>11s} {result_combined.functional_yield * 100:>10.1f}%")

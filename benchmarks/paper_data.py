@@ -1,0 +1,56 @@
+"""Reference numbers from the paper's evaluation section.
+
+All values transcribed from Tables 1-4 and the running text of
+"A Single-supply True Voltage Level Shifter" (DATE 2008). These are the
+*paper's* numbers (BSIM4 / HSPICE, the authors' sizing); the benches
+print them next to our measurements so the shape comparison is explicit.
+
+Units: seconds, watts, amperes.
+"""
+
+from repro.core.metrics import ShifterMetrics
+
+#: Table 1 — low-to-high (0.8 V -> 1.2 V), 27 C.
+TABLE1_SSTVS = ShifterMetrics(
+    delay_rise=22.0e-12, delay_fall=33.3e-12,
+    power_rise=float("nan"), power_fall=float("nan"),
+    leakage_high=20.8e-9, leakage_low=3.6e-9)
+
+TABLE1_COMBINED = ShifterMetrics(
+    delay_rise=122.6e-12, delay_fall=50.5e-12,
+    power_rise=float("nan"), power_fall=float("nan"),
+    leakage_high=157.2e-9, leakage_low=71.1e-9)
+
+#: Table 2 — high-to-low (1.2 V -> 0.8 V), 27 C.
+TABLE2_SSTVS = ShifterMetrics(
+    delay_rise=34.9e-12, delay_fall=15.7e-12,
+    power_rise=float("nan"), power_fall=float("nan"),
+    leakage_high=7.3e-9, leakage_low=3.9e-9)
+
+TABLE2_COMBINED = ShifterMetrics(
+    delay_rise=46.5e-12, delay_fall=35.2e-12,
+    power_rise=float("nan"), power_fall=float("nan"),
+    leakage_high=32.5e-9, leakage_low=36.3e-9)
+
+#: Headline relative claims (combined / SS-TVS), from the abstract and
+#: Section 4. Keyed by (direction, metric).
+PAPER_RATIOS = {
+    ("low_to_high", "delay_rise"): 5.5,
+    ("low_to_high", "delay_fall"): 1.5,
+    ("low_to_high", "leakage_high"): 7.5,
+    ("low_to_high", "leakage_low"): 19.5,
+    ("high_to_low", "delay_rise"): 1.3,
+    ("high_to_low", "delay_fall"): 2.2,
+    ("high_to_low", "leakage_high"): 4.4,
+    ("high_to_low", "leakage_low"): 9.3,
+}
+
+#: Figure 7 layout area.
+PAPER_AREA_UM2 = 4.47
+
+#: The DVS grid of Figures 8-9 and the functional sweep.
+PAPER_VDD_RANGE = (0.8, 1.4)
+
+#: Monte Carlo setup of Tables 3-4.
+PAPER_MC_RUNS = 1000
+PAPER_MC_TEMPS_C = (27.0, 60.0, 90.0)

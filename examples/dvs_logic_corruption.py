@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Logic-level demonstration of DVS corruption and the SS-TVS fix.
+
+An event-driven 4-value simulation of a data path crossing a DVS
+boundary: when the source domain's supply drops below the destination's
+(minus an inverter threshold), a plain-inverter level shifter starts
+emitting X — unknown values that propagate into the receiver. The
+SS-TVS model stays clean through the same supply schedule.
+
+Run:  python examples/dvs_logic_corruption.py
+"""
+
+from repro.logicsim import (
+    LogicSimulator, SupplyState, buffer, inverter, level_shifter,
+)
+
+
+def run_scenario(kind: str) -> LogicSimulator:
+    supplies = SupplyState()
+    supplies.set("cpu", 1.2)
+    supplies.set("dsp", 1.0)
+    sim = LogicSimulator(supplies)
+    sim.add(inverter("drv", "data", "q1", delay=10e-12))
+    sim.add(level_shifter("ls", kind, "q1", "q2", supplies,
+                          "cpu", "dsp", delay=60e-12))
+    sim.add(buffer("rx", "q2", "out", delay=10e-12))
+
+    # Traffic pattern plus a DVS schedule on the CPU domain.
+    sim.set_input("data", "0")
+    for i, t in enumerate((1e-9, 2e-9, 4e-9, 5e-9, 7e-9, 8e-9)):
+        sim.schedule_input(t, "data", "1" if i % 2 == 0 else "0")
+    sim.schedule_supply(3e-9, "cpu", 0.6)   # deep DVS dip
+    sim.schedule_supply(6e-9, "cpu", 1.2)   # restore
+    sim.run(10e-9)
+    return sim
+
+
+def print_trace(sim: LogicSimulator, label: str) -> None:
+    print(f"\n--- {label} ---")
+    for change in sim.changes("out"):
+        marker = "  <-- CORRUPTED" if change.value == "x" else ""
+        print(f"  t={change.time * 1e9:5.2f} ns  out={change.value}"
+              f"{marker}")
+    verdict = ("CORRUPTED during the DVS dip"
+               if sim.saw_unknown("out") else "clean throughout")
+    print(f"  receiver data: {verdict}")
+
+
+def main() -> None:
+    print("DVS schedule: cpu 1.2 V -> 0.6 V @3 ns -> 1.2 V @6 ns; "
+          "dsp fixed at 1.0 V")
+    print_trace(run_scenario("inverter"),
+                "inverter as level shifter (static down-shift choice)")
+    print_trace(run_scenario("sstvs"),
+                "SS-TVS as level shifter (true, direction-free)")
+    print("\nThe static choice breaks the moment the domain "
+          "relationship flips — the paper's motivating failure, "
+          "reproduced at the logic level.")
+
+
+if __name__ == "__main__":
+    main()

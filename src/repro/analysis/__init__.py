@@ -1,0 +1,52 @@
+"""Experiment harnesses: Monte Carlo, voltage sweeps, temperature,
+functional validation."""
+
+from repro.analysis.montecarlo import (
+    MonteCarloConfig, MonteCarloResult, run_monte_carlo,
+)
+from repro.analysis.sweep import (
+    DelaySurface, SweepGrid, VDD_MAX, VDD_MIN, render_surface_ascii,
+    sweep_delay_surface,
+)
+from repro.analysis.temperature import (
+    PAPER_TEMPERATURES, TemperaturePoint, monte_carlo_over_temperature,
+    sweep_temperature,
+)
+from repro.analysis.functional import FunctionalReport, validate_functionality
+from repro.analysis.noise_margin import VtcResult, extract_vtc
+from repro.analysis.corners import (
+    DEFAULT_CORNERS, DEFAULT_TEMPS, PvtPoint, PvtReport, pvt_report,
+)
+from repro.analysis.sensitivity import (
+    SIZING_KNOBS, Sensitivity, metric_sensitivities,
+    render_sensitivity_table,
+)
+
+__all__ = [
+    "MonteCarloConfig",
+    "MonteCarloResult",
+    "run_monte_carlo",
+    "DelaySurface",
+    "SweepGrid",
+    "VDD_MIN",
+    "VDD_MAX",
+    "sweep_delay_surface",
+    "render_surface_ascii",
+    "PAPER_TEMPERATURES",
+    "TemperaturePoint",
+    "sweep_temperature",
+    "monte_carlo_over_temperature",
+    "FunctionalReport",
+    "validate_functionality",
+    "VtcResult",
+    "extract_vtc",
+    "PvtReport",
+    "PvtPoint",
+    "pvt_report",
+    "DEFAULT_CORNERS",
+    "DEFAULT_TEMPS",
+    "Sensitivity",
+    "metric_sensitivities",
+    "render_sensitivity_table",
+    "SIZING_KNOBS",
+]

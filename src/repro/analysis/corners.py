@@ -1,0 +1,88 @@
+"""PVT corner reporting: process corners x temperatures.
+
+The paper validates with Monte Carlo at three temperatures; corner
+bracketing (TT/FF/SS/FS/SF at each temperature) is the complementary
+industrial signoff view this extension adds. The report shows every
+metric at every PVT point and flags functional failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.characterize import StimulusPlan, characterize
+from repro.core.metrics import METRIC_FIELDS, ShifterMetrics
+from repro.errors import AnalysisError
+from repro.pdk import CORNER_SHIFTS, CornerPdk
+from repro.units import format_eng
+
+DEFAULT_CORNERS = tuple(sorted(CORNER_SHIFTS))
+DEFAULT_TEMPS = (27.0, 90.0)
+
+
+@dataclass
+class PvtPoint:
+    corner: str
+    temperature_c: float
+    metrics: ShifterMetrics
+
+
+@dataclass
+class PvtReport:
+    kind: str
+    vddi: float
+    vddo: float
+    points: list = field(default_factory=list)
+
+    @property
+    def all_functional(self) -> bool:
+        return all(p.metrics.functional for p in self.points)
+
+    def worst(self, metric: str) -> PvtPoint:
+        if metric not in METRIC_FIELDS:
+            raise AnalysisError(f"unknown metric {metric!r}")
+        candidates = [p for p in self.points if p.metrics.functional]
+        if not candidates:
+            raise AnalysisError("no functional PVT points")
+        return max(candidates, key=lambda p: getattr(p.metrics, metric))
+
+    def spread(self, metric: str) -> float:
+        """max/min ratio of a metric across functional points."""
+        values = [getattr(p.metrics, metric) for p in self.points
+                  if p.metrics.functional]
+        if not values or min(values) <= 0:
+            return float("nan")
+        return max(values) / min(values)
+
+    def pretty(self) -> str:
+        lines = [f"PVT report: {self.kind}, {self.vddi} V -> "
+                 f"{self.vddo} V"]
+        header = (f"  {'corner':<6s} {'T[C]':>6s} {'d_rise':>9s} "
+                  f"{'d_fall':>9s} {'leak_hi':>9s} {'leak_lo':>9s} "
+                  f"{'func':>5s}")
+        lines.append(header)
+        for p in self.points:
+            m = p.metrics
+            lines.append(
+                f"  {p.corner:<6s} {p.temperature_c:>6.1f} "
+                f"{format_eng(m.delay_rise, 's', 3):>9s} "
+                f"{format_eng(m.delay_fall, 's', 3):>9s} "
+                f"{format_eng(m.leakage_high, 'A', 3):>9s} "
+                f"{format_eng(m.leakage_low, 'A', 3):>9s} "
+                f"{str(m.functional):>5s}")
+        return "\n".join(lines)
+
+
+def pvt_report(kind: str, vddi: float, vddo: float,
+               corners=DEFAULT_CORNERS, temperatures=DEFAULT_TEMPS,
+               plan: StimulusPlan | None = None,
+               sizing=None) -> PvtReport:
+    """Characterize at every (corner, temperature) combination."""
+    report = PvtReport(kind=kind, vddi=vddi, vddo=vddo)
+    for corner in corners:
+        for temp in temperatures:
+            pdk = CornerPdk(corner, temperature_c=temp)
+            metrics = characterize(pdk, kind, vddi, vddo, plan=plan,
+                                   sizing=sizing)
+            report.points.append(PvtPoint(corner, temp, metrics))
+    return report

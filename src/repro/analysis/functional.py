@@ -1,0 +1,61 @@
+"""Full-grid functional validation (paper Section 4).
+
+"We varied VDDI and VDDO voltage values from 0.8V to 1.4V ... and
+simulated our SS-TVS for all VDDI and VDDO combinations. Our SS-TVS
+was able to translate the voltage level efficiently for all
+combinations."
+
+:func:`validate_functionality` re-runs that claim on a configurable
+grid and returns the failing pairs (expected: none for the SS-TVS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.sweep import SweepGrid
+from repro.core.characterize import quick_delays
+from repro.pdk import Pdk
+
+
+@dataclass
+class FunctionalReport:
+    kind: str
+    total: int = 0
+    passed: int = 0
+    failures: list = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        return self.passed == self.total and self.total > 0
+
+    def summary(self) -> str:
+        status = "PASS" if self.all_passed else "FAIL"
+        text = (f"[{status}] {self.kind}: {self.passed}/{self.total} "
+                f"(VDDI, VDDO) pairs convert correctly")
+        if self.failures:
+            pairs = ", ".join(f"({a:.2f}, {b:.2f})" for a, b in
+                              self.failures[:10])
+            text += f"; failing pairs: {pairs}"
+            if len(self.failures) > 10:
+                text += f" (+{len(self.failures) - 10} more)"
+        return text
+
+
+def validate_functionality(kind: str, grid: SweepGrid | None = None,
+                           pdk: Pdk | None = None,
+                           sizing=None) -> FunctionalReport:
+    """Check correct level conversion at every grid point."""
+    grid = grid or SweepGrid.with_step(0.1)
+    pdk = pdk or Pdk()
+    report = FunctionalReport(kind=kind)
+    for vddi in grid.vddi_values:
+        for vddo in grid.vddo_values:
+            q = quick_delays(pdk, kind, float(vddi), float(vddo),
+                             sizing=sizing)
+            report.total += 1
+            if q.functional:
+                report.passed += 1
+            else:
+                report.failures.append((float(vddi), float(vddo)))
+    return report

@@ -1,0 +1,114 @@
+"""Voltage-transfer-curve extraction and static noise margins.
+
+A level shifter's DC robustness is captured by its VTC: the output
+levels (VOH/VOL), the input thresholds where the small-signal gain
+crosses -1 (VIL/VIH), and the resulting noise margins
+
+    NML = VIL - VOL(driver),   NMH = VOH(driver) - VIH
+
+referred to the *input domain's* levels (the driver swings 0..VDDI).
+The curve comes from a DC sweep of the characterization bench with the
+DUT input driven directly (the latch state is pinned by sweeping from
+the input-high side, where every shifter in the study is driven
+unconditionally).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.testbench import build_dut, dut_is_inverting
+from repro.errors import AnalysisError, MeasurementError
+from repro.pdk import Pdk
+from repro.spice import Circuit, DcSweep
+from repro.spice.devices import VoltageSource
+
+
+@dataclass(frozen=True)
+class VtcResult:
+    """Voltage transfer curve plus extracted figures of merit."""
+
+    vin: np.ndarray
+    vout: np.ndarray
+    vddi: float
+    vddo: float
+    inverting: bool
+    voh: float          #: output high level [V]
+    vol: float          #: output low level [V]
+    vil: float          #: input low threshold (gain = -1) [V]
+    vih: float          #: input high threshold [V]
+    switching_point: float  #: input where vout crosses vddo/2 [V]
+
+    @property
+    def nml(self) -> float:
+        """Low noise margin, input-domain referred."""
+        return self.vil - 0.0
+
+    @property
+    def nmh(self) -> float:
+        """High noise margin, input-domain referred."""
+        return self.vddi - self.vih
+
+    @property
+    def output_swing(self) -> float:
+        return self.voh - self.vol
+
+    def regenerative(self) -> bool:
+        """Peak |gain| > 1: required for restoring logic."""
+        gain = np.gradient(self.vout, self.vin)
+        return bool(np.max(np.abs(gain)) > 1.0)
+
+
+def extract_vtc(kind: str, vddi: float, vddo: float,
+                pdk: Pdk | None = None, points: int = 121,
+                sizing=None) -> VtcResult:
+    """DC-sweep the shifter input and extract VTC figures of merit."""
+    if points < 11:
+        raise AnalysisError("need at least 11 sweep points")
+    pdk = pdk or Pdk()
+    circuit = Circuit(f"vtc_{kind}")
+    circuit.add(VoltageSource("vdut", "vddo", "0", dc=vddo))
+    circuit.add(VoltageSource("vdrv", "vddi", "0", dc=vddi))
+    circuit.add(VoltageSource("vin", "in", "0", dc=vddi))
+    build_dut(circuit, pdk, kind, "in", "out", "vddo", "vddi", sizing)
+    if kind == "combined":
+        sel = vddo if vddi < vddo else 0.0
+        circuit.add(VoltageSource("vsel", "sel", "0", dc=sel))
+        circuit.add(VoltageSource("vselb", "selb", "0", dc=vddo - sel))
+
+    # Sweep from the input-high side: that state is driven
+    # unconditionally by every DUT, so the latch is pinned correctly
+    # and continuation carries the solution branch down the sweep.
+    values = np.linspace(vddi, 0.0, points)
+    sweep = DcSweep(circuit, "vin", values).run()
+    vout = sweep.voltages("out")
+    # Re-order ascending in vin for the measurements.
+    vin_asc = values[::-1].copy()
+    vout_asc = vout[::-1].copy()
+
+    inverting = dut_is_inverting(kind)
+    voh = float(np.max(vout_asc))
+    vol = float(np.min(vout_asc))
+
+    gain = np.gradient(vout_asc, vin_asc)
+    unity = np.nonzero(np.abs(gain) >= 1.0)[0]
+    if unity.size == 0:
+        raise MeasurementError(
+            f"{kind} VTC has no unity-gain region at "
+            f"({vddi}, {vddo}) — not a restoring transfer curve")
+    vil = float(vin_asc[unity[0]])
+    vih = float(vin_asc[unity[-1]])
+
+    mid = vddo / 2.0
+    crossing = np.nonzero(np.diff(np.sign(vout_asc - mid)))[0]
+    if crossing.size == 0:
+        raise MeasurementError(f"{kind} VTC never crosses VDDO/2")
+    i = int(crossing[0])
+    frac = (mid - vout_asc[i]) / (vout_asc[i + 1] - vout_asc[i])
+    switching = float(vin_asc[i] + frac * (vin_asc[i + 1] - vin_asc[i]))
+
+    return VtcResult(vin=vin_asc, vout=vout_asc, vddi=vddi, vddo=vddo,
+                     inverting=inverting, voh=voh, vol=vol, vil=vil,
+                     vih=vih, switching_point=switching)

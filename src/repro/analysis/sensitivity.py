@@ -1,0 +1,98 @@
+"""Finite-difference sensitivity of shifter metrics to sizing knobs.
+
+Complements the Monte Carlo engine: where MC answers "how much does
+everything vary together", sensitivity answers "which knob moves this
+metric" — useful for the ablation studies and for resizing the cell to
+another operating pair.
+
+Each knob is a field of :class:`~repro.cells.sstvs.SstvsSizing`; the
+metric derivative is estimated with a central difference of the full
+characterization at perturbed sizings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+from repro.cells.sstvs import SstvsSizing
+from repro.core.characterize import StimulusPlan, characterize
+from repro.core.metrics import METRIC_FIELDS
+from repro.errors import AnalysisError
+from repro.pdk import Pdk
+
+#: Sizing fields that are widths/lengths (perturbable).
+SIZING_KNOBS = tuple(f.name for f in fields(SstvsSizing)
+                     if f.name.startswith(("w_", "l_")))
+
+
+@dataclass(frozen=True)
+class Sensitivity:
+    """Normalized sensitivities of every metric to one knob.
+
+    ``values[metric]`` is d(log metric)/d(log knob): +1.0 means a 10 %
+    knob increase raises the metric ~10 %.
+    """
+
+    knob: str
+    nominal: float
+    values: dict
+
+    def dominant_metric(self) -> str:
+        return max(self.values, key=lambda k: abs(self.values[k]))
+
+
+def metric_sensitivities(kind: str, vddi: float, vddo: float,
+                         knobs=SIZING_KNOBS, relative_step: float = 0.15,
+                         pdk: Pdk | None = None,
+                         base_sizing: SstvsSizing | None = None,
+                         plan: StimulusPlan | None = None
+                         ) -> dict[str, Sensitivity]:
+    """Central-difference log-log sensitivities for each knob.
+
+    Only meaningful for the ``"sstvs"`` kind (the sizing dataclass is
+    the SS-TVS's); other kinds raise.
+    """
+    if kind != "sstvs":
+        raise AnalysisError("sensitivities are defined for the sstvs "
+                            "sizing knobs")
+    if not 0 < relative_step < 0.5:
+        raise AnalysisError("relative_step must be in (0, 0.5)")
+    pdk = pdk or Pdk()
+    base = base_sizing or SstvsSizing()
+    unknown = [k for k in knobs if k not in SIZING_KNOBS]
+    if unknown:
+        raise AnalysisError(f"unknown sizing knobs: {unknown}")
+
+    results: dict[str, Sensitivity] = {}
+    for knob in knobs:
+        nominal = getattr(base, knob)
+        up = replace(base, **{knob: nominal * (1 + relative_step)})
+        down = replace(base, **{knob: nominal * (1 - relative_step)})
+        m_up = characterize(pdk, kind, vddi, vddo, plan=plan, sizing=up)
+        m_down = characterize(pdk, kind, vddi, vddo, plan=plan,
+                              sizing=down)
+        values = {}
+        for metric in METRIC_FIELDS:
+            hi = getattr(m_up, metric)
+            lo = getattr(m_down, metric)
+            if hi > 0 and lo > 0:
+                import math
+                values[metric] = (math.log(hi / lo)
+                                  / math.log((1 + relative_step)
+                                             / (1 - relative_step)))
+            else:
+                values[metric] = float("nan")
+        results[knob] = Sensitivity(knob=knob, nominal=nominal,
+                                    values=values)
+    return results
+
+
+def render_sensitivity_table(sensitivities: dict) -> str:
+    """Text matrix: knobs x metrics."""
+    header = f"{'knob':<10s}" + "".join(f"{m:>14s}" for m in METRIC_FIELDS)
+    lines = [header, "-" * len(header)]
+    for knob, sens in sensitivities.items():
+        row = f"{knob:<10s}" + "".join(
+            f"{sens.values[m]:>14.2f}" for m in METRIC_FIELDS)
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""VDDI x VDDO delay-surface sweeps (paper Figures 8 and 9).
+
+The paper sweeps both supplies from 0.8 V to 1.4 V (5 mV steps in the
+paper; configurable here — the benches default to 50 mV, which resolves
+the same surfaces at tractable cost) and plots the rising and falling
+delays, demonstrating smooth behaviour and full-range functionality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.characterize import quick_delays
+from repro.errors import AnalysisError
+from repro.pdk import Pdk
+
+#: The paper's DVS operating range [V].
+VDD_MIN = 0.8
+VDD_MAX = 1.4
+
+
+@dataclass
+class SweepGrid:
+    """Rectangular (VDDI, VDDO) grid."""
+
+    vddi_values: np.ndarray = field(
+        default_factory=lambda: np.round(np.arange(VDD_MIN, VDD_MAX + 1e-9,
+                                                   0.05), 4))
+    vddo_values: np.ndarray = field(
+        default_factory=lambda: np.round(np.arange(VDD_MIN, VDD_MAX + 1e-9,
+                                                   0.05), 4))
+
+    @classmethod
+    def with_step(cls, step: float) -> "SweepGrid":
+        if step <= 0:
+            raise AnalysisError("grid step must be positive")
+        values = np.round(np.arange(VDD_MIN, VDD_MAX + 1e-9, step), 4)
+        return cls(vddi_values=values, vddo_values=values.copy())
+
+
+@dataclass
+class DelaySurface:
+    """Rise/fall delay and functionality over the grid.
+
+    ``rise[i, j]`` is the rising delay at ``vddi_values[i]``,
+    ``vddo_values[j]`` (NaN where non-functional).
+    """
+
+    vddi_values: np.ndarray
+    vddo_values: np.ndarray
+    rise: np.ndarray
+    fall: np.ndarray
+    functional: np.ndarray
+
+    @property
+    def functional_fraction(self) -> float:
+        return float(np.mean(self.functional))
+
+    def worst_rise(self) -> float:
+        return float(np.nanmax(self.rise))
+
+    def worst_fall(self) -> float:
+        return float(np.nanmax(self.fall))
+
+    def is_smooth(self, factor: float = 4.0) -> bool:
+        """No adjacent-cell delay jump larger than ``factor``x.
+
+        A loose smoothness check matching the paper's qualitative claim
+        that delays "change smoothly with changing VDDI and VDDO".
+        """
+        for surface in (self.rise, self.fall):
+            for axis in (0, 1):
+                a = np.swapaxes(surface, 0, axis)
+                ratio = a[1:] / a[:-1]
+                ratio = ratio[np.isfinite(ratio)]
+                if ratio.size and (np.max(ratio) > factor
+                                   or np.min(ratio) < 1.0 / factor):
+                    return False
+        return True
+
+
+def sweep_delay_surface(kind: str, grid: SweepGrid | None = None,
+                        pdk: Pdk | None = None, sizing=None,
+                        progress=None) -> DelaySurface:
+    """Run :func:`quick_delays` over the grid; returns the surfaces."""
+    grid = grid or SweepGrid()
+    pdk = pdk or Pdk()
+    shape = (grid.vddi_values.size, grid.vddo_values.size)
+    rise = np.full(shape, np.nan)
+    fall = np.full(shape, np.nan)
+    functional = np.zeros(shape, dtype=bool)
+    for i, vddi in enumerate(grid.vddi_values):
+        for j, vddo in enumerate(grid.vddo_values):
+            q = quick_delays(pdk, kind, float(vddi), float(vddo),
+                             sizing=sizing)
+            rise[i, j] = q.delay_rise
+            fall[i, j] = q.delay_fall
+            functional[i, j] = q.functional
+            if progress is not None:
+                progress(i, j, q)
+    return DelaySurface(grid.vddi_values.copy(), grid.vddo_values.copy(),
+                        rise, fall, functional)
+
+
+def render_surface_ascii(surface: DelaySurface, which: str = "rise",
+                         width: int = 6) -> str:
+    """Text rendering of a delay surface in picoseconds (for benches)."""
+    data = surface.rise if which == "rise" else surface.fall
+    header = "VDDI\\VDDO " + " ".join(
+        f"{v:>{width}.2f}" for v in surface.vddo_values)
+    lines = [header]
+    for i, vddi in enumerate(surface.vddi_values):
+        cells = " ".join(
+            f"{data[i, j] * 1e12:>{width}.1f}" if np.isfinite(data[i, j])
+            else " " * (width - 4) + "FAIL"
+            for j in range(surface.vddo_values.size))
+        lines.append(f"{vddi:>9.2f} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Cell library: primitive gates and every level shifter in the study."""
+
+from repro.cells.inverter import add_inverter
+from repro.cells.gates import add_nand2, add_nor2
+from repro.cells.passgate import add_mux2, add_transmission_gate
+from repro.cells.cvs import add_cvs
+from repro.cells.ssvs import add_ssvs_khan, add_ssvs_puri
+from repro.cells.sstvs import SstvsSizing, add_sstvs
+from repro.cells.combined_vs import add_combined_vs
+
+__all__ = [
+    "add_inverter",
+    "add_nand2",
+    "add_nor2",
+    "add_mux2",
+    "add_transmission_gate",
+    "add_cvs",
+    "add_ssvs_khan",
+    "add_ssvs_puri",
+    "add_sstvs",
+    "SstvsSizing",
+    "add_combined_vs",
+]

@@ -1,0 +1,63 @@
+"""The paper's comparison baseline: the "combined VS" of Figure 6.
+
+An inverter (the best level shifter when VDDI > VDDO) and a Khan-style
+single-supply level shifter [6] (best when VDDI < VDDO) in parallel,
+with a transmission gate on the input side and a 2:1 multiplexer on the
+output side selecting the appropriate path. The select signal is an
+*external control input* that must know the domain relationship — the
+requirement the SS-TVS eliminates.
+
+Behavioral consequences the paper reports, which this structure
+reproduces:
+
+* delay = input TG + selected cell + output mux (slower than SS-TVS);
+* leakage = both paths leak regardless of which one is selected: in
+  low-to-high mode the idle inverter sees an under-driven PMOS and
+  leaks heavily; in high-to-low mode the idle SS-VS contributes;
+* an extra control signal (sel/sel_b) must be routed.
+"""
+
+from __future__ import annotations
+
+from repro.cells.inverter import add_inverter
+from repro.cells.passgate import add_mux2, add_transmission_gate
+from repro.cells.ssvs import add_ssvs_khan
+
+
+def add_combined_vs(circuit, pdk, name: str, inp: str, out: str,
+                    vddo: str, sel: str, sel_b: str, gnd: str = "0",
+                    l: float | None = None) -> dict:
+    """Add the combined VS; ``sel`` high selects the SS-VS (low-to-high)
+    path, low selects the inverter (high-to-low) path.
+
+    Both paths stay connected to the input (through always-on
+    transmission gates), so both contribute leakage — matching the
+    paper's measurement setup, where the combined cell's leakage far
+    exceeds either constituent alone.
+    """
+    a = f"{name}.a"      # inverter path input, after its TG
+    b = f"{name}.b"      # SS-VS path input, after its TG
+    y_inv = f"{name}.yinv"
+    y_ls = f"{name}.yls"
+
+    devices = {}
+    # Near-minimum device sizes throughout, reflecting the paper's use
+    # of the (small) sizes published in [6] for the SS-VS and matching
+    # drive for the glue cells. The three-stage signal path (input TG,
+    # shifter cell, output mux) is what makes the combined VS slow.
+    devices.update({f"tga_{k}": v for k, v in add_transmission_gate(
+        circuit, pdk, f"{name}.tga", inp, a, vddo, gnd, vddo, gnd,
+        wn=0.12e-6, wp=0.24e-6, l=l).items()})
+    devices.update({f"tgb_{k}": v for k, v in add_transmission_gate(
+        circuit, pdk, f"{name}.tgb", inp, b, vddo, gnd, vddo, gnd,
+        wn=0.12e-6, wp=0.24e-6, l=l).items()})
+    devices.update({f"inv_{k}": v for k, v in add_inverter(
+        circuit, pdk, f"{name}.inv", a, y_inv, vddo, gnd,
+        wn=0.15e-6, wp=0.3e-6, l=l).items()})
+    devices.update({f"ls_{k}": v for k, v in add_ssvs_khan(
+        circuit, pdk, f"{name}.ls", b, y_ls, vddo, gnd, l=l).items()})
+    devices.update({f"mux_{k}": v for k, v in add_mux2(
+        circuit, pdk, f"{name}.mux", y_inv, y_ls, sel, sel_b, out,
+        vddo, gnd, wn=0.12e-6, wp=0.24e-6, l=l).items()})
+    devices["nodes"] = {"a": a, "b": b, "y_inv": y_inv, "y_ls": y_ls}
+    return devices

@@ -1,0 +1,42 @@
+"""Conventional (dual-supply) voltage level shifter — the paper's Figure 1.
+
+A differential cascode voltage switch: a VDDI-domain inverter generates
+the complement, and a cross-coupled PMOS pair in the VDDO domain
+restores full swing. Non-inverting. Requires *both* supplies routed to
+the cell — the wiring cost the single-supply designs eliminate.
+"""
+
+from __future__ import annotations
+
+from repro.cells.inverter import add_inverter
+
+
+def add_cvs(circuit, pdk, name: str, inp: str, out: str, vddi: str,
+            vddo: str, gnd: str = "0", wn: float = 0.6e-6,
+            wp: float = 0.15e-6, lp: float = 0.2e-6,
+            l: float | None = None) -> dict:
+    """Add a conventional level shifter; returns probe/device names.
+
+    Operation (paper Section 1): with ``inp`` at VDDI (``b`` low), MN1
+    pulls the internal node low, turning MP2 on, which pulls ``out`` to
+    VDDO; with ``inp`` low, MN2 pulls ``out`` low and MP1 restores the
+    internal node.
+    """
+    b = f"{name}.b"
+    x1 = f"{name}.x1"
+    devices = {}
+    devices.update(add_inverter(circuit, pdk, f"{name}.invin", inp, b,
+                                vddi, gnd, l=l))
+    devices["mn1"] = circuit.add(pdk.mosfet(
+        f"{name}.mn1", x1, inp, gnd, gnd, "n", wn, l)).name
+    devices["mn2"] = circuit.add(pdk.mosfet(
+        f"{name}.mn2", out, b, gnd, gnd, "n", wn, l)).name
+    # The cross-coupled PMOS pair is deliberately weak and long: the
+    # low-swing-driven NMOS pull-downs must win the ratioed fight to
+    # flip the latch (standard DCVS sizing).
+    devices["mp1"] = circuit.add(pdk.mosfet(
+        f"{name}.mp1", x1, out, vddo, vddo, "p", wp, lp)).name
+    devices["mp2"] = circuit.add(pdk.mosfet(
+        f"{name}.mp2", out, x1, vddo, vddo, "p", wp, lp)).name
+    devices["nodes"] = {"b": b, "x1": x1}
+    return devices

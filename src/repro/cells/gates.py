@@ -1,0 +1,60 @@
+"""Two-input static CMOS gates: NOR2 and NAND2.
+
+The SS-TVS output stage is a NOR2 whose PMOS widths are doubled to
+compensate the series stack, which (per the paper) balances the rise and
+fall delays and gives the shifter the drive of a minimum inverter.
+"""
+
+from __future__ import annotations
+
+from repro.pdk.ptm90 import NOMINAL
+
+WN_DEFAULT = 0.2e-6
+#: Series PMOS devices are doubled to match a 0.4 um inverter PMOS.
+WP_SERIES_DEFAULT = 0.8e-6
+WP_DEFAULT = 0.4e-6
+WN_SERIES_DEFAULT = 0.4e-6
+
+
+def add_nor2(circuit, pdk, name: str, in_a: str, in_b: str, out: str,
+             vdd: str, gnd: str = "0", wn: float = WN_DEFAULT,
+             wp: float = WP_SERIES_DEFAULT, l: float | None = None,
+             flavor_n: str = NOMINAL, flavor_p: str = NOMINAL) -> dict:
+    """Add ``out = not (in_a or in_b)``.
+
+    The PMOS stack runs vdd -(gate in_b)- mid -(gate in_a)- out, so the
+    transistor whose gate is driven by ``in_a`` is adjacent to the
+    output — matching the paper's discussion of the transient leakage
+    path through the in-driven PMOS of the SS-TVS NOR.
+    """
+    mid = f"{name}.pmid"
+    devices = {
+        "mp_b": circuit.add(pdk.mosfet(f"{name}.mp_b", mid, in_b, vdd, vdd,
+                                       "p", wp, l, flavor_p)).name,
+        "mp_a": circuit.add(pdk.mosfet(f"{name}.mp_a", out, in_a, mid, vdd,
+                                       "p", wp, l, flavor_p)).name,
+        "mn_a": circuit.add(pdk.mosfet(f"{name}.mn_a", out, in_a, gnd, gnd,
+                                       "n", wn, l, flavor_n)).name,
+        "mn_b": circuit.add(pdk.mosfet(f"{name}.mn_b", out, in_b, gnd, gnd,
+                                       "n", wn, l, flavor_n)).name,
+    }
+    return devices
+
+
+def add_nand2(circuit, pdk, name: str, in_a: str, in_b: str, out: str,
+              vdd: str, gnd: str = "0", wn: float = WN_SERIES_DEFAULT,
+              wp: float = WP_DEFAULT, l: float | None = None,
+              flavor_n: str = NOMINAL, flavor_p: str = NOMINAL) -> dict:
+    """Add ``out = not (in_a and in_b)``."""
+    mid = f"{name}.nmid"
+    devices = {
+        "mp_a": circuit.add(pdk.mosfet(f"{name}.mp_a", out, in_a, vdd, vdd,
+                                       "p", wp, l, flavor_p)).name,
+        "mp_b": circuit.add(pdk.mosfet(f"{name}.mp_b", out, in_b, vdd, vdd,
+                                       "p", wp, l, flavor_p)).name,
+        "mn_a": circuit.add(pdk.mosfet(f"{name}.mn_a", out, in_a, mid, gnd,
+                                       "n", wn, l, flavor_n)).name,
+        "mn_b": circuit.add(pdk.mosfet(f"{name}.mn_b", mid, in_b, gnd, gnd,
+                                       "n", wn, l, flavor_n)).name,
+    }
+    return devices

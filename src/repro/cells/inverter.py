@@ -1,0 +1,29 @@
+"""Static CMOS inverter cell builder."""
+
+from __future__ import annotations
+
+from repro.pdk.ptm90 import NOMINAL
+
+#: Default device widths [m]: 2:1 P:N for roughly balanced drive.
+WN_DEFAULT = 0.2e-6
+WP_DEFAULT = 0.4e-6
+
+
+def add_inverter(circuit, pdk, name: str, inp: str, out: str, vdd: str,
+                 gnd: str = "0", wn: float = WN_DEFAULT,
+                 wp: float = WP_DEFAULT, l: float | None = None,
+                 flavor_n: str = NOMINAL, flavor_p: str = NOMINAL) -> dict:
+    """Add an inverter ``out = not inp`` powered from ``vdd``.
+
+    Returns a mapping of role -> device name for probing and ablation.
+
+    Note the paper's key observation: an inverter is itself the best
+    *high-to-low* level shifter, but when its input swing (VDDI) is
+    below its supply (VDDO) the PMOS never fully turns off and the cell
+    leaks heavily — the motivation for the SS-TVS.
+    """
+    mn = circuit.add(pdk.mosfet(f"{name}.mn", out, inp, gnd, gnd, "n",
+                                wn, l, flavor_n))
+    mp = circuit.add(pdk.mosfet(f"{name}.mp", out, inp, vdd, vdd, "p",
+                                wp, l, flavor_p))
+    return {"mn": mn.name, "mp": mp.name}

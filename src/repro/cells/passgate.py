@@ -1,0 +1,50 @@
+"""Transmission gate and TG-based 2:1 multiplexer.
+
+The combined VS of the paper's Figure 6 places a transmission gate on
+the input side and a multiplexer on the output side; these builders
+provide both.
+"""
+
+from __future__ import annotations
+
+from repro.pdk.ptm90 import NOMINAL
+
+WN_DEFAULT = 0.2e-6
+WP_DEFAULT = 0.4e-6
+
+
+def add_transmission_gate(circuit, pdk, name: str, a: str, b: str,
+                          en: str, en_b: str, vdd: str, gnd: str = "0",
+                          wn: float = WN_DEFAULT, wp: float = WP_DEFAULT,
+                          l: float | None = None) -> dict:
+    """Add a TG between ``a`` and ``b``; conducting when en=1, en_b=0.
+
+    PMOS bulk ties to ``vdd`` (single-supply convention), NMOS bulk to
+    ``gnd``.
+    """
+    devices = {
+        "mn": circuit.add(pdk.mosfet(f"{name}.mn", a, en, b, gnd, "n",
+                                     wn, l, NOMINAL)).name,
+        "mp": circuit.add(pdk.mosfet(f"{name}.mp", a, en_b, b, vdd, "p",
+                                     wp, l, NOMINAL)).name,
+    }
+    return devices
+
+
+def add_mux2(circuit, pdk, name: str, in0: str, in1: str, sel: str,
+             sel_b: str, out: str, vdd: str, gnd: str = "0",
+             wn: float = WN_DEFAULT, wp: float = WP_DEFAULT,
+             l: float | None = None) -> dict:
+    """Add a TG-based mux: ``out = in1 if sel else in0``.
+
+    ``sel``/``sel_b`` must be full-swing complements in the ``vdd``
+    domain (the combined VS's external control signal).
+    """
+    devices = {}
+    devices.update({f"tg0_{k}": v for k, v in add_transmission_gate(
+        circuit, pdk, f"{name}.tg0", in0, out, sel_b, sel, vdd, gnd,
+        wn, wp, l).items()})
+    devices.update({f"tg1_{k}": v for k, v in add_transmission_gate(
+        circuit, pdk, f"{name}.tg1", in1, out, sel, sel_b, vdd, gnd,
+        wn, wp, l).items()})
+    return devices

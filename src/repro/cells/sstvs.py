@@ -1,0 +1,167 @@
+"""The paper's contribution: the single-supply **true** voltage level
+shifter (SS-TVS), Figure 4.
+
+The cell converts between voltage domains in *either* direction using
+only the output-domain supply VDDO and no control signal. It is
+inverting; the polarity inversion is absorbed by downstream logic, as
+the paper notes.
+
+Topology (reconstructed from the paper's Section 3 operating
+description — the original figure's net connections are not legible in
+the available text; DESIGN.md documents the reconstruction):
+
+* Output stage: ``out = NOR(in, node2)`` powered from VDDO. With
+  ``in`` high, node2 is driven to full VDDO, so the NOR's second PMOS
+  is hard-off and the transient leakage path through the in-driven PMOS
+  (only partially off when VDDI < VDDO) is cut — exactly the mechanism
+  the paper describes.
+* node2 generator: M6 (high-Vt NMOS, gate = in) pulls ``node1`` low,
+  turning on M3 (PMOS) which charges node2 to VDDO; M5 (PMOS, gate =
+  node2) recharges node1 when node2 falls — a half-latch on
+  node1/node2. M4 (high-Vt NMOS, gate = out) is the static keeper
+  holding node2 low while the input is low.
+* Discharge device: M1 (NMOS, gate = ctrl, source = in) dumps node2's
+  charge *into the input node* when the input falls. Because ctrl
+  charges to a value at least one threshold below the input's high
+  level, M1 never turns on while the input is high — regardless of
+  whether VDDI is above or below VDDO. This is what makes the shifter
+  *true*, and the min(VDDI, ...) cap on ctrl is what makes it safe at
+  every corner of the DVS grid.
+* ctrl network: M8 (low-Vt NMOS follower: drain = VDDO, gate = in)
+  charges ctrl toward ``(Vin_high - Vt_M8) / n`` when the input is
+  high, self-capped by the input's own level — the realization of the
+  paper's ``min(VDDI, VDDO - Vt_M8)`` expression. The cap is
+  load-bearing twice over: it keeps M1 off while the input is high,
+  and it bounds the charge M1 steals from the *rising* input (an
+  uncapped ctrl would hold M1 on hard enough to fight the driver and
+  deadlock the input edge at high VDDO). When the input is the higher
+  rail, M8 instead passes the full VDDO level (the paper's scenario-2
+  ``min(VDDO, ...)``). M7 (high-Vt diode from the input) is the
+  auxiliary scenario-2 charger; its gate falls with the input, so it
+  adds no static path when idle. M2 — a low-Vt PMOS pass with gate =
+  out (low-Vt because it must pass mid-rail levels against body
+  effect) — connects the network to the MC hold capacitor exactly
+  while the input is high, and isolates ctrl as soon as the output
+  rises; ctrl only needs to survive (on MC's gate capacitance, against
+  the coupling hit of the falling input through M1's Cgs) until the
+  output transition completes. The paper describes this race and MC's
+  sizing role verbatim.
+* MC: NMOS gate capacitor holding the ctrl charge.
+
+High-Vt devices (M4, M6, and here also M7) cut static leakage paths;
+the low-Vt M8 extends the working range when VDDI and VDDO are low and
+close to each other (paper Section 3). Flavor deviations from the
+paper's text (M7 high-Vt instead of nominal, M2 low-Vt instead of
+nominal) are calibrations against our EKV substrate and are documented
+in DESIGN.md with the ablations that justify them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cells.gates import add_nor2
+from repro.pdk.ptm90 import HIGH_VT, LOW_VT, NOMINAL
+
+
+@dataclass(frozen=True)
+class SstvsSizing:
+    """Device widths [m] for the SS-TVS (lengths default to drawn L).
+
+    The defaults were sized, like the paper's, for the delay/leakage
+    trade-off at the 0.8 V <-> 1.2 V operating pair.
+    """
+
+    w_m1: float = 0.70e-6   #: node2 discharge NMOS (must beat M3)
+    w_m2: float = 0.50e-6   #: ctrl pass PMOS, gate = out
+    w_m3: float = 0.12e-6   #: node2 pull-up PMOS (weak: not delay-critical)
+    l_m3: float = 0.60e-6   #: long-channel M3 weakens the M1 contention
+    w_m4: float = 0.12e-6   #: node2 keeper NMOS (high-Vt)
+    w_m5: float = 0.15e-6   #: node1 restore PMOS (regeneration trigger)
+    l_m5: float = 0.15e-6
+    w_m6: float = 0.40e-6   #: node1 pull-down NMOS (high-Vt; beats M5)
+    w_m7: float = 0.10e-6   #: auxiliary ctrl charger, diode from input
+    l_m7: float = 0.30e-6
+    w_m8: float = 0.30e-6   #: main ctrl charger from VDDO (low-Vt)
+    w_mc: float = 1.50e-6   #: MC hold capacitor width
+    l_mc: float = 0.25e-6   #: MC hold capacitor length
+    w_nor_n: float = 0.30e-6
+    w_nor_p: float = 0.40e-6
+
+    #: Optional flavor overrides, used by the ablation benches
+    #: (e.g. {"m4": "nominal"} to study the high-Vt choice).
+    flavor_overrides: dict = field(default_factory=dict)
+
+    def flavor(self, device: str, default: str) -> str:
+        return self.flavor_overrides.get(device, default)
+
+
+def add_sstvs(circuit, pdk, name: str, inp: str, out: str, vddo: str,
+              gnd: str = "0", sizing: SstvsSizing | None = None,
+              l: float | None = None) -> dict:
+    """Add an SS-TVS between ``inp`` (any domain) and ``out`` (VDDO).
+
+    Returns device names plus a ``"nodes"`` entry with the internal
+    node names (node1, node2, ctrl, y) for probing.
+    """
+    s = sizing or SstvsSizing()
+    node1 = f"{name}.node1"
+    node2 = f"{name}.node2"
+    ctrl = f"{name}.ctrl"
+    y = f"{name}.y"
+
+    devices = {}
+    # Output NOR: in (first/bottom PMOS input) and node2.
+    devices.update({f"nor_{k}": v for k, v in add_nor2(
+        circuit, pdk, f"{name}.nor", inp, node2, out, vddo, gnd,
+        wn=s.w_nor_n, wp=s.w_nor_p, l=l).items()})
+
+    # node1 / node2 half-latch. M3 and M5 are deliberately weak and
+    # long: node2's rise is not delay-critical (the NOR's in-input
+    # already forced the output low), and weakness is what lets M1 and
+    # M6 win the ratioed fights.
+    devices["m6"] = circuit.add(pdk.mosfet(
+        f"{name}.m6", node1, inp, gnd, gnd, "n", s.w_m6, l,
+        s.flavor("m6", HIGH_VT))).name
+    devices["m3"] = circuit.add(pdk.mosfet(
+        f"{name}.m3", node2, node1, vddo, vddo, "p", s.w_m3, s.l_m3,
+        s.flavor("m3", NOMINAL))).name
+    devices["m5"] = circuit.add(pdk.mosfet(
+        f"{name}.m5", node1, node2, vddo, vddo, "p", s.w_m5, s.l_m5,
+        s.flavor("m5", NOMINAL))).name
+    devices["m4"] = circuit.add(pdk.mosfet(
+        f"{name}.m4", node2, out, gnd, gnd, "n", s.w_m4, l,
+        s.flavor("m4", HIGH_VT))).name
+
+    # Discharge device: gate = ctrl, source = input node. Wide, because
+    # its gate overdrive is only ctrl - Vt when the domains are close.
+    devices["m1"] = circuit.add(pdk.mosfet(
+        f"{name}.m1", node2, ctrl, inp, gnd, "n", s.w_m1, l,
+        s.flavor("m1", NOMINAL))).name
+
+    # ctrl charging network and hold capacitor. M8 is the low-Vt
+    # follower from VDDO (gate on node2, full VDDO swing); M7 is a
+    # nominal-Vt diode from the input (off when the input is low, so
+    # it adds no static path). Neither device can *discharge* y at the
+    # input fall — M7's gate drops with the input and M8 only sources
+    # from VDDO — so ctrl rides through the transition. M2, a PMOS pass
+    # (gate = out, so it is on exactly while the input is high),
+    # connects the network to MC while the output is low
+    # and isolates ctrl as soon as the output rises, exactly the
+    # turn-off race the paper describes.
+    devices["m8"] = circuit.add(pdk.mosfet(
+        f"{name}.m8", vddo, inp, y, gnd, "n", s.w_m8, l,
+        s.flavor("m8", LOW_VT))).name
+    devices["m7"] = circuit.add(pdk.mosfet(
+        f"{name}.m7", inp, inp, y, gnd, "n", s.w_m7, s.l_m7,
+        s.flavor("m7", HIGH_VT))).name
+    devices["m2"] = circuit.add(pdk.mosfet(
+        f"{name}.m2", ctrl, out, y, vddo, "p", s.w_m2, l,
+        s.flavor("m2", LOW_VT))).name
+    devices["mc"] = circuit.add(pdk.mosfet(
+        f"{name}.mc", gnd, ctrl, gnd, gnd, "n", s.w_mc, s.l_mc,
+        s.flavor("mc", NOMINAL))).name
+
+    devices["nodes"] = {"node1": node1, "node2": node2, "ctrl": ctrl,
+                        "y": y}
+    return devices

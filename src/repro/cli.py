@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands map one-to-one onto the library's experiment entry points:
+
+* ``characterize`` — the six Table-1/2 metrics for one shifter kind;
+* ``compare`` — SS-TVS vs combined VS side by side;
+* ``sweep`` — Figures 8/9 delay surfaces as text;
+* ``mc`` — Monte Carlo statistics (Tables 3/4);
+* ``functional`` — the full-grid conversion check;
+* ``area`` — Figure 7 cell-area estimates;
+* ``liberty`` — NLDM characterization to a .lib-like file;
+* ``vcd`` — dump a characterization transient as VCD.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.metrics import METRIC_FIELDS, METRIC_LABELS, METRIC_UNITS
+from repro.core.testbench import KINDS
+from repro.units import format_eng
+
+
+def _add_voltage_args(parser) -> None:
+    parser.add_argument("--vddi", type=float, default=0.8,
+                        help="input-domain supply [V]")
+    parser.add_argument("--vddo", type=float, default=1.2,
+                        help="output-domain supply [V]")
+
+
+def _print_metrics(metrics, title: str) -> None:
+    print(metrics.pretty(title))
+
+
+def cmd_characterize(args) -> int:
+    from repro.core import LevelShifter
+    metrics = LevelShifter(args.kind).characterize(args.vddi, args.vddo)
+    _print_metrics(metrics, f"{args.kind}: {args.vddi} V -> "
+                            f"{args.vddo} V @ {args.temp} C")
+    return 0 if metrics.functional else 1
+
+
+def cmd_compare(args) -> int:
+    from repro.core import LevelShifter
+    sstvs = LevelShifter("sstvs").characterize(args.vddi, args.vddo)
+    combined = LevelShifter("combined").characterize(args.vddi,
+                                                     args.vddo)
+    print(f"{'Performance Parameter':<24s} {'SS-TVS':>12s} "
+          f"{'Combined':>12s} {'advantage':>10s}")
+    for name in METRIC_FIELDS:
+        a, b = getattr(sstvs, name), getattr(combined, name)
+        print(f"{METRIC_LABELS[name]:<24s} "
+              f"{format_eng(a, METRIC_UNITS[name], 3):>12s} "
+              f"{format_eng(b, METRIC_UNITS[name], 3):>12s} "
+              f"{(b / a if a else float('nan')):>9.2f}x")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.analysis import (
+        SweepGrid, render_surface_ascii, sweep_delay_surface,
+    )
+    surface = sweep_delay_surface(args.kind,
+                                  SweepGrid.with_step(args.step))
+    print("Rising delay [ps]:")
+    print(render_surface_ascii(surface, "rise"))
+    print("\nFalling delay [ps]:")
+    print(render_surface_ascii(surface, "fall"))
+    print(f"\nfunctional fraction: {surface.functional_fraction:.3f}")
+    return 0 if surface.functional_fraction == 1.0 else 1
+
+
+def cmd_mc(args) -> int:
+    from repro.analysis import MonteCarloConfig, run_monte_carlo
+    config = MonteCarloConfig(runs=args.runs, seed=args.seed,
+                              temperature_c=args.temp)
+    result = run_monte_carlo(args.kind, args.vddi, args.vddo, config)
+    print(result.statistics.pretty(
+        f"{args.kind} MC, {args.vddi} -> {args.vddo} V, "
+        f"{args.runs} runs, {args.temp} C"))
+    return 0 if result.functional_yield == 1.0 else 1
+
+
+def cmd_functional(args) -> int:
+    from repro.analysis import SweepGrid, validate_functionality
+    report = validate_functionality(args.kind,
+                                    SweepGrid.with_step(args.step))
+    print(report.summary())
+    return 0 if report.all_passed else 1
+
+
+def cmd_area(args) -> int:
+    from repro.cells import (
+        add_combined_vs, add_cvs, add_inverter, add_ssvs_khan, add_sstvs,
+    )
+    from repro.layout import estimate_cell_area
+    from repro.pdk import Pdk
+    pdk = Pdk()
+    for name, builder in (("inverter", add_inverter), ("cvs", add_cvs),
+                          ("ssvs_khan", add_ssvs_khan),
+                          ("combined_vs", add_combined_vs),
+                          ("sstvs", add_sstvs)):
+        est = estimate_cell_area(builder, pdk)
+        print(f"{name:12s} {est.total_area_um2:6.2f} um^2 "
+              f"({est.device_count} devices)")
+    return 0
+
+
+def cmd_liberty(args) -> int:
+    from repro.core.libchar import characterize_cell, write_liberty
+    from repro.pdk import Pdk
+    cells = [characterize_cell(kind, Pdk(args.temp), args.vddi,
+                               args.vddo)
+             for kind in args.kinds]
+    text = write_liberty(cells)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output} ({len(cells)} cells)")
+    return 0
+
+
+def cmd_vtc(args) -> int:
+    from repro.analysis import extract_vtc
+    vtc = extract_vtc(args.kind, args.vddi, args.vddo)
+    print(f"{args.kind} VTC at ({args.vddi} V -> {args.vddo} V):")
+    print(f"  VOH={vtc.voh:.3f} V  VOL={vtc.vol:.3f} V  "
+          f"swing={vtc.output_swing:.3f} V")
+    print(f"  VIL={vtc.vil:.3f} V  VIH={vtc.vih:.3f} V  "
+          f"Vsw={vtc.switching_point:.3f} V")
+    print(f"  NML={vtc.nml:.3f} V  NMH={vtc.nmh:.3f} V  "
+          f"regenerative={vtc.regenerative()}")
+    return 0
+
+
+def cmd_pvt(args) -> int:
+    from repro.analysis import pvt_report
+    report = pvt_report(args.kind, args.vddi, args.vddo)
+    print(report.pretty())
+    return 0 if report.all_functional else 1
+
+
+def cmd_vcd(args) -> int:
+    from repro.core.characterize import StimulusPlan, run_stimulus
+    from repro.pdk import Pdk
+    from repro.spice.vcd import write_vcd
+    result, probes = run_stimulus(Pdk(args.temp), args.kind, args.vddi,
+                                  args.vddo, StimulusPlan())
+    nodes = [probes.in_node, probes.out_node]
+    nodes += list(probes.internal.get("nodes", {}).values())
+    text = write_vcd(result, nodes,
+                     comment=f"{args.kind} {args.vddi}->{args.vddo}")
+    with open(args.output, "w") as handle:
+        handle.write(text)
+    print(f"wrote {args.output} ({len(nodes)} signals, "
+          f"{result.sample_count} samples)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SS-TVS reproduction (DATE 2008) command line")
+    parser.add_argument("--temp", type=float, default=27.0,
+                        help="temperature [C]")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("characterize", help="six-metric characterization")
+    p.add_argument("kind", choices=KINDS)
+    _add_voltage_args(p)
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("compare", help="SS-TVS vs combined VS")
+    _add_voltage_args(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("sweep", help="delay surfaces (Figures 8/9)")
+    p.add_argument("kind", nargs="?", default="sstvs", choices=KINDS)
+    p.add_argument("--step", type=float, default=0.2)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("mc", help="Monte Carlo statistics (Tables 3/4)")
+    p.add_argument("kind", nargs="?", default="sstvs", choices=KINDS)
+    _add_voltage_args(p)
+    p.add_argument("--runs", type=int, default=25)
+    p.add_argument("--seed", type=int, default=20080310)
+    p.set_defaults(func=cmd_mc)
+
+    p = sub.add_parser("functional", help="full-grid conversion check")
+    p.add_argument("kind", nargs="?", default="sstvs", choices=KINDS)
+    p.add_argument("--step", type=float, default=0.2)
+    p.set_defaults(func=cmd_functional)
+
+    p = sub.add_parser("area", help="cell-area estimates (Figure 7)")
+    p.set_defaults(func=cmd_area)
+
+    p = sub.add_parser("liberty", help="NLDM characterization -> .lib")
+    p.add_argument("kinds", nargs="+", choices=KINDS)
+    _add_voltage_args(p)
+    p.add_argument("--output", "-o", default="-")
+    p.set_defaults(func=cmd_liberty)
+
+    p = sub.add_parser("vtc", help="DC transfer curve / noise margins")
+    p.add_argument("kind", choices=KINDS)
+    _add_voltage_args(p)
+    p.set_defaults(func=cmd_vtc)
+
+    p = sub.add_parser("pvt", help="process-corner x temperature report")
+    p.add_argument("kind", nargs="?", default="sstvs", choices=KINDS)
+    _add_voltage_args(p)
+    p.set_defaults(func=cmd_pvt)
+
+    p = sub.add_parser("vcd", help="dump a characterization transient")
+    p.add_argument("kind", choices=KINDS)
+    _add_voltage_args(p)
+    p.add_argument("--output", "-o", default="shifter.vcd")
+    p.set_defaults(func=cmd_vcd)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

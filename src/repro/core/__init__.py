@@ -1,0 +1,40 @@
+"""Core public API for the SS-TVS reproduction."""
+
+from repro.core.characterize import (
+    QuickDelays, StimulusPlan, characterize, quick_delays, run_stimulus,
+)
+from repro.core.metrics import (
+    METRIC_FIELDS, METRIC_LABELS, METRIC_UNITS, MetricStatistics,
+    ShifterMetrics, aggregate,
+)
+from repro.core.shifter import LevelShifter
+from repro.core.testbench import (
+    COMBINED, CVS, INVERTER, KINDS, SSTVS, SSVS_KHAN, SSVS_PURI,
+    InputStep, TestbenchProbes, build_testbench, dut_is_inverting,
+)
+
+__all__ = [
+    "LevelShifter",
+    "ShifterMetrics",
+    "MetricStatistics",
+    "aggregate",
+    "METRIC_FIELDS",
+    "METRIC_LABELS",
+    "METRIC_UNITS",
+    "StimulusPlan",
+    "characterize",
+    "quick_delays",
+    "run_stimulus",
+    "QuickDelays",
+    "InputStep",
+    "TestbenchProbes",
+    "build_testbench",
+    "dut_is_inverting",
+    "KINDS",
+    "SSTVS",
+    "COMBINED",
+    "INVERTER",
+    "SSVS_KHAN",
+    "SSVS_PURI",
+    "CVS",
+]

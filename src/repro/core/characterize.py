@@ -1,0 +1,285 @@
+"""Characterization flows: delay, switching power, leakage, function.
+
+The measurement methodology mirrors the paper's Section 4:
+
+* **Delays** are 50 %-to-50 % input-to-output delays, reported as the
+  *worst case over the input sequence*. The paper identifies the worst
+  case for the rising output: an input high phase too short to fully
+  charge the ctrl node, weakening M1's gate drive on the following
+  input fall. The default stimulus therefore exercises each output edge
+  twice — once after a long (fully settled) opposite phase and once
+  after a short one — and reports the maximum per edge.
+* **Switching power** is the average power drawn from the DUT's VDDO
+  supply over a fixed window following the input edge that causes the
+  output transition (driver and ideal sources excluded).
+* **Leakage** is the static VDDO supply current, read from the settled
+  tail of each logic state's quiet window (equivalent to a SPICE ``.op``
+  at that state, but guaranteed to be on the *reached* state of the
+  latch nodes rather than an arbitrary DC solution).
+* **Functionality** requires the output to settle to within tolerance
+  of the correct rail after every edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import ShifterMetrics
+from repro.core.testbench import (
+    InputStep, build_testbench, dut_is_inverting,
+)
+from repro.errors import AnalysisError, ConvergenceError, MeasurementError
+from repro.spice.newton import NewtonOptions, newton_solve
+from repro.spice.transient import Transient, TransientOptions
+from repro.spice.waveform import FALL, RISE, propagation_delay
+
+
+@dataclass(frozen=True)
+class StimulusPlan:
+    """Timing of the characterization stimulus.
+
+    The input pattern is::
+
+        reset pulse --(settle)--> RISE A --(hold)--> FALL B --(hold)-->
+        RISE C --(short)--> FALL D --(hold)--> end
+
+    The reset pulse (a brief input-high excursion early in the settle
+    phase) knocks every latch in the DUT into its driven state: a cold
+    DC operating point of a cross-coupled structure can legitimately
+    converge on a metastable middle solution, and the input-high state
+    is the one every shifter in this study drives unconditionally.
+
+    Edges A/C drive the output's falling transitions (inverting DUT),
+    edges B/D its rising ones; D follows a deliberately short high
+    phase (the paper's worst case for the rising delay).
+    """
+
+    settle: float = 4e-9
+    hold: float = 3e-9
+    short: float = 0.8e-9
+    reset_rise: float = 0.2e-9
+    reset_fall: float = 2.2e-9
+    power_window: float = 0.5e-9
+    leakage_window: float = 0.5e-9
+    #: Output must be within this fraction of the rail to count as
+    #: settled/correct.
+    level_tolerance: float = 0.08
+
+    @property
+    def t_rise_a(self) -> float:
+        return self.settle
+
+    @property
+    def t_fall_b(self) -> float:
+        return self.settle + self.hold
+
+    @property
+    def t_rise_c(self) -> float:
+        return self.settle + 2 * self.hold
+
+    @property
+    def t_fall_d(self) -> float:
+        return self.settle + 2 * self.hold + self.short
+
+    @property
+    def t_stop(self) -> float:
+        return self.t_fall_d + self.hold
+
+    def steps(self) -> list[InputStep]:
+        return [InputStep(self.reset_rise, True),
+                InputStep(self.reset_fall, False),
+                InputStep(self.t_rise_a, True),
+                InputStep(self.t_fall_b, False),
+                InputStep(self.t_rise_c, True),
+                InputStep(self.t_fall_d, False)]
+
+    def validate(self) -> None:
+        if min(self.settle, self.hold, self.short, self.reset_rise) <= 0:
+            raise AnalysisError("stimulus phases must be positive")
+        if not self.reset_rise < self.reset_fall < self.settle:
+            raise AnalysisError("reset pulse must fit inside settle phase")
+        if self.power_window >= self.hold:
+            raise AnalysisError("power window must fit inside hold phase")
+
+
+def _default_transient_options() -> TransientOptions:
+    return TransientOptions(h_max=50e-12, dv_max=0.05)
+
+
+def run_stimulus(pdk, kind: str, vddi: float, vddo: float,
+                 plan: StimulusPlan, load_cap: float = 1e-15,
+                 sizing=None, transient_options=None,
+                 driver_scale: float = 1.0):
+    """Build the bench, run the transient, return (result, probes)."""
+    plan.validate()
+    circuit, probes = build_testbench(pdk, kind, vddi, vddo, plan.steps(),
+                                      load_cap=load_cap, sizing=sizing,
+                                      driver_scale=driver_scale)
+    options = transient_options or _default_transient_options()
+    result = Transient(circuit, plan.t_stop, options).run()
+    return result, probes
+
+
+def characterize(pdk, kind: str, vddi: float, vddo: float,
+                 plan: StimulusPlan | None = None,
+                 load_cap: float = 1e-15, sizing=None,
+                 transient_options=None,
+                 driver_scale: float = 1.0) -> ShifterMetrics:
+    """Full six-metric characterization of one shifter at one corner.
+
+    A simulation that fails to converge (far outside the DUT's working
+    range, or a pathological Monte Carlo sample) is reported as a
+    non-functional sample with NaN metrics rather than raised.
+    """
+    plan = plan or StimulusPlan()
+    try:
+        result, probes = run_stimulus(pdk, kind, vddi, vddo, plan,
+                                      load_cap=load_cap, sizing=sizing,
+                                      transient_options=transient_options,
+                                      driver_scale=driver_scale)
+    except ConvergenceError:
+        nan = float("nan")
+        return ShifterMetrics(nan, nan, nan, nan, nan, nan,
+                              functional=False)
+    w_in = result.wave(probes.in_node)
+    w_out = result.wave(probes.out_node)
+    i_dut = result.supply_current(probes.dut_supply)
+
+    inverting = dut_is_inverting(kind)
+    v_in_mid = vddi / 2.0
+    v_out_mid = vddo / 2.0
+    out_rise_in_edge = FALL if inverting else RISE
+    out_fall_in_edge = RISE if inverting else FALL
+
+    def edge_delay(t_edge: float, in_edge: str, out_edge: str) -> float:
+        return propagation_delay(w_in, w_out, v_in_mid, v_out_mid,
+                                 in_edge, out_edge,
+                                 after=t_edge - 0.05e-9)
+
+    # Input rises at A/C, falls at B/D. Map to output edges by polarity.
+    in_rise_times = (plan.t_rise_a, plan.t_rise_c)
+    in_fall_times = (plan.t_fall_b, plan.t_fall_d)
+    out_rise_times = in_fall_times if inverting else in_rise_times
+    out_fall_times = in_rise_times if inverting else in_fall_times
+    try:
+        delay_rise = max(edge_delay(t, out_rise_in_edge, RISE)
+                         for t in out_rise_times)
+        delay_fall = max(edge_delay(t, out_fall_in_edge, FALL)
+                         for t in out_fall_times)
+    except MeasurementError:
+        # The output never crossed its midpoint: non-functional sample.
+        nan = float("nan")
+        return ShifterMetrics(nan, nan, nan, nan, nan, nan,
+                              functional=False)
+
+    def window_power(t_edge: float) -> float:
+        return vddo * i_dut.average(t_edge, t_edge + plan.power_window)
+
+    power_rise = window_power(out_rise_times[0])
+    power_fall = window_power(out_fall_times[0])
+
+    # Leakage: a true DC solve of the bench *seeded from the reached
+    # transient state* just before the next edge. Seeding pins the
+    # latch nodes to the state the circuit actually occupies (a cold DC
+    # solve of a latch can settle on the wrong branch), while the DC
+    # solve itself removes the slow subthreshold settling tails that
+    # would contaminate a windowed transient average. With an inverting
+    # DUT the output is HIGH while the input is low (the initial settle
+    # phase) and LOW while it is high (phase A..B).
+    def static_current(t_probe: float) -> float:
+        seed = result.state_at(t_probe)
+        # Small damping steps keep Newton from hopping between latch
+        # branches when the seed sits next to a regenerative loop.
+        try:
+            x = newton_solve(result.circuit, seed, time=t_probe,
+                             options=NewtonOptions(max_step_v=0.04,
+                                                   max_iterations=400))
+            return -float(x[result.circuit.branch_index(probes.dut_supply)])
+        except ConvergenceError:
+            # Fall back to the windowed transient average; slightly
+            # contaminated by slow settling tails but always defined.
+            return i_dut.average(t_probe - plan.leakage_window + 30e-12,
+                                 t_probe)
+
+    if inverting:
+        leakage_high = static_current(plan.t_rise_a - 30e-12)
+        leakage_low = static_current(plan.t_fall_b - 30e-12)
+    else:
+        leakage_low = static_current(plan.t_rise_a - 30e-12)
+        leakage_high = static_current(plan.t_fall_b - 30e-12)
+
+    tol = plan.level_tolerance * vddo
+    if inverting:
+        high_ok = w_out.value_at(plan.t_rise_a - 30e-12) >= vddo - tol
+        low_ok = abs(w_out.value_at(plan.t_fall_b - 30e-12)) <= tol
+        final_ok = w_out.value_at(plan.t_stop) >= vddo - tol
+    else:
+        low_ok = abs(w_out.value_at(plan.t_rise_a - 30e-12)) <= tol
+        high_ok = w_out.value_at(plan.t_fall_b - 30e-12) >= vddo - tol
+        final_ok = abs(w_out.value_at(plan.t_stop)) <= tol
+    functional = bool(high_ok and low_ok and final_ok)
+
+    return ShifterMetrics(
+        delay_rise=delay_rise, delay_fall=delay_fall,
+        power_rise=power_rise, power_fall=power_fall,
+        leakage_high=leakage_high, leakage_low=leakage_low,
+        functional=functional)
+
+
+@dataclass(frozen=True)
+class QuickDelays:
+    """Lightweight result for voltage-grid sweeps (Figures 8/9)."""
+
+    delay_rise: float
+    delay_fall: float
+    functional: bool
+
+
+def quick_delays(pdk, kind: str, vddi: float, vddo: float,
+                 settle: float = 3.0e-9, hold: float = 2.5e-9,
+                 sizing=None, transient_options=None) -> QuickDelays:
+    """One rise + one fall delay with a two-edge stimulus, for sweeps.
+
+    Uses the long-charge edges only (the paper's surface plots show the
+    delay trend across the voltage grid, not the worst-case sequence),
+    which keeps the 169-point grid sweeps tractable.
+    """
+    t_rise = settle
+    t_fall = settle + hold
+    t_stop = t_fall + hold
+    # Reset pulse first: see StimulusPlan on latch metastability. The
+    # pulse is long enough for the SS-TVS ctrl node to charge, so the
+    # recovery edge completes before the measurement window.
+    steps = [InputStep(0.2e-9, True), InputStep(1.8e-9, False),
+             InputStep(t_rise, True), InputStep(t_fall, False)]
+    circuit, probes = build_testbench(pdk, kind, vddi, vddo, steps,
+                                      sizing=sizing)
+    options = transient_options or _default_transient_options()
+    try:
+        result = Transient(circuit, t_stop, options).run()
+    except ConvergenceError:
+        return QuickDelays(float("nan"), float("nan"), False)
+
+    w_in = result.wave(probes.in_node)
+    w_out = result.wave(probes.out_node)
+    inverting = dut_is_inverting(kind)
+    try:
+        if inverting:
+            d_fall = propagation_delay(w_in, w_out, vddi / 2, vddo / 2,
+                                       RISE, FALL, after=t_rise - 0.05e-9)
+            d_rise = propagation_delay(w_in, w_out, vddi / 2, vddo / 2,
+                                       FALL, RISE, after=t_fall - 0.05e-9)
+        else:
+            d_rise = propagation_delay(w_in, w_out, vddi / 2, vddo / 2,
+                                       RISE, RISE, after=t_rise - 0.05e-9)
+            d_fall = propagation_delay(w_in, w_out, vddi / 2, vddo / 2,
+                                       FALL, FALL, after=t_fall - 0.05e-9)
+    except MeasurementError:
+        return QuickDelays(float("nan"), float("nan"), False)
+
+    tol = 0.08 * vddo
+    high_sample = t_rise - 30e-12 if inverting else t_fall + hold * 0.9
+    low_sample = t_fall - 30e-12 if inverting else t_rise - 30e-12
+    functional = (w_out.value_at(high_sample) >= vddo - tol
+                  and abs(w_out.value_at(low_sample)) <= tol)
+    return QuickDelays(d_rise, d_fall, bool(functional))

@@ -1,0 +1,62 @@
+"""High-level facade: :class:`LevelShifter`.
+
+This is the primary entry point for library users::
+
+    from repro.core import LevelShifter
+
+    shifter = LevelShifter("sstvs")
+    metrics = shifter.characterize(vddi=0.8, vddo=1.2)
+    print(metrics.pretty("SS-TVS, 0.8 V -> 1.2 V"))
+"""
+
+from __future__ import annotations
+
+from repro.core.characterize import (
+    QuickDelays, StimulusPlan, characterize, quick_delays,
+)
+from repro.core.metrics import ShifterMetrics
+from repro.core.testbench import KINDS
+from repro.errors import AnalysisError
+from repro.pdk import Pdk
+
+
+class LevelShifter:
+    """One shifter kind bound to a PDK and optional sizing.
+
+    Args:
+        kind: one of ``"sstvs"``, ``"combined"``, ``"inverter"``,
+            ``"ssvs_khan"``, ``"ssvs_puri"``, ``"cvs"``.
+        pdk: device factory; defaults to the nominal 27 C PDK.
+        sizing: optional :class:`~repro.cells.sstvs.SstvsSizing` for
+            the SS-TVS kind.
+    """
+
+    def __init__(self, kind: str, pdk: Pdk | None = None, sizing=None):
+        if kind not in KINDS:
+            raise AnalysisError(f"unknown shifter kind {kind!r}; "
+                                f"expected one of {KINDS}")
+        self.kind = kind
+        self.pdk = pdk or Pdk()
+        self.sizing = sizing
+
+    def characterize(self, vddi: float, vddo: float,
+                     plan: StimulusPlan | None = None,
+                     load_cap: float = 1e-15,
+                     transient_options=None) -> ShifterMetrics:
+        """Full six-metric characterization at one (VDDI, VDDO) pair."""
+        return characterize(self.pdk, self.kind, vddi, vddo, plan=plan,
+                            load_cap=load_cap, sizing=self.sizing,
+                            transient_options=transient_options)
+
+    def quick_delays(self, vddi: float, vddo: float, **kwargs) -> QuickDelays:
+        """Rise/fall delay + functionality with the short sweep stimulus."""
+        return quick_delays(self.pdk, self.kind, vddi, vddo,
+                            sizing=self.sizing, **kwargs)
+
+    def at_temperature(self, temperature_c: float) -> "LevelShifter":
+        """Same shifter on a PDK re-targeted to another temperature."""
+        return LevelShifter(self.kind, self.pdk.at_temperature(temperature_c),
+                            self.sizing)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<LevelShifter {self.kind} @ {self.pdk.temperature_c} C>"

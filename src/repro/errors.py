@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class. Subclasses distinguish netlist construction problems, parse
+errors, solver failures, and measurement failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CircuitError(ReproError):
+    """Invalid circuit construction (unknown node, duplicate device, ...)."""
+
+
+class NetlistError(ReproError):
+    """A SPICE netlist could not be lexed or parsed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class ConvergenceError(ReproError):
+    """The nonlinear solver failed to converge."""
+
+    def __init__(self, message: str, iterations: int | None = None,
+                 residual: float | None = None):
+        self.iterations = iterations
+        self.residual = residual
+        super().__init__(message)
+
+
+class AnalysisError(ReproError):
+    """An analysis was configured incorrectly or failed to complete."""
+
+
+class MeasurementError(ReproError):
+    """A waveform measurement could not be evaluated (no crossing, ...)."""
+
+
+class ModelError(ReproError):
+    """Invalid device-model parameters."""

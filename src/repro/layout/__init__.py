@@ -1,0 +1,19 @@
+"""Analytical layout-area models."""
+
+from repro.layout.area import (
+    AreaEstimate, DIFFUSION, OVERHEAD, PAPER_SSTVS_AREA,
+    PAPER_SSTVS_HEIGHT, PAPER_SSTVS_WIDTH, estimate_cell_area,
+    estimate_circuit_area, estimate_mosfet_area,
+)
+
+__all__ = [
+    "AreaEstimate",
+    "estimate_cell_area",
+    "estimate_circuit_area",
+    "estimate_mosfet_area",
+    "DIFFUSION",
+    "OVERHEAD",
+    "PAPER_SSTVS_AREA",
+    "PAPER_SSTVS_WIDTH",
+    "PAPER_SSTVS_HEIGHT",
+]

@@ -1,0 +1,42 @@
+"""Event-driven 4-value logic simulation with DVS-aware shifters."""
+
+from repro.logicsim.components import (
+    Component, SHIFTER_RULES, SupplyState, buffer, inverter,
+    level_shifter, nand2, nor2,
+)
+from repro.logicsim.simulator import LogicSimulator, NetChange
+from repro.logicsim.trace import (
+    toggle_count, unknown_time_fraction, write_digital_vcd,
+)
+from repro.logicsim.values import (
+    HIGHZ, ONE, UNKNOWN, VALUES, ZERO, logic_and, logic_nand, logic_nor,
+    logic_not, logic_or, logic_xor, resolve,
+)
+
+__all__ = [
+    "LogicSimulator",
+    "NetChange",
+    "write_digital_vcd",
+    "toggle_count",
+    "unknown_time_fraction",
+    "Component",
+    "SupplyState",
+    "inverter",
+    "buffer",
+    "nand2",
+    "nor2",
+    "level_shifter",
+    "SHIFTER_RULES",
+    "ZERO",
+    "ONE",
+    "UNKNOWN",
+    "HIGHZ",
+    "VALUES",
+    "logic_not",
+    "logic_and",
+    "logic_or",
+    "logic_nand",
+    "logic_nor",
+    "logic_xor",
+    "resolve",
+]

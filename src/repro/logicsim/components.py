@@ -1,0 +1,130 @@
+"""Behavioral components for the event-driven simulator.
+
+Besides ordinary gates, this includes **voltage-aware level-shifter
+models**: each shifter kind declares under which supply relationship it
+produces a valid output, so the SoC-level simulation shows *functional*
+corruption (X propagation) when a DVS event flips a domain pair served
+by a one-way shifter — the paper's motivation, demonstrated at the
+logic level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import AnalysisError
+from repro.logicsim.values import (
+    UNKNOWN, logic_nand, logic_nor, logic_not, validate,
+)
+
+
+@dataclass
+class Component:
+    """A behavioral element: output = evaluate(inputs)."""
+
+    name: str
+    inputs: tuple
+    output: str
+    delay: float
+    evaluate: Callable
+
+    def __post_init__(self):
+        if self.delay < 0:
+            raise AnalysisError(f"{self.name}: delay must be >= 0")
+        if self.output in self.inputs:
+            raise AnalysisError(f"{self.name}: combinational self-loop")
+
+
+def inverter(name: str, a: str, y: str, delay: float = 10e-12
+             ) -> Component:
+    return Component(name, (a,), y, delay,
+                     lambda values: logic_not(values[0]))
+
+
+def buffer(name: str, a: str, y: str, delay: float = 15e-12
+           ) -> Component:
+    return Component(name, (a,), y, delay,
+                     lambda values: logic_not(logic_not(values[0])))
+
+
+def nand2(name: str, a: str, b: str, y: str, delay: float = 15e-12
+          ) -> Component:
+    return Component(name, (a, b), y, delay,
+                     lambda values: logic_nand(*values))
+
+
+def nor2(name: str, a: str, b: str, y: str, delay: float = 15e-12
+         ) -> Component:
+    return Component(name, (a, b), y, delay,
+                     lambda values: logic_nor(*values))
+
+
+@dataclass
+class SupplyState:
+    """Mutable per-domain supply voltages, shared with shifter models."""
+
+    voltages: dict = field(default_factory=dict)
+
+    def set(self, domain: str, voltage: float) -> None:
+        if voltage <= 0:
+            raise AnalysisError("supply voltage must be positive")
+        self.voltages[domain] = voltage
+
+    def get(self, domain: str) -> float:
+        try:
+            return self.voltages[domain]
+        except KeyError:
+            raise AnalysisError(f"unknown domain {domain!r}") from None
+
+
+#: Behavioral validity rules per shifter kind: given (vddi, vddo),
+#: does the cell produce a clean output? The margins mirror the
+#: circuit-level findings: an inverter corrupts once its input high
+#: level sits a threshold below its supply; the one-way SS-VS family
+#: breaks at low supply; the SS-TVS is valid everywhere in the range.
+def _inverter_valid(vddi: float, vddo: float) -> bool:
+    return vddi >= vddo - 0.35
+
+
+def _ssvs_valid(vddi: float, vddo: float) -> bool:
+    return vddo >= 0.95 or vddi <= vddo
+
+
+def _true_valid(vddi: float, vddo: float) -> bool:
+    return True
+
+
+SHIFTER_RULES = {
+    "inverter": _inverter_valid,
+    "ssvs": _ssvs_valid,
+    "cvs": _true_valid,       # dual supply: always valid, high cost
+    "sstvs": _true_valid,
+}
+
+
+def level_shifter(name: str, kind: str, a: str, y: str,
+                  supplies: SupplyState, in_domain: str,
+                  out_domain: str, delay: float = 50e-12,
+                  inverting: bool = True) -> Component:
+    """Voltage-aware level-shifter model.
+
+    Emits the (inverted) input when the current supply relationship is
+    within the cell's validity rule, X otherwise.
+    """
+    if kind not in SHIFTER_RULES:
+        raise AnalysisError(f"unknown shifter kind {kind!r}; expected "
+                            f"one of {sorted(SHIFTER_RULES)}")
+    rule = SHIFTER_RULES[kind]
+
+    def evaluate(values: Sequence[str]) -> str:
+        value = validate(values[0])
+        if not rule(supplies.get(in_domain), supplies.get(out_domain)):
+            return UNKNOWN
+        return logic_not(value) if inverting else \
+            logic_not(logic_not(value))
+
+    component = Component(name, (a,), y, delay, evaluate)
+    component.shifter_kind = kind
+    component.domains = (in_domain, out_domain)
+    return component

@@ -1,0 +1,75 @@
+"""Digital VCD export and activity statistics for logic simulations."""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+from repro.logicsim.simulator import LogicSimulator
+from repro.spice.vcd import _identifier, _sanitize
+
+#: VCD value codes per logic value.
+_VCD_CODES = {"0": "0", "1": "1", "x": "x", "z": "z"}
+
+
+def write_digital_vcd(sim: LogicSimulator, nets: list,
+                      timescale: str = "1ps",
+                      comment: str = "repro logicsim") -> str:
+    """Serialize recorded net changes as a (digital) VCD dump."""
+    if not nets:
+        raise AnalysisError("need at least one net to dump")
+    scale = {"1fs": 1e-15, "1ps": 1e-12, "1ns": 1e-9,
+             "1us": 1e-6}.get(timescale)
+    if scale is None:
+        raise AnalysisError(f"unsupported timescale {timescale!r}")
+
+    idents = {net: _identifier(i) for i, net in enumerate(nets)}
+    lines = [f"$comment {comment} $end",
+             f"$timescale {timescale} $end",
+             "$scope module logicsim $end"]
+    for net in nets:
+        lines.append(f"$var wire 1 {idents[net]} {_sanitize(net)} $end")
+    lines.append("$upscope $end")
+    lines.append("$enddefinitions $end")
+
+    events = []
+    for net in nets:
+        for change in sim.changes(net):
+            events.append((change.time, net, change.value))
+    events.sort(key=lambda e: e[0])
+
+    last_tick = None
+    for time, net, value in events:
+        tick = int(round(time / scale))
+        if tick != last_tick:
+            lines.append(f"#{tick}")
+            last_tick = tick
+        lines.append(f"{_VCD_CODES[value]}{idents[net]}")
+    return "\n".join(lines) + "\n"
+
+
+def toggle_count(sim: LogicSimulator, net: str) -> int:
+    """Number of clean 0<->1 transitions on a net."""
+    count = 0
+    previous = None
+    for change in sim.changes(net):
+        if change.value in ("0", "1"):
+            if previous is not None and change.value != previous:
+                count += 1
+            previous = change.value
+    return count
+
+
+def unknown_time_fraction(sim: LogicSimulator, net: str,
+                          t_stop: float) -> float:
+    """Fraction of [0, t_stop] the net spent at X."""
+    if t_stop <= 0:
+        raise AnalysisError("t_stop must be positive")
+    changes = sim.changes(net)
+    if not changes:
+        return 0.0
+    total_x = 0.0
+    for current, nxt in zip(changes, changes[1:]):
+        if current.value == "x":
+            total_x += nxt.time - current.time
+    if changes[-1].value == "x":
+        total_x += t_stop - changes[-1].time
+    return min(total_x / t_stop, 1.0)

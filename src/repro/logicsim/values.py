@@ -1,0 +1,78 @@
+"""Four-valued logic: 0, 1, X (unknown), Z (undriven).
+
+The value algebra follows IEEE-1164-style pessimism: any gate seeing an
+X or Z on a controlling input emits X unless another input forces the
+output (e.g. a 0 on a NAND input forces 1 regardless of the rest).
+"""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+
+ZERO = "0"
+ONE = "1"
+UNKNOWN = "x"
+HIGHZ = "z"
+
+VALUES = (ZERO, ONE, UNKNOWN, HIGHZ)
+
+
+def validate(value: str) -> str:
+    value = str(value).lower()
+    if value not in VALUES:
+        raise AnalysisError(f"not a logic value: {value!r}")
+    return value
+
+
+def logic_not(value: str) -> str:
+    value = validate(value)
+    if value == ZERO:
+        return ONE
+    if value == ONE:
+        return ZERO
+    return UNKNOWN
+
+
+def logic_and(*values: str) -> str:
+    values = [validate(v) for v in values]
+    if ZERO in values:
+        return ZERO
+    if all(v == ONE for v in values):
+        return ONE
+    return UNKNOWN
+
+
+def logic_or(*values: str) -> str:
+    values = [validate(v) for v in values]
+    if ONE in values:
+        return ONE
+    if all(v == ZERO for v in values):
+        return ZERO
+    return UNKNOWN
+
+
+def logic_nand(*values: str) -> str:
+    return logic_not(logic_and(*values))
+
+
+def logic_nor(*values: str) -> str:
+    return logic_not(logic_or(*values))
+
+
+def logic_xor(a: str, b: str) -> str:
+    a, b = validate(a), validate(b)
+    if a in (UNKNOWN, HIGHZ) or b in (UNKNOWN, HIGHZ):
+        return UNKNOWN
+    return ONE if a != b else ZERO
+
+
+def resolve(a: str, b: str) -> str:
+    """Wired resolution of two drivers (Z yields; conflicts are X)."""
+    a, b = validate(a), validate(b)
+    if a == HIGHZ:
+        return b
+    if b == HIGHZ:
+        return a
+    if a == b:
+        return a
+    return UNKNOWN

@@ -1,0 +1,7 @@
+"""SPICE netlist I/O: deck parsing and writing."""
+
+from repro.netlist.lexer import Statement, lex
+from repro.netlist.parser import DeckParser, parse_deck
+from repro.netlist.writer import write_deck
+
+__all__ = ["Statement", "lex", "DeckParser", "parse_deck", "write_deck"]

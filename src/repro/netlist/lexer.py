@@ -1,0 +1,82 @@
+"""Line-level lexing of SPICE decks.
+
+SPICE decks are line-oriented: ``*`` starts a comment line, ``$`` or
+``;`` starts a trailing comment, and a leading ``+`` continues the
+previous logical line. The lexer resolves all of that and yields
+:class:`Statement` objects carrying the original line number for error
+reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NetlistError
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One logical netlist statement."""
+
+    line: int       #: 1-based line number of the first physical line
+    tokens: tuple   #: whitespace-split tokens, original case preserved
+
+    @property
+    def keyword(self) -> str:
+        return self.tokens[0].lower()
+
+
+def _strip_trailing_comment(text: str) -> str:
+    for marker in ("$", ";"):
+        index = text.find(marker)
+        if index >= 0:
+            text = text[:index]
+    return text
+
+
+def lex(source: str) -> list[Statement]:
+    """Split a deck into logical statements.
+
+    The first line of a SPICE deck is a title (ignored here only if it
+    does not look like a statement — callers pass decks with or without
+    titles; :mod:`repro.netlist.parser` decides).
+    """
+    statements: list[Statement] = []
+    pending_tokens: list[str] = []
+    pending_line = 0
+
+    def flush() -> None:
+        nonlocal pending_tokens
+        if pending_tokens:
+            statements.append(Statement(pending_line, tuple(pending_tokens)))
+            pending_tokens = []
+
+    for number, raw in enumerate(source.splitlines(), start=1):
+        text = _strip_trailing_comment(raw).strip()
+        if not text or text.startswith("*"):
+            continue
+        if text.startswith("+"):
+            if not pending_tokens:
+                raise NetlistError("continuation line with nothing to "
+                                   "continue", line=number)
+            pending_tokens.extend(text[1:].split())
+            continue
+        flush()
+        pending_line = number
+        pending_tokens = text.split()
+    flush()
+    return statements
+
+
+def split_parens_args(tokens: list[str]) -> list[str]:
+    """Normalize tokens so parenthesized argument lists split cleanly.
+
+    ``PULSE(0 1 1n ...)`` arrives from the whitespace split as
+    ``["PULSE(0", "1", ..., "...)"]``; this helper re-splits on
+    parentheses so callers see ``["PULSE", "0", "1", ...]``.
+    """
+    out: list[str] = []
+    for token in tokens:
+        piece = token.replace("(", " ").replace(")", " ").replace(",", " ")
+        out.extend(p for p in piece.split() if p)
+    return out

@@ -1,0 +1,169 @@
+"""A SPICE ``.measure``-style mini-language over transient results.
+
+Supports the measurement forms the reproduction's decks need:
+
+* ``TRIG``/``TARG`` delay measurements::
+
+      .measure tran tpd trig v(in) val=0.4 rise=1 targ v(out) val=0.6 fall=1
+
+* windowed aggregates::
+
+      .measure tran pavg avg v(out) from=1n to=2n
+      .measure tran q integ i(vdd) from=0 to=5n
+      .measure tran vmax max v(out) from=0 to=5n
+      .measure tran vmin min v(out)
+
+* point samples::
+
+      .measure tran vfinal find v(out) at=4.5n
+
+Expressions ``v(node)`` read node voltages; ``i(vsrc)`` reads a voltage
+source's branch current. Statement parsing reuses the netlist lexer, so
+continuation lines and comments behave as in decks.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import NetlistError
+from repro.netlist.lexer import lex
+from repro.spice.waveform import FALL, RISE, Waveform
+from repro.units import parse_value
+
+_SIGNAL_RE = re.compile(r"^(v|i)\((.+)\)$", re.IGNORECASE)
+
+
+def _signal(result, expr: str) -> Waveform:
+    match = _SIGNAL_RE.match(expr.strip())
+    if match is None:
+        raise NetlistError(f"cannot parse signal expression {expr!r}")
+    kind, name = match.group(1).lower(), match.group(2)
+    if kind == "v":
+        return result.wave(name)
+    return result.branch_current(name)
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """A parsed .measure statement, evaluatable against a result."""
+
+    name: str
+    kind: str            #: 'delay', 'avg', 'integ', 'max', 'min', 'find'
+    tokens: tuple
+
+    def evaluate(self, result) -> float:
+        if self.kind == "delay":
+            return self._delay(result)
+        if self.kind in ("avg", "integ", "max", "min"):
+            return self._aggregate(result)
+        if self.kind == "find":
+            return self._find(result)
+        raise NetlistError(f"unknown measurement kind {self.kind!r}")
+
+    # -- evaluators -------------------------------------------------------
+
+    def _kv(self) -> dict[str, str]:
+        pairs = {}
+        for token in self.tokens:
+            if "=" in token:
+                key, value = token.split("=", 1)
+                pairs[key.lower()] = value
+        return pairs
+
+    def _delay(self, result) -> float:
+        # tokens: trig <sig> val=x rise|fall=n targ <sig> val=y rise|fall=m
+        tokens = [t.lower() for t in self.tokens]
+        try:
+            trig_at = tokens.index("trig")
+            targ_at = tokens.index("targ")
+        except ValueError:
+            raise NetlistError(f"{self.name}: delay needs TRIG and TARG"
+                               ) from None
+        trig_part = self.tokens[trig_at + 1:targ_at]
+        targ_part = self.tokens[targ_at + 1:]
+
+        def edge_spec(part):
+            signal = _signal(result, part[0])
+            value = None
+            edge, occurrence = RISE, 1
+            for token in part[1:]:
+                key, _, raw = token.partition("=")
+                key = key.lower()
+                if key == "val":
+                    value = parse_value(raw)
+                elif key in (RISE, FALL):
+                    edge = key
+                    occurrence = int(parse_value(raw)) if raw else 1
+                elif key == "cross":
+                    edge = "both"
+                    occurrence = int(parse_value(raw)) if raw else 1
+                else:
+                    raise NetlistError(
+                        f"{self.name}: unknown delay key {key!r}")
+            if value is None:
+                raise NetlistError(f"{self.name}: missing val=")
+            return signal, value, edge, occurrence
+
+        trig_sig, trig_val, trig_edge, trig_n = edge_spec(trig_part)
+        targ_sig, targ_val, targ_edge, targ_n = edge_spec(targ_part)
+        t_trig = trig_sig.cross(trig_val, trig_edge, occurrence=trig_n)
+        t_targ = targ_sig.cross(targ_val, targ_edge, occurrence=targ_n,
+                                after=t_trig)
+        return t_targ - t_trig
+
+    def _window(self, signal: Waveform) -> tuple[float, float]:
+        kv = self._kv()
+        t0 = parse_value(kv["from"]) if "from" in kv else signal.t_start
+        t1 = parse_value(kv["to"]) if "to" in kv else signal.t_stop
+        return t0, t1
+
+    def _aggregate(self, result) -> float:
+        signal = _signal(result, self.tokens[0])
+        t0, t1 = self._window(signal)
+        clipped = signal.clip(t0, t1)
+        if self.kind == "avg":
+            return clipped.average()
+        if self.kind == "integ":
+            return clipped.integral()
+        if self.kind == "max":
+            return clipped.maximum()
+        return clipped.minimum()
+
+    def _find(self, result) -> float:
+        signal = _signal(result, self.tokens[0])
+        kv = self._kv()
+        if "at" not in kv:
+            raise NetlistError(f"{self.name}: FIND needs at=")
+        return signal.value_at(parse_value(kv["at"]))
+
+
+def parse_measures(text: str) -> list[Measurement]:
+    """Parse every ``.measure`` statement in ``text``."""
+    measures = []
+    for stmt in lex(text):
+        if stmt.keyword != ".measure":
+            continue
+        tokens = list(stmt.tokens[1:])
+        if tokens and tokens[0].lower() in ("tran", "dc", "ac"):
+            tokens = tokens[1:]
+        if len(tokens) < 2:
+            raise NetlistError(".measure needs a name and a spec",
+                               line=stmt.line)
+        name = tokens[0]
+        rest = tokens[1:]
+        head = rest[0].lower()
+        if head == "trig":
+            measures.append(Measurement(name, "delay", tuple(rest)))
+        elif head in ("avg", "integ", "max", "min", "find"):
+            measures.append(Measurement(name, head, tuple(rest[1:])))
+        else:
+            raise NetlistError(f"unsupported measurement {head!r}",
+                               line=stmt.line)
+    return measures
+
+
+def run_measures(text: str, result) -> dict[str, float]:
+    """Parse and evaluate all measures against a transient result."""
+    return {m.name: m.evaluate(result) for m in parse_measures(text)}

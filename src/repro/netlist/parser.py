@@ -1,0 +1,293 @@
+"""SPICE-deck parser producing :class:`repro.spice.Circuit` objects.
+
+Supported subset (sufficient for the reproduction's cells and tests):
+
+* elements: ``R`` resistor, ``C`` capacitor, ``L`` inductor, ``V``/``I``
+  sources with ``DC``, ``PULSE``, ``PWL`` and ``SIN`` shapes, ``E`` VCVS,
+  ``G`` VCCS, ``D`` diode, ``M`` four-terminal MOSFET, ``X`` subcircuit
+  instance;
+* ``.model <name> nmos|pmos (key=value ...)`` cards mapped onto
+  :class:`~repro.spice.devices.mosfet.MosfetParams` (unspecified keys
+  default to the PTM-90 nominal card of that polarity);
+* ``.subckt <name> <ports...>`` / ``.ends`` definitions, flattened at
+  instantiation with dotted name prefixes;
+* ``.end`` and the conventional title line (ignored).
+
+Numbers accept SPICE magnitude suffixes via :func:`repro.units.parse_value`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from repro.errors import NetlistError
+from repro.netlist.lexer import Statement, lex, split_parens_args
+from repro.pdk.ptm90 import make_card
+from repro.spice import Circuit
+from repro.spice.devices import (
+    Capacitor, CurrentSource, Diode, Inductor, Mosfet, Pulse, Pwl,
+    Resistor, Sin, Vccs, Vcvs, VoltageSource,
+)
+from repro.spice.devices.mosfet import MosfetParams
+from repro.units import parse_value
+
+#: MosfetParams fields settable from a .model card.
+_MODEL_KEYS = {f.name for f in fields(MosfetParams)} - {"name", "polarity"}
+
+
+@dataclass
+class SubcktDef:
+    name: str
+    ports: list[str]
+    body: list[Statement] = field(default_factory=list)
+
+
+class DeckParser:
+    """Single-use parser for one deck."""
+
+    def __init__(self, source: str, title_line: bool = True):
+        if title_line:
+            # SPICE convention: the first physical line is a title.
+            # Blank it (rather than dropping it) so line numbers in
+            # error messages still match the original text.
+            head, _, tail = source.partition("\n")
+            source = "\n" + tail
+        self.statements = lex(source)
+        self.models: dict[str, MosfetParams] = {}
+        self.subckts: dict[str, SubcktDef] = {}
+
+    # -- top level --------------------------------------------------------
+
+    def parse(self, title: str = "netlist") -> Circuit:
+        circuit = Circuit(title)
+        body = self._collect_definitions(self.statements)
+        for stmt in body:
+            self._element(circuit, stmt, prefix="", port_map={})
+        return circuit
+
+    def _collect_definitions(self, statements) -> list[Statement]:
+        """Extract .model/.subckt definitions; return instance lines."""
+        body: list[Statement] = []
+        current: SubcktDef | None = None
+        for stmt in statements:
+            keyword = stmt.keyword
+            if keyword == ".subckt":
+                if current is not None:
+                    raise NetlistError("nested .subckt is not supported",
+                                       line=stmt.line)
+                if len(stmt.tokens) < 2:
+                    raise NetlistError(".subckt needs a name",
+                                       line=stmt.line)
+                current = SubcktDef(stmt.tokens[1].lower(),
+                                    [t.lower() for t in stmt.tokens[2:]])
+                continue
+            if keyword == ".ends":
+                if current is None:
+                    raise NetlistError(".ends without .subckt",
+                                       line=stmt.line)
+                self.subckts[current.name] = current
+                current = None
+                continue
+            if current is not None:
+                current.body.append(stmt)
+                continue
+            if keyword == ".model":
+                self._model(stmt)
+                continue
+            if keyword == ".end":
+                break
+            if keyword.startswith("."):
+                raise NetlistError(f"unsupported directive {stmt.tokens[0]}",
+                                   line=stmt.line)
+            body.append(stmt)
+        if current is not None:
+            raise NetlistError(f".subckt {current.name} missing .ends",
+                               line=current.body[0].line if current.body
+                               else 0)
+        return body
+
+    # -- definitions ------------------------------------------------------
+
+    def _model(self, stmt: Statement) -> None:
+        tokens = split_parens_args(list(stmt.tokens))
+        if len(tokens) < 3:
+            raise NetlistError(".model needs a name and a type",
+                               line=stmt.line)
+        name = tokens[1].lower()
+        mtype = tokens[2].lower()
+        if mtype not in ("nmos", "pmos"):
+            raise NetlistError(f"unsupported model type {mtype!r}",
+                               line=stmt.line)
+        polarity = mtype[0]
+        base = make_card(polarity)
+        overrides = {}
+        for token in tokens[3:]:
+            if "=" not in token:
+                raise NetlistError(f"malformed model parameter {token!r}",
+                                   line=stmt.line)
+            key, value = token.split("=", 1)
+            key = key.lower()
+            if key not in _MODEL_KEYS:
+                raise NetlistError(f"unknown model parameter {key!r}",
+                                   line=stmt.line)
+            overrides[key] = parse_value(value)
+        self.models[name] = base.with_overrides(name=name, **overrides)
+
+    # -- elements ---------------------------------------------------------
+
+    def _element(self, circuit: Circuit, stmt: Statement, prefix: str,
+                 port_map: dict[str, str]) -> None:
+        head = stmt.tokens[0]
+        kind = head[0].lower()
+        name = prefix + head.lower()
+
+        def node(token: str) -> str:
+            low = token.lower()
+            if low in port_map:
+                return port_map[low]
+            if low in ("0", "gnd"):
+                return "0"
+            return prefix + low if prefix else low
+
+        tokens = list(stmt.tokens)
+        if kind == "r":
+            self._need(stmt, 4)
+            circuit.add(Resistor(name, node(tokens[1]), node(tokens[2]),
+                                 parse_value(tokens[3])))
+        elif kind == "c":
+            self._need(stmt, 4)
+            circuit.add(Capacitor(name, node(tokens[1]), node(tokens[2]),
+                                  parse_value(tokens[3])))
+        elif kind in ("v", "i"):
+            shape = self._source_shape(stmt, tokens[3:])
+            cls = VoltageSource if kind == "v" else CurrentSource
+            circuit.add(cls(name, node(tokens[1]), node(tokens[2]),
+                            shape=shape))
+        elif kind == "l":
+            self._need(stmt, 4)
+            circuit.add(Inductor(name, node(tokens[1]), node(tokens[2]),
+                                 parse_value(tokens[3])))
+        elif kind == "e":
+            self._need(stmt, 6)
+            circuit.add(Vcvs(name, node(tokens[1]), node(tokens[2]),
+                             node(tokens[3]), node(tokens[4]),
+                             parse_value(tokens[5])))
+        elif kind == "g":
+            self._need(stmt, 6)
+            circuit.add(Vccs(name, node(tokens[1]), node(tokens[2]),
+                             node(tokens[3]), node(tokens[4]),
+                             parse_value(tokens[5])))
+        elif kind == "d":
+            self._need(stmt, 3)
+            circuit.add(Diode(name, node(tokens[1]), node(tokens[2])))
+        elif kind == "m":
+            self._mosfet(circuit, stmt, name, node)
+        elif kind == "x":
+            self._instance(circuit, stmt, name, node)
+        else:
+            raise NetlistError(f"unsupported element {head!r}",
+                               line=stmt.line)
+
+    @staticmethod
+    def _need(stmt: Statement, count: int) -> None:
+        if len(stmt.tokens) < count:
+            raise NetlistError(
+                f"{stmt.tokens[0]}: expected at least {count - 1} fields",
+                line=stmt.line)
+
+    def _source_shape(self, stmt: Statement, tokens: list[str]):
+        if not tokens:
+            raise NetlistError("source needs a value or waveform",
+                               line=stmt.line)
+        parts = split_parens_args(tokens)
+        keyword = parts[0].lower()
+        if keyword == "dc":
+            parts = parts[1:]
+            keyword = parts[0].lower() if parts else ""
+        if keyword == "pulse":
+            args = [parse_value(p) for p in parts[1:]]
+            if len(args) < 6:
+                raise NetlistError("PULSE needs v1 v2 td tr tf pw [per]",
+                                   line=stmt.line)
+            period = args[6] if len(args) > 6 else None
+            return Pulse(args[0], args[1], args[2], args[3], args[4],
+                         args[5], period)
+        if keyword == "pwl":
+            args = [parse_value(p) for p in parts[1:]]
+            if len(args) < 2 or len(args) % 2:
+                raise NetlistError("PWL needs time/value pairs",
+                                   line=stmt.line)
+            pairs = list(zip(args[0::2], args[1::2]))
+            return Pwl(pairs)
+        if keyword == "sin":
+            args = [parse_value(p) for p in parts[1:]]
+            if len(args) < 3:
+                raise NetlistError("SIN needs offset amplitude freq",
+                                   line=stmt.line)
+            return Sin(*args[:5])
+        # Plain DC value.
+        from repro.spice.devices.sources import Dc
+        return Dc(parse_value(parts[0]))
+
+    def _mosfet(self, circuit: Circuit, stmt: Statement, name: str,
+                node) -> None:
+        self._need(stmt, 6)
+        tokens = list(stmt.tokens)
+        model_name = tokens[5].lower()
+        if model_name not in self.models:
+            raise NetlistError(f"unknown MOSFET model {model_name!r}",
+                               line=stmt.line)
+        w = l = None
+        m = 1
+        for token in tokens[6:]:
+            if "=" not in token:
+                raise NetlistError(f"malformed parameter {token!r}",
+                                   line=stmt.line)
+            key, value = token.split("=", 1)
+            key = key.lower()
+            if key == "w":
+                w = parse_value(value)
+            elif key == "l":
+                l = parse_value(value)
+            elif key == "m":
+                m = int(parse_value(value))
+            else:
+                raise NetlistError(f"unknown MOSFET parameter {key!r}",
+                                   line=stmt.line)
+        if w is None or l is None:
+            raise NetlistError("MOSFET requires W= and L=", line=stmt.line)
+        circuit.add(Mosfet(name, node(tokens[1]), node(tokens[2]),
+                           node(tokens[3]), node(tokens[4]),
+                           self.models[model_name], w, l, m=m))
+
+    def _instance(self, circuit: Circuit, stmt: Statement, name: str,
+                  node) -> None:
+        tokens = list(stmt.tokens)
+        if len(tokens) < 3:
+            raise NetlistError("subcircuit instance needs ports and a name",
+                               line=stmt.line)
+        subckt_name = tokens[-1].lower()
+        if subckt_name not in self.subckts:
+            raise NetlistError(f"unknown subcircuit {subckt_name!r}",
+                               line=stmt.line)
+        definition = self.subckts[subckt_name]
+        actuals = [node(t) for t in tokens[1:-1]]
+        if len(actuals) != len(definition.ports):
+            raise NetlistError(
+                f"{subckt_name}: expected {len(definition.ports)} ports, "
+                f"got {len(actuals)}", line=stmt.line)
+        port_map = dict(zip(definition.ports, actuals))
+        inner_prefix = name + "."
+        for inner in definition.body:
+            self._element(circuit, inner, inner_prefix, port_map)
+
+
+def parse_deck(source: str, title: str = "netlist",
+               title_line: bool = False) -> Circuit:
+    """Parse deck text into a :class:`Circuit`.
+
+    Args:
+        title_line: set True when ``source`` begins with a SPICE title
+            line that must be skipped.
+    """
+    return DeckParser(source, title_line=title_line).parse(title)

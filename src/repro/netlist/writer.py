@@ -1,0 +1,121 @@
+"""Export a :class:`repro.spice.Circuit` as a SPICE deck.
+
+The writer emits a deck the bundled parser can read back (round-trip
+tested), and that standard simulators accept for the supported element
+subset. MOSFET model cards are deduplicated by parameter identity.
+"""
+
+from __future__ import annotations
+
+from repro.spice import Circuit
+from repro.spice.devices import (
+    Capacitor, CurrentSource, Diode, Inductor, Mosfet, Resistor, Vccs,
+    Vcvs, VoltageSource,
+)
+from repro.spice.devices.sources import Dc, Pulse, Pwl, Sin
+from repro.units import format_eng
+
+
+def _fmt(value: float) -> str:
+    return format_eng(value, digits=6)
+
+
+def _shape_text(shape) -> str:
+    if isinstance(shape, Dc):
+        return f"DC {_fmt(shape.dc)}"
+    if isinstance(shape, Pulse):
+        return ("PULSE(" + " ".join(_fmt(v) for v in (
+            shape.v1, shape.v2, shape.delay, shape.rise, shape.fall,
+            shape.width, shape.period)) + ")")
+    if isinstance(shape, Pwl):
+        pairs = " ".join(f"{_fmt(t)} {_fmt(v)}"
+                         for t, v in zip(shape.times, shape.values))
+        return f"PWL({pairs})"
+    if isinstance(shape, Sin):
+        return ("SIN(" + " ".join(_fmt(v) for v in (
+            shape.offset, shape.amplitude, shape.frequency, shape.delay,
+            shape.damping)) + ")")
+    raise TypeError(f"unsupported source shape {type(shape).__name__}")
+
+
+def _sanitize(name: str) -> str:
+    """SPICE node/instance names: replace separators with underscores."""
+    return name.replace("#", "_").replace(".", "_")
+
+
+def _element(letter: str, name: str) -> str:
+    """Instance name with the SPICE type letter, not doubling it."""
+    if name and name[0].lower() == letter:
+        return name
+    return letter + name
+
+
+def write_deck(circuit: Circuit, include_title: bool = True) -> str:
+    """Serialize ``circuit`` to deck text.
+
+    MOSFET auxiliary parasitics (names containing ``#``) are skipped —
+    they are re-derived from the model card on re-parse, so emitting
+    them would double-count capacitance.
+    """
+    lines: list[str] = []
+    if include_title:
+        lines.append(f"* {circuit.title}")
+    model_cards: dict[int, str] = {}
+    model_lines: list[str] = []
+    body: list[str] = []
+
+    for device in circuit:
+        if "#" in device.name:
+            continue  # auto-generated parasitic of a MOSFET
+        name = _sanitize(device.name)
+        nodes = [_sanitize(n) if n != "0" else "0" for n in device.nodes]
+        if isinstance(device, Resistor):
+            body.append(f"{_element('r', name)} {nodes[0]} {nodes[1]} "
+                        f"{_fmt(device.resistance)}")
+        elif isinstance(device, Capacitor):
+            body.append(f"{_element('c', name)} {nodes[0]} {nodes[1]} "
+                        f"{_fmt(device.capacitance)}")
+        elif isinstance(device, VoltageSource):
+            body.append(f"{_element('v', name)} {nodes[0]} {nodes[1]} "
+                        f"{_shape_text(device.shape)}")
+        elif isinstance(device, CurrentSource):
+            body.append(f"{_element('i', name)} {nodes[0]} {nodes[1]} "
+                        f"{_shape_text(device.shape)}")
+        elif isinstance(device, Inductor):
+            body.append(f"{_element('l', name)} {nodes[0]} {nodes[1]} "
+                        f"{_fmt(device.inductance)}")
+        elif isinstance(device, Vcvs):
+            body.append(f"{_element('e', name)} " + " ".join(nodes)
+                        + f" {_fmt(device.gain)}")
+        elif isinstance(device, Vccs):
+            body.append(f"{_element('g', name)} " + " ".join(nodes)
+                        + f" {_fmt(device.gm)}")
+        elif isinstance(device, Diode):
+            body.append(f"{_element('d', name)} {nodes[0]} {nodes[1]}")
+        elif isinstance(device, Mosfet):
+            card = device.params
+            key = id(card)
+            if key not in model_cards:
+                model_name = f"mod{len(model_cards)}_{card.name}"
+                model_cards[key] = _sanitize(model_name)
+                mtype = "nmos" if card.polarity == "n" else "pmos"
+                params = " ".join(
+                    f"{field}={_fmt(getattr(card, field))}"
+                    for field in ("vto", "n_slope", "u0", "tox",
+                                  "lambda_clm", "gamma", "phi",
+                                  "eta_dibl", "cgdo", "cgso", "cj",
+                                  "ldiff", "gate_leak", "temperature"))
+                model_lines.append(
+                    f".model {model_cards[key]} {mtype} ({params})")
+            body.append(f"{_element('m', name)} {nodes[0]} {nodes[1]} {nodes[2]} "
+                        f"{nodes[3]} {model_cards[key]} "
+                        f"W={_fmt(device.w)} L={_fmt(device.l)} "
+                        f"M={device.m}")
+        else:
+            raise TypeError(
+                f"cannot serialize device type {type(device).__name__}")
+
+    lines.extend(model_lines)
+    lines.extend(body)
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,12 @@
+"""Sizing optimization (the paper's delay/leakage tradeoff flow)."""
+
+from repro.opt.sizing import (
+    EvaluationRecord, Objective, SizingOptimizer, SizingResult,
+)
+
+__all__ = [
+    "Objective",
+    "SizingOptimizer",
+    "SizingResult",
+    "EvaluationRecord",
+]

@@ -1,0 +1,183 @@
+"""Device-sizing optimization for the SS-TVS.
+
+The paper: "the devices of our SS-TVS were sized considering the
+tradeoff between speed and leakage power". This module reproduces that
+flow as a coordinate-descent optimizer over the
+:class:`~repro.cells.sstvs.SstvsSizing` knobs with a weighted
+delay/leakage/area objective, evaluated by full characterization at one
+or more (VDDI, VDDO) pairs. Non-functional candidates are rejected
+outright (infinite cost), so the optimizer cannot trade correctness for
+speed.
+
+Coordinate descent with a geometric step and shrink-on-failure is crude
+but matches the manual sizing practice the paper describes, and every
+evaluation is an expensive transient — gradient-free frugality matters
+more than asymptotic convergence here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.analysis.sensitivity import SIZING_KNOBS
+from repro.cells.sstvs import SstvsSizing
+from repro.core.characterize import StimulusPlan, characterize
+from repro.errors import AnalysisError
+from repro.layout import DIFFUSION
+from repro.pdk import Pdk
+
+
+@dataclass(frozen=True)
+class Objective:
+    """Weighted cost over the characterization metrics.
+
+    cost = w_delay * (delay_rise + delay_fall) / delay_ref
+         + w_leakage * (leakage_high + leakage_low) / leakage_ref
+         + w_area * device_area / area_ref
+
+    References normalize each term to ~1 at typical values so weights
+    are comparable.
+    """
+
+    w_delay: float = 1.0
+    w_leakage: float = 1.0
+    w_area: float = 0.2
+    delay_ref: float = 400e-12
+    leakage_ref: float = 10e-9
+    area_ref: float = 2e-12
+
+    def validate(self) -> None:
+        if min(self.w_delay, self.w_leakage, self.w_area) < 0:
+            raise AnalysisError("objective weights must be >= 0")
+        if self.w_delay == self.w_leakage == self.w_area == 0:
+            raise AnalysisError("objective is identically zero")
+
+
+def _sizing_area(sizing: SstvsSizing) -> float:
+    """Active-area proxy [m^2] for the area term."""
+    pairs = (
+        (sizing.w_m1, 1e-7), (sizing.w_m2, 1e-7),
+        (sizing.w_m3, sizing.l_m3), (sizing.w_m4, 1e-7),
+        (sizing.w_m5, sizing.l_m5), (sizing.w_m6, 1e-7),
+        (sizing.w_m7, sizing.l_m7), (sizing.w_m8, 1e-7),
+        (sizing.w_mc, sizing.l_mc),
+        (sizing.w_nor_n, 1e-7), (sizing.w_nor_p, 1e-7),
+    )
+    return sum(w * (l + 2 * DIFFUSION) for w, l in pairs)
+
+
+@dataclass
+class EvaluationRecord:
+    sizing: SstvsSizing
+    cost: float
+    functional: bool
+
+
+@dataclass
+class SizingResult:
+    best_sizing: SstvsSizing
+    best_cost: float
+    initial_cost: float
+    evaluations: int
+    history: list = field(default_factory=list)
+
+    @property
+    def improvement(self) -> float:
+        return (self.initial_cost - self.best_cost) / self.initial_cost
+
+
+class SizingOptimizer:
+    """Coordinate descent over sizing knobs.
+
+    Example::
+
+        optimizer = SizingOptimizer(corners=[(0.8, 1.2), (1.2, 0.8)])
+        result = optimizer.run(rounds=1)
+    """
+
+    def __init__(self, corners: Sequence[tuple] = ((0.8, 1.2),
+                                                   (1.2, 0.8)),
+                 objective: Objective | None = None,
+                 knobs: Sequence[str] = ("w_m1", "w_m2", "w_m8",
+                                         "w_mc", "w_nor_n"),
+                 pdk: Pdk | None = None,
+                 plan: StimulusPlan | None = None,
+                 step: float = 1.3,
+                 min_width: float = 0.08e-6):
+        if not corners:
+            raise AnalysisError("need at least one (vddi, vddo) corner")
+        unknown = [k for k in knobs if k not in SIZING_KNOBS]
+        if unknown:
+            raise AnalysisError(f"unknown knobs: {unknown}")
+        if step <= 1.0:
+            raise AnalysisError("step must be > 1 (geometric factor)")
+        self.corners = list(corners)
+        self.objective = objective or Objective()
+        self.objective.validate()
+        self.knobs = list(knobs)
+        self.pdk = pdk or Pdk()
+        self.plan = plan
+        self.step = step
+        self.min_width = min_width
+        self.evaluations = 0
+        self._cache: dict = {}
+
+    # -- cost -----------------------------------------------------------
+
+    def cost(self, sizing: SstvsSizing) -> float:
+        key = tuple(getattr(sizing, k) for k in SIZING_KNOBS)
+        if key in self._cache:
+            return self._cache[key]
+        self.evaluations += 1
+        obj = self.objective
+        total = obj.w_area * _sizing_area(sizing) / obj.area_ref
+        for vddi, vddo in self.corners:
+            metrics = characterize(self.pdk, "sstvs", vddi, vddo,
+                                   plan=self.plan, sizing=sizing)
+            if not metrics.functional:
+                total = math.inf
+                break
+            total += obj.w_delay * (metrics.delay_rise
+                                    + metrics.delay_fall) / obj.delay_ref
+            total += obj.w_leakage * (metrics.leakage_high
+                                      + metrics.leakage_low
+                                      ) / obj.leakage_ref
+        self._cache[key] = total
+        return total
+
+    # -- search -----------------------------------------------------------
+
+    def run(self, initial: SstvsSizing | None = None,
+            rounds: int = 2) -> SizingResult:
+        current = initial or SstvsSizing()
+        current_cost = self.cost(current)
+        initial_cost = current_cost
+        history = [EvaluationRecord(current, current_cost,
+                                    math.isfinite(current_cost))]
+        if not math.isfinite(current_cost):
+            raise AnalysisError("initial sizing is non-functional")
+
+        for _ in range(rounds):
+            improved = False
+            for knob in self.knobs:
+                for factor in (self.step, 1.0 / self.step):
+                    value = getattr(current, knob) * factor
+                    if value < self.min_width:
+                        continue
+                    candidate = replace(current, **{knob: value})
+                    candidate_cost = self.cost(candidate)
+                    history.append(EvaluationRecord(
+                        candidate, candidate_cost,
+                        math.isfinite(candidate_cost)))
+                    if candidate_cost < current_cost:
+                        current, current_cost = candidate, candidate_cost
+                        improved = True
+                        break
+            if not improved:
+                break
+        return SizingResult(best_sizing=current, best_cost=current_cost,
+                            initial_cost=initial_cost,
+                            evaluations=self.evaluations,
+                            history=history)

@@ -1,0 +1,22 @@
+"""90 nm PTM-like process design kit: cards, variation, corners."""
+
+from repro.pdk.ptm90 import (
+    FLAVORS, HIGH_VT, LDRAWN, LMIN, LOW_VT, NOMINAL, Pdk, make_card,
+)
+from repro.pdk.variation import VariationSpec, VariedPdk
+from repro.pdk.corners import CornerPdk, CORNER_SHIFTS
+
+__all__ = [
+    "Pdk",
+    "make_card",
+    "VariationSpec",
+    "VariedPdk",
+    "CornerPdk",
+    "CORNER_SHIFTS",
+    "FLAVORS",
+    "NOMINAL",
+    "HIGH_VT",
+    "LOW_VT",
+    "LMIN",
+    "LDRAWN",
+]

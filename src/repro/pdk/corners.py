@@ -1,0 +1,56 @@
+"""Deterministic process corners (TT/FF/SS/FS/SF).
+
+Corners shift every device's threshold by a fixed multiple of the
+Monte Carlo sigma: *fast* devices get lower |Vt| (more current, more
+leakage), *slow* devices higher |Vt|. This is the conventional digital
+corner abstraction and is used by the extension benches to bracket the
+Monte Carlo spread.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.pdk.ptm90 import Pdk
+from repro.pdk.variation import VariationSpec
+from repro.spice.devices.mosfet import Mosfet
+
+#: Corner name -> (nmos shift, pmos shift) in units of sigma_Vt.
+CORNER_SHIFTS = {
+    "tt": (0.0, 0.0),
+    "ff": (-3.0, -3.0),
+    "ss": (3.0, 3.0),
+    "fs": (-3.0, 3.0),
+    "sf": (3.0, -3.0),
+}
+
+
+class CornerPdk(Pdk):
+    """PDK applying a named corner's systematic Vt shift.
+
+    Example::
+
+        pdk = CornerPdk("ss", temperature_c=90.0)   # slow-slow, hot
+    """
+
+    def __init__(self, corner: str, temperature_c: float = 27.0,
+                 spec: VariationSpec | None = None):
+        super().__init__(temperature_c)
+        corner = corner.lower()
+        if corner not in CORNER_SHIFTS:
+            raise ModelError(
+                f"unknown corner {corner!r}; expected {sorted(CORNER_SHIFTS)}")
+        self.corner = corner
+        self.spec = spec or VariationSpec()
+
+    def mosfet(self, name: str, drain: str, gate: str, source: str,
+               bulk: str, polarity: str, w: float,
+               l: float | None = None, flavor: str = "nominal",
+               m: int = 1) -> Mosfet:
+        length = self.ldrawn if l is None else l
+        card = self.card(polarity, flavor)
+        shift_n, shift_p = CORNER_SHIFTS[self.corner]
+        shift = shift_n if polarity == "n" else shift_p
+        vto = max(card.vto * (1.0 + shift * self.spec.sigma_vt_fraction),
+                  0.01)
+        return Mosfet(name, drain, gate, source, bulk,
+                      card.with_overrides(vto=vto), w, length, m=m)

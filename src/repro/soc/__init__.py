@@ -1,0 +1,41 @@
+"""SoC-level multi-voltage modeling and shifter-insertion planning."""
+
+from repro.soc.domain import (
+    Crossing, DvsSchedule, Module, VoltageDomain, relationship_flips,
+)
+from repro.soc.dvs import (
+    DEFAULT_LADDER, PairStatistics, pair_statistics, periodic_schedule,
+    random_walk_schedule, true_shifter_demand,
+)
+from repro.soc.energy import CrossingEnergyModel, EnergyReport
+from repro.soc.planner import (
+    COMBINED_STRATEGY, CVS_STRATEGY, INVERTER_STRATEGY, PlanReport,
+    STRATEGIES, SSTVS_STRATEGY, SSVS_STRATEGY, ShifterPlanner, Soc,
+    manhattan,
+)
+
+__all__ = [
+    "Crossing",
+    "DvsSchedule",
+    "Module",
+    "VoltageDomain",
+    "relationship_flips",
+    "Soc",
+    "ShifterPlanner",
+    "PlanReport",
+    "manhattan",
+    "STRATEGIES",
+    "CVS_STRATEGY",
+    "COMBINED_STRATEGY",
+    "SSTVS_STRATEGY",
+    "INVERTER_STRATEGY",
+    "SSVS_STRATEGY",
+    "DEFAULT_LADDER",
+    "PairStatistics",
+    "pair_statistics",
+    "periodic_schedule",
+    "random_walk_schedule",
+    "true_shifter_demand",
+    "CrossingEnergyModel",
+    "EnergyReport",
+]

@@ -1,0 +1,102 @@
+"""Crossing-energy model for the SoC planner.
+
+Extends the static (area/wiring/leakage) strategy comparison with a
+dynamic-energy estimate: each crossing's shifters burn per-edge
+switching energy proportional to their characterized per-edge power,
+times the signal's toggle rate, integrated over a DVS time horizon.
+Leakage energy integrates the static currents over the same horizon.
+
+Times are in seconds here (the planner's floorplan units stay
+micrometres); toggle rates in edges per second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import characterize
+from repro.errors import AnalysisError
+from repro.pdk import Pdk
+from repro.soc.planner import Soc
+from repro.units import format_eng
+
+#: Window used by the characterization power metric [s]; the per-edge
+#: energy is power * window.
+POWER_WINDOW = 0.5e-9
+
+
+@dataclass
+class EnergyReport:
+    strategy: str
+    horizon: float
+    dynamic_energy: float = 0.0    #: [J]
+    leakage_energy: float = 0.0    #: [J]
+    per_crossing: dict = field(default_factory=dict)
+
+    @property
+    def total_energy(self) -> float:
+        return self.dynamic_energy + self.leakage_energy
+
+    def summary(self) -> str:
+        return (f"{self.strategy:>8s}: total "
+                f"{format_eng(self.total_energy, 'J', 3)} "
+                f"(dynamic {format_eng(self.dynamic_energy, 'J', 3)}, "
+                f"leakage {format_eng(self.leakage_energy, 'J', 3)}) "
+                f"over {format_eng(self.horizon, 's', 3)}")
+
+
+class CrossingEnergyModel:
+    """Energy accounting for one shifter strategy on one SoC."""
+
+    def __init__(self, soc: Soc, pdk: Pdk | None = None):
+        self.soc = soc
+        self.pdk = pdk or Pdk()
+        self._cache: dict = {}
+
+    def _metrics(self, kind: str, vddi: float, vddo: float):
+        key = (kind, round(vddi, 3), round(vddo, 3))
+        if key not in self._cache:
+            self._cache[key] = characterize(self.pdk, kind, vddi, vddo)
+        return self._cache[key]
+
+    def report(self, kind: str, toggle_rates: dict,
+               horizon: float) -> EnergyReport:
+        """Energy for strategy ``kind`` given per-crossing toggle rates.
+
+        Args:
+            toggle_rates: mapping (source, destination) -> edges/s for
+                each crossing in the SoC (missing pairs default to 0).
+            horizon: accounting period [s].
+        """
+        if horizon <= 0:
+            raise AnalysisError("horizon must be positive")
+        report = EnergyReport(strategy=kind, horizon=horizon)
+        for crossing in self.soc.crossings:
+            src = self.soc.modules[crossing.source]
+            dst = self.soc.modules[crossing.destination]
+            vddi = src.domain.schedule.voltage_at(0.0)
+            vddo = dst.domain.schedule.voltage_at(0.0)
+            metrics = self._metrics(kind, vddi, vddo)
+            if not metrics.functional:
+                raise AnalysisError(
+                    f"{kind} is non-functional on crossing "
+                    f"{crossing.source}->{crossing.destination}")
+            rate = toggle_rates.get(
+                (crossing.source, crossing.destination), 0.0)
+            edge_energy = 0.5 * (metrics.power_rise
+                                 + metrics.power_fall) * POWER_WINDOW
+            dynamic = (edge_energy * rate * horizon * crossing.signals)
+            leak_power = 0.5 * (metrics.leakage_high
+                                + metrics.leakage_low) * vddo
+            leakage = leak_power * horizon * crossing.signals
+            report.dynamic_energy += dynamic
+            report.leakage_energy += leakage
+            report.per_crossing[(crossing.source,
+                                 crossing.destination)] = (dynamic,
+                                                           leakage)
+        return report
+
+    def compare(self, kinds, toggle_rates: dict,
+                horizon: float) -> dict:
+        return {kind: self.report(kind, toggle_rates, horizon)
+                for kind in kinds}

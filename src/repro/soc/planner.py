@@ -1,0 +1,238 @@
+"""Level-shifter insertion planning for a multi-voltage SoC.
+
+Quantifies the paper's Figures 2-3 motivation: with conventional
+dual-supply shifters (CVS), every destination module must have the
+supply rail of *each* source domain routed to it; with single-supply
+shifters, only local supplies are needed. The combined VS additionally
+needs a routed direction-control signal per domain pair, and the
+SS-TVS needs nothing beyond the local rail.
+
+The planner walks the crossing list and, per strategy, accounts for:
+
+* extra supply rails entering each module (count and Manhattan routed
+  length from the source module, weighted by a power-rail width);
+* extra control wires (combined VS only);
+* shifter cell area (from :mod:`repro.layout`);
+* static leakage (from cached :mod:`repro.core` characterizations at
+  each domain pair's voltages);
+* feasibility under DVS: a strategy that assumes a fixed direction
+  (plain inverter or one-way SS-VS without a control) is infeasible
+  for pairs whose relationship flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.cells import (
+    add_combined_vs, add_cvs, add_inverter, add_ssvs_khan, add_sstvs,
+)
+from repro.core import characterize
+from repro.errors import AnalysisError
+from repro.layout import estimate_cell_area
+from repro.pdk import Pdk
+from repro.soc.domain import Crossing, Module, relationship_flips
+
+CVS_STRATEGY = "cvs"
+COMBINED_STRATEGY = "combined"
+SSTVS_STRATEGY = "sstvs"
+#: Static one-way strategies, included to demonstrate DVS infeasibility:
+#: a plain inverter only handles VDDI > VDDO, the one-way SS-VS only
+#: VDDI < VDDO. Any domain pair whose relationship flips breaks them.
+INVERTER_STRATEGY = "inverter"
+SSVS_STRATEGY = "ssvs"
+STRATEGIES = (CVS_STRATEGY, COMBINED_STRATEGY, SSTVS_STRATEGY,
+              INVERTER_STRATEGY, SSVS_STRATEGY)
+
+#: Assumed width of a routed supply rail vs a signal wire [um].
+POWER_RAIL_WIDTH = 2.0
+SIGNAL_WIDTH = 0.2
+
+
+@dataclass
+class PlanReport:
+    """Costs of one shifter-insertion strategy on one SoC."""
+
+    strategy: str
+    feasible: bool = True
+    infeasible_pairs: list = field(default_factory=list)
+    shifter_count: int = 0
+    extra_supply_rails: int = 0
+    supply_route_length: float = 0.0   #: [um]
+    supply_route_area: float = 0.0     #: [um^2]
+    control_wires: int = 0
+    control_route_length: float = 0.0  #: [um]
+    shifter_area: float = 0.0          #: [um^2]
+    leakage: float = 0.0               #: [A] total static, worst state
+
+    @property
+    def total_wiring_area(self) -> float:
+        return (self.supply_route_area
+                + self.control_route_length * SIGNAL_WIDTH)
+
+    def summary(self) -> str:
+        status = "feasible" if self.feasible else "INFEASIBLE"
+        return (f"{self.strategy:>8s}: {status}, "
+                f"{self.shifter_count} shifters, "
+                f"{self.extra_supply_rails} extra rails "
+                f"({self.supply_route_length:.0f} um routed), "
+                f"{self.control_wires} control wires, "
+                f"cell area {self.shifter_area:.2f} um^2, "
+                f"wiring area {self.total_wiring_area:.1f} um^2, "
+                f"leakage {self.leakage * 1e9:.1f} nA")
+
+
+def manhattan(a: Module, b: Module) -> float:
+    ax, ay = a.center()
+    bx, by = b.center()
+    return abs(ax - bx) + abs(ay - by)
+
+
+class Soc:
+    """A floorplanned multi-voltage SoC with inter-module crossings."""
+
+    def __init__(self, modules: list[Module], crossings: list[Crossing]):
+        names = [m.name for m in modules]
+        if len(set(names)) != len(names):
+            raise AnalysisError("module names must be unique")
+        self.modules = {m.name: m for m in modules}
+        for crossing in crossings:
+            for end in (crossing.source, crossing.destination):
+                if end not in self.modules:
+                    raise AnalysisError(f"unknown module {end!r}")
+        self.crossings = list(crossings)
+
+    def graph(self) -> "nx.DiGraph":
+        """Module connectivity as a directed multigraph-ish DiGraph."""
+        g = nx.DiGraph()
+        for module in self.modules.values():
+            g.add_node(module.name, module=module)
+        for crossing in self.crossings:
+            if g.has_edge(crossing.source, crossing.destination):
+                g[crossing.source][crossing.destination]["signals"] += \
+                    crossing.signals
+            else:
+                g.add_edge(crossing.source, crossing.destination,
+                           signals=crossing.signals)
+        return g
+
+    def domain_pairs(self):
+        """Unique (source domain, destination domain) pairs crossed."""
+        pairs = {}
+        for crossing in self.crossings:
+            src = self.modules[crossing.source].domain
+            dst = self.modules[crossing.destination].domain
+            pairs[(src.name, dst.name)] = (src, dst)
+        return pairs
+
+
+class ShifterPlanner:
+    """Costs each insertion strategy on a given SoC."""
+
+    def __init__(self, soc: Soc, pdk: Pdk | None = None,
+                 characterize_leakage: bool = True):
+        self.soc = soc
+        self.pdk = pdk or Pdk()
+        self.characterize_leakage = characterize_leakage
+        self._leakage_cache: dict = {}
+        self._area_cache: dict = {}
+
+    # -- cost components ---------------------------------------------------
+
+    def _cell_area_um2(self, strategy: str) -> float:
+        if strategy not in self._area_cache:
+            builder = {CVS_STRATEGY: add_cvs,
+                       COMBINED_STRATEGY: add_combined_vs,
+                       SSTVS_STRATEGY: add_sstvs,
+                       INVERTER_STRATEGY: add_inverter,
+                       SSVS_STRATEGY: add_ssvs_khan}[strategy]
+            self._area_cache[strategy] = estimate_cell_area(
+                builder, self.pdk).total_area_um2
+        return self._area_cache[strategy]
+
+    def _leakage(self, strategy: str, vddi: float, vddo: float) -> float:
+        """Worst-state static leakage of one shifter at a voltage pair."""
+        if not self.characterize_leakage:
+            return 0.0
+        kind = {CVS_STRATEGY: "cvs", COMBINED_STRATEGY: "combined",
+                SSTVS_STRATEGY: "sstvs", INVERTER_STRATEGY: "inverter",
+                SSVS_STRATEGY: "ssvs_khan"}[strategy]
+        key = (kind, round(vddi, 3), round(vddo, 3))
+        if key not in self._leakage_cache:
+            metrics = characterize(self.pdk, kind, vddi, vddo)
+            self._leakage_cache[key] = max(metrics.leakage_high,
+                                           metrics.leakage_low)
+        return self._leakage_cache[key]
+
+    # -- planning -----------------------------------------------------------
+
+    def plan(self, strategy: str) -> PlanReport:
+        if strategy not in STRATEGIES:
+            raise AnalysisError(f"unknown strategy {strategy!r}; "
+                                f"expected one of {STRATEGIES}")
+        report = PlanReport(strategy=strategy)
+        rails_routed: set = set()
+        control_routed: set = set()
+
+        for crossing in self.soc.crossings:
+            src = self.soc.modules[crossing.source]
+            dst = self.soc.modules[crossing.destination]
+            distance = manhattan(src, dst)
+            report.shifter_count += crossing.signals
+            report.shifter_area += (crossing.signals
+                                    * self._cell_area_um2(strategy))
+
+            # Representative voltages for leakage costing: the initial
+            # schedule point of each domain.
+            vddi = src.domain.schedule.voltage_at(0.0)
+            vddo = dst.domain.schedule.voltage_at(0.0)
+            report.leakage += (crossing.signals
+                               * self._leakage(strategy, vddi, vddo))
+
+            flips = relationship_flips(src.domain.schedule,
+                                       dst.domain.schedule)
+
+            if strategy == CVS_STRATEGY:
+                # The destination needs the source domain's rail.
+                rail = (src.domain.name, dst.name)
+                if rail not in rails_routed:
+                    rails_routed.add(rail)
+                    report.extra_supply_rails += 1
+                    report.supply_route_length += distance
+                    report.supply_route_area += distance * POWER_RAIL_WIDTH
+            elif strategy == COMBINED_STRATEGY:
+                # Single supply, but a direction-control wire per
+                # domain pair entering the destination; under DVS the
+                # control must be recomputed and re-routed from
+                # whatever knows both voltages (modeled as the source).
+                control = (src.domain.name, dst.name)
+                if control not in control_routed:
+                    control_routed.add(control)
+                    report.control_wires += 1
+                    report.control_route_length += distance
+            elif strategy == INVERTER_STRATEGY:
+                # Only valid when VDDI > VDDO at all times.
+                always_down = (src.domain.schedule.min_voltage
+                               >= dst.domain.schedule.max_voltage)
+                if flips or not always_down:
+                    report.infeasible_pairs.append(
+                        (crossing.source, crossing.destination))
+            elif strategy == SSVS_STRATEGY:
+                # One-way low-to-high shifter: VDDI < VDDO required.
+                always_up = (src.domain.schedule.max_voltage
+                             <= dst.domain.schedule.min_voltage)
+                if flips or not always_up:
+                    report.infeasible_pairs.append(
+                        (crossing.source, crossing.destination))
+            elif strategy == SSTVS_STRATEGY:
+                # True shifter: nothing extra, works through flips.
+                pass
+
+        report.feasible = not report.infeasible_pairs
+        return report
+
+    def compare(self) -> dict[str, PlanReport]:
+        """Plan all strategies; returns reports keyed by strategy."""
+        return {strategy: self.plan(strategy) for strategy in STRATEGIES}

@@ -1,0 +1,229 @@
+"""Small-signal AC analysis.
+
+Linearizes the circuit at its DC operating point and solves the
+complex-valued MNA system over a frequency sweep. Devices contribute:
+
+* resistors — their conductance;
+* capacitors — admittance ``j w C``;
+* inductors — branch impedance ``j w L``;
+* MOSFETs/diodes — the small-signal conductances from their analytic
+  Jacobians at the operating point (the same derivatives Newton uses),
+  plus their parasitic capacitances (already expanded as devices);
+* independent sources — AC magnitude/phase if set, else quiet.
+
+The result wraps gain/phase measurements used by the filter and
+amplifier tests, including -3 dB bandwidth extraction.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError, MeasurementError
+from repro.spice.devices.base import Device
+from repro.spice.devices.diode import Diode
+from repro.spice.devices.mosfet import Mosfet
+from repro.spice.devices.passive import Capacitor, Resistor
+from repro.spice.devices.sources import CurrentSource, VoltageSource
+from repro.spice.mna import GROUND
+from repro.spice.newton import NewtonOptions, solve_dc
+
+
+def log_frequencies(f_start: float, f_stop: float,
+                    points_per_decade: int = 10) -> np.ndarray:
+    """Logarithmic frequency grid, SPICE ``.ac dec`` style."""
+    if f_start <= 0 or f_stop <= f_start:
+        raise AnalysisError("need 0 < f_start < f_stop")
+    decades = math.log10(f_stop / f_start)
+    count = max(int(round(decades * points_per_decade)) + 1, 2)
+    return np.logspace(math.log10(f_start), math.log10(f_stop), count)
+
+
+@dataclass
+class AcStimulus:
+    """AC magnitude/phase assignment for one independent source."""
+
+    source_name: str
+    magnitude: float = 1.0
+    phase_deg: float = 0.0
+
+    @property
+    def phasor(self) -> complex:
+        return self.magnitude * cmath.exp(1j * math.radians(self.phase_deg))
+
+
+class AcResult:
+    """Complex node phasors over the frequency sweep."""
+
+    def __init__(self, circuit, frequencies: np.ndarray,
+                 solutions: np.ndarray):
+        self.circuit = circuit
+        self.frequencies = frequencies
+        self._solutions = solutions  # (n_freq, system_size) complex
+
+    def phasor(self, node: str) -> np.ndarray:
+        idx = self.circuit.node_index(node)
+        if idx == GROUND:
+            return np.zeros_like(self.frequencies, dtype=complex)
+        return self._solutions[:, idx]
+
+    def magnitude(self, node: str) -> np.ndarray:
+        return np.abs(self.phasor(node))
+
+    def magnitude_db(self, node: str) -> np.ndarray:
+        mag = self.magnitude(node)
+        return 20.0 * np.log10(np.maximum(mag, 1e-30))
+
+    def phase_deg(self, node: str) -> np.ndarray:
+        return np.degrees(np.angle(self.phasor(node)))
+
+    def gain_at(self, node: str, frequency: float) -> float:
+        """Interpolated |V(node)| at one frequency."""
+        return float(np.interp(frequency, self.frequencies,
+                               self.magnitude(node)))
+
+    def bandwidth_3db(self, node: str) -> float:
+        """First frequency where gain drops 3 dB below its low-frequency
+        value (linear interpolation in log-log)."""
+        mag = self.magnitude(node)
+        reference = mag[0]
+        target = reference / math.sqrt(2.0)
+        below = np.nonzero(mag < target)[0]
+        if below.size == 0:
+            raise MeasurementError(
+                f"gain at {node!r} never drops 3 dB in the sweep")
+        i = int(below[0])
+        if i == 0:
+            return float(self.frequencies[0])
+        f0, f1 = self.frequencies[i - 1], self.frequencies[i]
+        m0, m1 = mag[i - 1], mag[i]
+        # log-linear interpolation.
+        frac = (m0 - target) / (m0 - m1)
+        return float(f0 * (f1 / f0) ** frac)
+
+    def unity_gain_frequency(self, node: str) -> float:
+        """First frequency where |V(node)| crosses 1.0 downward."""
+        mag = self.magnitude(node)
+        below = np.nonzero(mag < 1.0)[0]
+        if below.size == 0 or below[0] == 0:
+            raise MeasurementError("no unity-gain crossing in the sweep")
+        i = int(below[0])
+        f0, f1 = self.frequencies[i - 1], self.frequencies[i]
+        m0, m1 = mag[i - 1], mag[i]
+        frac = (m0 - 1.0) / (m0 - m1)
+        return float(f0 * (f1 / f0) ** frac)
+
+
+class AcAnalysis:
+    """Linearized frequency-domain analysis.
+
+    Example::
+
+        ac = AcAnalysis(circuit, stimuli=[AcStimulus("vin")],
+                        frequencies=log_frequencies(1e3, 1e9))
+        result = ac.run()
+        f3db = result.bandwidth_3db("out")
+    """
+
+    def __init__(self, circuit, stimuli: Sequence[AcStimulus],
+                 frequencies: np.ndarray,
+                 newton_options: Optional[NewtonOptions] = None):
+        if not stimuli:
+            raise AnalysisError("AC analysis needs at least one stimulus")
+        self.circuit = circuit
+        self.stimuli = {s.source_name.lower(): s for s in stimuli}
+        self.frequencies = np.asarray(frequencies, dtype=float)
+        if self.frequencies.size == 0 or np.any(self.frequencies <= 0):
+            raise AnalysisError("frequencies must be positive")
+        self.newton_options = newton_options or NewtonOptions()
+
+    # -- linearization ---------------------------------------------------
+
+    def _operating_point(self) -> np.ndarray:
+        self.circuit.finalize()
+        return solve_dc(self.circuit, options=self.newton_options)
+
+    def _voltage(self, x, idx):
+        return 0.0 if idx == GROUND else float(x[idx])
+
+    def run(self) -> AcResult:
+        circuit = self.circuit
+        x_op = self._operating_point()
+        size = circuit.system_size()
+        n_freq = self.frequencies.size
+        solutions = np.zeros((n_freq, size), dtype=complex)
+
+        for k, frequency in enumerate(self.frequencies):
+            omega = 2.0 * math.pi * frequency
+            matrix = np.zeros((size, size), dtype=complex)
+            rhs = np.zeros(size, dtype=complex)
+            for device in circuit:
+                self._stamp(device, matrix, rhs, x_op, omega)
+            # Gmin for numerical robustness (matches DC analyses).
+            for idx in range(circuit.node_count()):
+                matrix[idx, idx] += self.newton_options.gmin
+            solutions[k] = np.linalg.solve(matrix, rhs)
+        return AcResult(circuit, self.frequencies.copy(), solutions)
+
+    def _stamp(self, device: Device, matrix, rhs, x_op, omega) -> None:
+        def add(i, j, value):
+            if i != GROUND and j != GROUND:
+                matrix[i, j] += value
+
+        def add_rhs(i, value):
+            if i != GROUND:
+                rhs[i] += value
+
+        def conductance(a, b, g):
+            add(a, a, g)
+            add(b, b, g)
+            add(a, b, -g)
+            add(b, a, -g)
+
+        if isinstance(device, Resistor):
+            a, b = device.node_indices
+            conductance(a, b, 1.0 / device.resistance)
+        elif isinstance(device, Capacitor):
+            a, b = device.node_indices
+            conductance(a, b, 1j * omega * device.capacitance)
+        elif isinstance(device, VoltageSource):
+            a, b = device.node_indices
+            br = device.branch_indices[0]
+            add(a, br, 1.0)
+            add(b, br, -1.0)
+            add(br, a, 1.0)
+            add(br, b, -1.0)
+            stimulus = self.stimuli.get(device.name.lower())
+            if stimulus is not None:
+                add_rhs(br, stimulus.phasor)
+        elif isinstance(device, CurrentSource):
+            a, b = device.node_indices
+            stimulus = self.stimuli.get(device.name.lower())
+            if stimulus is not None:
+                add_rhs(a, -stimulus.phasor)
+                add_rhs(b, stimulus.phasor)
+        elif isinstance(device, Diode):
+            a, b = device.node_indices
+            v = self._voltage(x_op, a) - self._voltage(x_op, b)
+            _, g = device.current_and_conductance(v)
+            conductance(a, b, g)
+        elif isinstance(device, Mosfet):
+            d, g, s, b = device.node_indices
+            vd = self._voltage(x_op, d)
+            vg = self._voltage(x_op, g)
+            vs = self._voltage(x_op, s)
+            vb = self._voltage(x_op, b)
+            _, gdd, gdg, gds, gdb = device.evaluate(vd, vg, vs, vb)
+            for col, gval in ((d, gdd), (g, gdg), (s, gds), (b, gdb)):
+                add(d, col, gval)
+                add(s, col, -gval)
+        else:
+            # Inductors and controlled sources stamp themselves.
+            stamp_ac = getattr(device, "stamp_ac", None)
+            if stamp_ac is not None:
+                stamp_ac(matrix, rhs, omega, add, add_rhs)

@@ -1,0 +1,73 @@
+"""DC sweep analysis: step a source value, solve the operating point.
+
+Each sweep point reuses the previous solution as the Newton starting
+guess (continuation), which makes sweeps across transistor transfer
+curves fast and robust.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.spice.devices.sources import Dc, VoltageSource, CurrentSource
+from repro.spice.newton import NewtonOptions, solve_dc
+from repro.spice.op import OpResult
+
+
+class DcSweepResult:
+    """Sweep values plus one :class:`OpResult` per point."""
+
+    def __init__(self, sweep_values: np.ndarray, points: list[OpResult]):
+        self.sweep_values = sweep_values
+        self.points = points
+
+    def voltages(self, node: str) -> np.ndarray:
+        return np.asarray([p[node] for p in self.points])
+
+    def currents(self, source_name: str) -> np.ndarray:
+        return np.asarray([p.current(source_name) for p in self.points])
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+class DcSweep:
+    """Sweep the DC value of one independent source.
+
+    Example::
+
+        sweep = DcSweep(circuit, "vin", np.linspace(0, 1.2, 61)).run()
+        vout = sweep.voltages("out")
+    """
+
+    def __init__(self, circuit, source_name: str,
+                 values: Sequence[float],
+                 options: Optional[NewtonOptions] = None):
+        self.circuit = circuit
+        self.source_name = source_name
+        self.values = np.asarray(values, dtype=float)
+        if self.values.size == 0:
+            raise AnalysisError("DC sweep needs at least one value")
+        self.options = options or NewtonOptions()
+
+    def run(self) -> DcSweepResult:
+        circuit = self.circuit
+        circuit.finalize()
+        source = circuit.device(self.source_name)
+        if not isinstance(source, (VoltageSource, CurrentSource)):
+            raise AnalysisError(
+                f"{self.source_name!r} is not an independent source")
+        original_shape = source.shape
+        points: list[OpResult] = []
+        x_prev = None
+        try:
+            for value in self.values:
+                source.shape = Dc(float(value))
+                x_prev = solve_dc(circuit, x_prev, self.options)
+                points.append(OpResult(circuit, x_prev.copy()))
+        finally:
+            source.shape = original_shape
+        return DcSweepResult(self.values.copy(), points)

@@ -1,0 +1,96 @@
+"""Device base classes and the stamping interface.
+
+Every circuit element implements :class:`Device`. During a Newton
+iteration the solver hands each device a :class:`StampContext`; the device
+evaluates its (linearized) branch equations at the current iterate and
+stamps conductances into the MNA matrix and equivalent currents into the
+right-hand side. This is the classic SPICE companion-model formulation:
+a nonlinear branch current ``I(v)`` is replaced at iterate ``v0`` by
+
+    I(v) ~= I(v0) + G (v - v0)
+
+which stamps ``G`` into the matrix and ``G v0 - I(v0)`` into the RHS.
+
+Reactive devices (capacitors, MOSFET charge storage) additionally consult
+``ctx.integrator`` — ``None`` during DC analyses (capacitors then stamp
+nothing but a tiny leakage conductance for matrix regularity) and an
+:class:`~repro.spice.integration.IntegratorState` during transients.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:
+    from repro.spice.mna import StampContext
+
+
+class Device(abc.ABC):
+    """Abstract circuit element.
+
+    Attributes:
+        name: unique (per-circuit, case-insensitive) device name.
+        nodes: terminal node names, in device-specific order.
+    """
+
+    def __init__(self, name: str, nodes: Sequence[str]):
+        if not name:
+            raise ValueError("device name must be non-empty")
+        self.name = name
+        self.nodes = [str(n) for n in nodes]
+        #: Indices into the MNA solution vector, assigned by the circuit.
+        self.node_indices: list[int] = []
+
+    @abc.abstractmethod
+    def stamp(self, ctx: "StampContext") -> None:
+        """Stamp the linearized device equations at the current iterate."""
+
+    def expand(self) -> list["Device"]:
+        """Auxiliary devices this element implies (e.g. MOSFET parasitics).
+
+        Called once when the device is added to a circuit. The default is
+        no auxiliary devices.
+        """
+        return []
+
+    def branch_count(self) -> int:
+        """Number of extra MNA branch-current unknowns this device needs."""
+        return 0
+
+    def is_nonlinear(self) -> bool:
+        """Whether the device's stamps depend on the solution vector."""
+        return False
+
+    def breakpoints(self, t_stop: float) -> list[float]:
+        """Time points where the device forces a transient breakpoint."""
+        return []
+
+    def init_state(self, voltages: Sequence[float]) -> None:
+        """Initialize dynamic state from a converged DC solution."""
+
+    def update_state(self, voltages: Sequence[float], integrator) -> None:
+        """Commit dynamic state after a converged transient step.
+
+        ``integrator`` is the :class:`~repro.spice.integration.
+        IntegratorState` the step was taken with, so devices can compute
+        method-consistent branch currents.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name} {self.nodes}>"
+
+
+class TwoTerminal(Device):
+    """Convenience base for two-terminal elements (positive, negative)."""
+
+    def __init__(self, name: str, pos: str, neg: str):
+        super().__init__(name, [pos, neg])
+
+    @property
+    def pos(self) -> str:
+        return self.nodes[0]
+
+    @property
+    def neg(self) -> str:
+        return self.nodes[1]

@@ -1,0 +1,65 @@
+"""Linear controlled sources: VCVS (SPICE ``E``) and VCCS (``G``).
+
+Both are fully linear, so one stamp serves DC, transient, and (via
+``stamp_ac``) small-signal analysis.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.spice.devices.base import Device
+from repro.spice.mna import StampContext
+
+
+class Vcvs(Device):
+    """Voltage-controlled voltage source:
+    ``v(pos) - v(neg) = gain * (v(cpos) - v(cneg))``."""
+
+    def __init__(self, name: str, pos: str, neg: str, cpos: str,
+                 cneg: str, gain: float):
+        super().__init__(name, [pos, neg, cpos, cneg])
+        self.gain = float(gain)
+        self.branch_indices: list[int] = []
+
+    def branch_count(self) -> int:
+        return 1
+
+    def _entries(self):
+        pos, neg, cpos, cneg = self.node_indices
+        br = self.branch_indices[0]
+        return ((pos, br, 1.0), (neg, br, -1.0),
+                (br, pos, 1.0), (br, neg, -1.0),
+                (br, cpos, -self.gain), (br, cneg, self.gain))
+
+    def stamp(self, ctx: StampContext) -> None:
+        for row, col, value in self._entries():
+            ctx.system.add_matrix(row, col, value)
+
+    def stamp_ac(self, matrix, rhs, omega, add, add_rhs) -> None:
+        for row, col, value in self._entries():
+            add(row, col, value)
+
+
+class Vccs(Device):
+    """Voltage-controlled current source:
+    ``i(pos -> neg) = gm * (v(cpos) - v(cneg))`` — current is pulled
+    out of ``pos`` and pushed into ``neg``, matching the passive sign
+    convention of an NMOS transconductance from drain to source."""
+
+    def __init__(self, name: str, pos: str, neg: str, cpos: str,
+                 cneg: str, gm: float):
+        super().__init__(name, [pos, neg, cpos, cneg])
+        self.gm = float(gm)
+
+    def _entries(self):
+        pos, neg, cpos, cneg = self.node_indices
+        return ((pos, cpos, self.gm), (pos, cneg, -self.gm),
+                (neg, cpos, -self.gm), (neg, cneg, self.gm))
+
+    def stamp(self, ctx: StampContext) -> None:
+        for row, col, value in self._entries():
+            ctx.system.add_matrix(row, col, value)
+
+    def stamp_ac(self, matrix, rhs, omega, add, add_rhs) -> None:
+        for row, col, value in self._entries():
+            add(row, col, value)

@@ -1,0 +1,68 @@
+"""Junction diode with exponential I-V and Newton-safe limiting."""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ModelError
+from repro.spice.devices.base import TwoTerminal
+from repro.spice.mna import StampContext
+
+BOLTZMANN = 1.380649e-23
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Exponent cap: beyond this the exponential is linearized to keep the
+#: Jacobian finite during wild Newton iterates.
+_EXP_CAP = 80.0
+
+
+class Diode(TwoTerminal):
+    """Ideal-law diode: I = Is (exp(v / (n Ut)) - 1).
+
+    Args:
+        saturation_current: Is in amperes.
+        ideality: emission coefficient n.
+        temperature: junction temperature in kelvin.
+    """
+
+    def __init__(self, name: str, pos: str, neg: str,
+                 saturation_current: float = 1e-14, ideality: float = 1.0,
+                 temperature: float = 300.15):
+        super().__init__(name, pos, neg)
+        if saturation_current <= 0:
+            raise ModelError(f"{name}: saturation current must be > 0")
+        if ideality <= 0:
+            raise ModelError(f"{name}: ideality must be > 0")
+        self.saturation_current = float(saturation_current)
+        self.ideality = float(ideality)
+        self.temperature = float(temperature)
+
+    def is_nonlinear(self) -> bool:
+        return True
+
+    def _thermal_voltage(self) -> float:
+        return BOLTZMANN * self.temperature / ELEMENTARY_CHARGE
+
+    def current_and_conductance(self, v: float) -> tuple[float, float]:
+        """Diode current and small-signal conductance at voltage ``v``."""
+        n_ut = self.ideality * self._thermal_voltage()
+        arg = v / n_ut
+        if arg > _EXP_CAP:
+            # Linear continuation beyond the cap.
+            edge = math.exp(_EXP_CAP)
+            current = self.saturation_current * (
+                edge * (1.0 + (arg - _EXP_CAP)) - 1.0)
+            conductance = self.saturation_current * edge / n_ut
+        else:
+            e = math.exp(arg)
+            current = self.saturation_current * (e - 1.0)
+            conductance = self.saturation_current * e / n_ut
+        return current, conductance
+
+    def stamp(self, ctx: StampContext) -> None:
+        a, b = self.node_indices
+        v = ctx.voltage(a) - ctx.voltage(b)
+        current, conductance = self.current_and_conductance(v)
+        conductance = max(conductance, ctx.gmin)
+        ctx.system.stamp_conductance(a, b, conductance)
+        ctx.system.stamp_current(a, b, current - conductance * v)

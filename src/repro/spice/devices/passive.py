@@ -1,0 +1,77 @@
+"""Linear passive elements: resistor and capacitor."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ModelError
+from repro.spice.devices.base import TwoTerminal
+from repro.spice.mna import StampContext
+
+
+class Resistor(TwoTerminal):
+    """Ideal linear resistor.
+
+    Args:
+        name: device name (conventionally ``r...``).
+        pos, neg: terminal nodes.
+        resistance: value in ohms; must be positive.
+    """
+
+    def __init__(self, name: str, pos: str, neg: str, resistance: float):
+        super().__init__(name, pos, neg)
+        if resistance <= 0:
+            raise ModelError(f"{name}: resistance must be > 0, got {resistance}")
+        self.resistance = float(resistance)
+
+    def stamp(self, ctx: StampContext) -> None:
+        a, b = self.node_indices
+        ctx.system.stamp_conductance(a, b, 1.0 / self.resistance)
+
+
+class Capacitor(TwoTerminal):
+    """Ideal linear capacitor.
+
+    In DC analyses the capacitor is an open circuit (it stamps nothing;
+    the solver's global gmin keeps otherwise-floating nodes defined). In
+    transient analyses it stamps the companion model supplied by the
+    integrator and tracks its branch current for trapezoidal steps.
+    """
+
+    def __init__(self, name: str, pos: str, neg: str, capacitance: float,
+                 ic: float | None = None):
+        super().__init__(name, pos, neg)
+        if capacitance < 0:
+            raise ModelError(
+                f"{name}: capacitance must be >= 0, got {capacitance}")
+        self.capacitance = float(capacitance)
+        #: Optional initial condition (volts across pos-neg) for UIC runs.
+        self.ic = ic
+        self._v_prev = 0.0
+        self._i_prev = 0.0
+
+    def stamp(self, ctx: StampContext) -> None:
+        if ctx.integrator is None or self.capacitance == 0.0:
+            return
+        a, b = self.node_indices
+        geq, ieq = ctx.integrator.companion(
+            self.capacitance, self._v_prev, self._i_prev)
+        ctx.system.stamp_conductance(a, b, geq)
+        ctx.system.stamp_current(a, b, ieq)
+
+    def _voltage_across(self, voltages: Sequence[float]) -> float:
+        a, b = self.node_indices
+        va = voltages[a] if a >= 0 else 0.0
+        vb = voltages[b] if b >= 0 else 0.0
+        return va - vb
+
+    def init_state(self, voltages: Sequence[float]) -> None:
+        self._v_prev = (self.ic if self.ic is not None
+                        else self._voltage_across(voltages))
+        self._i_prev = 0.0
+
+    def update_state(self, voltages: Sequence[float], integrator) -> None:
+        v_new = self._voltage_across(voltages)
+        self._i_prev = integrator.branch_current(
+            self.capacitance, v_new, self._v_prev, self._i_prev)
+        self._v_prev = v_new

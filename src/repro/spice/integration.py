@@ -1,0 +1,51 @@
+"""Numerical integration state for transient analysis.
+
+Reactive devices turn their charge-storage equations into resistive
+companion models using the current step's :class:`IntegratorState`.
+Two methods are supported:
+
+* ``"be"`` — backward Euler: robust, L-stable, first order. Used for the
+  first step after every breakpoint to damp the discontinuity.
+* ``"trap"`` — trapezoidal: second order, the default elsewhere.
+
+For a capacitor ``C`` with previous-step voltage ``v0`` and current
+``i0``, the companion is a conductance ``geq`` in parallel with a current
+source ``ieq`` such that the branch current is ``i = geq * v + ieq``:
+
+========  ==============  ==========================
+method    geq             ieq
+========  ==============  ==========================
+be        C / dt          -geq * v0
+trap      2 C / dt        -(geq * v0 + i0)
+========  ==============  ==========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+BACKWARD_EULER = "be"
+TRAPEZOIDAL = "trap"
+
+
+@dataclass
+class IntegratorState:
+    """Current transient step: method name and step size in seconds."""
+
+    method: str = TRAPEZOIDAL
+    dt: float = 1e-12
+
+    def companion(self, capacitance: float, v_prev: float,
+                  i_prev: float) -> tuple[float, float]:
+        """Companion (geq, ieq) for a linear capacitor this step."""
+        if self.method == BACKWARD_EULER:
+            geq = capacitance / self.dt
+            return geq, -geq * v_prev
+        geq = 2.0 * capacitance / self.dt
+        return geq, -(geq * v_prev + i_prev)
+
+    def branch_current(self, capacitance: float, v_new: float,
+                       v_prev: float, i_prev: float) -> float:
+        """Capacitor current at the end of the step (state update)."""
+        geq, ieq = self.companion(capacitance, v_prev, i_prev)
+        return geq * v_new + ieq

@@ -1,0 +1,113 @@
+"""Modified nodal analysis (MNA) system assembly.
+
+The solution vector ``x`` holds node voltages for every non-ground node
+followed by branch currents for devices that require them (voltage
+sources). :class:`MnaSystem` owns the dense matrix and RHS;
+:class:`StampContext` is the restricted view handed to devices, which
+maps ground (index ``-1``) stamps to nowhere.
+
+Dense matrices are appropriate here: the reproduction's largest circuits
+(level-shifter testbenches, small SoC macros) stay well under a few
+hundred unknowns, where dense LU beats sparse bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.spice.circuit import Circuit
+    from repro.spice.integration import IntegratorState
+
+#: Node index used for the ground node; stamps to it are discarded.
+GROUND = -1
+
+
+class MnaSystem:
+    """Dense MNA matrix/RHS with ground-aware stamping."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.matrix = np.zeros((size, size), dtype=float)
+        self.rhs = np.zeros(size, dtype=float)
+
+    def clear(self) -> None:
+        self.matrix[:, :] = 0.0
+        self.rhs[:] = 0.0
+
+    def add_matrix(self, row: int, col: int, value: float) -> None:
+        if row != GROUND and col != GROUND:
+            self.matrix[row, col] += value
+
+    def add_rhs(self, row: int, value: float) -> None:
+        if row != GROUND:
+            self.rhs[row] += value
+
+    def stamp_conductance(self, a: int, b: int, g: float) -> None:
+        """Stamp a conductance ``g`` between nodes ``a`` and ``b``."""
+        self.add_matrix(a, a, g)
+        self.add_matrix(b, b, g)
+        self.add_matrix(a, b, -g)
+        self.add_matrix(b, a, -g)
+
+    def stamp_current(self, a: int, b: int, current: float) -> None:
+        """Stamp a current source pushing ``current`` from node a to b.
+
+        Positive ``current`` flows out of ``a`` into ``b`` through the
+        source, i.e. it is injected into node ``b``.
+        """
+        self.add_rhs(a, -current)
+        self.add_rhs(b, current)
+
+
+class StampContext:
+    """Per-iteration view handed to :meth:`Device.stamp`.
+
+    Attributes:
+        system: the MNA system being assembled.
+        x: current Newton iterate (node voltages then branch currents).
+        time: simulation time (0.0 for DC analyses).
+        integrator: transient integration state, or None for DC.
+        gmin: minimum conductance stamped by nonlinear devices for
+            numerical robustness; homotopy sweeps raise it temporarily.
+        source_scale: homotopy scaling of independent sources in [0, 1].
+    """
+
+    def __init__(self, system: MnaSystem, x: np.ndarray, time: float = 0.0,
+                 integrator: Optional["IntegratorState"] = None,
+                 gmin: float = 1e-12, source_scale: float = 1.0):
+        self.system = system
+        self.x = x
+        self.time = time
+        self.integrator = integrator
+        self.gmin = gmin
+        self.source_scale = source_scale
+
+    def voltage(self, node_index: int) -> float:
+        """Voltage at a node index (0.0 for ground)."""
+        if node_index == GROUND:
+            return 0.0
+        return float(self.x[node_index])
+
+    @property
+    def is_transient(self) -> bool:
+        return self.integrator is not None
+
+
+def assemble(circuit: "Circuit", x: np.ndarray, system: MnaSystem,
+             time: float = 0.0,
+             integrator: Optional["IntegratorState"] = None,
+             gmin: float = 1e-12, source_scale: float = 1.0) -> StampContext:
+    """Assemble the full MNA system at iterate ``x``; returns the context."""
+    system.clear()
+    ctx = StampContext(system, x, time=time, integrator=integrator,
+                       gmin=gmin, source_scale=source_scale)
+    for device in circuit.devices.values():
+        device.stamp(ctx)
+    # Gmin from every node to ground keeps the matrix nonsingular when a
+    # node is only driven through cut-off transistors.
+    for idx in range(circuit.node_count()):
+        system.add_matrix(idx, idx, gmin)
+    return ctx

@@ -1,0 +1,144 @@
+"""Damped Newton-Raphson solver with homotopy fallbacks.
+
+The solver repeatedly assembles the linearized MNA system at the current
+iterate and solves for the next one. Per-iteration voltage updates are
+damped to a configurable maximum step, which is the single most
+effective robustness measure for MOS circuits (exponential models
+otherwise fling early iterates far outside the convergence basin).
+
+If plain Newton fails, :func:`solve_dc` falls back to gmin stepping
+(solve with a large parallel conductance on every node, then relax it
+geometrically) and then to source stepping (ramp all independent sources
+from zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.spice import mna
+from repro.spice.integration import IntegratorState
+
+
+@dataclass
+class NewtonOptions:
+    """Tolerances and limits for the Newton iteration."""
+
+    max_iterations: int = 150
+    #: Absolute node-voltage tolerance [V].
+    abstol_v: float = 1e-6
+    #: Absolute branch-current tolerance [A].
+    abstol_i: float = 1e-9
+    #: Relative tolerance on the solution update.
+    reltol: float = 1e-3
+    #: Maximum per-iteration voltage change [V] (damping limit).
+    max_step_v: float = 0.3
+    #: Conductance floor for nonlinear devices.
+    gmin: float = 1e-12
+
+
+def newton_solve(circuit, x0: np.ndarray, time: float = 0.0,
+                 integrator: Optional[IntegratorState] = None,
+                 options: Optional[NewtonOptions] = None,
+                 gmin: Optional[float] = None,
+                 source_scale: float = 1.0) -> np.ndarray:
+    """Run damped Newton from ``x0``; returns the converged solution.
+
+    Raises:
+        ConvergenceError: if the iteration exceeds the budget or the
+            matrix becomes singular.
+    """
+    opts = options or NewtonOptions()
+    effective_gmin = opts.gmin if gmin is None else gmin
+    size = circuit.system_size()
+    n_nodes = circuit.node_count()
+    system = mna.MnaSystem(size)
+    x = np.array(x0, dtype=float, copy=True)
+    # Damping exists to keep exponential device models inside their
+    # convergence basin; a purely linear system solves exactly in one
+    # step, and damping it would only throttle large (but exact)
+    # voltage excursions.
+    damped = bool(circuit.nonlinear_devices())
+
+    for iteration in range(opts.max_iterations):
+        mna.assemble(circuit, x, system, time=time, integrator=integrator,
+                     gmin=effective_gmin, source_scale=source_scale)
+        try:
+            x_new = np.linalg.solve(system.matrix, system.rhs)
+        except np.linalg.LinAlgError as exc:
+            raise ConvergenceError(
+                f"singular MNA matrix at iteration {iteration}",
+                iterations=iteration) from exc
+        if not np.all(np.isfinite(x_new)):
+            raise ConvergenceError(
+                f"non-finite solution at iteration {iteration}",
+                iterations=iteration)
+
+        delta = x_new - x
+        dv = delta[:n_nodes]
+        di = delta[n_nodes:]
+        max_dv = float(np.max(np.abs(dv))) if dv.size else 0.0
+        max_di = float(np.max(np.abs(di))) if di.size else 0.0
+
+        # Damping: scale the whole update so no node moves more than
+        # max_step_v in one iteration (nonlinear circuits only).
+        scale = 1.0
+        if damped and max_dv > opts.max_step_v:
+            scale = opts.max_step_v / max_dv
+        x = x + scale * delta
+
+        v_tol = opts.abstol_v + opts.reltol * float(
+            np.max(np.abs(x[:n_nodes])) if n_nodes else 0.0)
+        i_tol = opts.abstol_i + opts.reltol * float(
+            np.max(np.abs(x[n_nodes:])) if di.size else 0.0)
+        if scale == 1.0 and max_dv <= v_tol and max_di <= i_tol:
+            return x
+
+    raise ConvergenceError(
+        f"Newton failed to converge in {opts.max_iterations} iterations "
+        f"(last max dV = {max_dv:.3e} V)",
+        iterations=opts.max_iterations, residual=max_dv)
+
+
+#: Gmin homotopy ladder, from heavily regularized down to the target.
+_GMIN_LADDER = (1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 1e-11)
+
+#: Source-stepping ramp for the last-resort homotopy.
+_SOURCE_RAMP = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def solve_dc(circuit, x0: Optional[np.ndarray] = None,
+             options: Optional[NewtonOptions] = None) -> np.ndarray:
+    """Find a DC solution, escalating through homotopy methods."""
+    opts = options or NewtonOptions()
+    size = circuit.system_size()
+    x0 = np.zeros(size) if x0 is None else np.asarray(x0, dtype=float)
+
+    try:
+        return newton_solve(circuit, x0, options=opts)
+    except ConvergenceError:
+        pass
+
+    # Gmin stepping.
+    x = np.array(x0, copy=True)
+    try:
+        for g in _GMIN_LADDER + (opts.gmin,):
+            x = newton_solve(circuit, x, options=opts, gmin=g)
+        return x
+    except ConvergenceError:
+        pass
+
+    # Source stepping.
+    x = np.zeros(size)
+    try:
+        for scale in _SOURCE_RAMP:
+            x = newton_solve(circuit, x, options=opts, source_scale=scale)
+        return x
+    except ConvergenceError as exc:
+        raise ConvergenceError(
+            f"DC solution not found for circuit {circuit.title!r} after "
+            f"Newton, gmin stepping, and source stepping: {exc}") from exc

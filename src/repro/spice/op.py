@@ -1,0 +1,63 @@
+"""DC operating-point analysis."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.spice.newton import NewtonOptions, solve_dc
+
+
+class OpResult:
+    """Converged DC solution with named access to voltages and currents."""
+
+    def __init__(self, circuit, x: np.ndarray):
+        self._circuit = circuit
+        self.x = x
+        self.voltages = {name: float(x[circuit.node_index(name)])
+                         for name in circuit.node_names()}
+        self.branch_currents = {}
+        for device in circuit:
+            if device.branch_count():
+                self.branch_currents[device.name] = float(
+                    x[circuit.branch_index(device.name)])
+
+    def __getitem__(self, node: str) -> float:
+        """Node voltage by name (ground reads 0.0)."""
+        idx = self._circuit.node_index(node)
+        return 0.0 if idx < 0 else float(self.x[idx])
+
+    def current(self, source_name: str) -> float:
+        """Branch current of a voltage source (positive: pos -> neg
+        internally; a sourcing supply reads negative)."""
+        return self.branch_currents[source_name]
+
+    def supply_current(self, source_name: str) -> float:
+        """Current *delivered by* a supply (sign-flipped branch current)."""
+        return -self.current(source_name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        pairs = ", ".join(f"{k}={v:.4g}" for k, v in self.voltages.items())
+        return f"<OpResult {pairs}>"
+
+
+class OperatingPoint:
+    """Operating-point analysis runner.
+
+    Example::
+
+        op = OperatingPoint(circuit).run()
+        leakage = op.supply_current("vdd")
+    """
+
+    def __init__(self, circuit, options: Optional[NewtonOptions] = None,
+                 initial_guess: Optional[np.ndarray] = None):
+        self.circuit = circuit
+        self.options = options or NewtonOptions()
+        self.initial_guess = initial_guess
+
+    def run(self) -> OpResult:
+        self.circuit.finalize()
+        x = solve_dc(self.circuit, self.initial_guess, self.options)
+        return OpResult(self.circuit, x)

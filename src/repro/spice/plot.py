@@ -1,0 +1,78 @@
+"""Text rendering of waveforms for terminals and logs.
+
+No plotting backend is assumed anywhere in this repository; these
+renderers give examples and CLI commands a way to *show* a transient.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.spice.waveform import Waveform
+from repro.units import format_eng
+
+#: Per-trace glyphs, cycled.
+_GLYPHS = "#*o+x%@&"
+
+
+def render_waveforms(waves: dict, width: int = 72, height: int = 16,
+                     t_start: float | None = None,
+                     t_stop: float | None = None) -> str:
+    """Render named waveforms on one shared-axis character grid.
+
+    Args:
+        waves: mapping label -> :class:`Waveform`.
+        width, height: plot size in characters (excluding axes).
+    """
+    if not waves:
+        raise AnalysisError("nothing to plot")
+    if width < 16 or height < 4:
+        raise AnalysisError("plot area too small")
+    labels = list(waves)
+    t0 = (min(w.t_start for w in waves.values())
+          if t_start is None else t_start)
+    t1 = (max(w.t_stop for w in waves.values())
+          if t_stop is None else t_stop)
+    if t1 <= t0:
+        raise AnalysisError("empty time window")
+    grid_times = np.linspace(t0, t1, width)
+    samples = {label: np.asarray([waves[label].value_at(t)
+                                  for t in grid_times])
+               for label in labels}
+    v_min = min(float(np.min(s)) for s in samples.values())
+    v_max = max(float(np.max(s)) for s in samples.values())
+    if v_max == v_min:
+        v_max = v_min + 1.0
+
+    rows = [[" "] * width for _ in range(height)]
+    for index, label in enumerate(labels):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        values = samples[label]
+        scaled = (values - v_min) / (v_max - v_min)
+        for col, fraction in enumerate(scaled):
+            row = height - 1 - int(round(fraction * (height - 1)))
+            rows[row][col] = glyph
+
+    lines = []
+    for row_index, row in enumerate(rows):
+        level = v_max - (v_max - v_min) * row_index / (height - 1)
+        lines.append(f"{format_eng(level, 'V', 3):>9s} |"
+                     + "".join(row))
+    axis = (f"{'':>9s} +" + "-" * width)
+    lines.append(axis)
+    lines.append(f"{'':>11s}{format_eng(t0, 's', 3)}"
+                 + " " * max(width - 22, 1)
+                 + format_eng(t1, 's', 3))
+    legend = "  ".join(f"{_GLYPHS[i % len(_GLYPHS)]}={label}"
+                       for i, label in enumerate(labels))
+    lines.append(f"{'':>11s}{legend}")
+    return "\n".join(lines)
+
+
+def render_transient(result, nodes: Sequence[str], **kwargs) -> str:
+    """Convenience: plot node voltages from a TransientResult."""
+    waves = {node: result.wave(node) for node in nodes}
+    return render_waveforms(waves, **kwargs)

@@ -1,0 +1,57 @@
+"""Per-device current probing at a solved bias point.
+
+Useful for leakage-path hunting and for tests that assert which device
+dominates a static current. Works on any solution vector produced by
+the OP, DC-sweep, or transient analyses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spice.devices.mosfet import Mosfet
+from repro.spice.devices.passive import Resistor
+from repro.spice.devices.diode import Diode
+
+
+def _voltage(x: np.ndarray, idx: int) -> float:
+    return 0.0 if idx < 0 else float(x[idx])
+
+
+def device_currents(circuit, x: np.ndarray) -> dict[str, float]:
+    """Static branch current of every conducting device at state ``x``.
+
+    Returns a mapping device name -> current [A]:
+
+    * MOSFET: drain-terminal current (positive into the drain);
+    * resistor: current pos -> neg;
+    * diode: forward current.
+
+    Capacitors and sources are skipped (capacitors carry no DC current;
+    source currents are available as MNA branch variables).
+    """
+    currents: dict[str, float] = {}
+    for device in circuit:
+        if isinstance(device, Mosfet):
+            d, g, s, b = device.node_indices
+            currents[device.name] = device.evaluate(
+                _voltage(x, d), _voltage(x, g), _voltage(x, s),
+                _voltage(x, b))[0]
+        elif isinstance(device, Resistor):
+            a, b_ = device.node_indices
+            currents[device.name] = (
+                _voltage(x, a) - _voltage(x, b_)) / device.resistance
+        elif isinstance(device, Diode):
+            a, b_ = device.node_indices
+            v = _voltage(x, a) - _voltage(x, b_)
+            currents[device.name] = device.current_and_conductance(v)[0]
+    return currents
+
+
+def dominant_currents(circuit, x: np.ndarray, top: int = 8,
+                      floor: float = 1e-15) -> list[tuple[str, float]]:
+    """The ``top`` largest-magnitude device currents above ``floor``."""
+    items = [(name, value) for name, value in
+             device_currents(circuit, x).items() if abs(value) > floor]
+    items.sort(key=lambda kv: -abs(kv[1]))
+    return items[:top]

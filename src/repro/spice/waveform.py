@@ -1,0 +1,196 @@
+"""Waveform container and measurement primitives.
+
+A :class:`Waveform` is an immutable (time, value) sample series on a
+strictly increasing, non-uniform time grid — exactly what the adaptive
+transient engine produces. Measurements interpolate linearly between
+samples, which matches SPICE ``.measure`` semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+RISE = "rise"
+FALL = "fall"
+BOTH = "both"
+
+
+class Waveform:
+    """Sampled signal with linear-interpolation measurements."""
+
+    def __init__(self, times: Sequence[float], values: Sequence[float]):
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if times.ndim != 1 or times.shape != values.shape:
+            raise MeasurementError("times and values must be equal-length 1-D")
+        if times.size < 2:
+            raise MeasurementError("waveform needs at least two samples")
+        if np.any(np.diff(times) <= 0):
+            raise MeasurementError("waveform times must be strictly increasing")
+        self.times = times
+        self.values = values
+
+    # -- basic access -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def t_start(self) -> float:
+        return float(self.times[0])
+
+    @property
+    def t_stop(self) -> float:
+        return float(self.times[-1])
+
+    def value_at(self, t: float) -> float:
+        """Linearly interpolated value at time ``t`` (clamped at ends)."""
+        return float(np.interp(t, self.times, self.values))
+
+    def initial_value(self) -> float:
+        return float(self.values[0])
+
+    def final_value(self) -> float:
+        return float(self.values[-1])
+
+    def minimum(self) -> float:
+        return float(np.min(self.values))
+
+    def maximum(self) -> float:
+        return float(np.max(self.values))
+
+    def clip(self, t0: float, t1: float) -> "Waveform":
+        """Sub-waveform on [t0, t1], with interpolated endpoint samples."""
+        if t1 <= t0:
+            raise MeasurementError(f"empty clip window [{t0}, {t1}]")
+        t0 = max(t0, self.t_start)
+        t1 = min(t1, self.t_stop)
+        mask = (self.times > t0) & (self.times < t1)
+        times = np.concatenate(([t0], self.times[mask], [t1]))
+        values = np.concatenate(([self.value_at(t0)], self.values[mask],
+                                 [self.value_at(t1)]))
+        return Waveform(times, values)
+
+    # -- crossings ----------------------------------------------------------
+
+    def crossings(self, level: float, edge: str = BOTH) -> list[float]:
+        """Times where the waveform crosses ``level`` (interpolated)."""
+        if edge not in (RISE, FALL, BOTH):
+            raise MeasurementError(f"edge must be rise/fall/both, got {edge!r}")
+        v = self.values - level
+        result: list[float] = []
+        for i in range(v.size - 1):
+            a, b = v[i], v[i + 1]
+            if a == b:
+                continue
+            rising = a < 0.0 <= b
+            falling = a >= 0.0 > b
+            if (edge == RISE and not rising) or (edge == FALL and not falling):
+                continue
+            if not (rising or falling):
+                continue
+            frac = a / (a - b)
+            result.append(float(self.times[i] + frac *
+                                (self.times[i + 1] - self.times[i])))
+        return result
+
+    def cross(self, level: float, edge: str = BOTH, occurrence: int = 1,
+              after: float = -np.inf) -> float:
+        """The n-th crossing of ``level`` after time ``after``.
+
+        Raises:
+            MeasurementError: if the crossing does not exist.
+        """
+        found = [t for t in self.crossings(level, edge) if t >= after]
+        if len(found) < occurrence:
+            raise MeasurementError(
+                f"no {edge} crossing #{occurrence} of level {level} "
+                f"after t={after}")
+        return found[occurrence - 1]
+
+    # -- aggregate measures ---------------------------------------------
+
+    def integral(self, t0: float | None = None,
+                 t1: float | None = None) -> float:
+        """Trapezoidal integral of the waveform over [t0, t1]."""
+        t0 = self.t_start if t0 is None else t0
+        t1 = self.t_stop if t1 is None else t1
+        clipped = self.clip(t0, t1)
+        return float(np.trapezoid(clipped.values, clipped.times))
+
+    def average(self, t0: float | None = None,
+                t1: float | None = None) -> float:
+        """Time-average of the waveform over [t0, t1]."""
+        t0 = self.t_start if t0 is None else t0
+        t1 = self.t_stop if t1 is None else t1
+        return self.integral(t0, t1) / (t1 - t0)
+
+    def rms(self, t0: float | None = None, t1: float | None = None) -> float:
+        squared = Waveform(self.times, self.values ** 2)
+        return float(np.sqrt(squared.average(t0, t1)))
+
+    # -- edge timing -------------------------------------------------------
+
+    def transition_time(self, v_low: float, v_high: float,
+                        edge: str = RISE, after: float = -np.inf) -> float:
+        """10/90-style transition time between two absolute levels."""
+        if edge == RISE:
+            t_a = self.cross(v_low, RISE, after=after)
+            t_b = self.cross(v_high, RISE, after=t_a)
+        elif edge == FALL:
+            t_a = self.cross(v_high, FALL, after=after)
+            t_b = self.cross(v_low, FALL, after=t_a)
+        else:
+            raise MeasurementError("transition_time edge must be rise or fall")
+        return t_b - t_a
+
+    def settles_to(self, target: float, tolerance: float,
+                   after: float) -> bool:
+        """True if all samples past ``after`` stay within +/- tolerance."""
+        mask = self.times >= after
+        if not np.any(mask):
+            return False
+        return bool(np.all(np.abs(self.values[mask] - target) <= tolerance))
+
+    # -- composition -------------------------------------------------------
+
+    def __neg__(self) -> "Waveform":
+        return Waveform(self.times, -self.values)
+
+    def scaled(self, factor: float) -> "Waveform":
+        return Waveform(self.times, self.values * factor)
+
+    def shifted(self, offset: float) -> "Waveform":
+        return Waveform(self.times, self.values + offset)
+
+    def resampled(self, times: Iterable[float]) -> "Waveform":
+        times = np.asarray(list(times), dtype=float)
+        return Waveform(times, np.interp(times, self.times, self.values))
+
+    def multiply(self, other: "Waveform") -> "Waveform":
+        """Pointwise product on the union grid (for p(t) = v(t) i(t))."""
+        grid = np.union1d(self.times, other.times)
+        grid = grid[(grid >= max(self.t_start, other.t_start)) &
+                    (grid <= min(self.t_stop, other.t_stop))]
+        a = np.interp(grid, self.times, self.values)
+        b = np.interp(grid, other.times, other.values)
+        return Waveform(grid, a * b)
+
+
+def propagation_delay(input_wave: Waveform, output_wave: Waveform,
+                      v_in_mid: float, v_out_mid: float,
+                      in_edge: str, out_edge: str,
+                      after: float = -np.inf) -> float:
+    """50 %-to-50 % propagation delay between two waveforms.
+
+    Measures from the first ``in_edge`` crossing of the input midpoint
+    after ``after`` to the first subsequent ``out_edge`` crossing of the
+    output midpoint.
+    """
+    t_in = input_wave.cross(v_in_mid, in_edge, after=after)
+    t_out = output_wave.cross(v_out_mid, out_edge, after=t_in)
+    return t_out - t_in

@@ -1,0 +1,19 @@
+"""A small NLDM-based static-timing engine for crossing paths."""
+
+from repro.sta.engine import (
+    FALL, RISE, PathStep, StaEngine, TimingLibrary, TimingPoint,
+    TimingReport,
+)
+from repro.sta.netlist import GateInstance, GateNetlist
+
+__all__ = [
+    "GateInstance",
+    "GateNetlist",
+    "StaEngine",
+    "TimingLibrary",
+    "TimingReport",
+    "TimingPoint",
+    "PathStep",
+    "RISE",
+    "FALL",
+]

@@ -1,0 +1,114 @@
+"""Gate-level netlist model for the static-timing engine.
+
+Instances are single-input, single-output cells (inverter-class gates
+and the level shifters of this study); nets connect one driver to any
+number of loads. This is deliberately the minimal structure needed to
+time multi-voltage crossing paths — a driver chain, a level shifter at
+the domain boundary, a receiver chain — with realistic fanout loading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class GateInstance:
+    """One placed cell: ``output = cell(input)``."""
+
+    name: str
+    cell: str        #: cell name in the timing library
+    input_net: str
+    output_net: str
+
+    def __post_init__(self):
+        if self.input_net == self.output_net:
+            raise AnalysisError(f"{self.name}: input and output nets "
+                                "must differ (no self-loop cells)")
+
+
+class GateNetlist:
+    """A DAG of single-input cells with named nets."""
+
+    def __init__(self, name: str = "netlist"):
+        self.name = name
+        self.instances: dict[str, GateInstance] = {}
+        self.primary_inputs: list[str] = []
+        self.primary_outputs: list[str] = []
+        #: Extra wire capacitance per net [F].
+        self.net_wire_cap: dict[str, float] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_instance(self, name: str, cell: str, input_net: str,
+                     output_net: str) -> GateInstance:
+        if name in self.instances:
+            raise AnalysisError(f"duplicate instance {name!r}")
+        drivers = [inst for inst in self.instances.values()
+                   if inst.output_net == output_net]
+        if drivers:
+            raise AnalysisError(
+                f"net {output_net!r} already driven by "
+                f"{drivers[0].name!r}")
+        instance = GateInstance(name, cell, input_net, output_net)
+        self.instances[name] = instance
+        return instance
+
+    def add_primary_input(self, net: str) -> None:
+        if net not in self.primary_inputs:
+            self.primary_inputs.append(net)
+
+    def add_primary_output(self, net: str) -> None:
+        if net not in self.primary_outputs:
+            self.primary_outputs.append(net)
+
+    def set_wire_cap(self, net: str, capacitance: float) -> None:
+        if capacitance < 0:
+            raise AnalysisError("wire capacitance must be >= 0")
+        self.net_wire_cap[net] = capacitance
+
+    # -- structure ----------------------------------------------------------
+
+    def loads_of(self, net: str) -> list[GateInstance]:
+        return [inst for inst in self.instances.values()
+                if inst.input_net == net]
+
+    def driver_of(self, net: str) -> GateInstance | None:
+        for inst in self.instances.values():
+            if inst.output_net == net:
+                return inst
+        return None
+
+    def graph(self) -> "nx.DiGraph":
+        """Instance-level DAG (edges follow nets)."""
+        g = nx.DiGraph()
+        for inst in self.instances.values():
+            g.add_node(inst.name)
+        for inst in self.instances.values():
+            for load in self.loads_of(inst.output_net):
+                g.add_edge(inst.name, load.name, net=inst.output_net)
+        return g
+
+    def validate(self) -> None:
+        """Check the netlist is a drivable DAG."""
+        if not self.primary_inputs:
+            raise AnalysisError("netlist has no primary inputs")
+        graph = self.graph()
+        if not nx.is_directed_acyclic_graph(graph):
+            cycle = nx.find_cycle(graph)
+            raise AnalysisError(f"combinational loop: {cycle}")
+        for inst in self.instances.values():
+            if (inst.input_net not in self.primary_inputs
+                    and self.driver_of(inst.input_net) is None):
+                raise AnalysisError(
+                    f"{inst.name}: input net {inst.input_net!r} has no "
+                    "driver and is not a primary input")
+
+    def topological_instances(self) -> list[GateInstance]:
+        self.validate()
+        order = nx.topological_sort(self.graph())
+        return [self.instances[name] for name in order]

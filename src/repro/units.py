@@ -1,0 +1,97 @@
+"""SI-suffix number parsing and engineering-notation formatting.
+
+SPICE netlists and circuit literature use suffixed numbers such as ``1n``
+(nano), ``2.5meg`` (mega), or ``0.12u`` (micro). This module converts those
+strings to floats and formats floats back into readable engineering
+notation for reports and tables.
+
+The suffix set follows SPICE conventions, so ``m`` is *milli* and ``meg``
+is *mega* (case-insensitive). Trailing unit names after the suffix (for
+example ``10pF`` or ``1.2ns``) are tolerated and ignored, as in SPICE.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.errors import NetlistError
+
+#: SPICE magnitude suffixes, longest first so ``meg``/``mil`` win over ``m``.
+_SUFFIXES = (
+    ("meg", 1e6),
+    ("mil", 25.4e-6),
+    ("t", 1e12),
+    ("g", 1e9),
+    ("k", 1e3),
+    ("m", 1e-3),
+    ("u", 1e-6),
+    ("n", 1e-9),
+    ("p", 1e-12),
+    ("f", 1e-15),
+    ("a", 1e-18),
+)
+
+_NUMBER_RE = re.compile(
+    r"^\s*([+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)\s*([a-zA-Z%]*)\s*$"
+)
+
+
+def parse_value(text: str | float | int) -> float:
+    """Parse a SPICE-style suffixed number into a float.
+
+    Accepts plain numbers (``"1e-9"``), suffixed numbers (``"1n"``,
+    ``"2.5MEG"``), suffixed numbers with trailing unit letters
+    (``"10pF"``, ``"0.5ns"``), and numeric types (returned as float).
+
+    Raises:
+        NetlistError: if ``text`` is not a recognizable number.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _NUMBER_RE.match(text)
+    if match is None:
+        raise NetlistError(f"cannot parse numeric value {text!r}")
+    mantissa = float(match.group(1))
+    tail = match.group(2).lower()
+    if not tail:
+        return mantissa
+    for suffix, scale in _SUFFIXES:
+        if tail.startswith(suffix):
+            return mantissa * scale
+    # A bare unit such as "V" or "F" with no magnitude suffix.
+    if tail.isalpha() or tail == "%":
+        if tail == "%":
+            return mantissa * 1e-2
+        return mantissa
+    raise NetlistError(f"cannot parse numeric value {text!r}")
+
+
+#: Engineering prefixes; 1e6 is spelled ``meg`` because SPICE parsing
+#: is case-insensitive and a bare ``M`` would read back as milli.
+_ENG_PREFIXES = {
+    -18: "a", -15: "f", -12: "p", -9: "n", -6: "u", -3: "m",
+    0: "", 3: "k", 6: "meg", 9: "G", 12: "T",
+}
+
+
+def format_eng(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format ``value`` in engineering notation with an SI prefix.
+
+    >>> format_eng(2.2e-11, "F")
+    '22pF'
+    >>> format_eng(0.0, "V")
+    '0V'
+    """
+    if value == 0 or not math.isfinite(value):
+        return f"{value:g}{unit}"
+    exponent = int(math.floor(math.log10(abs(value)) / 3.0) * 3)
+    exponent = max(-18, min(12, exponent))
+    scaled = value / 10.0 ** exponent
+    text = f"{scaled:.{digits}g}"
+    return f"{text}{_ENG_PREFIXES[exponent]}{unit}"
+
+
+def format_si_table(value: float, unit: str) -> str:
+    """Format a value for result tables: three significant digits plus unit."""
+    return format_eng(value, unit, digits=3)

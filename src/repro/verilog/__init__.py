@@ -1,0 +1,18 @@
+"""Structural Verilog subset: parsing, writing, engine bridges."""
+
+from repro.verilog.parser import (
+    VerilogInstance, VerilogModule, parse_verilog, write_verilog,
+)
+from repro.verilog.bridge import (
+    LOGIC_CELL_REGISTRY, to_gate_netlist, to_logic_simulator,
+)
+
+__all__ = [
+    "VerilogModule",
+    "VerilogInstance",
+    "parse_verilog",
+    "write_verilog",
+    "to_gate_netlist",
+    "to_logic_simulator",
+    "LOGIC_CELL_REGISTRY",
+]

@@ -1,0 +1,108 @@
+"""Bridges from parsed Verilog to the timing and logic engines.
+
+The cells this study uses are single-input (pin ``A``) single-output
+(pin ``Y``) — inverters, buffers, and level shifters — so a structural
+module maps directly onto :class:`repro.sta.GateNetlist` and onto the
+event-driven simulator's component list. Cell names carry their own
+semantics for the logic bridge via a registry of behavioral factories.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import NetlistError
+from repro.logicsim import (
+    LogicSimulator, SupplyState, buffer, inverter, level_shifter,
+)
+from repro.sta import GateNetlist
+from repro.verilog.parser import VerilogModule
+
+INPUT_PIN = "A"
+OUTPUT_PIN = "Y"
+
+
+def _pin(inst, pin: str) -> str:
+    try:
+        return inst.connections[pin]
+    except KeyError:
+        raise NetlistError(
+            f"{inst.name}: cell {inst.cell!r} needs a .{pin}() "
+            "connection") from None
+
+
+def to_gate_netlist(module: VerilogModule) -> GateNetlist:
+    """Structural module -> STA netlist (cells resolved later by the
+    timing library, so any cell name is accepted here)."""
+    netlist = GateNetlist(module.name)
+    for net in module.inputs:
+        netlist.add_primary_input(net)
+    for net in module.outputs:
+        netlist.add_primary_output(net)
+    for inst in module.instances:
+        netlist.add_instance(inst.name, inst.cell,
+                             _pin(inst, INPUT_PIN),
+                             _pin(inst, OUTPUT_PIN))
+    return netlist
+
+
+#: Logic-bridge registry: cell-name prefix -> component factory
+#: ``factory(name, input_net, output_net, supplies) -> Component``.
+def _inv_factory(name, a, y, supplies):
+    return inverter(name, a, y)
+
+
+def _buf_factory(name, a, y, supplies):
+    return buffer(name, a, y)
+
+
+def _shifter_factory(kind: str) -> Callable:
+    def factory(name, a, y, supplies):
+        # Cell naming convention: <KIND>_<in_domain>_<out_domain>.
+        return level_shifter(name, kind, a, y, supplies,
+                             *_domains_from(name))
+    return factory
+
+
+def _domains_from(name: str):
+    parts = name.split("$")
+    if len(parts) == 3:
+        return parts[1], parts[2]
+    raise NetlistError(
+        f"shifter instance {name!r} must be named "
+        "<name>$<in_domain>$<out_domain> for the logic bridge")
+
+
+LOGIC_CELL_REGISTRY = {
+    "INV": _inv_factory,
+    "BUF": _buf_factory,
+    "SSTVS": _shifter_factory("sstvs"),
+    "LSINV": _shifter_factory("inverter"),
+    "SSVS": _shifter_factory("ssvs"),
+    "CVS": _shifter_factory("cvs"),
+}
+
+
+def to_logic_simulator(module: VerilogModule,
+                       supplies: SupplyState) -> LogicSimulator:
+    """Structural module -> event-driven simulator.
+
+    Cell names are matched by prefix against LOGIC_CELL_REGISTRY
+    (``INVX1`` matches ``INV``); shifter instances encode their domains
+    in the instance name (``u1$cpu$dsp``).
+    """
+    sim = LogicSimulator(supplies)
+    for inst in module.instances:
+        factory = None
+        for prefix in sorted(LOGIC_CELL_REGISTRY, key=len,
+                             reverse=True):
+            if inst.cell.upper().startswith(prefix):
+                factory = LOGIC_CELL_REGISTRY[prefix]
+                break
+        if factory is None:
+            raise NetlistError(
+                f"{inst.name}: no behavioral model for cell "
+                f"{inst.cell!r}")
+        sim.add(factory(inst.name, _pin(inst, INPUT_PIN),
+                        _pin(inst, OUTPUT_PIN), supplies))
+    return sim

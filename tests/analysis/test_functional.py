@@ -1,0 +1,36 @@
+"""Tests for the functional-validation grid."""
+
+import pytest
+
+from repro.analysis import SweepGrid, validate_functionality
+
+
+class TestFunctionalValidation:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return validate_functionality("sstvs", SweepGrid.with_step(0.3))
+
+    def test_all_pairs_pass(self, report):
+        # The paper's claim on the DVS grid.
+        assert report.all_passed, report.summary()
+
+    def test_counts(self, report):
+        assert report.total == 9
+        assert report.passed == 9
+
+    def test_summary_text(self, report):
+        assert "PASS" in report.summary()
+        assert "9/9" in report.summary()
+
+    def test_failures_reported(self):
+        # The one-way Puri shifter must fail somewhere on a grid that
+        # includes high-to-low pairs.
+        report = validate_functionality("ssvs_puri",
+                                        SweepGrid.with_step(0.6))
+        if not report.all_passed:
+            assert report.failures
+            assert "FAIL" in report.summary()
+
+    def test_empty_report_not_passed(self):
+        from repro.analysis.functional import FunctionalReport
+        assert not FunctionalReport(kind="x").all_passed

@@ -1,0 +1,60 @@
+"""Tests for the Monte Carlo engine (small run counts for speed)."""
+
+import pytest
+
+from repro.analysis import MonteCarloConfig, run_monte_carlo
+from repro.core import StimulusPlan
+from repro.errors import AnalysisError
+
+FAST = MonteCarloConfig(runs=4, seed=99,
+                        plan=StimulusPlan(settle=3e-9, hold=2e-9,
+                                          short=0.8e-9))
+
+
+class TestMonteCarlo:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_monte_carlo("sstvs", 0.8, 1.2, FAST)
+
+    def test_sample_count(self, result):
+        assert len(result.samples) == 4
+        assert result.statistics.runs == 4
+
+    def test_all_functional(self, result):
+        # The paper: every MC sample converts correctly.
+        assert result.functional_yield == 1.0
+
+    def test_samples_differ(self, result):
+        delays = {s.delay_rise for s in result.samples}
+        assert len(delays) == 4, "process variation had no effect"
+
+    def test_std_positive(self, result):
+        assert result.statistics.std.delay_rise > 0
+
+    def test_reproducible(self, result):
+        again = run_monte_carlo("sstvs", 0.8, 1.2, FAST)
+        assert [s.delay_rise for s in again.samples] == \
+            [s.delay_rise for s in result.samples]
+
+    def test_different_seed_differs(self, result):
+        config = MonteCarloConfig(runs=4, seed=100, plan=FAST.plan)
+        other = run_monte_carlo("sstvs", 0.8, 1.2, config)
+        assert [s.delay_rise for s in other.samples] != \
+            [s.delay_rise for s in result.samples]
+
+    def test_progress_callback(self):
+        seen = []
+        config = MonteCarloConfig(runs=2, seed=1, plan=FAST.plan)
+        run_monte_carlo("sstvs", 1.2, 0.8, config,
+                        progress=lambda i, m: seen.append(i))
+        assert seen == [0, 1]
+
+    def test_zero_runs_rejected(self):
+        with pytest.raises(AnalysisError):
+            run_monte_carlo("sstvs", 0.8, 1.2,
+                            MonteCarloConfig(runs=0))
+
+    def test_result_metadata(self, result):
+        assert result.kind == "sstvs"
+        assert result.vddi == 0.8
+        assert result.vddo == 1.2

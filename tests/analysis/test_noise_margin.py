@@ -1,0 +1,58 @@
+"""Tests for VTC extraction and noise margins."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import extract_vtc
+from repro.errors import AnalysisError
+
+
+class TestInverterVtc:
+    @pytest.fixture(scope="class")
+    def vtc(self):
+        return extract_vtc("inverter", 1.2, 1.2)
+
+    def test_full_swing(self, vtc):
+        assert vtc.voh == pytest.approx(1.2, abs=0.02)
+        assert vtc.vol == pytest.approx(0.0, abs=0.02)
+        assert vtc.output_swing == pytest.approx(1.2, abs=0.04)
+
+    def test_thresholds_ordered(self, vtc):
+        assert 0.0 < vtc.vil < vtc.vih < 1.2
+
+    def test_switching_near_midrail(self, vtc):
+        assert 0.45 < vtc.switching_point < 0.75
+
+    def test_regenerative(self, vtc):
+        assert vtc.regenerative()
+
+    def test_noise_margins_positive(self, vtc):
+        assert vtc.nml > 0.1
+        assert vtc.nmh > 0.1
+
+    def test_curve_monotone_falling(self, vtc):
+        assert np.all(np.diff(vtc.vout) <= 1e-6)
+
+
+class TestShifterVtc:
+    def test_sstvs_full_output_swing(self):
+        vtc = extract_vtc("sstvs", 0.8, 1.2, points=61)
+        # The defining property: full VDDO swing from a VDDI input.
+        assert vtc.voh == pytest.approx(1.2, abs=0.05)
+        assert vtc.vol == pytest.approx(0.0, abs=0.05)
+        assert vtc.regenerative()
+
+    def test_sstvs_falling_threshold_is_low(self):
+        # The M1 discharge path needs the input below ctrl - Vt, so the
+        # DC switching point (swept from input-high) sits well below
+        # midrail — a real asymmetry of the latch-based cell.
+        vtc = extract_vtc("sstvs", 0.8, 1.2, points=61)
+        assert vtc.switching_point < 0.4
+
+    def test_cvs_vtc(self):
+        vtc = extract_vtc("cvs", 0.8, 1.2, points=61)
+        assert vtc.output_swing == pytest.approx(1.2, abs=0.06)
+
+    def test_point_count_validated(self):
+        with pytest.raises(AnalysisError):
+            extract_vtc("inverter", 1.2, 1.2, points=5)

@@ -1,0 +1,60 @@
+"""Tests for finite-difference sizing sensitivities."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    SIZING_KNOBS, metric_sensitivities, render_sensitivity_table,
+)
+from repro.core.characterize import StimulusPlan
+from repro.errors import AnalysisError
+
+FAST = StimulusPlan(settle=3e-9, hold=2e-9, short=0.8e-9)
+
+
+class TestKnobDiscovery:
+    def test_knob_list_covers_widths(self):
+        assert "w_m1" in SIZING_KNOBS
+        assert "w_mc" in SIZING_KNOBS
+        assert "l_m3" in SIZING_KNOBS
+
+    def test_flavor_overrides_not_a_knob(self):
+        assert "flavor_overrides" not in SIZING_KNOBS
+
+
+class TestSensitivities:
+    @pytest.fixture(scope="class")
+    def mc_sensitivity(self):
+        return metric_sensitivities("sstvs", 0.8, 1.2, knobs=("w_mc",),
+                                    plan=FAST)["w_mc"]
+
+    def test_mc_width_affects_leakage(self, mc_sensitivity):
+        # MC's gate leakage scales with its area: leakage-low moves
+        # with w_mc.
+        assert mc_sensitivity.values["leakage_low"] > 0.05
+
+    def test_values_cover_all_metrics(self, mc_sensitivity):
+        from repro.core.metrics import METRIC_FIELDS
+        assert set(mc_sensitivity.values) == set(METRIC_FIELDS)
+
+    def test_dominant_metric(self, mc_sensitivity):
+        assert mc_sensitivity.dominant_metric() in mc_sensitivity.values
+
+    def test_render_table(self, mc_sensitivity):
+        text = render_sensitivity_table({"w_mc": mc_sensitivity})
+        assert "w_mc" in text
+        assert "delay_rise" in text
+
+
+class TestValidation:
+    def test_only_sstvs(self):
+        with pytest.raises(AnalysisError):
+            metric_sensitivities("inverter", 0.8, 1.2)
+
+    def test_unknown_knob(self):
+        with pytest.raises(AnalysisError):
+            metric_sensitivities("sstvs", 0.8, 1.2, knobs=("w_ghost",))
+
+    def test_bad_step(self):
+        with pytest.raises(AnalysisError):
+            metric_sensitivities("sstvs", 0.8, 1.2, knobs=("w_m1",),
+                                 relative_step=0.9)

@@ -1,0 +1,36 @@
+"""Tests for the temperature validation flows."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_TEMPERATURES, monte_carlo_over_temperature, sweep_temperature,
+)
+
+
+class TestTemperatureSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep_temperature("sstvs", 1.2, 0.8,
+                                 temperatures=(27.0, 90.0))
+
+    def test_point_count(self, points):
+        assert [p.temperature_c for p in points] == [27.0, 90.0]
+
+    def test_functional_at_all_temperatures(self, points):
+        assert all(p.metrics.functional for p in points)
+
+    def test_leakage_grows_with_temperature(self, points):
+        cold, hot = points
+        assert hot.metrics.leakage_high > cold.metrics.leakage_high
+
+    def test_paper_temperatures_constant(self):
+        assert PAPER_TEMPERATURES == (27.0, 60.0, 90.0)
+
+
+class TestMonteCarloOverTemperature:
+    def test_small_run(self):
+        results = monte_carlo_over_temperature(
+            "sstvs", 0.8, 1.2, runs=2, temperatures=(27.0, 60.0))
+        assert set(results) == {27.0, 60.0}
+        for result in results.values():
+            assert result.functional_yield == 1.0

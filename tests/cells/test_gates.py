@@ -1,0 +1,124 @@
+"""Static (DC truth-table) tests for the primitive gate cells."""
+
+import pytest
+
+from repro.cells import (
+    add_inverter, add_mux2, add_nand2, add_nor2, add_transmission_gate,
+)
+from repro.spice import Circuit, OperatingPoint
+from repro.spice.devices import VoltageSource
+
+VDD = 1.2
+
+
+def _static(pdk, builder, inputs, probe, **kwargs):
+    """Build one gate with DC inputs; return the probe-node voltage."""
+    ckt = Circuit("gate")
+    ckt.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+    for name, level in inputs.items():
+        ckt.add(VoltageSource(f"v_{name}", name, "0", dc=level))
+    builder(ckt, pdk, "g", **kwargs)
+    op = OperatingPoint(ckt).run()
+    return op[probe]
+
+
+class TestInverter:
+    @pytest.mark.parametrize("vin,expected", [(0.0, VDD), (VDD, 0.0)])
+    def test_truth_table(self, pdk, vin, expected):
+        out = _static(pdk, add_inverter, {"a": vin}, "out",
+                      inp="a", out="out", vdd="vdd")
+        assert out == pytest.approx(expected, abs=0.02)
+
+    def test_returns_device_names(self, pdk):
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+        ckt.add(VoltageSource("vin", "in", "0", dc=0.0))
+        devices = add_inverter(ckt, pdk, "inv", "in", "out", "vdd")
+        assert set(devices) == {"mn", "mp"}
+        assert "inv.mn" in ckt
+
+
+class TestNor2:
+    @pytest.mark.parametrize("a,b,expected", [
+        (0.0, 0.0, VDD),
+        (VDD, 0.0, 0.0),
+        (0.0, VDD, 0.0),
+        (VDD, VDD, 0.0),
+    ])
+    def test_truth_table(self, pdk, a, b, expected):
+        out = _static(pdk, add_nor2, {"a": a, "b": b}, "out",
+                      in_a="a", in_b="b", out="out", vdd="vdd")
+        assert out == pytest.approx(expected, abs=0.02)
+
+    def test_in_driven_pmos_adjacent_to_output(self, pdk):
+        # The stack order matters for the SS-TVS leakage story: the
+        # in_a device must connect to the output node.
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+        ckt.add(VoltageSource("va", "a", "0", dc=0.0))
+        ckt.add(VoltageSource("vb", "b", "0", dc=0.0))
+        add_nor2(ckt, pdk, "g", "a", "b", "out", "vdd")
+        mp_a = ckt.device("g.mp_a")
+        assert "out" in mp_a.nodes
+        mp_b = ckt.device("g.mp_b")
+        assert "vdd" in mp_b.nodes
+
+
+class TestNand2:
+    @pytest.mark.parametrize("a,b,expected", [
+        (0.0, 0.0, VDD),
+        (VDD, 0.0, VDD),
+        (0.0, VDD, VDD),
+        (VDD, VDD, 0.0),
+    ])
+    def test_truth_table(self, pdk, a, b, expected):
+        out = _static(pdk, add_nand2, {"a": a, "b": b}, "out",
+                      in_a="a", in_b="b", out="out", vdd="vdd")
+        assert out == pytest.approx(expected, abs=0.02)
+
+
+class TestTransmissionGate:
+    def test_passes_when_enabled(self, pdk):
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+        ckt.add(VoltageSource("vin", "a", "0", dc=0.7))
+        ckt.add(VoltageSource("ven", "en", "0", dc=VDD))
+        ckt.add(VoltageSource("venb", "enb", "0", dc=0.0))
+        add_transmission_gate(ckt, pdk, "tg", "a", "b", "en", "enb",
+                              "vdd")
+        op = OperatingPoint(ckt).run()
+        assert op["b"] == pytest.approx(0.7, abs=0.02)
+
+    def test_blocks_when_disabled(self, pdk):
+        from repro.spice.devices import Resistor
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+        ckt.add(VoltageSource("vin", "a", "0", dc=1.0))
+        ckt.add(VoltageSource("ven", "en", "0", dc=0.0))
+        ckt.add(VoltageSource("venb", "enb", "0", dc=VDD))
+        ckt.add(Resistor("rpull", "b", "0", 1e8))
+        add_transmission_gate(ckt, pdk, "tg", "a", "b", "en", "enb",
+                              "vdd")
+        op = OperatingPoint(ckt).run()
+        # Off TG: only leakage reaches node b through 100 MOhm.
+        assert op["b"] < 0.4
+
+
+class TestMux2:
+    def _mux_output(self, pdk, sel, in0=0.3, in1=0.9):
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+        ckt.add(VoltageSource("v0", "a", "0", dc=in0))
+        ckt.add(VoltageSource("v1", "b", "0", dc=in1))
+        ckt.add(VoltageSource("vs", "sel", "0", dc=VDD if sel else 0.0))
+        ckt.add(VoltageSource("vsb", "selb", "0", dc=0.0 if sel else VDD))
+        add_mux2(ckt, pdk, "mux", "a", "b", "sel", "selb", "out", "vdd")
+        return OperatingPoint(ckt).run()["out"]
+
+    def test_selects_in1_when_high(self, pdk):
+        assert self._mux_output(pdk, sel=True) == pytest.approx(0.9,
+                                                                abs=0.02)
+
+    def test_selects_in0_when_low(self, pdk):
+        assert self._mux_output(pdk, sel=False) == pytest.approx(0.3,
+                                                                 abs=0.02)

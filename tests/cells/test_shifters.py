@@ -1,0 +1,197 @@
+"""Static and structural tests for every level-shifter cell.
+
+Full dynamic characterization lives in tests/core and the integration
+suite; here we verify DC truth tables (via the reset-pulse stimulus to
+avoid metastable DC solutions), internal node levels, and structural
+properties like device flavors.
+"""
+
+import pytest
+
+from repro.cells import add_cvs, add_sstvs
+from repro.cells.sstvs import SstvsSizing
+from repro.core.characterize import StimulusPlan, run_stimulus
+from repro.pdk import HIGH_VT, LOW_VT, Pdk
+from repro.spice import Circuit, OperatingPoint
+from repro.spice.devices import VoltageSource
+
+FAST_PLAN = StimulusPlan(settle=3e-9, hold=2e-9, short=0.8e-9)
+
+
+class TestSstvsStructure:
+    def _cell(self, pdk, sizing=None):
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("vdd", "vdd", "0", dc=1.2))
+        ckt.add(VoltageSource("vin", "in", "0", dc=0.0))
+        devices = add_sstvs(ckt, pdk, "dut", "in", "out", "vdd",
+                            sizing=sizing)
+        return ckt, devices
+
+    def test_device_inventory(self, pdk):
+        ckt, devices = self._cell(pdk)
+        for key in ("m1", "m2", "m3", "m4", "m5", "m6", "m7", "m8",
+                    "mc", "nor_mp_a", "nor_mp_b", "nor_mn_a",
+                    "nor_mn_b"):
+            assert key in devices, f"missing {key}"
+
+    def test_high_vt_devices_per_paper(self, pdk):
+        # Section 3: M4 and M6 are high-Vt, M8 is low-Vt, others nominal.
+        ckt, devices = self._cell(pdk)
+        assert ckt.device(devices["m4"]).params.vto == pytest.approx(
+            pdk.card("n", HIGH_VT).vto)
+        assert ckt.device(devices["m6"]).params.vto == pytest.approx(
+            pdk.card("n", HIGH_VT).vto)
+        assert ckt.device(devices["m8"]).params.vto == pytest.approx(
+            pdk.card("n", LOW_VT).vto)
+        assert ckt.device(devices["m1"]).params.vto == pytest.approx(
+            pdk.card("n").vto)
+
+    def test_all_pmos_bulks_on_vddo(self, pdk):
+        # The paper: "all PMOS devices in this figure have substrate
+        # connected to VDDO" — mandatory for a single-supply cell.
+        ckt, devices = self._cell(pdk)
+        from repro.spice.devices import Mosfet
+        for device in ckt.devices_of_type(Mosfet):
+            if device.params.polarity == "p":
+                assert device.nodes[3] == "vdd", device.name
+
+    def test_m1_source_is_input(self, pdk):
+        # M1 dumps node2's charge into the input node (paper Section 3).
+        ckt, devices = self._cell(pdk)
+        m1 = ckt.device(devices["m1"])
+        assert m1.nodes[2] == "in"
+        assert m1.nodes[1].endswith("ctrl")
+
+    def test_flavor_override_hook(self, pdk):
+        sizing = SstvsSizing(flavor_overrides={"m4": "nominal"})
+        ckt, devices = self._cell(pdk, sizing)
+        assert ckt.device(devices["m4"]).params.vto == pytest.approx(
+            pdk.card("n").vto)
+
+    def test_mc_is_gate_capacitor(self, pdk):
+        ckt, devices = self._cell(pdk)
+        mc = ckt.device(devices["mc"])
+        # Drain, source, bulk all grounded; gate on ctrl.
+        assert mc.nodes[0] == "0"
+        assert mc.nodes[2] == "0"
+        assert mc.nodes[3] == "0"
+        assert mc.nodes[1].endswith("ctrl")
+
+
+class TestSstvsStates:
+    @pytest.mark.parametrize("vddi,vddo", [(0.8, 1.2), (1.2, 0.8),
+                                           (1.0, 1.0)])
+    def test_static_levels_both_directions(self, pdk, vddi, vddo):
+        result, probes = run_stimulus(pdk, "sstvs", vddi, vddo, FAST_PLAN)
+        out = result.wave(probes.out_node)
+        t_high = FAST_PLAN.t_rise_a - 30e-12   # input low here
+        t_low = FAST_PLAN.t_fall_b - 30e-12    # input high here
+        assert out.value_at(t_high) == pytest.approx(vddo, abs=0.06)
+        assert out.value_at(t_low) == pytest.approx(0.0, abs=0.06)
+
+    def test_node2_tracks_input_high(self, pdk):
+        result, probes = run_stimulus(pdk, "sstvs", 0.8, 1.2, FAST_PLAN)
+        node2 = result.wave(probes.internal["nodes"]["node2"])
+        t_low = FAST_PLAN.t_fall_b - 30e-12
+        # With the input high, node2 must sit at full VDDO — this is
+        # what kills the NOR's partial-PMOS leakage path.
+        assert node2.value_at(t_low) == pytest.approx(1.2, abs=0.05)
+
+    def test_ctrl_below_input_high_level(self, pdk):
+        # M1 must never turn on while the input is high: ctrl stays a
+        # threshold below the input's high level or below ~VDDO - Vt.
+        for vddi, vddo in ((0.8, 1.2), (1.2, 0.8), (0.8, 1.4)):
+            result, probes = run_stimulus(pdk, "sstvs", vddi, vddo,
+                                          FAST_PLAN)
+            ctrl = result.wave(probes.internal["nodes"]["ctrl"])
+            t_low = FAST_PLAN.t_fall_b - 30e-12
+            margin = ctrl.value_at(t_low) - vddi
+            assert margin < 0.37, (vddi, vddo, margin)
+
+    def test_equal_rails_still_shift(self, pdk):
+        result, probes = run_stimulus(pdk, "sstvs", 1.2, 1.2, FAST_PLAN)
+        out = result.wave(probes.out_node)
+        assert out.value_at(FAST_PLAN.t_rise_a - 30e-12) == \
+            pytest.approx(1.2, abs=0.06)
+
+
+class TestCvs:
+    def test_non_inverting_truth_table(self, pdk):
+        for vin, expected in ((0.0, 0.0), (0.8, 1.2)):
+            ckt = Circuit("t")
+            ckt.add(VoltageSource("vddi", "vddi", "0", dc=0.8))
+            ckt.add(VoltageSource("vddo", "vddo", "0", dc=1.2))
+            ckt.add(VoltageSource("vin", "in", "0", dc=vin))
+            add_cvs(ckt, pdk, "dut", "in", "out", "vddi", "vddo")
+            op = OperatingPoint(ckt).run()
+            assert op["out"] == pytest.approx(expected, abs=0.05)
+
+    def test_requires_both_supplies(self, pdk):
+        # Structural: the CVS references two distinct supply nodes.
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("vddi", "vddi", "0", dc=0.8))
+        ckt.add(VoltageSource("vddo", "vddo", "0", dc=1.2))
+        ckt.add(VoltageSource("vin", "in", "0", dc=0.0))
+        devices = add_cvs(ckt, pdk, "dut", "in", "out", "vddi", "vddo")
+        from repro.spice.devices import Mosfet
+        nodes = set()
+        for device in ckt.devices_of_type(Mosfet):
+            nodes.update(device.nodes)
+        assert "vddi" in nodes and "vddo" in nodes
+
+
+class TestSsvsKhan:
+    def test_inverting_levels_low_to_high(self, pdk):
+        result, probes = run_stimulus(pdk, "ssvs_khan", 0.8, 1.2,
+                                      FAST_PLAN)
+        out = result.wave(probes.out_node)
+        assert out.value_at(FAST_PLAN.t_rise_a - 30e-12) == \
+            pytest.approx(1.2, abs=0.06)
+        assert out.value_at(FAST_PLAN.t_fall_b - 30e-12) == \
+            pytest.approx(0.0, abs=0.06)
+
+    def test_virtual_rail_restored_when_input_low(self, pdk):
+        result, probes = run_stimulus(pdk, "ssvs_khan", 0.8, 1.2,
+                                      FAST_PLAN)
+        vvdd = result.wave(probes.internal["nodes"]["vvdd"])
+        # Keeper on: full rail while input is low...
+        assert vvdd.value_at(FAST_PLAN.t_rise_a - 30e-12) == \
+            pytest.approx(1.2, abs=0.08)
+        # ...and dropped (by the low-Vt diode's follower drop) while
+        # the input is high.
+        assert vvdd.value_at(FAST_PLAN.t_fall_b - 30e-12) < 1.15
+
+
+class TestSsvsPuri:
+    def test_functional_low_to_high(self, pdk):
+        result, probes = run_stimulus(pdk, "ssvs_puri", 0.8, 1.2,
+                                      FAST_PLAN)
+        out = result.wave(probes.out_node)
+        assert out.value_at(FAST_PLAN.t_rise_a - 30e-12) == \
+            pytest.approx(1.2, abs=0.06)
+        assert out.value_at(FAST_PLAN.t_fall_b - 30e-12) == \
+            pytest.approx(0.0, abs=0.06)
+
+
+class TestCombinedVs:
+    @pytest.mark.parametrize("vddi,vddo", [(0.8, 1.2), (1.2, 0.8)])
+    def test_levels_both_directions(self, pdk, vddi, vddo):
+        result, probes = run_stimulus(pdk, "combined", vddi, vddo,
+                                      FAST_PLAN)
+        out = result.wave(probes.out_node)
+        assert out.value_at(FAST_PLAN.t_rise_a - 30e-12) == \
+            pytest.approx(vddo, abs=0.06)
+        assert out.value_at(FAST_PLAN.t_fall_b - 30e-12) == \
+            pytest.approx(0.0, abs=0.06)
+
+    def test_has_control_inputs(self, pdk):
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("vdd", "vdd", "0", dc=1.2))
+        ckt.add(VoltageSource("vin", "in", "0", dc=0.0))
+        ckt.add(VoltageSource("vs", "sel", "0", dc=1.2))
+        ckt.add(VoltageSource("vsb", "selb", "0", dc=0.0))
+        from repro.cells import add_combined_vs
+        add_combined_vs(ckt, pdk, "dut", "in", "out", "vdd", "sel",
+                        "selb")
+        ckt.finalize()
+        assert "sel" in ckt.node_names()

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.pdk import Pdk
+from repro.spice import Circuit
+from repro.spice.devices import Mosfet, MosfetParams
+
+
+@pytest.fixture(scope="session")
+def pdk():
+    """Nominal 27 C PDK, shared (cards are immutable)."""
+    return Pdk()
+
+
+@pytest.fixture
+def nmos_params():
+    return MosfetParams(
+        name="test_n", polarity="n", vto=0.39, n_slope=1.2, u0=0.018,
+        tox=2.05e-9, lambda_clm=0.11, gamma=0.0, phi=0.85, eta_dibl=0.05,
+        cgdo=3e-10, cgso=3e-10, cj=1e-3, ldiff=1e-7)
+
+
+@pytest.fixture
+def pmos_params():
+    return MosfetParams(
+        name="test_p", polarity="p", vto=0.35, n_slope=1.25, u0=0.008,
+        tox=2.05e-9, lambda_clm=0.14, gamma=0.0, phi=0.85, eta_dibl=0.05,
+        cgdo=3e-10, cgso=3e-10, cj=1.1e-3, ldiff=1e-7)
+
+
+@pytest.fixture
+def nmos(nmos_params):
+    return Mosfet("mn", "d", "g", "s", "b", nmos_params,
+                  w=0.2e-6, l=0.1e-6)
+
+
+@pytest.fixture
+def empty_circuit():
+    return Circuit("test")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

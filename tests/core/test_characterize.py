@@ -1,0 +1,122 @@
+"""Tests for the characterization flows (slower: real transients)."""
+
+import math
+
+import pytest
+
+from repro.core import LevelShifter, StimulusPlan, characterize, quick_delays
+from repro.errors import AnalysisError
+from repro.pdk import Pdk
+
+FAST_PLAN = StimulusPlan(settle=3e-9, hold=2e-9, short=0.8e-9)
+
+
+class TestStimulusPlan:
+    def test_edge_times_ordered(self):
+        plan = StimulusPlan()
+        assert (plan.reset_rise < plan.reset_fall < plan.t_rise_a
+                < plan.t_fall_b < plan.t_rise_c < plan.t_fall_d
+                < plan.t_stop)
+
+    def test_steps_count(self):
+        assert len(StimulusPlan().steps()) == 6
+
+    def test_invalid_phases(self):
+        with pytest.raises(AnalysisError):
+            StimulusPlan(settle=-1e-9).validate()
+
+    def test_reset_must_fit_in_settle(self):
+        with pytest.raises(AnalysisError):
+            StimulusPlan(settle=1e-9, reset_fall=2e-9).validate()
+
+    def test_power_window_must_fit(self):
+        with pytest.raises(AnalysisError):
+            StimulusPlan(hold=0.4e-9, power_window=0.5e-9).validate()
+
+
+class TestCharacterizeSstvs:
+    @pytest.fixture(scope="class")
+    def metrics(self):
+        return characterize(Pdk(), "sstvs", 0.8, 1.2, plan=FAST_PLAN)
+
+    def test_functional(self, metrics):
+        assert metrics.functional
+
+    def test_delays_positive_and_sane(self, metrics):
+        assert 1e-12 < metrics.delay_rise < 2e-9
+        assert 1e-12 < metrics.delay_fall < 2e-9
+
+    def test_powers_positive(self, metrics):
+        assert metrics.power_rise > 0
+        assert metrics.power_fall > 0
+
+    def test_leakage_nanoamp_scale(self, metrics):
+        assert 1e-11 < metrics.leakage_high < 1e-6
+        assert 1e-11 < metrics.leakage_low < 1e-6
+
+    def test_switching_power_dwarfs_leakage_power(self, metrics):
+        assert metrics.power_rise > 100 * metrics.leakage_high * 1.2
+
+
+class TestCharacterizeEdgeCases:
+    def test_inverter_high_to_low_is_clean(self):
+        m = characterize(Pdk(), "inverter", 1.2, 0.8, plan=FAST_PLAN)
+        assert m.functional
+        assert m.leakage_high < 5e-9
+        assert m.leakage_low < 5e-9
+
+    def test_inverter_low_to_high_leaks_heavily(self):
+        # The paper's core premise: an inverter cannot be used when
+        # VDDI < VDDO because the PMOS never turns off.
+        m = characterize(Pdk(), "inverter", 0.8, 1.2, plan=FAST_PLAN)
+        assert m.leakage_low > 100e-9
+
+    def test_cvs_non_inverting_measured(self):
+        m = characterize(Pdk(), "cvs", 0.8, 1.2, plan=FAST_PLAN)
+        assert m.functional
+        assert m.delay_rise > 0
+
+    def test_nonfunctional_sample_returns_nan(self):
+        # A shift far outside the working range must be reported as
+        # non-functional rather than crash: 0.8 V input into a 2.6 V
+        # domain leaves every ctrl path below threshold.
+        m = characterize(Pdk(), "sstvs", 0.3, 1.2, plan=FAST_PLAN)
+        if not m.functional:
+            assert math.isnan(m.delay_rise) or m.delay_rise > 0
+
+
+class TestQuickDelays:
+    def test_matches_full_characterization_roughly(self):
+        pdk = Pdk()
+        quick = quick_delays(pdk, "sstvs", 0.8, 1.2)
+        full = characterize(pdk, "sstvs", 0.8, 1.2, plan=FAST_PLAN)
+        assert quick.functional
+        # quick uses the long-charge edge; full reports worst case, so
+        # full >= quick modulo measurement noise.
+        assert quick.delay_rise <= full.delay_rise * 1.3
+        assert quick.delay_fall <= full.delay_fall * 1.3
+
+    def test_all_kinds_quick(self):
+        pdk = Pdk()
+        for kind in ("sstvs", "combined", "inverter"):
+            q = quick_delays(pdk, kind, 1.2, 0.8)
+            assert q.functional, kind
+
+
+class TestLevelShifterFacade:
+    def test_unknown_kind(self):
+        with pytest.raises(AnalysisError):
+            LevelShifter("warp_core")
+
+    def test_default_pdk(self):
+        shifter = LevelShifter("sstvs")
+        assert shifter.pdk.temperature_c == 27.0
+
+    def test_at_temperature_clones(self):
+        hot = LevelShifter("sstvs").at_temperature(90.0)
+        assert hot.pdk.temperature_c == 90.0
+        assert hot.kind == "sstvs"
+
+    def test_characterize_passthrough(self):
+        m = LevelShifter("sstvs").characterize(1.2, 0.8, plan=FAST_PLAN)
+        assert m.functional

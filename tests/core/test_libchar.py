@@ -1,0 +1,100 @@
+"""Tests for liberty-style characterization."""
+
+import numpy as np
+import pytest
+
+from repro.core.libchar import (
+    CellCharacterization, NldmTable, characterize_cell, write_liberty,
+)
+from repro.errors import AnalysisError
+from repro.pdk import Pdk
+
+SLEWS = (20e-12, 150e-12)
+LOADS = (0.5e-15, 4e-15)
+
+
+@pytest.fixture(scope="module")
+def inverter_cell():
+    return characterize_cell("inverter", Pdk(), 1.2, 1.2,
+                             slews=SLEWS, loads=LOADS)
+
+
+class TestNldmTable:
+    def _table(self):
+        return NldmTable(np.asarray([1.0, 2.0]), np.asarray([10., 20.]),
+                         np.asarray([[1.0, 2.0], [3.0, 4.0]]))
+
+    def test_corner_lookup(self):
+        table = self._table()
+        assert table.lookup(1.0, 10.0) == 1.0
+        assert table.lookup(2.0, 20.0) == 4.0
+
+    def test_bilinear_center(self):
+        assert self._table().lookup(1.5, 15.0) == pytest.approx(2.5)
+
+    def test_clamping_outside(self):
+        table = self._table()
+        assert table.lookup(0.0, 0.0) == 1.0
+        assert table.lookup(99.0, 99.0) == 4.0
+
+    def test_max_value(self):
+        assert self._table().max_value() == 4.0
+
+
+class TestCharacterizeInverter:
+    def test_table_shapes(self, inverter_cell):
+        arc = inverter_cell.arc
+        assert arc.cell_rise.values.shape == (2, 2)
+        assert np.all(np.isfinite(arc.cell_rise.values))
+        assert np.all(np.isfinite(arc.fall_transition.values))
+
+    def test_delay_grows_with_load(self, inverter_cell):
+        values = inverter_cell.arc.cell_rise.values
+        assert np.all(values[:, 1] > values[:, 0])
+
+    def test_delay_grows_with_slew(self, inverter_cell):
+        values = inverter_cell.arc.cell_rise.values
+        assert np.all(values[1, :] > values[0, :])
+
+    def test_transition_grows_with_load(self, inverter_cell):
+        values = inverter_cell.arc.rise_transition.values
+        assert np.all(values[:, 1] > values[:, 0])
+
+    def test_input_capacitance_positive(self, inverter_cell):
+        assert 1e-16 < inverter_cell.input_capacitance < 1e-13
+
+    def test_inverting_flag(self, inverter_cell):
+        assert inverter_cell.arc.inverting
+
+    def test_needs_two_points_per_axis(self):
+        with pytest.raises(AnalysisError):
+            characterize_cell("inverter", Pdk(), 1.2, 1.2,
+                              slews=(20e-12,), loads=LOADS)
+
+
+class TestCharacterizeShifter:
+    def test_sstvs_tables_finite(self):
+        cell = characterize_cell("sstvs", Pdk(), 0.8, 1.2,
+                                 slews=SLEWS, loads=LOADS)
+        assert np.all(np.isfinite(cell.arc.cell_rise.values))
+        assert np.all(np.isfinite(cell.arc.cell_fall.values))
+        # Level shifting is slower than plain inversion.
+        assert cell.arc.cell_rise.values.min() > 20e-12
+
+
+class TestWriteLiberty:
+    def test_structure(self, inverter_cell):
+        text = write_liberty([inverter_cell])
+        assert text.startswith("library (repro_lvl)")
+        assert "lu_table_template" in text
+        assert "cell (" in text
+        assert "timing_sense : negative_unate" in text
+        assert text.count("values (") == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            write_liberty([])
+
+    def test_multiple_cells(self, inverter_cell):
+        text = write_liberty([inverter_cell, inverter_cell])
+        assert text.count("cell (") == 2

@@ -1,0 +1,81 @@
+"""Tests for the per-device energy breakdown."""
+
+import pytest
+
+from repro.core.characterize import StimulusPlan, run_stimulus
+from repro.core.power import energy_breakdown
+from repro.errors import AnalysisError
+from repro.pdk import Pdk
+
+PLAN = StimulusPlan(settle=3e-9, hold=2e-9, short=0.8e-9)
+
+
+@pytest.fixture(scope="module")
+def sstvs_run():
+    return run_stimulus(Pdk(), "sstvs", 0.8, 1.2, PLAN)
+
+
+class TestEnergyBreakdown:
+    def test_switching_window_energy_positive(self, sstvs_run):
+        result, probes = sstvs_run
+        # Output falls at the first input rise: real switching energy.
+        breakdown = energy_breakdown(result, probes.dut_supply,
+                                     PLAN.t_rise_a, PLAN.t_rise_a + 0.5e-9)
+        assert breakdown.supply_energy > 1e-16
+
+    def test_quiet_window_energy_small(self, sstvs_run):
+        result, probes = sstvs_run
+        active = energy_breakdown(result, probes.dut_supply,
+                                  PLAN.t_rise_a, PLAN.t_rise_a + 0.5e-9)
+        quiet = energy_breakdown(result, probes.dut_supply,
+                                 PLAN.t_fall_b - 0.6e-9,
+                                 PLAN.t_fall_b - 0.1e-9)
+        assert abs(quiet.supply_energy) < active.supply_energy / 10
+
+    def test_device_dissipation_covers_dut(self, sstvs_run):
+        result, probes = sstvs_run
+        breakdown = energy_breakdown(result, probes.dut_supply,
+                                     PLAN.t_rise_a, PLAN.t_rise_a + 0.5e-9)
+        assert any(name.startswith("dut.") for name in
+                   breakdown.device_dissipation)
+        assert all(e >= 0 for e in
+                   breakdown.device_dissipation.values())
+
+    def test_top_consumers_sorted(self, sstvs_run):
+        result, probes = sstvs_run
+        breakdown = energy_breakdown(result, probes.dut_supply,
+                                     PLAN.t_rise_a, PLAN.t_rise_a + 0.5e-9)
+        top = breakdown.top_consumers(3)
+        energies = [e for _, e in top]
+        assert energies == sorted(energies, reverse=True)
+
+    def test_average_power_consistent(self, sstvs_run):
+        result, probes = sstvs_run
+        breakdown = energy_breakdown(result, probes.dut_supply,
+                                     PLAN.t_rise_a, PLAN.t_rise_a + 0.5e-9)
+        assert breakdown.average_power == pytest.approx(
+            breakdown.supply_energy / breakdown.window)
+
+    def test_empty_window_rejected(self, sstvs_run):
+        result, probes = sstvs_run
+        with pytest.raises(AnalysisError):
+            energy_breakdown(result, probes.dut_supply, 1e-9, 1e-9)
+
+    def test_pretty_output(self, sstvs_run):
+        result, probes = sstvs_run
+        text = energy_breakdown(result, probes.dut_supply,
+                                PLAN.t_rise_a,
+                                PLAN.t_rise_a + 0.5e-9).pretty("title")
+        assert "title" in text
+        assert "supply energy" in text
+
+    def test_subsampling_cap(self, sstvs_run):
+        result, probes = sstvs_run
+        full = energy_breakdown(result, probes.dut_supply,
+                                PLAN.t_rise_a, PLAN.t_rise_a + 0.5e-9,
+                                max_samples=400)
+        coarse = energy_breakdown(result, probes.dut_supply,
+                                  PLAN.t_rise_a, PLAN.t_rise_a + 0.5e-9,
+                                  max_samples=20)
+        assert coarse.supply_energy == pytest.approx(
+            full.supply_energy, rel=0.3)

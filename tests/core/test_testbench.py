@@ -1,0 +1,98 @@
+"""Tests for testbench construction."""
+
+import pytest
+
+from repro.core.testbench import (
+    COMBINED, InputStep, KINDS, LOAD_CAP, build_testbench,
+    dut_is_inverting, input_source_pwl,
+)
+from repro.errors import AnalysisError
+from repro.spice.devices import Capacitor, VoltageSource
+
+
+class TestInputSourcePwl:
+    def test_inversion_of_levels(self):
+        pwl = input_source_pwl([InputStep(1e-9, True)], vddi=0.8)
+        # Input low before the step -> source HIGH (driver inverts).
+        assert pwl.value(0.5e-9) == pytest.approx(0.8)
+        assert pwl.value(2e-9) == pytest.approx(0.0)
+
+    def test_multiple_steps(self):
+        pwl = input_source_pwl([InputStep(1e-9, True),
+                                InputStep(2e-9, False)], vddi=1.2)
+        assert pwl.value(1.5e-9) == pytest.approx(0.0)
+        assert pwl.value(3e-9) == pytest.approx(1.2)
+
+    def test_unordered_steps_sorted(self):
+        pwl = input_source_pwl([InputStep(2e-9, False),
+                                InputStep(1e-9, True)], vddi=1.0)
+        assert pwl.value(1.5e-9) == pytest.approx(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            input_source_pwl([], vddi=1.0)
+
+    def test_coincident_steps_rejected(self):
+        with pytest.raises(AnalysisError):
+            input_source_pwl([InputStep(1e-9, True),
+                              InputStep(1e-9, False)], vddi=1.0)
+
+
+class TestBuildTestbench:
+    STEPS = [InputStep(1e-9, True), InputStep(2e-9, False)]
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_all_kinds_build(self, pdk, kind):
+        circuit, probes = build_testbench(pdk, kind, 0.8, 1.2, self.STEPS)
+        circuit.finalize()
+        assert probes.in_node in circuit.node_names()
+        assert probes.out_node in circuit.node_names()
+
+    def test_unknown_kind(self, pdk):
+        with pytest.raises(AnalysisError, match="unknown DUT kind"):
+            build_testbench(pdk, "flux_capacitor", 0.8, 1.2, self.STEPS)
+
+    def test_negative_supply_rejected(self, pdk):
+        with pytest.raises(AnalysisError):
+            build_testbench(pdk, "sstvs", -0.8, 1.2, self.STEPS)
+
+    def test_load_capacitor_value(self, pdk):
+        circuit, _ = build_testbench(pdk, "sstvs", 0.8, 1.2, self.STEPS)
+        cload = circuit.device("cload")
+        assert isinstance(cload, Capacitor)
+        assert cload.capacitance == pytest.approx(LOAD_CAP)
+
+    def test_separate_supplies(self, pdk):
+        circuit, probes = build_testbench(pdk, "sstvs", 0.8, 1.2,
+                                          self.STEPS)
+        vdut = circuit.device(probes.dut_supply)
+        vdrv = circuit.device(probes.driver_supply)
+        assert vdut.value(0) == pytest.approx(1.2)
+        assert vdrv.value(0) == pytest.approx(0.8)
+
+    def test_combined_select_direction_low_to_high(self, pdk):
+        circuit, _ = build_testbench(pdk, COMBINED, 0.8, 1.2, self.STEPS)
+        # sel high selects the SS-VS path for a low-to-high shift.
+        assert circuit.device("vsel").value(0) == pytest.approx(1.2)
+        assert circuit.device("vselb").value(0) == pytest.approx(0.0)
+
+    def test_combined_select_direction_high_to_low(self, pdk):
+        circuit, _ = build_testbench(pdk, COMBINED, 1.2, 0.8, self.STEPS)
+        assert circuit.device("vsel").value(0) == pytest.approx(0.0)
+        assert circuit.device("vselb").value(0) == pytest.approx(0.8)
+
+    def test_driver_is_same_sized_inverter(self, pdk):
+        from repro.cells.inverter import WN_DEFAULT, WP_DEFAULT
+        circuit, _ = build_testbench(pdk, "sstvs", 0.8, 1.2, self.STEPS)
+        assert circuit.device("driver.mn").w == pytest.approx(WN_DEFAULT)
+        assert circuit.device("driver.mp").w == pytest.approx(WP_DEFAULT)
+
+
+class TestPolarity:
+    def test_cvs_non_inverting(self):
+        assert not dut_is_inverting("cvs")
+
+    @pytest.mark.parametrize("kind", ["sstvs", "combined", "inverter",
+                                      "ssvs_khan", "ssvs_puri"])
+    def test_others_inverting(self, kind):
+        assert dut_is_inverting(kind)

@@ -1,0 +1,63 @@
+"""Golden regression tests: headline numbers pinned within tolerance.
+
+These protect the calibrated result set (EXPERIMENTS.md) from silent
+drift: a model or sizing change that moves a headline metric by more
+than the tolerance should be a conscious decision, accompanied by an
+update here and in EXPERIMENTS.md.
+
+Tolerances are deliberately loose (25 % for delays/powers, 40 % for
+leakages) — they catch regressions, not noise.
+"""
+
+import pytest
+
+from repro.core import LevelShifter
+
+#: (kind, vddi, vddo) -> expected metrics at the time of calibration.
+GOLDEN = {
+    ("sstvs", 0.8, 1.2): dict(delay_rise=351e-12, delay_fall=158e-12,
+                              power_rise=34e-6, power_fall=27e-6,
+                              leakage_high=1.5e-9, leakage_low=5.7e-9),
+    ("sstvs", 1.2, 0.8): dict(delay_rise=208e-12, delay_fall=27e-12,
+                              power_rise=13e-6, power_fall=0.8e-6,
+                              leakage_high=1.0e-9, leakage_low=4.5e-9),
+    ("combined", 0.8, 1.2): dict(delay_rise=278e-12, delay_fall=161e-12,
+                                 leakage_high=4.0e-9,
+                                 leakage_low=2.97e-6),
+    ("combined", 1.2, 0.8): dict(delay_rise=144e-12, delay_fall=75e-12,
+                                 leakage_high=2.6e-9,
+                                 leakage_low=1.1e-9),
+}
+
+TOLERANCE = {"delay_rise": 0.25, "delay_fall": 0.25,
+             "power_rise": 0.25, "power_fall": 0.40,
+             "leakage_high": 0.40, "leakage_low": 0.40}
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN), ids=lambda k: f"{k[0]}_{k[1]}to{k[2]}")
+def test_golden_metrics(key):
+    kind, vddi, vddo = key
+    metrics = LevelShifter(kind).characterize(vddi, vddo)
+    assert metrics.functional
+    for name, expected in GOLDEN[key].items():
+        measured = getattr(metrics, name)
+        tolerance = TOLERANCE[name]
+        assert measured == pytest.approx(expected, rel=tolerance), (
+            f"{kind} {vddi}->{vddo} {name}: measured "
+            f"{measured:.3e}, golden {expected:.3e} "
+            f"(±{tolerance:.0%}) — if intentional, update this file "
+            f"and EXPERIMENTS.md")
+
+
+def test_golden_area():
+    from repro.cells import add_sstvs
+    from repro.layout import estimate_cell_area
+    from repro.pdk import Pdk
+    est = estimate_cell_area(add_sstvs, Pdk())
+    assert est.total_area_um2 == pytest.approx(4.56, rel=0.10)
+
+
+def test_golden_functional_grid():
+    from repro.analysis import SweepGrid, validate_functionality
+    report = validate_functionality("sstvs", SweepGrid.with_step(0.3))
+    assert report.all_passed, report.summary()

@@ -1,0 +1,113 @@
+"""End-to-end checks of the paper's central claims.
+
+These are the claims a reader would take away from the abstract and
+Section 4, checked against full characterizations of the reproduced
+designs. Where our substrate cannot reproduce a claim (two delay rows;
+see EXPERIMENTS.md), the corresponding check is deliberately absent
+rather than weakened to vacuity.
+"""
+
+import pytest
+
+from repro.core import LevelShifter
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return (LevelShifter("sstvs").characterize(0.8, 1.2),
+            LevelShifter("combined").characterize(0.8, 1.2))
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return (LevelShifter("sstvs").characterize(1.2, 0.8),
+            LevelShifter("combined").characterize(1.2, 0.8))
+
+
+class TestTrueShifting:
+    """One cell, both directions, no control signal."""
+
+    def test_low_to_high_functional(self, table1):
+        assert table1[0].functional
+
+    def test_high_to_low_functional(self, table2):
+        assert table2[0].functional
+
+    def test_equal_rails_functional(self):
+        metrics = LevelShifter("sstvs").characterize(1.0, 1.0)
+        assert metrics.functional
+
+
+class TestLeakageClaims:
+    def test_sstvs_beats_combined_high_state_both_directions(
+            self, table1, table2):
+        for sstvs, combined in (table1, table2):
+            assert sstvs.leakage_high < combined.leakage_high
+
+    def test_low_to_high_low_state_headline(self, table1):
+        # Paper: 19.5x; our combined VS's idle inverter leaks at
+        # contention level, so the factor is far larger.
+        sstvs, combined = table1
+        assert combined.leakage_low / sstvs.leakage_low > 10
+
+    def test_sstvs_leakage_nanoamp_scale(self, table1, table2):
+        # The paper reports single- to tens-of-nA leakage.
+        for sstvs, _ in (table1, table2):
+            assert sstvs.leakage_high < 50e-9
+            assert sstvs.leakage_low < 50e-9
+
+    def test_inverter_unusable_low_to_high(self):
+        inverter = LevelShifter("inverter").characterize(0.8, 1.2)
+        sstvs = LevelShifter("sstvs").characterize(0.8, 1.2)
+        assert inverter.leakage_low > 50 * sstvs.leakage_low
+
+
+class TestDelayClaims:
+    def test_high_to_low_fall_advantage(self, table2):
+        # Paper: 2.2x faster falling output.
+        sstvs, combined = table2
+        assert sstvs.delay_fall < combined.delay_fall
+
+    def test_delays_same_order_of_magnitude(self, table1, table2):
+        # Even where the ordering does not reproduce, the SS-TVS must
+        # stay within a small factor of the combined VS.
+        for sstvs, combined in (table1, table2):
+            assert sstvs.delay_rise < 3 * combined.delay_rise
+            assert sstvs.delay_fall < 3 * combined.delay_fall
+
+
+class TestSingleSupplyProperty:
+    def test_sstvs_references_only_vddo(self):
+        from repro.cells import add_sstvs
+        from repro.pdk import Pdk
+        from repro.spice import Circuit
+        from repro.spice.devices import Mosfet
+        ckt = Circuit("t")
+        add_sstvs(ckt, Pdk(), "dut", "in", "out", "vddo")
+        supplies = set()
+        for device in ckt.devices_of_type(Mosfet):
+            supplies.update(n for n in device.nodes
+                            if n.startswith("vdd"))
+        assert supplies == {"vddo"}
+
+    def test_cvs_references_both_supplies(self):
+        from repro.cells import add_cvs
+        from repro.pdk import Pdk
+        from repro.spice import Circuit
+        from repro.spice.devices import Mosfet
+        ckt = Circuit("t")
+        add_cvs(ckt, Pdk(), "dut", "in", "out", "vddi", "vddo")
+        supplies = set()
+        for device in ckt.devices_of_type(Mosfet):
+            supplies.update(n for n in device.nodes
+                            if n.startswith("vdd"))
+        assert supplies == {"vddi", "vddo"}
+
+
+class TestPowerBudget:
+    def test_switching_power_microwatt_scale(self, table1, table2):
+        for sstvs, _ in (table1, table2):
+            assert 1e-7 < sstvs.power_rise < 1e-4
+            assert 1e-8 < abs(sstvs.power_fall) < 1e-4

@@ -1,0 +1,65 @@
+"""Tests for the analytical area estimator."""
+
+import pytest
+
+from repro.cells import add_combined_vs, add_inverter, add_sstvs
+from repro.layout import (
+    PAPER_SSTVS_AREA, estimate_cell_area, estimate_circuit_area,
+    estimate_mosfet_area,
+)
+from repro.spice import Circuit
+
+
+class TestDeviceArea:
+    def test_single_device(self, pdk):
+        m = pdk.mosfet("m", "d", "g", "s", "b", "n", 0.2e-6, 0.1e-6)
+        area = estimate_mosfet_area(m)
+        assert area == pytest.approx(0.2e-6 * 0.3e-6)
+
+    def test_multiplier_scales(self, pdk):
+        m = pdk.mosfet("m", "d", "g", "s", "b", "n", 0.2e-6, 0.1e-6,
+                       m=3)
+        assert estimate_mosfet_area(m) == pytest.approx(
+            3 * 0.2e-6 * 0.3e-6)
+
+
+class TestCircuitArea:
+    def test_empty_circuit_zero(self):
+        est = estimate_circuit_area(Circuit("empty"))
+        assert est.total_area == 0.0
+        assert est.device_count == 0
+
+    def test_overhead_applied(self, pdk):
+        ckt = Circuit("t")
+        ckt.add(pdk.mosfet("m", "d", "g", "s", "0", "n", 0.2e-6))
+        est = estimate_circuit_area(ckt, overhead=2.0)
+        assert est.total_area == pytest.approx(2.0 * est.device_area)
+
+    def test_width_times_height_is_area(self, pdk):
+        ckt = Circuit("t")
+        ckt.add(pdk.mosfet("m", "d", "g", "s", "0", "n", 0.2e-6))
+        est = estimate_circuit_area(ckt)
+        assert est.width * est.height == pytest.approx(est.total_area)
+
+
+class TestCellAreas:
+    def test_sstvs_matches_paper_figure7(self, pdk):
+        # Calibration target: 4.47 um^2 published layout area.
+        est = estimate_cell_area(add_sstvs, pdk)
+        assert est.total_area == pytest.approx(PAPER_SSTVS_AREA, rel=0.15)
+
+    def test_inverter_much_smaller_than_sstvs(self, pdk):
+        inv = estimate_cell_area(add_inverter, pdk)
+        sstvs = estimate_cell_area(add_sstvs, pdk)
+        assert sstvs.total_area > 5 * inv.total_area
+
+    def test_combined_vs_competitive_area(self, pdk):
+        # Both solutions are a dozen-or-so transistors; the combined VS
+        # must land in the same order of magnitude.
+        combined = estimate_cell_area(add_combined_vs, pdk)
+        sstvs = estimate_cell_area(add_sstvs, pdk)
+        assert 0.2 < combined.total_area / sstvs.total_area < 5.0
+
+    def test_um2_property(self, pdk):
+        est = estimate_cell_area(add_inverter, pdk)
+        assert est.total_area_um2 == pytest.approx(est.total_area * 1e12)

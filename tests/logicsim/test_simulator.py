@@ -1,0 +1,176 @@
+"""Tests for the event-driven simulator and shifter models."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.logicsim import (
+    LogicSimulator, SupplyState, buffer, inverter, level_shifter, nand2,
+    nor2,
+)
+
+
+class TestKernelBasics:
+    def test_inverter_propagates(self):
+        sim = LogicSimulator()
+        sim.add(inverter("u1", "a", "y", delay=10e-12))
+        sim.set_input("a", "0")
+        sim.run(1e-9)
+        assert sim.value("y") == "1"
+
+    def test_delay_respected(self):
+        sim = LogicSimulator()
+        sim.add(inverter("u1", "a", "y", delay=100e-12))
+        sim.set_input("a", "0")
+        sim.run(1e-9)
+        sim.schedule_input(2e-9, "a", "1")
+        sim.run(2.05e-9)
+        assert sim.value("y") == "1"  # change still in flight
+        sim.run(3e-9)
+        assert sim.value("y") == "0"
+
+    def test_chain_accumulates_delay(self):
+        sim = LogicSimulator()
+        sim.add(inverter("u1", "a", "n1", delay=10e-12))
+        sim.add(inverter("u2", "n1", "y", delay=10e-12))
+        sim.set_input("a", "1")
+        sim.run(1e-9)
+        changes = sim.changes("y")
+        assert changes[-1].value == "1"
+        assert changes[-1].time == pytest.approx(20e-12, abs=1e-15)
+
+    def test_nand_nor_gates(self):
+        sim = LogicSimulator()
+        sim.add(nand2("g1", "a", "b", "x"))
+        sim.add(nor2("g2", "a", "b", "y"))
+        sim.set_input("a", "1")
+        sim.set_input("b", "0")
+        sim.run(1e-9)
+        assert sim.value("x") == "1"
+        assert sim.value("y") == "0"
+
+    def test_glitch_visible_in_history(self):
+        # a -> inv -> n1; a and n1 into nand: a 0->1 step produces a
+        # hazard at the nand output before it settles.
+        sim = LogicSimulator()
+        sim.add(inverter("u1", "a", "n1", delay=20e-12))
+        sim.add(nand2("g1", "a", "n1", "y", delay=5e-12))
+        sim.set_input("a", "0")
+        sim.run(1e-9)
+        sim.schedule_input(2e-9, "a", "1")
+        sim.run(3e-9)
+        values = [c.value for c in sim.changes("y")]
+        assert "0" in values       # the hazard pulse
+        assert values[-1] == "1"   # final settled value
+
+    def test_duplicate_component_rejected(self):
+        sim = LogicSimulator()
+        sim.add(inverter("u1", "a", "y"))
+        with pytest.raises(AnalysisError):
+            sim.add(inverter("u1", "b", "z"))
+
+    def test_multiple_drivers_rejected(self):
+        sim = LogicSimulator()
+        sim.add(inverter("u1", "a", "y"))
+        with pytest.raises(AnalysisError):
+            sim.add(inverter("u2", "b", "y"))
+
+    def test_schedule_in_past_rejected(self):
+        sim = LogicSimulator()
+        sim.add(inverter("u1", "a", "y"))
+        sim.run(1e-9)
+        with pytest.raises(AnalysisError):
+            sim.schedule_input(0.5e-9, "a", "1")
+
+    def test_undriven_net_reads_z(self):
+        sim = LogicSimulator()
+        assert sim.value("nowhere") == "z"
+
+
+class TestShifterModels:
+    def _system(self, kind):
+        supplies = SupplyState()
+        supplies.set("vin", 1.2)
+        supplies.set("vout", 0.8)
+        sim = LogicSimulator(supplies)
+        sim.add(level_shifter("ls", kind, "a", "y", supplies,
+                              "vin", "vout"))
+        return sim, supplies
+
+    def test_sstvs_valid_any_relationship(self):
+        sim, supplies = self._system("sstvs")
+        sim.set_input("a", "1")
+        sim.run(1e-9)
+        assert sim.value("y") == "0"  # inverting
+        sim.schedule_supply(2e-9, "vout", 1.4)  # flip the relationship
+        sim.schedule_input(3e-9, "a", "0")
+        sim.run(4e-9)
+        assert sim.value("y") == "1"
+        assert not sim.saw_unknown("y")
+
+    def test_inverter_corrupts_when_underdriven(self):
+        sim, supplies = self._system("inverter")
+        sim.set_input("a", "1")
+        sim.run(1e-9)
+        assert sim.value("y") == "0"  # 1.2 -> 0.8: inverter fine
+        # DVS: output domain jumps far above the input swing; the
+        # inverter's PMOS never turns off -> X.
+        sim.schedule_supply(2e-9, "vout", 1.6)
+        sim.run(3e-9)
+        assert sim.value("y") == "x"
+
+    def test_ssvs_corrupts_at_low_supply_downshift(self):
+        sim, supplies = self._system("ssvs")
+        # 1.2 -> 0.8 with a low output rail: outside the one-way SS-VS
+        # design envelope.
+        sim.set_input("a", "1")
+        sim.run(1e-9)
+        assert sim.value("y") == "x"
+
+    def test_cvs_always_valid(self):
+        sim, supplies = self._system("cvs")
+        sim.set_input("a", "1")
+        sim.run(1e-9)
+        assert sim.value("y") == "0"
+
+    def test_unknown_kind_rejected(self):
+        supplies = SupplyState()
+        supplies.set("a", 1.0)
+        with pytest.raises(AnalysisError):
+            level_shifter("ls", "teleporter", "a", "y", supplies,
+                          "a", "a")
+
+    def test_recovery_after_dvs_returns(self):
+        sim, supplies = self._system("inverter")
+        sim.set_input("a", "1")
+        sim.run(1e-9)
+        sim.schedule_supply(2e-9, "vout", 1.6)   # corrupt
+        sim.schedule_supply(4e-9, "vout", 0.8)   # restore
+        sim.run(5e-9)
+        assert sim.value("y") == "0"
+        assert sim.saw_unknown("y")
+
+
+class TestDvsScenario:
+    def test_end_to_end_crossing(self):
+        """A data path crossing a DVS boundary: the SS-TVS keeps the
+        receiver clean through a supply flip; an inverter does not."""
+        supplies = SupplyState()
+        supplies.set("cpu", 1.2)
+        supplies.set("dsp", 1.0)
+
+        for kind, expect_corruption in (("sstvs", False),
+                                        ("inverter", True)):
+            sim = LogicSimulator(supplies=SupplyState(
+                {"cpu": 1.2, "dsp": 1.0}))
+            sim.supplies.voltages.update(cpu=1.2, dsp=1.0)
+            sim.add(inverter("drv", "data", "q1", delay=10e-12))
+            sim.add(level_shifter("ls", kind, "q1", "q2",
+                                  sim.supplies, "cpu", "dsp"))
+            sim.add(buffer("rx", "q2", "out", delay=10e-12))
+            sim.set_input("data", "0")
+            sim.run(1e-9)
+            # DVS drops the CPU to 0.6 V below the DSP's 1.0 V + slack.
+            sim.schedule_supply(2e-9, "cpu", 0.6)
+            sim.schedule_input(3e-9, "data", "1")
+            sim.run(5e-9)
+            assert sim.saw_unknown("out") == expect_corruption, kind

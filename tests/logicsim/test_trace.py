@@ -1,0 +1,73 @@
+"""Tests for digital VCD export and activity statistics."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.logicsim import LogicSimulator, inverter
+from repro.logicsim.trace import (
+    toggle_count, unknown_time_fraction, write_digital_vcd,
+)
+
+
+@pytest.fixture
+def toggled_sim():
+    sim = LogicSimulator()
+    sim.add(inverter("u1", "a", "y", delay=10e-12))
+    sim.set_input("a", "0")
+    for i, t in enumerate((1e-9, 2e-9, 3e-9)):
+        sim.schedule_input(t, "a", "1" if i % 2 == 0 else "0")
+    sim.run(5e-9)
+    return sim
+
+
+class TestDigitalVcd:
+    def test_structure(self, toggled_sim):
+        text = write_digital_vcd(toggled_sim, ["a", "y"])
+        assert "$var wire 1" in text
+        assert "$enddefinitions $end" in text
+        assert "#0" in text or "#1000" in text
+
+    def test_value_codes(self, toggled_sim):
+        text = write_digital_vcd(toggled_sim, ["a"])
+        body = text.split("$enddefinitions $end")[1]
+        assert "1" in body and "0" in body
+
+    def test_empty_rejected(self, toggled_sim):
+        with pytest.raises(AnalysisError):
+            write_digital_vcd(toggled_sim, [])
+
+    def test_bad_timescale(self, toggled_sim):
+        with pytest.raises(AnalysisError):
+            write_digital_vcd(toggled_sim, ["a"], timescale="eons")
+
+
+class TestActivityStats:
+    def test_toggle_count(self, toggled_sim):
+        # a: 0 -> 1 -> 0 -> 1: three toggles.
+        assert toggle_count(toggled_sim, "a") == 3
+        assert toggle_count(toggled_sim, "y") == 3
+
+    def test_toggle_count_empty_net(self, toggled_sim):
+        assert toggle_count(toggled_sim, "nowhere") == 0
+
+    def test_unknown_fraction_zero_for_clean(self, toggled_sim):
+        assert unknown_time_fraction(toggled_sim, "y", 5e-9) == 0.0
+
+    def test_unknown_fraction_counts_x_time(self):
+        from repro.logicsim import SupplyState, level_shifter
+        supplies = SupplyState()
+        supplies.set("a", 1.2)
+        supplies.set("b", 0.8)
+        sim = LogicSimulator(supplies)
+        sim.add(level_shifter("ls", "inverter", "d", "q", supplies,
+                              "a", "b"))
+        sim.set_input("d", "1")
+        sim.run(1e-9)
+        sim.schedule_supply(2e-9, "b", 1.7)   # corrupts from ~2 ns on
+        sim.run(10e-9)
+        fraction = unknown_time_fraction(sim, "q", 10e-9)
+        assert 0.6 < fraction < 0.9
+
+    def test_unknown_fraction_bad_horizon(self, toggled_sim):
+        with pytest.raises(AnalysisError):
+            unknown_time_fraction(toggled_sim, "y", 0.0)

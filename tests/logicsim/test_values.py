@@ -1,0 +1,94 @@
+"""Tests for the 4-value logic algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AnalysisError
+from repro.logicsim.values import (
+    HIGHZ, ONE, UNKNOWN, VALUES, ZERO, logic_and, logic_nand, logic_nor,
+    logic_not, logic_or, logic_xor, resolve, validate,
+)
+
+value_st = st.sampled_from(VALUES)
+
+
+class TestBasicOps:
+    def test_not_table(self):
+        assert logic_not(ZERO) == ONE
+        assert logic_not(ONE) == ZERO
+        assert logic_not(UNKNOWN) == UNKNOWN
+        assert logic_not(HIGHZ) == UNKNOWN
+
+    def test_and_controlling_zero(self):
+        assert logic_and(ZERO, UNKNOWN) == ZERO
+        assert logic_and(UNKNOWN, ZERO, ONE) == ZERO
+
+    def test_and_all_ones(self):
+        assert logic_and(ONE, ONE, ONE) == ONE
+
+    def test_and_pessimism(self):
+        assert logic_and(ONE, UNKNOWN) == UNKNOWN
+        assert logic_and(ONE, HIGHZ) == UNKNOWN
+
+    def test_or_controlling_one(self):
+        assert logic_or(ONE, UNKNOWN) == ONE
+
+    def test_or_all_zeros(self):
+        assert logic_or(ZERO, ZERO) == ZERO
+
+    def test_nand_nor(self):
+        assert logic_nand(ONE, ONE) == ZERO
+        assert logic_nand(ZERO, UNKNOWN) == ONE
+        assert logic_nor(ZERO, ZERO) == ONE
+        assert logic_nor(ONE, UNKNOWN) == ZERO
+
+    def test_xor(self):
+        assert logic_xor(ONE, ZERO) == ONE
+        assert logic_xor(ONE, ONE) == ZERO
+        assert logic_xor(ONE, UNKNOWN) == UNKNOWN
+
+    def test_validate_case_folding(self):
+        assert validate("X") == UNKNOWN
+
+    def test_validate_rejects_garbage(self):
+        with pytest.raises(AnalysisError):
+            validate("7")
+
+
+class TestResolve:
+    def test_z_yields(self):
+        assert resolve(HIGHZ, ONE) == ONE
+        assert resolve(ZERO, HIGHZ) == ZERO
+
+    def test_agreement(self):
+        assert resolve(ONE, ONE) == ONE
+
+    def test_conflict_is_x(self):
+        assert resolve(ONE, ZERO) == UNKNOWN
+
+
+class TestAlgebraProperties:
+    @given(value_st, value_st)
+    def test_and_commutative(self, a, b):
+        assert logic_and(a, b) == logic_and(b, a)
+
+    @given(value_st, value_st)
+    def test_or_commutative(self, a, b):
+        assert logic_or(a, b) == logic_or(b, a)
+
+    @given(value_st)
+    def test_double_negation_weak(self, a):
+        # not(not(a)) maps 0/1 to themselves and x/z to x.
+        result = logic_not(logic_not(a))
+        if a in (ZERO, ONE):
+            assert result == a
+        else:
+            assert result == UNKNOWN
+
+    @given(value_st, value_st)
+    def test_demorgan(self, a, b):
+        assert logic_nand(a, b) == logic_or(logic_not(a), logic_not(b))
+
+    @given(value_st, value_st)
+    def test_resolve_commutative(self, a, b):
+        assert resolve(a, b) == resolve(b, a)

@@ -1,0 +1,59 @@
+"""Tests for netlist lexing."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.lexer import lex, split_parens_args
+
+
+class TestLex:
+    def test_simple_statements(self):
+        stmts = lex("r1 a b 1k\nc1 b 0 1p\n")
+        assert len(stmts) == 2
+        assert stmts[0].tokens == ("r1", "a", "b", "1k")
+        assert stmts[1].line == 2
+
+    def test_comment_lines_skipped(self):
+        stmts = lex("* a comment\nr1 a b 1k\n")
+        assert len(stmts) == 1
+
+    def test_blank_lines_skipped(self):
+        stmts = lex("\n\nr1 a b 1k\n\n")
+        assert len(stmts) == 1
+
+    def test_trailing_comment_stripped(self):
+        stmts = lex("r1 a b 1k $ load resistor\n")
+        assert stmts[0].tokens == ("r1", "a", "b", "1k")
+
+    def test_semicolon_comment(self):
+        stmts = lex("r1 a b 1k ; note\n")
+        assert stmts[0].tokens == ("r1", "a", "b", "1k")
+
+    def test_continuation_joined(self):
+        stmts = lex("v1 a 0 pulse\n+ 0 1 1n\n")
+        assert stmts[0].tokens == ("v1", "a", "0", "pulse", "0", "1", "1n")
+
+    def test_orphan_continuation_raises(self):
+        with pytest.raises(NetlistError, match="continuation"):
+            lex("+ 1 2 3\n")
+
+    def test_keyword_lowercased(self):
+        stmts = lex(".MODEL foo NMOS\n")
+        assert stmts[0].keyword == ".model"
+
+    def test_line_numbers_after_comments(self):
+        stmts = lex("* one\n* two\nr1 a b 1\n")
+        assert stmts[0].line == 3
+
+
+class TestSplitParens:
+    def test_pulse_args(self):
+        tokens = split_parens_args(["PULSE(0", "1", "1n)"])
+        assert tokens == ["PULSE", "0", "1", "1n"]
+
+    def test_commas_removed(self):
+        assert split_parens_args(["PWL(0,0", "1n,1)"]) == \
+            ["PWL", "0", "0", "1n", "1"]
+
+    def test_plain_tokens_untouched(self):
+        assert split_parens_args(["a", "b"]) == ["a", "b"]

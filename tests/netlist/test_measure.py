@@ -1,0 +1,106 @@
+"""Tests for the .measure mini-language."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.measure import parse_measures, run_measures
+from repro.spice import Circuit, Transient
+from repro.spice.devices import Capacitor, Pulse, Resistor, VoltageSource
+
+
+@pytest.fixture(scope="module")
+def rc_result():
+    ckt = Circuit("rc")
+    ckt.add(VoltageSource("vin", "in", "0", shape=Pulse(
+        0, 1, delay=1e-9, rise=1e-12, fall=1e-12, width=20e-9,
+        period=80e-9)))
+    ckt.add(Resistor("r", "in", "out", 1e3))
+    ckt.add(Capacitor("c", "out", "0", 1e-12))
+    return Transient(ckt, 6e-9).run()
+
+
+class TestParsing:
+    def test_delay_statement(self):
+        measures = parse_measures(
+            ".measure tran tpd trig v(in) val=0.5 rise=1 "
+            "targ v(out) val=0.5 rise=1\n")
+        assert len(measures) == 1
+        assert measures[0].name == "tpd"
+        assert measures[0].kind == "delay"
+
+    def test_aggregate_statements(self):
+        text = (".measure tran a avg v(out) from=1n to=2n\n"
+                ".measure tran b integ i(vin) from=0 to=5n\n"
+                ".measure tran c max v(out)\n"
+                ".measure tran d min v(out)\n")
+        kinds = [m.kind for m in parse_measures(text)]
+        assert kinds == ["avg", "integ", "max", "min"]
+
+    def test_find_statement(self):
+        measures = parse_measures(
+            ".measure tran vf find v(out) at=4n\n")
+        assert measures[0].kind == "find"
+
+    def test_non_measure_lines_ignored(self):
+        assert parse_measures("r1 a b 1k\n* comment\n") == []
+
+    def test_analysis_keyword_optional(self):
+        measures = parse_measures(".measure m1 max v(out)\n")
+        assert measures[0].name == "m1"
+
+    def test_unsupported_kind(self):
+        with pytest.raises(NetlistError):
+            parse_measures(".measure tran x deriv v(out)\n")
+
+    def test_missing_name(self):
+        with pytest.raises(NetlistError):
+            parse_measures(".measure tran\n")
+
+
+class TestEvaluation:
+    def test_rc_delay_one_tau(self, rc_result):
+        # From the input edge to out crossing 63.2 % is ~1 tau (1 ns).
+        values = run_measures(
+            ".measure tran tpd trig v(in) val=0.5 rise=1 "
+            "targ v(out) val=0.632 rise=1\n", rc_result)
+        assert values["tpd"] == pytest.approx(1e-9, rel=0.03)
+
+    def test_find_at_time(self, rc_result):
+        values = run_measures(
+            ".measure tran vf find v(out) at=2n\n", rc_result)
+        import math
+        assert values["vf"] == pytest.approx(1 - math.exp(-1), abs=0.01)
+
+    def test_max_of_output(self, rc_result):
+        values = run_measures(".measure tran m max v(out)\n", rc_result)
+        assert 0.9 < values["m"] <= 1.01
+
+    def test_integ_of_supply_current(self, rc_result):
+        # Total charge ~ C dV = 1 pC delivered (branch current is
+        # negative for a sourcing supply).
+        values = run_measures(
+            ".measure tran q integ i(vin) from=0.9n to=6n\n", rc_result)
+        assert values["q"] == pytest.approx(-1e-12, rel=0.05)
+
+    def test_avg_window(self, rc_result):
+        values = run_measures(
+            ".measure tran a avg v(in) from=2n to=4n\n", rc_result)
+        assert values["a"] == pytest.approx(1.0, abs=0.01)
+
+    def test_fall_edge_targeting(self, rc_result):
+        # No falling output edge within the window -> error.
+        from repro.errors import MeasurementError
+        with pytest.raises(MeasurementError):
+            run_measures(
+                ".measure tran bad trig v(in) val=0.5 rise=1 "
+                "targ v(out) val=0.5 fall=1\n", rc_result)
+
+    def test_bad_signal_expression(self, rc_result):
+        with pytest.raises(NetlistError):
+            run_measures(".measure tran x max w(out)\n", rc_result)
+
+    def test_continuation_lines(self, rc_result):
+        values = run_measures(
+            ".measure tran tpd trig v(in) val=0.5 rise=1\n"
+            "+ targ v(out) val=0.632 rise=1\n", rc_result)
+        assert values["tpd"] == pytest.approx(1e-9, rel=0.03)

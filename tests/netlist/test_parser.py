@@ -1,0 +1,185 @@
+"""Tests for the SPICE deck parser."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import parse_deck
+from repro.spice import OperatingPoint, Transient
+from repro.spice.devices import (
+    Capacitor, CurrentSource, Diode, Mosfet, Resistor, VoltageSource,
+)
+from repro.spice.devices.sources import Dc, Pulse, Pwl, Sin
+
+MODELS = """
+.model nch nmos (vto=0.39 u0=0.018)
+.model pch pmos (vto=0.35 u0=0.008)
+"""
+
+
+class TestElements:
+    def test_resistor(self):
+        ckt = parse_deck("r1 a b 4.7k\n")
+        device = ckt.device("r1")
+        assert isinstance(device, Resistor)
+        assert device.resistance == pytest.approx(4700.0)
+
+    def test_capacitor(self):
+        ckt = parse_deck("cload out 0 2.5f\n")
+        assert ckt.device("cload").capacitance == pytest.approx(2.5e-15)
+
+    def test_dc_voltage_source_with_keyword(self):
+        ckt = parse_deck("v1 a 0 DC 1.2\n")
+        assert isinstance(ckt.device("v1").shape, Dc)
+        assert ckt.device("v1").value(0) == 1.2
+
+    def test_dc_voltage_source_bare(self):
+        ckt = parse_deck("v1 a 0 0.8\n")
+        assert ckt.device("v1").value(0) == 0.8
+
+    def test_pulse_source(self):
+        ckt = parse_deck("v1 a 0 PULSE(0 1.2 1n 10p 10p 2n 8n)\n")
+        shape = ckt.device("v1").shape
+        assert isinstance(shape, Pulse)
+        assert shape.period == pytest.approx(8e-9)
+
+    def test_pulse_without_period(self):
+        ckt = parse_deck("v1 a 0 PULSE(0 1 0 1p 1p 1n)\n")
+        assert isinstance(ckt.device("v1").shape, Pulse)
+
+    def test_pwl_source(self):
+        ckt = parse_deck("v1 a 0 PWL(0.1n 0 1n 1 2n 0.5)\n")
+        shape = ckt.device("v1").shape
+        assert isinstance(shape, Pwl)
+        assert shape.value(1e-9) == pytest.approx(1.0)
+
+    def test_sin_source(self):
+        ckt = parse_deck("v1 a 0 SIN(0.6 0.4 1g)\n")
+        assert isinstance(ckt.device("v1").shape, Sin)
+
+    def test_current_source(self):
+        ckt = parse_deck("iload a 0 1m\n")
+        assert isinstance(ckt.device("iload"), CurrentSource)
+
+    def test_diode(self):
+        ckt = parse_deck("d1 a 0\n")
+        assert isinstance(ckt.device("d1"), Diode)
+
+    def test_mosfet_with_model(self):
+        ckt = parse_deck(MODELS + "m1 d g s b nch W=0.2u L=0.1u\n")
+        device = ckt.device("m1")
+        assert isinstance(device, Mosfet)
+        assert device.w == pytest.approx(0.2e-6)
+        assert device.params.vto == pytest.approx(0.39)
+
+    def test_mosfet_multiplier(self):
+        ckt = parse_deck(MODELS + "m1 d g s b nch W=0.2u L=0.1u M=3\n")
+        assert ckt.device("m1").m == 3
+
+    def test_mosfet_unknown_model(self):
+        with pytest.raises(NetlistError, match="unknown MOSFET model"):
+            parse_deck("m1 d g s b ghost W=1u L=1u\n")
+
+    def test_mosfet_missing_wl(self):
+        with pytest.raises(NetlistError, match="W= and L="):
+            parse_deck(MODELS + "m1 d g s b nch W=1u\n")
+
+
+class TestModels:
+    def test_model_defaults_from_pdk(self):
+        ckt = parse_deck(".model n1 nmos ()\nm1 d g s b n1 W=1u L=0.1u\n")
+        assert ckt.device("m1").params.vto == pytest.approx(0.39, abs=0.01)
+
+    def test_model_override(self):
+        ckt = parse_deck(".model n1 nmos (vto=0.5 eta_dibl=0.01)\n"
+                         "m1 d g s b n1 W=1u L=0.1u\n")
+        params = ckt.device("m1").params
+        assert params.vto == 0.5
+        assert params.eta_dibl == 0.01
+
+    def test_unknown_model_key(self):
+        with pytest.raises(NetlistError, match="unknown model parameter"):
+            parse_deck(".model n1 nmos (frobnicate=1)\n")
+
+    def test_unsupported_model_type(self):
+        with pytest.raises(NetlistError, match="unsupported model type"):
+            parse_deck(".model q1 npn ()\n")
+
+
+class TestSubcircuits:
+    DECK = MODELS + """
+.subckt inv in out vdd
+mn out in 0 0 nch W=0.2u L=0.1u
+mp out in vdd vdd pch W=0.4u L=0.1u
+.ends
+vdd vdd 0 1.2
+vin in 0 0
+x1 in mid vdd inv
+x2 mid out vdd inv
+.end
+"""
+
+    def test_flattening_names(self):
+        ckt = parse_deck(self.DECK)
+        assert "x1.mn" in ckt
+        assert "x2.mp" in ckt
+
+    def test_internal_nodes_prefixed(self):
+        deck = MODELS + """
+.subckt buf in out vdd
+mn mid in 0 0 nch W=0.2u L=0.1u
+mp mid in vdd vdd pch W=0.4u L=0.1u
+mn2 out mid 0 0 nch W=0.2u L=0.1u
+mp2 out mid vdd vdd pch W=0.4u L=0.1u
+.ends
+vdd vdd 0 1.2
+vin in 0 1.2
+xb in out vdd buf
+"""
+        ckt = parse_deck(deck)
+        ckt.finalize()
+        assert "xb.mid" in ckt.node_names()
+
+    def test_two_inverter_buffer_logic(self):
+        ckt = parse_deck(self.DECK)
+        op = OperatingPoint(ckt).run()
+        assert op["out"] == pytest.approx(0.0, abs=0.01)
+        assert op["mid"] == pytest.approx(1.2, abs=0.01)
+
+    def test_port_count_mismatch(self):
+        deck = MODELS + (".subckt inv in out vdd\n"
+                         "mn out in 0 0 nch W=1u L=0.1u\n.ends\n"
+                         "x1 a b inv\n")
+        with pytest.raises(NetlistError, match="ports"):
+            parse_deck(deck)
+
+    def test_unknown_subckt(self):
+        with pytest.raises(NetlistError, match="unknown subcircuit"):
+            parse_deck("x1 a b ghost\n")
+
+    def test_missing_ends(self):
+        with pytest.raises(NetlistError, match="missing .ends"):
+            parse_deck(".subckt inv a b\nr1 a b 1k\n")
+
+    def test_nested_subckt_rejected(self):
+        with pytest.raises(NetlistError, match="nested"):
+            parse_deck(".subckt a x\n.subckt b y\n.ends\n.ends\n")
+
+
+class TestDirectives:
+    def test_end_stops_parsing(self):
+        ckt = parse_deck("r1 a 0 1k\n.end\nr2 b 0 1k\n")
+        assert "r1" in ckt
+        assert "r2" not in ckt
+
+    def test_unknown_directive(self):
+        with pytest.raises(NetlistError, match="unsupported directive"):
+            parse_deck(".tran 1n 10n\n")
+
+    def test_unsupported_element(self):
+        with pytest.raises(NetlistError, match="unsupported element"):
+            parse_deck("q1 c b e bjtmodel\n")
+
+    def test_title_line_skipped_when_flagged(self):
+        ckt = parse_deck("my circuit title\nr1 a 0 1k\n",
+                         title_line=True)
+        assert "r1" in ckt

@@ -1,0 +1,108 @@
+"""Tests for deck writing, including parse -> write -> parse round trips."""
+
+import pytest
+
+from repro.netlist import parse_deck, write_deck
+from repro.spice import Circuit, OperatingPoint
+from repro.spice.devices import (
+    Capacitor, CurrentSource, Diode, Pulse, Pwl, Resistor, Sin,
+    VoltageSource,
+)
+
+
+class TestWriteDeck:
+    def test_title_comment(self):
+        ckt = Circuit("hello")
+        ckt.add(Resistor("r1", "a", "0", 1e3))
+        deck = write_deck(ckt)
+        assert deck.splitlines()[0] == "* hello"
+        assert deck.rstrip().endswith(".end")
+
+    def test_resistor_line(self):
+        ckt = Circuit("t")
+        ckt.add(Resistor("r1", "a", "b", 4700.0))
+        assert "r1 a b 4.7k" in write_deck(ckt)
+
+    def test_sources_all_shapes(self):
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("v1", "a", "0", dc=1.0))
+        ckt.add(VoltageSource("v2", "b", "0", shape=Pulse(
+            0, 1, 1e-9, 1e-11, 1e-11, 1e-9, 4e-9)))
+        ckt.add(VoltageSource("v3", "c", "0", shape=Pwl(
+            [(1e-9, 0.0), (2e-9, 1.0)])))
+        ckt.add(VoltageSource("v4", "d", "0", shape=Sin(0.5, 0.2, 1e9)))
+        ckt.add(CurrentSource("i1", "a", "0", dc=1e-3))
+        deck = write_deck(ckt)
+        assert "DC 1" in deck
+        assert "PULSE(" in deck
+        assert "PWL(" in deck
+        assert "SIN(" in deck
+
+    def test_mosfet_model_card_emitted(self, pdk):
+        ckt = Circuit("t")
+        ckt.add(pdk.mosfet("m1", "d", "g", "s", "0", "n", 0.2e-6))
+        deck = write_deck(ckt)
+        assert ".model" in deck
+        assert "nmos" in deck
+
+    def test_model_cards_deduplicated(self, pdk):
+        ckt = Circuit("t")
+        ckt.add(pdk.mosfet("m1", "d", "g", "s", "0", "n", 0.2e-6))
+        ckt.add(pdk.mosfet("m2", "d2", "g2", "s2", "0", "n", 0.4e-6))
+        deck = write_deck(ckt)
+        assert deck.count(".model") == 1
+
+    def test_parasitics_skipped(self, pdk):
+        ckt = Circuit("t")
+        ckt.add(pdk.mosfet("m1", "d", "g", "s", "0", "n", 0.2e-6))
+        deck = write_deck(ckt)
+        assert "#" not in deck
+        assert "m1_cgs" not in deck
+
+
+class TestRoundTrip:
+    def test_rc_roundtrip_op(self):
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("vin", "in", "0", dc=1.0))
+        ckt.add(Resistor("r1", "in", "mid", 1e3))
+        ckt.add(Resistor("r2", "mid", "0", 3e3))
+        ckt.add(Capacitor("c1", "mid", "0", 1e-12))
+        deck = write_deck(ckt)
+        clone = parse_deck(deck, title_line=True)
+        op1 = OperatingPoint(ckt).run()
+        op2 = OperatingPoint(clone).run()
+        assert op2["mid"] == pytest.approx(op1["mid"], rel=1e-6)
+
+    def test_mos_roundtrip_op(self, pdk):
+        from repro.cells import add_inverter
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("vdd", "vdd", "0", dc=1.2))
+        ckt.add(VoltageSource("vin", "in", "0", dc=1.2))
+        add_inverter(ckt, pdk, "inv", "in", "out", "vdd")
+        deck = write_deck(ckt)
+        clone = parse_deck(deck, title_line=True)
+        op1 = OperatingPoint(ckt).run()
+        op2 = OperatingPoint(clone).run()
+        assert op2["out"] == pytest.approx(op1["out"], abs=1e-4)
+        # Leakage currents must also survive the round trip.
+        assert op2.supply_current("vdd") == \
+            pytest.approx(op1.supply_current("vdd"), rel=0.01)
+
+    def test_diode_roundtrip(self):
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("v", "a", "0", dc=2.0))
+        ckt.add(Resistor("r", "a", "d", 1e3))
+        ckt.add(Diode("d1", "d", "0"))
+        clone = parse_deck(write_deck(ckt), title_line=True)
+        op1 = OperatingPoint(ckt).run()
+        op2 = OperatingPoint(clone).run()
+        assert op2["d"] == pytest.approx(op1["d"], rel=1e-4)
+
+    def test_double_roundtrip_stable(self, pdk):
+        ckt = Circuit("t")
+        ckt.add(pdk.mosfet("m1", "d", "g", "s", "0", "n", 0.2e-6))
+        ckt.add(VoltageSource("v", "d", "0", dc=1.0))
+        deck1 = write_deck(ckt)
+        deck2 = write_deck(parse_deck(deck1, title_line=True))
+        # Same statement count either way.
+        assert len(deck1.splitlines()) == len(deck2.splitlines())

@@ -1,0 +1,91 @@
+"""Tests for the sizing optimizer (small budgets: SPICE in the loop)."""
+
+import math
+
+import pytest
+
+from repro.cells.sstvs import SstvsSizing
+from repro.core.characterize import StimulusPlan
+from repro.errors import AnalysisError
+from repro.opt import Objective, SizingOptimizer
+
+FAST = StimulusPlan(settle=3e-9, hold=2e-9, short=0.8e-9)
+
+
+class TestObjective:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(AnalysisError):
+            Objective(w_delay=-1).validate()
+
+    def test_zero_objective_rejected(self):
+        with pytest.raises(AnalysisError):
+            Objective(w_delay=0, w_leakage=0, w_area=0).validate()
+
+
+class TestOptimizerSetup:
+    def test_needs_corners(self):
+        with pytest.raises(AnalysisError):
+            SizingOptimizer(corners=[])
+
+    def test_unknown_knob(self):
+        with pytest.raises(AnalysisError):
+            SizingOptimizer(knobs=("w_warp",))
+
+    def test_bad_step(self):
+        with pytest.raises(AnalysisError):
+            SizingOptimizer(step=0.9)
+
+
+class TestCost:
+    def test_cost_finite_for_stock(self):
+        optimizer = SizingOptimizer(corners=[(0.8, 1.2)], plan=FAST)
+        assert math.isfinite(optimizer.cost(SstvsSizing()))
+
+    def test_cost_cached(self):
+        optimizer = SizingOptimizer(corners=[(0.8, 1.2)], plan=FAST)
+        optimizer.cost(SstvsSizing())
+        n = optimizer.evaluations
+        optimizer.cost(SstvsSizing())
+        assert optimizer.evaluations == n
+
+    def test_nonfunctional_is_infinite(self):
+        # A starved MC capacitor breaks the rising edge.
+        optimizer = SizingOptimizer(corners=[(0.8, 1.2)], plan=FAST)
+        broken = SstvsSizing(w_mc=0.1e-6, l_mc=0.1e-6, w_m1=3e-6)
+        cost = optimizer.cost(broken)
+        # Either outright non-functional (inf) or measurably worse.
+        assert cost > optimizer.cost(SstvsSizing())
+
+    def test_area_term_monotone(self):
+        heavy = Objective(w_delay=0, w_leakage=0, w_area=1)
+        optimizer = SizingOptimizer(corners=[(0.8, 1.2)], plan=FAST,
+                                    objective=heavy)
+        small = SstvsSizing()
+        big = SstvsSizing(w_mc=6e-6)
+        assert optimizer.cost(big) > optimizer.cost(small)
+
+
+class TestSearch:
+    def test_one_round_never_worse(self):
+        optimizer = SizingOptimizer(corners=[(0.8, 1.2)], plan=FAST,
+                                    knobs=("w_nor_n",))
+        result = optimizer.run(rounds=1)
+        assert result.best_cost <= result.initial_cost
+        assert result.evaluations >= 2
+        assert result.history[0].functional
+
+    def test_result_sizing_functional(self):
+        from repro.core import characterize
+        from repro.pdk import Pdk
+        optimizer = SizingOptimizer(corners=[(0.8, 1.2)], plan=FAST,
+                                    knobs=("w_m2",))
+        result = optimizer.run(rounds=1)
+        metrics = characterize(Pdk(), "sstvs", 0.8, 1.2, plan=FAST,
+                               sizing=result.best_sizing)
+        assert metrics.functional
+
+    def test_nonfunctional_start_rejected(self):
+        optimizer = SizingOptimizer(corners=[(0.3, 1.2)], plan=FAST,
+                                    knobs=("w_m1",))
+        with pytest.raises(AnalysisError):
+            optimizer.run(rounds=1)

@@ -1,0 +1,107 @@
+"""Tests for Monte Carlo variation sampling."""
+
+import numpy as np
+import pytest
+
+from repro.pdk import Pdk, VariationSpec, VariedPdk
+from repro.pdk.ptm90 import LMIN
+
+
+class TestVariationSpec:
+    def test_paper_sigma_wl(self):
+        spec = VariationSpec()
+        assert spec.sigma_wl == pytest.approx(0.0334 * LMIN)
+
+    def test_negative_sigma_rejected(self):
+        from repro.errors import ModelError
+        with pytest.raises(ModelError):
+            VariationSpec(sigma_vt_fraction=-0.1).validate()
+
+
+class TestVariedPdk:
+    def _varied(self, seed=42):
+        return VariedPdk(np.random.default_rng(seed))
+
+    def test_device_parameters_perturbed(self):
+        pdk = self._varied()
+        m = pdk.mosfet("m1", "d", "g", "s", "b", "n", 0.2e-6)
+        nominal = Pdk().mosfet("m1", "d", "g", "s", "b", "n", 0.2e-6)
+        assert m.w != nominal.w or m.params.vto != nominal.params.vto
+
+    def test_reproducible_with_seed(self):
+        a = self._varied(7).mosfet("m1", "d", "g", "s", "b", "n", 0.2e-6)
+        b = self._varied(7).mosfet("m1", "d", "g", "s", "b", "n", 0.2e-6)
+        assert a.w == b.w
+        assert a.params.vto == b.params.vto
+
+    def test_different_seeds_differ(self):
+        a = self._varied(7).mosfet("m1", "d", "g", "s", "b", "n", 0.2e-6)
+        b = self._varied(8).mosfet("m1", "d", "g", "s", "b", "n", 0.2e-6)
+        assert (a.w, a.params.vto) != (b.w, b.params.vto)
+
+    def test_devices_independent(self):
+        pdk = self._varied()
+        a = pdk.mosfet("a", "d", "g", "s", "b", "n", 0.2e-6)
+        b = pdk.mosfet("b", "d", "g", "s", "b", "n", 0.2e-6)
+        assert (a.w, a.params.vto) != (b.w, b.params.vto)
+
+    def test_draw_log_records(self):
+        pdk = self._varied()
+        pdk.mosfet("m1", "d", "g", "s", "b", "n", 0.2e-6)
+        assert "m1" in pdk.draw_log
+        assert len(pdk.draw_log["m1"]) == 3
+
+    def test_sample_statistics(self):
+        # Empirical sigma over many draws matches the spec.
+        pdk = self._varied(3)
+        widths = [pdk.mosfet(f"m{i}", "d", "g", "s", "b", "n",
+                             0.2e-6).w for i in range(800)]
+        sigma = np.std(np.asarray(widths) - 0.2e-6)
+        assert sigma == pytest.approx(VariationSpec().sigma_wl, rel=0.15)
+
+    def test_vt_sigma_relative(self):
+        pdk = self._varied(4)
+        vts = [pdk.mosfet(f"m{i}", "d", "g", "s", "b", "n", 0.2e-6)
+               .params.vto for i in range(800)]
+        sigma = np.std(vts)
+        assert sigma == pytest.approx(0.0334 * 0.39, rel=0.15)
+
+    def test_widths_never_collapse(self):
+        spec = VariationSpec(sigma_wl_fraction_of_lmin=10.0)
+        pdk = VariedPdk(np.random.default_rng(0), spec)
+        for i in range(50):
+            m = pdk.mosfet(f"m{i}", "d", "g", "s", "b", "n", 0.2e-6)
+            assert m.w > 0
+            assert m.l > 0
+            assert m.params.vto > 0
+
+
+class TestCorners:
+    def test_tt_is_nominal(self):
+        from repro.pdk import CornerPdk
+        tt = CornerPdk("tt").mosfet("m", "d", "g", "s", "b", "n", 0.2e-6)
+        nominal = Pdk().mosfet("m", "d", "g", "s", "b", "n", 0.2e-6)
+        assert tt.params.vto == pytest.approx(nominal.params.vto)
+
+    def test_ff_faster_than_ss(self):
+        from repro.pdk import CornerPdk
+        ff = CornerPdk("ff").mosfet("m", "d", "g", "s", "b", "n", 0.2e-6)
+        ss = CornerPdk("ss").mosfet("m", "d", "g", "s", "b", "n", 0.2e-6)
+        assert ff.params.vto < ss.params.vto
+        assert ff.drain_current(1.2, 1.2, 0, 0) > \
+            ss.drain_current(1.2, 1.2, 0, 0)
+
+    def test_fs_polarity_split(self):
+        from repro.pdk import CornerPdk
+        pdk = CornerPdk("fs")
+        n = pdk.mosfet("a", "d", "g", "s", "b", "n", 0.2e-6)
+        p = pdk.mosfet("b", "d", "g", "s", "b", "p", 0.2e-6)
+        nominal = Pdk()
+        assert n.params.vto < nominal.card("n").vto
+        assert p.params.vto > nominal.card("p").vto
+
+    def test_unknown_corner(self):
+        from repro.errors import ModelError
+        from repro.pdk import CornerPdk
+        with pytest.raises(ModelError):
+            CornerPdk("zz")

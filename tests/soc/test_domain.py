@@ -1,0 +1,83 @@
+"""Tests for DVS schedules and domain-relationship analysis."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.soc import Crossing, DvsSchedule, Module, VoltageDomain
+from repro.soc.domain import relationship_flips
+
+
+class TestDvsSchedule:
+    def test_constant(self):
+        s = DvsSchedule.constant(1.2)
+        assert s.voltage_at(0.0) == 1.2
+        assert s.voltage_at(1e9) == 1.2
+        assert s.change_times() == []
+
+    def test_piecewise_lookup(self):
+        s = DvsSchedule(((0.0, 1.2), (5.0, 0.9), (10.0, 1.1)))
+        assert s.voltage_at(2.0) == 1.2
+        assert s.voltage_at(5.0) == 0.9
+        assert s.voltage_at(7.0) == 0.9
+        assert s.voltage_at(12.0) == 1.1
+
+    def test_before_first_point(self):
+        s = DvsSchedule(((1.0, 0.9),))
+        assert s.voltage_at(0.0) == 0.9
+
+    def test_min_max(self):
+        s = DvsSchedule(((0.0, 1.2), (5.0, 0.9)))
+        assert s.min_voltage == 0.9
+        assert s.max_voltage == 1.2
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            DvsSchedule(())
+
+    def test_nonmonotonic_rejected(self):
+        with pytest.raises(AnalysisError):
+            DvsSchedule(((0.0, 1.0), (0.0, 1.2)))
+
+    def test_nonpositive_voltage_rejected(self):
+        with pytest.raises(AnalysisError):
+            DvsSchedule(((0.0, 0.0),))
+
+
+class TestRelationshipFlips:
+    def test_static_pair_no_flips(self):
+        a = DvsSchedule.constant(1.2)
+        b = DvsSchedule.constant(0.8)
+        assert relationship_flips(a, b) == 0
+
+    def test_single_flip(self):
+        a = DvsSchedule(((0.0, 1.2), (5.0, 0.7)))
+        b = DvsSchedule.constant(0.9)
+        assert relationship_flips(a, b) == 1
+
+    def test_multiple_flips(self):
+        a = DvsSchedule(((0.0, 1.2), (5.0, 0.7), (10.0, 1.3)))
+        b = DvsSchedule.constant(0.9)
+        assert relationship_flips(a, b) == 2
+
+    def test_equal_voltages_ignored(self):
+        a = DvsSchedule(((0.0, 1.0), (5.0, 0.9)))
+        b = DvsSchedule.constant(1.0)
+        # 1.0 vs 1.0 is "equal", then drops below: no sign flip counted.
+        assert relationship_flips(a, b) == 0
+
+
+class TestModuleAndCrossing:
+    def test_module_center(self):
+        m = Module("cpu", VoltageDomain.fixed("vd", 1.2), x=10, y=20,
+                   width=100, height=50)
+        assert m.center() == (60.0, 45.0)
+
+    def test_crossing_validation(self):
+        with pytest.raises(AnalysisError):
+            Crossing("a", "a")
+        with pytest.raises(AnalysisError):
+            Crossing("a", "b", signals=0)
+
+    def test_fixed_domain_helper(self):
+        d = VoltageDomain.fixed("vd", 1.0)
+        assert d.schedule.voltage_at(42.0) == 1.0

@@ -1,0 +1,72 @@
+"""Tests for the crossing-energy model (SPICE-backed, small SoC)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.soc import Crossing, Module, Soc, VoltageDomain
+from repro.soc.energy import CrossingEnergyModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    a = Module("a", VoltageDomain.fixed("va", 0.8), x=0, y=0)
+    b = Module("b", VoltageDomain.fixed("vb", 1.2), x=100, y=0)
+    soc = Soc([a, b], [Crossing("a", "b", signals=4)])
+    return CrossingEnergyModel(soc)
+
+
+RATES = {("a", "b"): 100e6}  # 100 MHz toggle rate
+
+
+class TestEnergyReport:
+    def test_totals_positive(self, model):
+        report = model.report("sstvs", RATES, horizon=1e-6)
+        assert report.dynamic_energy > 0
+        assert report.leakage_energy > 0
+        assert report.total_energy == pytest.approx(
+            report.dynamic_energy + report.leakage_energy)
+
+    def test_dynamic_scales_with_rate(self, model):
+        slow = model.report("sstvs", {("a", "b"): 10e6}, horizon=1e-6)
+        fast = model.report("sstvs", {("a", "b"): 100e6}, horizon=1e-6)
+        assert fast.dynamic_energy == pytest.approx(
+            10 * slow.dynamic_energy, rel=1e-6)
+        # Leakage is rate-independent.
+        assert fast.leakage_energy == pytest.approx(
+            slow.leakage_energy, rel=1e-9)
+
+    def test_idle_crossing_is_leakage_only(self, model):
+        report = model.report("sstvs", {}, horizon=1e-6)
+        assert report.dynamic_energy == 0.0
+        assert report.leakage_energy > 0
+
+    def test_leakage_scales_with_horizon(self, model):
+        short = model.report("sstvs", RATES, horizon=1e-6)
+        long = model.report("sstvs", RATES, horizon=2e-6)
+        assert long.leakage_energy == pytest.approx(
+            2 * short.leakage_energy, rel=1e-9)
+
+    def test_per_crossing_breakdown(self, model):
+        report = model.report("sstvs", RATES, horizon=1e-6)
+        assert ("a", "b") in report.per_crossing
+
+    def test_compare_strategies(self, model):
+        reports = model.compare(("sstvs", "combined"), RATES,
+                                horizon=1e-6)
+        # The combined VS leaks far more on a low-to-high crossing.
+        assert reports["combined"].leakage_energy > \
+            5 * reports["sstvs"].leakage_energy
+
+    def test_bad_horizon(self, model):
+        with pytest.raises(AnalysisError):
+            model.report("sstvs", RATES, horizon=0.0)
+
+    def test_summary_text(self, model):
+        text = model.report("sstvs", RATES, horizon=1e-6).summary()
+        assert "dynamic" in text and "leakage" in text
+
+    def test_characterization_cached(self, model):
+        model.report("sstvs", RATES, horizon=1e-6)
+        n = len(model._cache)
+        model.report("sstvs", RATES, horizon=2e-6)
+        assert len(model._cache) == n

@@ -1,0 +1,136 @@
+"""Tests for SoC shifter-insertion planning (no SPICE in the loop:
+characterize_leakage=False keeps these fast)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.soc import (
+    COMBINED_STRATEGY, CVS_STRATEGY, Crossing, DvsSchedule,
+    INVERTER_STRATEGY, Module, SSTVS_STRATEGY, SSVS_STRATEGY,
+    ShifterPlanner, Soc, VoltageDomain, manhattan,
+)
+
+
+def paper_soc():
+    """The paper's Figure 2/3 four-module system: 0.8/1.0/1.2/1.4 V."""
+    modules = [
+        Module("m08", VoltageDomain.fixed("v08", 0.8), x=0, y=0),
+        Module("m10", VoltageDomain.fixed("v10", 1.0), x=200, y=0),
+        Module("m12", VoltageDomain.fixed("v12", 1.2), x=0, y=200),
+        Module("m14", VoltageDomain.fixed("v14", 1.4), x=200, y=200),
+    ]
+    crossings = [
+        Crossing("m08", "m10", 4), Crossing("m10", "m08", 4),
+        Crossing("m08", "m12", 2), Crossing("m12", "m14", 2),
+        Crossing("m14", "m08", 2), Crossing("m10", "m14", 1),
+    ]
+    return Soc(modules, crossings)
+
+
+def dvs_soc():
+    """Two modules whose relationship flips over time."""
+    a = Module("cpu", VoltageDomain("vd1", DvsSchedule(
+        ((0.0, 1.2), (5.0, 0.9)))), x=0, y=0)
+    b = Module("dsp", VoltageDomain.fixed("vd2", 1.0), x=300, y=0)
+    return Soc([a, b], [Crossing("cpu", "dsp", 8),
+                        Crossing("dsp", "cpu", 8)])
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return ShifterPlanner(paper_soc(), characterize_leakage=False)
+
+
+@pytest.fixture(scope="module")
+def dvs_planner():
+    return ShifterPlanner(dvs_soc(), characterize_leakage=False)
+
+
+class TestSocModel:
+    def test_duplicate_module_names_rejected(self):
+        m = Module("a", VoltageDomain.fixed("v", 1.0))
+        with pytest.raises(AnalysisError):
+            Soc([m, Module("a", VoltageDomain.fixed("w", 1.0))], [])
+
+    def test_unknown_crossing_module_rejected(self):
+        m = Module("a", VoltageDomain.fixed("v", 1.0))
+        with pytest.raises(AnalysisError):
+            Soc([m], [Crossing("a", "ghost")])
+
+    def test_graph_merges_parallel_crossings(self):
+        soc = paper_soc()
+        g = soc.graph()
+        assert g["m08"]["m10"]["signals"] == 4
+        assert g.number_of_nodes() == 4
+
+    def test_domain_pairs(self):
+        pairs = paper_soc().domain_pairs()
+        assert ("v08", "v10") in pairs
+
+    def test_manhattan(self):
+        soc = paper_soc()
+        d = manhattan(soc.modules["m08"], soc.modules["m14"])
+        assert d == pytest.approx(400.0)
+
+
+class TestPlannerCosts:
+    def test_cvs_needs_extra_rails(self, planner):
+        report = planner.plan(CVS_STRATEGY)
+        assert report.extra_supply_rails > 0
+        assert report.supply_route_length > 0
+
+    def test_single_supply_strategies_need_none(self, planner):
+        for strategy in (COMBINED_STRATEGY, SSTVS_STRATEGY):
+            report = planner.plan(strategy)
+            assert report.extra_supply_rails == 0
+
+    def test_combined_needs_control_wires(self, planner):
+        report = planner.plan(COMBINED_STRATEGY)
+        assert report.control_wires > 0
+
+    def test_sstvs_needs_no_control(self, planner):
+        report = planner.plan(SSTVS_STRATEGY)
+        assert report.control_wires == 0
+
+    def test_sstvs_minimum_wiring_area(self, planner):
+        reports = planner.compare()
+        sstvs = reports[SSTVS_STRATEGY]
+        assert sstvs.total_wiring_area <= min(
+            r.total_wiring_area for r in reports.values())
+
+    def test_shifter_count_equals_signals(self, planner):
+        report = planner.plan(SSTVS_STRATEGY)
+        assert report.shifter_count == 15  # sum of crossing signals
+
+    def test_unknown_strategy(self, planner):
+        with pytest.raises(AnalysisError):
+            planner.plan("osmosis")
+
+    def test_summary_text(self, planner):
+        text = planner.plan(SSTVS_STRATEGY).summary()
+        assert "sstvs" in text
+        assert "feasible" in text
+
+
+class TestDvsFeasibility:
+    def test_static_strategies_infeasible_under_dvs(self, dvs_planner):
+        for strategy in (INVERTER_STRATEGY, SSVS_STRATEGY):
+            report = dvs_planner.plan(strategy)
+            assert not report.feasible, strategy
+            assert report.infeasible_pairs
+
+    def test_true_strategies_feasible_under_dvs(self, dvs_planner):
+        for strategy in (CVS_STRATEGY, COMBINED_STRATEGY,
+                         SSTVS_STRATEGY):
+            assert dvs_planner.plan(strategy).feasible, strategy
+
+    def test_inverter_feasible_for_static_downshift(self):
+        a = Module("hi", VoltageDomain.fixed("v1", 1.4), x=0, y=0)
+        b = Module("lo", VoltageDomain.fixed("v2", 0.8), x=100, y=0)
+        soc = Soc([a, b], [Crossing("hi", "lo")])
+        planner = ShifterPlanner(soc, characterize_leakage=False)
+        assert planner.plan(INVERTER_STRATEGY).feasible
+        # But not for the reverse direction.
+        soc2 = Soc([a, b], [Crossing("lo", "hi")])
+        planner2 = ShifterPlanner(soc2, characterize_leakage=False)
+        assert not planner2.plan(INVERTER_STRATEGY).feasible

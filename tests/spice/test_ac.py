@@ -1,0 +1,152 @@
+"""Tests for the small-signal AC analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError, MeasurementError
+from repro.spice import (
+    AcAnalysis, AcStimulus, Circuit, log_frequencies,
+)
+from repro.spice.devices import (
+    Capacitor, Inductor, Resistor, Vccs, VoltageSource,
+)
+
+
+def lowpass(r=1e3, c=1e-9):
+    ckt = Circuit("lp")
+    ckt.add(VoltageSource("vin", "in", "0", dc=0.0))
+    ckt.add(Resistor("r", "in", "out", r))
+    ckt.add(Capacitor("c", "out", "0", c))
+    return ckt
+
+
+class TestLogFrequencies:
+    def test_endpoints(self):
+        freqs = log_frequencies(1e3, 1e6, 10)
+        assert freqs[0] == pytest.approx(1e3)
+        assert freqs[-1] == pytest.approx(1e6)
+
+    def test_points_per_decade(self):
+        freqs = log_frequencies(1e3, 1e6, 10)
+        assert freqs.size == 31
+
+    def test_bad_range(self):
+        with pytest.raises(AnalysisError):
+            log_frequencies(1e6, 1e3)
+        with pytest.raises(AnalysisError):
+            log_frequencies(0.0, 1e3)
+
+
+class TestRcLowpass:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return AcAnalysis(lowpass(), [AcStimulus("vin")],
+                          log_frequencies(1e3, 1e8, 20)).run()
+
+    def test_dc_gain_unity(self, result):
+        assert result.magnitude("out")[0] == pytest.approx(1.0, rel=1e-3)
+
+    def test_3db_bandwidth(self, result):
+        expected = 1.0 / (2 * math.pi * 1e3 * 1e-9)
+        assert result.bandwidth_3db("out") == pytest.approx(expected,
+                                                            rel=0.01)
+
+    def test_rolloff_20db_per_decade(self, result):
+        db = result.magnitude_db("out")
+        freqs = result.frequencies
+        hi = np.searchsorted(freqs, 1e7)
+        hi10 = np.searchsorted(freqs, 1e8) - 1
+        slope = (db[hi10] - db[hi]) / math.log10(freqs[hi10] / freqs[hi])
+        assert slope == pytest.approx(-20.0, abs=1.0)
+
+    def test_phase_approaches_minus_90(self, result):
+        assert result.phase_deg("out")[-1] == pytest.approx(-90.0,
+                                                            abs=3.0)
+
+    def test_gain_at_interpolates(self, result):
+        f3 = result.bandwidth_3db("out")
+        assert result.gain_at("out", f3) == pytest.approx(
+            1 / math.sqrt(2), rel=0.02)
+
+    def test_ground_phasor_zero(self, result):
+        assert np.all(result.phasor("0") == 0)
+
+
+class TestRlcResonance:
+    def test_series_rlc_peak(self):
+        # f0 = 1/(2 pi sqrt(LC)) = 5.03 MHz for 1 uH / 1 nF.
+        ckt = Circuit("rlc")
+        ckt.add(VoltageSource("vin", "in", "0", dc=0.0))
+        ckt.add(Resistor("r", "in", "a", 10.0))
+        ckt.add(Inductor("l", "a", "out", 1e-6))
+        ckt.add(Capacitor("c", "out", "0", 1e-9))
+        result = AcAnalysis(ckt, [AcStimulus("vin")],
+                            log_frequencies(1e5, 1e8, 60)).run()
+        mag = result.magnitude("out")
+        f_peak = result.frequencies[int(np.argmax(mag))]
+        f0 = 1.0 / (2 * math.pi * math.sqrt(1e-6 * 1e-9))
+        assert f_peak == pytest.approx(f0, rel=0.05)
+        assert mag.max() > 3.0  # resonant peaking (Q = ~31)
+
+
+class TestActiveCircuits:
+    def test_vccs_amplifier_gain(self):
+        # gm = 4 mS into 1 kOhm -> gain 4.
+        ckt = Circuit("amp")
+        ckt.add(VoltageSource("vin", "in", "0", dc=0.0))
+        ckt.add(Vccs("g1", "out", "0", "in", "0", gm=4e-3))
+        ckt.add(Resistor("rl", "out", "0", 1e3))
+        result = AcAnalysis(ckt, [AcStimulus("vin")],
+                            log_frequencies(1e3, 1e6, 5)).run()
+        # Current pulled OUT of 'out': inverting gain of magnitude 4.
+        assert result.magnitude("out")[0] == pytest.approx(4.0, rel=1e-3)
+        assert abs(result.phase_deg("out")[0]) == pytest.approx(180.0,
+                                                                abs=1.0)
+
+    def test_mos_common_source_gain(self, pdk):
+        # NMOS common-source stage biased near saturation.
+        ckt = Circuit("cs")
+        ckt.add(VoltageSource("vdd", "vdd", "0", dc=1.2))
+        ckt.add(VoltageSource("vin", "g", "0", dc=0.55))
+        ckt.add(Resistor("rd", "vdd", "d", 20e3))
+        ckt.add(pdk.mosfet("m1", "d", "g", "0", "0", "n", 1e-6))
+        result = AcAnalysis(ckt, [AcStimulus("vin")],
+                            log_frequencies(1e3, 1e6, 5)).run()
+        gain = result.magnitude("d")[0]
+        assert gain > 2.0, "common-source stage should amplify"
+
+    def test_unity_gain_frequency(self):
+        ckt = Circuit("amp")
+        ckt.add(VoltageSource("vin", "in", "0", dc=0.0))
+        ckt.add(Vccs("g1", "out", "0", "in", "0", gm=10e-3))
+        ckt.add(Resistor("rl", "out", "0", 1e3))
+        ckt.add(Capacitor("cl", "out", "0", 1e-9))
+        result = AcAnalysis(ckt, [AcStimulus("vin")],
+                            log_frequencies(1e4, 1e9, 20)).run()
+        # f_u ~ gm / (2 pi C) = 1.59 MHz
+        expected = 10e-3 / (2 * math.pi * 1e-9)
+        assert result.unity_gain_frequency("out") == pytest.approx(
+            expected, rel=0.05)
+
+
+class TestValidation:
+    def test_needs_stimulus(self):
+        with pytest.raises(AnalysisError):
+            AcAnalysis(lowpass(), [], log_frequencies(1e3, 1e6))
+
+    def test_positive_frequencies(self):
+        with pytest.raises(AnalysisError):
+            AcAnalysis(lowpass(), [AcStimulus("vin")],
+                       np.asarray([0.0, 1e3]))
+
+    def test_no_3db_raises(self):
+        ckt = Circuit("flat")
+        ckt.add(VoltageSource("vin", "in", "0", dc=0.0))
+        ckt.add(Resistor("r", "in", "out", 1.0))
+        ckt.add(Resistor("r2", "out", "0", 1e9))
+        result = AcAnalysis(ckt, [AcStimulus("vin")],
+                            log_frequencies(1e3, 1e6, 5)).run()
+        with pytest.raises(MeasurementError):
+            result.bandwidth_3db("out")

@@ -1,0 +1,161 @@
+"""Tests for the circuit data model."""
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.spice import Circuit
+from repro.spice.circuit import canonical_node
+from repro.spice.devices import Capacitor, Resistor, VoltageSource
+from repro.spice.mna import GROUND
+
+
+class TestCanonicalNode:
+    def test_ground_aliases(self):
+        for name in ("0", "gnd", "GND", "gnd!", "VSS!"):
+            assert canonical_node(name) == "0"
+
+    def test_case_folding(self):
+        assert canonical_node("OUT") == "out"
+
+    def test_whitespace_stripped(self):
+        assert canonical_node("  out ") == "out"
+
+    def test_empty_raises(self):
+        with pytest.raises(CircuitError):
+            canonical_node("  ")
+
+
+class TestCircuitConstruction:
+    def test_add_and_lookup(self, empty_circuit):
+        r = Resistor("R1", "a", "b", 1e3)
+        empty_circuit.add(r)
+        assert empty_circuit.device("r1") is r
+        assert "R1" in empty_circuit
+        assert len(empty_circuit) == 1
+
+    def test_duplicate_name_rejected(self, empty_circuit):
+        empty_circuit.add(Resistor("r1", "a", "b", 1.0))
+        with pytest.raises(CircuitError, match="duplicate"):
+            empty_circuit.add(Resistor("R1", "c", "d", 1.0))
+
+    def test_unknown_device_lookup(self, empty_circuit):
+        with pytest.raises(CircuitError, match="no device"):
+            empty_circuit.device("nope")
+
+    def test_remove(self, empty_circuit):
+        empty_circuit.add(Resistor("r1", "a", "b", 1.0))
+        empty_circuit.remove("r1")
+        assert "r1" not in empty_circuit
+
+    def test_remove_missing_raises(self, empty_circuit):
+        with pytest.raises(CircuitError):
+            empty_circuit.remove("ghost")
+
+    def test_node_names_canonicalized_on_add(self, empty_circuit):
+        empty_circuit.add(Resistor("r1", "A", "GND", 1.0))
+        device = empty_circuit.device("r1")
+        assert device.nodes == ["a", "0"]
+
+    def test_expansion_devices_added(self, empty_circuit, nmos_params):
+        from repro.spice.devices import Mosfet
+        empty_circuit.add(Mosfet("m1", "d", "g", "s", "b", nmos_params,
+                                 0.2e-6, 0.1e-6))
+        # The MOSFET expands into 5 caps (no gate_leak in this card).
+        assert len(empty_circuit) == 6
+        assert "m1#cgs" in empty_circuit
+
+
+class TestFinalization:
+    def _build(self):
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("v1", "in", "0", dc=1.0))
+        ckt.add(Resistor("r1", "in", "out", 1e3))
+        ckt.add(Capacitor("c1", "out", "0", 1e-12))
+        return ckt
+
+    def test_node_indices_assigned(self):
+        ckt = self._build()
+        ckt.finalize()
+        assert ckt.node_count() == 2
+        assert ckt.node_index("0") == GROUND
+        assert 0 <= ckt.node_index("in") < 2
+        assert 0 <= ckt.node_index("out") < 2
+
+    def test_system_size_includes_branches(self):
+        ckt = self._build()
+        # 2 nodes + 1 voltage-source branch current.
+        assert ckt.system_size() == 3
+
+    def test_branch_index(self):
+        ckt = self._build()
+        assert ckt.branch_index("v1") == 2
+
+    def test_branch_index_missing(self):
+        ckt = self._build()
+        with pytest.raises(CircuitError):
+            ckt.branch_index("r1")
+
+    def test_unknown_node_raises(self):
+        ckt = self._build()
+        with pytest.raises(CircuitError, match="unknown node"):
+            ckt.node_index("phantom")
+
+    def test_frozen_after_finalize(self):
+        ckt = self._build()
+        ckt.finalize()
+        with pytest.raises(CircuitError, match="finalized"):
+            ckt.add(Resistor("r2", "x", "y", 1.0))
+
+    def test_unfreeze_allows_edits(self):
+        ckt = self._build()
+        ckt.finalize()
+        ckt.unfreeze()
+        ckt.add(Resistor("r2", "x", "y", 1.0))
+        assert "r2" in ckt
+
+    def test_finalize_idempotent(self):
+        ckt = self._build()
+        ckt.finalize()
+        size = ckt.system_size()
+        ckt.finalize()
+        assert ckt.system_size() == size
+
+    def test_node_names_in_index_order(self):
+        ckt = self._build()
+        names = ckt.node_names()
+        assert [ckt.node_index(n) for n in names] == list(range(len(names)))
+
+    def test_summary_mentions_counts(self):
+        ckt = self._build()
+        text = ckt.summary()
+        assert "3 devices" in text
+        assert "2 nodes" in text
+
+
+class TestQueries:
+    def test_nonlinear_devices(self, nmos_params):
+        from repro.spice.devices import Mosfet
+        ckt = Circuit("t")
+        ckt.add(Resistor("r1", "a", "0", 1.0))
+        ckt.add(Mosfet("m1", "d", "g", "s", "0", nmos_params,
+                       0.2e-6, 0.1e-6))
+        nonlinear = ckt.nonlinear_devices()
+        assert [d.name for d in nonlinear] == ["m1"]
+
+    def test_breakpoints_sorted_unique(self):
+        from repro.spice.devices import Pulse
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("v1", "a", "0", shape=Pulse(
+            0, 1, delay=1e-9, rise=1e-10, fall=1e-10, width=1e-9,
+            period=10e-9)))
+        pts = ckt.breakpoints(5e-9)
+        assert pts == sorted(set(pts))
+        assert pts[0] == 0.0
+        assert pts[-1] == 5e-9
+
+    def test_devices_of_type(self):
+        ckt = Circuit("t")
+        ckt.add(Resistor("r1", "a", "0", 1.0))
+        ckt.add(Capacitor("c1", "a", "0", 1e-12))
+        assert len(ckt.devices_of_type(Resistor)) == 1
+        assert len(ckt.devices_of_type(Capacitor)) == 1

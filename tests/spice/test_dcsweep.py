@@ -1,0 +1,71 @@
+"""Tests for the DC sweep analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.spice import Circuit, DcSweep
+from repro.spice.devices import Capacitor, Dc, Resistor, VoltageSource
+
+
+def divider():
+    ckt = Circuit("t")
+    ckt.add(VoltageSource("vin", "a", "0", dc=0.0))
+    ckt.add(Resistor("r1", "a", "m", 1e3))
+    ckt.add(Resistor("r2", "m", "0", 1e3))
+    return ckt
+
+
+class TestDcSweep:
+    def test_linear_divider_sweep(self):
+        result = DcSweep(divider(), "vin", np.linspace(0, 2, 5)).run()
+        np.testing.assert_allclose(result.voltages("m"),
+                                   np.linspace(0, 1, 5), rtol=1e-6)
+
+    def test_currents_accessor(self):
+        result = DcSweep(divider(), "vin", [2.0]).run()
+        assert result.currents("vin")[0] == pytest.approx(-1e-3, rel=1e-6)
+
+    def test_len(self):
+        result = DcSweep(divider(), "vin", [0.0, 1.0]).run()
+        assert len(result) == 2
+
+    def test_source_shape_restored(self):
+        ckt = divider()
+        source = ckt.device("vin")
+        original = source.shape
+        DcSweep(ckt, "vin", [0.5, 1.0]).run()
+        assert source.shape is original
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(AnalysisError):
+            DcSweep(divider(), "vin", [])
+
+    def test_non_source_rejected(self):
+        with pytest.raises(AnalysisError):
+            DcSweep(divider(), "r1", [1.0]).run()
+
+    def test_inverter_vtc_monotone(self, pdk):
+        from repro.cells import add_inverter
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("vdd", "vdd", "0", dc=1.2))
+        ckt.add(VoltageSource("vin", "in", "0", dc=0.0))
+        add_inverter(ckt, pdk, "inv", "in", "out", "vdd")
+        sweep = DcSweep(ckt, "vin", np.linspace(0, 1.2, 25)).run()
+        vout = sweep.voltages("out")
+        assert vout[0] == pytest.approx(1.2, abs=0.01)
+        assert vout[-1] == pytest.approx(0.0, abs=0.01)
+        assert np.all(np.diff(vout) <= 1e-6)  # monotone falling
+
+    def test_inverter_switching_threshold(self, pdk):
+        from repro.cells import add_inverter
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("vdd", "vdd", "0", dc=1.2))
+        ckt.add(VoltageSource("vin", "in", "0", dc=0.0))
+        add_inverter(ckt, pdk, "inv", "in", "out", "vdd")
+        vin = np.linspace(0, 1.2, 121)
+        sweep = DcSweep(ckt, "vin", vin).run()
+        vout = sweep.voltages("out")
+        crossing = vin[np.argmin(np.abs(vout - vin))]
+        # Switching threshold near midrail for a 2:1 P:N inverter.
+        assert 0.4 < crossing < 0.8

@@ -1,0 +1,242 @@
+"""Tests for the EKV MOSFET model: physics sanity, Jacobian
+consistency (property-based), and parameter validation."""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.spice.devices import Mosfet, MosfetParams
+from repro.spice.devices.mosfet import _ekv_f, _ekv_fprime
+
+
+class TestEkvFunction:
+    def test_subthreshold_limit_is_exponential(self):
+        # For x << 0, F(x) ~ exp(x).
+        for x in (-10.0, -15.0, -20.0):
+            assert _ekv_f(x) == pytest.approx(math.exp(x), rel=1e-2)
+
+    def test_strong_inversion_limit_is_quadratic(self):
+        # For x >> 0, F(x) ~ (x/2)^2.
+        for x in (30.0, 50.0, 100.0):
+            assert _ekv_f(x) == pytest.approx((x / 2.0) ** 2, rel=0.2)
+
+    def test_monotone_increasing(self):
+        xs = [-20, -5, -1, 0, 1, 5, 20, 60]
+        values = [_ekv_f(x) for x in xs]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    @given(st.floats(min_value=-60, max_value=60))
+    def test_derivative_matches_finite_difference(self, x):
+        h = 1e-6
+        numeric = (_ekv_f(x + h) - _ekv_f(x - h)) / (2 * h)
+        assert _ekv_fprime(x) == pytest.approx(numeric, rel=1e-4,
+                                               abs=1e-12)
+
+    def test_positive_everywhere(self):
+        for x in (-100, -1, 0, 1, 100):
+            assert _ekv_f(x) >= 0.0
+            assert _ekv_fprime(x) >= 0.0
+
+
+class TestParamsValidation:
+    def _kwargs(self, **overrides):
+        base = dict(name="x", polarity="n", vto=0.39, n_slope=1.2,
+                    u0=0.018, tox=2e-9, lambda_clm=0.1, gamma=0.0,
+                    phi=0.85, eta_dibl=0.05, cgdo=3e-10, cgso=3e-10,
+                    cj=1e-3, ldiff=1e-7)
+        base.update(overrides)
+        return base
+
+    def test_bad_polarity(self):
+        with pytest.raises(ModelError):
+            MosfetParams(**self._kwargs(polarity="x"))
+
+    def test_negative_vto(self):
+        with pytest.raises(ModelError):
+            MosfetParams(**self._kwargs(vto=-0.3))
+
+    def test_slope_below_one(self):
+        with pytest.raises(ModelError):
+            MosfetParams(**self._kwargs(n_slope=0.9))
+
+    def test_zero_tox(self):
+        with pytest.raises(ModelError):
+            MosfetParams(**self._kwargs(tox=0.0))
+
+    def test_negative_temperature(self):
+        with pytest.raises(ModelError):
+            MosfetParams(**self._kwargs(temperature=-1.0))
+
+    def test_cox_positive(self):
+        params = MosfetParams(**self._kwargs())
+        assert params.cox > 0
+
+    def test_thermal_voltage_room_temp(self):
+        params = MosfetParams(**self._kwargs(temperature=300.15))
+        assert params.thermal_voltage == pytest.approx(0.02587, rel=1e-3)
+
+    def test_with_overrides(self):
+        params = MosfetParams(**self._kwargs())
+        tweaked = params.with_overrides(vto=0.5)
+        assert tweaked.vto == 0.5
+        assert params.vto == 0.39  # original untouched
+
+
+class TestMosfetConstruction:
+    def test_bad_width(self, nmos_params):
+        with pytest.raises(ModelError):
+            Mosfet("m", "d", "g", "s", "b", nmos_params, w=-1e-6, l=1e-7)
+
+    def test_bad_multiplier(self, nmos_params):
+        with pytest.raises(ModelError):
+            Mosfet("m", "d", "g", "s", "b", nmos_params, 1e-6, 1e-7, m=0)
+
+    def test_expansion_has_five_caps(self, nmos):
+        aux = nmos.expand()
+        assert len(aux) == 5
+        names = {a.name for a in aux}
+        assert names == {"mn#cgs", "mn#cgd", "mn#cgb", "mn#cdb", "mn#csb"}
+
+    def test_gate_leak_adds_resistor(self, nmos_params):
+        leaky = nmos_params.with_overrides(gate_leak=1e4)
+        device = Mosfet("m", "d", "g", "s", "b", leaky, 0.2e-6, 0.1e-6)
+        aux = device.expand()
+        assert len(aux) == 6
+        resistor = [a for a in aux if a.name == "m#rg"][0]
+        assert resistor.resistance == pytest.approx(
+            1.0 / (1e4 * 0.2e-6 * 0.1e-6))
+
+    def test_is_nonlinear(self, nmos):
+        assert nmos.is_nonlinear()
+
+
+class TestNmosPhysics:
+    def test_on_current_magnitude(self, nmos):
+        # ~1 mA/um at full bias for the 90 nm-like card.
+        ion = nmos.drain_current(1.2, 1.2, 0.0, 0.0)
+        per_um = ion / 0.2
+        assert 0.3e-3 < per_um < 3e-3
+
+    def test_off_current_much_smaller(self, nmos):
+        ion = nmos.drain_current(1.2, 1.2, 0.0, 0.0)
+        ioff = nmos.drain_current(1.2, 0.0, 0.0, 0.0)
+        assert ioff > 0
+        assert ion / ioff > 1e4
+
+    def test_zero_vds_zero_current(self, nmos):
+        assert nmos.drain_current(0.5, 1.2, 0.5, 0.0) == pytest.approx(
+            0.0, abs=1e-12)
+
+    def test_reverse_operation_negative_current(self, nmos):
+        # Drain below source: current flows source -> drain.
+        forward = nmos.drain_current(1.0, 1.2, 0.0, 0.0)
+        reverse = nmos.drain_current(0.0, 1.2, 1.0, 0.0)
+        assert reverse < 0
+        assert abs(reverse) == pytest.approx(forward, rel=0.35)
+
+    def test_current_scales_with_width(self, nmos_params):
+        narrow = Mosfet("a", "d", "g", "s", "b", nmos_params, 0.2e-6, 1e-7)
+        wide = Mosfet("b", "d", "g", "s", "b", nmos_params, 0.4e-6, 1e-7)
+        ratio = (wide.drain_current(1.2, 1.2, 0, 0)
+                 / narrow.drain_current(1.2, 1.2, 0, 0))
+        assert ratio == pytest.approx(2.0, rel=1e-6)
+
+    def test_multiplier_equals_width_scaling(self, nmos_params):
+        doubled = Mosfet("a", "d", "g", "s", "b", nmos_params, 0.2e-6,
+                         1e-7, m=2)
+        wide = Mosfet("b", "d", "g", "s", "b", nmos_params, 0.4e-6, 1e-7)
+        assert doubled.drain_current(1.2, 1.2, 0, 0) == pytest.approx(
+            wide.drain_current(1.2, 1.2, 0, 0))
+
+    def test_subthreshold_slope(self, nmos):
+        # n = 1.2 -> ~71 mV/decade at room temperature.
+        i1 = nmos.drain_current(1.2, 0.20, 0.0, 0.0)
+        i2 = nmos.drain_current(1.2, 0.13, 0.0, 0.0)
+        decades = math.log10(i1 / i2)
+        slope = 70e-3 / decades
+        assert 0.06 < slope < 0.085
+
+    def test_dibl_raises_off_current(self, nmos):
+        low_vd = nmos.drain_current(0.4, 0.0, 0.0, 0.0)
+        high_vd = nmos.drain_current(1.4, 0.0, 0.0, 0.0)
+        assert high_vd > low_vd * 2
+
+    def test_clm_gives_finite_output_conductance(self, nmos):
+        i1 = nmos.drain_current(1.0, 1.2, 0.0, 0.0)
+        i2 = nmos.drain_current(1.2, 1.2, 0.0, 0.0)
+        assert i2 > i1  # saturation current still grows with Vds
+
+    def test_region_labels(self, nmos):
+        assert nmos.region(1.2, 0.0, 0.0, 0.0) == "subthreshold"
+        assert nmos.region(0.05, 1.2, 0.0, 0.0) == "triode"
+        assert nmos.region(1.2, 0.8, 0.0, 0.0) == "saturation"
+
+
+class TestPmosPhysics:
+    @pytest.fixture
+    def pmos(self, pmos_params):
+        return Mosfet("mp", "d", "g", "s", "b", pmos_params,
+                      w=0.4e-6, l=0.1e-6)
+
+    def test_on_current_is_negative_into_drain(self, pmos):
+        # Source at VDD, gate low, drain low: conducts, current flows
+        # source -> drain, i.e. negative into the drain terminal.
+        ion = pmos.drain_current(0.0, 0.0, 1.2, 1.2)
+        assert ion < 0
+
+    def test_off_when_gate_high(self, pmos):
+        ioff = pmos.drain_current(0.0, 1.2, 1.2, 1.2)
+        ion = pmos.drain_current(0.0, 0.0, 1.2, 1.2)
+        assert abs(ion) / abs(ioff) > 1e4
+
+    def test_weaker_than_nmos(self, pmos, nmos):
+        # Same |bias|: PMOS mobility is lower even at double width.
+        ip = abs(pmos.drain_current(0.0, 0.0, 1.2, 1.2))
+        i_n = abs(nmos.drain_current(1.2, 1.2, 0.0, 0.0))
+        assert ip < i_n
+
+
+node_voltage = st.floats(min_value=-0.5, max_value=1.6)
+
+
+class TestJacobianConsistency:
+    """The analytic Jacobian must match finite differences everywhere —
+    the solver's convergence depends on it."""
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(vd=node_voltage, vg=node_voltage, vs=node_voltage,
+           vb=st.floats(min_value=-0.2, max_value=0.2))
+    def test_nmos_jacobian(self, nmos, vd, vg, vs, vb):
+        self._check(nmos, vd, vg, vs, vb)
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(vd=node_voltage, vg=node_voltage, vs=node_voltage,
+           vb=st.floats(min_value=1.0, max_value=1.4))
+    def test_pmos_jacobian(self, pmos_params, vd, vg, vs, vb):
+        device = Mosfet("mp", "d", "g", "s", "b", pmos_params,
+                        0.4e-6, 0.1e-6)
+        self._check(device, vd, vg, vs, vb)
+
+    @staticmethod
+    def _check(device, vd, vg, vs, vb):
+        current, gdd, gdg, gds, gdb = device.evaluate(vd, vg, vs, vb)
+        h = 1e-7
+        scale = max(abs(current), 1e-12)
+        for index, analytic in ((0, gdd), (1, gdg), (2, gds), (3, gdb)):
+            args = [vd, vg, vs, vb]
+            args[index] += h
+            up = device.evaluate(*args)[0]
+            args[index] -= 2 * h
+            down = device.evaluate(*args)[0]
+            numeric = (up - down) / (2 * h)
+            assert analytic == pytest.approx(
+                numeric, rel=5e-3, abs=scale * 1e-4), (
+                f"terminal {index} at {vd=}, {vg=}, {vs=}, {vb=}")
+
+    def test_bulk_derivative_is_negative_sum(self, nmos):
+        _, gdd, gdg, gds, gdb = nmos.evaluate(1.1, 0.9, 0.1, 0.0)
+        assert gdb == pytest.approx(-(gdd + gdg + gds), rel=1e-9)

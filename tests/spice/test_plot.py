@@ -1,0 +1,69 @@
+"""Tests for the ASCII waveform renderer."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.spice.plot import render_transient, render_waveforms
+from repro.spice.waveform import Waveform
+
+
+def ramp():
+    return Waveform([0.0, 1e-9], [0.0, 1.0])
+
+
+class TestRenderWaveforms:
+    def test_basic_render(self):
+        text = render_waveforms({"a": ramp()}, width=30, height=6)
+        assert "#=a" in text
+        assert text.count("|") == 6
+
+    def test_two_traces_distinct_glyphs(self):
+        flat = Waveform([0.0, 1e-9], [0.5, 0.5])
+        text = render_waveforms({"a": ramp(), "b": flat},
+                                width=30, height=6)
+        assert "#=a" in text and "*=b" in text
+        assert "*" in text
+
+    def test_axis_labels(self):
+        text = render_waveforms({"a": ramp()}, width=30, height=6)
+        assert "0s" in text
+        assert "1ns" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_waveforms({})
+
+    def test_tiny_area_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_waveforms({"a": ramp()}, width=5, height=2)
+
+    def test_flat_trace_no_division_error(self):
+        flat = Waveform([0.0, 1e-9], [0.7, 0.7])
+        text = render_waveforms({"a": flat}, width=20, height=4)
+        assert "#" in text
+
+    def test_window_clamping(self):
+        text = render_waveforms({"a": ramp()}, width=20, height=4,
+                                t_start=0.2e-9, t_stop=0.8e-9)
+        assert "200ps" in text
+
+    def test_bad_window(self):
+        with pytest.raises(AnalysisError):
+            render_waveforms({"a": ramp()}, t_start=1.0, t_stop=1.0)
+
+
+class TestRenderTransient:
+    def test_from_result(self):
+        from repro.spice import Circuit, Transient
+        from repro.spice.devices import (
+            Capacitor, Pulse, Resistor, VoltageSource,
+        )
+        ckt = Circuit("rc")
+        ckt.add(VoltageSource("v", "in", "0", shape=Pulse(
+            0, 1, delay=0.5e-9, rise=1e-12, fall=1e-12, width=2e-9,
+            period=8e-9)))
+        ckt.add(Resistor("r", "in", "out", 1e3))
+        ckt.add(Capacitor("c", "out", "0", 1e-13))
+        res = Transient(ckt, 3e-9).run()
+        text = render_transient(res, ["in", "out"], width=40, height=8)
+        assert "#=in" in text and "*=out" in text

@@ -1,0 +1,59 @@
+"""Tests for per-device current probing."""
+
+import pytest
+
+from repro.spice import Circuit, OperatingPoint
+from repro.spice.devices import Diode, Resistor, VoltageSource
+from repro.spice.probes import device_currents, dominant_currents
+
+
+class TestDeviceCurrents:
+    def _solved(self, ckt):
+        op = OperatingPoint(ckt).run()
+        return op.x
+
+    def test_resistor_current(self):
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("v", "a", "0", dc=1.0))
+        ckt.add(Resistor("r", "a", "0", 1e3))
+        x = self._solved(ckt)
+        currents = device_currents(ckt, x)
+        assert currents["r"] == pytest.approx(1e-3, rel=1e-6)
+
+    def test_diode_current_matches_resistor(self):
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("v", "a", "0", dc=2.0))
+        ckt.add(Resistor("r", "a", "d", 1e3))
+        ckt.add(Diode("d1", "d", "0"))
+        x = self._solved(ckt)
+        currents = device_currents(ckt, x)
+        assert currents["d1"] == pytest.approx(currents["r"], rel=1e-4)
+
+    def test_mosfet_kcl_through_inverter(self, pdk):
+        from repro.cells import add_inverter
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("vdd", "vdd", "0", dc=1.2))
+        ckt.add(VoltageSource("vin", "in", "0", dc=0.6))
+        add_inverter(ckt, pdk, "inv", "in", "out", "vdd")
+        x = self._solved(ckt)
+        currents = device_currents(ckt, x)
+        # At midrail both devices conduct the same crowbar current.
+        assert currents["inv.mn"] == pytest.approx(-currents["inv.mp"],
+                                                   rel=1e-3)
+
+    def test_dominant_sorted_and_limited(self):
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("v", "a", "0", dc=1.0))
+        ckt.add(Resistor("rbig", "a", "0", 1e2))
+        ckt.add(Resistor("rsmall", "a", "0", 1e6))
+        x = self._solved(ckt)
+        top = dominant_currents(ckt, x, top=1)
+        assert len(top) == 1
+        assert top[0][0] == "rbig"
+
+    def test_floor_filters_tiny(self):
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("v", "a", "0", dc=1.0))
+        ckt.add(Resistor("r", "a", "0", 1e3))
+        x = self._solved(ckt)
+        assert dominant_currents(ckt, x, floor=1.0) == []

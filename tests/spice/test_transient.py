@@ -1,0 +1,149 @@
+"""Tests for the adaptive transient engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.spice import Circuit, Transient
+from repro.spice.devices import (
+    Capacitor, Pulse, Pwl, Resistor, VoltageSource,
+)
+from repro.spice.transient import TransientOptions
+
+
+def rc_circuit(tau=1e-9):
+    ckt = Circuit("rc")
+    ckt.add(VoltageSource("v", "in", "0", shape=Pulse(
+        0, 1, delay=1e-9, rise=1e-12, fall=1e-12, width=20e-9,
+        period=100e-9)))
+    ckt.add(Resistor("r", "in", "out", 1e3))
+    ckt.add(Capacitor("c", "out", "0", tau / 1e3))
+    return ckt
+
+
+class TestBasics:
+    def test_rejects_nonpositive_tstop(self):
+        with pytest.raises(AnalysisError):
+            Transient(rc_circuit(), 0.0)
+
+    def test_rejects_bad_step_bounds(self):
+        options = TransientOptions(h_max=1e-12, h_min=1e-11)
+        with pytest.raises(AnalysisError):
+            Transient(rc_circuit(), 1e-9, options).run()
+
+    def test_result_times_monotonic(self):
+        res = Transient(rc_circuit(), 3e-9).run()
+        assert np.all(np.diff(res.times) > 0)
+
+    def test_starts_at_zero_ends_at_tstop(self):
+        res = Transient(rc_circuit(), 3e-9).run()
+        assert res.times[0] == 0.0
+        assert res.times[-1] == pytest.approx(3e-9, rel=1e-9)
+
+    def test_breakpoints_hit_exactly(self):
+        res = Transient(rc_circuit(), 3e-9).run()
+        # The pulse delay edge at 1 ns must be an exact sample.
+        assert np.any(np.isclose(res.times, 1e-9, rtol=0, atol=1e-21))
+
+    def test_ground_wave_is_zero(self):
+        res = Transient(rc_circuit(), 2e-9).run()
+        assert res.wave("0").maximum() == 0.0
+
+    def test_state_at_returns_nearest(self):
+        res = Transient(rc_circuit(), 2e-9).run()
+        state = res.state_at(1.5e-9)
+        assert state.shape == (res.circuit.system_size(),)
+
+    def test_sample_count_property(self):
+        res = Transient(rc_circuit(), 2e-9).run()
+        assert res.sample_count == len(res.times)
+
+
+class TestAccuracy:
+    def test_rc_time_constant(self):
+        res = Transient(rc_circuit(), 6e-9).run()
+        w = res.wave("out")
+        assert w.value_at(2e-9) == pytest.approx(1 - np.exp(-1), abs=0.01)
+
+    def test_tighter_dvmax_more_samples(self):
+        loose = Transient(rc_circuit(), 3e-9,
+                          TransientOptions(dv_max=0.2)).run()
+        tight = Transient(rc_circuit(), 3e-9,
+                          TransientOptions(dv_max=0.02)).run()
+        assert tight.sample_count > loose.sample_count
+
+    def test_linearity_superposition(self):
+        # Doubling the drive doubles the response (linear RC).
+        ckt1 = rc_circuit()
+        res1 = Transient(ckt1, 3e-9).run()
+        ckt2 = Circuit("rc2")
+        ckt2.add(VoltageSource("v", "in", "0", shape=Pulse(
+            0, 2, delay=1e-9, rise=1e-12, fall=1e-12, width=20e-9,
+            period=100e-9)))
+        ckt2.add(Resistor("r", "in", "out", 1e3))
+        ckt2.add(Capacitor("c", "out", "0", 1e-12))
+        res2 = Transient(ckt2, 3e-9).run()
+        v1 = res1.wave("out").value_at(2e-9)
+        v2 = res2.wave("out").value_at(2e-9)
+        assert v2 == pytest.approx(2 * v1, rel=0.02)
+
+    def test_pwl_stimulus_tracked(self):
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("v", "in", "0", shape=Pwl(
+            [(0.5e-9, 0.0), (1.0e-9, 1.0), (2.0e-9, 0.25)])))
+        ckt.add(Resistor("r", "in", "0", 1e3))
+        res = Transient(ckt, 3e-9).run()
+        w = res.wave("in")
+        assert w.value_at(1.0e-9) == pytest.approx(1.0, abs=0.02)
+        assert w.value_at(2.5e-9) == pytest.approx(0.25, abs=0.02)
+
+    def test_supply_current_waveform(self):
+        res = Transient(rc_circuit(), 4e-9).run()
+        i = res.supply_current("v")
+        # Peak charging current at the edge is ~(1 V / 1 kOhm).
+        assert i.maximum() == pytest.approx(1e-3, rel=0.15)
+
+    def test_warm_start_x0(self):
+        ckt = rc_circuit()
+        res1 = Transient(ckt, 2e-9).run()
+        final = res1.final_state()
+        # Re-running from the final state works and stays consistent.
+        ckt.unfreeze()
+        ckt.finalize()
+        res2 = Transient(ckt, 1e-9).run(x0=final)
+        assert res2.sample_count > 2
+
+
+class TestMosTransient:
+    def test_inverter_switching(self, pdk):
+        from repro.cells import add_inverter
+        ckt = Circuit("inv")
+        ckt.add(VoltageSource("vdd", "vdd", "0", dc=1.2))
+        ckt.add(VoltageSource("vin", "in", "0", shape=Pulse(
+            0, 1.2, delay=0.3e-9, rise=1e-11, fall=1e-11, width=0.6e-9,
+            period=2e-9)))
+        add_inverter(ckt, pdk, "inv", "in", "out", "vdd")
+        ckt.add(Capacitor("cl", "out", "0", 1e-15))
+        res = Transient(ckt, 1.4e-9).run()
+        out = res.wave("out")
+        assert out.value_at(0.25e-9) == pytest.approx(1.2, abs=0.05)
+        assert out.value_at(0.8e-9) == pytest.approx(0.0, abs=0.05)
+        assert out.value_at(1.35e-9) == pytest.approx(1.2, abs=0.08)
+
+    def test_ring_oscillator_oscillates(self, pdk):
+        from repro.cells import add_inverter
+        ckt = Circuit("ring")
+        ckt.add(VoltageSource("vdd", "vdd", "0", dc=1.2))
+        nodes = ["n0", "n1", "n2"]
+        for i in range(3):
+            add_inverter(ckt, pdk, f"i{i}", nodes[i],
+                         nodes[(i + 1) % 3], "vdd")
+        # Kick the loop out of its metastable DC point.
+        ckt.add(VoltageSource("vkick", "kick", "0", shape=Pulse(
+            0, 1.2, delay=0.05e-9, rise=1e-11, fall=1e-11,
+            width=0.2e-9, period=50e-9)))
+        ckt.add(Capacitor("ck", "kick", "n0", 0.5e-15))
+        res = Transient(ckt, 3e-9).run()
+        w = res.wave("n0")
+        crossings = w.crossings(0.6)
+        assert len(crossings) >= 4, "ring oscillator failed to oscillate"

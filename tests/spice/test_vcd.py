@@ -1,0 +1,81 @@
+"""Tests for VCD export and waveform digitizing."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.spice import Circuit, Transient
+from repro.spice.devices import Capacitor, Pulse, Resistor, VoltageSource
+from repro.spice.vcd import digitize, write_vcd
+from repro.spice.waveform import Waveform
+
+
+@pytest.fixture(scope="module")
+def rc_result():
+    ckt = Circuit("rc")
+    ckt.add(VoltageSource("v", "in", "0", shape=Pulse(
+        0, 1, delay=1e-9, rise=1e-12, fall=1e-12, width=10e-9,
+        period=40e-9)))
+    ckt.add(Resistor("r", "in", "out", 1e3))
+    ckt.add(Capacitor("c", "out", "0", 1e-12))
+    return Transient(ckt, 4e-9).run()
+
+
+class TestWriteVcd:
+    def test_header_sections(self, rc_result):
+        text = write_vcd(rc_result, ["in", "out"])
+        assert "$timescale 1ps $end" in text
+        assert "$enddefinitions $end" in text
+        assert "$var real 64" in text
+
+    def test_node_names_sanitized(self, rc_result):
+        text = write_vcd(rc_result, ["in"])
+        assert " in $end" in text
+
+    def test_real_values_emitted(self, rc_result):
+        text = write_vcd(rc_result, ["in"])
+        assert any(line.startswith("r") for line in text.splitlines())
+        assert any(line.startswith("#") for line in text.splitlines())
+
+    def test_unchanged_values_skipped(self, rc_result):
+        # The input holds 0 V for the first nanosecond; those samples
+        # must collapse into a single change.
+        text = write_vcd(rc_result, ["in"])
+        zero_lines = [l for l in text.splitlines()
+                      if l.startswith("r0 ")]
+        assert len(zero_lines) == 1
+
+    def test_needs_nodes(self, rc_result):
+        with pytest.raises(AnalysisError):
+            write_vcd(rc_result, [])
+
+    def test_bad_timescale(self, rc_result):
+        with pytest.raises(AnalysisError):
+            write_vcd(rc_result, ["in"], timescale="1 fortnight")
+
+    def test_identifier_uniqueness(self, rc_result):
+        text = write_vcd(rc_result, ["in", "out"])
+        var_lines = [l for l in text.splitlines() if l.startswith("$var")]
+        idents = [l.split()[3] for l in var_lines]
+        assert len(set(idents)) == 2
+
+
+class TestDigitize:
+    def test_clean_edges(self):
+        wave = Waveform([0, 1, 2, 3, 4], [0.0, 0.0, 1.2, 1.2, 0.0])
+        changes = digitize(wave, vdd=1.2)
+        states = [s for _, s in changes]
+        assert states == ["0", "1", "0"]
+
+    def test_x_region(self):
+        wave = Waveform([0, 1, 2], [0.0, 0.6, 1.2])
+        states = [s for _, s in digitize(wave, vdd=1.2)]
+        assert states == ["0", "x", "1"]
+
+    def test_threshold_validation(self):
+        wave = Waveform([0, 1], [0.0, 1.0])
+        with pytest.raises(AnalysisError):
+            digitize(wave, vdd=1.0, low_fraction=0.8, high_fraction=0.2)
+
+    def test_merging(self):
+        wave = Waveform([0, 1, 2, 3], [0.0, 0.05, 0.1, 0.0])
+        assert len(digitize(wave, vdd=1.2)) == 1

@@ -1,0 +1,235 @@
+"""Tests for the waveform container and measurement primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MeasurementError
+from repro.spice.waveform import FALL, RISE, Waveform, propagation_delay
+
+
+def ramp(t0=0.0, t1=1.0, v0=0.0, v1=1.0, n=11):
+    times = np.linspace(t0, t1, n)
+    values = np.linspace(v0, v1, n)
+    return Waveform(times, values)
+
+
+class TestConstruction:
+    def test_rejects_single_sample(self):
+        with pytest.raises(MeasurementError):
+            Waveform([0.0], [1.0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(MeasurementError):
+            Waveform([0.0, 1.0], [1.0])
+
+    def test_rejects_nonmonotonic_times(self):
+        with pytest.raises(MeasurementError):
+            Waveform([0.0, 1.0, 1.0], [0, 1, 2])
+
+    def test_len_and_bounds(self):
+        w = ramp(n=5)
+        assert len(w) == 5
+        assert w.t_start == 0.0
+        assert w.t_stop == 1.0
+
+
+class TestInterpolation:
+    def test_midpoint(self):
+        w = ramp()
+        assert w.value_at(0.5) == pytest.approx(0.5)
+
+    def test_clamped_outside(self):
+        w = ramp()
+        assert w.value_at(-1.0) == 0.0
+        assert w.value_at(2.0) == 1.0
+
+    def test_initial_final(self):
+        w = ramp(v0=0.2, v1=0.9)
+        assert w.initial_value() == 0.2
+        assert w.final_value() == 0.9
+
+    def test_min_max(self):
+        w = Waveform([0, 1, 2], [1.0, -1.0, 0.5])
+        assert w.minimum() == -1.0
+        assert w.maximum() == 1.0
+
+
+class TestCrossings:
+    def test_single_rise(self):
+        w = ramp()
+        assert w.crossings(0.5, RISE) == [pytest.approx(0.5)]
+
+    def test_no_fall_on_rising_ramp(self):
+        assert ramp().crossings(0.5, FALL) == []
+
+    def test_triangle_both_edges(self):
+        w = Waveform([0, 1, 2], [0.0, 1.0, 0.0])
+        both = w.crossings(0.5)
+        assert len(both) == 2
+        assert w.crossings(0.5, RISE) == [pytest.approx(0.5)]
+        assert w.crossings(0.5, FALL) == [pytest.approx(1.5)]
+
+    def test_cross_occurrence(self):
+        w = Waveform([0, 1, 2, 3, 4], [0, 1, 0, 1, 0])
+        second = w.cross(0.5, RISE, occurrence=2)
+        assert second == pytest.approx(2.5)
+
+    def test_cross_after(self):
+        w = Waveform([0, 1, 2, 3, 4], [0, 1, 0, 1, 0])
+        assert w.cross(0.5, RISE, after=1.0) == pytest.approx(2.5)
+
+    def test_missing_crossing_raises(self):
+        with pytest.raises(MeasurementError):
+            ramp().cross(2.0)
+
+    def test_bad_edge_name(self):
+        with pytest.raises(MeasurementError):
+            ramp().crossings(0.5, "sideways")
+
+    def test_exact_sample_hit(self):
+        w = Waveform([0, 1, 2], [0.0, 0.5, 1.0])
+        assert w.crossings(0.5, RISE) == [pytest.approx(1.0)]
+
+
+class TestAggregates:
+    def test_integral_of_ramp(self):
+        assert ramp().integral() == pytest.approx(0.5)
+
+    def test_average_of_ramp(self):
+        assert ramp().average() == pytest.approx(0.5)
+
+    def test_windowed_average(self):
+        w = Waveform([0, 1, 2, 3], [0, 0, 1, 1])
+        assert w.average(2.0, 3.0) == pytest.approx(1.0)
+
+    def test_rms_of_constant(self):
+        w = Waveform([0, 1], [2.0, 2.0])
+        assert w.rms() == pytest.approx(2.0)
+
+    def test_clip_endpoints_interpolated(self):
+        w = ramp()
+        clipped = w.clip(0.25, 0.75)
+        assert clipped.t_start == pytest.approx(0.25)
+        assert clipped.initial_value() == pytest.approx(0.25)
+
+    def test_clip_empty_window_raises(self):
+        with pytest.raises(MeasurementError):
+            ramp().clip(0.5, 0.5)
+
+
+class TestEdgeTiming:
+    def test_transition_time_rise(self):
+        w = ramp()
+        assert w.transition_time(0.1, 0.9, RISE) == pytest.approx(0.8)
+
+    def test_transition_time_fall(self):
+        w = Waveform([0, 1], [1.0, 0.0])
+        assert w.transition_time(0.1, 0.9, FALL) == pytest.approx(0.8)
+
+    def test_transition_time_bad_edge(self):
+        with pytest.raises(MeasurementError):
+            ramp().transition_time(0.1, 0.9, "both")
+
+    def test_settles_to(self):
+        w = Waveform([0, 1, 2, 3], [0.0, 0.9, 1.01, 0.99])
+        assert w.settles_to(1.0, tolerance=0.05, after=1.5)
+        assert not w.settles_to(1.0, tolerance=0.05, after=0.5)
+
+    def test_settles_to_no_samples(self):
+        assert not ramp().settles_to(1.0, 0.1, after=99.0)
+
+
+class TestComposition:
+    def test_negation(self):
+        w = -ramp()
+        assert w.final_value() == -1.0
+
+    def test_scaled_shifted(self):
+        w = ramp().scaled(2.0).shifted(1.0)
+        assert w.final_value() == pytest.approx(3.0)
+
+    def test_resampled(self):
+        w = ramp().resampled([0.0, 0.5, 1.0])
+        assert len(w) == 3
+        assert w.value_at(0.5) == pytest.approx(0.5)
+
+    def test_multiply_power(self):
+        v = Waveform([0, 1], [2.0, 2.0])
+        i = Waveform([0, 0.5, 1], [1.0, 1.0, 1.0])
+        p = v.multiply(i)
+        assert p.average() == pytest.approx(2.0)
+
+
+class TestPropagationDelay:
+    def test_simple_delay(self):
+        w_in = Waveform([0, 1, 2, 10], [0, 1, 1, 1])
+        w_out = Waveform([0, 2, 3, 10], [0, 0, 1, 1])
+        delay = propagation_delay(w_in, w_out, 0.5, 0.5, RISE, RISE)
+        assert delay == pytest.approx(2.0)
+
+    def test_inverting_delay(self):
+        w_in = Waveform([0, 1, 2, 10], [0, 1, 1, 1])
+        w_out = Waveform([0, 1.5, 2.5, 10], [1, 1, 0, 0])
+        delay = propagation_delay(w_in, w_out, 0.5, 0.5, RISE, FALL)
+        assert delay == pytest.approx(1.5)
+
+    def test_missing_output_edge_raises(self):
+        w_in = Waveform([0, 1, 2], [0, 1, 1])
+        w_out = Waveform([0, 1, 2], [0, 0, 0])
+        with pytest.raises(MeasurementError):
+            propagation_delay(w_in, w_out, 0.5, 0.5, RISE, RISE)
+
+
+# -- property-based invariants ------------------------------------------
+
+finite = st.floats(min_value=-100, max_value=100,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def waveforms(draw, min_samples=2, max_samples=40):
+    n = draw(st.integers(min_value=min_samples, max_value=max_samples))
+    deltas = draw(st.lists(st.floats(min_value=1e-3, max_value=10.0),
+                           min_size=n - 1, max_size=n - 1))
+    times = np.concatenate([[0.0], np.cumsum(deltas)])
+    values = np.asarray(draw(st.lists(finite, min_size=n, max_size=n)))
+    return Waveform(times, values)
+
+
+class TestWaveformProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(waveforms())
+    def test_average_within_bounds(self, w):
+        assert w.minimum() - 1e-9 <= w.average() <= w.maximum() + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(waveforms())
+    def test_integral_additivity(self, w):
+        mid = (w.t_start + w.t_stop) / 2.0
+        if mid <= w.t_start or mid >= w.t_stop:
+            return
+        total = w.integral()
+        split = w.integral(w.t_start, mid) + w.integral(mid, w.t_stop)
+        assert split == pytest.approx(total, rel=1e-6, abs=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(waveforms(), finite)
+    def test_crossings_alternate_directions(self, w, level):
+        both = w.crossings(level)
+        rises = w.crossings(level, RISE)
+        falls = w.crossings(level, FALL)
+        assert sorted(rises + falls) == pytest.approx(both)
+
+    @settings(max_examples=50, deadline=None)
+    @given(waveforms())
+    def test_value_at_samples_matches(self, w):
+        for t, v in zip(w.times, w.values):
+            assert w.value_at(float(t)) == pytest.approx(float(v),
+                                                         abs=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(waveforms())
+    def test_negation_flips_integral(self, w):
+        assert (-w).integral() == pytest.approx(-w.integral(),
+                                                rel=1e-9, abs=1e-9)

@@ -1,0 +1,43 @@
+"""Tests for STA slack/constraint reporting."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.sta import StaEngine, TimingLibrary
+from tests.sta.test_sta import chain, synthetic_cell
+
+
+@pytest.fixture
+def report():
+    lib = TimingLibrary()
+    lib.add("fast", synthetic_cell("fast", 10e-12))
+    return StaEngine(chain("fast", "fast"), lib).run()
+
+
+class TestSlack:
+    def test_met_constraint(self, report):
+        assert report.meets(1e-9)
+        assert report.slack(1e-9) > 0
+
+    def test_violated_constraint(self, report):
+        assert not report.meets(1e-12)
+        assert report.slack(1e-12) < 0
+
+    def test_slack_arithmetic(self, report):
+        required = 500e-12
+        assert report.slack(required) == pytest.approx(
+            required - report.worst_arrival)
+
+    def test_pretty_with_constraint(self, report):
+        text = report.pretty(required=1e-9)
+        assert "MET" in text
+        text = report.pretty(required=1e-12)
+        assert "VIOLATED" in text
+
+    def test_output_arrival(self, report):
+        assert report.output_arrival("n2") == pytest.approx(
+            report.worst_arrival)
+
+    def test_output_arrival_unknown_net(self, report):
+        with pytest.raises(AnalysisError):
+            report.output_arrival("nowhere")

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface (in-process main())."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_kind_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["characterize", "warp"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["characterize", "sstvs"])
+        assert args.vddi == 0.8
+        assert args.vddo == 1.2
+        assert args.temp == 27.0
+
+
+class TestCommands:
+    def test_characterize_sstvs(self, capsys):
+        code = main(["characterize", "sstvs"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Delay Rise" in out
+        assert "Functional" in out
+
+    def test_compare(self, capsys):
+        code = main(["compare", "--vddi", "1.2", "--vddo", "0.8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SS-TVS" in out and "Combined" in out
+
+    def test_sweep_coarse(self, capsys):
+        code = main(["sweep", "sstvs", "--step", "0.6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Rising delay" in out
+        assert "functional fraction: 1.000" in out
+
+    def test_mc_small(self, capsys):
+        code = main(["mc", "sstvs", "--runs", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "yield=100.0%" in out
+
+    def test_functional(self, capsys):
+        code = main(["functional", "sstvs", "--step", "0.6"])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_area(self, capsys):
+        code = main(["area"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sstvs" in out
+
+    def test_liberty_to_file(self, tmp_path, capsys):
+        target = tmp_path / "cells.lib"
+        code = main(["liberty", "inverter", "--vddi", "1.2",
+                     "--vddo", "1.2", "-o", str(target)])
+        assert code == 0
+        text = target.read_text()
+        assert "library (" in text
+        assert "cell (" in text
+
+    def test_vtc(self, capsys):
+        code = main(["vtc", "sstvs"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "VOH" in out and "NML" in out
+
+    def test_vcd_to_file(self, tmp_path):
+        target = tmp_path / "wave.vcd"
+        code = main(["vcd", "sstvs", "-o", str(target)])
+        assert code == 0
+        text = target.read_text()
+        assert "$enddefinitions" in text
+        assert "$var real" in text

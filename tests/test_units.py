@@ -1,0 +1,113 @@
+"""Tests for SI-suffix parsing and engineering formatting."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NetlistError
+from repro.units import format_eng, format_si_table, parse_value
+
+
+class TestParseValue:
+    @pytest.mark.parametrize("text,expected", [
+        ("1", 1.0),
+        ("-2.5", -2.5),
+        ("1e-9", 1e-9),
+        ("1.5E3", 1.5e3),
+        (".5", 0.5),
+        ("+3", 3.0),
+    ])
+    def test_plain_numbers(self, text, expected):
+        assert parse_value(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("text,expected", [
+        ("1k", 1e3),
+        ("1K", 1e3),
+        ("2meg", 2e6),
+        ("2MEG", 2e6),
+        ("3g", 3e9),
+        ("4t", 4e12),
+        ("5m", 5e-3),
+        ("6u", 6e-6),
+        ("7n", 7e-9),
+        ("8p", 8e-12),
+        ("9f", 9e-15),
+        ("1a", 1e-18),
+    ])
+    def test_suffixes(self, text, expected):
+        assert parse_value(text) == pytest.approx(expected)
+
+    def test_mil_suffix(self):
+        assert parse_value("1mil") == pytest.approx(25.4e-6)
+
+    @pytest.mark.parametrize("text,expected", [
+        ("10pF", 10e-12),
+        ("1.2ns", 1.2e-9),
+        ("3kohm", 3e3),
+        ("2megohm", 2e6),
+    ])
+    def test_trailing_units_ignored(self, text, expected):
+        assert parse_value(text) == pytest.approx(expected)
+
+    def test_bare_unit_letter(self):
+        assert parse_value("1.2V") == pytest.approx(1.2)
+
+    def test_percent(self):
+        assert parse_value("5%") == pytest.approx(0.05)
+
+    def test_numeric_passthrough(self):
+        assert parse_value(3) == 3.0
+        assert parse_value(2.5) == 2.5
+        assert isinstance(parse_value(3), float)
+
+    @pytest.mark.parametrize("text", ["", "abc", "--1", "1..2"])
+    def test_garbage_raises(self, text):
+        with pytest.raises(NetlistError):
+            parse_value(text)
+
+    def test_meg_beats_m(self):
+        # 'meg' must not parse as milli + 'eg'.
+        assert parse_value("1meg") == pytest.approx(1e6)
+
+
+class TestFormatEng:
+    @pytest.mark.parametrize("value,unit,expected", [
+        (2.2e-11, "F", "22pF"),
+        (1e3, "", "1k"),
+        (1.5e-9, "s", "1.5ns"),
+        (0.0, "V", "0V"),
+    ])
+    def test_examples(self, value, unit, expected):
+        assert format_eng(value, unit) == expected
+
+    def test_negative(self):
+        assert format_eng(-3.3e-9, "A") == "-3.3nA"
+
+    def test_non_finite(self):
+        assert "nan" in format_eng(float("nan"), "V")
+        assert "inf" in format_eng(float("inf"), "V")
+
+    def test_si_table_three_digits(self):
+        assert format_si_table(1.23456e-9, "A") == "1.23nA"
+
+    @given(st.floats(min_value=1e-17, max_value=1e11,
+                     allow_nan=False, allow_infinity=False))
+    def test_roundtrip_parse(self, value):
+        # Formatting then parsing recovers the value to print precision.
+        text = format_eng(value, digits=9)
+        assert parse_value(text) == pytest.approx(value, rel=1e-6)
+
+    @given(st.floats(min_value=-1e11, max_value=-1e-17,
+                     allow_nan=False, allow_infinity=False))
+    def test_roundtrip_negative(self, value):
+        text = format_eng(value, digits=9)
+        assert parse_value(text) == pytest.approx(value, rel=1e-6)
+
+    def test_huge_value_clamps_prefix(self):
+        text = format_eng(1e15, "Hz")
+        assert text.endswith("THz")
+
+    def test_tiny_value_clamps_prefix(self):
+        text = format_eng(1e-20, "F")
+        assert text.endswith("aF")
