@@ -14,6 +14,7 @@ from repro.core.characterize import StimulusPlan, characterize
 from repro.core.metrics import METRIC_FIELDS, ShifterMetrics
 from repro.errors import AnalysisError
 from repro.pdk import CORNER_SHIFTS, CornerPdk
+from repro.runtime.campaign import CampaignDiagnostics, SampleFailure
 from repro.units import format_eng
 
 DEFAULT_CORNERS = tuple(sorted(CORNER_SHIFTS))
@@ -33,10 +34,24 @@ class PvtReport:
     vddi: float
     vddo: float
     points: list = field(default_factory=list)
+    #: PVT points whose simulation escaped the solver's retry ladder;
+    #: they still appear in ``points`` as non-functional NaN entries.
+    failures: list[SampleFailure] = field(default_factory=list)
 
     @property
     def all_functional(self) -> bool:
         return all(p.metrics.functional for p in self.points)
+
+    @property
+    def quarantined(self) -> list[tuple[str, float]]:
+        """``(corner, temperature)`` pairs of quarantined points."""
+        return [f.index for f in self.failures]
+
+    def diagnostics(self) -> CampaignDiagnostics:
+        return CampaignDiagnostics(total=len(self.points),
+                                   succeeded=(len(self.points)
+                                              - len(self.failures)),
+                                   failures=list(self.failures))
 
     def worst(self, metric: str) -> PvtPoint:
         if metric not in METRIC_FIELDS:
@@ -70,6 +85,10 @@ class PvtReport:
                 f"{format_eng(m.leakage_high, 'A', 3):>9s} "
                 f"{format_eng(m.leakage_low, 'A', 3):>9s} "
                 f"{str(m.functional):>5s}")
+        if self.failures:
+            lines.append(f"  quarantined {len(self.failures)} point(s): "
+                         + ", ".join(f"{c}@{t:g}C"
+                                     for c, t in self.quarantined))
         return "\n".join(lines)
 
 
@@ -79,10 +98,20 @@ def pvt_report(kind: str, vddi: float, vddo: float,
                sizing=None) -> PvtReport:
     """Characterize at every (corner, temperature) combination."""
     report = PvtReport(kind=kind, vddi=vddi, vddo=vddo)
+    nan = float("nan")
     for corner in corners:
         for temp in temperatures:
             pdk = CornerPdk(corner, temperature_c=temp)
-            metrics = characterize(pdk, kind, vddi, vddo, plan=plan,
-                                   sizing=sizing)
+            try:
+                metrics = characterize(pdk, kind, vddi, vddo, plan=plan,
+                                       sizing=sizing)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                report.failures.append(SampleFailure(
+                    index=(corner, float(temp)), stage="characterize",
+                    error=f"{type(exc).__name__}: {exc}"))
+                metrics = ShifterMetrics(nan, nan, nan, nan, nan, nan,
+                                         functional=False)
             report.points.append(PvtPoint(corner, temp, metrics))
     return report

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from repro.analysis.sweep import SweepGrid
 from repro.core.characterize import quick_delays
 from repro.pdk import Pdk
+from repro.runtime.campaign import SampleFailure
 
 
 @dataclass
@@ -24,6 +25,9 @@ class FunctionalReport:
     total: int = 0
     passed: int = 0
     failures: list = field(default_factory=list)
+    #: Pairs whose simulation escaped the solver's retry ladder (also
+    #: counted in ``failures`` as non-converting).
+    solver_escapes: list = field(default_factory=list)
 
     @property
     def all_passed(self) -> bool:
@@ -39,6 +43,9 @@ class FunctionalReport:
             text += f"; failing pairs: {pairs}"
             if len(self.failures) > 10:
                 text += f" (+{len(self.failures) - 10} more)"
+        if self.solver_escapes:
+            text += (f"; {len(self.solver_escapes)} pair(s) quarantined "
+                     f"after solver escape")
         return text
 
 
@@ -51,9 +58,19 @@ def validate_functionality(kind: str, grid: SweepGrid | None = None,
     report = FunctionalReport(kind=kind)
     for vddi in grid.vddi_values:
         for vddo in grid.vddo_values:
-            q = quick_delays(pdk, kind, float(vddi), float(vddo),
-                             sizing=sizing)
             report.total += 1
+            try:
+                q = quick_delays(pdk, kind, float(vddi), float(vddo),
+                                 sizing=sizing)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                pair = (float(vddi), float(vddo))
+                report.failures.append(pair)
+                report.solver_escapes.append(SampleFailure(
+                    index=pair, stage="quick_delays",
+                    error=f"{type(exc).__name__}: {exc}"))
+                continue
             if q.functional:
                 report.passed += 1
             else:

@@ -13,10 +13,21 @@ reproducible and samples are independent. The same master seed gives
 the *same process instances* to each shifter kind (paired comparison),
 because each kind re-derives per-sample seeds from the sample index
 alone.
+
+The engine is fault tolerant: a sample whose simulation escapes the
+solver's retry ladder (or any other per-sample error) is captured into
+a quarantine list instead of aborting the campaign, counted against
+``functional_yield``, and reported in the failure summary. Because
+per-sample seeds derive from the sample index alone, an interrupted
+campaign (Ctrl-C) returns its partial result and can be resumed
+seed-stably via the ``resume`` argument. A
+:class:`~repro.runtime.faults.FaultPlan` on the config injects
+deterministic failures for testing the machinery itself.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,6 +36,8 @@ from repro.core.characterize import StimulusPlan, characterize
 from repro.core.metrics import MetricStatistics, ShifterMetrics, aggregate
 from repro.errors import AnalysisError
 from repro.pdk.variation import VariationSpec, VariedPdk
+from repro.runtime.campaign import CampaignDiagnostics, SampleFailure
+from repro.runtime.faults import FaultPlan, inject
 
 
 @dataclass
@@ -36,50 +49,160 @@ class MonteCarloConfig:
     temperature_c: float = 27.0
     spec: VariationSpec = field(default_factory=VariationSpec)
     plan: StimulusPlan = field(default_factory=StimulusPlan)
+    #: Deterministic fault injection for resilience testing.
+    faults: FaultPlan | None = None
+    #: Abort (AnalysisError) once this many samples have been
+    #: quarantined; None = never abort, quarantine everything.
+    max_failures: int | None = None
 
     def validate(self) -> None:
         if self.runs < 1:
             raise AnalysisError("Monte Carlo needs at least one run")
+        if self.max_failures is not None and self.max_failures < 0:
+            raise AnalysisError("max_failures must be >= 0 or None")
 
 
 @dataclass
 class MonteCarloResult:
-    """All samples plus aggregate statistics."""
+    """All samples plus aggregate statistics and failure accounting."""
 
     kind: str
     vddi: float
     vddo: float
     samples: list[ShifterMetrics]
-    statistics: MetricStatistics
+    #: Statistics over the *successful* samples (None if all failed).
+    statistics: MetricStatistics | None
+    #: Sample indices of the successful samples, aligned with
+    #: ``samples``; lets a partial result be resumed seed-stably.
+    completed_indices: list[int] = field(default_factory=list)
+    #: Per-sample failures captured instead of raised.
+    failures: list[SampleFailure] = field(default_factory=list)
+    #: True when the campaign was interrupted (Ctrl-C) mid-run.
+    interrupted: bool = False
+
+    @property
+    def quarantined(self) -> list[int]:
+        """Sample indices that failed, in campaign order."""
+        return [f.index for f in self.failures]
 
     @property
     def functional_yield(self) -> float:
-        return self.statistics.functional_yield
+        """Fraction of *attempted* samples that converted correctly.
+
+        Quarantined samples count as non-functional, so an injected or
+        genuine solver escape degrades the yield rather than vanishing.
+        """
+        total = len(self.samples) + len(self.failures)
+        if total == 0:
+            return 0.0
+        good = sum(1 for s in self.samples if s.functional)
+        return good / total
+
+    def diagnostics(self) -> CampaignDiagnostics:
+        return CampaignDiagnostics(
+            total=len(self.samples) + len(self.failures),
+            succeeded=len(self.samples),
+            failures=list(self.failures),
+            interrupted=self.interrupted)
+
+    def failure_summary(self, limit: int = 10) -> str:
+        return self.diagnostics().summary(limit=limit)
 
 
 def run_monte_carlo(kind: str, vddi: float, vddo: float,
                     config: MonteCarloConfig | None = None,
                     sizing=None,
-                    progress=None) -> MonteCarloResult:
+                    progress=None,
+                    resume: MonteCarloResult | None = None
+                    ) -> MonteCarloResult:
     """Characterize ``kind`` over ``config.runs`` process samples.
 
     Args:
         progress: optional callable ``(index, metrics)`` invoked after
-            each sample (used by benches for live output).
+            each sample (used by benches for live output). Exceptions
+            it raises are isolated — warned once and suppressed — so an
+            observability hook can never take down a campaign.
+        resume: a previous (partial) result for the same kind/supplies/
+            config; its completed and quarantined samples are carried
+            over and only the remaining indices are run. Seed-stable
+            because per-sample seeds derive from the sample index.
+
+    Returns a partial result (``interrupted=True``) instead of raising
+    on KeyboardInterrupt; per-sample errors are quarantined into
+    ``failures`` rather than raised.
     """
     config = config or MonteCarloConfig()
     config.validate()
-    samples: list[ShifterMetrics] = []
-    for index in range(config.runs):
-        rng = np.random.default_rng(
-            np.random.SeedSequence([config.seed, index]))
-        pdk = VariedPdk(rng, config.spec,
-                        temperature_c=config.temperature_c)
-        metrics = characterize(pdk, kind, vddi, vddo, plan=config.plan,
-                               sizing=sizing)
-        samples.append(metrics)
-        if progress is not None:
-            progress(index, metrics)
+    faults = config.faults
+
+    completed: list[tuple[int, ShifterMetrics]] = []
+    failures: list[SampleFailure] = []
+    if resume is not None:
+        completed.extend(zip(resume.completed_indices, resume.samples))
+        failures.extend(resume.failures)
+    done = {index for index, _ in completed}
+    done.update(f.index for f in failures)
+
+    progress_broken = False
+    interrupted = False
+
+    def _quarantine(index: int, stage: str, error: str) -> None:
+        failures.append(SampleFailure(index=index, stage=stage,
+                                      error=error))
+        if (config.max_failures is not None
+                and len(failures) > config.max_failures):
+            raise AnalysisError(
+                f"Monte Carlo aborted: {len(failures)} sample failures "
+                f"exceed max_failures={config.max_failures}; last: "
+                f"{failures[-1].describe()}")
+
+    try:
+        for index in range(config.runs):
+            if index in done:
+                continue
+            if faults is not None and faults.fires("sample_failure",
+                                                   sample=index):
+                _quarantine(index, "injected", "injected sample failure")
+                continue
+            rng = np.random.default_rng(
+                np.random.SeedSequence([config.seed, index]))
+            pdk = VariedPdk(rng, config.spec,
+                            temperature_c=config.temperature_c)
+            try:
+                if faults is not None:
+                    with faults.sample_scope(index), inject(faults):
+                        metrics = characterize(pdk, kind, vddi, vddo,
+                                               plan=config.plan,
+                                               sizing=sizing)
+                else:
+                    metrics = characterize(pdk, kind, vddi, vddo,
+                                           plan=config.plan, sizing=sizing)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                _quarantine(index, "characterize",
+                            f"{type(exc).__name__}: {exc}")
+                continue
+            completed.append((index, metrics))
+            if progress is not None and not progress_broken:
+                try:
+                    progress(index, metrics)
+                except Exception as exc:
+                    progress_broken = True
+                    warnings.warn(
+                        f"Monte Carlo progress callback raised "
+                        f"{type(exc).__name__}: {exc}; further calls "
+                        f"suppressed, campaign continues", RuntimeWarning,
+                        stacklevel=2)
+    except KeyboardInterrupt:
+        interrupted = True
+
+    completed.sort(key=lambda pair: pair[0])
+    failures.sort(key=lambda f: f.index)
+    samples = [metrics for _, metrics in completed]
+    indices = [index for index, _ in completed]
+    statistics = aggregate(samples) if samples else None
     return MonteCarloResult(kind=kind, vddi=vddi, vddo=vddo,
-                            samples=samples,
-                            statistics=aggregate(samples))
+                            samples=samples, statistics=statistics,
+                            completed_indices=indices, failures=failures,
+                            interrupted=interrupted)

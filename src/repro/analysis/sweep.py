@@ -8,6 +8,7 @@ delays, demonstrating smooth behaviour and full-range functionality.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -15,6 +16,7 @@ import numpy as np
 from repro.core.characterize import quick_delays
 from repro.errors import AnalysisError
 from repro.pdk import Pdk
+from repro.runtime.campaign import CampaignDiagnostics, SampleFailure
 
 #: The paper's DVS operating range [V].
 VDD_MIN = 0.8
@@ -53,10 +55,27 @@ class DelaySurface:
     rise: np.ndarray
     fall: np.ndarray
     functional: np.ndarray
+    #: Grid points whose simulation escaped the solver's retry ladder
+    #: (quarantined as non-functional NaN cells instead of raised).
+    failures: list[SampleFailure] = field(default_factory=list)
 
     @property
     def functional_fraction(self) -> float:
         return float(np.mean(self.functional))
+
+    @property
+    def quarantined(self) -> list[tuple[int, int]]:
+        """Grid positions ``(i, j)`` of quarantined points."""
+        return [f.index for f in self.failures]
+
+    def diagnostics(self) -> CampaignDiagnostics:
+        total = int(self.functional.size)
+        return CampaignDiagnostics(total=total,
+                                   succeeded=total - len(self.failures),
+                                   failures=list(self.failures))
+
+    def failure_summary(self, limit: int = 10) -> str:
+        return self.diagnostics().summary(limit=limit)
 
     def worst_rise(self) -> float:
         return float(np.nanmax(self.rise))
@@ -91,17 +110,35 @@ def sweep_delay_surface(kind: str, grid: SweepGrid | None = None,
     rise = np.full(shape, np.nan)
     fall = np.full(shape, np.nan)
     functional = np.zeros(shape, dtype=bool)
+    failures: list[SampleFailure] = []
+    progress_broken = False
     for i, vddi in enumerate(grid.vddi_values):
         for j, vddo in enumerate(grid.vddo_values):
-            q = quick_delays(pdk, kind, float(vddi), float(vddo),
-                             sizing=sizing)
+            try:
+                q = quick_delays(pdk, kind, float(vddi), float(vddo),
+                                 sizing=sizing)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                failures.append(SampleFailure(
+                    index=(i, j), stage="quick_delays",
+                    error=f"{type(exc).__name__}: {exc}"))
+                continue
             rise[i, j] = q.delay_rise
             fall[i, j] = q.delay_fall
             functional[i, j] = q.functional
-            if progress is not None:
-                progress(i, j, q)
+            if progress is not None and not progress_broken:
+                try:
+                    progress(i, j, q)
+                except Exception as exc:
+                    progress_broken = True
+                    warnings.warn(
+                        f"sweep progress callback raised "
+                        f"{type(exc).__name__}: {exc}; further calls "
+                        f"suppressed, sweep continues", RuntimeWarning,
+                        stacklevel=2)
     return DelaySurface(grid.vddi_values.copy(), grid.vddo_values.copy(),
-                        rise, fall, functional)
+                        rise, fall, functional, failures=failures)
 
 
 def render_surface_ascii(surface: DelaySurface, which: str = "rise",

@@ -9,6 +9,7 @@ Commands map one-to-one onto the library's experiment entry points:
 * ``functional`` — the full-grid conversion check;
 * ``area`` — Figure 7 cell-area estimates;
 * ``liberty`` — NLDM characterization to a .lib-like file;
+* ``check`` — fault-injected self-test of the resilient solver runtime;
 * ``vcd`` — dump a characterization transient as VCD.
 """
 
@@ -76,9 +77,14 @@ def cmd_mc(args) -> int:
     config = MonteCarloConfig(runs=args.runs, seed=args.seed,
                               temperature_c=args.temp)
     result = run_monte_carlo(args.kind, args.vddi, args.vddo, config)
-    print(result.statistics.pretty(
-        f"{args.kind} MC, {args.vddi} -> {args.vddo} V, "
-        f"{args.runs} runs, {args.temp} C"))
+    title = (f"{args.kind} MC, {args.vddi} -> {args.vddo} V, "
+             f"{args.runs} runs, {args.temp} C")
+    if result.statistics is not None:
+        print(result.statistics.pretty(title))
+    else:
+        print(f"{title}\n  no successful samples")
+    if result.failures or result.interrupted:
+        print(result.failure_summary())
     return 0 if result.functional_yield == 1.0 else 1
 
 
@@ -160,6 +166,95 @@ def cmd_vcd(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    """Fault-injected self-test of the resilient solver runtime.
+
+    Exercises every fallback rung with deterministic faults, then runs
+    a small fault-injected Monte Carlo smoke campaign; exits nonzero if
+    any solver escape goes uncaught or the quarantine bookkeeping is
+    wrong.
+    """
+    from repro.analysis import MonteCarloConfig, run_monte_carlo
+    from repro.core import StimulusPlan
+    from repro.errors import ConvergenceError
+    from repro.runtime import FaultPlan, FaultSpec
+    from repro.spice import Circuit
+    from repro.spice.devices import Diode, Resistor, VoltageSource
+    from repro.spice.newton import solve_dc_report
+
+    failures: list[str] = []
+
+    def _check(label: str, ok: bool) -> None:
+        print(f"  [{'PASS' if ok else 'FAIL'}] {label}")
+        if not ok:
+            failures.append(label)
+
+    def _diode_circuit():
+        ckt = Circuit("check")
+        ckt.add(VoltageSource("v", "a", "0", dc=5.0))
+        ckt.add(Resistor("r", "a", "d", 1e3))
+        ckt.add(Diode("d1", "d", "0"))
+        ckt.finalize()
+        return ckt
+
+    print("solver retry ladder:")
+    plan = FaultPlan([FaultSpec("iteration_exhaustion", strategy="newton")])
+    try:
+        _, report = solve_dc_report(_diode_circuit(), faults=plan)
+        _check("gmin ladder rescues an injected Newton failure",
+               report.converged and report.winning_strategy == "gmin"
+               and not report.attempts[0].converged)
+    except ConvergenceError:
+        _check("gmin ladder rescues an injected Newton failure", False)
+
+    plan = FaultPlan([FaultSpec("iteration_exhaustion", strategy="newton"),
+                      FaultSpec("singular_jacobian", strategy="gmin",
+                                count=None)])
+    try:
+        _, report = solve_dc_report(_diode_circuit(), faults=plan)
+        _check("source stepping rescues an injected gmin failure",
+               report.converged and report.winning_strategy == "source")
+    except ConvergenceError:
+        _check("source stepping rescues an injected gmin failure", False)
+
+    plan = FaultPlan([FaultSpec("iteration_exhaustion", count=None)])
+    try:
+        solve_dc_report(_diode_circuit(), faults=plan)
+        _check("exhausted ladder raises with attempt history", False)
+    except ConvergenceError as exc:
+        _check("exhausted ladder raises with attempt history",
+               exc.report is not None and len(exc.attempts) >= 3
+               and exc.iterations is not None)
+
+    print("fault-injected Monte Carlo smoke campaign:")
+    bad = sorted({1, 3, args.runs - 1} & set(range(args.runs)))
+    config = MonteCarloConfig(
+        runs=args.runs, seed=7,
+        plan=StimulusPlan(settle=3e-9, hold=2e-9, short=0.8e-9),
+        faults=FaultPlan.fail_samples(bad))
+    try:
+        result = run_monte_carlo("sstvs", 0.8, 1.2, config)
+    except Exception as exc:
+        _check(f"campaign survives injected sample failures "
+               f"({type(exc).__name__} escaped: {exc})", False)
+    else:
+        _check("campaign survives injected sample failures", True)
+        _check("quarantine names exactly the injected indices",
+               result.quarantined == bad)
+        good = sum(1 for s in result.samples if s.functional)
+        expected = good / args.runs
+        _check("functional_yield reflects quarantined samples",
+               abs(result.functional_yield - expected) < 1e-12
+               and result.functional_yield < 1.0)
+        print("  " + result.failure_summary().replace("\n", "\n  "))
+
+    if failures:
+        print(f"check FAILED: {len(failures)} problem(s)")
+        return 1
+    print("check passed: solver runtime contains all injected faults")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -212,6 +307,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("kind", nargs="?", default="sstvs", choices=KINDS)
     _add_voltage_args(p)
     p.set_defaults(func=cmd_pvt)
+
+    p = sub.add_parser("check", help="fault-injected solver self-test")
+    p.add_argument("--runs", type=int, default=6,
+                   help="smoke-campaign sample count")
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("vcd", help="dump a characterization transient")
     p.add_argument("kind", choices=KINDS)

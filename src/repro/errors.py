@@ -27,13 +27,28 @@ class NetlistError(ReproError):
 
 
 class ConvergenceError(ReproError):
-    """The nonlinear solver failed to converge."""
+    """The nonlinear solver failed to converge.
+
+    Attributes:
+        iterations: iterations spent by the best (closest) attempt.
+        residual: that attempt's final residual proxy [V], if known.
+        report: the :class:`~repro.runtime.report.SolveReport` (or
+            :class:`~repro.runtime.report.TransientReport`) recording
+            every retry strategy tried before giving up, when the error
+            escaped the full retry ladder rather than a single solve.
+    """
 
     def __init__(self, message: str, iterations: int | None = None,
-                 residual: float | None = None):
+                 residual: float | None = None, report=None):
         self.iterations = iterations
         self.residual = residual
+        self.report = report
         super().__init__(message)
+
+    @property
+    def attempts(self) -> list:
+        """Per-attempt history (empty when no report was attached)."""
+        return list(getattr(self.report, "attempts", ()) or ())
 
 
 class AnalysisError(ReproError):

@@ -1,0 +1,50 @@
+"""Resilient solver runtime: retry policies, diagnostics, fault injection.
+
+The paper's evidence is built from campaigns — 1000-sample Monte Carlo
+tables and full VDDI×VDDO sweeps — where a single pathological sample
+must degrade the result, not destroy it. This package holds the pieces
+that make every solve survivable and observable:
+
+* :class:`RetryPolicy` — configurable escalation schedule (gmin ladder,
+  source-stepping ramp, timestep-halving budget, wall-clock and
+  iteration budgets) consumed by :func:`repro.spice.newton.solve_dc`
+  and :class:`repro.spice.transient.Transient`;
+* :class:`SolveReport` / :class:`TransientReport` — structured
+  per-solve diagnostics recording every attempt, how far it got, and
+  which fallback finally converged;
+* :class:`FaultPlan` — deterministic fault injection (singular
+  Jacobians, NaN residuals, iteration exhaustion, timestep stalls,
+  whole-sample failures) so the fallback ladder is actually testable;
+* :class:`CampaignDiagnostics` / :class:`SampleFailure` — per-campaign
+  aggregation of quarantined samples for the analysis drivers.
+
+This package deliberately depends only on :mod:`repro.errors` (plus
+the standard library), so the solver layers can import it freely.
+"""
+
+from repro.runtime.campaign import CampaignDiagnostics, SampleFailure
+from repro.runtime.faults import (
+    FAULT_KINDS, FaultPlan, FaultSpec, SOLVE_FAULT_KINDS, active_plan,
+    inject,
+)
+from repro.runtime.policy import (
+    DEFAULT_GMIN_LADDER, DEFAULT_SOURCE_RAMP, RetryPolicy,
+)
+from repro.runtime.report import AttemptRecord, SolveReport, TransientReport
+
+__all__ = [
+    "AttemptRecord",
+    "CampaignDiagnostics",
+    "DEFAULT_GMIN_LADDER",
+    "DEFAULT_SOURCE_RAMP",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "SOLVE_FAULT_KINDS",
+    "SampleFailure",
+    "SolveReport",
+    "TransientReport",
+    "active_plan",
+    "inject",
+]

@@ -1,0 +1,68 @@
+"""Campaign-level failure accounting.
+
+The analysis drivers (Monte Carlo, sweeps, corners, functional grids)
+quarantine failing points into :class:`SampleFailure` records instead
+of raising, and :class:`CampaignDiagnostics` aggregates them for CLI
+reporting. Floorplanning-scale consumers call characterization
+thousands of times per placement; they need "193/200 succeeded, these
+7 indices failed and why", not a traceback from the worst sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SampleFailure:
+    """One quarantined campaign point.
+
+    Attributes:
+        index: sample identity — an int for Monte Carlo, an ``(i, j)``
+            grid position for sweeps, a ``(corner, temp)`` pair for PVT.
+        stage: where it died (``"injected"``, ``"characterize"``,
+            ``"quick_delays"``, ...).
+        error: one-line failure description.
+        report: the :class:`~repro.runtime.report.SolveReport` (or
+            transient report) from the failing solve, when available.
+    """
+
+    index: object
+    stage: str
+    error: str
+    report: object | None = None
+
+    def describe(self) -> str:
+        return f"{self.index}: [{self.stage}] {self.error}"
+
+
+@dataclass
+class CampaignDiagnostics:
+    """Roll-up of a campaign's resilience behaviour."""
+
+    total: int = 0
+    succeeded: int = 0
+    failures: list[SampleFailure] = field(default_factory=list)
+    progress_errors: int = 0
+    interrupted: bool = False
+
+    @property
+    def quarantined(self) -> list:
+        return [f.index for f in self.failures]
+
+    @property
+    def failure_rate(self) -> float:
+        return len(self.failures) / self.total if self.total else 0.0
+
+    def summary(self, limit: int = 10) -> str:
+        lines = [f"{self.succeeded}/{self.total} points succeeded, "
+                 f"{len(self.failures)} quarantined"
+                 + (", INTERRUPTED" if self.interrupted else "")]
+        for failure in self.failures[:limit]:
+            lines.append(f"  {failure.describe()}")
+        if len(self.failures) > limit:
+            lines.append(f"  (+{len(self.failures) - limit} more)")
+        if self.progress_errors:
+            lines.append(f"  progress callback errors suppressed: "
+                         f"{self.progress_errors}")
+        return "\n".join(lines)

@@ -1,0 +1,198 @@
+"""Deterministic fault injection for the solver stack.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` triggers the
+solvers consult at well-defined points: the Newton loop asks before
+each iteration (``singular_jacobian`` / ``nan_residual`` /
+``iteration_exhaustion``), the transient engine asks before each step
+(``timestep_stall``), and campaign drivers ask before each sample
+(``sample_failure``). Everything is counter-based and seedless, so a
+fault at sample 42 fires at sample 42 — every run, which is what makes
+the fallback ladder and the quarantine paths *testable*.
+
+Plans can be threaded explicitly (``solve_dc(..., faults=plan)``) or
+activated ambiently for a region of code::
+
+    with inject(plan):
+        run_monte_carlo(...)
+
+Injected faults are forced at the *mechanism* level where possible (the
+Jacobian really is singular, the residual really is NaN) so the genuine
+error-handling paths run, not shortcuts around them.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+
+#: Faults drawn inside the Newton iteration.
+SOLVE_FAULT_KINDS = ("singular_jacobian", "nan_residual",
+                     "iteration_exhaustion")
+
+#: All recognised fault kinds.
+FAULT_KINDS = SOLVE_FAULT_KINDS + ("timestep_stall", "sample_failure")
+
+_UNSET = object()
+
+
+@dataclass
+class FaultSpec:
+    """One deterministic trigger.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        strategy: restrict to one retry-ladder strategy (``"newton"``,
+            ``"gmin"``, ``"source"``, ``"transient"``); None = any.
+        sample_index: restrict to one campaign sample index; None = any
+            (a spec with a sample_index never fires outside a campaign
+            sample scope).
+        time_window: restrict to transient times ``(t0, t1)``; None =
+            any (a spec with a window never fires on time-less solves).
+        count: how many times the spec may fire; None = unlimited.
+    """
+
+    kind: str
+    strategy: str | None = None
+    sample_index: int | None = None
+    time_window: tuple[float, float] | None = None
+    count: int | None = 1
+    fired: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise AnalysisError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}")
+        if self.count is not None and self.count < 1:
+            raise AnalysisError("fault count must be >= 1 or None")
+
+    @property
+    def exhausted(self) -> bool:
+        return self.count is not None and self.fired >= self.count
+
+    def matches(self, kind: str, strategy: str | None,
+                sample: int | None, time: float | None) -> bool:
+        if kind != self.kind or self.exhausted:
+            return False
+        if self.strategy is not None and strategy != self.strategy:
+            return False
+        if self.sample_index is not None and sample != self.sample_index:
+            return False
+        if self.time_window is not None:
+            if time is None:
+                return False
+            t0, t1 = self.time_window
+            if not t0 <= time <= t1:
+                return False
+        return True
+
+
+@dataclass
+class FaultEvent:
+    """Log entry for one fired fault."""
+
+    kind: str
+    strategy: str | None
+    sample: int | None
+    time: float | None
+
+    def describe(self) -> str:
+        parts = [self.kind]
+        if self.strategy is not None:
+            parts.append(f"strategy={self.strategy}")
+        if self.sample is not None:
+            parts.append(f"sample={self.sample}")
+        if self.time is not None:
+            parts.append(f"t={self.time:.3e}")
+        return " ".join(parts)
+
+
+class FaultPlan:
+    """An ordered set of fault triggers plus a log of what fired."""
+
+    def __init__(self, specs=()):
+        self.specs: list[FaultSpec] = list(specs)
+        self.log: list[FaultEvent] = []
+        self._sample: int | None = None
+
+    @classmethod
+    def fail_samples(cls, indices) -> "FaultPlan":
+        """Plan that hard-fails the given campaign sample indices."""
+        return cls(FaultSpec("sample_failure", sample_index=int(i))
+                   for i in indices)
+
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        self.specs.append(spec)
+        return self
+
+    def fires(self, kind: str, strategy: str | None = None,
+              time: float | None = None, sample=_UNSET) -> bool:
+        """Consume and log the first matching spec, if any."""
+        current = self._sample if sample is _UNSET else sample
+        for spec in self.specs:
+            if spec.matches(kind, strategy, current, time):
+                spec.fired += 1
+                self.log.append(FaultEvent(kind, strategy, current, time))
+                return True
+        return False
+
+    def draw_solve(self, strategy: str,
+                   time: float | None = None) -> str | None:
+        """The solve-level fault to apply this Newton call, if any."""
+        for kind in SOLVE_FAULT_KINDS:
+            if self.fires(kind, strategy=strategy, time=time):
+                return kind
+        return None
+
+    @contextmanager
+    def sample_scope(self, index: int):
+        """Attribute faults fired inside the block to sample ``index``."""
+        previous = self._sample
+        self._sample = int(index)
+        try:
+            yield self
+        finally:
+            self._sample = previous
+
+    def reset(self) -> None:
+        """Re-arm all specs and clear the log (for campaign re-runs)."""
+        for spec in self.specs:
+            spec.fired = 0
+        self.log.clear()
+        self._sample = None
+
+    @property
+    def fired_count(self) -> int:
+        return len(self.log)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<FaultPlan {len(self.specs)} specs, "
+                f"{self.fired_count} fired>")
+
+
+#: Ambient plan stack managed by :func:`inject`.
+_ACTIVE: list[FaultPlan] = []
+
+
+def active_plan() -> FaultPlan | None:
+    """The innermost ambiently injected plan, or None."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def inject(plan: FaultPlan | None):
+    """Activate ``plan`` for every solve inside the block.
+
+    ``inject(None)`` is a no-op context, which lets callers write
+    ``with inject(config.faults):`` without a conditional.
+    """
+    if plan is None:
+        yield None
+        return
+    _ACTIVE.append(plan)
+    try:
+        yield plan
+    finally:
+        _ACTIVE.pop()

@@ -1,0 +1,102 @@
+"""Retry policies: configurable escalation schedules for the solvers.
+
+Historically the fallback chain was hard-coded: a fixed gmin ladder and
+source ramp inside ``spice/newton.py`` and a fixed halve-until-h_min
+loop inside ``spice/transient.py``. :class:`RetryPolicy` lifts all of
+those knobs into one object so campaigns can trade robustness against
+wall clock (a characterization service wants bounded worst-case
+latency; a signoff run wants every last homotopy rung).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+
+#: Gmin homotopy ladder, from heavily regularized down to the target.
+#: (Matches the pre-policy hard-coded ladder, so the default policy is
+#: behavior-identical to the legacy chain.)
+DEFAULT_GMIN_LADDER = (1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10,
+                       1e-11)
+
+#: Source-stepping ramp for the last-resort homotopy.
+DEFAULT_SOURCE_RAMP = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Escalation schedule shared by the DC and transient engines.
+
+    Attributes:
+        gmin_ladder: gmin values tried in order when plain Newton fails
+            (the target ``NewtonOptions.gmin`` is appended as the final
+            rung automatically).
+        source_ramp: source-scale values for the last-resort homotopy;
+            must end at 1.0 so the final rung solves the real circuit.
+        enable_gmin_stepping: whether the gmin strategy runs at all.
+        enable_source_stepping: whether the source strategy runs at all.
+        max_step_halvings: transient budget — how many *consecutive*
+            timestep halvings (Newton failures or dv rejections without
+            an accepted step in between) are allowed before the run is
+            declared stalled.
+        be_on_retry: transient degradation — retry a failed step with
+            backward Euler instead of trapezoidal (damps the ringing
+            that often caused the failure).
+        max_wall_clock_s: abandon the DC escalation once this much wall
+            clock has been spent across attempts (None = unlimited).
+        max_total_iterations: abandon the DC escalation once the summed
+            Newton iterations across attempts reach this (None =
+            unlimited).
+    """
+
+    gmin_ladder: tuple[float, ...] = DEFAULT_GMIN_LADDER
+    source_ramp: tuple[float, ...] = DEFAULT_SOURCE_RAMP
+    enable_gmin_stepping: bool = True
+    enable_source_stepping: bool = True
+    max_step_halvings: int = 60
+    be_on_retry: bool = True
+    max_wall_clock_s: float | None = None
+    max_total_iterations: int | None = None
+
+    def validate(self) -> None:
+        if any(g <= 0 for g in self.gmin_ladder):
+            raise AnalysisError("gmin ladder values must be positive")
+        if any(not 0.0 < s <= 1.0 for s in self.source_ramp):
+            raise AnalysisError("source ramp values must be in (0, 1]")
+        if self.source_ramp and self.source_ramp[-1] != 1.0:
+            raise AnalysisError("source ramp must end at 1.0 "
+                                "(the unscaled circuit)")
+        if self.max_step_halvings < 0:
+            raise AnalysisError("max_step_halvings must be >= 0")
+        if (self.max_wall_clock_s is not None
+                and self.max_wall_clock_s < 0):
+            raise AnalysisError("max_wall_clock_s must be >= 0")
+        if (self.max_total_iterations is not None
+                and self.max_total_iterations < 1):
+            raise AnalysisError("max_total_iterations must be >= 1")
+
+    @classmethod
+    def default(cls) -> "RetryPolicy":
+        """Behavior-identical to the legacy hard-coded fallback chain."""
+        return cls()
+
+    @classmethod
+    def fast_fail(cls) -> "RetryPolicy":
+        """No homotopy fallbacks, minimal step-halving budget.
+
+        For latency-bounded services and for tests that want a failure
+        to surface immediately instead of grinding through the ladder.
+        """
+        return cls(gmin_ladder=(), source_ramp=(),
+                   enable_gmin_stepping=False,
+                   enable_source_stepping=False,
+                   max_step_halvings=4)
+
+    @classmethod
+    def patient(cls) -> "RetryPolicy":
+        """Denser schedules for signoff-grade stubborn circuits."""
+        ladder = tuple(10.0 ** (-e / 2.0) for e in range(5, 23))
+        ramp = tuple(round(0.05 * k, 2) for k in range(1, 21))
+        return cls(gmin_ladder=ladder, source_ramp=ramp,
+                   max_step_halvings=200)

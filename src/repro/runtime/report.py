@@ -1,0 +1,146 @@
+"""Structured solver diagnostics.
+
+Every DC solve produces a :class:`SolveReport` (one
+:class:`AttemptRecord` per strategy rung tried) and every transient run
+produces a :class:`TransientReport`. Both are attached to results on
+success and to :class:`~repro.errors.ConvergenceError` on failure, so
+callers — and campaign aggregators — can see not just *that* a solve
+failed but how close each strategy got.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AttemptRecord:
+    """One rung of the retry ladder.
+
+    Attributes:
+        strategy: ladder stage — ``"newton"``, ``"gmin"``, ``"source"``
+            (or ``"transient"`` for per-step solves).
+        detail: rung parameters, e.g. ``"gmin=0.001"`` or
+            ``"scale=0.4"``.
+        iterations: Newton iterations spent in this attempt.
+        residual: last max node-voltage update [V] — the convergence
+            residual proxy — or None if the attempt died before one was
+            computed (e.g. a singular matrix on the first iteration).
+        converged: whether this attempt reached tolerance.
+        injected_fault: fault kind forced by an active
+            :class:`~repro.runtime.faults.FaultPlan`, if any.
+        error: failure message for non-converged attempts.
+    """
+
+    strategy: str
+    detail: str = ""
+    iterations: int = 0
+    residual: float | None = None
+    converged: bool = False
+    injected_fault: str | None = None
+    error: str | None = None
+
+    def describe(self) -> str:
+        status = "ok" if self.converged else "fail"
+        text = f"{self.strategy}"
+        if self.detail:
+            text += f"[{self.detail}]"
+        text += f": {status}, {self.iterations} iters"
+        if self.residual is not None:
+            text += f", residual {self.residual:.3e} V"
+        if self.injected_fault:
+            text += f", injected={self.injected_fault}"
+        if self.error and not self.converged:
+            text += f" ({self.error})"
+        return text
+
+
+@dataclass
+class SolveReport:
+    """Full history of one DC solve across all retry strategies."""
+
+    attempts: list[AttemptRecord] = field(default_factory=list)
+    converged: bool = False
+    winning_strategy: str | None = None
+    wall_time_s: float = 0.0
+    abandoned_reason: str | None = None
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(a.iterations for a in self.attempts)
+
+    @property
+    def strategies_tried(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for attempt in self.attempts:
+            if attempt.strategy not in seen:
+                seen.append(attempt.strategy)
+        return tuple(seen)
+
+    def best_attempt(self) -> AttemptRecord | None:
+        """The attempt that got closest to convergence.
+
+        A converged attempt wins outright; otherwise the smallest
+        recorded residual; otherwise the last attempt.
+        """
+        if not self.attempts:
+            return None
+        for attempt in self.attempts:
+            if attempt.converged:
+                return attempt
+        with_residual = [a for a in self.attempts if a.residual is not None]
+        if with_residual:
+            return min(with_residual, key=lambda a: a.residual)
+        return self.attempts[-1]
+
+    def strategy_summary(self) -> str:
+        counts: dict[str, int] = {}
+        for attempt in self.attempts:
+            counts[attempt.strategy] = counts.get(attempt.strategy, 0) + 1
+        return ", ".join(f"{name} x{n}" for name, n in counts.items())
+
+    def pretty(self, title: str = "") -> str:
+        lines = [title] if title else []
+        status = (f"converged via {self.winning_strategy}" if self.converged
+                  else "FAILED")
+        lines.append(f"  {status}: {len(self.attempts)} attempts, "
+                     f"{self.total_iterations} total iterations, "
+                     f"{self.wall_time_s * 1e3:.1f} ms")
+        if self.abandoned_reason:
+            lines.append(f"  abandoned: {self.abandoned_reason}")
+        for attempt in self.attempts:
+            lines.append(f"    {attempt.describe()}")
+        return "\n".join(lines)
+
+
+@dataclass
+class TransientReport:
+    """Step-control history of one transient run."""
+
+    steps_accepted: int = 0
+    steps_rejected_dv: int = 0
+    newton_failures: int = 0
+    total_halvings: int = 0
+    injected_faults: list[str] = field(default_factory=list)
+    stalled: bool = False
+    #: Report of the t=0 DC operating-point solve that seeded the march.
+    dc_report: SolveReport | None = None
+
+    @property
+    def clean(self) -> bool:
+        """True when no solves failed (dv rejections are routine
+        accuracy control, not faults, and don't count)."""
+        return self.newton_failures == 0 and not self.stalled
+
+    def pretty(self, title: str = "") -> str:
+        lines = [title] if title else []
+        lines.append(f"  accepted {self.steps_accepted} steps, "
+                     f"rejected {self.steps_rejected_dv} (dv), "
+                     f"{self.newton_failures} Newton failures, "
+                     f"{self.total_halvings} halvings"
+                     + (", STALLED" if self.stalled else ""))
+        for fault in self.injected_faults:
+            lines.append(f"    injected: {fault}")
+        if self.dc_report is not None and not self.dc_report.converged:
+            lines.append(self.dc_report.pretty("  t=0 DC solve:"))
+        return "\n".join(lines)

@@ -1,4 +1,4 @@
-"""Damped Newton-Raphson solver with homotopy fallbacks.
+"""Damped Newton-Raphson solver with policy-driven homotopy fallbacks.
 
 The solver repeatedly assembles the linearized MNA system at the current
 iterate and solves for the next one. Per-iteration voltage updates are
@@ -6,20 +6,33 @@ damped to a configurable maximum step, which is the single most
 effective robustness measure for MOS circuits (exponential models
 otherwise fling early iterates far outside the convergence basin).
 
-If plain Newton fails, :func:`solve_dc` falls back to gmin stepping
-(solve with a large parallel conductance on every node, then relax it
-geometrically) and then to source stepping (ramp all independent sources
-from zero).
+If plain Newton fails, :func:`solve_dc` escalates through the fallback
+ladder described by a :class:`~repro.runtime.policy.RetryPolicy`: gmin
+stepping (solve with a large parallel conductance on every node, then
+relax it geometrically) and then source stepping (ramp all independent
+sources from zero). Every attempt is recorded in a
+:class:`~repro.runtime.report.SolveReport`, attached to the
+:class:`~repro.errors.ConvergenceError` when the whole ladder fails so
+callers can see how close each strategy got.
+
+An active :class:`~repro.runtime.faults.FaultPlan` (threaded explicitly
+or ambient via :func:`repro.runtime.faults.inject`) can deterministically
+force singular Jacobians, NaN residuals, or iteration exhaustion into
+chosen strategies, which is how the ladder itself is tested.
 """
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from repro.errors import ConvergenceError
+from repro.runtime.faults import FaultPlan, active_plan
+from repro.runtime.policy import RetryPolicy
+from repro.runtime.report import AttemptRecord, SolveReport
 from repro.spice import mna
 from repro.spice.integration import IntegratorState
 
@@ -45,8 +58,19 @@ def newton_solve(circuit, x0: np.ndarray, time: float = 0.0,
                  integrator: Optional[IntegratorState] = None,
                  options: Optional[NewtonOptions] = None,
                  gmin: Optional[float] = None,
-                 source_scale: float = 1.0) -> np.ndarray:
+                 source_scale: float = 1.0,
+                 strategy: str = "newton",
+                 faults: Optional[FaultPlan] = None,
+                 record: Optional[AttemptRecord] = None) -> np.ndarray:
     """Run damped Newton from ``x0``; returns the converged solution.
+
+    Args:
+        strategy: retry-ladder stage label, used for diagnostics and
+            for strategy-targeted fault injection.
+        faults: explicit fault plan; defaults to the ambient plan
+            activated via :func:`repro.runtime.faults.inject`.
+        record: optional :class:`AttemptRecord` filled in with the
+            iteration count, final residual, and outcome.
 
     Raises:
         ConvergenceError: if the iteration exceeds the budget or the
@@ -54,6 +78,7 @@ def newton_solve(circuit, x0: np.ndarray, time: float = 0.0,
     """
     opts = options or NewtonOptions()
     effective_gmin = opts.gmin if gmin is None else gmin
+    plan = faults if faults is not None else active_plan()
     size = circuit.system_size()
     n_nodes = circuit.node_count()
     system = mna.MnaSystem(size)
@@ -63,20 +88,48 @@ def newton_solve(circuit, x0: np.ndarray, time: float = 0.0,
     # step, and damping it would only throttle large (but exact)
     # voltage excursions.
     damped = bool(circuit.nonlinear_devices())
+    max_dv = 0.0
+
+    def _fail(message: str, iterations: int,
+              residual: float | None, injected: str | None = None,
+              cause: BaseException | None = None):
+        if record is not None:
+            record.iterations = iterations
+            record.residual = residual
+            record.converged = False
+            record.injected_fault = injected
+            record.error = message
+        error = ConvergenceError(message, iterations=iterations,
+                                 residual=residual)
+        if cause is not None:
+            raise error from cause
+        raise error
 
     for iteration in range(opts.max_iterations):
+        injected = (plan.draw_solve(strategy=strategy, time=time)
+                    if plan is not None else None)
+        if injected == "iteration_exhaustion":
+            _fail(f"injected iteration exhaustion in {strategy!r} solve",
+                  opts.max_iterations, max_dv if iteration else None,
+                  injected)
         mna.assemble(circuit, x, system, time=time, integrator=integrator,
                      gmin=effective_gmin, source_scale=source_scale)
+        if injected == "singular_jacobian":
+            # Corrupt the mechanism, not a shortcut: the zeroed matrix
+            # makes numpy raise the genuine LinAlgError path below.
+            system.matrix[:, :] = 0.0
+        elif injected == "nan_residual":
+            system.rhs[:] = np.nan
         try:
             x_new = np.linalg.solve(system.matrix, system.rhs)
         except np.linalg.LinAlgError as exc:
-            raise ConvergenceError(
-                f"singular MNA matrix at iteration {iteration}",
-                iterations=iteration) from exc
+            _fail(f"singular MNA matrix at iteration {iteration}"
+                  + (" (injected)" if injected else ""),
+                  iteration, max_dv if iteration else None, injected, exc)
         if not np.all(np.isfinite(x_new)):
-            raise ConvergenceError(
-                f"non-finite solution at iteration {iteration}",
-                iterations=iteration)
+            _fail(f"non-finite solution at iteration {iteration}"
+                  + (" (injected)" if injected else ""),
+                  iteration, max_dv if iteration else None, injected)
 
         delta = x_new - x
         dv = delta[:n_nodes]
@@ -96,49 +149,129 @@ def newton_solve(circuit, x0: np.ndarray, time: float = 0.0,
         i_tol = opts.abstol_i + opts.reltol * float(
             np.max(np.abs(x[n_nodes:])) if di.size else 0.0)
         if scale == 1.0 and max_dv <= v_tol and max_di <= i_tol:
+            if record is not None:
+                record.iterations = iteration + 1
+                record.residual = max_dv
+                record.converged = True
             return x
 
+    _fail(f"Newton failed to converge in {opts.max_iterations} iterations "
+          f"(last max dV = {max_dv:.3e} V)",
+          opts.max_iterations, max_dv)
+
+
+def solve_dc_report(circuit, x0: Optional[np.ndarray] = None,
+                    options: Optional[NewtonOptions] = None,
+                    policy: Optional[RetryPolicy] = None,
+                    faults: Optional[FaultPlan] = None,
+                    ) -> tuple[np.ndarray, SolveReport]:
+    """Find a DC solution; returns ``(x, report)``.
+
+    Escalates through the strategies enabled by ``policy``, recording
+    every attempt. On total failure raises :class:`ConvergenceError`
+    carrying the full :class:`SolveReport` and the best attempt's
+    iteration count and residual.
+    """
+    opts = options or NewtonOptions()
+    pol = policy or RetryPolicy()
+    pol.validate()
+    plan = faults if faults is not None else active_plan()
+    size = circuit.system_size()
+    x0 = np.zeros(size) if x0 is None else np.asarray(x0, dtype=float)
+    report = SolveReport()
+    started = _time.monotonic()
+    abandoned: str | None = None
+
+    def _out_of_budget() -> str | None:
+        elapsed = _time.monotonic() - started
+        if (pol.max_wall_clock_s is not None
+                and elapsed > pol.max_wall_clock_s):
+            return (f"wall-clock budget {pol.max_wall_clock_s:g} s "
+                    f"exhausted after {elapsed:.3f} s")
+        if (pol.max_total_iterations is not None
+                and report.total_iterations >= pol.max_total_iterations):
+            return (f"iteration budget {pol.max_total_iterations} "
+                    f"exhausted ({report.total_iterations} spent)")
+        return None
+
+    def _attempt(strategy: str, detail: str, guess: np.ndarray,
+                 **kwargs) -> np.ndarray:
+        record = AttemptRecord(strategy=strategy, detail=detail)
+        report.attempts.append(record)
+        return newton_solve(circuit, guess, options=opts,
+                            strategy=strategy, faults=plan, record=record,
+                            **kwargs)
+
+    def _success(strategy: str, x: np.ndarray):
+        report.converged = True
+        report.winning_strategy = strategy
+        report.wall_time_s = _time.monotonic() - started
+        return x, report
+
+    try:
+        return _success("newton", _attempt("newton", "plain", x0))
+    except ConvergenceError:
+        pass
+
+    # Gmin stepping: solve heavily regularized, relax toward the target.
+    if pol.enable_gmin_stepping and abandoned is None:
+        abandoned = _out_of_budget()
+        if abandoned is None:
+            x = np.array(x0, copy=True)
+            try:
+                completed = True
+                for g in tuple(pol.gmin_ladder) + (opts.gmin,):
+                    abandoned = _out_of_budget()
+                    if abandoned is not None:
+                        completed = False
+                        break
+                    x = _attempt("gmin", f"gmin={g:g}", x, gmin=g)
+                if completed:
+                    return _success("gmin", x)
+            except ConvergenceError:
+                pass
+
+    # Source stepping: ramp all independent sources up from zero.
+    if pol.enable_source_stepping and abandoned is None:
+        abandoned = _out_of_budget()
+        if abandoned is None:
+            x = np.zeros(size)
+            try:
+                completed = True
+                for scale in pol.source_ramp:
+                    abandoned = _out_of_budget()
+                    if abandoned is not None:
+                        completed = False
+                        break
+                    x = _attempt("source", f"scale={scale:g}", x,
+                                 source_scale=scale)
+                if completed and pol.source_ramp:
+                    return _success("source", x)
+            except ConvergenceError:
+                pass
+
+    report.converged = False
+    report.abandoned_reason = abandoned
+    report.wall_time_s = _time.monotonic() - started
+    best = report.best_attempt()
+    message = (f"DC solution not found for circuit {circuit.title!r} after "
+               f"{len(report.attempts)} attempts"
+               + (f" ({report.strategy_summary()})" if report.attempts
+                  else ""))
+    if abandoned:
+        message += f"; {abandoned}"
     raise ConvergenceError(
-        f"Newton failed to converge in {opts.max_iterations} iterations "
-        f"(last max dV = {max_dv:.3e} V)",
-        iterations=opts.max_iterations, residual=max_dv)
-
-
-#: Gmin homotopy ladder, from heavily regularized down to the target.
-_GMIN_LADDER = (1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 1e-11)
-
-#: Source-stepping ramp for the last-resort homotopy.
-_SOURCE_RAMP = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+        message,
+        iterations=best.iterations if best is not None else None,
+        residual=best.residual if best is not None else None,
+        report=report)
 
 
 def solve_dc(circuit, x0: Optional[np.ndarray] = None,
-             options: Optional[NewtonOptions] = None) -> np.ndarray:
+             options: Optional[NewtonOptions] = None,
+             policy: Optional[RetryPolicy] = None,
+             faults: Optional[FaultPlan] = None) -> np.ndarray:
     """Find a DC solution, escalating through homotopy methods."""
-    opts = options or NewtonOptions()
-    size = circuit.system_size()
-    x0 = np.zeros(size) if x0 is None else np.asarray(x0, dtype=float)
-
-    try:
-        return newton_solve(circuit, x0, options=opts)
-    except ConvergenceError:
-        pass
-
-    # Gmin stepping.
-    x = np.array(x0, copy=True)
-    try:
-        for g in _GMIN_LADDER + (opts.gmin,):
-            x = newton_solve(circuit, x, options=opts, gmin=g)
-        return x
-    except ConvergenceError:
-        pass
-
-    # Source stepping.
-    x = np.zeros(size)
-    try:
-        for scale in _SOURCE_RAMP:
-            x = newton_solve(circuit, x, options=opts, source_scale=scale)
-        return x
-    except ConvergenceError as exc:
-        raise ConvergenceError(
-            f"DC solution not found for circuit {circuit.title!r} after "
-            f"Newton, gmin stepping, and source stepping: {exc}") from exc
+    x, _ = solve_dc_report(circuit, x0, options=options, policy=policy,
+                           faults=faults)
+    return x

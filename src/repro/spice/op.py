@@ -6,15 +6,21 @@ from typing import Optional
 
 import numpy as np
 
-from repro.spice.newton import NewtonOptions, solve_dc
+from repro.runtime.faults import FaultPlan
+from repro.runtime.policy import RetryPolicy
+from repro.runtime.report import SolveReport
+from repro.spice.newton import NewtonOptions, solve_dc_report
 
 
 class OpResult:
     """Converged DC solution with named access to voltages and currents."""
 
-    def __init__(self, circuit, x: np.ndarray):
+    def __init__(self, circuit, x: np.ndarray,
+                 report: Optional[SolveReport] = None):
         self._circuit = circuit
         self.x = x
+        #: Retry-ladder diagnostics for the solve that produced this.
+        self.report = report or SolveReport(converged=True)
         self.voltages = {name: float(x[circuit.node_index(name)])
                          for name in circuit.node_names()}
         self.branch_currents = {}
@@ -52,12 +58,18 @@ class OperatingPoint:
     """
 
     def __init__(self, circuit, options: Optional[NewtonOptions] = None,
-                 initial_guess: Optional[np.ndarray] = None):
+                 initial_guess: Optional[np.ndarray] = None,
+                 policy: Optional[RetryPolicy] = None,
+                 faults: Optional[FaultPlan] = None):
         self.circuit = circuit
         self.options = options or NewtonOptions()
         self.initial_guess = initial_guess
+        self.policy = policy
+        self.faults = faults
 
     def run(self) -> OpResult:
         self.circuit.finalize()
-        x = solve_dc(self.circuit, self.initial_guess, self.options)
-        return OpResult(self.circuit, x)
+        x, report = solve_dc_report(self.circuit, self.initial_guess,
+                                    self.options, policy=self.policy,
+                                    faults=self.faults)
+        return OpResult(self.circuit, x, report=report)

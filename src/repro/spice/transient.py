@@ -17,6 +17,16 @@ Step control is twofold:
 This voltage-delta criterion is simpler than formal LTE control and is
 well matched to digital switching waveforms, where accuracy is needed
 exactly where voltages move quickly.
+
+Retry behaviour is governed by a
+:class:`~repro.runtime.policy.RetryPolicy`: the consecutive-halving
+budget bounds how long the engine grinds on a stuck timepoint, and
+``be_on_retry`` controls the backward-Euler degradation of failed
+steps. Every run produces a
+:class:`~repro.runtime.report.TransientReport` (on the result when the
+run completes, on the :class:`~repro.errors.ConvergenceError` when it
+stalls), and an active :class:`~repro.runtime.faults.FaultPlan` can
+deterministically stall chosen timepoints.
 """
 
 from __future__ import annotations
@@ -27,10 +37,13 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import AnalysisError, ConvergenceError
+from repro.runtime.faults import FaultPlan, active_plan
+from repro.runtime.policy import RetryPolicy
+from repro.runtime.report import TransientReport
 from repro.spice.integration import (
     BACKWARD_EULER, TRAPEZOIDAL, IntegratorState,
 )
-from repro.spice.newton import NewtonOptions, newton_solve, solve_dc
+from repro.spice.newton import NewtonOptions, newton_solve, solve_dc_report
 from repro.spice.waveform import Waveform
 
 
@@ -49,15 +62,20 @@ class TransientOptions:
     newton: NewtonOptions = field(default_factory=NewtonOptions)
     #: Fraction of h_max used for the first step after each breakpoint.
     restart_fraction: float = 0.02
+    #: Retry/escalation policy; default (None) is RetryPolicy().
+    policy: RetryPolicy | None = None
 
 
 class TransientResult:
     """Waveforms for every node and voltage-source branch current."""
 
-    def __init__(self, circuit, times: np.ndarray, states: np.ndarray):
+    def __init__(self, circuit, times: np.ndarray, states: np.ndarray,
+                 report: TransientReport | None = None):
         self.circuit = circuit
         self.times = times
         self._states = states  # shape (n_samples, system_size)
+        #: Step-control diagnostics for the run that produced this.
+        self.report = report or TransientReport()
 
     def wave(self, node: str) -> Waveform:
         """Voltage waveform at a node."""
@@ -98,25 +116,34 @@ class Transient:
     """
 
     def __init__(self, circuit, t_stop: float,
-                 options: Optional[TransientOptions] = None):
+                 options: Optional[TransientOptions] = None,
+                 faults: Optional[FaultPlan] = None):
         if t_stop <= 0:
             raise AnalysisError(f"t_stop must be > 0, got {t_stop}")
         self.circuit = circuit
         self.t_stop = float(t_stop)
         self.options = options or TransientOptions()
+        self.faults = faults
 
     def run(self, x0: Optional[np.ndarray] = None) -> TransientResult:
         circuit = self.circuit
         circuit.finalize()
         opts = self.options
+        policy = opts.policy or RetryPolicy()
+        policy.validate()
+        plan = self.faults if self.faults is not None else active_plan()
+        report = TransientReport()
         h_max = opts.h_max if opts.h_max is not None else self.t_stop / 100.0
         h_min = opts.h_min if opts.h_min is not None else self.t_stop * 1e-9
         if h_min >= h_max:
             raise AnalysisError(f"h_min {h_min} must be < h_max {h_max}")
 
         # DC operating point at t = 0 seeds the march and device state.
-        x = (solve_dc(circuit, options=opts.newton) if x0 is None
-             else np.asarray(x0, dtype=float).copy())
+        if x0 is None:
+            x, report.dc_report = solve_dc_report(
+                circuit, options=opts.newton, policy=policy, faults=plan)
+        else:
+            x = np.asarray(x0, dtype=float).copy()
         for device in circuit:
             device.init_state(x)
 
@@ -129,6 +156,13 @@ class Transient:
         t = 0.0
         h = restart_h
         use_be = True  # first step from DC uses backward Euler
+        halvings = 0   # consecutive halvings since the last accepted step
+
+        def _stall(reason: str) -> ConvergenceError:
+            report.stalled = True
+            return ConvergenceError(
+                f"transient stalled at t={t:.6e}s with h={h:.3e}s "
+                f"in circuit {circuit.title!r} ({reason})", report=report)
 
         while t < self.t_stop - 1e-21:
             next_bp = (breakpoints[bp_index]
@@ -142,26 +176,48 @@ class Transient:
                 # Degenerate gap between breakpoints; jump it with BE.
                 h = max(h, 1e-21)
 
-            integrator = IntegratorState(
-                method=BACKWARD_EULER if use_be else TRAPEZOIDAL, dt=h)
-            try:
-                x_new = newton_solve(circuit, x, time=t + h,
-                                     integrator=integrator,
-                                     options=opts.newton)
-            except ConvergenceError:
+            failed = False
+            if plan is not None and plan.fires("timestep_stall", time=t + h):
+                report.injected_faults.append(
+                    f"timestep_stall@t={t + h:.3e}s")
+                failed = True
+            else:
+                integrator = IntegratorState(
+                    method=BACKWARD_EULER if use_be else TRAPEZOIDAL, dt=h)
+                try:
+                    x_new = newton_solve(circuit, x, time=t + h,
+                                         integrator=integrator,
+                                         options=opts.newton,
+                                         strategy="transient", faults=plan)
+                except ConvergenceError:
+                    failed = True
+
+            if failed:
+                report.newton_failures += 1
                 if h <= h_min * 1.0000001:
-                    raise ConvergenceError(
-                        f"transient stalled at t={t:.6e}s with h={h:.3e}s "
-                        f"in circuit {circuit.title!r}")
+                    raise _stall("step at h_min")
+                if halvings >= policy.max_step_halvings:
+                    raise _stall(
+                        f"halving budget {policy.max_step_halvings} "
+                        f"exhausted")
                 h = max(h / 2.0, h_min)
-                use_be = True
+                halvings += 1
+                report.total_halvings += 1
+                if policy.be_on_retry:
+                    use_be = True
                 continue
 
             n_nodes = circuit.node_count()
             max_dv = float(np.max(np.abs(x_new[:n_nodes] - x[:n_nodes]))) \
                 if n_nodes else 0.0
-            if max_dv > opts.dv_max and h > h_min * 1.0000001:
+            if (max_dv > opts.dv_max and h > h_min * 1.0000001
+                    and halvings < policy.max_step_halvings):
+                # Accuracy rejection; once the halving budget is spent
+                # the step is accepted anyway (degrade, don't die).
+                report.steps_rejected_dv += 1
                 h = max(h / 2.0, h_min)
+                halvings += 1
+                report.total_halvings += 1
                 continue
 
             # Accept the step.
@@ -171,6 +227,8 @@ class Transient:
             x = x_new
             times.append(t)
             states.append(x.copy())
+            report.steps_accepted += 1
+            halvings = 0
 
             if hit_bp:
                 bp_index += 1
@@ -181,4 +239,5 @@ class Transient:
                 if max_dv < 0.3 * opts.dv_max:
                     h = min(h * 1.5, h_max)
 
-        return TransientResult(circuit, np.asarray(times), np.asarray(states))
+        return TransientResult(circuit, np.asarray(times),
+                               np.asarray(states), report=report)

@@ -1,0 +1,111 @@
+"""Tests for the deterministic fault-injection plumbing."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.runtime import FaultPlan, FaultSpec, active_plan, inject
+
+pytestmark = pytest.mark.resilience
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(AnalysisError):
+            FaultSpec("cosmic_ray")
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(AnalysisError):
+            FaultSpec("nan_residual", count=0)
+
+    def test_count_limits_firings(self):
+        plan = FaultPlan([FaultSpec("nan_residual", count=2)])
+        assert plan.fires("nan_residual")
+        assert plan.fires("nan_residual")
+        assert not plan.fires("nan_residual")
+
+    def test_unlimited_count(self):
+        plan = FaultPlan([FaultSpec("nan_residual", count=None)])
+        for _ in range(10):
+            assert plan.fires("nan_residual")
+
+    def test_strategy_filter(self):
+        plan = FaultPlan([FaultSpec("iteration_exhaustion",
+                                    strategy="newton", count=None)])
+        assert not plan.fires("iteration_exhaustion", strategy="gmin")
+        assert plan.fires("iteration_exhaustion", strategy="newton")
+
+    def test_time_window_filter(self):
+        plan = FaultPlan([FaultSpec("timestep_stall",
+                                    time_window=(1e-9, 2e-9),
+                                    count=None)])
+        assert not plan.fires("timestep_stall", time=0.5e-9)
+        assert plan.fires("timestep_stall", time=1.5e-9)
+        # A windowed spec never fires on a time-less solve.
+        assert not plan.fires("timestep_stall")
+
+    def test_sample_filter_needs_scope(self):
+        plan = FaultPlan([FaultSpec("sample_failure", sample_index=3)])
+        # Outside any sample scope the spec is inert.
+        assert not plan.fires("sample_failure")
+        with plan.sample_scope(2):
+            assert not plan.fires("sample_failure")
+        with plan.sample_scope(3):
+            assert plan.fires("sample_failure")
+
+
+class TestFaultPlan:
+    def test_fail_samples_constructor(self):
+        plan = FaultPlan.fail_samples([4, 7])
+        assert plan.fires("sample_failure", sample=4)
+        assert not plan.fires("sample_failure", sample=5)
+        assert plan.fires("sample_failure", sample=7)
+        # Each injected sample fault is one-shot.
+        assert not plan.fires("sample_failure", sample=4)
+
+    def test_log_records_fired_events(self):
+        plan = FaultPlan([FaultSpec("nan_residual")])
+        plan.fires("nan_residual", strategy="newton")
+        assert plan.fired_count == 1
+        assert plan.log[0].kind == "nan_residual"
+        assert plan.log[0].strategy == "newton"
+
+    def test_reset_rearms(self):
+        plan = FaultPlan([FaultSpec("nan_residual")])
+        assert plan.fires("nan_residual")
+        assert not plan.fires("nan_residual")
+        plan.reset()
+        assert plan.fired_count == 0
+        assert plan.fires("nan_residual")
+
+    def test_draw_solve_order(self):
+        # draw_solve consults kinds in SOLVE_FAULT_KINDS order, one
+        # fault per call.
+        plan = FaultPlan([FaultSpec("nan_residual"),
+                          FaultSpec("singular_jacobian")])
+        assert plan.draw_solve("newton") == "singular_jacobian"
+        assert plan.draw_solve("newton") == "nan_residual"
+        assert plan.draw_solve("newton") is None
+
+
+class TestAmbientInjection:
+    def test_inject_activates_and_restores(self):
+        assert active_plan() is None
+        plan = FaultPlan()
+        with inject(plan):
+            assert active_plan() is plan
+            inner = FaultPlan()
+            with inject(inner):
+                assert active_plan() is inner
+            assert active_plan() is plan
+        assert active_plan() is None
+
+    def test_inject_none_is_noop(self):
+        with inject(None):
+            assert active_plan() is None
+
+    def test_restored_on_exception(self):
+        plan = FaultPlan()
+        with pytest.raises(RuntimeError):
+            with inject(plan):
+                raise RuntimeError("boom")
+        assert active_plan() is None

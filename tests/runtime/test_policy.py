@@ -1,0 +1,72 @@
+"""Tests for RetryPolicy schedules and validation."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.runtime import (
+    DEFAULT_GMIN_LADDER, DEFAULT_SOURCE_RAMP, RetryPolicy,
+)
+
+pytestmark = pytest.mark.resilience
+
+
+class TestDefaults:
+    def test_default_matches_legacy_ladder(self):
+        # The default policy must be behavior-identical to the
+        # pre-policy hard-coded fallback chain.
+        policy = RetryPolicy()
+        assert policy.gmin_ladder == (1e-3, 1e-4, 1e-5, 1e-6, 1e-7,
+                                      1e-8, 1e-9, 1e-10, 1e-11)
+        assert policy.source_ramp[0] == pytest.approx(0.1)
+        assert policy.source_ramp[-1] == 1.0
+        assert policy.enable_gmin_stepping
+        assert policy.enable_source_stepping
+        assert policy.max_wall_clock_s is None
+        assert policy.max_total_iterations is None
+
+    def test_module_constants(self):
+        assert RetryPolicy().gmin_ladder == DEFAULT_GMIN_LADDER
+        assert RetryPolicy().source_ramp == DEFAULT_SOURCE_RAMP
+
+    def test_default_validates(self):
+        RetryPolicy().validate()
+
+
+class TestPresets:
+    def test_fast_fail_disables_fallbacks(self):
+        policy = RetryPolicy.fast_fail()
+        policy.validate()
+        assert not policy.enable_gmin_stepping
+        assert not policy.enable_source_stepping
+        assert policy.max_step_halvings < RetryPolicy().max_step_halvings
+
+    def test_patient_is_denser(self):
+        policy = RetryPolicy.patient()
+        policy.validate()
+        assert len(policy.gmin_ladder) > len(DEFAULT_GMIN_LADDER)
+        assert len(policy.source_ramp) > len(DEFAULT_SOURCE_RAMP)
+        assert policy.source_ramp[-1] == 1.0
+
+
+class TestValidation:
+    def test_negative_gmin_rejected(self):
+        with pytest.raises(AnalysisError):
+            RetryPolicy(gmin_ladder=(1e-3, -1e-6)).validate()
+
+    def test_ramp_must_end_at_unity(self):
+        with pytest.raises(AnalysisError):
+            RetryPolicy(source_ramp=(0.5, 0.9)).validate()
+
+    def test_ramp_values_bounded(self):
+        with pytest.raises(AnalysisError):
+            RetryPolicy(source_ramp=(0.5, 1.5, 1.0)).validate()
+
+    def test_negative_halvings_rejected(self):
+        with pytest.raises(AnalysisError):
+            RetryPolicy(max_step_halvings=-1).validate()
+
+    def test_bad_budgets_rejected(self):
+        with pytest.raises(AnalysisError):
+            RetryPolicy(max_wall_clock_s=-1.0).validate()
+        with pytest.raises(AnalysisError):
+            RetryPolicy(max_total_iterations=0).validate()

@@ -1,0 +1,179 @@
+"""Fault-injection tests for every rung of the DC retry ladder.
+
+Each test sabotages a chosen strategy deterministically and asserts
+the next rung rescues the solve — or, when everything is sabotaged,
+that the ConvergenceError carries the full attempt history.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.runtime import FaultPlan, FaultSpec, RetryPolicy, inject
+from repro.spice import Circuit, OperatingPoint
+from repro.spice.devices import Diode, Resistor, VoltageSource
+from repro.spice.newton import NewtonOptions, newton_solve, solve_dc_report
+
+pytestmark = pytest.mark.resilience
+
+
+def diode_circuit():
+    ckt = Circuit("t")
+    ckt.add(VoltageSource("v", "a", "0", dc=5.0))
+    ckt.add(Resistor("r", "a", "d", 1e3))
+    ckt.add(Diode("d1", "d", "0"))
+    ckt.finalize()
+    return ckt
+
+
+class TestFallbackRungs:
+    def test_newton_fails_gmin_converges(self):
+        plan = FaultPlan([FaultSpec("iteration_exhaustion",
+                                    strategy="newton")])
+        x, report = solve_dc_report(diode_circuit(), faults=plan)
+        assert report.converged
+        assert report.winning_strategy == "gmin"
+        assert report.attempts[0].strategy == "newton"
+        assert not report.attempts[0].converged
+        assert report.attempts[0].injected_fault == "iteration_exhaustion"
+        assert all(a.converged for a in report.attempts[1:])
+        assert np.all(np.isfinite(x))
+
+    def test_gmin_fails_source_converges(self):
+        plan = FaultPlan([
+            FaultSpec("iteration_exhaustion", strategy="newton"),
+            FaultSpec("singular_jacobian", strategy="gmin", count=None),
+        ])
+        x, report = solve_dc_report(diode_circuit(), faults=plan)
+        assert report.converged
+        assert report.winning_strategy == "source"
+        strategies = report.strategies_tried
+        assert strategies == ("newton", "gmin", "source")
+        # The sabotaged gmin rung died on a genuinely singular matrix.
+        gmin_attempts = [a for a in report.attempts
+                         if a.strategy == "gmin"]
+        assert len(gmin_attempts) == 1
+        assert "singular" in gmin_attempts[0].error
+
+    def test_all_fail_error_carries_history(self):
+        plan = FaultPlan([FaultSpec("iteration_exhaustion", count=None)])
+        with pytest.raises(ConvergenceError) as excinfo:
+            solve_dc_report(diode_circuit(), faults=plan)
+        error = excinfo.value
+        assert error.report is not None
+        assert not error.report.converged
+        # One newton attempt, one gmin rung, one source rung — each
+        # died on its first injected fault.
+        assert set(a.strategy for a in error.attempts) == \
+            {"newton", "gmin", "source"}
+        # Satellite: the error exposes the best attempt's counters
+        # instead of discarding them.
+        assert error.iterations is not None
+        best = error.report.best_attempt()
+        assert best is not None and error.iterations == best.iterations
+
+    def test_best_attempt_residual_threaded(self):
+        # Starve the iteration budget so every strategy runs real
+        # Newton and fails with a genuine residual.
+        opts = NewtonOptions(max_iterations=2, max_step_v=0.01)
+        policy = RetryPolicy(gmin_ladder=(1e-3,), source_ramp=(0.5, 1.0))
+        with pytest.raises(ConvergenceError) as excinfo:
+            solve_dc_report(diode_circuit(), options=opts, policy=policy)
+        error = excinfo.value
+        assert error.residual is not None
+        assert error.iterations == 2
+        assert len(error.attempts) >= 2
+        assert all(a.residual is not None for a in error.attempts)
+
+
+class TestInjectedMechanisms:
+    def test_singular_jacobian_is_real(self):
+        plan = FaultPlan([FaultSpec("singular_jacobian")])
+        ckt = diode_circuit()
+        with pytest.raises(ConvergenceError, match="singular"):
+            newton_solve(ckt, np.zeros(ckt.system_size()), faults=plan)
+
+    def test_nan_residual_is_real(self):
+        plan = FaultPlan([FaultSpec("nan_residual")])
+        ckt = diode_circuit()
+        with pytest.raises(ConvergenceError, match="non-finite"):
+            newton_solve(ckt, np.zeros(ckt.system_size()), faults=plan)
+
+    def test_ambient_plan_reaches_solver(self):
+        plan = FaultPlan([FaultSpec("iteration_exhaustion",
+                                    strategy="newton")])
+        with inject(plan):
+            _, report = solve_dc_report(diode_circuit())
+        assert report.winning_strategy == "gmin"
+        assert plan.fired_count == 1
+
+
+class TestPolicyKnobs:
+    def test_fast_fail_skips_fallbacks(self):
+        plan = FaultPlan([FaultSpec("iteration_exhaustion",
+                                    strategy="newton")])
+        with pytest.raises(ConvergenceError) as excinfo:
+            solve_dc_report(diode_circuit(), policy=RetryPolicy.fast_fail(),
+                            faults=plan)
+        assert len(excinfo.value.attempts) == 1
+
+    def test_wall_clock_budget_abandons(self):
+        plan = FaultPlan([FaultSpec("iteration_exhaustion",
+                                    strategy="newton")])
+        policy = RetryPolicy(max_wall_clock_s=0.0)
+        with pytest.raises(ConvergenceError) as excinfo:
+            solve_dc_report(diode_circuit(), policy=policy, faults=plan)
+        error = excinfo.value
+        assert error.report.abandoned_reason is not None
+        assert "wall-clock" in error.report.abandoned_reason
+        assert len(error.attempts) == 1  # no fallback rung ran
+
+    def test_iteration_budget_abandons(self):
+        plan = FaultPlan([FaultSpec("iteration_exhaustion",
+                                    strategy="newton")])
+        policy = RetryPolicy(max_total_iterations=10)
+        with pytest.raises(ConvergenceError) as excinfo:
+            solve_dc_report(diode_circuit(), policy=policy, faults=plan)
+        assert "iteration budget" in excinfo.value.report.abandoned_reason
+
+    def test_custom_ladder_is_followed(self):
+        plan = FaultPlan([FaultSpec("iteration_exhaustion",
+                                    strategy="newton")])
+        policy = RetryPolicy(gmin_ladder=(1e-4, 1e-8))
+        _, report = solve_dc_report(diode_circuit(), policy=policy,
+                                    faults=plan)
+        details = [a.detail for a in report.attempts
+                   if a.strategy == "gmin"]
+        # Two ladder rungs plus the target-gmin rung.
+        assert details == ["gmin=0.0001", "gmin=1e-08", "gmin=1e-12"]
+
+
+class TestReports:
+    def test_clean_solve_report(self):
+        x, report = solve_dc_report(diode_circuit())
+        assert report.converged
+        assert report.winning_strategy == "newton"
+        assert len(report.attempts) == 1
+        assert report.attempts[0].converged
+        assert report.attempts[0].iterations > 0
+        assert report.total_iterations == report.attempts[0].iterations
+
+    def test_operating_point_carries_report(self):
+        op = OperatingPoint(diode_circuit()).run()
+        assert op.report.converged
+        assert op.report.winning_strategy == "newton"
+
+    def test_operating_point_with_sabotage(self):
+        plan = FaultPlan([FaultSpec("iteration_exhaustion",
+                                    strategy="newton")])
+        op = OperatingPoint(diode_circuit(), faults=plan).run()
+        assert op.report.winning_strategy == "gmin"
+        assert 0.5 < op["d"] < 0.85  # solution still physical
+
+    def test_pretty_renders(self):
+        plan = FaultPlan([FaultSpec("iteration_exhaustion",
+                                    strategy="newton")])
+        _, report = solve_dc_report(diode_circuit(), faults=plan)
+        text = report.pretty("title")
+        assert "converged via gmin" in text
+        assert "injected=iteration_exhaustion" in text

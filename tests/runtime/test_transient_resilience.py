@@ -1,0 +1,106 @@
+"""Fault-injection and retry-policy tests for the transient engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.runtime import FaultPlan, FaultSpec, RetryPolicy, inject
+from repro.spice import Circuit, Transient
+from repro.spice.devices import Capacitor, Pulse, Resistor, VoltageSource
+from repro.spice.transient import TransientOptions
+
+pytestmark = pytest.mark.resilience
+
+
+def rc_circuit(tau=1e-9):
+    ckt = Circuit("rc")
+    ckt.add(VoltageSource("v", "in", "0", shape=Pulse(
+        0, 1, delay=1e-9, rise=1e-12, fall=1e-12, width=20e-9,
+        period=100e-9)))
+    ckt.add(Resistor("r", "in", "out", 1e3))
+    ckt.add(Capacitor("c", "out", "0", tau / 1e3))
+    return ckt
+
+
+class TestTransientReport:
+    def test_clean_run_has_report(self):
+        res = Transient(rc_circuit(), 3e-9).run()
+        assert res.report.steps_accepted == res.sample_count - 1
+        assert res.report.newton_failures == 0
+        assert not res.report.stalled
+        assert res.report.clean
+        assert res.report.dc_report is not None
+        assert res.report.dc_report.converged
+
+    def test_pretty_renders(self):
+        res = Transient(rc_circuit(), 3e-9).run()
+        assert "accepted" in res.report.pretty()
+
+
+class TestTimestepStallInjection:
+    def test_bounded_stall_recovers(self):
+        # Three injected stalls inside the pulse edge window: the
+        # engine must halve through them and still finish.
+        plan = FaultPlan([FaultSpec("timestep_stall",
+                                    time_window=(1.0e-9, 1.5e-9),
+                                    count=3)])
+        res = Transient(rc_circuit(), 3e-9, faults=plan).run()
+        assert res.times[-1] == pytest.approx(3e-9, rel=1e-9)
+        assert res.report.newton_failures == 3
+        assert len(res.report.injected_faults) == 3
+        assert res.report.total_halvings >= 3
+        assert not res.report.stalled
+
+    def test_recovered_waveform_still_accurate(self):
+        plan = FaultPlan([FaultSpec("timestep_stall",
+                                    time_window=(1.0e-9, 1.5e-9),
+                                    count=2)])
+        res = Transient(rc_circuit(), 6e-9, faults=plan).run()
+        w = res.wave("out")
+        assert w.value_at(2e-9) == pytest.approx(1 - np.exp(-1), abs=0.02)
+
+    def test_unbounded_stall_raises_with_report(self):
+        plan = FaultPlan([FaultSpec("timestep_stall",
+                                    time_window=(1.0e-9, 2.0e-9),
+                                    count=None)])
+        with pytest.raises(ConvergenceError, match="stalled") as excinfo:
+            Transient(rc_circuit(), 3e-9, faults=plan).run()
+        report = excinfo.value.report
+        assert report is not None
+        assert report.stalled
+        assert report.newton_failures > 0
+
+    def test_ambient_plan_reaches_transient(self):
+        plan = FaultPlan([FaultSpec("timestep_stall",
+                                    time_window=(1.0e-9, 1.5e-9),
+                                    count=1)])
+        with inject(plan):
+            res = Transient(rc_circuit(), 3e-9).run()
+        assert res.report.newton_failures == 1
+        assert plan.fired_count == 1
+
+
+class TestHalvingBudget:
+    def test_budget_bounds_grinding(self):
+        # A zero-halving budget turns the first injected failure into
+        # an immediate, well-described stall instead of a grind to
+        # h_min.
+        plan = FaultPlan([FaultSpec("timestep_stall",
+                                    time_window=(1.0e-9, 2.0e-9),
+                                    count=None)])
+        options = TransientOptions(policy=RetryPolicy(max_step_halvings=0))
+        with pytest.raises(ConvergenceError, match="halving budget"):
+            Transient(rc_circuit(), 3e-9, options, faults=plan).run()
+
+    def test_budget_resets_on_accepted_step(self):
+        # Two isolated single stalls far apart must not accumulate
+        # against a budget of one.
+        plan = FaultPlan([FaultSpec("timestep_stall",
+                                    time_window=(1.0e-9, 1.1e-9), count=1),
+                          FaultSpec("timestep_stall",
+                                    time_window=(2.0e-9, 2.1e-9),
+                                    count=1)])
+        options = TransientOptions(policy=RetryPolicy(max_step_halvings=1))
+        res = Transient(rc_circuit(), 3e-9, options, faults=plan).run()
+        assert res.report.newton_failures == 2
+        assert res.times[-1] == pytest.approx(3e-9, rel=1e-9)

@@ -226,6 +226,13 @@ class TestJacobianConsistency:
         current, gdd, gdg, gds, gdb = device.evaluate(vd, vg, vs, vb)
         h = 1e-7
         scale = max(abs(current), 1e-12)
+        # Central differences cannot resolve a Jacobian entry much
+        # smaller than eps * (dominant term) / h: near Vds = 0 the EKV
+        # current is a difference of two large F() values, so the FD
+        # reference bottoms out in cancellation noise around
+        # gmax * h even when the analytic value is exact.
+        gmax = max(abs(gdd), abs(gdg), abs(gds), abs(gdb))
+        floor = max(scale * 1e-4, gmax * h)
         for index, analytic in ((0, gdd), (1, gdg), (2, gds), (3, gdb)):
             args = [vd, vg, vs, vb]
             args[index] += h
@@ -234,7 +241,7 @@ class TestJacobianConsistency:
             down = device.evaluate(*args)[0]
             numeric = (up - down) / (2 * h)
             assert analytic == pytest.approx(
-                numeric, rel=5e-3, abs=scale * 1e-4), (
+                numeric, rel=5e-3, abs=floor), (
                 f"terminal {index} at {vd=}, {vg=}, {vs=}, {vb=}")
 
     def test_bulk_derivative_is_negative_sum(self, nmos):

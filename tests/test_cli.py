@@ -74,6 +74,15 @@ class TestCommands:
         assert code == 0
         assert "VOH" in out and "NML" in out
 
+    @pytest.mark.resilience
+    def test_check_self_test(self, capsys):
+        code = main(["check", "--runs", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FAIL" not in out
+        assert "quarantine names exactly the injected indices" in out
+        assert "check passed" in out
+
     def test_vcd_to_file(self, tmp_path):
         target = tmp_path / "wave.vcd"
         code = main(["vcd", "sstvs", "-o", str(target)])
