@@ -1,0 +1,175 @@
+"""Reproducible performance benchmarks (``repro bench``).
+
+Two fixed workloads track the simulation core's throughput across PRs:
+
+* **mc** — ``run_monte_carlo("sstvs", 0.8, 1.2)`` at a configurable
+  sample count (100 for the headline number), serial and with a
+  process pool;
+* **sweep** — the Figure-8 delay surface
+  (``sweep_delay_surface("sstvs", SweepGrid.with_step(0.1))``),
+  single-threaded, which isolates the assembly-caching speedup from
+  parallelism.
+
+Each workload records wall time and, for in-process runs, the global
+Newton counters from :func:`repro.spice.newton.solve_stats` as a
+solves-per-second rate (pool workers count in their own processes, so
+parallel runs report wall time only). Results serialize to a
+``BENCH_*.json`` trajectory file embedding the measured pre-PR2
+baselines, and :func:`check_regression` turns the file into a guard:
+``repro bench --check`` fails when solves/sec drops more than 30%
+below the stored baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.spice.newton import reset_solve_stats, solve_stats
+
+#: JSON schema tag for the trajectory file.
+BENCH_SCHEMA = "repro-bench-v1"
+
+#: Wall times measured on this PR's parent commit (serial engine,
+#: per-iteration full re-stamp) for the two headline workloads.
+PRE_PR2_BASELINE = {
+    "mc100_serial_wall_s": 103.78970726900025,
+    "fig8_sweep_wall_s": 37.56612051900038,
+}
+
+#: ``--check`` fails when solves/sec drops below (1 - this) x baseline.
+REGRESSION_TOLERANCE = 0.30
+
+
+def _rates(wall_s: float) -> dict:
+    stats = solve_stats()
+    return {
+        "solves": stats["solves"],
+        "newton_iterations": stats["iterations"],
+        "solves_per_s": (stats["solves"] / wall_s) if wall_s > 0 else None,
+    }
+
+
+def bench_monte_carlo(runs: int = 100, workers: int = 1,
+                      kind: str = "sstvs", vddi: float = 0.8,
+                      vddo: float = 1.2, seed: int = 20080310) -> dict:
+    """Time one Monte Carlo campaign; returns a result record."""
+    from repro.analysis.montecarlo import MonteCarloConfig, run_monte_carlo
+    config = MonteCarloConfig(runs=runs, seed=seed, workers=workers)
+    reset_solve_stats()
+    started = time.perf_counter()
+    result = run_monte_carlo(kind, vddi, vddo, config)
+    wall_s = time.perf_counter() - started
+    record = {
+        "workload": "mc",
+        "kind": kind,
+        "vddi": vddi,
+        "vddo": vddo,
+        "runs": runs,
+        "workers": workers,
+        "wall_s": wall_s,
+        "functional_yield": result.functional_yield,
+        "quarantined": len(result.failures),
+    }
+    if workers <= 1:
+        record.update(_rates(wall_s))
+    record["_samples"] = result.samples  # stripped before serialization
+    return record
+
+
+def bench_sweep(step: float = 0.1, workers: int = 1,
+                kind: str = "sstvs") -> dict:
+    """Time one delay-surface sweep; returns a result record."""
+    from repro.analysis.sweep import SweepGrid, sweep_delay_surface
+    grid = SweepGrid.with_step(step)
+    reset_solve_stats()
+    started = time.perf_counter()
+    surface = sweep_delay_surface(kind, grid, workers=workers)
+    wall_s = time.perf_counter() - started
+    record = {
+        "workload": "sweep",
+        "kind": kind,
+        "step": step,
+        "grid_points": int(surface.functional.size),
+        "workers": workers,
+        "wall_s": wall_s,
+        "functional_fraction": surface.functional_fraction,
+    }
+    if workers <= 1:
+        record.update(_rates(wall_s))
+    return record
+
+
+def run_bench_suite(mc_runs: int = 100, sweep_step: float = 0.1,
+                    workers: int = 4) -> dict:
+    """Run the full benchmark suite; returns the trajectory record.
+
+    Runs the Monte Carlo workload serially and with ``workers``
+    processes (verifying the two produce identical samples), plus the
+    single-threaded sweep, and relates the wall times to the stored
+    pre-PR2 baselines.
+    """
+    mc_serial = bench_monte_carlo(runs=mc_runs, workers=1)
+    mc_parallel = bench_monte_carlo(runs=mc_runs, workers=workers)
+    mc_parallel["identical_to_serial"] = (
+        mc_parallel.pop("_samples") == mc_serial.pop("_samples"))
+    sweep = bench_sweep(step=sweep_step, workers=1)
+
+    baseline = dict(PRE_PR2_BASELINE)
+    speedups = {}
+    if mc_runs == 100:
+        speedups["mc100_parallel_vs_pre_pr2"] = (
+            baseline["mc100_serial_wall_s"] / mc_parallel["wall_s"])
+        speedups["mc100_serial_vs_pre_pr2"] = (
+            baseline["mc100_serial_wall_s"] / mc_serial["wall_s"])
+    if sweep_step == 0.1:
+        speedups["fig8_sweep_single_thread_vs_pre_pr2"] = (
+            baseline["fig8_sweep_wall_s"] / sweep["wall_s"])
+    return {
+        "schema": BENCH_SCHEMA,
+        "workloads": {
+            "mc_serial": mc_serial,
+            "mc_parallel": mc_parallel,
+            "sweep": sweep,
+        },
+        "baseline_pre_pr2": baseline,
+        "speedups": speedups,
+    }
+
+
+def check_regression(current: dict, baseline: dict,
+                     tolerance: float = REGRESSION_TOLERANCE) -> list[str]:
+    """Compare solves/sec between two trajectory records.
+
+    Returns a list of human-readable regression messages (empty when
+    every workload holds up). Only workloads present in both records
+    with an in-process ``solves_per_s`` rate are compared.
+    """
+    problems = []
+    base_workloads = baseline.get("workloads", {})
+    for name, record in current.get("workloads", {}).items():
+        rate = record.get("solves_per_s")
+        base_rate = base_workloads.get(name, {}).get("solves_per_s")
+        if rate is None or base_rate is None or base_rate <= 0:
+            continue
+        floor = (1.0 - tolerance) * base_rate
+        if rate < floor:
+            problems.append(
+                f"{name}: {rate:.1f} solves/s is "
+                f"{100.0 * (1.0 - rate / base_rate):.1f}% below the "
+                f"baseline {base_rate:.1f} (tolerance {tolerance:.0%})")
+    return problems
+
+
+def write_trajectory(record: dict, path: str) -> None:
+    """Serialize a suite record to ``path`` (samples stripped)."""
+    clean = json.loads(json.dumps(
+        record, default=lambda o: None))  # drop non-serializable leftovers
+    with open(path, "w") as handle:
+        json.dump(clean, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_trajectory(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)

@@ -15,6 +15,7 @@ from repro.core.metrics import METRIC_FIELDS, ShifterMetrics
 from repro.errors import AnalysisError
 from repro.pdk import CORNER_SHIFTS, CornerPdk
 from repro.runtime.campaign import CampaignDiagnostics, SampleFailure
+from repro.runtime.parallel import parallel_map
 from repro.units import format_eng
 
 DEFAULT_CORNERS = tuple(sorted(CORNER_SHIFTS))
@@ -92,26 +93,47 @@ class PvtReport:
         return "\n".join(lines)
 
 
+def _point_worker(task: tuple):
+    """Characterize one PVT point; shared by serial and pool paths."""
+    order, corner, temp, kind, vddi, vddo, plan, sizing = task
+    pdk = CornerPdk(corner, temperature_c=temp)
+    try:
+        metrics = characterize(pdk, kind, vddi, vddo, plan=plan,
+                               sizing=sizing)
+    except Exception as exc:
+        return ("err", order, corner, temp,
+                f"{type(exc).__name__}: {exc}")
+    return ("ok", order, corner, temp, metrics)
+
+
 def pvt_report(kind: str, vddi: float, vddo: float,
                corners=DEFAULT_CORNERS, temperatures=DEFAULT_TEMPS,
                plan: StimulusPlan | None = None,
-               sizing=None) -> PvtReport:
-    """Characterize at every (corner, temperature) combination."""
+               sizing=None, workers: int = 1,
+               chunk_size: int | None = None) -> PvtReport:
+    """Characterize at every (corner, temperature) combination.
+
+    ``workers > 1`` distributes PVT points over a process pool; the
+    report lists points in the same (corner-major) order either way.
+    """
     report = PvtReport(kind=kind, vddi=vddi, vddo=vddo)
     nan = float("nan")
-    for corner in corners:
-        for temp in temperatures:
-            pdk = CornerPdk(corner, temperature_c=temp)
-            try:
-                metrics = characterize(pdk, kind, vddi, vddo, plan=plan,
-                                       sizing=sizing)
-            except KeyboardInterrupt:
-                raise
-            except Exception as exc:
-                report.failures.append(SampleFailure(
-                    index=(corner, float(temp)), stage="characterize",
-                    error=f"{type(exc).__name__}: {exc}"))
-                metrics = ShifterMetrics(nan, nan, nan, nan, nan, nan,
-                                         functional=False)
-            report.points.append(PvtPoint(corner, temp, metrics))
+    tasks = [(order, corner, temp, kind, vddi, vddo, plan, sizing)
+             for order, (corner, temp) in enumerate(
+                 (c, t) for c in corners for t in temperatures)]
+    outcomes = sorted(
+        parallel_map(_point_worker, tasks, workers=workers,
+                     chunk_size=chunk_size),
+        key=lambda o: o[1])
+    for outcome in outcomes:
+        if outcome[0] == "err":
+            _, _, corner, temp, message = outcome
+            report.failures.append(SampleFailure(
+                index=(corner, float(temp)), stage="characterize",
+                error=message))
+            metrics = ShifterMetrics(nan, nan, nan, nan, nan, nan,
+                                     functional=False)
+        else:
+            _, _, corner, temp, metrics = outcome
+        report.points.append(PvtPoint(corner, temp, metrics))
     return report

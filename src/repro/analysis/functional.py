@@ -17,6 +17,7 @@ from repro.analysis.sweep import SweepGrid
 from repro.core.characterize import quick_delays
 from repro.pdk import Pdk
 from repro.runtime.campaign import SampleFailure
+from repro.runtime.parallel import parallel_map
 
 
 @dataclass
@@ -49,30 +50,50 @@ class FunctionalReport:
         return text
 
 
+def _pair_worker(task: tuple):
+    """Validate one (VDDI, VDDO) pair; shared by serial and pool paths."""
+    order, vddi, vddo, kind, pdk, sizing = task
+    try:
+        q = quick_delays(pdk, kind, vddi, vddo, sizing=sizing)
+    except Exception as exc:
+        return ("err", order, vddi, vddo,
+                f"{type(exc).__name__}: {exc}")
+    return ("ok", order, vddi, vddo, q.functional)
+
+
 def validate_functionality(kind: str, grid: SweepGrid | None = None,
-                           pdk: Pdk | None = None,
-                           sizing=None) -> FunctionalReport:
-    """Check correct level conversion at every grid point."""
+                           pdk: Pdk | None = None, sizing=None,
+                           workers: int = 1,
+                           chunk_size: int | None = None
+                           ) -> FunctionalReport:
+    """Check correct level conversion at every grid point.
+
+    ``workers > 1`` distributes pairs over a process pool; the report
+    is identical to a serial run (results are re-sorted into row-major
+    grid order before accounting).
+    """
     grid = grid or SweepGrid.with_step(0.1)
     pdk = pdk or Pdk()
     report = FunctionalReport(kind=kind)
-    for vddi in grid.vddi_values:
-        for vddo in grid.vddo_values:
-            report.total += 1
-            try:
-                q = quick_delays(pdk, kind, float(vddi), float(vddo),
-                                 sizing=sizing)
-            except KeyboardInterrupt:
-                raise
-            except Exception as exc:
-                pair = (float(vddi), float(vddo))
-                report.failures.append(pair)
-                report.solver_escapes.append(SampleFailure(
-                    index=pair, stage="quick_delays",
-                    error=f"{type(exc).__name__}: {exc}"))
-                continue
-            if q.functional:
-                report.passed += 1
-            else:
-                report.failures.append((float(vddi), float(vddo)))
+    tasks = [(order, float(vddi), float(vddo), kind, pdk, sizing)
+             for order, (vddi, vddo) in enumerate(
+                 (vi, vo) for vi in grid.vddi_values
+                 for vo in grid.vddo_values)]
+    outcomes = sorted(
+        parallel_map(_pair_worker, tasks, workers=workers,
+                     chunk_size=chunk_size),
+        key=lambda o: o[1])
+    for outcome in outcomes:
+        report.total += 1
+        if outcome[0] == "err":
+            _, _, vddi, vddo, message = outcome
+            report.failures.append((vddi, vddo))
+            report.solver_escapes.append(SampleFailure(
+                index=(vddi, vddo), stage="quick_delays", error=message))
+            continue
+        _, _, vddi, vddo, functional = outcome
+        if functional:
+            report.passed += 1
+        else:
+            report.failures.append((vddi, vddo))
     return report

@@ -38,6 +38,7 @@ from repro.errors import AnalysisError
 from repro.pdk.variation import VariationSpec, VariedPdk
 from repro.runtime.campaign import CampaignDiagnostics, SampleFailure
 from repro.runtime.faults import FaultPlan, inject
+from repro.runtime.parallel import parallel_map
 
 
 @dataclass
@@ -54,12 +55,22 @@ class MonteCarloConfig:
     #: Abort (AnalysisError) once this many samples have been
     #: quarantined; None = never abort, quarantine everything.
     max_failures: int | None = None
+    #: Process-pool width; 1 (the default) runs serially in-process.
+    #: Parallel results are bitwise identical to serial ones because
+    #: per-sample seeds derive from the sample index alone. Campaigns
+    #: with a fault plan are forced serial (plans count firings in
+    #: mutable in-process state).
+    workers: int = 1
+    #: Samples per pool submission; None picks ~4 chunks per worker.
+    chunk_size: int | None = None
 
     def validate(self) -> None:
         if self.runs < 1:
             raise AnalysisError("Monte Carlo needs at least one run")
         if self.max_failures is not None and self.max_failures < 0:
             raise AnalysisError("max_failures must be >= 0 or None")
+        if self.workers < 1:
+            raise AnalysisError("workers must be >= 1")
 
 
 @dataclass
@@ -109,6 +120,28 @@ class MonteCarloResult:
         return self.diagnostics().summary(limit=limit)
 
 
+def _sample_worker(task: tuple):
+    """Run one Monte Carlo sample; shared by serial and pool paths.
+
+    Module-level so the process pool can pickle it by reference.
+    Derives everything (including randomness) from the task tuple, so
+    a pool worker computes bit-for-bit what the serial loop would.
+    Per-sample failures are encoded in the return value rather than
+    raised — quarantine must survive the pool boundary.
+    """
+    (index, seed, temperature_c, spec, plan, kind, vddi, vddo,
+     sizing) = task
+    rng = np.random.default_rng(np.random.SeedSequence([seed, index]))
+    pdk = VariedPdk(rng, spec, temperature_c=temperature_c)
+    try:
+        metrics = characterize(pdk, kind, vddi, vddo, plan=plan,
+                               sizing=sizing)
+    except Exception as exc:
+        return ("err", index, "characterize",
+                f"{type(exc).__name__}: {exc}")
+    return ("ok", index, metrics)
+
+
 def run_monte_carlo(kind: str, vddi: float, vddo: float,
                     config: MonteCarloConfig | None = None,
                     sizing=None,
@@ -156,44 +189,66 @@ def run_monte_carlo(kind: str, vddi: float, vddo: float,
                 f"exceed max_failures={config.max_failures}; last: "
                 f"{failures[-1].describe()}")
 
+    def _progress(index: int, metrics: ShifterMetrics) -> None:
+        nonlocal progress_broken
+        if progress is None or progress_broken:
+            return
+        try:
+            progress(index, metrics)
+        except Exception as exc:
+            progress_broken = True
+            warnings.warn(
+                f"Monte Carlo progress callback raised "
+                f"{type(exc).__name__}: {exc}; further calls "
+                f"suppressed, campaign continues", RuntimeWarning,
+                stacklevel=3)
+
     try:
-        for index in range(config.runs):
-            if index in done:
-                continue
-            if faults is not None and faults.fires("sample_failure",
-                                                   sample=index):
-                _quarantine(index, "injected", "injected sample failure")
-                continue
-            rng = np.random.default_rng(
-                np.random.SeedSequence([config.seed, index]))
-            pdk = VariedPdk(rng, config.spec,
-                            temperature_c=config.temperature_c)
-            try:
-                if faults is not None:
+        if faults is not None:
+            # Fault campaigns count firings in mutable in-process state
+            # and scope the ambient plan per sample; both are invisible
+            # across a pool boundary, so they always run serially.
+            for index in range(config.runs):
+                if index in done:
+                    continue
+                if faults.fires("sample_failure", sample=index):
+                    _quarantine(index, "injected",
+                                "injected sample failure")
+                    continue
+                rng = np.random.default_rng(
+                    np.random.SeedSequence([config.seed, index]))
+                pdk = VariedPdk(rng, config.spec,
+                                temperature_c=config.temperature_c)
+                try:
                     with faults.sample_scope(index), inject(faults):
                         metrics = characterize(pdk, kind, vddi, vddo,
                                                plan=config.plan,
                                                sizing=sizing)
-                else:
-                    metrics = characterize(pdk, kind, vddi, vddo,
-                                           plan=config.plan, sizing=sizing)
-            except KeyboardInterrupt:
-                raise
-            except Exception as exc:
-                _quarantine(index, "characterize",
-                            f"{type(exc).__name__}: {exc}")
-                continue
-            completed.append((index, metrics))
-            if progress is not None and not progress_broken:
-                try:
-                    progress(index, metrics)
+                except KeyboardInterrupt:
+                    raise
                 except Exception as exc:
-                    progress_broken = True
-                    warnings.warn(
-                        f"Monte Carlo progress callback raised "
-                        f"{type(exc).__name__}: {exc}; further calls "
-                        f"suppressed, campaign continues", RuntimeWarning,
-                        stacklevel=2)
+                    _quarantine(index, "characterize",
+                                f"{type(exc).__name__}: {exc}")
+                    continue
+                completed.append((index, metrics))
+                _progress(index, metrics)
+        else:
+            tasks = [(index, config.seed, config.temperature_c,
+                      config.spec, config.plan, kind, vddi, vddo, sizing)
+                     for index in range(config.runs) if index not in done]
+            # Serial and parallel share _sample_worker, so a pool run is
+            # sample-for-sample identical to workers=1; only the arrival
+            # order of results (and progress callbacks) differs.
+            for outcome in parallel_map(_sample_worker, tasks,
+                                        workers=config.workers,
+                                        chunk_size=config.chunk_size):
+                if outcome[0] == "ok":
+                    _, index, metrics = outcome
+                    completed.append((index, metrics))
+                    _progress(index, metrics)
+                else:
+                    _, index, stage, message = outcome
+                    _quarantine(index, stage, message)
     except KeyboardInterrupt:
         interrupted = True
 

@@ -17,6 +17,7 @@ from repro.core.characterize import quick_delays
 from repro.errors import AnalysisError
 from repro.pdk import Pdk
 from repro.runtime.campaign import CampaignDiagnostics, SampleFailure
+from repro.runtime.parallel import parallel_map
 
 #: The paper's DVS operating range [V].
 VDD_MIN = 0.8
@@ -100,10 +101,27 @@ class DelaySurface:
         return True
 
 
+def _cell_worker(task: tuple):
+    """Simulate one grid cell; shared by the serial and pool paths."""
+    i, j, vddi, vddo, kind, pdk, sizing = task
+    try:
+        q = quick_delays(pdk, kind, vddi, vddo, sizing=sizing)
+    except Exception as exc:
+        return ("err", i, j, f"{type(exc).__name__}: {exc}")
+    return ("ok", i, j, q)
+
+
 def sweep_delay_surface(kind: str, grid: SweepGrid | None = None,
                         pdk: Pdk | None = None, sizing=None,
-                        progress=None) -> DelaySurface:
-    """Run :func:`quick_delays` over the grid; returns the surfaces."""
+                        progress=None, workers: int = 1,
+                        chunk_size: int | None = None) -> DelaySurface:
+    """Run :func:`quick_delays` over the grid; returns the surfaces.
+
+    ``workers > 1`` distributes grid cells over a process pool; cell
+    results are identical to a serial run, but ``progress`` fires in
+    completion order (with the cell indices attached) rather than
+    row-major order.
+    """
     grid = grid or SweepGrid()
     pdk = pdk or Pdk()
     shape = (grid.vddi_values.size, grid.vddo_values.size)
@@ -112,31 +130,31 @@ def sweep_delay_surface(kind: str, grid: SweepGrid | None = None,
     functional = np.zeros(shape, dtype=bool)
     failures: list[SampleFailure] = []
     progress_broken = False
-    for i, vddi in enumerate(grid.vddi_values):
-        for j, vddo in enumerate(grid.vddo_values):
+    tasks = [(i, j, float(vddi), float(vddo), kind, pdk, sizing)
+             for i, vddi in enumerate(grid.vddi_values)
+             for j, vddo in enumerate(grid.vddo_values)]
+    for outcome in parallel_map(_cell_worker, tasks, workers=workers,
+                                chunk_size=chunk_size):
+        if outcome[0] == "err":
+            _, i, j, message = outcome
+            failures.append(SampleFailure(
+                index=(i, j), stage="quick_delays", error=message))
+            continue
+        _, i, j, q = outcome
+        rise[i, j] = q.delay_rise
+        fall[i, j] = q.delay_fall
+        functional[i, j] = q.functional
+        if progress is not None and not progress_broken:
             try:
-                q = quick_delays(pdk, kind, float(vddi), float(vddo),
-                                 sizing=sizing)
-            except KeyboardInterrupt:
-                raise
+                progress(i, j, q)
             except Exception as exc:
-                failures.append(SampleFailure(
-                    index=(i, j), stage="quick_delays",
-                    error=f"{type(exc).__name__}: {exc}"))
-                continue
-            rise[i, j] = q.delay_rise
-            fall[i, j] = q.delay_fall
-            functional[i, j] = q.functional
-            if progress is not None and not progress_broken:
-                try:
-                    progress(i, j, q)
-                except Exception as exc:
-                    progress_broken = True
-                    warnings.warn(
-                        f"sweep progress callback raised "
-                        f"{type(exc).__name__}: {exc}; further calls "
-                        f"suppressed, sweep continues", RuntimeWarning,
-                        stacklevel=2)
+                progress_broken = True
+                warnings.warn(
+                    f"sweep progress callback raised "
+                    f"{type(exc).__name__}: {exc}; further calls "
+                    f"suppressed, sweep continues", RuntimeWarning,
+                    stacklevel=2)
+    failures.sort(key=lambda f: f.index)
     return DelaySurface(grid.vddi_values.copy(), grid.vddo_values.copy(),
                         rise, fall, functional, failures=failures)
 

@@ -9,8 +9,13 @@ Commands map one-to-one onto the library's experiment entry points:
 * ``functional`` — the full-grid conversion check;
 * ``area`` — Figure 7 cell-area estimates;
 * ``liberty`` — NLDM characterization to a .lib-like file;
+* ``bench`` — timed benchmark workloads (and ``--check`` regression guard);
 * ``check`` — fault-injected self-test of the resilient solver runtime;
 * ``vcd`` — dump a characterization transient as VCD.
+
+Campaign commands (``sweep``, ``mc``, ``functional``, ``pvt``) accept
+``--workers N`` to distribute samples over a process pool; results are
+identical to a serial run.
 """
 
 from __future__ import annotations
@@ -28,6 +33,11 @@ def _add_voltage_args(parser) -> None:
                         help="input-domain supply [V]")
     parser.add_argument("--vddo", type=float, default=1.2,
                         help="output-domain supply [V]")
+
+
+def _add_workers_arg(parser) -> None:
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool width (1 = serial)")
 
 
 def _print_metrics(metrics, title: str) -> None:
@@ -63,7 +73,8 @@ def cmd_sweep(args) -> int:
         SweepGrid, render_surface_ascii, sweep_delay_surface,
     )
     surface = sweep_delay_surface(args.kind,
-                                  SweepGrid.with_step(args.step))
+                                  SweepGrid.with_step(args.step),
+                                  workers=args.workers)
     print("Rising delay [ps]:")
     print(render_surface_ascii(surface, "rise"))
     print("\nFalling delay [ps]:")
@@ -75,7 +86,8 @@ def cmd_sweep(args) -> int:
 def cmd_mc(args) -> int:
     from repro.analysis import MonteCarloConfig, run_monte_carlo
     config = MonteCarloConfig(runs=args.runs, seed=args.seed,
-                              temperature_c=args.temp)
+                              temperature_c=args.temp,
+                              workers=args.workers)
     result = run_monte_carlo(args.kind, args.vddi, args.vddo, config)
     title = (f"{args.kind} MC, {args.vddi} -> {args.vddo} V, "
              f"{args.runs} runs, {args.temp} C")
@@ -91,7 +103,8 @@ def cmd_mc(args) -> int:
 def cmd_functional(args) -> int:
     from repro.analysis import SweepGrid, validate_functionality
     report = validate_functionality(args.kind,
-                                    SweepGrid.with_step(args.step))
+                                    SweepGrid.with_step(args.step),
+                                    workers=args.workers)
     print(report.summary())
     return 0 if report.all_passed else 1
 
@@ -144,7 +157,8 @@ def cmd_vtc(args) -> int:
 
 def cmd_pvt(args) -> int:
     from repro.analysis import pvt_report
-    report = pvt_report(args.kind, args.vddi, args.vddo)
+    report = pvt_report(args.kind, args.vddi, args.vddo,
+                        workers=args.workers)
     print(report.pretty())
     return 0 if report.all_functional else 1
 
@@ -163,6 +177,47 @@ def cmd_vcd(args) -> int:
         handle.write(text)
     print(f"wrote {args.output} ({len(nodes)} signals, "
           f"{result.sample_count} samples)")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Timed benchmark workloads; writes a BENCH_*.json trajectory.
+
+    With ``--check``, instead compares a fresh run against the stored
+    trajectory and exits nonzero when solves/sec regressed more than
+    30% on any workload.
+    """
+    from repro.analysis.bench import (
+        check_regression, load_trajectory, run_bench_suite,
+        write_trajectory,
+    )
+    record = run_bench_suite(mc_runs=args.runs, sweep_step=args.step,
+                             workers=args.workers)
+    for name, workload in record["workloads"].items():
+        line = f"  {name:12s} {workload['wall_s']:8.2f} s"
+        if workload.get("solves_per_s"):
+            line += f"  ({workload['solves_per_s']:7.1f} solves/s)"
+        print(line)
+    for name, ratio in record["speedups"].items():
+        print(f"  speedup {name}: {ratio:.2f}x")
+    if not record["workloads"]["mc_parallel"]["identical_to_serial"]:
+        print("FAIL: parallel MC samples differ from serial run")
+        return 1
+    if args.check:
+        try:
+            baseline = load_trajectory(args.output)
+        except OSError as exc:
+            print(f"cannot load baseline {args.output}: {exc}")
+            return 1
+        problems = check_regression(record, baseline)
+        for problem in problems:
+            print(f"REGRESSION: {problem}")
+        if problems:
+            return 1
+        print(f"no throughput regression vs {args.output}")
+        return 0
+    write_trajectory(record, args.output)
+    print(f"wrote {args.output}")
     return 0
 
 
@@ -275,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="delay surfaces (Figures 8/9)")
     p.add_argument("kind", nargs="?", default="sstvs", choices=KINDS)
     p.add_argument("--step", type=float, default=0.2)
+    _add_workers_arg(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("mc", help="Monte Carlo statistics (Tables 3/4)")
@@ -282,11 +338,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_voltage_args(p)
     p.add_argument("--runs", type=int, default=25)
     p.add_argument("--seed", type=int, default=20080310)
+    _add_workers_arg(p)
     p.set_defaults(func=cmd_mc)
 
     p = sub.add_parser("functional", help="full-grid conversion check")
     p.add_argument("kind", nargs="?", default="sstvs", choices=KINDS)
     p.add_argument("--step", type=float, default=0.2)
+    _add_workers_arg(p)
     p.set_defaults(func=cmd_functional)
 
     p = sub.add_parser("area", help="cell-area estimates (Figure 7)")
@@ -306,7 +364,23 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("pvt", help="process-corner x temperature report")
     p.add_argument("kind", nargs="?", default="sstvs", choices=KINDS)
     _add_voltage_args(p)
+    _add_workers_arg(p)
     p.set_defaults(func=cmd_pvt)
+
+    p = sub.add_parser("bench", help="timed benchmark workloads")
+    p.add_argument("--runs", type=int, default=100,
+                   help="Monte Carlo workload sample count")
+    p.add_argument("--step", type=float, default=0.1,
+                   help="sweep workload grid step [V]")
+    p.add_argument("--output", "-o", default="BENCH_PR2.json",
+                   help="trajectory file to write (or compare against)")
+    p.add_argument("--check", action="store_true",
+                   help="compare against the stored trajectory instead "
+                        "of overwriting it; fail on >30%% solves/sec "
+                        "regression")
+    p.add_argument("--workers", type=int, default=4,
+                   help="pool width for the parallel MC workload")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("check", help="fault-injected solver self-test")
     p.add_argument("--runs", type=int, default=6,

@@ -16,7 +16,10 @@ that make every solve survivable and observable:
   Jacobians, NaN residuals, iteration exhaustion, timestep stalls,
   whole-sample failures) so the fallback ladder is actually testable;
 * :class:`CampaignDiagnostics` / :class:`SampleFailure` — per-campaign
-  aggregation of quarantined samples for the analysis drivers.
+  aggregation of quarantined samples for the analysis drivers;
+* :func:`parallel_map` — seed-stable process-pool execution of
+  campaign samples, with chunked submission and completion-order
+  delivery, identical to serial execution at ``workers = 1``.
 
 This package deliberately depends only on :mod:`repro.errors` (plus
 the standard library), so the solver layers can import it freely.
@@ -27,6 +30,7 @@ from repro.runtime.faults import (
     FAULT_KINDS, FaultPlan, FaultSpec, SOLVE_FAULT_KINDS, active_plan,
     inject,
 )
+from repro.runtime.parallel import default_chunk_size, parallel_map
 from repro.runtime.policy import (
     DEFAULT_GMIN_LADDER, DEFAULT_SOURCE_RAMP, RetryPolicy,
 )
@@ -46,5 +50,7 @@ __all__ = [
     "SolveReport",
     "TransientReport",
     "active_plan",
+    "default_chunk_size",
     "inject",
+    "parallel_map",
 ]

@@ -1,0 +1,93 @@
+"""Seed-stable parallel campaign execution.
+
+Campaign drivers (Monte Carlo, delay-surface sweeps, functional grids,
+PVT corners) are embarrassingly parallel: every sample is identified by
+a small picklable task tuple and derives all of its randomness from the
+task itself (e.g. ``SeedSequence([seed, index])``), never from shared
+state. :func:`parallel_map` exploits that: the *same* module-level
+worker function runs in-process when ``workers <= 1`` and in a process
+pool otherwise, so parallel results are bitwise identical to serial
+ones, sample for sample.
+
+Design points:
+
+* **Chunked submission** — tasks are grouped into chunks so per-task
+  IPC overhead stays small relative to sample runtime; a chunk is one
+  pickled round trip.
+* **Completion order** — results are yielded as their chunk finishes,
+  not in task order. Workers embed the sample index in their return
+  value, and drivers sort at the end, so ordering is an observability
+  property (progress callbacks), not a correctness one.
+* **Interrupt safety** — when the consumer stops iterating (Ctrl-C, an
+  abort threshold), the generator's cleanup cancels outstanding chunks
+  and shuts the pool down without waiting, preserving the
+  partial-result semantics of the serial path.
+* **Worker exceptions propagate** in both modes. Campaigns that must
+  quarantine per-sample failures catch them *inside* the worker and
+  encode them in the return value; an exception escaping the worker is
+  an engine bug, not a sample failure.
+
+Fault-injection campaigns (:class:`~repro.runtime.faults.FaultPlan`)
+must stay serial: plans count firings in mutable in-process state that
+a pool cannot share. Drivers force ``workers = 1`` when a plan is
+attached.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def _run_chunk(worker: Callable, chunk: Sequence) -> list:
+    return [worker(task) for task in chunk]
+
+
+def default_chunk_size(n_tasks: int, workers: int) -> int:
+    """Roughly four chunks per worker, so stragglers rebalance."""
+    return max(1, -(-n_tasks // (workers * 4)))
+
+
+def parallel_map(worker: Callable[[T], R], tasks: Iterable[T], *,
+                 workers: int = 1,
+                 chunk_size: int | None = None) -> Iterator[R]:
+    """Yield ``worker(task)`` for every task, possibly from a pool.
+
+    Args:
+        worker: a *module-level* function (pickled by reference for the
+            pool path). It must derive everything from its task
+            argument; results must be picklable.
+        tasks: task values; consumed eagerly.
+        workers: ``<= 1`` runs serially in-process (no pool, no pickle,
+            task order preserved) — the behavior-identical default.
+        chunk_size: tasks per pool submission; default
+            :func:`default_chunk_size`.
+
+    Yields results in completion order (== task order when serial).
+    """
+    tasks = list(tasks)
+    if workers is None or workers <= 1 or len(tasks) <= 1:
+        for task in tasks:
+            yield worker(task)
+        return
+    if chunk_size is None:
+        chunk_size = default_chunk_size(len(tasks), workers)
+    chunks = [tasks[i:i + chunk_size]
+              for i in range(0, len(tasks), chunk_size)]
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
+    executor = ProcessPoolExecutor(max_workers=min(workers, len(chunks)),
+                                   mp_context=ctx)
+    try:
+        futures = [executor.submit(_run_chunk, worker, chunk)
+                   for chunk in chunks]
+        for future in as_completed(futures):
+            for result in future.result():
+                yield result
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)

@@ -43,6 +43,9 @@ class Circuit:
         self._node_index: dict[str, int] = {}
         self._branch_owner: dict[str, int] = {}
         self._frozen = False
+        self._stamp_partition = None
+        self._nonlinear_cache = None
+        self._assembly_plan = None
 
     # -- construction ---------------------------------------------------
 
@@ -118,10 +121,17 @@ class Circuit:
                 next_branch += count
         self._system_size = next_branch
         self._frozen = True
+        self._invalidate_caches()
 
     def unfreeze(self) -> None:
         """Allow further edits; analyses will re-finalize."""
         self._frozen = False
+        self._invalidate_caches()
+
+    def _invalidate_caches(self) -> None:
+        self._stamp_partition = None
+        self._nonlinear_cache = None
+        self._assembly_plan = None
 
     def node_count(self) -> int:
         self.finalize()
@@ -159,7 +169,54 @@ class Circuit:
     # -- queries ----------------------------------------------------------
 
     def nonlinear_devices(self) -> list[Device]:
-        return [d for d in self.devices.values() if d.is_nonlinear()]
+        if self._nonlinear_cache is None or not self._frozen:
+            cache = [d for d in self.devices.values() if d.is_nonlinear()]
+            if not self._frozen:
+                return cache
+            self._nonlinear_cache = cache
+        return self._nonlinear_cache
+
+    def stamp_partition(self) -> tuple[list[Device], list[Device], list[Device]]:
+        """Devices split by stamp kind: ``(linear, opaque, mosfets)``.
+
+        Each list preserves circuit insertion order. ``linear`` devices
+        have cacheable matrix stamps, ``mosfets`` go through the
+        vectorized EKV group, and ``opaque`` devices (unknown
+        subclasses) are re-stamped scalar-wise every iteration. The
+        partition is the canonical assembly order: linear first, then
+        the gmin diagonal, then opaque, then MOSFETs — both the cached
+        and the reference assembly paths follow it so their float
+        accumulation order is identical.
+        """
+        if self._stamp_partition is None or not self._frozen:
+            linear: list[Device] = []
+            opaque: list[Device] = []
+            mosfets: list[Device] = []
+            for device in self.devices.values():
+                kind = getattr(device, "stamp_kind", "opaque")
+                if kind == "linear":
+                    linear.append(device)
+                elif kind == "mosfet":
+                    mosfets.append(device)
+                else:
+                    opaque.append(device)
+            partition = (linear, opaque, mosfets)
+            if not self._frozen:
+                return partition
+            self._stamp_partition = partition
+        return self._stamp_partition
+
+    def assembly_plan(self):
+        """Lazily-built :class:`repro.spice.assembly.AssemblyPlan`.
+
+        Cached on the circuit and invalidated whenever the device set
+        can change (``unfreeze``/re-``finalize``).
+        """
+        self.finalize()
+        if self._assembly_plan is None:
+            from repro.spice.assembly import AssemblyPlan
+            self._assembly_plan = AssemblyPlan(self)
+        return self._assembly_plan
 
     def breakpoints(self, t_stop: float) -> list[float]:
         """Sorted unique transient breakpoints from all devices."""

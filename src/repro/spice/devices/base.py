@@ -15,6 +15,28 @@ Reactive devices (capacitors, MOSFET charge storage) additionally consult
 ``ctx.integrator`` — ``None`` during DC analyses (capacitors then stamp
 nothing but a tiny leakage conductance for matrix regularity) and an
 :class:`~repro.spice.integration.IntegratorState` during transients.
+
+Split-stamp contract
+--------------------
+
+The cached assembly engine (:mod:`repro.spice.assembly`) separates a
+device's contributions by how often they change:
+
+* :meth:`Device.linear_matrix_entries` — matrix entries that depend
+  only on device parameters (stamped once per circuit);
+* :meth:`Device.reactive_matrix_entries` — matrix entries that depend
+  only on the integrator coefficients (stamped once per (method, dt));
+* :meth:`Device.dynamic_rhs_entries` — RHS entries that depend on time,
+  source scaling, or committed device state (stamped once per Newton
+  *solve*, constant across its iterations).
+
+A device whose :meth:`stamp` is fully described by those three methods
+declares ``stamp_kind = "linear"``; the engine then never calls its
+``stamp`` on the hot path. Devices that keep solution-dependent stamps
+(``stamp_kind = "opaque"``, the default) are re-stamped every Newton
+iteration exactly as before, so unknown subclasses stay correct.
+:meth:`stamp` for linear devices must delegate to the entry methods so
+the reference and cached paths accumulate identical floats.
 """
 
 from __future__ import annotations
@@ -23,6 +45,7 @@ import abc
 from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:
+    from repro.spice.integration import IntegratorState
     from repro.spice.mna import StampContext
 
 
@@ -33,6 +56,11 @@ class Device(abc.ABC):
         name: unique (per-circuit, case-insensitive) device name.
         nodes: terminal node names, in device-specific order.
     """
+
+    #: How the assembly engine may treat this device: "linear" (fully
+    #: described by the split-stamp entry methods), "mosfet"
+    #: (vectorized EKV group), or "opaque" (re-stamp every iteration).
+    stamp_kind = "opaque"
 
     def __init__(self, name: str, nodes: Sequence[str]):
         if not name:
@@ -45,6 +73,28 @@ class Device(abc.ABC):
     @abc.abstractmethod
     def stamp(self, ctx: "StampContext") -> None:
         """Stamp the linearized device equations at the current iterate."""
+
+    def linear_matrix_entries(self) -> list:
+        """Parameter-only matrix entries as ``(row, col, value)`` triplets.
+
+        Only consulted when ``stamp_kind == "linear"``. Entry order must
+        match the order :meth:`stamp` applies them (float accumulation
+        order is part of the contract).
+        """
+        return []
+
+    def reactive_matrix_entries(self, integrator: "IntegratorState") -> list:
+        """Matrix entries that depend only on the integrator coefficients."""
+        return []
+
+    def dynamic_rhs_entries(self, time: float, source_scale: float,
+                            integrator: "IntegratorState | None") -> list:
+        """Per-solve RHS entries as ``(row, value)`` pairs.
+
+        Constant across the Newton iterations of one solve; may depend
+        on time, homotopy source scaling, and committed device state.
+        """
+        return []
 
     def expand(self) -> list["Device"]:
         """Auxiliary devices this element implies (e.g. MOSFET parasitics).

@@ -15,6 +15,8 @@ class Vcvs(Device):
     """Voltage-controlled voltage source:
     ``v(pos) - v(neg) = gain * (v(cpos) - v(cneg))``."""
 
+    stamp_kind = "linear"
+
     def __init__(self, name: str, pos: str, neg: str, cpos: str,
                  cneg: str, gain: float):
         super().__init__(name, [pos, neg, cpos, cneg])
@@ -31,6 +33,9 @@ class Vcvs(Device):
                 (br, pos, 1.0), (br, neg, -1.0),
                 (br, cpos, -self.gain), (br, cneg, self.gain))
 
+    def linear_matrix_entries(self) -> list:
+        return list(self._entries())
+
     def stamp(self, ctx: StampContext) -> None:
         for row, col, value in self._entries():
             ctx.system.add_matrix(row, col, value)
@@ -46,6 +51,8 @@ class Vccs(Device):
     out of ``pos`` and pushed into ``neg``, matching the passive sign
     convention of an NMOS transconductance from drain to source."""
 
+    stamp_kind = "linear"
+
     def __init__(self, name: str, pos: str, neg: str, cpos: str,
                  cneg: str, gm: float):
         super().__init__(name, [pos, neg, cpos, cneg])
@@ -55,6 +62,9 @@ class Vccs(Device):
         pos, neg, cpos, cneg = self.node_indices
         return ((pos, cpos, self.gm), (pos, cneg, -self.gm),
                 (neg, cpos, -self.gm), (neg, cneg, self.gm))
+
+    def linear_matrix_entries(self) -> list:
+        return list(self._entries())
 
     def stamp(self, ctx: StampContext) -> None:
         for row, col, value in self._entries():

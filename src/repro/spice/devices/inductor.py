@@ -48,12 +48,35 @@ class Inductor(TwoTerminal):
     def branch_count(self) -> int:
         return 1
 
+    stamp_kind = "linear"
+
     def _companion(self, integrator) -> tuple[float, float]:
         if integrator.method == BACKWARD_EULER:
             req = self.inductance / integrator.dt
             return req, req * self._i_prev
         req = 2.0 * self.inductance / integrator.dt
         return req, req * self._i_prev + self._v_prev
+
+    def linear_matrix_entries(self) -> list:
+        a, b = self.node_indices
+        br = self.branch_indices[0]
+        return [(a, br, 1.0), (b, br, -1.0), (br, a, 1.0), (br, b, -1.0)]
+
+    def reactive_matrix_entries(self, integrator) -> list:
+        req, _ = self._companion_coefficients(integrator)
+        return [(self.branch_indices[0], self.branch_indices[0], -req)]
+
+    def _companion_coefficients(self, integrator) -> tuple[float, float]:
+        """(req, unused) without touching state — for the matrix cache."""
+        if integrator.method == BACKWARD_EULER:
+            return self.inductance / integrator.dt, 0.0
+        return 2.0 * self.inductance / integrator.dt, 0.0
+
+    def dynamic_rhs_entries(self, time, source_scale, integrator) -> list:
+        if integrator is None:
+            return []
+        _, veq = self._companion(integrator)
+        return [(self.branch_indices[0], -veq)]
 
     def stamp(self, ctx: StampContext) -> None:
         a, b = self.node_indices

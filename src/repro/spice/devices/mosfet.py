@@ -32,8 +32,9 @@ partition plus overlap and junction terms), added as auxiliary
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, replace
+
+import numpy as np
 
 from repro.errors import ModelError
 from repro.spice.devices.base import Device
@@ -47,31 +48,114 @@ EPS_SIO2 = 3.9 * 8.854187817e-12
 #: Smoothing floor for |Vds| (volts) keeping derivatives continuous at 0.
 _VDS_SMOOTH = 1e-3
 
-
-def _softplus(y: float) -> float:
-    if y > 40.0:
-        return y
-    if y < -40.0:
-        return math.exp(y)
-    return math.log1p(math.exp(y))
-
-
-def _sigmoid(y: float) -> float:
-    if y >= 0.0:
-        return 1.0 / (1.0 + math.exp(-y))
-    e = math.exp(y)
-    return e / (1.0 + e)
+# The EKV helpers below are numpy-elementwise and serve both the scalar
+# per-device path and the vectorized all-MOSFET path in
+# repro.spice.assembly. Keeping a single implementation is what makes
+# the cached assembly bitwise-identical to the reference re-stamp:
+# numpy's transcendentals are self-consistent between scalar and array
+# calls, but differ from math.* by ulps.
 
 
-def _ekv_f(x: float) -> float:
-    """EKV interpolation function F(x) = softplus(x/2)^2."""
+def _softplus(y):
+    e = np.exp(np.minimum(y, 40.0))
+    return np.where(y > 40.0, y, np.where(y < -40.0, e, np.log1p(e)))
+
+
+def _sigmoid(y):
+    e = np.exp(-np.abs(y))
+    return np.where(y >= 0.0, 1.0 / (1.0 + e), e / (1.0 + e))
+
+
+def _ekv_f(x):
+    """EKV interpolation function F(x) = softplus(x/2)^2.
+
+    :func:`ekv_evaluate` inlines this (sharing the softplus term with
+    the derivative); kept as the property-test surface for the model.
+    """
     s = _softplus(0.5 * x)
     return s * s
 
 
-def _ekv_fprime(x: float) -> float:
+def _ekv_fprime(x):
     """dF/dx = softplus(x/2) * sigmoid(x/2)."""
     return _softplus(0.5 * x) * _sigmoid(0.5 * x)
+
+
+def ekv_evaluate(sign, vto, n_slope, ut, gamma, phi, eta_dibl,
+                 lambda_clm, ispec, vd, vg, vs, vb):
+    """Drain current and Jacobian, elementwise over parameter arrays.
+
+    All arguments broadcast; scalars give the single-device answer,
+    arrays evaluate every MOSFET in a circuit in one pass. Returns
+    ``(id_real, did_dvd, did_dvg, did_dvs, did_dvb)`` with ``id_real``
+    the current flowing drain -> source through the channel (positive
+    into the drain terminal).
+    """
+    # Bulk-referenced, polarity-normalized voltages (stacked: one
+    # subtract + one multiply instead of three of each; the buffer is
+    # filled directly, np.stack's list handling is measurable here).
+    v3 = np.empty((3,) + np.shape(vd))
+    v3[0] = vd
+    v3[1] = vg
+    v3[2] = vs
+    np.subtract(v3, vb, out=v3)
+    xd, xg, xs = np.multiply(sign, v3, out=v3)
+
+    # Smooth |Vds| for CLM and DIBL.
+    dvds = xd - xs
+    vds_s = np.sqrt(dvds * dvds + _VDS_SMOOTH * _VDS_SMOOTH)
+    sab = dvds / vds_s  # d(vds_s)/d(xd) = sab; d/d(xs) = -sab
+
+    # Body effect with a smooth clamp of Vsb above -(phi - 0.05).
+    vmin = -phi + 0.05
+    u = xs - vmin
+    root = np.sqrt(u * u + 1e-4)
+    vsb_eff = vmin + 0.5 * (u + root)
+    dvsb_dxs = 0.5 * (1.0 + u / root)
+    sq = np.sqrt(phi + vsb_eff)
+    body = gamma * (sq - np.sqrt(phi))
+    dbody_dxs = gamma * dvsb_dxs / (2.0 * sq)
+
+    vp = (xg - vto - body + eta_dibl * vds_s) / n_slope
+    dvp_dxg = 1.0 / n_slope
+    eta_sab = eta_dibl * sab
+    dvp_dxs = (-dbody_dxs - eta_sab) / n_slope
+    dvp_dxd = eta_sab / n_slope
+
+    # Forward and reverse halves share the transcendental pipeline:
+    # stacking them evaluates softplus/sigmoid once over both (ufunc
+    # dispatch, not element count, dominates at circuit-sized arrays),
+    # elementwise bit-identical to two separate calls.
+    half = np.empty((2,) + np.shape(vp))
+    # [i, ...] keeps a writable view in the scalar case too, where a
+    # bare [i] would return a detached numpy scalar.
+    np.subtract(vp, xs, out=half[0, ...])
+    np.subtract(vp, xd, out=half[1, ...])
+    np.divide(half, ut, out=half)
+    np.multiply(half, 0.5, out=half)
+    s = _softplus(half)
+    f_both = s * s
+    fp_both = s * _sigmoid(half)
+    ff, fr = f_both[0], f_both[1]
+    fpf, fpr = fp_both[0], fp_both[1]
+
+    clm = 1.0 + lambda_clm * vds_s
+    core = ff - fr
+    ispec_core = ispec * core
+    ids = ispec_core * clm
+    ispec_clm = ispec * clm
+    clm_term = ispec_core * lambda_clm * sab
+
+    dids_dxg = ispec_clm * (fpf - fpr) * dvp_dxg / ut
+    dids_dxs = (ispec_clm * (fpf * (dvp_dxs - 1.0) - fpr * dvp_dxs) / ut
+                - clm_term)
+    dids_dxd = (ispec_clm * (fpf * dvp_dxd - fpr * (dvp_dxd - 1.0)) / ut
+                + clm_term)
+    dids_dxb = -(dids_dxg + dids_dxs + dids_dxd)
+
+    # Real frame: Id = sign * ids(x'); dId/dV_X = dids/dx'_X (double
+    # sign change cancels, see module docstring).
+    return (sign * ids, dids_dxd, dids_dxg, dids_dxs, dids_dxb)
 
 
 @dataclass(frozen=True)
@@ -133,6 +217,8 @@ class MosfetParams:
 class Mosfet(Device):
     """Four-terminal MOSFET (drain, gate, source, bulk)."""
 
+    stamp_kind = "mosfet"
+
     def __init__(self, name: str, drain: str, gate: str, source: str,
                  bulk: str, params: MosfetParams, w: float, l: float,
                  m: int = 1):
@@ -177,6 +263,21 @@ class Mosfet(Device):
     def _sign(self) -> float:
         return 1.0 if self.params.polarity == "n" else -1.0
 
+    def kernel_params(self) -> tuple:
+        """Per-device scalars for :func:`ekv_evaluate`, in argument order.
+
+        ``(sign, vto, n_slope, ut, gamma, phi, eta_dibl, lambda_clm,
+        ispec)`` — the vectorized assembly group stacks these into
+        arrays; :meth:`evaluate` feeds them through one at a time. Both
+        paths therefore run identical floating-point operations.
+        """
+        p = self.params
+        ut = p.thermal_voltage
+        beta = p.u0 * p.cox * (self.w / self.l) * self.m
+        ispec = 2.0 * p.n_slope * beta * ut * ut
+        return (self._sign(), p.vto, p.n_slope, ut, p.gamma, p.phi,
+                p.eta_dibl, p.lambda_clm, ispec)
+
     def evaluate(self, vd: float, vg: float, vs: float, vb: float):
         """Drain current and Jacobian at the given node voltages.
 
@@ -184,59 +285,8 @@ class Mosfet(Device):
         ``id_real`` is the current flowing drain -> source through the
         channel (positive into the drain terminal).
         """
-        p = self.params
-        sign = self._sign()
-        # Bulk-referenced, polarity-normalized voltages.
-        xd = sign * (vd - vb)
-        xg = sign * (vg - vb)
-        xs = sign * (vs - vb)
-
-        ut = p.thermal_voltage
-        n = p.n_slope
-
-        # Smooth |Vds| for CLM and DIBL.
-        dvds = xd - xs
-        vds_s = math.sqrt(dvds * dvds + _VDS_SMOOTH * _VDS_SMOOTH)
-        sab = dvds / vds_s  # d(vds_s)/d(xd) = sab; d/d(xs) = -sab
-
-        # Body effect with a smooth clamp of Vsb above -(phi - 0.05).
-        vmin = -p.phi + 0.05
-        u = xs - vmin
-        root = math.sqrt(u * u + 1e-4)
-        vsb_eff = vmin + 0.5 * (u + root)
-        dvsb_dxs = 0.5 * (1.0 + u / root)
-        sq = math.sqrt(p.phi + vsb_eff)
-        body = p.gamma * (sq - math.sqrt(p.phi))
-        dbody_dxs = p.gamma * dvsb_dxs / (2.0 * sq)
-
-        vp = (xg - p.vto - body + p.eta_dibl * vds_s) / n
-        dvp_dxg = 1.0 / n
-        dvp_dxs = (-dbody_dxs - p.eta_dibl * sab) / n
-        dvp_dxd = (p.eta_dibl * sab) / n
-
-        af = (vp - xs) / ut
-        ar = (vp - xd) / ut
-        ff = _ekv_f(af)
-        fr = _ekv_f(ar)
-        fpf = _ekv_fprime(af)
-        fpr = _ekv_fprime(ar)
-
-        beta = p.u0 * p.cox * (self.w / self.l) * self.m
-        ispec = 2.0 * n * beta * ut * ut
-        clm = 1.0 + p.lambda_clm * vds_s
-        core = ff - fr
-        ids = ispec * core * clm
-
-        dids_dxg = ispec * clm * (fpf - fpr) * dvp_dxg / ut
-        dids_dxs = (ispec * clm * (fpf * (dvp_dxs - 1.0) - fpr * dvp_dxs) / ut
-                    + ispec * core * p.lambda_clm * (-sab))
-        dids_dxd = (ispec * clm * (fpf * dvp_dxd - fpr * (dvp_dxd - 1.0)) / ut
-                    + ispec * core * p.lambda_clm * sab)
-        dids_dxb = -(dids_dxg + dids_dxs + dids_dxd)
-
-        # Real frame: Id = sign * ids(x'); dId/dV_X = dids/dx'_X (double
-        # sign change cancels, see module docstring).
-        return (sign * ids, dids_dxd, dids_dxg, dids_dxs, dids_dxb)
+        out = ekv_evaluate(*self.kernel_params(), vd, vg, vs, vb)
+        return tuple(float(v) for v in out)
 
     def stamp(self, ctx: StampContext) -> None:
         d, g, s, b = self.node_indices

@@ -18,11 +18,18 @@ class Resistor(TwoTerminal):
         resistance: value in ohms; must be positive.
     """
 
+    stamp_kind = "linear"
+
     def __init__(self, name: str, pos: str, neg: str, resistance: float):
         super().__init__(name, pos, neg)
         if resistance <= 0:
             raise ModelError(f"{name}: resistance must be > 0, got {resistance}")
         self.resistance = float(resistance)
+
+    def linear_matrix_entries(self) -> list:
+        a, b = self.node_indices
+        g = 1.0 / self.resistance
+        return [(a, a, g), (b, b, g), (a, b, -g), (b, a, -g)]
 
     def stamp(self, ctx: StampContext) -> None:
         a, b = self.node_indices
@@ -38,6 +45,8 @@ class Capacitor(TwoTerminal):
     integrator and tracks its branch current for trapezoidal steps.
     """
 
+    stamp_kind = "linear"
+
     def __init__(self, name: str, pos: str, neg: str, capacitance: float,
                  ic: float | None = None):
         super().__init__(name, pos, neg)
@@ -49,6 +58,21 @@ class Capacitor(TwoTerminal):
         self.ic = ic
         self._v_prev = 0.0
         self._i_prev = 0.0
+
+    def reactive_matrix_entries(self, integrator) -> list:
+        if self.capacitance == 0.0:
+            return []
+        a, b = self.node_indices
+        geq, _ = integrator.companion(self.capacitance, 0.0, 0.0)
+        return [(a, a, geq), (b, b, geq), (a, b, -geq), (b, a, -geq)]
+
+    def dynamic_rhs_entries(self, time, source_scale, integrator) -> list:
+        if integrator is None or self.capacitance == 0.0:
+            return []
+        a, b = self.node_indices
+        _, ieq = integrator.companion(self.capacitance, self._v_prev,
+                                      self._i_prev)
+        return [(a, -ieq), (b, ieq)]
 
     def stamp(self, ctx: StampContext) -> None:
         if ctx.integrator is None or self.capacitance == 0.0:

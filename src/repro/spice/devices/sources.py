@@ -153,6 +153,8 @@ class VoltageSource(TwoTerminal):
     in SPICE.
     """
 
+    stamp_kind = "linear"
+
     def __init__(self, name: str, pos: str, neg: str,
                  dc: float | None = None, shape=None):
         super().__init__(name, pos, neg)
@@ -165,15 +167,21 @@ class VoltageSource(TwoTerminal):
     def value(self, t: float) -> float:
         return self.shape.value(t)
 
-    def stamp(self, ctx: StampContext) -> None:
+    def linear_matrix_entries(self) -> list:
         a, b = self.node_indices
         br = self.branch_indices[0]
+        return [(a, br, 1.0), (b, br, -1.0), (br, a, 1.0), (br, b, -1.0)]
+
+    def dynamic_rhs_entries(self, time, source_scale, integrator) -> list:
+        return [(self.branch_indices[0], self.value(time) * source_scale)]
+
+    def stamp(self, ctx: StampContext) -> None:
         sys_ = ctx.system
-        sys_.add_matrix(a, br, 1.0)
-        sys_.add_matrix(b, br, -1.0)
-        sys_.add_matrix(br, a, 1.0)
-        sys_.add_matrix(br, b, -1.0)
-        sys_.add_rhs(br, self.value(ctx.time) * ctx.source_scale)
+        for row, col, value in self.linear_matrix_entries():
+            sys_.add_matrix(row, col, value)
+        for row, value in self.dynamic_rhs_entries(ctx.time,
+                                                   ctx.source_scale, None):
+            sys_.add_rhs(row, value)
 
     def breakpoints(self, t_stop: float) -> list[float]:
         return self.shape.breakpoints(t_stop)
@@ -184,6 +192,8 @@ class CurrentSource(TwoTerminal):
     through the source (i.e. is pulled out of ``pos`` and injected into
     ``neg``)."""
 
+    stamp_kind = "linear"
+
     def __init__(self, name: str, pos: str, neg: str,
                  dc: float | None = None, shape=None):
         super().__init__(name, pos, neg)
@@ -192,9 +202,15 @@ class CurrentSource(TwoTerminal):
     def value(self, t: float) -> float:
         return self.shape.value(t)
 
-    def stamp(self, ctx: StampContext) -> None:
+    def dynamic_rhs_entries(self, time, source_scale, integrator) -> list:
         a, b = self.node_indices
-        ctx.system.stamp_current(a, b, self.value(ctx.time) * ctx.source_scale)
+        current = self.value(time) * source_scale
+        return [(a, -current), (b, current)]
+
+    def stamp(self, ctx: StampContext) -> None:
+        for row, value in self.dynamic_rhs_entries(ctx.time,
+                                                   ctx.source_scale, None):
+            ctx.system.add_rhs(row, value)
 
     def breakpoints(self, t_stop: float) -> list[float]:
         return self.shape.breakpoints(t_stop)

@@ -6,6 +6,20 @@ sources). :class:`MnaSystem` owns the dense matrix and RHS;
 :class:`StampContext` is the restricted view handed to devices, which
 maps ground (index ``-1``) stamps to nowhere.
 
+Ground handling uses an *augmented* array one row/column larger than the
+solved system: stamps to node ``-1`` land in the trailing dump row
+(numpy's negative indexing points there for free), so the hot stamping
+path needs no ground branches at all. ``matrix`` and ``rhs`` are
+persistent views of the solved ``size x size`` core.
+
+:func:`assemble` re-stamps every device and is the reference ("legacy
+full re-stamp") implementation. The throughput path lives in
+:mod:`repro.spice.assembly`, which caches the linear/time-invariant part
+of the matrix and re-stamps only nonlinear devices per Newton iteration.
+Both paths stamp in the same canonical order — linear devices, the gmin
+diagonal, opaque nonlinear devices, then MOSFETs — so their results are
+bitwise identical (float accumulation order matters).
+
 Dense matrices are appropriate here: the reproduction's largest circuits
 (level-shifter testbenches, small SoC macros) stay well under a few
 hundred unknowns, where dense LU beats sparse bookkeeping.
@@ -26,31 +40,38 @@ GROUND = -1
 
 
 class MnaSystem:
-    """Dense MNA matrix/RHS with ground-aware stamping."""
+    """Dense MNA matrix/RHS with ground-aware stamping.
+
+    Internally one row/column larger than ``size``: index ``-1`` (the
+    ground node) wraps onto the trailing dump row, which the solver
+    never reads. ``matrix`` and ``rhs`` are views of the solved core
+    and stay valid for the life of the system.
+    """
 
     def __init__(self, size: int):
         self.size = size
-        self.matrix = np.zeros((size, size), dtype=float)
-        self.rhs = np.zeros(size, dtype=float)
+        self._aug_matrix = np.zeros((size + 1, size + 1), dtype=float)
+        self._aug_rhs = np.zeros(size + 1, dtype=float)
+        self.matrix = self._aug_matrix[:size, :size]
+        self.rhs = self._aug_rhs[:size]
 
     def clear(self) -> None:
-        self.matrix[:, :] = 0.0
-        self.rhs[:] = 0.0
+        self._aug_matrix[:, :] = 0.0
+        self._aug_rhs[:] = 0.0
 
     def add_matrix(self, row: int, col: int, value: float) -> None:
-        if row != GROUND and col != GROUND:
-            self.matrix[row, col] += value
+        self._aug_matrix[row, col] += value
 
     def add_rhs(self, row: int, value: float) -> None:
-        if row != GROUND:
-            self.rhs[row] += value
+        self._aug_rhs[row] += value
 
     def stamp_conductance(self, a: int, b: int, g: float) -> None:
         """Stamp a conductance ``g`` between nodes ``a`` and ``b``."""
-        self.add_matrix(a, a, g)
-        self.add_matrix(b, b, g)
-        self.add_matrix(a, b, -g)
-        self.add_matrix(b, a, -g)
+        m = self._aug_matrix
+        m[a, a] += g
+        m[b, b] += g
+        m[a, b] -= g
+        m[b, a] -= g
 
     def stamp_current(self, a: int, b: int, current: float) -> None:
         """Stamp a current source pushing ``current`` from node a to b.
@@ -58,8 +79,8 @@ class MnaSystem:
         Positive ``current`` flows out of ``a`` into ``b`` through the
         source, i.e. it is injected into node ``b``.
         """
-        self.add_rhs(a, -current)
-        self.add_rhs(b, current)
+        self._aug_rhs[a] -= current
+        self._aug_rhs[b] += current
 
 
 class StampContext:
@@ -100,14 +121,26 @@ def assemble(circuit: "Circuit", x: np.ndarray, system: MnaSystem,
              time: float = 0.0,
              integrator: Optional["IntegratorState"] = None,
              gmin: float = 1e-12, source_scale: float = 1.0) -> StampContext:
-    """Assemble the full MNA system at iterate ``x``; returns the context."""
+    """Assemble the full MNA system at iterate ``x``; returns the context.
+
+    This is the reference full re-stamp: every device is re-evaluated.
+    The canonical stamp order (linear, gmin diagonal, opaque nonlinear,
+    MOSFETs) is shared with the cached fast path in
+    :mod:`repro.spice.assembly` so both produce bitwise-identical
+    systems.
+    """
     system.clear()
     ctx = StampContext(system, x, time=time, integrator=integrator,
                        gmin=gmin, source_scale=source_scale)
-    for device in circuit.devices.values():
+    linear, opaque, mosfets = circuit.stamp_partition()
+    for device in linear:
         device.stamp(ctx)
     # Gmin from every node to ground keeps the matrix nonsingular when a
     # node is only driven through cut-off transistors.
     for idx in range(circuit.node_count()):
         system.add_matrix(idx, idx, gmin)
+    for device in opaque:
+        device.stamp(ctx)
+    for device in mosfets:
+        device.stamp(ctx)
     return ctx

@@ -33,8 +33,34 @@ from repro.errors import ConvergenceError
 from repro.runtime.faults import FaultPlan, active_plan
 from repro.runtime.policy import RetryPolicy
 from repro.runtime.report import AttemptRecord, SolveReport
-from repro.spice import mna
+from repro.spice.assembly import SolverWorkspace
 from repro.spice.integration import IntegratorState
+
+try:  # pragma: no cover - version-dependent private module
+    # The gufunc np.linalg.solve dispatches to, minus the wrapper's
+    # per-call type promotion and errstate setup (which costs as much
+    # as the factorization itself at MNA sizes). Bitwise identical to
+    # np.linalg.solve; a singular matrix yields non-finite entries
+    # (caught by the solver's finiteness check) instead of raising.
+    from numpy.linalg._umath_linalg import solve1 as _lapack_solve1
+except ImportError:  # pragma: no cover
+    _lapack_solve1 = None
+
+# Cheap global throughput counters for `repro bench` (solves/sec).
+_SOLVES = 0
+_ITERATIONS = 0
+
+
+def reset_solve_stats() -> None:
+    """Zero the global Newton solve/iteration counters."""
+    global _SOLVES, _ITERATIONS
+    _SOLVES = 0
+    _ITERATIONS = 0
+
+
+def solve_stats() -> dict:
+    """Counts of Newton solves and iterations since the last reset."""
+    return {"solves": _SOLVES, "iterations": _ITERATIONS}
 
 
 @dataclass
@@ -61,7 +87,8 @@ def newton_solve(circuit, x0: np.ndarray, time: float = 0.0,
                  source_scale: float = 1.0,
                  strategy: str = "newton",
                  faults: Optional[FaultPlan] = None,
-                 record: Optional[AttemptRecord] = None) -> np.ndarray:
+                 record: Optional[AttemptRecord] = None,
+                 workspace: Optional[SolverWorkspace] = None) -> np.ndarray:
     """Run damped Newton from ``x0``; returns the converged solution.
 
     Args:
@@ -71,24 +98,32 @@ def newton_solve(circuit, x0: np.ndarray, time: float = 0.0,
             activated via :func:`repro.runtime.faults.inject`.
         record: optional :class:`AttemptRecord` filled in with the
             iteration count, final residual, and outcome.
+        workspace: caller-owned :class:`SolverWorkspace` to reuse across
+            solves (retry ladders, transient steps). Created on the fly
+            when omitted.
 
     Raises:
         ConvergenceError: if the iteration exceeds the budget or the
             matrix becomes singular.
     """
+    global _SOLVES, _ITERATIONS
     opts = options or NewtonOptions()
     effective_gmin = opts.gmin if gmin is None else gmin
     plan = faults if faults is not None else active_plan()
-    size = circuit.system_size()
-    n_nodes = circuit.node_count()
-    system = mna.MnaSystem(size)
+    ws = workspace if workspace is not None else SolverWorkspace(circuit)
+    system = ws.system
+    n_nodes = ws.n_nodes
+    ws.begin_solve(time, integrator, effective_gmin, source_scale)
     x = np.array(x0, dtype=float, copy=True)
     # Damping exists to keep exponential device models inside their
     # convergence basin; a purely linear system solves exactly in one
     # step, and damping it would only throttle large (but exact)
     # voltage excursions.
-    damped = bool(circuit.nonlinear_devices())
+    damped = ws.damped
     max_dv = 0.0
+    _SOLVES += 1
+    delta = np.empty_like(x)
+    scratch = np.empty_like(x)
 
     def _fail(message: str, iterations: int,
               residual: float | None, injected: str | None = None,
@@ -105,55 +140,87 @@ def newton_solve(circuit, x0: np.ndarray, time: float = 0.0,
             raise error from cause
         raise error
 
-    for iteration in range(opts.max_iterations):
-        injected = (plan.draw_solve(strategy=strategy, time=time)
-                    if plan is not None else None)
-        if injected == "iteration_exhaustion":
-            _fail(f"injected iteration exhaustion in {strategy!r} solve",
-                  opts.max_iterations, max_dv if iteration else None,
-                  injected)
-        mna.assemble(circuit, x, system, time=time, integrator=integrator,
-                     gmin=effective_gmin, source_scale=source_scale)
-        if injected == "singular_jacobian":
-            # Corrupt the mechanism, not a shortcut: the zeroed matrix
-            # makes numpy raise the genuine LinAlgError path below.
-            system.matrix[:, :] = 0.0
-        elif injected == "nan_residual":
-            system.rhs[:] = np.nan
-        try:
-            x_new = np.linalg.solve(system.matrix, system.rhs)
-        except np.linalg.LinAlgError as exc:
-            _fail(f"singular MNA matrix at iteration {iteration}"
-                  + (" (injected)" if injected else ""),
-                  iteration, max_dv if iteration else None, injected, exc)
-        if not np.all(np.isfinite(x_new)):
-            _fail(f"non-finite solution at iteration {iteration}"
-                  + (" (injected)" if injected else ""),
-                  iteration, max_dv if iteration else None, injected)
+    # FP warnings are silenced for the whole loop (saved/restored via
+    # seterr rather than a per-iteration errstate, which is measurable
+    # at this call rate): the gufunc solve reports singular systems as
+    # non-finite entries instead of raising, and no value computed
+    # under the suppressed flags is ever used without the finiteness
+    # check below.
+    saved_err = np.seterr(invalid="ignore", over="ignore",
+                          divide="ignore")
+    try:
+        for iteration in range(opts.max_iterations):
+            injected = (plan.draw_solve(strategy=strategy, time=time)
+                        if plan is not None else None)
+            if injected == "iteration_exhaustion":
+                _fail(f"injected iteration exhaustion in {strategy!r} "
+                      "solve",
+                      opts.max_iterations, max_dv if iteration else None,
+                      injected)
+            _ITERATIONS += 1
+            ws.assemble_iteration(x)
+            if injected == "singular_jacobian":
+                # Corrupt the mechanism, not a shortcut: the zeroed
+                # matrix makes the solve fail for real below.
+                system.matrix[:, :] = 0.0
+            elif injected == "nan_residual":
+                system.rhs[:] = np.nan
+            try:
+                if _lapack_solve1 is not None:
+                    x_new = _lapack_solve1(system.matrix, system.rhs)
+                else:
+                    x_new = np.linalg.solve(system.matrix, system.rhs)
+            except np.linalg.LinAlgError as exc:
+                _fail(f"singular MNA matrix at iteration {iteration}"
+                      + (" (injected)" if injected else ""),
+                      iteration, max_dv if iteration else None, injected,
+                      exc)
+            if not np.isfinite(x_new).all():
+                # The gufunc path reports a singular matrix as NaN/inf
+                # entries rather than LinAlgError; keep the historical
+                # diagnostic by classifying here (failure path only).
+                suffix = " (injected)" if injected else ""
+                if (np.isfinite(system.matrix).all()
+                        and np.isfinite(system.rhs).all()):
+                    _fail(f"singular MNA matrix at iteration {iteration}"
+                          + suffix,
+                          iteration, max_dv if iteration else None,
+                          injected)
+                _fail(f"non-finite solution at iteration {iteration}"
+                      + suffix,
+                      iteration, max_dv if iteration else None, injected)
 
-        delta = x_new - x
-        dv = delta[:n_nodes]
-        di = delta[n_nodes:]
-        max_dv = float(np.max(np.abs(dv))) if dv.size else 0.0
-        max_di = float(np.max(np.abs(di))) if di.size else 0.0
+            np.subtract(x_new, x, out=delta)
+            np.abs(delta, out=scratch)
+            max_dv = float(scratch[:n_nodes].max()) if n_nodes else 0.0
+            n_branch = x.size - n_nodes
+            max_di = float(scratch[n_nodes:].max()) if n_branch else 0.0
 
-        # Damping: scale the whole update so no node moves more than
-        # max_step_v in one iteration (nonlinear circuits only).
-        scale = 1.0
-        if damped and max_dv > opts.max_step_v:
-            scale = opts.max_step_v / max_dv
-        x = x + scale * delta
+            # Damping: scale the whole update so no node moves more
+            # than max_step_v in one iteration (nonlinear circuits
+            # only). The updates below reuse the delta buffer in
+            # place; the arithmetic (x + scale * delta) is unchanged.
+            if damped and max_dv > opts.max_step_v:
+                np.multiply(delta, opts.max_step_v / max_dv, out=delta)
+                np.add(x, delta, out=x)
+                continue  # a clamped step can't satisfy the tolerances
+            np.add(x, delta, out=x)
 
-        v_tol = opts.abstol_v + opts.reltol * float(
-            np.max(np.abs(x[:n_nodes])) if n_nodes else 0.0)
-        i_tol = opts.abstol_i + opts.reltol * float(
-            np.max(np.abs(x[n_nodes:])) if di.size else 0.0)
-        if scale == 1.0 and max_dv <= v_tol and max_di <= i_tol:
-            if record is not None:
-                record.iterations = iteration + 1
-                record.residual = max_dv
-                record.converged = True
-            return x
+            np.abs(x, out=scratch)
+            v_tol = opts.abstol_v + opts.reltol * (
+                float(scratch[:n_nodes].max()) if n_nodes else 0.0)
+            if max_dv > v_tol:
+                continue
+            i_tol = opts.abstol_i + opts.reltol * (
+                float(scratch[n_nodes:].max()) if n_branch else 0.0)
+            if max_di <= i_tol:
+                if record is not None:
+                    record.iterations = iteration + 1
+                    record.residual = max_dv
+                    record.converged = True
+                return x
+    finally:
+        np.seterr(**saved_err)
 
     _fail(f"Newton failed to converge in {opts.max_iterations} iterations "
           f"(last max dV = {max_dv:.3e} V)",
@@ -164,6 +231,7 @@ def solve_dc_report(circuit, x0: Optional[np.ndarray] = None,
                     options: Optional[NewtonOptions] = None,
                     policy: Optional[RetryPolicy] = None,
                     faults: Optional[FaultPlan] = None,
+                    workspace: Optional[SolverWorkspace] = None,
                     ) -> tuple[np.ndarray, SolveReport]:
     """Find a DC solution; returns ``(x, report)``.
 
@@ -176,7 +244,8 @@ def solve_dc_report(circuit, x0: Optional[np.ndarray] = None,
     pol = policy or RetryPolicy()
     pol.validate()
     plan = faults if faults is not None else active_plan()
-    size = circuit.system_size()
+    ws = workspace if workspace is not None else SolverWorkspace(circuit)
+    size = ws.size
     x0 = np.zeros(size) if x0 is None else np.asarray(x0, dtype=float)
     report = SolveReport()
     started = _time.monotonic()
@@ -200,7 +269,7 @@ def solve_dc_report(circuit, x0: Optional[np.ndarray] = None,
         report.attempts.append(record)
         return newton_solve(circuit, guess, options=opts,
                             strategy=strategy, faults=plan, record=record,
-                            **kwargs)
+                            workspace=ws, **kwargs)
 
     def _success(strategy: str, x: np.ndarray):
         report.converged = True

@@ -40,6 +40,7 @@ from repro.errors import AnalysisError, ConvergenceError
 from repro.runtime.faults import FaultPlan, active_plan
 from repro.runtime.policy import RetryPolicy
 from repro.runtime.report import TransientReport
+from repro.spice.assembly import SolverWorkspace
 from repro.spice.integration import (
     BACKWARD_EULER, TRAPEZOIDAL, IntegratorState,
 )
@@ -138,14 +139,20 @@ class Transient:
         if h_min >= h_max:
             raise AnalysisError(f"h_min {h_min} must be < h_max {h_max}")
 
+        # One workspace serves the DC seed and every step of the march;
+        # its cached base matrices make re-stamping at an unchanged h
+        # nearly free.
+        workspace = SolverWorkspace(circuit)
+        n_nodes = workspace.n_nodes
+
         # DC operating point at t = 0 seeds the march and device state.
         if x0 is None:
             x, report.dc_report = solve_dc_report(
-                circuit, options=opts.newton, policy=policy, faults=plan)
+                circuit, options=opts.newton, policy=policy, faults=plan,
+                workspace=workspace)
         else:
             x = np.asarray(x0, dtype=float).copy()
-        for device in circuit:
-            device.init_state(x)
+        workspace.init_state(x)
 
         breakpoints = circuit.breakpoints(self.t_stop)
         bp_index = 1  # breakpoints[0] == 0.0
@@ -159,6 +166,7 @@ class Transient:
         halvings = 0   # consecutive halvings since the last accepted step
 
         def _stall(reason: str) -> ConvergenceError:
+            workspace.sync_state()
             report.stalled = True
             return ConvergenceError(
                 f"transient stalled at t={t:.6e}s with h={h:.3e}s "
@@ -188,7 +196,8 @@ class Transient:
                     x_new = newton_solve(circuit, x, time=t + h,
                                          integrator=integrator,
                                          options=opts.newton,
-                                         strategy="transient", faults=plan)
+                                         strategy="transient", faults=plan,
+                                         workspace=workspace)
                 except ConvergenceError:
                     failed = True
 
@@ -207,7 +216,6 @@ class Transient:
                     use_be = True
                 continue
 
-            n_nodes = circuit.node_count()
             max_dv = float(np.max(np.abs(x_new[:n_nodes] - x[:n_nodes]))) \
                 if n_nodes else 0.0
             if (max_dv > opts.dv_max and h > h_min * 1.0000001
@@ -221,8 +229,7 @@ class Transient:
                 continue
 
             # Accept the step.
-            for device in circuit:
-                device.update_state(x_new, integrator)
+            workspace.update_state(x_new, integrator)
             t = next_bp if hit_bp else t + h
             x = x_new
             times.append(t)
@@ -239,5 +246,6 @@ class Transient:
                 if max_dv < 0.3 * opts.dv_max:
                     h = min(h * 1.5, h_max)
 
+        workspace.sync_state()
         return TransientResult(circuit, np.asarray(times),
                                np.asarray(states), report=report)

@@ -1,0 +1,66 @@
+"""Benchmark harness smoke tests (``pytest -m bench``).
+
+Runs the real suite on tiny workloads — enough to prove the harness
+end-to-end (timing, solve counters, parallel-vs-serial identity check,
+JSON trajectory, regression guard) without benchmark-scale runtime.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.analysis.bench import (
+    BENCH_SCHEMA, PRE_PR2_BASELINE, check_regression, load_trajectory,
+    run_bench_suite, write_trajectory,
+)
+
+pytestmark = pytest.mark.bench
+
+
+@pytest.fixture(scope="module")
+def suite_record():
+    return run_bench_suite(mc_runs=2, sweep_step=0.3, workers=2)
+
+
+def test_suite_record_shape(suite_record):
+    assert suite_record["schema"] == BENCH_SCHEMA
+    assert suite_record["baseline_pre_pr2"] == PRE_PR2_BASELINE
+    workloads = suite_record["workloads"]
+    assert set(workloads) == {"mc_serial", "mc_parallel", "sweep"}
+    for record in workloads.values():
+        assert record["wall_s"] > 0
+    # In-process workloads expose the Newton counters as a rate.
+    assert workloads["mc_serial"]["solves"] > 0
+    assert workloads["mc_serial"]["solves_per_s"] > 0
+    assert workloads["sweep"]["solves_per_s"] > 0
+    # Off-scale workloads don't report misleading headline speedups.
+    assert suite_record["speedups"] == {}
+
+
+def test_parallel_identical_to_serial(suite_record):
+    assert suite_record["workloads"]["mc_parallel"][
+        "identical_to_serial"] is True
+
+
+def test_trajectory_roundtrip(suite_record, tmp_path):
+    path = tmp_path / "BENCH_TEST.json"
+    write_trajectory(suite_record, str(path))
+    loaded = load_trajectory(str(path))
+    assert loaded["schema"] == BENCH_SCHEMA
+    assert loaded["workloads"]["mc_serial"]["solves"] \
+        == suite_record["workloads"]["mc_serial"]["solves"]
+    # The file is plain JSON (no dangling non-serializable values).
+    json.dumps(loaded)
+
+
+def test_regression_guard(suite_record):
+    assert check_regression(suite_record, suite_record) == []
+    slower = copy.deepcopy(suite_record)
+    rate = slower["workloads"]["mc_serial"]["solves_per_s"]
+    slower["workloads"]["mc_serial"]["solves_per_s"] = rate * 0.5
+    problems = check_regression(slower, suite_record)
+    assert len(problems) == 1 and "mc_serial" in problems[0]
+    within = copy.deepcopy(suite_record)
+    within["workloads"]["mc_serial"]["solves_per_s"] = rate * 0.8
+    assert check_regression(within, suite_record) == []

@@ -1,0 +1,203 @@
+"""Process-pool campaign execution: parity, ordering, isolation.
+
+The contract under test: ``workers > 1`` changes wall-clock behaviour
+only. Every campaign driver (Monte Carlo, delay sweep, functional
+grid, PVT corners) must produce results identical to its serial run —
+sample for sample for Monte Carlo, since per-sample seeds derive from
+the sample index alone — while progress callbacks fire in completion
+order with the sample index attached and callback exceptions stay
+isolated (PR 1 semantics).
+
+Campaign-level tests stub the characterization kernel (the machinery
+under test is the distribution layer, not the physics); pool workers
+inherit the stub because the pool forks at first iteration, while the
+monkeypatch is active.
+"""
+
+import warnings
+
+import pytest
+
+import repro.analysis.corners as corners_module
+import repro.analysis.montecarlo as mc_module
+import repro.analysis.sweep as sweep_module
+from repro.analysis import (
+    MonteCarloConfig, SweepGrid, pvt_report, run_monte_carlo,
+    sweep_delay_surface, validate_functionality,
+)
+from repro.core import ShifterMetrics, StimulusPlan
+from repro.runtime import FaultPlan
+from repro.runtime.parallel import default_chunk_size, parallel_map
+
+pytestmark = pytest.mark.resilience
+
+FAST_PLAN = StimulusPlan(settle=3e-9, hold=2e-9, short=0.8e-9)
+
+
+def _square(task):
+    return task * task
+
+
+def _boom(task):
+    raise ValueError(f"task {task} exploded")
+
+
+def fake_characterize(pdk, kind, vddi, vddo, plan=None, sizing=None):
+    value = float(pdk.rng.normal(1e-9, 1e-11))
+    return ShifterMetrics(value, value, 1e-6, 1e-6, 1e-9, 1e-9,
+                          functional=True)
+
+
+def fake_characterize_corner(pdk, kind, vddi, vddo, plan=None,
+                             sizing=None):
+    value = 1e-9 * (1.0 + getattr(pdk, "temperature_c", 27.0) / 100.0)
+    return ShifterMetrics(value, value, 1e-6, 1e-6, 1e-9, 1e-9,
+                          functional=True)
+
+
+class FakeQuick:
+    def __init__(self, delay):
+        self.delay_rise = delay
+        self.delay_fall = delay * 1.5
+        self.functional = True
+
+
+def fake_quick_delays(pdk, kind, vddi, vddo, sizing=None):
+    return FakeQuick(1e-12 * (vddi + 10.0 * vddo))
+
+
+@pytest.fixture
+def stub_characterize(monkeypatch):
+    monkeypatch.setattr(mc_module, "characterize", fake_characterize)
+    monkeypatch.setattr(corners_module, "characterize",
+                        fake_characterize_corner)
+
+
+@pytest.fixture
+def stub_quick_delays(monkeypatch):
+    monkeypatch.setattr(sweep_module, "quick_delays", fake_quick_delays)
+    import repro.analysis.functional as functional_module
+    monkeypatch.setattr(functional_module, "quick_delays",
+                        fake_quick_delays)
+
+
+class TestParallelMap:
+    def test_pool_yields_same_results_as_serial(self):
+        tasks = list(range(23))
+        serial = list(parallel_map(_square, tasks, workers=1))
+        pooled = list(parallel_map(_square, tasks, workers=3))
+        assert sorted(pooled) == sorted(serial) == [t * t for t in tasks]
+
+    def test_single_task_runs_inline(self):
+        assert list(parallel_map(_square, [7], workers=8)) == [49]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="exploded"):
+            list(parallel_map(_boom, [1, 2, 3], workers=2))
+
+    def test_default_chunk_size(self):
+        assert default_chunk_size(100, 4) == 7  # ~4 chunks per worker
+        assert default_chunk_size(3, 8) == 1
+        assert default_chunk_size(1, 1) == 1
+
+
+class TestMonteCarloParity:
+    def test_pool_samples_bitwise_identical_to_serial(
+            self, stub_characterize):
+        serial = run_monte_carlo(
+            "sstvs", 0.8, 1.2,
+            MonteCarloConfig(runs=40, seed=11, plan=FAST_PLAN))
+        pooled = run_monte_carlo(
+            "sstvs", 0.8, 1.2,
+            MonteCarloConfig(runs=40, seed=11, plan=FAST_PLAN,
+                             workers=3))
+        assert pooled.samples == serial.samples  # exact float equality
+        assert pooled.completed_indices == serial.completed_indices
+        assert pooled.functional_yield == serial.functional_yield
+
+    def test_progress_fires_per_sample_with_index(self,
+                                                  stub_characterize):
+        seen = {}
+        result = run_monte_carlo(
+            "sstvs", 0.8, 1.2,
+            MonteCarloConfig(runs=12, seed=3, plan=FAST_PLAN, workers=3),
+            progress=lambda index, metrics: seen.__setitem__(index,
+                                                             metrics))
+        assert sorted(seen) == list(range(12))
+        # Callback metrics match the (index-sorted) result samples.
+        assert [seen[i] for i in range(12)] == result.samples
+
+    def test_progress_exception_isolated_under_pool(self,
+                                                    stub_characterize):
+        def bad_progress(index, metrics):
+            raise RuntimeError("observer crashed")
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = run_monte_carlo(
+                "sstvs", 0.8, 1.2,
+                MonteCarloConfig(runs=8, seed=5, plan=FAST_PLAN,
+                                 workers=2),
+                progress=bad_progress)
+        assert len(result.samples) == 8
+        isolation = [w for w in caught
+                     if "progress callback" in str(w.message)]
+        assert len(isolation) == 1
+
+    def test_fault_campaigns_run_serially_with_workers_set(
+            self, stub_characterize):
+        config = MonteCarloConfig(runs=10, seed=7, plan=FAST_PLAN,
+                                  workers=4,
+                                  faults=FaultPlan.fail_samples([2, 6]))
+        result = run_monte_carlo("sstvs", 0.8, 1.2, config)
+        assert result.quarantined == [2, 6]
+        assert len(result.samples) == 8
+
+    def test_resume_with_workers_fills_only_missing(
+            self, stub_characterize):
+        full = run_monte_carlo(
+            "sstvs", 0.8, 1.2,
+            MonteCarloConfig(runs=20, seed=9, plan=FAST_PLAN))
+        partial = run_monte_carlo(
+            "sstvs", 0.8, 1.2,
+            MonteCarloConfig(runs=8, seed=9, plan=FAST_PLAN))
+        resumed = run_monte_carlo(
+            "sstvs", 0.8, 1.2,
+            MonteCarloConfig(runs=20, seed=9, plan=FAST_PLAN, workers=3),
+            resume=partial)
+        assert resumed.samples == full.samples
+
+
+class TestCampaignParity:
+    def test_sweep_pool_matches_serial(self, stub_quick_delays):
+        grid = SweepGrid.with_step(0.1)
+        serial = sweep_delay_surface("sstvs", grid)
+        pooled = sweep_delay_surface("sstvs", grid, workers=3)
+        assert (pooled.rise == serial.rise).all()
+        assert (pooled.fall == serial.fall).all()
+        assert (pooled.functional == serial.functional).all()
+
+    def test_sweep_progress_carries_cell_indices(self,
+                                                 stub_quick_delays):
+        grid = SweepGrid.with_step(0.2)
+        seen = set()
+        sweep_delay_surface("sstvs", grid, workers=2,
+                            progress=lambda i, j, q: seen.add((i, j)))
+        n = grid.vddi_values.size
+        assert seen == {(i, j) for i in range(n) for j in range(n)}
+
+    def test_functional_pool_matches_serial(self, stub_quick_delays):
+        grid = SweepGrid.with_step(0.15)
+        serial = validate_functionality("sstvs", grid)
+        pooled = validate_functionality("sstvs", grid, workers=3)
+        assert pooled.passed == serial.passed
+        assert pooled.total == serial.total
+        assert pooled.failures == serial.failures
+
+    def test_pvt_pool_matches_serial(self, stub_characterize):
+        serial = pvt_report("sstvs", 0.8, 1.2)
+        pooled = pvt_report("sstvs", 0.8, 1.2, workers=3)
+        assert [(p.corner, p.temperature_c) for p in pooled.points] \
+            == [(p.corner, p.temperature_c) for p in serial.points]
+        assert [p.metrics for p in pooled.points] \
+            == [p.metrics for p in serial.points]

@@ -1,0 +1,163 @@
+"""Cached/vectorized assembly must match the reference bit for bit.
+
+The throughput path (:mod:`repro.spice.assembly`) caches the linear
+part of the MNA matrix and re-stamps only nonlinear devices, with the
+MOSFET group evaluated in one vectorized pass. These tests pin its
+contract: across every solve regime the solver uses — DC, the
+gmin-stepping and source-stepping homotopies, and both transient
+integrators with committed capacitor state — the assembled matrix and
+RHS are *exactly* equal (``==`` on every float, no tolerance) to the
+legacy full re-stamp in :func:`repro.spice.mna.assemble`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.testbench import InputStep, build_testbench
+from repro.pdk import Pdk
+from repro.spice import mna
+from repro.spice.assembly import SolverWorkspace
+from repro.spice.devices import Resistor
+from repro.spice.integration import (
+    BACKWARD_EULER, TRAPEZOIDAL, IntegratorState,
+)
+
+STEPS = [InputStep(0.2e-9, True), InputStep(1.0e-9, False)]
+
+REGIMES = [
+    pytest.param(None, 1e-12, 1.0, id="dc"),
+    pytest.param(None, 1e-6, 1.0, id="gmin-stepped"),
+    pytest.param(None, 1e-12, 0.3, id="source-stepped"),
+    pytest.param(IntegratorState(BACKWARD_EULER, 1e-11), 1e-12, 1.0,
+                 id="transient-be"),
+    pytest.param(IntegratorState(TRAPEZOIDAL, 2e-12), 1e-12, 1.0,
+                 id="transient-trap"),
+]
+
+
+def _bench():
+    circuit, _ = build_testbench(Pdk(), "sstvs", 0.8, 1.2, steps=STEPS)
+    return circuit
+
+
+def _iterates(size: int, count: int = 3):
+    rng = np.random.default_rng(20080310)
+    return [rng.uniform(-0.2, 1.4, size) for _ in range(count)]
+
+
+def _reference(circuit, x, time, integrator, gmin, scale):
+    system = mna.MnaSystem(circuit.system_size())
+    mna.assemble(circuit, x, system, time=time, integrator=integrator,
+                 gmin=gmin, source_scale=scale)
+    return system.matrix.copy(), system.rhs.copy()
+
+
+def _assert_same(workspace, matrix, rhs, context):
+    assert np.array_equal(workspace.system.matrix, matrix), context
+    assert np.array_equal(workspace.system.rhs, rhs), context
+
+
+@pytest.mark.parametrize("integrator, gmin, scale", REGIMES)
+def test_workspace_matches_reference_exactly(integrator, gmin, scale):
+    circuit = _bench()
+    workspace = SolverWorkspace(circuit)
+    assert workspace.plan.supported, "bench should take the fast path"
+    time = 0.5e-9 if integrator is not None else 0.0
+    iterates = _iterates(workspace.size)
+    if integrator is not None:
+        for device in circuit:
+            device.init_state(iterates[0])
+        workspace.init_state(iterates[0])
+    workspace.begin_solve(time, integrator, gmin, scale)
+    for x in iterates:
+        matrix, rhs = _reference(circuit, x, time, integrator, gmin,
+                                 scale)
+        workspace.assemble_iteration(x)
+        _assert_same(workspace, matrix, rhs, f"iterate {x[:3]}")
+
+
+@pytest.mark.parametrize("method", [BACKWARD_EULER, TRAPEZOIDAL])
+def test_state_update_keeps_exact_parity(method):
+    """Vectorized capacitor state tracks the scalar update bit for bit."""
+    circuit = _bench()
+    workspace = SolverWorkspace(circuit)
+    integrator = IntegratorState(method, 5e-12)
+    iterates = _iterates(workspace.size, count=4)
+    for device in circuit:
+        device.init_state(iterates[0])
+    workspace.init_state(iterates[0])
+    time = 0.0
+    for x in iterates[1:]:
+        time += integrator.dt
+        workspace.begin_solve(time, integrator, 1e-12, 1.0)
+        matrix, rhs = _reference(circuit, x, time, integrator, 1e-12,
+                                 1.0)
+        workspace.assemble_iteration(x)
+        _assert_same(workspace, matrix, rhs, f"t={time}")
+        for device in circuit:
+            device.update_state(x, integrator)
+        workspace.update_state(x, integrator)
+
+
+def test_integrator_key_change_reuses_nothing_stale():
+    """Switching dt/method/gmin between solves stays exact."""
+    circuit = _bench()
+    workspace = SolverWorkspace(circuit)
+    x = _iterates(workspace.size, count=1)[0]
+    for device in circuit:
+        device.init_state(x)
+    workspace.init_state(x)
+    regimes = [(None, 1e-12, 1.0), (None, 1e-6, 1.0),
+               (IntegratorState(TRAPEZOIDAL, 1e-12), 1e-12, 1.0),
+               (IntegratorState(TRAPEZOIDAL, 4e-12), 1e-12, 1.0),
+               (IntegratorState(BACKWARD_EULER, 4e-12), 1e-12, 1.0),
+               (None, 1e-12, 1.0)]  # revisit the first (cached) key
+    for integrator, gmin, scale in regimes:
+        workspace.begin_solve(0.3e-9, integrator, gmin, scale)
+        matrix, rhs = _reference(circuit, x, 0.3e-9, integrator, gmin,
+                                 scale)
+        workspace.assemble_iteration(x)
+        _assert_same(workspace, matrix, rhs,
+                     f"{integrator} gmin={gmin} scale={scale}")
+
+
+class _OddResistor(Resistor):
+    """A subclass the fast path has never heard of."""
+
+
+def test_unknown_device_subclass_falls_back_to_reference():
+    circuit = _bench()
+    circuit.unfreeze()
+    circuit.add(_OddResistor("rodd", "out", "0", 1e6))
+    circuit.finalize()
+    workspace = SolverWorkspace(circuit)
+    assert not workspace.plan.supported
+    x = _iterates(workspace.size, count=1)[0]
+    workspace.begin_solve(0.0, None, 1e-12, 1.0)
+    matrix, rhs = _reference(circuit, x, 0.0, None, 1e-12, 1.0)
+    workspace.assemble_iteration(x)
+    _assert_same(workspace, matrix, rhs, "fallback")
+
+
+def test_scalar_and_vector_mosfet_evaluate_identically():
+    """The shared EKV kernel gives the same floats per device."""
+    circuit = _bench()
+    _, _, mosfets = circuit.stamp_partition()
+    assert mosfets, "bench has MOSFETs"
+    workspace = SolverWorkspace(circuit)
+    x = _iterates(workspace.size, count=1)[0]
+    x_aug = np.append(x, 0.0)
+    group = workspace.plan.mosfet_group
+    from repro.spice.devices.mosfet import ekv_evaluate
+    vd = x_aug[group.d]
+    vg = x_aug[group.g]
+    vs = x_aug[group.s]
+    vb = x_aug[group.b]
+    vec = ekv_evaluate(group.sign, group.vto, group.n_slope, group.ut,
+                       group.gamma, group.phi, group.eta_dibl,
+                       group.lambda_clm, group.ispec, vd, vg, vs, vb)
+    for k, device in enumerate(mosfets):
+        scalar = device.evaluate(float(vd[k]), float(vg[k]),
+                                 float(vs[k]), float(vb[k]))
+        for field_index, value in enumerate(scalar):
+            assert value == vec[field_index][k]
