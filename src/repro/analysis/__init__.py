@@ -13,7 +13,9 @@ from repro.analysis.temperature import (
     sweep_temperature,
 )
 from repro.analysis.functional import FunctionalReport, validate_functionality
-from repro.analysis.noise_margin import VtcResult, extract_vtc
+from repro.analysis.noise_margin import (
+    VtcReport, VtcResult, extract_vtc, vtc_report,
+)
 from repro.analysis.corners import (
     DEFAULT_CORNERS, DEFAULT_TEMPS, PvtPoint, PvtReport, pvt_report,
 )
@@ -38,8 +40,10 @@ __all__ = [
     "monte_carlo_over_temperature",
     "FunctionalReport",
     "validate_functionality",
+    "VtcReport",
     "VtcResult",
     "extract_vtc",
+    "vtc_report",
     "PvtReport",
     "PvtPoint",
     "pvt_report",

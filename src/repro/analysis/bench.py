@@ -24,11 +24,15 @@ from __future__ import annotations
 
 import json
 import time
+from datetime import datetime, timezone
 
 from repro.spice.newton import reset_solve_stats, solve_stats
 
-#: JSON schema tag for the trajectory file.
+#: JSON schema tag for a single suite record.
 BENCH_SCHEMA = "repro-bench-v1"
+
+#: JSON schema tag for a multi-entry trajectory file (appended runs).
+BENCH_TRAJECTORY_SCHEMA = "repro-bench-trajectory-v1"
 
 #: Wall times measured on this PR's parent commit (serial engine,
 #: per-iteration full re-stamp) for the two headline workloads.
@@ -146,6 +150,8 @@ def check_regression(current: dict, baseline: dict,
     with an in-process ``solves_per_s`` rate are compared.
     """
     problems = []
+    current = latest_entry(current)
+    baseline = latest_entry(baseline)
     base_workloads = baseline.get("workloads", {})
     for name, record in current.get("workloads", {}).items():
         rate = record.get("solves_per_s")
@@ -173,3 +179,45 @@ def write_trajectory(record: dict, path: str) -> None:
 def load_trajectory(path: str) -> dict:
     with open(path) as handle:
         return json.load(handle)
+
+
+def latest_entry(trajectory: dict) -> dict:
+    """Most recent suite record in a trajectory (or the record itself).
+
+    Accepts both file formats: a multi-entry trajectory
+    (:data:`BENCH_TRAJECTORY_SCHEMA`) and a legacy single-record file
+    (:data:`BENCH_SCHEMA`), so ``--check`` works against either.
+    """
+    if trajectory.get("schema") == BENCH_TRAJECTORY_SCHEMA:
+        entries = trajectory.get("entries", [])
+        if not entries:
+            raise ValueError("bench trajectory has no entries")
+        return entries[-1]
+    return trajectory
+
+
+def append_trajectory(record: dict, path: str) -> int:
+    """Append a suite record to the trajectory at ``path``.
+
+    Creates the file when missing; converts a legacy single-record file
+    into the multi-entry format, keeping the old record as the first
+    entry. Returns the entry count after appending.
+    """
+    entries: list[dict] = []
+    try:
+        existing = load_trajectory(path)
+    except (OSError, json.JSONDecodeError):
+        existing = None
+    if existing is not None:
+        if existing.get("schema") == BENCH_TRAJECTORY_SCHEMA:
+            entries = list(existing.get("entries", []))
+        elif existing.get("workloads"):
+            entries = [existing]
+    clean = json.loads(json.dumps(record, default=lambda o: None))
+    clean["appended_utc"] = datetime.now(timezone.utc).isoformat()
+    entries.append(clean)
+    with open(path, "w") as handle:
+        json.dump({"schema": BENCH_TRAJECTORY_SCHEMA, "entries": entries},
+                  handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)

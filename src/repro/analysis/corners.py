@@ -4,6 +4,12 @@ The paper validates with Monte Carlo at three temperatures; corner
 bracketing (TT/FF/SS/FS/SF at each temperature) is the complementary
 industrial signoff view this extension adds. The report shows every
 metric at every PVT point and flags functional failures.
+
+The driver is a thin spec builder over the unified experiment engine:
+:func:`pvt_spec` enumerates the (corner, temperature) points, the
+engine runs them, and :func:`report_from_resultset` folds the rows
+into a :class:`PvtReport` (quarantined points become non-functional
+NaN entries, as before).
 """
 
 from __future__ import annotations
@@ -15,11 +21,16 @@ from repro.core.metrics import METRIC_FIELDS, ShifterMetrics
 from repro.errors import AnalysisError
 from repro.pdk import CORNER_SHIFTS, CornerPdk
 from repro.runtime.campaign import CampaignDiagnostics, SampleFailure
-from repro.runtime.parallel import parallel_map
+from repro.runtime.experiment import (
+    ExperimentPoint, ExperimentSpec, ResultSet, run_experiment,
+)
 from repro.units import format_eng
 
 DEFAULT_CORNERS = tuple(sorted(CORNER_SHIFTS))
 DEFAULT_TEMPS = (27.0, 90.0)
+
+#: Experiment name shared by specs, result sets, and stored manifests.
+EXPERIMENT_NAME = "pvt"
 
 
 @dataclass
@@ -38,6 +49,8 @@ class PvtReport:
     #: PVT points whose simulation escaped the solver's retry ladder;
     #: they still appear in ``points`` as non-functional NaN entries.
     failures: list[SampleFailure] = field(default_factory=list)
+    #: Artifact-store run id, when the campaign was persisted.
+    run_id: str | None = None
 
     @property
     def all_functional(self) -> bool:
@@ -93,47 +106,72 @@ class PvtReport:
         return "\n".join(lines)
 
 
-def _point_worker(task: tuple):
+def _measure(params: tuple) -> ShifterMetrics:
     """Characterize one PVT point; shared by serial and pool paths."""
-    order, corner, temp, kind, vddi, vddo, plan, sizing = task
+    corner, temp, kind, vddi, vddo, plan, sizing = params
     pdk = CornerPdk(corner, temperature_c=temp)
-    try:
-        metrics = characterize(pdk, kind, vddi, vddo, plan=plan,
-                               sizing=sizing)
-    except Exception as exc:
-        return ("err", order, corner, temp,
-                f"{type(exc).__name__}: {exc}")
-    return ("ok", order, corner, temp, metrics)
+    return characterize(pdk, kind, vddi, vddo, plan=plan, sizing=sizing)
+
+
+def pvt_spec(kind: str, vddi: float, vddo: float,
+             corners=DEFAULT_CORNERS, temperatures=DEFAULT_TEMPS,
+             plan: StimulusPlan | None = None, sizing=None,
+             workers: int = 1,
+             chunk_size: int | None = None) -> ExperimentSpec:
+    """Describe a PVT-corner campaign declaratively."""
+    points = [ExperimentPoint((corner, float(temp)),
+                              (corner, float(temp), kind, vddi, vddo,
+                               plan, sizing))
+              for corner in corners for temp in temperatures]
+    return ExperimentSpec(
+        name=EXPERIMENT_NAME, measure=_measure, points=points,
+        stage="characterize", codec="metrics",
+        workers=workers, chunk_size=chunk_size,
+        metadata={"experiment": "pvt", "kind": kind, "vddi": vddi,
+                  "vddo": vddo, "corners": list(corners),
+                  "temperatures": [float(t) for t in temperatures]})
+
+
+def report_from_resultset(resultset: ResultSet,
+                          kind: str | None = None,
+                          vddi: float | None = None,
+                          vddo: float | None = None) -> PvtReport:
+    """Assemble the classic report type from typed engine rows."""
+    meta = resultset.metadata
+    report = PvtReport(
+        kind=kind if kind is not None else meta.get("kind", "?"),
+        vddi=vddi if vddi is not None else meta.get("vddi", float("nan")),
+        vddo=vddo if vddo is not None else meta.get("vddo", float("nan")),
+        run_id=resultset.run_id)
+    nan = float("nan")
+    for row in resultset.rows:
+        corner, temp = row.index
+        if not row.ok:
+            report.failures.append(row.failure())
+            metrics = ShifterMetrics(nan, nan, nan, nan, nan, nan,
+                                     functional=False)
+        else:
+            metrics = row.value
+        report.points.append(PvtPoint(corner, temp, metrics))
+    return report
 
 
 def pvt_report(kind: str, vddi: float, vddo: float,
                corners=DEFAULT_CORNERS, temperatures=DEFAULT_TEMPS,
                plan: StimulusPlan | None = None,
                sizing=None, workers: int = 1,
-               chunk_size: int | None = None) -> PvtReport:
+               chunk_size: int | None = None,
+               resume: ResultSet | None = None,
+               store=None, run_id: str | None = None) -> PvtReport:
     """Characterize at every (corner, temperature) combination.
 
     ``workers > 1`` distributes PVT points over a process pool; the
     report lists points in the same (corner-major) order either way.
     """
-    report = PvtReport(kind=kind, vddi=vddi, vddo=vddo)
-    nan = float("nan")
-    tasks = [(order, corner, temp, kind, vddi, vddo, plan, sizing)
-             for order, (corner, temp) in enumerate(
-                 (c, t) for c in corners for t in temperatures)]
-    outcomes = sorted(
-        parallel_map(_point_worker, tasks, workers=workers,
-                     chunk_size=chunk_size),
-        key=lambda o: o[1])
-    for outcome in outcomes:
-        if outcome[0] == "err":
-            _, _, corner, temp, message = outcome
-            report.failures.append(SampleFailure(
-                index=(corner, float(temp)), stage="characterize",
-                error=message))
-            metrics = ShifterMetrics(nan, nan, nan, nan, nan, nan,
-                                     functional=False)
-        else:
-            _, _, corner, temp, metrics = outcome
-        report.points.append(PvtPoint(corner, temp, metrics))
-    return report
+    spec = pvt_spec(kind, vddi, vddo, corners=corners,
+                    temperatures=temperatures, plan=plan, sizing=sizing,
+                    workers=workers, chunk_size=chunk_size)
+    resultset = run_experiment(spec, resume=resume, store=store,
+                               run_id=run_id)
+    return report_from_resultset(resultset, kind=kind, vddi=vddi,
+                                 vddo=vddo)

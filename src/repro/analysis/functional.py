@@ -7,6 +7,10 @@ combinations."
 
 :func:`validate_functionality` re-runs that claim on a configurable
 grid and returns the failing pairs (expected: none for the SS-TVS).
+The driver is a thin spec builder over the unified experiment engine:
+:func:`functional_spec` enumerates the pairs, the engine runs them,
+and :func:`report_from_resultset` folds the rows into a
+:class:`FunctionalReport`.
 """
 
 from __future__ import annotations
@@ -17,7 +21,12 @@ from repro.analysis.sweep import SweepGrid
 from repro.core.characterize import quick_delays
 from repro.pdk import Pdk
 from repro.runtime.campaign import SampleFailure
-from repro.runtime.parallel import parallel_map
+from repro.runtime.experiment import (
+    ExperimentPoint, ExperimentSpec, ResultSet, run_experiment,
+)
+
+#: Experiment name shared by specs, result sets, and stored manifests.
+EXPERIMENT_NAME = "functional"
 
 
 @dataclass
@@ -29,6 +38,8 @@ class FunctionalReport:
     #: Pairs whose simulation escaped the solver's retry ladder (also
     #: counted in ``failures`` as non-converting).
     solver_escapes: list = field(default_factory=list)
+    #: Artifact-store run id, when the campaign was persisted.
+    run_id: str | None = None
 
     @property
     def all_passed(self) -> bool:
@@ -50,50 +61,69 @@ class FunctionalReport:
         return text
 
 
-def _pair_worker(task: tuple):
+def _measure(params: tuple) -> bool:
     """Validate one (VDDI, VDDO) pair; shared by serial and pool paths."""
-    order, vddi, vddo, kind, pdk, sizing = task
-    try:
-        q = quick_delays(pdk, kind, vddi, vddo, sizing=sizing)
-    except Exception as exc:
-        return ("err", order, vddi, vddo,
-                f"{type(exc).__name__}: {exc}")
-    return ("ok", order, vddi, vddo, q.functional)
+    vddi, vddo, kind, pdk, sizing = params
+    q = quick_delays(pdk, kind, vddi, vddo, sizing=sizing)
+    return bool(q.functional)
+
+
+def functional_spec(kind: str, grid: SweepGrid | None = None,
+                    pdk: Pdk | None = None, sizing=None,
+                    workers: int = 1,
+                    chunk_size: int | None = None) -> ExperimentSpec:
+    """Describe a functionality-validation campaign declaratively."""
+    grid = grid or SweepGrid.with_step(0.1)
+    pdk = pdk or Pdk()
+    points = [ExperimentPoint((float(vddi), float(vddo)),
+                              (float(vddi), float(vddo), kind, pdk,
+                               sizing))
+              for vddi in grid.vddi_values
+              for vddo in grid.vddo_values]
+    return ExperimentSpec(
+        name=EXPERIMENT_NAME, measure=_measure, points=points,
+        stage="quick_delays", codec="json",
+        workers=workers, chunk_size=chunk_size,
+        metadata={"experiment": "functional", "kind": kind,
+                  "pairs": len(points)})
+
+
+def report_from_resultset(resultset: ResultSet,
+                          kind: str | None = None) -> FunctionalReport:
+    """Assemble the classic report type from typed engine rows."""
+    report = FunctionalReport(
+        kind=kind if kind is not None
+        else resultset.metadata.get("kind", "?"),
+        run_id=resultset.run_id)
+    for row in resultset.rows:
+        report.total += 1
+        vddi, vddo = row.index
+        if not row.ok:
+            report.failures.append((vddi, vddo))
+            report.solver_escapes.append(row.failure())
+            continue
+        if row.value:
+            report.passed += 1
+        else:
+            report.failures.append((vddi, vddo))
+    return report
 
 
 def validate_functionality(kind: str, grid: SweepGrid | None = None,
                            pdk: Pdk | None = None, sizing=None,
                            workers: int = 1,
-                           chunk_size: int | None = None
-                           ) -> FunctionalReport:
+                           chunk_size: int | None = None,
+                           resume: ResultSet | None = None,
+                           store=None,
+                           run_id: str | None = None) -> FunctionalReport:
     """Check correct level conversion at every grid point.
 
     ``workers > 1`` distributes pairs over a process pool; the report
-    is identical to a serial run (results are re-sorted into row-major
-    grid order before accounting).
+    is identical to a serial run (rows come back in row-major grid
+    order either way).
     """
-    grid = grid or SweepGrid.with_step(0.1)
-    pdk = pdk or Pdk()
-    report = FunctionalReport(kind=kind)
-    tasks = [(order, float(vddi), float(vddo), kind, pdk, sizing)
-             for order, (vddi, vddo) in enumerate(
-                 (vi, vo) for vi in grid.vddi_values
-                 for vo in grid.vddo_values)]
-    outcomes = sorted(
-        parallel_map(_pair_worker, tasks, workers=workers,
-                     chunk_size=chunk_size),
-        key=lambda o: o[1])
-    for outcome in outcomes:
-        report.total += 1
-        if outcome[0] == "err":
-            _, _, vddi, vddo, message = outcome
-            report.failures.append((vddi, vddo))
-            report.solver_escapes.append(SampleFailure(
-                index=(vddi, vddo), stage="quick_delays", error=message))
-            continue
-        _, _, vddi, vddo, functional = outcome
-        if functional:
-            report.passed += 1
-        else:
-            report.failures.append((vddi, vddo))
-    return report
+    spec = functional_spec(kind, grid, pdk=pdk, sizing=sizing,
+                           workers=workers, chunk_size=chunk_size)
+    resultset = run_experiment(spec, resume=resume, store=store,
+                               run_id=run_id)
+    return report_from_resultset(resultset, kind=kind)

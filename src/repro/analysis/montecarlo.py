@@ -14,20 +14,19 @@ the *same process instances* to each shifter kind (paired comparison),
 because each kind re-derives per-sample seeds from the sample index
 alone.
 
-The engine is fault tolerant: a sample whose simulation escapes the
-solver's retry ladder (or any other per-sample error) is captured into
-a quarantine list instead of aborting the campaign, counted against
-``functional_yield``, and reported in the failure summary. Because
-per-sample seeds derive from the sample index alone, an interrupted
-campaign (Ctrl-C) returns its partial result and can be resumed
-seed-stably via the ``resume`` argument. A
-:class:`~repro.runtime.faults.FaultPlan` on the config injects
-deterministic failures for testing the machinery itself.
+The driver is a thin spec builder over the unified experiment engine
+(:mod:`repro.runtime.experiment`): :func:`monte_carlo_spec` describes
+the campaign declaratively, :func:`run_experiment` executes it with
+workers / quarantine / fault injection / Ctrl-C partials / seed-stable
+resume, and :func:`result_from_resultset` assembles the classic
+:class:`MonteCarloResult` from the typed rows. Pass ``store=`` to
+persist the run (rows + provenance manifest) and ``resume=`` either a
+previous in-memory result or a result set reloaded from the artifact
+store.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -37,8 +36,13 @@ from repro.core.metrics import MetricStatistics, ShifterMetrics, aggregate
 from repro.errors import AnalysisError
 from repro.pdk.variation import VariationSpec, VariedPdk
 from repro.runtime.campaign import CampaignDiagnostics, SampleFailure
-from repro.runtime.faults import FaultPlan, inject
-from repro.runtime.parallel import parallel_map
+from repro.runtime.experiment import (
+    ExperimentPoint, ExperimentSpec, ResultRow, ResultSet, run_experiment,
+)
+from repro.runtime.faults import FaultPlan
+
+#: Experiment name shared by specs, result sets, and stored manifests.
+EXPERIMENT_NAME = "Monte Carlo"
 
 
 @dataclass
@@ -90,6 +94,8 @@ class MonteCarloResult:
     failures: list[SampleFailure] = field(default_factory=list)
     #: True when the campaign was interrupted (Ctrl-C) mid-run.
     interrupted: bool = False
+    #: Artifact-store run id, when the campaign was persisted.
+    run_id: str | None = None
 
     @property
     def quarantined(self) -> list[int]:
@@ -120,34 +126,84 @@ class MonteCarloResult:
         return self.diagnostics().summary(limit=limit)
 
 
-def _sample_worker(task: tuple):
+def _measure(params: tuple) -> ShifterMetrics:
     """Run one Monte Carlo sample; shared by serial and pool paths.
 
     Module-level so the process pool can pickle it by reference.
-    Derives everything (including randomness) from the task tuple, so
+    Derives everything (including randomness) from the params tuple, so
     a pool worker computes bit-for-bit what the serial loop would.
-    Per-sample failures are encoded in the return value rather than
-    raised — quarantine must survive the pool boundary.
     """
     (index, seed, temperature_c, spec, plan, kind, vddi, vddo,
-     sizing) = task
+     sizing) = params
     rng = np.random.default_rng(np.random.SeedSequence([seed, index]))
     pdk = VariedPdk(rng, spec, temperature_c=temperature_c)
-    try:
-        metrics = characterize(pdk, kind, vddi, vddo, plan=plan,
-                               sizing=sizing)
-    except Exception as exc:
-        return ("err", index, "characterize",
-                f"{type(exc).__name__}: {exc}")
-    return ("ok", index, metrics)
+    return characterize(pdk, kind, vddi, vddo, plan=plan, sizing=sizing)
+
+
+def monte_carlo_spec(kind: str, vddi: float, vddo: float,
+                     config: MonteCarloConfig | None = None,
+                     sizing=None) -> ExperimentSpec:
+    """Describe a Monte Carlo campaign declaratively."""
+    config = config or MonteCarloConfig()
+    config.validate()
+    points = [
+        ExperimentPoint(index, (index, config.seed, config.temperature_c,
+                                config.spec, config.plan, kind, vddi,
+                                vddo, sizing))
+        for index in range(config.runs)
+    ]
+    return ExperimentSpec(
+        name=EXPERIMENT_NAME, measure=_measure, points=points,
+        stage="characterize", codec="metrics",
+        workers=config.workers, chunk_size=config.chunk_size,
+        faults=config.faults, max_failures=config.max_failures,
+        seed=config.seed,
+        metadata={"experiment": "mc", "kind": kind, "vddi": vddi,
+                  "vddo": vddo, "runs": config.runs, "seed": config.seed,
+                  "temperature_c": config.temperature_c})
+
+
+def result_from_resultset(resultset: ResultSet,
+                          kind: str | None = None,
+                          vddi: float | None = None,
+                          vddo: float | None = None) -> MonteCarloResult:
+    """Assemble the classic result type from typed engine rows."""
+    meta = resultset.metadata
+    ok = resultset.ok_rows()
+    samples = [row.value for row in ok]
+    return MonteCarloResult(
+        kind=kind if kind is not None else meta.get("kind", "?"),
+        vddi=vddi if vddi is not None else meta.get("vddi", float("nan")),
+        vddo=vddo if vddo is not None else meta.get("vddo", float("nan")),
+        samples=samples,
+        statistics=aggregate(samples) if samples else None,
+        completed_indices=[row.index for row in ok],
+        failures=resultset.sample_failures(),
+        interrupted=resultset.interrupted,
+        run_id=resultset.run_id)
+
+
+def _as_resume(resume) -> ResultSet | None:
+    """Accept a previous result in either form (legacy or typed)."""
+    if resume is None or isinstance(resume, ResultSet):
+        return resume
+    rows = [ResultRow(ordinal=index, index=index, status="ok",
+                      value=metrics)
+            for index, metrics in zip(resume.completed_indices,
+                                      resume.samples)]
+    rows += [ResultRow(ordinal=f.index, index=f.index, status="err",
+                       stage=f.stage, error=f.error)
+             for f in resume.failures]
+    return ResultSet(name=EXPERIMENT_NAME, codec="metrics", rows=rows)
 
 
 def run_monte_carlo(kind: str, vddi: float, vddo: float,
                     config: MonteCarloConfig | None = None,
                     sizing=None,
                     progress=None,
-                    resume: MonteCarloResult | None = None
-                    ) -> MonteCarloResult:
+                    resume=None,
+                    store=None,
+                    run_id: str | None = None) -> MonteCarloResult:
     """Characterize ``kind`` over ``config.runs`` process samples.
 
     Args:
@@ -155,109 +211,22 @@ def run_monte_carlo(kind: str, vddi: float, vddo: float,
             each sample (used by benches for live output). Exceptions
             it raises are isolated — warned once and suppressed — so an
             observability hook can never take down a campaign.
-        resume: a previous (partial) result for the same kind/supplies/
-            config; its completed and quarantined samples are carried
-            over and only the remaining indices are run. Seed-stable
-            because per-sample seeds derive from the sample index.
+        resume: a previous (partial) :class:`MonteCarloResult` — or a
+            :class:`ResultSet` reloaded from the artifact store — for
+            the same kind/supplies/config; its completed and
+            quarantined samples are carried over and only the remaining
+            indices are run. Seed-stable because per-sample seeds
+            derive from the sample index.
+        store: optional artifact store (or root path) to persist the
+            run to; the returned result carries the ``run_id``.
 
     Returns a partial result (``interrupted=True``) instead of raising
     on KeyboardInterrupt; per-sample errors are quarantined into
     ``failures`` rather than raised.
     """
-    config = config or MonteCarloConfig()
-    config.validate()
-    faults = config.faults
-
-    completed: list[tuple[int, ShifterMetrics]] = []
-    failures: list[SampleFailure] = []
-    if resume is not None:
-        completed.extend(zip(resume.completed_indices, resume.samples))
-        failures.extend(resume.failures)
-    done = {index for index, _ in completed}
-    done.update(f.index for f in failures)
-
-    progress_broken = False
-    interrupted = False
-
-    def _quarantine(index: int, stage: str, error: str) -> None:
-        failures.append(SampleFailure(index=index, stage=stage,
-                                      error=error))
-        if (config.max_failures is not None
-                and len(failures) > config.max_failures):
-            raise AnalysisError(
-                f"Monte Carlo aborted: {len(failures)} sample failures "
-                f"exceed max_failures={config.max_failures}; last: "
-                f"{failures[-1].describe()}")
-
-    def _progress(index: int, metrics: ShifterMetrics) -> None:
-        nonlocal progress_broken
-        if progress is None or progress_broken:
-            return
-        try:
-            progress(index, metrics)
-        except Exception as exc:
-            progress_broken = True
-            warnings.warn(
-                f"Monte Carlo progress callback raised "
-                f"{type(exc).__name__}: {exc}; further calls "
-                f"suppressed, campaign continues", RuntimeWarning,
-                stacklevel=3)
-
-    try:
-        if faults is not None:
-            # Fault campaigns count firings in mutable in-process state
-            # and scope the ambient plan per sample; both are invisible
-            # across a pool boundary, so they always run serially.
-            for index in range(config.runs):
-                if index in done:
-                    continue
-                if faults.fires("sample_failure", sample=index):
-                    _quarantine(index, "injected",
-                                "injected sample failure")
-                    continue
-                rng = np.random.default_rng(
-                    np.random.SeedSequence([config.seed, index]))
-                pdk = VariedPdk(rng, config.spec,
-                                temperature_c=config.temperature_c)
-                try:
-                    with faults.sample_scope(index), inject(faults):
-                        metrics = characterize(pdk, kind, vddi, vddo,
-                                               plan=config.plan,
-                                               sizing=sizing)
-                except KeyboardInterrupt:
-                    raise
-                except Exception as exc:
-                    _quarantine(index, "characterize",
-                                f"{type(exc).__name__}: {exc}")
-                    continue
-                completed.append((index, metrics))
-                _progress(index, metrics)
-        else:
-            tasks = [(index, config.seed, config.temperature_c,
-                      config.spec, config.plan, kind, vddi, vddo, sizing)
-                     for index in range(config.runs) if index not in done]
-            # Serial and parallel share _sample_worker, so a pool run is
-            # sample-for-sample identical to workers=1; only the arrival
-            # order of results (and progress callbacks) differs.
-            for outcome in parallel_map(_sample_worker, tasks,
-                                        workers=config.workers,
-                                        chunk_size=config.chunk_size):
-                if outcome[0] == "ok":
-                    _, index, metrics = outcome
-                    completed.append((index, metrics))
-                    _progress(index, metrics)
-                else:
-                    _, index, stage, message = outcome
-                    _quarantine(index, stage, message)
-    except KeyboardInterrupt:
-        interrupted = True
-
-    completed.sort(key=lambda pair: pair[0])
-    failures.sort(key=lambda f: f.index)
-    samples = [metrics for _, metrics in completed]
-    indices = [index for index, _ in completed]
-    statistics = aggregate(samples) if samples else None
-    return MonteCarloResult(kind=kind, vddi=vddi, vddo=vddo,
-                            samples=samples, statistics=statistics,
-                            completed_indices=indices, failures=failures,
-                            interrupted=interrupted)
+    spec = monte_carlo_spec(kind, vddi, vddo, config, sizing=sizing)
+    resultset = run_experiment(spec, progress=progress,
+                               resume=_as_resume(resume), store=store,
+                               run_id=run_id)
+    return result_from_resultset(resultset, kind=kind, vddi=vddi,
+                                 vddo=vddo)

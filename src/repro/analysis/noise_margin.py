@@ -11,19 +11,34 @@ The curve comes from a DC sweep of the characterization bench with the
 DUT input driven directly (the latch state is pinned by sweeping from
 the input-high side, where every shifter in the study is driven
 unconditionally).
+
+:func:`extract_vtc` is the single-point kernel; :func:`vtc_report`
+surveys a list of supply pairs through the unified experiment engine
+(``workers``, quarantine, artifact persistence) and summarizes the
+margins per pair.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.testbench import build_dut, dut_is_inverting
 from repro.errors import AnalysisError, MeasurementError
 from repro.pdk import Pdk
+from repro.runtime.campaign import SampleFailure
+from repro.runtime.experiment import (
+    ExperimentPoint, ExperimentSpec, ResultSet, run_experiment,
+)
 from repro.spice import Circuit, DcSweep
 from repro.spice.devices import VoltageSource
+
+#: Experiment name shared by specs, result sets, and stored manifests.
+EXPERIMENT_NAME = "vtc"
+
+#: Default supply pairs for a VTC survey: up-shift, down-shift, unity.
+DEFAULT_PAIRS = ((0.8, 1.2), (1.2, 0.8), (1.0, 1.0))
 
 
 @dataclass(frozen=True)
@@ -112,3 +127,104 @@ def extract_vtc(kind: str, vddi: float, vddo: float,
     return VtcResult(vin=vin_asc, vout=vout_asc, vddi=vddi, vddo=vddo,
                      inverting=inverting, voh=voh, vol=vol, vil=vil,
                      vih=vih, switching_point=switching)
+
+
+@dataclass
+class VtcReport:
+    """VTC survey over several supply pairs."""
+
+    kind: str
+    #: ``(vddi, vddo) -> VtcResult`` for the pairs that extracted.
+    results: dict = field(default_factory=dict)
+    #: Pairs whose DC sweep failed (quarantined, not raised).
+    failures: list[SampleFailure] = field(default_factory=list)
+    #: Artifact-store run id, when the campaign was persisted.
+    run_id: str | None = None
+
+    @property
+    def all_regenerative(self) -> bool:
+        return bool(self.results) and all(
+            vtc.regenerative() for vtc in self.results.values())
+
+    def worst_margin(self) -> float:
+        """Smallest noise margin (NML or NMH) over all pairs [V]."""
+        margins = [m for vtc in self.results.values()
+                   for m in (vtc.nml, vtc.nmh)]
+        return min(margins) if margins else float("nan")
+
+    def pretty(self) -> str:
+        lines = [f"VTC survey: {self.kind}"]
+        lines.append(f"  {'VDDI':>5s} {'VDDO':>5s} {'VOH':>6s} "
+                     f"{'VOL':>6s} {'NML':>6s} {'NMH':>6s} {'regen':>5s}")
+        for (vddi, vddo), vtc in sorted(self.results.items()):
+            lines.append(
+                f"  {vddi:>5.2f} {vddo:>5.2f} {vtc.voh:>6.3f} "
+                f"{vtc.vol:>6.3f} {vtc.nml:>6.3f} {vtc.nmh:>6.3f} "
+                f"{str(vtc.regenerative()):>5s}")
+        for f in self.failures:
+            vddi, vddo = f.index
+            lines.append(f"  {vddi:>5.2f} {vddo:>5.2f} QUARANTINED "
+                         f"[{f.stage}] {f.error}")
+        return "\n".join(lines)
+
+
+def _measure(params: tuple) -> VtcResult:
+    """Extract one pair's VTC; shared by serial and pool paths."""
+    vddi, vddo, kind, pdk, points, sizing = params
+    return extract_vtc(kind, vddi, vddo, pdk=pdk, points=points,
+                       sizing=sizing)
+
+
+def vtc_spec(kind: str, pairs=DEFAULT_PAIRS, pdk: Pdk | None = None,
+             points: int = 121, sizing=None, workers: int = 1,
+             chunk_size: int | None = None) -> ExperimentSpec:
+    """Describe a VTC survey declaratively."""
+    if points < 11:
+        raise AnalysisError("need at least 11 sweep points")
+    spec_points = [
+        ExperimentPoint((float(vddi), float(vddo)),
+                        (float(vddi), float(vddo), kind, pdk, points,
+                         sizing))
+        for vddi, vddo in pairs
+    ]
+    return ExperimentSpec(
+        name=EXPERIMENT_NAME, measure=_measure, points=spec_points,
+        stage="extract_vtc", codec="vtc",
+        workers=workers, chunk_size=chunk_size,
+        metadata={"experiment": "vtc", "kind": kind,
+                  "pairs": [[float(a), float(b)] for a, b in pairs],
+                  "points": points})
+
+
+def report_from_resultset(resultset: ResultSet,
+                          kind: str | None = None) -> VtcReport:
+    """Assemble the survey report from typed engine rows."""
+    report = VtcReport(
+        kind=kind if kind is not None
+        else resultset.metadata.get("kind", "?"),
+        run_id=resultset.run_id)
+    for row in resultset.rows:
+        if row.ok:
+            report.results[row.index] = row.value
+        else:
+            report.failures.append(row.failure())
+    return report
+
+
+def vtc_report(kind: str, pairs=DEFAULT_PAIRS, pdk: Pdk | None = None,
+               points: int = 121, sizing=None, workers: int = 1,
+               chunk_size: int | None = None,
+               resume: ResultSet | None = None,
+               store=None, run_id: str | None = None) -> VtcReport:
+    """Survey the VTC over several supply pairs.
+
+    ``workers > 1`` distributes pairs over a process pool; per-pair
+    results are identical to a serial run. A pair whose DC sweep fails
+    (e.g. no unity-gain region) is quarantined into ``failures``
+    instead of raising, so one degenerate pair doesn't sink the survey.
+    """
+    spec = vtc_spec(kind, pairs=pairs, pdk=pdk, points=points,
+                    sizing=sizing, workers=workers, chunk_size=chunk_size)
+    resultset = run_experiment(spec, resume=resume, store=store,
+                               run_id=run_id)
+    return report_from_resultset(resultset, kind=kind)

@@ -8,10 +8,16 @@ another operating pair.
 Each knob is a field of :class:`~repro.cells.sstvs.SstvsSizing`; the
 metric derivative is estimated with a central difference of the full
 characterization at perturbed sizings.
+
+The driver is a thin spec builder over the unified experiment engine:
+each knob is one experiment point (two characterizations), so
+``workers > 1`` distributes knobs over a process pool with results
+bitwise identical to a serial run.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, fields, replace
 
 from repro.cells.sstvs import SstvsSizing
@@ -19,10 +25,16 @@ from repro.core.characterize import StimulusPlan, characterize
 from repro.core.metrics import METRIC_FIELDS
 from repro.errors import AnalysisError
 from repro.pdk import Pdk
+from repro.runtime.experiment import (
+    ExperimentPoint, ExperimentSpec, ResultSet, run_experiment,
+)
 
 #: Sizing fields that are widths/lengths (perturbable).
 SIZING_KNOBS = tuple(f.name for f in fields(SstvsSizing)
                      if f.name.startswith(("w_", "l_")))
+
+#: Experiment name shared by specs, result sets, and stored manifests.
+EXPERIMENT_NAME = "sensitivity"
 
 
 @dataclass(frozen=True)
@@ -41,50 +53,94 @@ class Sensitivity:
         return max(self.values, key=lambda k: abs(self.values[k]))
 
 
+def _measure(params: tuple) -> Sensitivity:
+    """Central-difference one knob; shared by serial and pool paths."""
+    (knob, relative_step, kind, vddi, vddo, pdk, base, plan) = params
+    nominal = getattr(base, knob)
+    up = replace(base, **{knob: nominal * (1 + relative_step)})
+    down = replace(base, **{knob: nominal * (1 - relative_step)})
+    m_up = characterize(pdk, kind, vddi, vddo, plan=plan, sizing=up)
+    m_down = characterize(pdk, kind, vddi, vddo, plan=plan, sizing=down)
+    values = {}
+    for metric in METRIC_FIELDS:
+        hi = getattr(m_up, metric)
+        lo = getattr(m_down, metric)
+        if hi > 0 and lo > 0:
+            values[metric] = (math.log(hi / lo)
+                              / math.log((1 + relative_step)
+                                         / (1 - relative_step)))
+        else:
+            values[metric] = float("nan")
+    return Sensitivity(knob=knob, nominal=nominal, values=values)
+
+
+def sensitivity_spec(kind: str, vddi: float, vddo: float,
+                     knobs=SIZING_KNOBS, relative_step: float = 0.15,
+                     pdk: Pdk | None = None,
+                     base_sizing: SstvsSizing | None = None,
+                     plan: StimulusPlan | None = None,
+                     workers: int = 1,
+                     chunk_size: int | None = None) -> ExperimentSpec:
+    """Describe a sensitivity campaign declaratively (validates args)."""
+    if kind != "sstvs":
+        raise AnalysisError("sensitivities are defined for the sstvs "
+                            "sizing knobs")
+    if not 0 < relative_step < 0.5:
+        raise AnalysisError("relative_step must be in (0, 0.5)")
+    unknown = [k for k in knobs if k not in SIZING_KNOBS]
+    if unknown:
+        raise AnalysisError(f"unknown sizing knobs: {unknown}")
+    pdk = pdk or Pdk()
+    base = base_sizing or SstvsSizing()
+    points = [ExperimentPoint(knob, (knob, relative_step, kind, vddi,
+                                     vddo, pdk, base, plan))
+              for knob in knobs]
+    return ExperimentSpec(
+        name=EXPERIMENT_NAME, measure=_measure, points=points,
+        stage="characterize", codec="sensitivity",
+        workers=workers, chunk_size=chunk_size,
+        metadata={"experiment": "sensitivity", "kind": kind,
+                  "vddi": vddi, "vddo": vddo, "knobs": list(knobs),
+                  "relative_step": relative_step})
+
+
+def sensitivities_from_resultset(resultset: ResultSet
+                                 ) -> dict[str, Sensitivity]:
+    """Assemble the classic knob->Sensitivity mapping from engine rows.
+
+    A quarantined knob raises, as the legacy serial loop would have.
+    """
+    failures = resultset.sample_failures()
+    if failures:
+        f = failures[0]
+        raise AnalysisError(
+            f"sensitivity for knob {f.index!r} failed: [{f.stage}] "
+            f"{f.error}")
+    return {row.index: row.value for row in resultset.rows}
+
+
 def metric_sensitivities(kind: str, vddi: float, vddo: float,
                          knobs=SIZING_KNOBS, relative_step: float = 0.15,
                          pdk: Pdk | None = None,
                          base_sizing: SstvsSizing | None = None,
-                         plan: StimulusPlan | None = None
+                         plan: StimulusPlan | None = None,
+                         workers: int = 1,
+                         chunk_size: int | None = None,
+                         resume: ResultSet | None = None,
+                         store=None, run_id: str | None = None
                          ) -> dict[str, Sensitivity]:
     """Central-difference log-log sensitivities for each knob.
 
     Only meaningful for the ``"sstvs"`` kind (the sizing dataclass is
     the SS-TVS's); other kinds raise.
     """
-    if kind != "sstvs":
-        raise AnalysisError("sensitivities are defined for the sstvs "
-                            "sizing knobs")
-    if not 0 < relative_step < 0.5:
-        raise AnalysisError("relative_step must be in (0, 0.5)")
-    pdk = pdk or Pdk()
-    base = base_sizing or SstvsSizing()
-    unknown = [k for k in knobs if k not in SIZING_KNOBS]
-    if unknown:
-        raise AnalysisError(f"unknown sizing knobs: {unknown}")
-
-    results: dict[str, Sensitivity] = {}
-    for knob in knobs:
-        nominal = getattr(base, knob)
-        up = replace(base, **{knob: nominal * (1 + relative_step)})
-        down = replace(base, **{knob: nominal * (1 - relative_step)})
-        m_up = characterize(pdk, kind, vddi, vddo, plan=plan, sizing=up)
-        m_down = characterize(pdk, kind, vddi, vddo, plan=plan,
-                              sizing=down)
-        values = {}
-        for metric in METRIC_FIELDS:
-            hi = getattr(m_up, metric)
-            lo = getattr(m_down, metric)
-            if hi > 0 and lo > 0:
-                import math
-                values[metric] = (math.log(hi / lo)
-                                  / math.log((1 + relative_step)
-                                             / (1 - relative_step)))
-            else:
-                values[metric] = float("nan")
-        results[knob] = Sensitivity(knob=knob, nominal=nominal,
-                                    values=values)
-    return results
+    spec = sensitivity_spec(kind, vddi, vddo, knobs=knobs,
+                            relative_step=relative_step, pdk=pdk,
+                            base_sizing=base_sizing, plan=plan,
+                            workers=workers, chunk_size=chunk_size)
+    resultset = run_experiment(spec, resume=resume, store=store,
+                               run_id=run_id)
+    return sensitivities_from_resultset(resultset)
 
 
 def render_sensitivity_table(sensitivities: dict) -> str:

@@ -4,11 +4,16 @@ The paper sweeps both supplies from 0.8 V to 1.4 V (5 mV steps in the
 paper; configurable here — the benches default to 50 mV, which resolves
 the same surfaces at tractable cost) and plots the rising and falling
 delays, demonstrating smooth behaviour and full-range functionality.
+
+The driver is a thin spec builder over the unified experiment engine:
+:func:`sweep_spec` enumerates the grid cells, the engine runs them
+(workers / quarantine / Ctrl-C partials / resume), and
+:func:`surface_from_resultset` folds the typed rows back into the
+classic :class:`DelaySurface`.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -17,11 +22,16 @@ from repro.core.characterize import quick_delays
 from repro.errors import AnalysisError
 from repro.pdk import Pdk
 from repro.runtime.campaign import CampaignDiagnostics, SampleFailure
-from repro.runtime.parallel import parallel_map
+from repro.runtime.experiment import (
+    ExperimentPoint, ExperimentSpec, ResultSet, run_experiment,
+)
 
 #: The paper's DVS operating range [V].
 VDD_MIN = 0.8
 VDD_MAX = 1.4
+
+#: Experiment name shared by specs, result sets, and stored manifests.
+EXPERIMENT_NAME = "sweep"
 
 
 @dataclass
@@ -59,6 +69,8 @@ class DelaySurface:
     #: Grid points whose simulation escaped the solver's retry ladder
     #: (quarantined as non-functional NaN cells instead of raised).
     failures: list[SampleFailure] = field(default_factory=list)
+    #: Artifact-store run id, when the campaign was persisted.
+    run_id: str | None = None
 
     @property
     def functional_fraction(self) -> float:
@@ -101,62 +113,90 @@ class DelaySurface:
         return True
 
 
-def _cell_worker(task: tuple):
+def _measure(params: tuple):
     """Simulate one grid cell; shared by the serial and pool paths."""
-    i, j, vddi, vddo, kind, pdk, sizing = task
-    try:
-        q = quick_delays(pdk, kind, vddi, vddo, sizing=sizing)
-    except Exception as exc:
-        return ("err", i, j, f"{type(exc).__name__}: {exc}")
-    return ("ok", i, j, q)
+    vddi, vddo, kind, pdk, sizing = params
+    return quick_delays(pdk, kind, vddi, vddo, sizing=sizing)
 
 
-def sweep_delay_surface(kind: str, grid: SweepGrid | None = None,
-                        pdk: Pdk | None = None, sizing=None,
-                        progress=None, workers: int = 1,
-                        chunk_size: int | None = None) -> DelaySurface:
-    """Run :func:`quick_delays` over the grid; returns the surfaces.
-
-    ``workers > 1`` distributes grid cells over a process pool; cell
-    results are identical to a serial run, but ``progress`` fires in
-    completion order (with the cell indices attached) rather than
-    row-major order.
-    """
+def sweep_spec(kind: str, grid: SweepGrid | None = None,
+               pdk: Pdk | None = None, sizing=None, workers: int = 1,
+               chunk_size: int | None = None) -> ExperimentSpec:
+    """Describe a delay-surface sweep declaratively."""
     grid = grid or SweepGrid()
     pdk = pdk or Pdk()
+    points = [ExperimentPoint((i, j), (float(vddi), float(vddo), kind,
+                                       pdk, sizing))
+              for i, vddi in enumerate(grid.vddi_values)
+              for j, vddo in enumerate(grid.vddo_values)]
+    return ExperimentSpec(
+        name=EXPERIMENT_NAME, measure=_measure, points=points,
+        stage="quick_delays", codec="quick_delays",
+        workers=workers, chunk_size=chunk_size,
+        metadata={"experiment": "sweep", "kind": kind,
+                  "vddi_values": [float(v) for v in grid.vddi_values],
+                  "vddo_values": [float(v) for v in grid.vddo_values]})
+
+
+def grid_from_resultset(resultset: ResultSet) -> SweepGrid:
+    """Recover the grid a stored sweep ran over (from its metadata)."""
+    meta = resultset.metadata
+    if "vddi_values" not in meta or "vddo_values" not in meta:
+        raise AnalysisError("result set has no sweep grid metadata")
+    return SweepGrid(
+        vddi_values=np.asarray(meta["vddi_values"], dtype=float),
+        vddo_values=np.asarray(meta["vddo_values"], dtype=float))
+
+
+def surface_from_resultset(resultset: ResultSet,
+                           grid: SweepGrid | None = None) -> DelaySurface:
+    """Assemble the classic surface type from typed engine rows."""
+    grid = grid or grid_from_resultset(resultset)
     shape = (grid.vddi_values.size, grid.vddo_values.size)
     rise = np.full(shape, np.nan)
     fall = np.full(shape, np.nan)
     functional = np.zeros(shape, dtype=bool)
     failures: list[SampleFailure] = []
-    progress_broken = False
-    tasks = [(i, j, float(vddi), float(vddo), kind, pdk, sizing)
-             for i, vddi in enumerate(grid.vddi_values)
-             for j, vddo in enumerate(grid.vddo_values)]
-    for outcome in parallel_map(_cell_worker, tasks, workers=workers,
-                                chunk_size=chunk_size):
-        if outcome[0] == "err":
-            _, i, j, message = outcome
-            failures.append(SampleFailure(
-                index=(i, j), stage="quick_delays", error=message))
+    for row in resultset.rows:
+        i, j = row.index
+        if not row.ok:
+            failures.append(row.failure())
             continue
-        _, i, j, q = outcome
+        q = row.value
         rise[i, j] = q.delay_rise
         fall[i, j] = q.delay_fall
         functional[i, j] = q.functional
-        if progress is not None and not progress_broken:
-            try:
-                progress(i, j, q)
-            except Exception as exc:
-                progress_broken = True
-                warnings.warn(
-                    f"sweep progress callback raised "
-                    f"{type(exc).__name__}: {exc}; further calls "
-                    f"suppressed, sweep continues", RuntimeWarning,
-                    stacklevel=2)
-    failures.sort(key=lambda f: f.index)
     return DelaySurface(grid.vddi_values.copy(), grid.vddo_values.copy(),
-                        rise, fall, functional, failures=failures)
+                        rise, fall, functional, failures=failures,
+                        run_id=resultset.run_id)
+
+
+def sweep_delay_surface(kind: str, grid: SweepGrid | None = None,
+                        pdk: Pdk | None = None, sizing=None,
+                        progress=None, workers: int = 1,
+                        chunk_size: int | None = None,
+                        resume: ResultSet | None = None,
+                        store=None,
+                        run_id: str | None = None) -> DelaySurface:
+    """Run :func:`quick_delays` over the grid; returns the surfaces.
+
+    ``workers > 1`` distributes grid cells over a process pool; cell
+    results are identical to a serial run, but ``progress`` fires in
+    completion order (with the cell indices attached) rather than
+    row-major order. ``store`` persists the run; ``resume`` accepts a
+    result set reloaded from the artifact store and fills in only the
+    missing cells.
+    """
+    grid = grid or SweepGrid()
+    spec = sweep_spec(kind, grid, pdk=pdk, sizing=sizing, workers=workers,
+                      chunk_size=chunk_size)
+    engine_progress = None
+    if progress is not None:
+        def engine_progress(index, q):
+            progress(index[0], index[1], q)
+    resultset = run_experiment(spec, progress=engine_progress,
+                               resume=resume, store=store, run_id=run_id)
+    return surface_from_resultset(resultset, grid)
 
 
 def render_surface_ascii(surface: DelaySurface, which: str = "rise",

@@ -5,6 +5,12 @@ temperatures and reports correct conversion everywhere, with results
 "substantially similar" to the 27 C tables. This module provides both
 a nominal temperature sweep of the six metrics and a Monte Carlo
 repeat at each temperature.
+
+Both flows route through the unified experiment engine:
+:func:`temperature_spec` describes the nominal sweep declaratively
+(``workers > 1`` runs temperatures in parallel, bitwise identical to
+serial), and :func:`monte_carlo_over_temperature` forwards ``workers``
+into each per-temperature Monte Carlo campaign.
 """
 
 from __future__ import annotations
@@ -17,9 +23,15 @@ from repro.analysis.montecarlo import (
 from repro.core.characterize import characterize
 from repro.core.metrics import ShifterMetrics
 from repro.pdk import Pdk
+from repro.runtime.experiment import (
+    ExperimentPoint, ExperimentSpec, ResultSet, run_experiment,
+)
 
 #: The paper's validation temperatures [C].
 PAPER_TEMPERATURES = (27.0, 60.0, 90.0)
+
+#: Experiment name shared by specs, result sets, and stored manifests.
+EXPERIMENT_NAME = "temperature"
 
 
 @dataclass
@@ -28,28 +40,79 @@ class TemperaturePoint:
     metrics: ShifterMetrics
 
 
+def _measure(params: tuple) -> ShifterMetrics:
+    """Characterize at one temperature; shared by serial/pool paths."""
+    temp, kind, vddi, vddo, sizing = params
+    pdk = Pdk(temperature_c=temp)
+    return characterize(pdk, kind, vddi, vddo, sizing=sizing)
+
+
+def temperature_spec(kind: str, vddi: float, vddo: float,
+                     temperatures=PAPER_TEMPERATURES, sizing=None,
+                     workers: int = 1,
+                     chunk_size: int | None = None) -> ExperimentSpec:
+    """Describe a nominal temperature sweep declaratively."""
+    points = [ExperimentPoint(float(temp),
+                              (float(temp), kind, vddi, vddo, sizing))
+              for temp in temperatures]
+    return ExperimentSpec(
+        name=EXPERIMENT_NAME, measure=_measure, points=points,
+        stage="characterize", codec="metrics",
+        workers=workers, chunk_size=chunk_size,
+        metadata={"experiment": "temperature", "kind": kind,
+                  "vddi": vddi, "vddo": vddo,
+                  "temperatures": [float(t) for t in temperatures]})
+
+
+def points_from_resultset(resultset: ResultSet) -> list[TemperaturePoint]:
+    """Assemble the classic point list from typed engine rows.
+
+    Quarantined temperatures appear as non-functional NaN entries so
+    the sweep shape is preserved.
+    """
+    nan = float("nan")
+    points = []
+    for row in resultset.rows:
+        metrics = row.value if row.ok else ShifterMetrics(
+            nan, nan, nan, nan, nan, nan, functional=False)
+        points.append(TemperaturePoint(row.index, metrics))
+    return points
+
+
 def sweep_temperature(kind: str, vddi: float, vddo: float,
                       temperatures=PAPER_TEMPERATURES,
-                      sizing=None) -> list[TemperaturePoint]:
+                      sizing=None, workers: int = 1,
+                      chunk_size: int | None = None,
+                      resume: ResultSet | None = None,
+                      store=None,
+                      run_id: str | None = None) -> list[TemperaturePoint]:
     """Nominal-process characterization at each temperature."""
-    points = []
-    for temp in temperatures:
-        pdk = Pdk(temperature_c=temp)
-        metrics = characterize(pdk, kind, vddi, vddo, sizing=sizing)
-        points.append(TemperaturePoint(temp, metrics))
-    return points
+    spec = temperature_spec(kind, vddi, vddo, temperatures=temperatures,
+                            sizing=sizing, workers=workers,
+                            chunk_size=chunk_size)
+    resultset = run_experiment(spec, resume=resume, store=store,
+                               run_id=run_id)
+    return points_from_resultset(resultset)
 
 
 def monte_carlo_over_temperature(kind: str, vddi: float, vddo: float,
                                  runs: int = 50,
                                  temperatures=PAPER_TEMPERATURES,
                                  seed: int = 20080310,
-                                 sizing=None) -> dict[float, MonteCarloResult]:
-    """Monte Carlo repeated per temperature (paper's validation)."""
+                                 sizing=None, workers: int = 1,
+                                 chunk_size: int | None = None
+                                 ) -> dict[float, MonteCarloResult]:
+    """Monte Carlo repeated per temperature (paper's validation).
+
+    ``workers`` parallelizes the samples *within* each temperature's
+    campaign; per-sample seeds derive from the sample index, so the
+    tables match a serial run bitwise.
+    """
     results = {}
     for temp in temperatures:
         config = MonteCarloConfig(runs=runs, seed=seed,
-                                  temperature_c=temp)
+                                  temperature_c=temp, workers=workers,
+                                  chunk_size=chunk_size)
         results[temp] = run_monte_carlo(kind, vddi, vddo, config,
                                         sizing=sizing)
     return results

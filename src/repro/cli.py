@@ -2,20 +2,31 @@
 
 Commands map one-to-one onto the library's experiment entry points:
 
-* ``characterize`` — the six Table-1/2 metrics for one shifter kind;
+* ``characterize`` — the six Table-1/2 metrics for one or more kinds;
 * ``compare`` — SS-TVS vs combined VS side by side;
 * ``sweep`` — Figures 8/9 delay surfaces as text;
 * ``mc`` — Monte Carlo statistics (Tables 3/4);
 * ``functional`` — the full-grid conversion check;
+* ``temp`` — nominal characterization at the paper's temperatures;
+* ``sens`` — finite-difference sizing sensitivities;
 * ``area`` — Figure 7 cell-area estimates;
 * ``liberty`` — NLDM characterization to a .lib-like file;
-* ``bench`` — timed benchmark workloads (and ``--check`` regression guard);
-* ``check`` — fault-injected self-test of the resilient solver runtime;
+* ``vtc`` — DC transfer curve / noise margins;
+* ``pvt`` — process-corner x temperature report;
+* ``bench`` — timed benchmark workloads (appends to a trajectory file;
+  ``--check`` is the regression guard);
+* ``check`` — fault-injected self-test of the resilient solver runtime
+  (``--experiments`` adds an engine/artifact-store smoke test);
+* ``runs`` / ``show`` — list and inspect stored experiment runs;
 * ``vcd`` — dump a characterization transient as VCD.
 
-Campaign commands (``sweep``, ``mc``, ``functional``, ``pvt``) accept
-``--workers N`` to distribute samples over a process pool; results are
-identical to a serial run.
+Every campaign subcommand is a thin spec builder over the unified
+experiment engine (:mod:`repro.runtime.experiment`) and shares three
+flags: ``--workers N`` distributes samples over a process pool
+(results identical to a serial run), ``--out DIR`` persists the run as
+``DIR/<run-id>/manifest.json`` + ``rows.jsonl`` with full provenance,
+and ``--resume RUN-ID`` reloads a stored (possibly partial) run and
+computes only the missing points.
 """
 
 from __future__ import annotations
@@ -35,9 +46,34 @@ def _add_voltage_args(parser) -> None:
                         help="output-domain supply [V]")
 
 
-def _add_workers_arg(parser) -> None:
-    parser.add_argument("--workers", type=int, default=1,
+def _add_campaign_args(parser, workers_default: int = 1) -> None:
+    """The shared campaign flags: --workers / --out / --resume."""
+    parser.add_argument("--workers", type=int, default=workers_default,
                         help="process-pool width (1 = serial)")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="artifact-store root; persists the run as "
+                             "DIR/<run-id>/ with a provenance manifest")
+    parser.add_argument("--resume", default=None, metavar="RUN_ID",
+                        help="reload this stored run and compute only "
+                             "the missing points (implies --out, "
+                             "default 'results')")
+
+
+def _campaign_io(args):
+    """Resolve the shared flags into (store, resume, run_id)."""
+    from repro.runtime.experiment import ArtifactStore, DEFAULT_ROOT
+    store = resume = None
+    if getattr(args, "out", None) or getattr(args, "resume", None):
+        store = ArtifactStore(args.out or DEFAULT_ROOT)
+    if getattr(args, "resume", None):
+        resume = store.load(args.resume)
+    return store, resume, getattr(args, "resume", None)
+
+
+def _report_run(result) -> None:
+    run_id = getattr(result, "run_id", None)
+    if run_id:
+        print(f"stored run: {run_id}")
 
 
 def _print_metrics(metrics, title: str) -> None:
@@ -45,18 +81,26 @@ def _print_metrics(metrics, title: str) -> None:
 
 
 def cmd_characterize(args) -> int:
-    from repro.core import LevelShifter
-    metrics = LevelShifter(args.kind).characterize(args.vddi, args.vddo)
-    _print_metrics(metrics, f"{args.kind}: {args.vddi} V -> "
-                            f"{args.vddo} V @ {args.temp} C")
-    return 0 if metrics.functional else 1
+    from repro.core.characterize import characterize_kinds
+    from repro.pdk import Pdk
+    store, resume, run_id = _campaign_io(args)
+    results = characterize_kinds(args.kinds, args.vddi, args.vddo,
+                                 pdk=Pdk(args.temp),
+                                 workers=args.workers, resume=resume,
+                                 store=store, run_id=run_id)
+    for kind, metrics in results.items():
+        _print_metrics(metrics, f"{kind}: {args.vddi} V -> "
+                                f"{args.vddo} V @ {args.temp} C")
+    if store is not None and store.list_runs():
+        print(f"stored run under {store.root}")
+    return 0 if all(m.functional for m in results.values()) else 1
 
 
 def cmd_compare(args) -> int:
-    from repro.core import LevelShifter
-    sstvs = LevelShifter("sstvs").characterize(args.vddi, args.vddo)
-    combined = LevelShifter("combined").characterize(args.vddi,
-                                                     args.vddo)
+    from repro.core.characterize import characterize_kinds
+    results = characterize_kinds(("sstvs", "combined"), args.vddi,
+                                 args.vddo)
+    sstvs, combined = results["sstvs"], results["combined"]
     print(f"{'Performance Parameter':<24s} {'SS-TVS':>12s} "
           f"{'Combined':>12s} {'advantage':>10s}")
     for name in METRIC_FIELDS:
@@ -72,23 +116,28 @@ def cmd_sweep(args) -> int:
     from repro.analysis import (
         SweepGrid, render_surface_ascii, sweep_delay_surface,
     )
+    store, resume, run_id = _campaign_io(args)
     surface = sweep_delay_surface(args.kind,
                                   SweepGrid.with_step(args.step),
-                                  workers=args.workers)
+                                  workers=args.workers, resume=resume,
+                                  store=store, run_id=run_id)
     print("Rising delay [ps]:")
     print(render_surface_ascii(surface, "rise"))
     print("\nFalling delay [ps]:")
     print(render_surface_ascii(surface, "fall"))
     print(f"\nfunctional fraction: {surface.functional_fraction:.3f}")
+    _report_run(surface)
     return 0 if surface.functional_fraction == 1.0 else 1
 
 
 def cmd_mc(args) -> int:
     from repro.analysis import MonteCarloConfig, run_monte_carlo
+    store, resume, run_id = _campaign_io(args)
     config = MonteCarloConfig(runs=args.runs, seed=args.seed,
                               temperature_c=args.temp,
                               workers=args.workers)
-    result = run_monte_carlo(args.kind, args.vddi, args.vddo, config)
+    result = run_monte_carlo(args.kind, args.vddi, args.vddo, config,
+                             resume=resume, store=store, run_id=run_id)
     title = (f"{args.kind} MC, {args.vddi} -> {args.vddo} V, "
              f"{args.runs} runs, {args.temp} C")
     if result.statistics is not None:
@@ -97,16 +146,53 @@ def cmd_mc(args) -> int:
         print(f"{title}\n  no successful samples")
     if result.failures or result.interrupted:
         print(result.failure_summary())
+    _report_run(result)
     return 0 if result.functional_yield == 1.0 else 1
 
 
 def cmd_functional(args) -> int:
     from repro.analysis import SweepGrid, validate_functionality
+    store, resume, run_id = _campaign_io(args)
     report = validate_functionality(args.kind,
                                     SweepGrid.with_step(args.step),
-                                    workers=args.workers)
+                                    workers=args.workers, resume=resume,
+                                    store=store, run_id=run_id)
     print(report.summary())
+    _report_run(report)
     return 0 if report.all_passed else 1
+
+
+def cmd_temp(args) -> int:
+    from repro.analysis import sweep_temperature
+    store, resume, run_id = _campaign_io(args)
+    points = sweep_temperature(args.kind, args.vddi, args.vddo,
+                               temperatures=tuple(args.temps),
+                               workers=args.workers, resume=resume,
+                               store=store, run_id=run_id)
+    print(f"{args.kind}, {args.vddi} V -> {args.vddo} V:")
+    print(f"  {'T[C]':>6s} {'d_rise':>9s} {'d_fall':>9s} "
+          f"{'leak_hi':>9s} {'func':>5s}")
+    for p in points:
+        m = p.metrics
+        print(f"  {p.temperature_c:>6.1f} "
+              f"{format_eng(m.delay_rise, 's', 3):>9s} "
+              f"{format_eng(m.delay_fall, 's', 3):>9s} "
+              f"{format_eng(m.leakage_high, 'A', 3):>9s} "
+              f"{str(m.functional):>5s}")
+    return 0 if all(p.metrics.functional for p in points) else 1
+
+
+def cmd_sens(args) -> int:
+    from repro.analysis import (
+        SIZING_KNOBS, metric_sensitivities, render_sensitivity_table,
+    )
+    store, resume, run_id = _campaign_io(args)
+    knobs = tuple(args.knobs) if args.knobs else SIZING_KNOBS
+    sensitivities = metric_sensitivities(
+        "sstvs", args.vddi, args.vddo, knobs=knobs,
+        workers=args.workers, resume=resume, store=store, run_id=run_id)
+    print(render_sensitivity_table(sensitivities))
+    return 0
 
 
 def cmd_area(args) -> int:
@@ -129,8 +215,10 @@ def cmd_area(args) -> int:
 def cmd_liberty(args) -> int:
     from repro.core.libchar import characterize_cell, write_liberty
     from repro.pdk import Pdk
+    store, _, _ = _campaign_io(args)
     cells = [characterize_cell(kind, Pdk(args.temp), args.vddi,
-                               args.vddo)
+                               args.vddo, workers=args.workers,
+                               store=store)
              for kind in args.kinds]
     text = write_liberty(cells)
     if args.output == "-":
@@ -143,8 +231,17 @@ def cmd_liberty(args) -> int:
 
 
 def cmd_vtc(args) -> int:
-    from repro.analysis import extract_vtc
-    vtc = extract_vtc(args.kind, args.vddi, args.vddo)
+    from repro.analysis import vtc_report
+    store, resume, run_id = _campaign_io(args)
+    report = vtc_report(args.kind, pairs=((args.vddi, args.vddo),),
+                        workers=args.workers, resume=resume,
+                        store=store, run_id=run_id)
+    if report.failures:
+        for f in report.failures:
+            print(f"VTC extraction failed at {f.index}: "
+                  f"[{f.stage}] {f.error}")
+        return 1
+    vtc = report.results[(args.vddi, args.vddo)]
     print(f"{args.kind} VTC at ({args.vddi} V -> {args.vddo} V):")
     print(f"  VOH={vtc.voh:.3f} V  VOL={vtc.vol:.3f} V  "
           f"swing={vtc.output_swing:.3f} V")
@@ -152,15 +249,63 @@ def cmd_vtc(args) -> int:
           f"Vsw={vtc.switching_point:.3f} V")
     print(f"  NML={vtc.nml:.3f} V  NMH={vtc.nmh:.3f} V  "
           f"regenerative={vtc.regenerative()}")
+    _report_run(report)
     return 0
 
 
 def cmd_pvt(args) -> int:
     from repro.analysis import pvt_report
+    store, resume, run_id = _campaign_io(args)
     report = pvt_report(args.kind, args.vddi, args.vddo,
-                        workers=args.workers)
+                        workers=args.workers, resume=resume,
+                        store=store, run_id=run_id)
     print(report.pretty())
+    _report_run(report)
     return 0 if report.all_functional else 1
+
+
+def cmd_runs(args) -> int:
+    """List stored experiment runs (``results/<run-id>/``)."""
+    from repro.runtime.experiment import ArtifactStore, DEFAULT_ROOT
+    store = ArtifactStore(args.out or DEFAULT_ROOT)
+    manifests = store.list_runs()
+    if not manifests:
+        print(f"no stored runs under {store.root}")
+        return 0
+    print(f"{'run id':<36s} {'name':<14s} {'ok':>5s} {'err':>4s} "
+          f"{'written (UTC)':<20s}")
+    for manifest in manifests:
+        counts = manifest.get("counts", {})
+        written = str(manifest.get("provenance", {})
+                      .get("written_utc", ""))[:19]
+        flags = " interrupted" if counts.get("interrupted") else ""
+        print(f"{manifest.get('run_id', '?'):<36s} "
+              f"{manifest.get('name', '?'):<14s} "
+              f"{counts.get('ok', 0):>5d} {counts.get('err', 0):>4d} "
+              f"{written:<20s}{flags}")
+    return 0
+
+
+def cmd_show(args) -> int:
+    """Show one stored run: provenance manifest plus row summary."""
+    from repro.runtime.experiment import ArtifactStore, DEFAULT_ROOT
+    store = ArtifactStore(args.out or DEFAULT_ROOT)
+    manifest = store.manifest(args.run_id)
+    prov = manifest.get("provenance", {})
+    print(f"run {manifest.get('run_id')}: {manifest.get('name')}")
+    for key in ("written_utc", "git_sha", "pdk_fingerprint", "seed",
+                "workers", "wall_s", "python", "numpy"):
+        value = prov.get(key)
+        if value is not None:
+            print(f"  {key:16s} {value}")
+    metadata = manifest.get("metadata", {})
+    if metadata:
+        print("  metadata:")
+        for key in sorted(metadata):
+            print(f"    {key:14s} {metadata[key]}")
+    resultset = store.load(args.run_id)
+    print(resultset.pretty(limit=args.limit or len(resultset.rows)))
+    return 0
 
 
 def cmd_vcd(args) -> int:
@@ -181,15 +326,19 @@ def cmd_vcd(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    """Timed benchmark workloads; writes a BENCH_*.json trajectory.
+    """Timed benchmark workloads; appends to a trajectory file.
 
-    With ``--check``, instead compares a fresh run against the stored
-    trajectory and exits nonzero when solves/sec regressed more than
-    30% on any workload.
+    Each run appends one entry to ``--out`` (default ``BENCH.json``),
+    converting a legacy single-record file in place. With ``--check``,
+    instead compares a fresh run against the latest stored entry and
+    exits nonzero when solves/sec regressed more than 30% on any
+    workload.
     """
+    import os
+
     from repro.analysis.bench import (
-        check_regression, load_trajectory, run_bench_suite,
-        write_trajectory,
+        append_trajectory, check_regression, load_trajectory,
+        run_bench_suite,
     )
     record = run_bench_suite(mc_runs=args.runs, sweep_step=args.step,
                              workers=args.workers)
@@ -204,21 +353,79 @@ def cmd_bench(args) -> int:
         print("FAIL: parallel MC samples differ from serial run")
         return 1
     if args.check:
+        baseline_path = args.out
+        if not os.path.exists(baseline_path) \
+                and os.path.exists("BENCH_PR2.json"):
+            baseline_path = "BENCH_PR2.json"
         try:
-            baseline = load_trajectory(args.output)
+            baseline = load_trajectory(baseline_path)
         except OSError as exc:
-            print(f"cannot load baseline {args.output}: {exc}")
+            print(f"cannot load baseline {baseline_path}: {exc}")
             return 1
         problems = check_regression(record, baseline)
         for problem in problems:
             print(f"REGRESSION: {problem}")
         if problems:
             return 1
-        print(f"no throughput regression vs {args.output}")
+        print(f"no throughput regression vs {baseline_path}")
         return 0
-    write_trajectory(record, args.output)
-    print(f"wrote {args.output}")
+    entries = append_trajectory(record, args.out)
+    print(f"appended to {args.out} ({entries} entr"
+          f"{'y' if entries == 1 else 'ies'})")
     return 0
+
+
+def _check_experiments(check) -> None:
+    """Engine + artifact-store smoke: run, persist, reload, resume."""
+    import tempfile
+
+    from repro.runtime.experiment import (
+        ArtifactStore, ExperimentPoint, ExperimentSpec, run_experiment,
+    )
+
+    print("experiment engine / artifact store:")
+    spec = ExperimentSpec(
+        name="smoke", measure=_smoke_measure,
+        points=[ExperimentPoint(i, float(i)) for i in range(6)],
+        codec="json", seed=1234, metadata={"experiment": "smoke"})
+    with tempfile.TemporaryDirectory() as root:
+        store = ArtifactStore(root)
+        resultset = run_experiment(spec, store=store)
+        check("engine computes every point",
+              resultset.values() == [float(i) ** 2 for i in range(6)])
+        check("store assigns a run id",
+              bool(resultset.run_id)
+              and store.path(resultset.run_id).is_dir())
+
+        manifest = store.manifest(resultset.run_id)
+        prov = manifest.get("provenance", {})
+        check("manifest records provenance",
+              manifest.get("schema", "").startswith("repro-manifest")
+              and prov.get("seed") == 1234
+              and bool(prov.get("pdk_fingerprint"))
+              and "retry_policy" in prov)
+
+        reloaded = store.load(resultset.run_id)
+        check("stored rows reload bitwise",
+              reloaded.values() == resultset.values())
+
+        # Truncate the row file mid-line and resume from the survivor.
+        rows_path = store.path(resultset.run_id) / "rows.jsonl"
+        text = rows_path.read_text()
+        rows_path.write_text(text[: len(text) * 2 // 3])
+        partial = store.load(resultset.run_id)
+        check("truncated run loads as interrupted partial",
+              partial.interrupted
+              and 0 < len(partial.rows) < len(resultset.rows))
+        resumed = run_experiment(spec, resume=partial)
+        check("resume completes only the missing points",
+              resumed.values() == resultset.values()
+              and not resumed.interrupted)
+
+
+def _smoke_measure(x: float) -> float:
+    """Trivial measurement for the ``check --experiments`` smoke."""
+    return x * x
 
 
 def cmd_check(args) -> int:
@@ -227,7 +434,8 @@ def cmd_check(args) -> int:
     Exercises every fallback rung with deterministic faults, then runs
     a small fault-injected Monte Carlo smoke campaign; exits nonzero if
     any solver escape goes uncaught or the quarantine bookkeeping is
-    wrong.
+    wrong. ``--experiments`` adds an engine/artifact-store round-trip
+    (persist, reload, truncate, resume).
     """
     from repro.analysis import MonteCarloConfig, run_monte_carlo
     from repro.core import StimulusPlan
@@ -303,6 +511,13 @@ def cmd_check(args) -> int:
                and result.functional_yield < 1.0)
         print("  " + result.failure_summary().replace("\n", "\n  "))
 
+    if args.experiments:
+        try:
+            _check_experiments(_check)
+        except Exception as exc:
+            _check(f"experiment smoke raised {type(exc).__name__}: {exc}",
+                   False)
+
     if failures:
         print(f"check FAILED: {len(failures)} problem(s)")
         return 1
@@ -319,8 +534,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("characterize", help="six-metric characterization")
-    p.add_argument("kind", choices=KINDS)
+    p.add_argument("kinds", nargs="+", choices=KINDS, metavar="kind")
     _add_voltage_args(p)
+    _add_campaign_args(p)
     p.set_defaults(func=cmd_characterize)
 
     p = sub.add_parser("compare", help="SS-TVS vs combined VS")
@@ -330,7 +546,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="delay surfaces (Figures 8/9)")
     p.add_argument("kind", nargs="?", default="sstvs", choices=KINDS)
     p.add_argument("--step", type=float, default=0.2)
-    _add_workers_arg(p)
+    _add_campaign_args(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("mc", help="Monte Carlo statistics (Tables 3/4)")
@@ -338,14 +554,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_voltage_args(p)
     p.add_argument("--runs", type=int, default=25)
     p.add_argument("--seed", type=int, default=20080310)
-    _add_workers_arg(p)
+    _add_campaign_args(p)
     p.set_defaults(func=cmd_mc)
 
     p = sub.add_parser("functional", help="full-grid conversion check")
     p.add_argument("kind", nargs="?", default="sstvs", choices=KINDS)
     p.add_argument("--step", type=float, default=0.2)
-    _add_workers_arg(p)
+    _add_campaign_args(p)
     p.set_defaults(func=cmd_functional)
+
+    p = sub.add_parser("temp", help="characterization vs temperature")
+    p.add_argument("kind", nargs="?", default="sstvs", choices=KINDS)
+    _add_voltage_args(p)
+    p.add_argument("--temps", type=float, nargs="+",
+                   default=[27.0, 60.0, 90.0],
+                   help="temperatures [C] (paper: 27 60 90)")
+    _add_campaign_args(p)
+    p.set_defaults(func=cmd_temp)
+
+    p = sub.add_parser("sens", help="sizing-knob sensitivities (sstvs)")
+    _add_voltage_args(p)
+    p.add_argument("--knobs", nargs="+", default=None,
+                   help="sizing knobs to perturb (default: all)")
+    _add_campaign_args(p)
+    p.set_defaults(func=cmd_sens)
 
     p = sub.add_parser("area", help="cell-area estimates (Figure 7)")
     p.set_defaults(func=cmd_area)
@@ -354,29 +586,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("kinds", nargs="+", choices=KINDS)
     _add_voltage_args(p)
     p.add_argument("--output", "-o", default="-")
+    _add_campaign_args(p)
     p.set_defaults(func=cmd_liberty)
 
     p = sub.add_parser("vtc", help="DC transfer curve / noise margins")
     p.add_argument("kind", choices=KINDS)
     _add_voltage_args(p)
+    _add_campaign_args(p)
     p.set_defaults(func=cmd_vtc)
 
     p = sub.add_parser("pvt", help="process-corner x temperature report")
     p.add_argument("kind", nargs="?", default="sstvs", choices=KINDS)
     _add_voltage_args(p)
-    _add_workers_arg(p)
+    _add_campaign_args(p)
     p.set_defaults(func=cmd_pvt)
+
+    p = sub.add_parser("runs", help="list stored experiment runs")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="artifact-store root (default: results)")
+    p.set_defaults(func=cmd_runs)
+
+    p = sub.add_parser("show", help="inspect one stored experiment run")
+    p.add_argument("run_id")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="artifact-store root (default: results)")
+    p.add_argument("--limit", type=int, default=20,
+                   help="rows to print (0 = all)")
+    p.set_defaults(func=cmd_show)
 
     p = sub.add_parser("bench", help="timed benchmark workloads")
     p.add_argument("--runs", type=int, default=100,
                    help="Monte Carlo workload sample count")
     p.add_argument("--step", type=float, default=0.1,
                    help="sweep workload grid step [V]")
-    p.add_argument("--output", "-o", default="BENCH_PR2.json",
-                   help="trajectory file to write (or compare against)")
+    p.add_argument("--out", "--output", "-o", dest="out",
+                   default="BENCH.json",
+                   help="trajectory file to append to (or compare "
+                        "against)")
     p.add_argument("--check", action="store_true",
                    help="compare against the stored trajectory instead "
-                        "of overwriting it; fail on >30%% solves/sec "
+                        "of appending; fail on >30%% solves/sec "
                         "regression")
     p.add_argument("--workers", type=int, default=4,
                    help="pool width for the parallel MC workload")
@@ -385,6 +634,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("check", help="fault-injected solver self-test")
     p.add_argument("--runs", type=int, default=6,
                    help="smoke-campaign sample count")
+    p.add_argument("--experiments", action="store_true",
+                   help="also smoke-test the experiment engine and "
+                        "artifact store (persist, reload, resume)")
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("vcd", help="dump a characterization transient")
@@ -398,7 +650,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into head); exit quietly, and
+        # redirect the fd so interpreter shutdown doesn't re-raise.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,7 +1,8 @@
 """Core public API for the SS-TVS reproduction."""
 
 from repro.core.characterize import (
-    QuickDelays, StimulusPlan, characterize, quick_delays, run_stimulus,
+    QuickDelays, StimulusPlan, characterize, characterize_kinds,
+    quick_delays, run_stimulus,
 )
 from repro.core.metrics import (
     METRIC_FIELDS, METRIC_LABELS, METRIC_UNITS, MetricStatistics,
@@ -23,6 +24,7 @@ __all__ = [
     "METRIC_UNITS",
     "StimulusPlan",
     "characterize",
+    "characterize_kinds",
     "quick_delays",
     "run_stimulus",
     "QuickDelays",

@@ -283,3 +283,66 @@ def quick_delays(pdk, kind: str, vddi: float, vddo: float,
     functional = (w_out.value_at(high_sample) >= vddo - tol
                   and abs(w_out.value_at(low_sample)) <= tol)
     return QuickDelays(d_rise, d_fall, bool(functional))
+
+
+#: Experiment name for multi-kind characterization campaigns.
+CHARACTERIZE_EXPERIMENT = "characterize"
+
+
+def _kind_measure(params: tuple) -> ShifterMetrics:
+    """Characterize one kind; shared by serial and pool paths."""
+    kind, vddi, vddo, pdk, plan, load_cap, sizing, driver_scale = params
+    return characterize(pdk, kind, vddi, vddo, plan=plan,
+                        load_cap=load_cap, sizing=sizing,
+                        driver_scale=driver_scale)
+
+
+def characterize_kinds_spec(kinds, vddi: float, vddo: float, pdk=None,
+                            plan: StimulusPlan | None = None,
+                            load_cap: float = 1e-15, sizing=None,
+                            driver_scale: float = 1.0,
+                            workers: int = 1,
+                            chunk_size: int | None = None):
+    """Describe a multi-kind characterization campaign declaratively."""
+    from repro.runtime.experiment import ExperimentPoint, ExperimentSpec
+    if pdk is None:
+        from repro.pdk import Pdk
+        pdk = Pdk()
+    points = [ExperimentPoint(kind, (kind, vddi, vddo, pdk, plan,
+                                     load_cap, sizing, driver_scale))
+              for kind in kinds]
+    return ExperimentSpec(
+        name=CHARACTERIZE_EXPERIMENT, measure=_kind_measure,
+        points=points, stage="characterize", codec="metrics",
+        workers=workers, chunk_size=chunk_size,
+        metadata={"experiment": "characterize", "kinds": list(kinds),
+                  "vddi": vddi, "vddo": vddo})
+
+
+def characterize_kinds(kinds, vddi: float, vddo: float, pdk=None,
+                       plan: StimulusPlan | None = None,
+                       load_cap: float = 1e-15, sizing=None,
+                       driver_scale: float = 1.0, workers: int = 1,
+                       chunk_size: int | None = None, resume=None,
+                       store=None,
+                       run_id: str | None = None) -> dict:
+    """Characterize several kinds at one operating point.
+
+    Returns ``kind -> ShifterMetrics``, in the order given. Routed
+    through the unified experiment engine, so ``workers > 1``
+    parallelizes over kinds and ``store=`` persists the run with a
+    provenance manifest. A kind whose bench escapes the solver's retry
+    ladder comes back as a non-functional NaN entry (matching
+    :func:`characterize`'s own convergence-failure convention).
+    """
+    from repro.runtime.experiment import run_experiment
+    spec = characterize_kinds_spec(kinds, vddi, vddo, pdk=pdk, plan=plan,
+                                   load_cap=load_cap, sizing=sizing,
+                                   driver_scale=driver_scale,
+                                   workers=workers, chunk_size=chunk_size)
+    resultset = run_experiment(spec, resume=resume, store=store,
+                               run_id=run_id)
+    nan = float("nan")
+    return {row.index: row.value if row.ok else ShifterMetrics(
+                nan, nan, nan, nan, nan, nan, functional=False)
+            for row in resultset.rows}

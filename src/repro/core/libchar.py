@@ -123,16 +123,108 @@ def _estimate_input_capacitance(circuit: Circuit, in_node: str) -> float:
     return total
 
 
-def characterize_cell(kind: str, pdk, vddi: float, vddo: float,
-                      slews: Sequence[float] = DEFAULT_SLEWS,
-                      loads: Sequence[float] = DEFAULT_LOADS,
-                      settle: float = 3e-9,
-                      sizing=None) -> CellCharacterization:
-    """Build the NLDM tables for one cell at one voltage pair."""
+def _grid_measure(params: tuple) -> dict:
+    """Characterize one (slew, load) grid point; serial or pooled."""
+    kind, vddi, vddo, slew, load, settle, pdk, sizing = params
+    t_rise = settle
+    t_fall = settle + 3e-9
+    t_stop = t_fall + 3e-9
+    circuit = Circuit(f"lib_{kind}")
+    circuit.add(VoltageSource("vdut", "vddo", "0", dc=vddo))
+    circuit.add(VoltageSource("vsrc", "in", "0",
+                              shape=_input_pwl(vddi, slew,
+                                               t_rise, t_fall)))
+    build_dut(circuit, pdk, kind, "in", "out", "vddo", "vddi", sizing)
+    if kind == "combined":
+        sel = vddo if vddi < vddo else 0.0
+        circuit.add(VoltageSource("vsel", "sel", "0", dc=sel))
+        circuit.add(VoltageSource("vselb", "selb", "0", dc=vddo - sel))
+    circuit.add(Capacitor("cload", "out", "0", float(load)))
+    input_cap = _estimate_input_capacitance(circuit, "in")
+    options = TransientOptions(h_max=50e-12, dv_max=0.05)
+    result = Transient(circuit, t_stop, options).run()
+    w_in = result.wave("in")
+    w_out = result.wave("out")
+
+    inverting = dut_is_inverting(kind)
+    in_edge_for_rise = FALL if inverting else RISE
+    in_edge_for_fall = RISE if inverting else FALL
+    t_out_rise_after = t_fall if inverting else t_rise
+    t_out_fall_after = t_rise if inverting else t_fall
+    try:
+        return {
+            "cell_rise": propagation_delay(
+                w_in, w_out, vddi / 2, vddo / 2, in_edge_for_rise,
+                RISE, after=t_out_rise_after - 0.05e-9),
+            "cell_fall": propagation_delay(
+                w_in, w_out, vddi / 2, vddo / 2, in_edge_for_fall,
+                FALL, after=t_out_fall_after - 0.05e-9),
+            "rise_transition": w_out.transition_time(
+                TRANSITION_LOW * vddo, TRANSITION_HIGH * vddo, RISE,
+                after=t_out_rise_after - 0.05e-9),
+            "fall_transition": w_out.transition_time(
+                TRANSITION_LOW * vddo, TRANSITION_HIGH * vddo, FALL,
+                after=t_out_fall_after - 0.05e-9),
+            "input_capacitance": input_cap,
+        }
+    except MeasurementError as error:
+        raise AnalysisError(
+            f"{kind} failed characterization at slew="
+            f"{slew:.3g}, load={load:.3g}: {error}") from error
+
+
+def libchar_spec(kind: str, vddi: float, vddo: float, pdk,
+                 slews: Sequence[float] = DEFAULT_SLEWS,
+                 loads: Sequence[float] = DEFAULT_LOADS,
+                 settle: float = 3e-9, sizing=None, workers: int = 1,
+                 chunk_size: int | None = None):
+    """Describe an NLDM grid characterization declaratively."""
+    from repro.runtime.experiment import ExperimentPoint, ExperimentSpec
     slews = np.asarray(sorted(slews), dtype=float)
     loads = np.asarray(sorted(loads), dtype=float)
     if slews.size < 2 or loads.size < 2:
         raise AnalysisError("need at least 2 slews and 2 loads")
+    points = [ExperimentPoint((i, j), (kind, vddi, vddo, float(slew),
+                                       float(load), settle, pdk, sizing))
+              for i, slew in enumerate(slews)
+              for j, load in enumerate(loads)]
+    return ExperimentSpec(
+        name="libchar", measure=_grid_measure, points=points,
+        stage="nldm", codec="json", workers=workers,
+        chunk_size=chunk_size,
+        metadata={"experiment": "libchar", "kind": kind, "vddi": vddi,
+                  "vddo": vddo, "slews": [float(s) for s in slews],
+                  "loads": [float(c) for c in loads]})
+
+
+def characterize_cell(kind: str, pdk, vddi: float, vddo: float,
+                      slews: Sequence[float] = DEFAULT_SLEWS,
+                      loads: Sequence[float] = DEFAULT_LOADS,
+                      settle: float = 3e-9,
+                      sizing=None, workers: int = 1,
+                      chunk_size: int | None = None,
+                      store=None,
+                      run_id: str | None = None) -> CellCharacterization:
+    """Build the NLDM tables for one cell at one voltage pair.
+
+    The (slew, load) grid is run through the unified experiment engine;
+    ``workers > 1`` distributes grid points over a process pool with
+    tables identical to a serial run. A grid point that fails raises
+    :class:`AnalysisError` (NLDM tables cannot carry holes), as before.
+    """
+    from repro.runtime.experiment import run_experiment
+    slews = np.asarray(sorted(slews), dtype=float)
+    loads = np.asarray(sorted(loads), dtype=float)
+    spec = libchar_spec(kind, vddi, vddo, pdk, slews=slews, loads=loads,
+                        settle=settle, sizing=sizing, workers=workers,
+                        chunk_size=chunk_size)
+    resultset = run_experiment(spec, store=store, run_id=run_id)
+    failures = resultset.sample_failures()
+    if failures:
+        f = failures[0]
+        raise AnalysisError(f.error.split(": ", 1)[-1]
+                            if f.error.startswith("AnalysisError: ")
+                            else f.error)
 
     shape = (slews.size, loads.size)
     tables = {key: np.full(shape, np.nan) for key in
@@ -140,53 +232,12 @@ def characterize_cell(kind: str, pdk, vddi: float, vddo: float,
                "fall_transition")}
     inverting = dut_is_inverting(kind)
     input_cap = None
-
-    for i, slew in enumerate(slews):
-        for j, load in enumerate(loads):
-            t_rise = settle
-            t_fall = settle + 3e-9
-            t_stop = t_fall + 3e-9
-            circuit = Circuit(f"lib_{kind}_{i}_{j}")
-            circuit.add(VoltageSource("vdut", "vddo", "0", dc=vddo))
-            circuit.add(VoltageSource("vsrc", "in", "0",
-                                      shape=_input_pwl(vddi, slew,
-                                                       t_rise, t_fall)))
-            build_dut(circuit, pdk, kind, "in", "out", "vddo", "vddi",
-                      sizing)
-            if kind == "combined":
-                sel = vddo if vddi < vddo else 0.0
-                circuit.add(VoltageSource("vsel", "sel", "0", dc=sel))
-                circuit.add(VoltageSource("vselb", "selb", "0",
-                                          dc=vddo - sel))
-            circuit.add(Capacitor("cload", "out", "0", float(load)))
-            if input_cap is None:
-                input_cap = _estimate_input_capacitance(circuit, "in")
-            options = TransientOptions(h_max=50e-12, dv_max=0.05)
-            result = Transient(circuit, t_stop, options).run()
-            w_in = result.wave("in")
-            w_out = result.wave("out")
-
-            in_edge_for_rise = FALL if inverting else RISE
-            in_edge_for_fall = RISE if inverting else FALL
-            t_out_rise_after = t_fall if inverting else t_rise
-            t_out_fall_after = t_rise if inverting else t_fall
-            try:
-                tables["cell_rise"][i, j] = propagation_delay(
-                    w_in, w_out, vddi / 2, vddo / 2, in_edge_for_rise,
-                    RISE, after=t_out_rise_after - 0.05e-9)
-                tables["cell_fall"][i, j] = propagation_delay(
-                    w_in, w_out, vddi / 2, vddo / 2, in_edge_for_fall,
-                    FALL, after=t_out_fall_after - 0.05e-9)
-                tables["rise_transition"][i, j] = w_out.transition_time(
-                    TRANSITION_LOW * vddo, TRANSITION_HIGH * vddo, RISE,
-                    after=t_out_rise_after - 0.05e-9)
-                tables["fall_transition"][i, j] = w_out.transition_time(
-                    TRANSITION_LOW * vddo, TRANSITION_HIGH * vddo, FALL,
-                    after=t_out_fall_after - 0.05e-9)
-            except MeasurementError as error:
-                raise AnalysisError(
-                    f"{kind} failed characterization at slew="
-                    f"{slew:.3g}, load={load:.3g}: {error}") from error
+    for row in resultset.rows:
+        i, j = row.index
+        for key in tables:
+            tables[key][i, j] = row.value[key]
+        if input_cap is None:
+            input_cap = row.value["input_capacitance"]
 
     arc = TimingArc(
         cell_rise=NldmTable(slews, loads, tables["cell_rise"]),

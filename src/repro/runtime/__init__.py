@@ -19,13 +19,23 @@ that make every solve survivable and observable:
   aggregation of quarantined samples for the analysis drivers;
 * :func:`parallel_map` — seed-stable process-pool execution of
   campaign samples, with chunked submission and completion-order
-  delivery, identical to serial execution at ``workers = 1``.
+  delivery, identical to serial execution at ``workers = 1``;
+* :mod:`repro.runtime.experiment` — the unified experiment engine:
+  declarative :class:`ExperimentSpec` campaigns executed by
+  :func:`run_experiment` into typed :class:`ResultSet` rows, persisted
+  with provenance through :class:`ArtifactStore`.
 
 This package deliberately depends only on :mod:`repro.errors` (plus
-the standard library), so the solver layers can import it freely.
+the standard library) at import time, so the solver layers can import
+it freely; the experiment store reaches up to :mod:`repro.pdk` and
+:mod:`repro.core` only lazily, inside functions.
 """
 
 from repro.runtime.campaign import CampaignDiagnostics, SampleFailure
+from repro.runtime.experiment import (
+    ArtifactStore, ExperimentPoint, ExperimentSpec, ResultRow, ResultSet,
+    register_codec, run_experiment,
+)
 from repro.runtime.faults import (
     FAULT_KINDS, FaultPlan, FaultSpec, SOLVE_FAULT_KINDS, active_plan,
     inject,
@@ -37,8 +47,15 @@ from repro.runtime.policy import (
 from repro.runtime.report import AttemptRecord, SolveReport, TransientReport
 
 __all__ = [
+    "ArtifactStore",
     "AttemptRecord",
     "CampaignDiagnostics",
+    "ExperimentPoint",
+    "ExperimentSpec",
+    "ResultRow",
+    "ResultSet",
+    "register_codec",
+    "run_experiment",
     "DEFAULT_GMIN_LADDER",
     "DEFAULT_SOURCE_RAMP",
     "FAULT_KINDS",

@@ -1,0 +1,46 @@
+"""Unified experiment engine: declarative specs, typed results, artifacts.
+
+The job-spec / executor / result-store architecture behind every
+campaign in the repository:
+
+* :class:`ExperimentSpec` / :class:`ExperimentPoint` — a declarative
+  description of a campaign (parameter space + measurement function);
+* :func:`run_experiment` — the one engine that executes specs with
+  workers, quarantine, fault injection, Ctrl-C partials, and
+  seed-stable resume;
+* :class:`ResultSet` / :class:`ResultRow` — typed results with a
+  stable, versioned JSON schema and pluggable payload codecs;
+* :class:`ArtifactStore` — ``results/<run-id>/manifest.json`` +
+  ``rows.jsonl`` persistence with full provenance (git sha, seed,
+  retry policy, PDK fingerprint, worker count, wall time).
+
+The analysis drivers in :mod:`repro.analysis` are thin spec builders
+over this package; see EXPERIMENTS.md for how to add a new campaign.
+"""
+
+from repro.runtime.experiment.engine import run_experiment
+from repro.runtime.experiment.resultset import (
+    RESULTSET_SCHEMA, ResultRow, ResultSet, get_codec, register_codec,
+)
+from repro.runtime.experiment.spec import ExperimentPoint, ExperimentSpec
+from repro.runtime.experiment.store import (
+    DEFAULT_ROOT, MANIFEST_SCHEMA, ArtifactStore, collect_provenance,
+    git_sha, pdk_fingerprint,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "DEFAULT_ROOT",
+    "ExperimentPoint",
+    "ExperimentSpec",
+    "MANIFEST_SCHEMA",
+    "RESULTSET_SCHEMA",
+    "ResultRow",
+    "ResultSet",
+    "collect_provenance",
+    "get_codec",
+    "git_sha",
+    "pdk_fingerprint",
+    "register_codec",
+    "run_experiment",
+]

@@ -1,0 +1,193 @@
+"""The experiment engine: one executor for every campaign.
+
+:func:`run_experiment` runs an :class:`ExperimentSpec` and returns a
+:class:`ResultSet`. It composes the pieces PR 1 and PR 2 built —
+:func:`repro.runtime.parallel.parallel_map` for process-pool
+distribution, :class:`repro.runtime.faults.FaultPlan` for deterministic
+fault injection, and campaign quarantine — so every driver gets, for
+free:
+
+* **workers** — ``spec.workers > 1`` distributes points over a process
+  pool; results are bitwise identical to a serial run because the
+  measurement derives everything from its point params.
+* **quarantine** — a point whose measurement raises is recorded as an
+  ``err`` row (with stage and error text) instead of aborting, with an
+  optional ``max_failures`` abort threshold.
+* **progress isolation** — a progress callback that raises is warned
+  about once and disabled; an observability hook can never take down a
+  campaign. ``KeyboardInterrupt`` from a callback *does* propagate (it
+  is the supported way to stop a campaign from a hook).
+* **Ctrl-C partials** — interruption returns the rows completed so far
+  with ``interrupted=True`` instead of raising.
+* **seed-stable resume** — a previous (partial) :class:`ResultSet` for
+  the same experiment carries its rows over; only missing indices are
+  measured. Because measurements derive from point params alone, a
+  resumed run is bitwise identical to a straight one.
+* **artifacts** — pass ``store=`` to persist the run (rows + provenance
+  manifest) through :class:`~repro.runtime.experiment.store.ArtifactStore`.
+
+Fault-injection campaigns run serially regardless of ``workers``: plans
+count firings in mutable in-process state that a pool cannot share.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from contextlib import nullcontext
+
+from repro.errors import AnalysisError
+from repro.runtime.experiment.resultset import ResultRow, ResultSet
+from repro.runtime.experiment.spec import ExperimentSpec
+from repro.runtime.faults import inject
+from repro.runtime.parallel import parallel_map
+
+
+def _measure_worker(task: tuple):
+    """Run one point's measurement; shared by serial and pool paths.
+
+    Module-level so the process pool can pickle it by reference.
+    Per-point failures are encoded in the return value rather than
+    raised — quarantine must survive the pool boundary.
+    """
+    measure, stage, index, params = task
+    try:
+        value = measure(params)
+    except Exception as exc:
+        return ("err", index, stage, f"{type(exc).__name__}: {exc}")
+    return ("ok", index, value)
+
+
+def run_experiment(spec: ExperimentSpec, *, progress=None, resume=None,
+                   store=None, run_id: str | None = None) -> ResultSet:
+    """Execute ``spec`` and return its :class:`ResultSet`.
+
+    Args:
+        progress: optional callable ``(index, payload)`` invoked after
+            each successful point, in completion order. Exceptions it
+            raises are isolated (warned once, then suppressed).
+        resume: a previous :class:`ResultSet` for the same experiment
+            (in-memory partial or one loaded from an artifact store);
+            its rows are carried over and only missing indices run.
+        store: an :class:`~repro.runtime.experiment.store.ArtifactStore`
+            (or a root-directory path) to persist the finished run to;
+            None skips persistence.
+        run_id: explicit run id for the artifact store (None = derive
+            one from the spec name and wall clock).
+
+    Returns a partial result (``interrupted=True``) instead of raising
+    on KeyboardInterrupt; per-point errors are quarantined into ``err``
+    rows rather than raised.
+    """
+    spec.validate()
+    started = time.perf_counter()
+
+    ordinals = {point.index: n for n, point in enumerate(spec.points)}
+    rows: list[ResultRow] = []
+    if resume is not None:
+        if not isinstance(resume, ResultSet):
+            raise AnalysisError(
+                f"resume must be a ResultSet, got {type(resume).__name__}")
+        if resume.name != spec.name:
+            raise AnalysisError(
+                f"cannot resume experiment {spec.name!r} from a "
+                f"{resume.name!r} result set")
+        # Carried rows keep their identity; rows whose index is no
+        # longer in the spec sort after the live points (matches the
+        # legacy drivers, which carried every completed sample over).
+        extra = len(spec.points)
+        for row in resume.rows:
+            ordinal = ordinals.get(row.index)
+            if ordinal is None:
+                ordinal, extra = extra, extra + 1
+            rows.append(ResultRow(ordinal=ordinal, index=row.index,
+                                  status=row.status, value=row.value,
+                                  stage=row.stage, error=row.error))
+    done = {row.index for row in rows}
+    pending = [point for point in spec.points if point.index not in done]
+
+    failures = sum(1 for row in rows if not row.ok)
+    progress_broken = False
+    interrupted = False
+
+    def _quarantine(ordinal: int, index, stage: str, error: str) -> None:
+        nonlocal failures
+        rows.append(ResultRow(ordinal=ordinal, index=index, status="err",
+                              stage=stage, error=error))
+        failures += 1
+        if (spec.max_failures is not None
+                and failures > spec.max_failures):
+            raise AnalysisError(
+                f"{spec.name} aborted: {failures} sample failures "
+                f"exceed max_failures={spec.max_failures}; last: "
+                f"{index}: [{stage}] {error}")
+
+    def _progress(index, value) -> None:
+        nonlocal progress_broken
+        if progress is None or progress_broken:
+            return
+        try:
+            progress(index, value)
+        except Exception as exc:
+            progress_broken = True
+            warnings.warn(
+                f"{spec.name} progress callback raised "
+                f"{type(exc).__name__}: {exc}; further calls "
+                f"suppressed, campaign continues", RuntimeWarning,
+                stacklevel=3)
+
+    try:
+        if spec.faults is not None:
+            # Fault campaigns count firings in mutable in-process state
+            # and scope the ambient plan per point; both are invisible
+            # across a pool boundary, so they always run serially.
+            for point in pending:
+                index = point.index
+                ordinal = ordinals[index]
+                if spec.faults.fires("sample_failure", sample=index):
+                    _quarantine(ordinal, index, "injected",
+                                "injected sample failure")
+                    continue
+                scope = (spec.faults.sample_scope(index)
+                         if isinstance(index, int) else nullcontext())
+                try:
+                    with scope, inject(spec.faults):
+                        value = spec.measure(point.params)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    _quarantine(ordinal, index, spec.stage,
+                                f"{type(exc).__name__}: {exc}")
+                    continue
+                rows.append(ResultRow(ordinal=ordinal, index=index,
+                                      status="ok", value=value))
+                _progress(index, value)
+        else:
+            tasks = [(spec.measure, spec.stage, point.index, point.params)
+                     for point in pending]
+            for outcome in parallel_map(_measure_worker, tasks,
+                                        workers=spec.workers,
+                                        chunk_size=spec.chunk_size):
+                if outcome[0] == "ok":
+                    _, index, value = outcome
+                    rows.append(ResultRow(ordinal=ordinals[index],
+                                          index=index, status="ok",
+                                          value=value))
+                    _progress(index, value)
+                else:
+                    _, index, stage, message = outcome
+                    _quarantine(ordinals[index], index, stage, message)
+    except KeyboardInterrupt:
+        interrupted = True
+
+    rows.sort(key=lambda row: row.ordinal)
+    result = ResultSet(name=spec.name, codec=spec.codec,
+                       metadata=dict(spec.metadata), rows=rows,
+                       interrupted=interrupted)
+    wall_s = time.perf_counter() - started
+    if store is not None:
+        from repro.runtime.experiment.store import ArtifactStore
+        if not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store)
+        store.write(result, spec=spec, wall_s=wall_s, run_id=run_id)
+    return result

@@ -1,0 +1,297 @@
+"""Typed result sets with a stable, versioned JSON schema.
+
+A :class:`ResultSet` is the engine's output: one :class:`ResultRow` per
+campaign point, either ``ok`` (carrying the measured payload) or
+``err`` (carrying the quarantine stage and error text). Rows are kept
+in the spec's canonical point order so drivers can assemble their
+legacy report types deterministically.
+
+Serialization is codec-based. A codec converts one payload type to and
+from a JSON-representable dict; the codec *name* is recorded in the
+result set (and in the artifact manifest) so a stored run can be
+decoded without knowing which driver produced it. Floats round-trip
+bitwise: ``json`` emits ``repr``-shortest forms that parse back to the
+identical IEEE-754 double, and NaN/Infinity use the non-strict JSON
+literals Python's ``json`` accepts by default.
+
+Codecs for repro's own payload types (``metrics``, ``quick_delays``,
+``vtc``, ``sensitivity``) are registered here but import their
+dataclasses lazily inside the decode functions — the runtime package
+must stay importable before :mod:`repro.core` (the solver stack imports
+:mod:`repro.runtime` first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+from repro.runtime.campaign import SampleFailure
+
+#: Version tag for the row schema; bump when the row format changes.
+RESULTSET_SCHEMA = "repro-resultset-v1"
+
+
+# ---------------------------------------------------------------------------
+# Payload codecs
+
+
+_CODECS: dict[str, tuple] = {}
+
+
+def register_codec(name: str, encode, decode) -> None:
+    """Register a payload codec.
+
+    Args:
+        name: codec identifier stored in result sets and manifests.
+        encode: ``payload -> JSON-serializable`` (called when writing).
+        decode: ``JSON value -> payload`` (called when loading).
+
+    Names are first-come: re-registering raises (a silent overwrite
+    would re-interpret every stored artifact using that codec).
+    """
+    if name in _CODECS:
+        raise AnalysisError(f"codec {name!r} is already registered")
+    _CODECS[name] = (encode, decode)
+
+
+def get_codec(name: str):
+    try:
+        return _CODECS[name]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown result codec {name!r}; registered: "
+            f"{', '.join(sorted(_CODECS))}") from None
+
+
+def _identity(value):
+    return value
+
+
+METRIC_PAYLOAD_FIELDS = (
+    "delay_rise", "delay_fall", "power_rise", "power_fall",
+    "leakage_high", "leakage_low",
+)
+
+
+def _encode_metrics(metrics) -> dict:
+    payload = {name: float(getattr(metrics, name))
+               for name in METRIC_PAYLOAD_FIELDS}
+    payload["functional"] = bool(metrics.functional)
+    return payload
+
+
+def _decode_metrics(payload: dict):
+    from repro.core.metrics import ShifterMetrics
+    return ShifterMetrics(**{name: payload[name]
+                             for name in METRIC_PAYLOAD_FIELDS},
+                          functional=bool(payload["functional"]))
+
+
+def _encode_quick_delays(q) -> dict:
+    return {"delay_rise": float(q.delay_rise),
+            "delay_fall": float(q.delay_fall),
+            "functional": bool(q.functional)}
+
+
+def _decode_quick_delays(payload: dict):
+    from repro.core.characterize import QuickDelays
+    return QuickDelays(delay_rise=payload["delay_rise"],
+                       delay_fall=payload["delay_fall"],
+                       functional=bool(payload["functional"]))
+
+
+def _encode_vtc(vtc) -> dict:
+    return {
+        "vin": [float(v) for v in vtc.vin],
+        "vout": [float(v) for v in vtc.vout],
+        "vddi": float(vtc.vddi), "vddo": float(vtc.vddo),
+        "inverting": bool(vtc.inverting),
+        "voh": float(vtc.voh), "vol": float(vtc.vol),
+        "vil": float(vtc.vil), "vih": float(vtc.vih),
+        "switching_point": float(vtc.switching_point),
+    }
+
+
+def _decode_vtc(payload: dict):
+    import numpy as np
+
+    from repro.analysis.noise_margin import VtcResult
+    return VtcResult(vin=np.asarray(payload["vin"], dtype=float),
+                     vout=np.asarray(payload["vout"], dtype=float),
+                     vddi=payload["vddi"], vddo=payload["vddo"],
+                     inverting=bool(payload["inverting"]),
+                     voh=payload["voh"], vol=payload["vol"],
+                     vil=payload["vil"], vih=payload["vih"],
+                     switching_point=payload["switching_point"])
+
+
+def _encode_sensitivity(sens) -> dict:
+    return {"knob": sens.knob, "nominal": float(sens.nominal),
+            "values": {k: float(v) for k, v in sens.values.items()}}
+
+
+def _decode_sensitivity(payload: dict):
+    from repro.analysis.sensitivity import Sensitivity
+    return Sensitivity(knob=payload["knob"], nominal=payload["nominal"],
+                       values=dict(payload["values"]))
+
+
+#: ``json`` — payloads already JSON-representable (bools, floats, dicts).
+register_codec("json", _identity, _identity)
+#: ``none`` — payloads are not persisted (manifest-only artifacts).
+register_codec("none", lambda value: None, lambda payload: None)
+register_codec("metrics", _encode_metrics, _decode_metrics)
+register_codec("quick_delays", _encode_quick_delays, _decode_quick_delays)
+register_codec("vtc", _encode_vtc, _decode_vtc)
+register_codec("sensitivity", _encode_sensitivity, _decode_sensitivity)
+
+
+def _decode_index(value):
+    """JSON indices: lists (tuples before serialization) become tuples."""
+    if isinstance(value, list):
+        return tuple(_decode_index(item) for item in value)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Rows and result sets
+
+
+@dataclass
+class ResultRow:
+    """One campaign point's outcome.
+
+    Attributes:
+        ordinal: position in the spec's canonical point order (rows are
+            sorted by it, so assembly order is deterministic).
+        index: the point's identity (see :class:`ExperimentPoint`).
+        status: ``"ok"`` or ``"err"``.
+        value: the measured payload (``ok`` rows only).
+        stage: where an ``err`` row died.
+        error: one-line failure description (``err`` rows only).
+    """
+
+    ordinal: int
+    index: object
+    status: str
+    value: object | None = None
+    stage: str | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def failure(self) -> SampleFailure:
+        return SampleFailure(index=self.index, stage=self.stage or "",
+                             error=self.error or "")
+
+
+@dataclass
+class ResultSet:
+    """All rows of one campaign run, in canonical order."""
+
+    name: str
+    codec: str = "json"
+    schema: str = RESULTSET_SCHEMA
+    metadata: dict = field(default_factory=dict)
+    rows: list[ResultRow] = field(default_factory=list)
+    interrupted: bool = False
+    #: Set when the run was written to / loaded from an artifact store.
+    run_id: str | None = None
+
+    # -- accessors ---------------------------------------------------------
+
+    def ok_rows(self) -> list[ResultRow]:
+        return [row for row in self.rows if row.ok]
+
+    def err_rows(self) -> list[ResultRow]:
+        return [row for row in self.rows if not row.ok]
+
+    def values(self) -> list:
+        """Payloads of the successful rows, in canonical order."""
+        return [row.value for row in self.rows if row.ok]
+
+    def value_by_index(self) -> dict:
+        return {row.index: row.value for row in self.rows if row.ok}
+
+    def sample_failures(self) -> list[SampleFailure]:
+        """Quarantined rows as campaign :class:`SampleFailure` records."""
+        return [row.failure() for row in self.rows if not row.ok]
+
+    @property
+    def counts(self) -> dict:
+        ok = sum(1 for row in self.rows if row.ok)
+        return {"total": len(self.rows), "ok": ok,
+                "err": len(self.rows) - ok,
+                "interrupted": self.interrupted}
+
+    # -- serialization -----------------------------------------------------
+
+    def encoded_rows(self) -> list[dict]:
+        encode, _ = get_codec(self.codec)
+        out = []
+        for row in self.rows:
+            record = {"ordinal": row.ordinal, "index": row.index,
+                      "status": row.status}
+            if row.ok:
+                record["value"] = encode(row.value)
+            else:
+                record["stage"] = row.stage
+                record["error"] = row.error
+            out.append(record)
+        return out
+
+    def to_json(self) -> dict:
+        """Full JSON document (schema + rows); see also ArtifactStore."""
+        return {"schema": self.schema, "name": self.name,
+                "codec": self.codec, "metadata": self.metadata,
+                "interrupted": self.interrupted,
+                "rows": self.encoded_rows()}
+
+    @classmethod
+    def from_json(cls, document: dict) -> "ResultSet":
+        schema = document.get("schema")
+        if schema != RESULTSET_SCHEMA:
+            raise AnalysisError(
+                f"unsupported result-set schema {schema!r} "
+                f"(expected {RESULTSET_SCHEMA})")
+        codec = document.get("codec", "json")
+        _, decode = get_codec(codec)
+        rows = []
+        for record in document.get("rows", ()):
+            row = ResultRow(ordinal=int(record["ordinal"]),
+                            index=_decode_index(record["index"]),
+                            status=record["status"])
+            if row.ok:
+                row.value = decode(record.get("value"))
+            else:
+                row.stage = record.get("stage")
+                row.error = record.get("error")
+            rows.append(row)
+        rows.sort(key=lambda row: row.ordinal)
+        return cls(name=document["name"], codec=codec,
+                   metadata=dict(document.get("metadata", {})),
+                   rows=rows,
+                   interrupted=bool(document.get("interrupted", False)))
+
+    # -- display -----------------------------------------------------------
+
+    def pretty(self, limit: int = 20) -> str:
+        counts = self.counts
+        head = (f"{self.name}: {counts['total']} rows "
+                f"({counts['ok']} ok, {counts['err']} quarantined)"
+                + (", INTERRUPTED" if self.interrupted else ""))
+        lines = [head]
+        for row in self.rows[:limit]:
+            if row.ok:
+                text = repr(row.value)
+                if len(text) > 64:
+                    text = text[:61] + "..."
+                lines.append(f"  {row.index!r}: {text}")
+            else:
+                lines.append(f"  {row.index!r}: [{row.stage}] {row.error}")
+        if len(self.rows) > limit:
+            lines.append(f"  (+{len(self.rows) - limit} more rows)")
+        return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Declarative campaign specifications.
+
+Every campaign in this repository has the same shape: a *parameter
+space* (Monte Carlo sample indices, a VDDI×VDDO grid, PVT corner pairs,
+sizing knobs, temperatures) mapped through one *measurement function*
+into a set of per-point results, with quarantine for points that fail,
+seed-stable resume, and optional process-pool distribution. An
+:class:`ExperimentSpec` captures that shape declaratively so one engine
+(:func:`repro.runtime.experiment.engine.run_experiment`) can execute
+every campaign, and the analysis drivers reduce to spec builders plus
+result assemblers.
+
+Design constraints inherited from :mod:`repro.runtime.parallel`:
+
+* ``measure`` must be a **module-level function** (the process pool
+  pickles it by reference) and must derive *everything* from its
+  ``params`` argument — no shared state, no ambient randomness — so a
+  pooled run is bitwise identical to a serial one.
+* ``params`` and the measured payloads must be picklable.
+* each point's ``index`` is its stable identity: resume skips indices
+  that already have a result, and quarantine reports name them. The
+  index must be hashable and JSON-representable (ints, strings, floats,
+  or nested tuples of those) so it round-trips through an artifact
+  store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Sequence
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """One point of a campaign's parameter space.
+
+    Attributes:
+        index: stable identity of the point (int for Monte Carlo,
+            ``(i, j)`` for grids, ``(corner, temp)`` for PVT, a knob
+            name for sensitivities). Used for resume, quarantine and
+            artifact rows.
+        params: the picklable argument tuple handed to the spec's
+            ``measure`` function.
+    """
+
+    index: Hashable
+    params: tuple
+
+
+@dataclass
+class ExperimentSpec:
+    """A complete, executable description of one campaign.
+
+    Attributes:
+        name: human-readable campaign name; appears in progress-callback
+            warnings, abort messages, and run ids.
+        measure: module-level function ``measure(params) -> payload``.
+            Exceptions it raises quarantine the point instead of
+            aborting the campaign.
+        points: the parameter space, in canonical (report) order.
+        stage: label recorded on quarantined points (e.g.
+            ``"characterize"``, ``"quick_delays"``).
+        codec: name of the payload codec used when the result set is
+            persisted (see :mod:`repro.runtime.experiment.resultset`).
+        workers: process-pool width; 1 runs serially in-process.
+        chunk_size: tasks per pool submission (None = auto).
+        faults: optional deterministic fault plan; forces serial
+            execution because plans count firings in mutable in-process
+            state.
+        max_failures: abort (AnalysisError) once this many points have
+            been quarantined; None = never abort.
+        seed: master seed recorded in the provenance manifest (None for
+            deterministic campaigns).
+        retry_policy: solver retry policy recorded in the provenance
+            manifest; None means the default policy.
+        metadata: JSON-serializable campaign description (kind,
+            supplies, grid, ...) stored in the manifest and used by
+            result assemblers.
+    """
+
+    name: str
+    measure: Callable
+    points: Sequence[ExperimentPoint]
+    stage: str = "measure"
+    codec: str = "json"
+    workers: int = 1
+    chunk_size: int | None = None
+    faults: object | None = None
+    max_failures: int | None = None
+    seed: int | None = None
+    retry_policy: object | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if self.workers < 1:
+            raise AnalysisError("workers must be >= 1")
+        if self.max_failures is not None and self.max_failures < 0:
+            raise AnalysisError("max_failures must be >= 0 or None")
+        indices = [p.index for p in self.points]
+        if len(set(indices)) != len(indices):
+            raise AnalysisError(
+                f"experiment {self.name!r} has duplicate point indices")
+        if self.workers > 1 and "<locals>" in getattr(
+                self.measure, "__qualname__", ""):
+            raise AnalysisError(
+                "measure must be a module-level function to run in a "
+                "process pool (it is pickled by reference)")

@@ -1,0 +1,254 @@
+"""Provenance-tracked artifact store for experiment runs.
+
+Layout (one directory per run under the store root, default
+``results/``)::
+
+    results/
+      mc-20260806-143102/
+        manifest.json     # schema, campaign metadata, provenance, counts
+        rows.jsonl        # one JSON object per ResultRow, codec-encoded
+
+The manifest records everything needed to trust, reproduce, or resume
+the run:
+
+* ``git_sha`` — the repository HEAD when the run was written (None
+  outside a git checkout);
+* ``seed`` — the campaign's master seed, when it has one;
+* ``retry_policy`` — the solver escalation schedule as a plain dict;
+* ``pdk_fingerprint`` — a hash over every model card the PDK can
+  produce, so a stored run is falsifiable against model changes;
+* ``workers`` / ``chunk_size`` / ``wall_s`` — how it was executed and
+  how long it took;
+* interpreter and library versions.
+
+``rows.jsonl`` is append-friendly and line-oriented: a truncated file
+(killed run, full disk) loses only its tail, and
+:meth:`ArtifactStore.load` returns the surviving prefix — which is
+exactly what the engine's ``resume=`` argument wants.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from dataclasses import asdict
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.errors import AnalysisError
+from repro.runtime.experiment.resultset import (
+    RESULTSET_SCHEMA, ResultRow, ResultSet, _decode_index, get_codec,
+)
+
+#: Version tag for the manifest format; bump when fields change meaning.
+MANIFEST_SCHEMA = "repro-manifest-v1"
+
+MANIFEST_NAME = "manifest.json"
+ROWS_NAME = "rows.jsonl"
+
+#: Default store root, relative to the working directory.
+DEFAULT_ROOT = "results"
+
+
+def git_sha() -> str | None:
+    """HEAD commit of the enclosing git checkout, or None."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=5.0, cwd=os.getcwd())
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def pdk_fingerprint() -> str:
+    """Stable hash over every (polarity, flavor) model card at TNOM.
+
+    Any change to the PDK's electrical parameters changes the
+    fingerprint, so a stored run carries proof of which models produced
+    it. Imported lazily: the runtime package must stay importable from
+    below :mod:`repro.pdk` in the dependency graph.
+    """
+    import hashlib
+    from dataclasses import fields
+
+    from repro.pdk.ptm90 import FLAVORS, make_card
+
+    parts = []
+    for polarity in ("n", "p"):
+        for flavor in FLAVORS:
+            card = make_card(polarity, flavor)
+            values = ",".join(f"{f.name}={getattr(card, f.name)!r}"
+                              for f in fields(card))
+            parts.append(f"{polarity}/{flavor}:{values}")
+    digest = hashlib.sha256("\n".join(parts).encode()).hexdigest()
+    return digest[:16]
+
+
+def collect_provenance(spec=None, wall_s: float | None = None) -> dict:
+    """Provenance block for a manifest (see module docstring)."""
+    import platform
+
+    import numpy
+
+    from repro.runtime.policy import RetryPolicy
+
+    policy = getattr(spec, "retry_policy", None) or RetryPolicy.default()
+    return {
+        "git_sha": git_sha(),
+        "seed": getattr(spec, "seed", None),
+        "retry_policy": asdict(policy),
+        "pdk_fingerprint": pdk_fingerprint(),
+        "workers": getattr(spec, "workers", None),
+        "chunk_size": getattr(spec, "chunk_size", None),
+        "wall_s": wall_s,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "written_utc": datetime.now(timezone.utc).isoformat(),
+    }
+
+
+def _slug(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() else "-" for c in name.lower())
+    while "--" in cleaned:
+        cleaned = cleaned.replace("--", "-")
+    return cleaned.strip("-") or "run"
+
+
+class ArtifactStore:
+    """Read/write experiment runs under one root directory."""
+
+    def __init__(self, root: str | Path = DEFAULT_ROOT):
+        self.root = Path(root)
+
+    # -- paths -------------------------------------------------------------
+
+    def path(self, run_id: str) -> Path:
+        return self.root / run_id
+
+    def _new_run_id(self, name: str) -> str:
+        stamp = datetime.now(timezone.utc).strftime("%Y%m%d-%H%M%S")
+        base = f"{_slug(name)}-{stamp}"
+        run_id, n = base, 1
+        while self.path(run_id).exists():
+            n += 1
+            run_id = f"{base}-{n}"
+        return run_id
+
+    # -- writing -----------------------------------------------------------
+
+    def write(self, resultset: ResultSet, spec=None,
+              wall_s: float | None = None,
+              run_id: str | None = None) -> str:
+        """Persist a run; returns its run id (also set on the result)."""
+        run_id = run_id or resultset.run_id \
+            or self._new_run_id(resultset.name)
+        run_dir = self.path(run_id)
+        run_dir.mkdir(parents=True, exist_ok=True)
+
+        with open(run_dir / ROWS_NAME, "w") as handle:
+            for record in resultset.encoded_rows():
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+        manifest = {
+            "schema": MANIFEST_SCHEMA,
+            "run_id": run_id,
+            "name": resultset.name,
+            "metadata": resultset.metadata,
+            "provenance": collect_provenance(spec, wall_s),
+            "counts": resultset.counts,
+            "resultset": {"schema": resultset.schema,
+                          "codec": resultset.codec,
+                          "rows_file": ROWS_NAME},
+        }
+        with open(run_dir / MANIFEST_NAME, "w") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+        resultset.run_id = run_id
+        return run_id
+
+    # -- reading -----------------------------------------------------------
+
+    def list_runs(self) -> list[dict]:
+        """All manifests under the root, oldest first."""
+        if not self.root.is_dir():
+            return []
+        manifests = []
+        for entry in sorted(self.root.iterdir()):
+            manifest_path = entry / MANIFEST_NAME
+            if not manifest_path.is_file():
+                continue
+            try:
+                with open(manifest_path) as handle:
+                    manifests.append(json.load(handle))
+            except (OSError, json.JSONDecodeError):
+                continue
+        manifests.sort(key=lambda m: str(
+            m.get("provenance", {}).get("written_utc", "")))
+        return manifests
+
+    def manifest(self, run_id: str) -> dict:
+        manifest_path = self.path(run_id) / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise AnalysisError(
+                f"no run {run_id!r} under {self.root} "
+                f"(missing {MANIFEST_NAME})")
+        with open(manifest_path) as handle:
+            return json.load(handle)
+
+    def load(self, run_id: str) -> ResultSet:
+        """Reload a stored run as a decoded :class:`ResultSet`.
+
+        Tolerates a truncated ``rows.jsonl`` (a run killed mid-write):
+        complete leading lines are returned, the damaged tail is
+        dropped, and the result is marked ``interrupted`` so it reads
+        as the partial run it is — ready to be passed to the engine's
+        ``resume=``.
+        """
+        manifest = self.manifest(run_id)
+        meta = manifest.get("resultset", {})
+        schema = meta.get("schema", RESULTSET_SCHEMA)
+        if schema != RESULTSET_SCHEMA:
+            raise AnalysisError(
+                f"run {run_id!r} uses result schema {schema!r}; this "
+                f"build reads {RESULTSET_SCHEMA}")
+        codec = meta.get("codec", "json")
+        _, decode = get_codec(codec)
+
+        rows: list[ResultRow] = []
+        truncated = False
+        rows_path = self.path(run_id) / meta.get("rows_file", ROWS_NAME)
+        if rows_path.is_file():
+            with open(rows_path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        truncated = True
+                        break
+                    row = ResultRow(ordinal=int(record["ordinal"]),
+                                    index=_decode_index(record["index"]),
+                                    status=record["status"])
+                    if row.ok:
+                        row.value = decode(record.get("value"))
+                    else:
+                        row.stage = record.get("stage")
+                        row.error = record.get("error")
+                    rows.append(row)
+        rows.sort(key=lambda row: row.ordinal)
+
+        counts = manifest.get("counts", {})
+        interrupted = bool(counts.get("interrupted", False)) or truncated \
+            or len(rows) < int(counts.get("total", len(rows)))
+        result = ResultSet(name=manifest["name"], codec=codec,
+                           metadata=dict(manifest.get("metadata", {})),
+                           rows=rows, interrupted=interrupted)
+        result.run_id = run_id
+        return result

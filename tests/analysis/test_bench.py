@@ -11,11 +11,61 @@ import json
 import pytest
 
 from repro.analysis.bench import (
-    BENCH_SCHEMA, PRE_PR2_BASELINE, check_regression, load_trajectory,
+    BENCH_SCHEMA, BENCH_TRAJECTORY_SCHEMA, PRE_PR2_BASELINE,
+    append_trajectory, check_regression, latest_entry, load_trajectory,
     run_bench_suite, write_trajectory,
 )
 
 pytestmark = pytest.mark.bench
+
+
+def _record(rate: float) -> dict:
+    return {"schema": BENCH_SCHEMA,
+            "workloads": {"mc_serial": {"wall_s": 1.0, "solves": 10,
+                                        "solves_per_s": rate}},
+            "speedups": {}}
+
+
+class TestTrajectory:
+    def test_append_creates_then_extends(self, tmp_path):
+        path = str(tmp_path / "BENCH.json")
+        assert append_trajectory(_record(10.0), path) == 1
+        assert append_trajectory(_record(11.0), path) == 2
+        stored = load_trajectory(path)
+        assert stored["schema"] == BENCH_TRAJECTORY_SCHEMA
+        assert len(stored["entries"]) == 2
+        assert all("appended_utc" in e for e in stored["entries"])
+
+    def test_append_converts_legacy_single_record(self, tmp_path):
+        path = str(tmp_path / "BENCH.json")
+        write_trajectory(_record(10.0), path)
+        assert append_trajectory(_record(12.0), path) == 2
+        stored = load_trajectory(path)
+        rates = [e["workloads"]["mc_serial"]["solves_per_s"]
+                 for e in stored["entries"]]
+        assert rates == [10.0, 12.0]
+
+    def test_latest_entry_both_formats(self, tmp_path):
+        legacy = _record(10.0)
+        assert latest_entry(legacy) is legacy
+        path = str(tmp_path / "BENCH.json")
+        append_trajectory(_record(10.0), path)
+        append_trajectory(_record(12.0), path)
+        newest = latest_entry(load_trajectory(path))
+        assert newest["workloads"]["mc_serial"]["solves_per_s"] == 12.0
+
+    def test_latest_entry_empty_trajectory_raises(self):
+        with pytest.raises(ValueError, match="no entries"):
+            latest_entry({"schema": BENCH_TRAJECTORY_SCHEMA,
+                          "entries": []})
+
+    def test_check_regression_accepts_trajectories(self, tmp_path):
+        path = str(tmp_path / "BENCH.json")
+        append_trajectory(_record(10.0), path)
+        baseline = load_trajectory(path)
+        assert check_regression(_record(10.0), baseline) == []
+        problems = check_regression(_record(1.0), baseline)
+        assert problems and "mc_serial" in problems[0]
 
 
 @pytest.fixture(scope="module")

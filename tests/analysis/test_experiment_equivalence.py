@@ -1,0 +1,171 @@
+"""Bitwise equivalence of engine-routed drivers vs the legacy loops.
+
+Every refactored driver is pinned against a hand-written serial loop
+over the same kernel (``characterize`` / ``quick_delays`` /
+``extract_vtc``) — the shape of the code the drivers had before the
+unified experiment engine. Workloads are small but real (full solver),
+so these tests fail if the engine reorders, re-seeds, or otherwise
+perturbs any numeric path. The parallel variants additionally pin
+``workers > 1`` to the serial numbers (the satellite requirement for
+``temperature``, ``sensitivity``, and ``noise_margin``).
+"""
+
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import MonteCarloConfig, run_monte_carlo
+from repro.analysis.sweep import SweepGrid, sweep_delay_surface
+from repro.analysis.functional import validate_functionality
+from repro.analysis.corners import pvt_report
+from repro.analysis.temperature import sweep_temperature
+from repro.analysis.sensitivity import metric_sensitivities
+from repro.analysis.noise_margin import extract_vtc, vtc_report
+from repro.cells.sstvs import SstvsSizing
+from repro.core.characterize import (
+    StimulusPlan, characterize, characterize_kinds, quick_delays,
+)
+from repro.core.metrics import METRIC_FIELDS
+from repro.pdk import CornerPdk, Pdk
+from repro.pdk.variation import VariedPdk, VariationSpec
+
+pytestmark = pytest.mark.experiment
+
+FAST = StimulusPlan(settle=3e-9, hold=2e-9, short=0.8e-9)
+
+
+class TestMonteCarloEquivalence:
+    def test_bitwise_vs_legacy_loop(self):
+        config = MonteCarloConfig(runs=2, seed=97, plan=FAST)
+        result = run_monte_carlo("sstvs", 0.8, 1.2, config)
+
+        legacy = []
+        for index in range(config.runs):
+            rng = np.random.default_rng(
+                np.random.SeedSequence([config.seed, index]))
+            pdk = VariedPdk(rng, VariationSpec(),
+                            temperature_c=config.temperature_c)
+            legacy.append(characterize(pdk, "sstvs", 0.8, 1.2,
+                                       plan=FAST))
+        assert result.samples == legacy
+
+
+class TestSweepEquivalence:
+    def test_bitwise_vs_legacy_loop(self):
+        grid = SweepGrid(vddi_values=np.array([0.8, 1.2]),
+                         vddo_values=np.array([1.0, 1.4]))
+        surface = sweep_delay_surface("sstvs", grid)
+        for i, vddi in enumerate(grid.vddi_values):
+            for j, vddo in enumerate(grid.vddo_values):
+                q = quick_delays(Pdk(), "sstvs", float(vddi), float(vddo))
+                assert surface.rise[i, j] == q.delay_rise
+                assert surface.fall[i, j] == q.delay_fall
+                assert surface.functional[i, j] == q.functional
+
+
+class TestFunctionalEquivalence:
+    def test_bitwise_vs_legacy_loop(self):
+        grid = SweepGrid(vddi_values=np.array([0.8, 1.4]),
+                         vddo_values=np.array([1.2]))
+        report = validate_functionality("sstvs", grid)
+        expected_passed = sum(
+            quick_delays(Pdk(), "sstvs", float(vi), float(vo)).functional
+            for vi in grid.vddi_values for vo in grid.vddo_values)
+        assert report.total == 2
+        assert report.passed == expected_passed
+
+
+class TestPvtEquivalence:
+    def test_bitwise_vs_legacy_loop(self):
+        report = pvt_report("sstvs", 0.8, 1.2, corners=("tt", "ss"),
+                            temperatures=(27.0,), plan=FAST)
+        legacy = [characterize(CornerPdk(c, temperature_c=27.0), "sstvs",
+                               0.8, 1.2, plan=FAST)
+                  for c in ("tt", "ss")]
+        assert [p.metrics for p in report.points] == legacy
+        assert [(p.corner, p.temperature_c) for p in report.points] \
+            == [("tt", 27.0), ("ss", 27.0)]
+
+
+class TestTemperatureEquivalence:
+    def test_bitwise_vs_legacy_loop(self):
+        points = sweep_temperature("sstvs", 0.8, 1.2,
+                                   temperatures=(27.0, 90.0))
+        legacy = [characterize(Pdk(temperature_c=t), "sstvs", 0.8, 1.2)
+                  for t in (27.0, 90.0)]
+        assert [p.metrics for p in points] == legacy
+
+    def test_parallel_identical_to_serial(self):
+        serial = sweep_temperature("sstvs", 0.8, 1.2,
+                                   temperatures=(27.0, 90.0))
+        parallel = sweep_temperature("sstvs", 0.8, 1.2,
+                                     temperatures=(27.0, 90.0),
+                                     workers=2)
+        assert [p.metrics for p in parallel] \
+            == [p.metrics for p in serial]
+
+
+class TestSensitivityEquivalence:
+    def test_bitwise_vs_legacy_loop(self):
+        result = metric_sensitivities("sstvs", 0.8, 1.2,
+                                      knobs=("w_mc",), plan=FAST)
+        base = SstvsSizing()
+        step = 0.15
+        nominal = base.w_mc
+        m_up = characterize(Pdk(), "sstvs", 0.8, 1.2, plan=FAST,
+                            sizing=replace(base,
+                                           w_mc=nominal * (1 + step)))
+        m_down = characterize(Pdk(), "sstvs", 0.8, 1.2, plan=FAST,
+                              sizing=replace(base,
+                                             w_mc=nominal * (1 - step)))
+        for metric in METRIC_FIELDS:
+            hi, lo = getattr(m_up, metric), getattr(m_down, metric)
+            if hi > 0 and lo > 0:
+                expected = (math.log(hi / lo)
+                            / math.log((1 + step) / (1 - step)))
+                assert result["w_mc"].values[metric] == expected
+            else:
+                assert math.isnan(result["w_mc"].values[metric])
+
+    def test_parallel_identical_to_serial(self):
+        serial = metric_sensitivities("sstvs", 0.8, 1.2,
+                                      knobs=("w_mc", "w_m1"), plan=FAST)
+        parallel = metric_sensitivities("sstvs", 0.8, 1.2,
+                                        knobs=("w_mc", "w_m1"),
+                                        plan=FAST, workers=2)
+        assert parallel == serial
+
+
+class TestVtcEquivalence:
+    def test_bitwise_vs_kernel(self):
+        report = vtc_report("sstvs", pairs=((0.8, 1.2),), points=61)
+        direct = extract_vtc("sstvs", 0.8, 1.2, points=61)
+        vtc = report.results[(0.8, 1.2)]
+        assert np.array_equal(vtc.vin, direct.vin)
+        assert np.array_equal(vtc.vout, direct.vout)
+        assert (vtc.voh, vtc.vol, vtc.vil, vtc.vih,
+                vtc.switching_point) \
+            == (direct.voh, direct.vol, direct.vil, direct.vih,
+                direct.switching_point)
+
+    def test_parallel_identical_to_serial(self):
+        pairs = ((0.8, 1.2), (1.2, 0.8))
+        serial = vtc_report("inverter", pairs=pairs, points=31)
+        parallel = vtc_report("inverter", pairs=pairs, points=31,
+                              workers=2)
+        for pair in pairs:
+            assert np.array_equal(parallel.results[pair].vout,
+                                  serial.results[pair].vout)
+
+
+class TestCharacterizeKindsEquivalence:
+    def test_bitwise_vs_direct_calls(self):
+        results = characterize_kinds(("inverter", "cvs"), 1.2, 1.2,
+                                     plan=FAST)
+        assert results["inverter"] == characterize(Pdk(), "inverter",
+                                                   1.2, 1.2, plan=FAST)
+        assert results["cvs"] == characterize(Pdk(), "cvs", 1.2, 1.2,
+                                              plan=FAST)
+        assert list(results) == ["inverter", "cvs"]

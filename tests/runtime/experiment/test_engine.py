@@ -1,0 +1,167 @@
+"""Engine semantics: specs, workers, quarantine, resume, interrupts."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.runtime.experiment import (
+    ExperimentPoint, ExperimentSpec, ResultRow, ResultSet, run_experiment,
+)
+from repro.runtime.faults import FaultPlan
+
+pytestmark = pytest.mark.experiment
+
+
+def square(x):
+    """Module-level measurement (picklable for worker pools)."""
+    return x * x
+
+
+def flaky(x):
+    if x == 3.0:
+        raise ValueError("bad point")
+    return x + 1
+
+
+def _spec(measure=square, n=5, **overrides):
+    points = [ExperimentPoint(i, float(i)) for i in range(n)]
+    options = {"name": "unit", "measure": measure, "points": points,
+               "stage": "measure", "codec": "json"}
+    options.update(overrides)
+    return ExperimentSpec(**options)
+
+
+class TestValidation:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(AnalysisError):
+            run_experiment(_spec(workers=0))
+
+    def test_duplicate_indices_rejected(self):
+        spec = _spec()
+        spec.points = [ExperimentPoint(0, 0.0), ExperimentPoint(0, 1.0)]
+        with pytest.raises(AnalysisError):
+            run_experiment(spec)
+
+    def test_local_measure_rejected_for_pools(self):
+        def local_measure(x):
+            return x
+
+        with pytest.raises(AnalysisError):
+            run_experiment(_spec(measure=local_measure, workers=2))
+
+    def test_local_measure_fine_serially(self):
+        result = run_experiment(_spec(measure=lambda x: x, workers=1))
+        assert result.values() == [float(i) for i in range(5)]
+
+
+class TestExecution:
+    def test_serial_run(self):
+        result = run_experiment(_spec())
+        assert result.values() == [float(i) ** 2 for i in range(5)]
+        assert result.counts["err"] == 0
+        assert not result.interrupted
+
+    def test_parallel_identical_to_serial(self):
+        serial = run_experiment(_spec(n=8))
+        parallel = run_experiment(_spec(n=8, workers=3, chunk_size=2))
+        assert parallel.values() == serial.values()
+        assert [r.index for r in parallel.rows] \
+            == [r.index for r in serial.rows]
+
+    def test_rows_in_spec_order_regardless_of_completion(self):
+        result = run_experiment(_spec(n=9, workers=4, chunk_size=1))
+        assert [row.index for row in result.rows] == list(range(9))
+
+    def test_progress_fires_per_success(self):
+        seen = []
+        run_experiment(_spec(), progress=lambda i, v: seen.append((i, v)))
+        assert sorted(seen) == [(i, float(i) ** 2) for i in range(5)]
+
+    def test_progress_exception_isolated_with_warning(self):
+        def bad_progress(index, value):
+            raise RuntimeError("observer crashed")
+
+        with pytest.warns(RuntimeWarning, match="progress callback"):
+            result = run_experiment(_spec(), progress=bad_progress)
+        assert result.counts["ok"] == 5  # campaign unharmed
+
+    def test_keyboard_interrupt_returns_partial(self):
+        calls = []
+
+        def interrupting(x):
+            calls.append(x)
+            if len(calls) == 3:
+                raise KeyboardInterrupt
+            return x
+
+        result = run_experiment(_spec(measure=interrupting))
+        assert result.interrupted
+        assert result.counts["ok"] == 2
+
+
+class TestQuarantine:
+    def test_errors_become_rows(self):
+        result = run_experiment(_spec(measure=flaky))
+        assert result.counts == {"total": 5, "ok": 4, "err": 1,
+                                 "interrupted": False}
+        failure = result.sample_failures()[0]
+        assert failure.index == 3
+        assert failure.stage == "measure"
+        assert "ValueError: bad point" in failure.error
+
+    def test_quarantine_survives_the_pool_boundary(self):
+        result = run_experiment(_spec(measure=flaky, workers=2))
+        assert result.counts["err"] == 1
+        assert result.sample_failures()[0].index == 3
+
+    def test_max_failures_aborts(self):
+        with pytest.raises(AnalysisError, match="max_failures"):
+            run_experiment(_spec(measure=flaky, max_failures=0))
+
+    def test_fault_plan_injects_and_forces_serial(self):
+        spec = _spec(faults=FaultPlan.fail_samples([1, 4]), workers=8)
+        result = run_experiment(spec)
+        failures = result.sample_failures()
+        assert [f.index for f in failures] == [1, 4]
+        assert all(f.stage == "injected" for f in failures)
+
+
+class TestResume:
+    def test_resume_runs_only_missing_points(self):
+        calls = []
+
+        def tracking(x):
+            calls.append(x)
+            return x * x
+
+        first = run_experiment(_spec(measure=tracking, n=3))
+        partial = ResultSet(name="unit", codec="json",
+                            rows=list(first.rows))
+        calls.clear()
+        resumed = run_experiment(_spec(measure=tracking, n=5),
+                                 resume=partial)
+        assert calls == [3.0, 4.0]
+        assert resumed.values() == [float(i) ** 2 for i in range(5)]
+
+    def test_resume_carries_quarantined_rows(self):
+        partial = ResultSet(name="unit", codec="json", rows=[
+            ResultRow(ordinal=0, index=2, status="err", stage="measure",
+                      error="ValueError: old failure")])
+        resumed = run_experiment(_spec(), resume=partial)
+        assert resumed.counts["ok"] == 4
+        assert resumed.sample_failures()[0].index == 2
+
+    def test_resume_name_mismatch_rejected(self):
+        stranger = ResultSet(name="other-experiment", codec="json")
+        with pytest.raises(AnalysisError, match="other-experiment"):
+            run_experiment(_spec(), resume=stranger)
+
+    def test_resume_wrong_type_rejected(self):
+        with pytest.raises(AnalysisError):
+            run_experiment(_spec(), resume={"rows": []})
+
+    def test_unknown_resume_indices_sort_after_live_points(self):
+        partial = ResultSet(name="unit", codec="json", rows=[
+            ResultRow(ordinal=0, index=99, status="ok", value=0.5)])
+        resumed = run_experiment(_spec(), resume=partial)
+        assert [row.index for row in resumed.rows] \
+            == [0, 1, 2, 3, 4, 99]

@@ -1,0 +1,130 @@
+"""ResultSet schema, codecs, and JSON round-trip (``-m experiment``)."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.characterize import QuickDelays
+from repro.core.metrics import ShifterMetrics
+from repro.errors import AnalysisError
+from repro.runtime.experiment import (
+    RESULTSET_SCHEMA, ResultRow, ResultSet, get_codec, register_codec,
+)
+
+pytestmark = pytest.mark.experiment
+
+
+def _metrics(seed: float) -> ShifterMetrics:
+    return ShifterMetrics(
+        delay_rise=3.1e-10 * seed, delay_fall=1.7e-10 / seed,
+        power_rise=3.3e-5, power_fall=2.5e-5,
+        leakage_high=1.4e-9, leakage_low=5.6e-9, functional=True)
+
+
+class TestCodecs:
+    def test_metrics_roundtrip_bitwise(self):
+        encode, decode = get_codec("metrics")
+        original = _metrics(1.2345678901234567)
+        back = decode(json.loads(json.dumps(encode(original))))
+        assert back == original  # dataclass equality is field-bitwise
+
+    def test_metrics_nan_roundtrip(self):
+        encode, decode = get_codec("metrics")
+        nan = float("nan")
+        original = ShifterMetrics(nan, nan, nan, nan, nan, nan,
+                                  functional=False)
+        back = decode(json.loads(json.dumps(encode(original))))
+        assert math.isnan(back.delay_rise)
+        assert back.functional is False
+
+    def test_quick_delays_roundtrip(self):
+        encode, decode = get_codec("quick_delays")
+        original = QuickDelays(3.0000000000000004e-10, 1.7e-10, True)
+        back = decode(json.loads(json.dumps(encode(original))))
+        assert back == original
+
+    def test_unknown_codec_raises(self):
+        with pytest.raises(AnalysisError):
+            get_codec("no-such-codec")
+
+    def test_register_codec_duplicate_rejected(self):
+        with pytest.raises(AnalysisError):
+            register_codec("json", lambda v: v, lambda v: v)
+
+
+def _demo_resultset() -> ResultSet:
+    rows = [
+        ResultRow(ordinal=0, index=0, status="ok", value=_metrics(1.0)),
+        ResultRow(ordinal=1, index=1, status="err",
+                  stage="characterize", error="ValueError: boom"),
+        ResultRow(ordinal=2, index=2, status="ok", value=_metrics(2.0)),
+    ]
+    return ResultSet(name="demo", codec="metrics",
+                     metadata={"experiment": "demo", "seed": 7},
+                     rows=rows)
+
+
+class TestResultSet:
+    def test_schema_tag(self):
+        assert _demo_resultset().schema == RESULTSET_SCHEMA
+        assert RESULTSET_SCHEMA == "repro-resultset-v1"
+
+    def test_counts_and_accessors(self):
+        rs = _demo_resultset()
+        assert rs.counts == {"total": 3, "ok": 2, "err": 1,
+                             "interrupted": False}
+        assert [row.index for row in rs.ok_rows()] == [0, 2]
+        assert len(rs.values()) == 2
+        assert set(rs.value_by_index()) == {0, 2}
+
+    def test_sample_failures_match_campaign_type(self):
+        failures = _demo_resultset().sample_failures()
+        assert len(failures) == 1
+        assert failures[0].index == 1
+        assert failures[0].stage == "characterize"
+        assert "boom" in failures[0].error
+
+    def test_json_roundtrip_bitwise(self):
+        rs = _demo_resultset()
+        document = json.loads(json.dumps(rs.to_json()))
+        back = ResultSet.from_json(document)
+        assert back.name == rs.name
+        assert back.metadata == rs.metadata
+        assert back.values() == rs.values()
+        assert back.err_rows()[0].error == rs.err_rows()[0].error
+
+    def test_from_json_rejects_unknown_schema(self):
+        document = _demo_resultset().to_json()
+        document["schema"] = "repro-resultset-v99"
+        with pytest.raises(AnalysisError):
+            ResultSet.from_json(document)
+
+    def test_rows_sorted_by_ordinal_on_load(self):
+        document = _demo_resultset().to_json()
+        document["rows"].reverse()
+        back = ResultSet.from_json(document)
+        assert [row.ordinal for row in back.rows] == [0, 1, 2]
+
+    def test_tuple_index_roundtrip(self):
+        rows = [ResultRow(ordinal=0, index=(0, 1), status="ok",
+                          value=1.5),
+                ResultRow(ordinal=1, index=("ff", 27.0), status="ok",
+                          value=2.5)]
+        rs = ResultSet(name="grid", codec="json", rows=rows)
+        back = ResultSet.from_json(json.loads(json.dumps(rs.to_json())))
+        assert back.rows[0].index == (0, 1)
+        assert back.rows[1].index == ("ff", 27.0)
+
+    def test_float_payload_roundtrip_bitwise(self):
+        values = [0.1 + 0.2, 1e-310, np.nextafter(1.0, 2.0)]
+        rows = [ResultRow(ordinal=i, index=i, status="ok", value=v)
+                for i, v in enumerate(values)]
+        rs = ResultSet(name="floats", codec="json", rows=rows)
+        back = ResultSet.from_json(json.loads(json.dumps(rs.to_json())))
+        assert back.values() == values
+
+    def test_pretty_mentions_counts(self):
+        text = _demo_resultset().pretty()
+        assert "3 rows" in text and "1 quarantined" in text

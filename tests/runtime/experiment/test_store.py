@@ -1,0 +1,159 @@
+"""Artifact store: manifests, provenance, reload, truncated resume."""
+
+import json
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.runtime.experiment import (
+    ArtifactStore, ExperimentPoint, ExperimentSpec, MANIFEST_SCHEMA,
+    collect_provenance, git_sha, pdk_fingerprint, run_experiment,
+)
+
+pytestmark = pytest.mark.experiment
+
+
+def cube(x):
+    return x * x * x
+
+
+def sometimes(x):
+    if x == 2.0:
+        raise RuntimeError("solver escape")
+    return x
+
+
+def _spec(measure=cube, n=4, **overrides):
+    points = [ExperimentPoint(i, float(i)) for i in range(n)]
+    options = {"name": "store-demo", "measure": measure,
+               "points": points, "codec": "json", "seed": 42,
+               "metadata": {"experiment": "store-demo"}}
+    options.update(overrides)
+    return ExperimentSpec(**options)
+
+
+class TestProvenance:
+    def test_pdk_fingerprint_stable(self):
+        assert pdk_fingerprint() == pdk_fingerprint()
+        assert len(pdk_fingerprint()) == 16
+
+    def test_git_sha_in_repo(self):
+        sha = git_sha()
+        assert sha is None or len(sha) == 40
+
+    def test_collect_provenance_fields(self):
+        prov = collect_provenance(_spec(workers=3), wall_s=1.25)
+        assert prov["seed"] == 42
+        assert prov["workers"] == 3
+        assert prov["wall_s"] == 1.25
+        assert prov["pdk_fingerprint"] == pdk_fingerprint()
+        assert isinstance(prov["retry_policy"], dict)
+        assert "gmin_ladder" in prov["retry_policy"]
+        assert prov["python"] and prov["numpy"] and prov["platform"]
+        assert prov["written_utc"]
+
+
+class TestWriteAndLoad:
+    def test_run_writes_manifest_and_rows(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        result = run_experiment(_spec(), store=store)
+        assert result.run_id
+        run_dir = store.path(result.run_id)
+        assert (run_dir / "manifest.json").is_file()
+        assert (run_dir / "rows.jsonl").is_file()
+
+        manifest = store.manifest(result.run_id)
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["name"] == "store-demo"
+        assert manifest["counts"]["ok"] == 4
+        assert manifest["provenance"]["seed"] == 42
+        assert manifest["provenance"]["wall_s"] > 0
+        assert manifest["resultset"]["codec"] == "json"
+
+    def test_store_accepts_plain_path(self, tmp_path):
+        result = run_experiment(_spec(), store=str(tmp_path))
+        assert (tmp_path / result.run_id / "manifest.json").is_file()
+
+    def test_reload_bitwise(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        result = run_experiment(_spec(), store=store)
+        loaded = store.load(result.run_id)
+        assert loaded.values() == result.values()
+        assert loaded.metadata == result.metadata
+        assert loaded.run_id == result.run_id
+        assert not loaded.interrupted
+
+    def test_err_rows_survive_reload(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        result = run_experiment(_spec(measure=sometimes), store=store)
+        loaded = store.load(result.run_id)
+        failure = loaded.sample_failures()[0]
+        assert failure.index == 2
+        assert "RuntimeError: solver escape" in failure.error
+
+    def test_list_runs_oldest_first(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        first = run_experiment(_spec(), store=store)
+        second = run_experiment(_spec(), store=store)
+        listed = [m["run_id"] for m in store.list_runs()]
+        assert listed.index(first.run_id) \
+            < listed.index(second.run_id)
+
+    def test_distinct_run_ids(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        a = run_experiment(_spec(), store=store)
+        b = run_experiment(_spec(), store=store)
+        assert a.run_id != b.run_id
+
+    def test_missing_run_raises(self, tmp_path):
+        with pytest.raises(AnalysisError, match="no run"):
+            ArtifactStore(tmp_path).manifest("nope")
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        result = run_experiment(_spec(), store=store)
+        manifest_path = store.path(result.run_id) / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["resultset"]["schema"] = "repro-resultset-v99"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(AnalysisError, match="v99"):
+            store.load(result.run_id)
+
+
+class TestTruncatedResume:
+    def test_truncated_rows_load_as_interrupted_prefix(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        result = run_experiment(_spec(n=6), store=store)
+        rows_path = store.path(result.run_id) / "rows.jsonl"
+        lines = rows_path.read_text().splitlines(keepends=True)
+        # Keep three whole rows plus a torn fourth line.
+        rows_path.write_text("".join(lines[:3]) + lines[3][:10])
+
+        partial = store.load(result.run_id)
+        assert partial.interrupted
+        assert len(partial.rows) == 3
+
+    def test_resume_from_truncated_artifact_completes(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        full = run_experiment(_spec(n=6), store=store)
+        rows_path = store.path(full.run_id) / "rows.jsonl"
+        lines = rows_path.read_text().splitlines(keepends=True)
+        rows_path.write_text("".join(lines[:3]))
+
+        calls = []
+
+        def tracking(x):
+            calls.append(x)
+            return x * x * x
+
+        partial = store.load(full.run_id)
+        resumed = run_experiment(_spec(measure=tracking, n=6),
+                                 resume=partial, store=store,
+                                 run_id=full.run_id)
+        assert calls == [3.0, 4.0, 5.0]
+        assert resumed.values() == full.values()
+        assert not resumed.interrupted
+        # The artifact was healed in place under the same run id.
+        healed = store.load(full.run_id)
+        assert healed.values() == full.values()
+        assert not healed.interrupted

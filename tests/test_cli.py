@@ -90,3 +90,101 @@ class TestCommands:
         text = target.read_text()
         assert "$enddefinitions" in text
         assert "$var real" in text
+
+
+def _stored_run_id(output: str) -> str:
+    for line in output.splitlines():
+        if line.startswith("stored run: "):
+            return line.split("stored run: ", 1)[1].strip()
+    raise AssertionError(f"no 'stored run:' line in output:\n{output}")
+
+
+@pytest.mark.experiment
+class TestExperimentCommands:
+    """Campaign flags, the artifact store CLI, and the engine smoke."""
+
+    def test_temp_subcommand(self, capsys):
+        code = main(["temp", "sstvs", "--temps", "27"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "T[C]" in out and "d_rise" in out
+
+    def test_sens_subcommand(self, capsys):
+        code = main(["sens", "--knobs", "w_mc"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "w_mc" in out
+
+    def test_mc_stores_then_runs_and_show(self, tmp_path, capsys):
+        code = main(["mc", "sstvs", "--runs", "2",
+                     "--out", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        run_id = _stored_run_id(out)
+
+        code = main(["runs", "--out", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert run_id in out
+
+        code = main(["show", run_id, "--out", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pdk_fingerprint" in out
+        assert "seed" in out
+        assert "2 rows (2 ok, 0 quarantined)" in out
+
+    def test_mc_resume_reuses_run_dir(self, tmp_path, capsys):
+        main(["mc", "sstvs", "--runs", "2", "--out", str(tmp_path)])
+        run_id = _stored_run_id(capsys.readouterr().out)
+        code = main(["mc", "sstvs", "--runs", "4",
+                     "--out", str(tmp_path), "--resume", run_id])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert _stored_run_id(out) == run_id
+        assert "4 runs" in out
+
+    def test_runs_with_empty_store(self, tmp_path, capsys):
+        code = main(["runs", "--out", str(tmp_path)])
+        assert code == 0
+        assert "no stored runs" in capsys.readouterr().out
+
+    def test_bench_appends_and_checks(self, tmp_path, capsys,
+                                      monkeypatch):
+        import repro.analysis.bench as bench
+
+        record = {
+            "schema": bench.BENCH_SCHEMA,
+            "workloads": {
+                "mc_serial": {"wall_s": 0.5, "solves": 10,
+                              "solves_per_s": 20.0},
+                "mc_parallel": {"wall_s": 0.4,
+                                "identical_to_serial": True},
+                "sweep": {"wall_s": 0.2, "solves": 5,
+                          "solves_per_s": 25.0},
+            },
+            "speedups": {},
+        }
+        monkeypatch.setattr(bench, "run_bench_suite",
+                            lambda **kwargs: record)
+        target = tmp_path / "BENCH.json"
+
+        code = main(["bench", "--out", str(target)])
+        assert code == 0
+        assert "(1 entry)" in capsys.readouterr().out
+        code = main(["bench", "--out", str(target)])
+        assert code == 0
+        assert "(2 entries)" in capsys.readouterr().out
+
+        code = main(["bench", "--out", str(target), "--check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no throughput regression" in out
+
+    def test_check_experiments_smoke(self, capsys):
+        code = main(["check", "--runs", "2", "--experiments"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "experiment engine / artifact store:" in out
+        assert "resume completes only the missing points" in out
+        assert "FAIL" not in out
