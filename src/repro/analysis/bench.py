@@ -8,7 +8,11 @@ Two fixed workloads track the simulation core's throughput across PRs:
 * **sweep** — the Figure-8 delay surface
   (``sweep_delay_surface("sstvs", SweepGrid.with_step(0.1))``),
   single-threaded, which isolates the assembly-caching speedup from
-  parallelism.
+  parallelism;
+* **tracer** — :func:`bench_tracer_overhead`, a fixed DC-solve loop run
+  with tracing disabled / NullTracer / CollectingTracer back to back,
+  guarding the telemetry layer's zero-cost-when-disabled contract
+  (NullTracer ≤ :data:`TRACER_OVERHEAD_TOLERANCE` over disabled).
 
 Each workload records wall time and, for in-process runs, the global
 Newton counters from :func:`repro.spice.newton.solve_stats` as a
@@ -43,6 +47,11 @@ PRE_PR2_BASELINE = {
 
 #: ``--check`` fails when solves/sec drops below (1 - this) x baseline.
 REGRESSION_TOLERANCE = 0.30
+
+#: An ambient NullTracer may cost at most this fraction over the
+#: disabled (ambient None) hot path — the telemetry layer's
+#: "zero-cost-when-disabled" contract, asserted on every bench run.
+TRACER_OVERHEAD_TOLERANCE = 0.02
 
 
 def _rates(wall_s: float) -> dict:
@@ -104,6 +113,116 @@ def bench_sweep(step: float = 0.1, workers: int = 1,
     return record
 
 
+def _tracer_overhead_circuits(n: int) -> list:
+    """Small nonlinear DC circuits for the tracer-overhead workload.
+
+    Cheap solves on purpose: the cheaper the solve, the larger the
+    relative weight of the instrumentation calls, so the ≤2% guard is
+    conservative for the real (heavier) workloads.
+    """
+    from repro.spice import Circuit
+    from repro.spice.devices import Diode, Resistor, VoltageSource
+    circuits = []
+    for k in range(n):
+        ckt = Circuit(f"tracer-bench-{k}")
+        ckt.add(VoltageSource("v", "a", "0",
+                              dc=1.0 + 0.5 * (k % 8) / 8.0))
+        ckt.add(Resistor("r", "a", "d", 1e3))
+        ckt.add(Diode("d1", "d", "0"))
+        ckt.finalize()
+        circuits.append(ckt)
+    return circuits
+
+
+def bench_tracer_overhead(solves: int = 200, repeats: int = 3) -> dict:
+    """Measure the telemetry layer's instrumentation cost.
+
+    Times the same fixed set of DC solves three ways: tracing disabled
+    (ambient tracer is None — the default hot path), with an ambient
+    :class:`~repro.runtime.telemetry.NullTracer` (every guard passes
+    and every emission call is made, but nothing is recorded), and with
+    a :class:`CollectingTracer` (full recording including condition
+    estimates). Activation (``trace()`` entry and tracer construction)
+    happens once per campaign *point*, not per solve, so it sits
+    outside the timed region — what is bounded here is the steady-state
+    per-solve cost of the instrumentation sites themselves.
+
+    Each circuit is solved once per mode back to back, with the mode
+    order rotating per circuit, and the overhead is the ratio of
+    per-mode *median* solve times — per-solve interleaving plus a
+    median over hundreds of samples is what survives a noisy shared
+    machine, where pass-level wall times can drift by 10–20 %.
+
+    ``null_overhead`` is the fractional cost of the instrumentation
+    itself; ``repro bench`` fails when it exceeds
+    :data:`TRACER_OVERHEAD_TOLERANCE`.
+    """
+    from repro.runtime import telemetry
+    from repro.spice.op import OperatingPoint
+
+    circuits = _tracer_overhead_circuits(solves)
+    for ckt in circuits:  # build assembly plans outside the timed region
+        OperatingPoint(ckt).run()
+
+    order = ("disabled", "null", "collecting")
+    durations: dict[str, list[float]] = {name: [] for name in order}
+    suite_started = time.perf_counter()
+    for _ in range(repeats):
+        for k, ckt in enumerate(circuits):
+            rotation = order[k % 3:] + order[:k % 3]
+            for name in rotation:
+                if name == "disabled":
+                    started = time.perf_counter()
+                    OperatingPoint(ckt).run()
+                    durations[name].append(time.perf_counter() - started)
+                else:
+                    tracer = (telemetry.NullTracer() if name == "null"
+                              else telemetry.CollectingTracer())
+                    with telemetry.trace(tracer):
+                        started = time.perf_counter()
+                        OperatingPoint(ckt).run()
+                        durations[name].append(
+                            time.perf_counter() - started)
+    wall_s = time.perf_counter() - suite_started
+
+    medians = {name: _median(values)
+               for name, values in durations.items()}
+    disabled = medians["disabled"]
+    return {
+        "workload": "tracer",
+        "solves": solves,
+        "repeats": repeats,
+        "disabled_solve_s": disabled,
+        "null_solve_s": medians["null"],
+        "collecting_solve_s": medians["collecting"],
+        "null_overhead": medians["null"] / disabled - 1.0,
+        "collecting_overhead": medians["collecting"] / disabled - 1.0,
+        "wall_s": wall_s,
+    }
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def check_tracer_overhead(
+        record: dict,
+        tolerance: float = TRACER_OVERHEAD_TOLERANCE) -> list[str]:
+    """Assert the NullTracer overhead bound on a suite record."""
+    tracer = latest_entry(record).get("workloads", {}).get("tracer")
+    if not tracer:
+        return []
+    overhead = tracer.get("null_overhead")
+    if overhead is None or overhead <= tolerance:
+        return []
+    return [f"tracer: NullTracer costs {overhead:+.1%} over the "
+            f"disabled hot path (tolerance {tolerance:.0%})"]
+
+
 def run_bench_suite(mc_runs: int = 100, sweep_step: float = 0.1,
                     workers: int = 4) -> dict:
     """Run the full benchmark suite; returns the trajectory record.
@@ -118,6 +237,7 @@ def run_bench_suite(mc_runs: int = 100, sweep_step: float = 0.1,
     mc_parallel["identical_to_serial"] = (
         mc_parallel.pop("_samples") == mc_serial.pop("_samples"))
     sweep = bench_sweep(step=sweep_step, workers=1)
+    tracer = bench_tracer_overhead()
 
     baseline = dict(PRE_PR2_BASELINE)
     speedups = {}
@@ -135,6 +255,7 @@ def run_bench_suite(mc_runs: int = 100, sweep_step: float = 0.1,
             "mc_serial": mc_serial,
             "mc_parallel": mc_parallel,
             "sweep": sweep,
+            "tracer": tracer,
         },
         "baseline_pre_pr2": baseline,
         "speedups": speedups,

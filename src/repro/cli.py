@@ -16,17 +16,21 @@ Commands map one-to-one onto the library's experiment entry points:
 * ``bench`` — timed benchmark workloads (appends to a trajectory file;
   ``--check`` is the regression guard);
 * ``check`` — fault-injected self-test of the resilient solver runtime
-  (``--experiments`` adds an engine/artifact-store smoke test);
+  (``--experiments`` adds an engine/artifact-store smoke test,
+  ``--golden`` runs the analytic golden test battery);
 * ``runs`` / ``show`` — list and inspect stored experiment runs;
+* ``trace`` — convergence summary + outlier report of a traced run;
 * ``vcd`` — dump a characterization transient as VCD.
 
 Every campaign subcommand is a thin spec builder over the unified
-experiment engine (:mod:`repro.runtime.experiment`) and shares three
+experiment engine (:mod:`repro.runtime.experiment`) and shares these
 flags: ``--workers N`` distributes samples over a process pool
 (results identical to a serial run), ``--out DIR`` persists the run as
 ``DIR/<run-id>/manifest.json`` + ``rows.jsonl`` with full provenance,
-and ``--resume RUN-ID`` reloads a stored (possibly partial) run and
-computes only the missing points.
+``--resume RUN-ID`` reloads a stored (possibly partial) run and
+computes only the missing points, and ``--trace`` / ``--profile``
+record per-point solver telemetry into the manifest's
+``repro-trace-v1`` section (rendered by ``repro trace <run-id>``).
 """
 
 from __future__ import annotations
@@ -47,7 +51,7 @@ def _add_voltage_args(parser) -> None:
 
 
 def _add_campaign_args(parser, workers_default: int = 1) -> None:
-    """The shared campaign flags: --workers / --out / --resume."""
+    """The shared campaign flags: --workers / --out / --resume / --trace."""
     parser.add_argument("--workers", type=int, default=workers_default,
                         help="process-pool width (1 = serial)")
     parser.add_argument("--out", default=None, metavar="DIR",
@@ -57,14 +61,30 @@ def _add_campaign_args(parser, workers_default: int = 1) -> None:
                         help="reload this stored run and compute only "
                              "the missing points (implies --out, "
                              "default 'results')")
+    parser.add_argument("--trace", action="store_true",
+                        help="record per-point solver telemetry into the "
+                             "run manifest (implies --out; see "
+                             "'repro trace')")
+    parser.add_argument("--profile", action="store_true",
+                        help="like --trace plus a cProfile per point "
+                             "(heavyweight; for digging into slow points)")
 
 
 def _campaign_io(args):
     """Resolve the shared flags into (store, resume, run_id)."""
+    from repro.runtime import telemetry
     from repro.runtime.experiment import ArtifactStore, DEFAULT_ROOT
+    mode = None
+    if getattr(args, "profile", False):
+        mode = "profile"
+    elif getattr(args, "trace", False):
+        mode = "collect"
+    if mode is not None:
+        telemetry.set_campaign_trace_mode(mode)
     store = resume = None
-    if getattr(args, "out", None) or getattr(args, "resume", None):
-        store = ArtifactStore(args.out or DEFAULT_ROOT)
+    if (getattr(args, "out", None) or getattr(args, "resume", None)
+            or mode is not None):
+        store = ArtifactStore(getattr(args, "out", None) or DEFAULT_ROOT)
     if getattr(args, "resume", None):
         resume = store.load(args.resume)
     return store, resume, getattr(args, "resume", None)
@@ -308,6 +328,22 @@ def cmd_show(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Render the ``repro-trace-v1`` section of a stored run."""
+    from repro.runtime.experiment import ArtifactStore, DEFAULT_ROOT
+    from repro.runtime.telemetry import render_trace
+    store = ArtifactStore(args.out or DEFAULT_ROOT)
+    manifest = store.manifest(args.run_id)
+    document = manifest.get("trace")
+    if not document:
+        print(f"run {args.run_id!r} has no trace section; rerun the "
+              f"campaign with --trace (or --profile)")
+        return 1
+    print(f"run {manifest.get('run_id')}: {manifest.get('name')}")
+    print(render_trace(document, limit=args.limit))
+    return 0
+
+
 def cmd_vcd(args) -> int:
     from repro.core.characterize import StimulusPlan, run_stimulus
     from repro.pdk import Pdk
@@ -337,8 +373,8 @@ def cmd_bench(args) -> int:
     import os
 
     from repro.analysis.bench import (
-        append_trajectory, check_regression, load_trajectory,
-        run_bench_suite,
+        append_trajectory, check_regression, check_tracer_overhead,
+        load_trajectory, run_bench_suite,
     )
     record = run_bench_suite(mc_runs=args.runs, sweep_step=args.step,
                              workers=args.workers)
@@ -349,8 +385,17 @@ def cmd_bench(args) -> int:
         print(line)
     for name, ratio in record["speedups"].items():
         print(f"  speedup {name}: {ratio:.2f}x")
+    tracer = record["workloads"].get("tracer", {})
+    if tracer.get("null_overhead") is not None:
+        print(f"  tracer overhead: null {tracer['null_overhead']:+.2%}, "
+              f"collecting {tracer['collecting_overhead']:+.2%}")
     if not record["workloads"]["mc_parallel"]["identical_to_serial"]:
         print("FAIL: parallel MC samples differ from serial run")
+        return 1
+    overhead_problems = check_tracer_overhead(record)
+    for problem in overhead_problems:
+        print(f"FAIL: {problem}")
+    if overhead_problems:
         return 1
     if args.check:
         baseline_path = args.out
@@ -426,6 +471,68 @@ def _check_experiments(check) -> None:
 def _smoke_measure(x: float) -> float:
     """Trivial measurement for the ``check --experiments`` smoke."""
     return x * x
+
+
+def _check_golden(check) -> None:
+    """Run the analytic golden battery (``pytest -m golden``)."""
+    import os
+    import subprocess
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parents[1]
+    root = src.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    print("analytic golden battery (pytest -m golden):")
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-m", "golden", "-q"],
+        cwd=root, env=env, capture_output=True, text=True)
+    tail = (proc.stdout or "").strip().splitlines()[-3:]
+    for line in tail:
+        print(f"  {line}")
+    check("golden battery passes", proc.returncode == 0)
+
+
+def _check_coverage(check) -> None:
+    """Enforce the solver-core coverage floor (gated on the tool).
+
+    The floor itself (>= 85 % of ``src/repro/spice``) lives in
+    pyproject.toml under ``[tool.coverage.report] fail_under``; this
+    check runs the spice + golden suites under ``coverage`` and lets
+    ``coverage report`` apply it. When the ``coverage`` package is not
+    installed the check is skipped loudly rather than failed — the
+    floor is config, the tool is optional.
+    """
+    import importlib.util
+    import os
+    import subprocess
+    from pathlib import Path
+
+    if importlib.util.find_spec("coverage") is None:
+        print("  [SKIP] spice coverage floor ('coverage' package not "
+              "installed; floor configured in pyproject.toml)")
+        return
+    src = Path(__file__).resolve().parents[1]
+    root = src.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    print("spice coverage floor (coverage run -m pytest tests/spice "
+          "tests/golden):")
+    proc = subprocess.run(
+        [sys.executable, "-m", "coverage", "run", "-m", "pytest",
+         "tests/spice", "tests/golden", "-q"],
+        cwd=root, env=env, capture_output=True, text=True)
+    check("coverage test run passes", proc.returncode == 0)
+    report = subprocess.run(
+        [sys.executable, "-m", "coverage", "report"],
+        cwd=root, env=env, capture_output=True, text=True)
+    tail = (report.stdout or "").strip().splitlines()[-2:]
+    for line in tail:
+        print(f"  {line}")
+    check("src/repro/spice coverage >= pyproject floor",
+          report.returncode == 0)
 
 
 def cmd_check(args) -> int:
@@ -516,6 +623,20 @@ def cmd_check(args) -> int:
             _check_experiments(_check)
         except Exception as exc:
             _check(f"experiment smoke raised {type(exc).__name__}: {exc}",
+                   False)
+
+    if args.golden:
+        try:
+            _check_golden(_check)
+        except Exception as exc:
+            _check(f"golden battery raised {type(exc).__name__}: {exc}",
+                   False)
+
+    if args.coverage:
+        try:
+            _check_coverage(_check)
+        except Exception as exc:
+            _check(f"coverage floor raised {type(exc).__name__}: {exc}",
                    False)
 
     if failures:
@@ -637,7 +758,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--experiments", action="store_true",
                    help="also smoke-test the experiment engine and "
                         "artifact store (persist, reload, resume)")
+    p.add_argument("--golden", action="store_true",
+                   help="also run the analytic golden test battery "
+                        "(pytest -m golden)")
+    p.add_argument("--coverage", action="store_true",
+                   help="also enforce the >=85%% solver-core coverage "
+                        "floor (skipped when 'coverage' is not installed)")
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("trace", help="convergence summary of a traced run")
+    p.add_argument("run_id")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="artifact-store root (default: results)")
+    p.add_argument("--limit", type=int, default=10,
+                   help="outlier rows to print")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("vcd", help="dump a characterization transient")
     p.add_argument("kind", choices=KINDS)

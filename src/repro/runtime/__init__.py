@@ -23,7 +23,11 @@ that make every solve survivable and observable:
 * :mod:`repro.runtime.experiment` — the unified experiment engine:
   declarative :class:`ExperimentSpec` campaigns executed by
   :func:`run_experiment` into typed :class:`ResultSet` rows, persisted
-  with provenance through :class:`ArtifactStore`.
+  with provenance through :class:`ArtifactStore`;
+* :mod:`repro.runtime.telemetry` — zero-cost-when-disabled tracing:
+  ambient :class:`Tracer` activation via :func:`trace`, per-solve
+  counters/histograms/phase timers emitted by the spice layer, and
+  ``repro-trace-v1`` campaign aggregation rendered by ``repro trace``.
 
 This package deliberately depends only on :mod:`repro.errors` (plus
 the standard library) at import time, so the solver layers can import
@@ -45,6 +49,12 @@ from repro.runtime.policy import (
     DEFAULT_GMIN_LADDER, DEFAULT_SOURCE_RAMP, RetryPolicy,
 )
 from repro.runtime.report import AttemptRecord, SolveReport, TransientReport
+from repro.runtime.telemetry import (
+    TRACE_MODES, TRACE_SCHEMA, CollectingTracer, Histogram, NullTracer,
+    ProfilingTracer, Tracer, active_tracer, aggregate_traces,
+    campaign_trace_mode, make_tracer, render_trace,
+    set_campaign_trace_mode, trace, trace_outliers,
+)
 
 __all__ = [
     "ArtifactStore",
@@ -66,8 +76,23 @@ __all__ = [
     "SampleFailure",
     "SolveReport",
     "TransientReport",
+    "TRACE_MODES",
+    "TRACE_SCHEMA",
+    "CollectingTracer",
+    "Histogram",
+    "NullTracer",
+    "ProfilingTracer",
+    "Tracer",
     "active_plan",
+    "active_tracer",
+    "aggregate_traces",
+    "campaign_trace_mode",
     "default_chunk_size",
     "inject",
+    "make_tracer",
     "parallel_map",
+    "render_trace",
+    "set_campaign_trace_mode",
+    "trace",
+    "trace_outliers",
 ]

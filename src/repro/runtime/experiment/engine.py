@@ -37,6 +37,7 @@ import warnings
 from contextlib import nullcontext
 
 from repro.errors import AnalysisError
+from repro.runtime import telemetry
 from repro.runtime.experiment.resultset import ResultRow, ResultSet
 from repro.runtime.experiment.spec import ExperimentSpec
 from repro.runtime.faults import inject
@@ -48,14 +49,29 @@ def _measure_worker(task: tuple):
 
     Module-level so the process pool can pickle it by reference.
     Per-point failures are encoded in the return value rather than
-    raised — quarantine must survive the pool boundary.
+    raised — quarantine must survive the pool boundary. The trace mode
+    rides in the task tuple (never in ambient process state) so pooled
+    workers trace exactly like a serial run; each point gets a fresh
+    tracer and its snapshot comes back with the outcome.
     """
-    measure, stage, index, params = task
+    measure, stage, index, params, trace_mode = task
+    snap = None
     try:
-        value = measure(params)
+        if trace_mode is None:
+            value = measure(params)
+        else:
+            tracer = telemetry.make_tracer(trace_mode)
+            try:
+                with telemetry.trace(tracer):
+                    value = measure(params)
+            finally:
+                # Failed points keep their partial trace — a diverging
+                # corner's convergence record is exactly what the
+                # outlier report is for.
+                snap = tracer.snapshot()
     except Exception as exc:
-        return ("err", index, stage, f"{type(exc).__name__}: {exc}")
-    return ("ok", index, value)
+        return ("err", index, stage, f"{type(exc).__name__}: {exc}", snap)
+    return ("ok", index, value, snap)
 
 
 def run_experiment(spec: ExperimentSpec, *, progress=None, resume=None,
@@ -81,6 +97,9 @@ def run_experiment(spec: ExperimentSpec, *, progress=None, resume=None,
     """
     spec.validate()
     started = time.perf_counter()
+    trace_mode = (spec.trace if spec.trace is not None
+                  else telemetry.campaign_trace_mode())
+    traces: dict = {}
 
     ordinals = {point.index: n for n, point in enumerate(spec.points)}
     rows: list[ResultRow] = []
@@ -150,32 +169,45 @@ def run_experiment(spec: ExperimentSpec, *, progress=None, resume=None,
                     continue
                 scope = (spec.faults.sample_scope(index)
                          if isinstance(index, int) else nullcontext())
+                tracer = (telemetry.make_tracer(trace_mode)
+                          if trace_mode is not None else None)
+                trace_scope = (telemetry.trace(tracer)
+                               if tracer is not None else nullcontext())
                 try:
-                    with scope, inject(spec.faults):
+                    with scope, inject(spec.faults), trace_scope:
                         value = spec.measure(point.params)
                 except KeyboardInterrupt:
                     raise
                 except Exception as exc:
+                    if tracer is not None:
+                        traces[index] = tracer.snapshot()
                     _quarantine(ordinal, index, spec.stage,
                                 f"{type(exc).__name__}: {exc}")
                     continue
+                if tracer is not None:
+                    traces[index] = tracer.snapshot()
                 rows.append(ResultRow(ordinal=ordinal, index=index,
                                       status="ok", value=value))
                 _progress(index, value)
         else:
-            tasks = [(spec.measure, spec.stage, point.index, point.params)
+            tasks = [(spec.measure, spec.stage, point.index, point.params,
+                      trace_mode)
                      for point in pending]
             for outcome in parallel_map(_measure_worker, tasks,
                                         workers=spec.workers,
                                         chunk_size=spec.chunk_size):
                 if outcome[0] == "ok":
-                    _, index, value = outcome
+                    _, index, value, snap = outcome
+                    if snap is not None:
+                        traces[index] = snap
                     rows.append(ResultRow(ordinal=ordinals[index],
                                           index=index, status="ok",
                                           value=value))
                     _progress(index, value)
                 else:
-                    _, index, stage, message = outcome
+                    _, index, stage, message, snap = outcome
+                    if snap is not None:
+                        traces[index] = snap
                     _quarantine(ordinals[index], index, stage, message)
     except KeyboardInterrupt:
         interrupted = True
@@ -184,6 +216,13 @@ def run_experiment(spec: ExperimentSpec, *, progress=None, resume=None,
     result = ResultSet(name=spec.name, codec=spec.codec,
                        metadata=dict(spec.metadata), rows=rows,
                        interrupted=interrupted)
+    if trace_mode is not None:
+        # Snapshots merge in canonical row order (never completion
+        # order), so a pooled campaign aggregates exactly like a serial
+        # one. Resumed rows carried over without traces are skipped.
+        result.trace = telemetry.aggregate_traces(
+            [(row.index, traces.get(row.index)) for row in rows],
+            trace_mode)
     wall_s = time.perf_counter() - started
     if store is not None:
         from repro.runtime.experiment.store import ArtifactStore

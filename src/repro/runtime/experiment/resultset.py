@@ -200,6 +200,10 @@ class ResultSet:
     interrupted: bool = False
     #: Set when the run was written to / loaded from an artifact store.
     run_id: str | None = None
+    #: Aggregated ``repro-trace-v1`` document when the campaign ran with
+    #: tracing enabled (see :mod:`repro.runtime.telemetry`); None
+    #: otherwise. Persisted in the artifact manifest's ``trace`` section.
+    trace: dict | None = None
 
     # -- accessors ---------------------------------------------------------
 
@@ -245,10 +249,13 @@ class ResultSet:
 
     def to_json(self) -> dict:
         """Full JSON document (schema + rows); see also ArtifactStore."""
-        return {"schema": self.schema, "name": self.name,
-                "codec": self.codec, "metadata": self.metadata,
-                "interrupted": self.interrupted,
-                "rows": self.encoded_rows()}
+        document = {"schema": self.schema, "name": self.name,
+                    "codec": self.codec, "metadata": self.metadata,
+                    "interrupted": self.interrupted,
+                    "rows": self.encoded_rows()}
+        if self.trace is not None:
+            document["trace"] = self.trace
+        return document
 
     @classmethod
     def from_json(cls, document: dict) -> "ResultSet":
@@ -274,7 +281,8 @@ class ResultSet:
         return cls(name=document["name"], codec=codec,
                    metadata=dict(document.get("metadata", {})),
                    rows=rows,
-                   interrupted=bool(document.get("interrupted", False)))
+                   interrupted=bool(document.get("interrupted", False)),
+                   trace=document.get("trace"))
 
     # -- display -----------------------------------------------------------
 

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Hashable, Sequence
 
 from repro.errors import AnalysisError
+from repro.runtime.telemetry import TRACE_MODES
 
 
 @dataclass(frozen=True)
@@ -78,6 +79,12 @@ class ExperimentSpec:
         metadata: JSON-serializable campaign description (kind,
             supplies, grid, ...) stored in the manifest and used by
             result assemblers.
+        trace: per-point solver telemetry mode: ``"collect"`` records
+            counters/histograms/timers, ``"profile"`` adds a cProfile
+            per point; None (default) defers to the process-wide mode
+            set by :func:`repro.runtime.telemetry.set_campaign_trace_mode`
+            (the CLI ``--trace``/``--profile`` flags). Traces are
+            aggregated into the result set's ``repro-trace-v1`` section.
     """
 
     name: str
@@ -92,10 +99,15 @@ class ExperimentSpec:
     seed: int | None = None
     retry_policy: object | None = None
     metadata: dict = field(default_factory=dict)
+    trace: str | None = None
 
     def validate(self) -> None:
         if self.workers < 1:
             raise AnalysisError("workers must be >= 1")
+        if self.trace is not None and self.trace not in TRACE_MODES:
+            raise AnalysisError(
+                f"experiment {self.name!r}: trace must be None or one "
+                f"of {TRACE_MODES}, got {self.trace!r}")
         if self.max_failures is not None and self.max_failures < 0:
             raise AnalysisError("max_failures must be >= 0 or None")
         indices = [p.index for p in self.points]

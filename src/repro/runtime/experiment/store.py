@@ -21,6 +21,10 @@ the run:
   how long it took;
 * interpreter and library versions.
 
+Runs executed with tracing enabled additionally carry the aggregated
+``repro-trace-v1`` document in the manifest's ``trace`` section (see
+:mod:`repro.runtime.telemetry`); ``repro trace <run-id>`` renders it.
+
 ``rows.jsonl`` is append-friendly and line-oriented: a truncated file
 (killed run, full disk) loses only its tail, and
 :meth:`ArtifactStore.load` returns the surviving prefix — which is
@@ -164,6 +168,8 @@ class ArtifactStore:
                           "codec": resultset.codec,
                           "rows_file": ROWS_NAME},
         }
+        if resultset.trace is not None:
+            manifest["trace"] = resultset.trace
         with open(run_dir / MANIFEST_NAME, "w") as handle:
             json.dump(manifest, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -249,6 +255,7 @@ class ArtifactStore:
             or len(rows) < int(counts.get("total", len(rows)))
         result = ResultSet(name=manifest["name"], codec=codec,
                            metadata=dict(manifest.get("metadata", {})),
-                           rows=rows, interrupted=interrupted)
+                           rows=rows, interrupted=interrupted,
+                           trace=manifest.get("trace"))
         result.run_id = run_id
         return result

@@ -41,6 +41,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.runtime import telemetry
 from repro.spice import mna
 from repro.spice.devices.base import Device
 from repro.spice.devices.controlled import Vccs, Vcvs
@@ -283,9 +284,14 @@ class AssemblyPlan:
             key = (integrator.method, integrator.dt, gmin)
         cache = self._base_cache
         base = cache.get(key)
+        tracer = telemetry.active_tracer()
         if base is not None:
             cache.move_to_end(key)
+            if tracer is not None:
+                tracer.count("assembly.base_hit")
             return base
+        if tracer is not None:
+            tracer.count("assembly.base_miss")
         idx, vals, cap_pos, cap_neg, scalar = (
             self._mat_dc if integrator is None else self._mat_tr)
         if integrator is not None:

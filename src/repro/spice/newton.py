@@ -23,6 +23,7 @@ chosen strategies, which is how the ladder itself is tested.
 
 from __future__ import annotations
 
+import math as _math
 import time as _time
 from dataclasses import dataclass
 from typing import Optional
@@ -30,6 +31,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ConvergenceError
+from repro.runtime import telemetry
 from repro.runtime.faults import FaultPlan, active_plan
 from repro.runtime.policy import RetryPolicy
 from repro.runtime.report import AttemptRecord, SolveReport
@@ -56,6 +58,21 @@ def reset_solve_stats() -> None:
     global _SOLVES, _ITERATIONS
     _SOLVES = 0
     _ITERATIONS = 0
+
+
+def _condition_estimate(matrix: np.ndarray) -> float | None:
+    """1-norm condition estimate of the converged Jacobian, or None.
+
+    Only computed when an ambient tracer asks for it (it costs an
+    explicit inverse, O(n^3) — trivial at MNA sizes but never free).
+    Runs under the solver's suppressed FP flags, so a singular matrix
+    surfaces as a non-finite estimate and is filtered, not raised.
+    """
+    try:
+        cond = float(np.linalg.cond(matrix, 1))
+    except np.linalg.LinAlgError:
+        return None
+    return cond if np.isfinite(cond) and cond > 0.0 else None
 
 
 def solve_stats() -> dict:
@@ -110,6 +127,7 @@ def newton_solve(circuit, x0: np.ndarray, time: float = 0.0,
     opts = options or NewtonOptions()
     effective_gmin = opts.gmin if gmin is None else gmin
     plan = faults if faults is not None else active_plan()
+    tracer = telemetry.active_tracer()
     ws = workspace if workspace is not None else SolverWorkspace(circuit)
     system = ws.system
     n_nodes = ws.n_nodes
@@ -134,6 +152,8 @@ def newton_solve(circuit, x0: np.ndarray, time: float = 0.0,
             record.converged = False
             record.injected_fault = injected
             record.error = message
+        if tracer is not None:
+            tracer.count("newton.failures")
         error = ConvergenceError(message, iterations=iterations,
                                  residual=residual)
         if cause is not None:
@@ -218,6 +238,13 @@ def newton_solve(circuit, x0: np.ndarray, time: float = 0.0,
                     record.iterations = iteration + 1
                     record.residual = max_dv
                     record.converged = True
+                if tracer is not None:
+                    tracer.observe("newton.iterations", iteration + 1)
+                    if tracer.condition_estimates:
+                        cond = _condition_estimate(system.matrix)
+                        if cond is not None and cond >= 1.0:
+                            tracer.observe("newton.condition_log10",
+                                           _math.log10(cond))
                 return x
     finally:
         np.seterr(**saved_err)
@@ -239,7 +266,41 @@ def solve_dc_report(circuit, x0: Optional[np.ndarray] = None,
     every attempt. On total failure raises :class:`ConvergenceError`
     carrying the full :class:`SolveReport` and the best attempt's
     iteration count and residual.
+
+    With an ambient :class:`~repro.runtime.telemetry.Tracer` active the
+    ladder additionally emits ``dc.*`` counters, the ladder-depth and
+    wall-time histograms, and the ``phase.dc`` timer; with tracing
+    disabled this wrapper costs one global read.
     """
+    tracer = telemetry.active_tracer()
+    if tracer is None:
+        return _solve_dc_report_impl(circuit, x0, options, policy,
+                                     faults, workspace)
+    with tracer.phase("phase.dc"):
+        try:
+            x, report = _solve_dc_report_impl(circuit, x0, options,
+                                              policy, faults, workspace)
+        except ConvergenceError as error:
+            tracer.count("dc.solves")
+            tracer.count("dc.failed")
+            if error.report is not None:
+                tracer.observe("dc.ladder_depth",
+                               len(error.report.attempts))
+                tracer.observe("dc.wall_s", error.report.wall_time_s)
+            raise
+    tracer.count("dc.solves")
+    tracer.count(f"dc.converged.{report.winning_strategy}")
+    tracer.observe("dc.ladder_depth", len(report.attempts))
+    tracer.observe("dc.wall_s", report.wall_time_s)
+    return x, report
+
+
+def _solve_dc_report_impl(circuit, x0: Optional[np.ndarray] = None,
+                          options: Optional[NewtonOptions] = None,
+                          policy: Optional[RetryPolicy] = None,
+                          faults: Optional[FaultPlan] = None,
+                          workspace: Optional[SolverWorkspace] = None,
+                          ) -> tuple[np.ndarray, SolveReport]:
     opts = options or NewtonOptions()
     pol = policy or RetryPolicy()
     pol.validate()

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Optional
 
 import numpy as np
 
+from repro.runtime import telemetry
 from repro.runtime.faults import FaultPlan
 from repro.runtime.policy import RetryPolicy
 from repro.runtime.report import SolveReport
@@ -69,7 +71,11 @@ class OperatingPoint:
 
     def run(self) -> OpResult:
         self.circuit.finalize()
-        x, report = solve_dc_report(self.circuit, self.initial_guess,
-                                    self.options, policy=self.policy,
-                                    faults=self.faults)
+        tracer = telemetry.active_tracer()
+        op_phase = (tracer.phase("phase.op")
+                    if tracer is not None else nullcontext())
+        with op_phase:
+            x, report = solve_dc_report(self.circuit, self.initial_guess,
+                                        self.options, policy=self.policy,
+                                        faults=self.faults)
         return OpResult(self.circuit, x, report=report)

@@ -31,12 +31,14 @@ deterministically stall chosen timepoints.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
 from repro.errors import AnalysisError, ConvergenceError
+from repro.runtime import telemetry
 from repro.runtime.faults import FaultPlan, active_plan
 from repro.runtime.policy import RetryPolicy
 from repro.runtime.report import TransientReport
@@ -65,6 +67,12 @@ class TransientOptions:
     restart_fraction: float = 0.02
     #: Retry/escalation policy; default (None) is RetryPolicy().
     policy: RetryPolicy | None = None
+    #: Force one integration method for *every* step: ``"be"`` or
+    #: ``"trap"``. None (default) keeps the adaptive scheme —
+    #: trapezoidal with backward-Euler restarts after breakpoints and
+    #: (policy-dependent) failed steps. Forcing is what lets the
+    #: analytic golden battery pin each integrator's error order.
+    method: str | None = None
 
 
 class TransientResult:
@@ -130,9 +138,16 @@ class Transient:
         circuit = self.circuit
         circuit.finalize()
         opts = self.options
+        if opts.method not in (None, BACKWARD_EULER, TRAPEZOIDAL):
+            raise AnalysisError(
+                f"TransientOptions.method must be None, "
+                f"{BACKWARD_EULER!r} or {TRAPEZOIDAL!r}, "
+                f"got {opts.method!r}")
+        forced_method = opts.method
         policy = opts.policy or RetryPolicy()
         policy.validate()
         plan = self.faults if self.faults is not None else active_plan()
+        tracer = telemetry.active_tracer()
         report = TransientReport()
         h_max = opts.h_max if opts.h_max is not None else self.t_stop / 100.0
         h_min = opts.h_min if opts.h_min is not None else self.t_stop * 1e-9
@@ -168,83 +183,109 @@ class Transient:
         def _stall(reason: str) -> ConvergenceError:
             workspace.sync_state()
             report.stalled = True
+            if tracer is not None:
+                tracer.count("tran.stalled")
             return ConvergenceError(
                 f"transient stalled at t={t:.6e}s with h={h:.3e}s "
                 f"in circuit {circuit.title!r} ({reason})", report=report)
 
-        while t < self.t_stop - 1e-21:
-            next_bp = (breakpoints[bp_index]
-                       if bp_index < len(breakpoints) else self.t_stop)
-            h = min(h, h_max, self.t_stop - t)
-            hit_bp = False
-            if t + h >= next_bp - 1e-21:
-                h = next_bp - t
-                hit_bp = True
-            if h < h_min * 0.5:
-                # Degenerate gap between breakpoints; jump it with BE.
-                h = max(h, 1e-21)
+        if tracer is not None:
+            tracer.count("tran.runs")
+        march_phase = (tracer.phase("phase.transient")
+                       if tracer is not None else nullcontext())
+        with march_phase:
+            while t < self.t_stop - 1e-21:
+                next_bp = (breakpoints[bp_index]
+                           if bp_index < len(breakpoints) else self.t_stop)
+                h = min(h, h_max, self.t_stop - t)
+                hit_bp = False
+                if t + h >= next_bp - 1e-21:
+                    h = next_bp - t
+                    hit_bp = True
+                if h < h_min * 0.5:
+                    # Degenerate gap between breakpoints; jump it with BE.
+                    h = max(h, 1e-21)
 
-            failed = False
-            if plan is not None and plan.fires("timestep_stall", time=t + h):
-                report.injected_faults.append(
-                    f"timestep_stall@t={t + h:.3e}s")
-                failed = True
-            else:
-                integrator = IntegratorState(
-                    method=BACKWARD_EULER if use_be else TRAPEZOIDAL, dt=h)
-                try:
-                    x_new = newton_solve(circuit, x, time=t + h,
-                                         integrator=integrator,
-                                         options=opts.newton,
-                                         strategy="transient", faults=plan,
-                                         workspace=workspace)
-                except ConvergenceError:
+                failed = False
+                if plan is not None and plan.fires("timestep_stall",
+                                                   time=t + h):
+                    report.injected_faults.append(
+                        f"timestep_stall@t={t + h:.3e}s")
                     failed = True
+                else:
+                    if forced_method is None:
+                        method = BACKWARD_EULER if use_be else TRAPEZOIDAL
+                    else:
+                        method = forced_method
+                    integrator = IntegratorState(method=method, dt=h)
+                    try:
+                        x_new = newton_solve(circuit, x, time=t + h,
+                                             integrator=integrator,
+                                             options=opts.newton,
+                                             strategy="transient",
+                                             faults=plan,
+                                             workspace=workspace)
+                    except ConvergenceError:
+                        failed = True
 
-            if failed:
-                report.newton_failures += 1
-                if h <= h_min * 1.0000001:
-                    raise _stall("step at h_min")
-                if halvings >= policy.max_step_halvings:
-                    raise _stall(
-                        f"halving budget {policy.max_step_halvings} "
-                        f"exhausted")
-                h = max(h / 2.0, h_min)
-                halvings += 1
-                report.total_halvings += 1
-                if policy.be_on_retry:
+                if failed:
+                    report.newton_failures += 1
+                    if tracer is not None:
+                        tracer.count("tran.newton_failures")
+                    if h <= h_min * 1.0000001:
+                        raise _stall("step at h_min")
+                    if halvings >= policy.max_step_halvings:
+                        raise _stall(
+                            f"halving budget {policy.max_step_halvings} "
+                            f"exhausted")
+                    h = max(h / 2.0, h_min)
+                    halvings += 1
+                    report.total_halvings += 1
+                    if tracer is not None:
+                        tracer.count("tran.halvings")
+                    if policy.be_on_retry:
+                        use_be = True
+                    continue
+
+                max_dv = float(np.max(np.abs(x_new[:n_nodes]
+                                             - x[:n_nodes]))) \
+                    if n_nodes else 0.0
+                if (max_dv > opts.dv_max and h > h_min * 1.0000001
+                        and halvings < policy.max_step_halvings):
+                    # Accuracy rejection; once the halving budget is
+                    # spent the step is accepted anyway (degrade,
+                    # don't die).
+                    report.steps_rejected_dv += 1
+                    if tracer is not None:
+                        tracer.count("tran.steps_rejected_dv")
+                        tracer.observe("tran.h_rejected", h)
+                    h = max(h / 2.0, h_min)
+                    halvings += 1
+                    report.total_halvings += 1
+                    if tracer is not None:
+                        tracer.count("tran.halvings")
+                    continue
+
+                # Accept the step.
+                workspace.update_state(x_new, integrator)
+                t = next_bp if hit_bp else t + h
+                x = x_new
+                times.append(t)
+                states.append(x.copy())
+                report.steps_accepted += 1
+                halvings = 0
+                if tracer is not None:
+                    tracer.count("tran.steps_accepted")
+                    tracer.observe("tran.h_accepted", h)
+
+                if hit_bp:
+                    bp_index += 1
+                    h = restart_h
                     use_be = True
-                continue
-
-            max_dv = float(np.max(np.abs(x_new[:n_nodes] - x[:n_nodes]))) \
-                if n_nodes else 0.0
-            if (max_dv > opts.dv_max and h > h_min * 1.0000001
-                    and halvings < policy.max_step_halvings):
-                # Accuracy rejection; once the halving budget is spent
-                # the step is accepted anyway (degrade, don't die).
-                report.steps_rejected_dv += 1
-                h = max(h / 2.0, h_min)
-                halvings += 1
-                report.total_halvings += 1
-                continue
-
-            # Accept the step.
-            workspace.update_state(x_new, integrator)
-            t = next_bp if hit_bp else t + h
-            x = x_new
-            times.append(t)
-            states.append(x.copy())
-            report.steps_accepted += 1
-            halvings = 0
-
-            if hit_bp:
-                bp_index += 1
-                h = restart_h
-                use_be = True
-            else:
-                use_be = False
-                if max_dv < 0.3 * opts.dv_max:
-                    h = min(h * 1.5, h_max)
+                else:
+                    use_be = False
+                    if max_dv < 0.3 * opts.dv_max:
+                        h = min(h * 1.5, h_max)
 
         workspace.sync_state()
         return TransientResult(circuit, np.asarray(times),

@@ -12,8 +12,9 @@ import pytest
 
 from repro.analysis.bench import (
     BENCH_SCHEMA, BENCH_TRAJECTORY_SCHEMA, PRE_PR2_BASELINE,
-    append_trajectory, check_regression, latest_entry, load_trajectory,
-    run_bench_suite, write_trajectory,
+    TRACER_OVERHEAD_TOLERANCE, append_trajectory, bench_tracer_overhead,
+    check_regression, check_tracer_overhead, latest_entry,
+    load_trajectory, run_bench_suite, write_trajectory,
 )
 
 pytestmark = pytest.mark.bench
@@ -77,7 +78,8 @@ def test_suite_record_shape(suite_record):
     assert suite_record["schema"] == BENCH_SCHEMA
     assert suite_record["baseline_pre_pr2"] == PRE_PR2_BASELINE
     workloads = suite_record["workloads"]
-    assert set(workloads) == {"mc_serial", "mc_parallel", "sweep"}
+    assert set(workloads) == {"mc_serial", "mc_parallel", "sweep",
+                              "tracer"}
     for record in workloads.values():
         assert record["wall_s"] > 0
     # In-process workloads expose the Newton counters as a rate.
@@ -102,6 +104,32 @@ def test_trajectory_roundtrip(suite_record, tmp_path):
         == suite_record["workloads"]["mc_serial"]["solves"]
     # The file is plain JSON (no dangling non-serializable values).
     json.dumps(loaded)
+
+
+class TestTracerOverhead:
+    def test_null_tracer_within_bound(self):
+        record = bench_tracer_overhead(solves=120, repeats=3)
+        assert record["disabled_solve_s"] > 0
+        # The hard acceptance bound: an ambient NullTracer may cost at
+        # most 2% over the disabled hot path. The median-of-interleaved
+        # estimator is noise-robust, but grant the same margin again
+        # for CI machines under load.
+        assert record["null_overhead"] <= 2 * TRACER_OVERHEAD_TOLERANCE
+        assert check_tracer_overhead(
+            {"workloads": {"tracer": record}},
+            tolerance=2 * TRACER_OVERHEAD_TOLERANCE) == []
+
+    def test_guard_flags_excess_overhead(self):
+        fat = {"workloads": {"tracer": {"null_overhead": 0.50}}}
+        problems = check_tracer_overhead(fat)
+        assert len(problems) == 1 and "NullTracer" in problems[0]
+        assert check_tracer_overhead({"workloads": {}}) == []
+
+    def test_suite_embeds_tracer_workload(self, suite_record):
+        tracer = suite_record["workloads"]["tracer"]
+        assert tracer["workload"] == "tracer"
+        assert tracer["null_overhead"] is not None
+        assert tracer["collecting_overhead"] > tracer["null_overhead"]
 
 
 def test_regression_guard(suite_record):

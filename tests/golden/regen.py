@@ -1,0 +1,98 @@
+"""Regenerate ``tests/golden/goldens.json`` from the current solver.
+
+Run this ONLY after a *deliberate* model, sizing, or solver change that
+is supposed to move the headline numbers — the whole point of the
+golden battery is that silent drift fails loudly. Workflow:
+
+    PYTHONPATH=src python tests/golden/regen.py --dry-run   # review drift
+    PYTHONPATH=src python tests/golden/regen.py             # rewrite file
+    # then: update EXPERIMENTS.md and mention the recalibration in the PR
+
+The script re-characterizes every (kind, vddi, vddo) combination listed
+in the existing file, keeps exactly the metric subset each entry pins
+(``combined`` entries deliberately omit the power metrics), re-measures
+the SS-TVS cell area, and rewrites the JSON with values rounded to
+three significant figures — the same precision the tolerances are
+calibrated against. Tolerances themselves are never rewritten; widening
+a tolerance is a reviewed edit, not a regeneration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+GOLDENS_PATH = Path(__file__).resolve().parent / "goldens.json"
+
+
+def _round_sig(value: float, digits: int = 3) -> float:
+    return float(f"{value:.{digits - 1}e}")
+
+
+def regenerate(document: dict) -> dict:
+    """Fresh golden document with re-measured expected values."""
+    from repro.cells import add_sstvs
+    from repro.core import LevelShifter
+    from repro.layout import estimate_cell_area
+    from repro.pdk import Pdk
+
+    fresh = json.loads(json.dumps(document))  # deep copy
+    for entry in fresh["metrics"]:
+        metrics = LevelShifter(entry["kind"]).characterize(
+            entry["vddi"], entry["vddo"])
+        if not metrics.functional:
+            raise SystemExit(
+                f"refusing to pin a non-functional run: "
+                f"{entry['kind']} {entry['vddi']}->{entry['vddo']}")
+        entry["expected"] = {
+            name: _round_sig(getattr(metrics, name))
+            for name in entry["expected"]}
+    est = estimate_cell_area(add_sstvs, Pdk())
+    fresh["area"]["sstvs_total_um2"] = _round_sig(est.total_area_um2)
+    return fresh
+
+
+def _drift_report(old: dict, new: dict) -> list[str]:
+    lines = []
+    for old_e, new_e in zip(old["metrics"], new["metrics"]):
+        tag = f"{old_e['kind']} {old_e['vddi']}->{old_e['vddo']}"
+        for name, was in old_e["expected"].items():
+            now = new_e["expected"][name]
+            if was == now:
+                continue
+            rel = (now - was) / was if was else float("inf")
+            lines.append(f"  {tag:<22s} {name:<14s} "
+                         f"{was:.3e} -> {now:.3e}  ({rel:+.1%})")
+    was_a = old["area"]["sstvs_total_um2"]
+    now_a = new["area"]["sstvs_total_um2"]
+    if was_a != now_a:
+        lines.append(f"  area sstvs_total_um2   {was_a} -> {now_a}")
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dry-run", action="store_true",
+                        help="print the drift, do not rewrite the file")
+    args = parser.parse_args(argv)
+
+    old = json.loads(GOLDENS_PATH.read_text())
+    new = regenerate(old)
+    drift = _drift_report(old, new)
+    if not drift:
+        print("goldens unchanged — nothing to regenerate")
+        return 0
+    print("golden drift:")
+    print("\n".join(drift))
+    if args.dry_run:
+        print("dry run — file not touched")
+        return 0
+    GOLDENS_PATH.write_text(json.dumps(new, indent=2) + "\n")
+    print(f"rewrote {GOLDENS_PATH} — update EXPERIMENTS.md to match")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

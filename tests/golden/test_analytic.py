@@ -1,0 +1,230 @@
+"""Analytic golden battery: solver output pinned against closed forms.
+
+Unlike the calibrated goldens in ``test_golden_metrics.py`` (which pin
+*our own* previous output), every reference here is an exact analytic
+solution — RC/RL exponentials, the Lambert-W diode drop, linear
+superposition — so a failure means the solver is objectively wrong,
+not merely different.
+
+Error bounds, measured on the seed solver and pinned with margin:
+
+======================  ========  ==========  ==========
+test                    method    measured    bound
+======================  ========  ==========  ==========
+RC charge / RL step     be        6.4e-3 V    1.0e-2 V
+RC charge / RL step     trap      5.1e-5 V    5.0e-4 V
+RC discharge (uic)      be        6.1e-3 V    1.0e-2 V
+RC discharge (uic)      trap      5.0e-4 V    1.5e-3 V
+diode vs Lambert-W      newton    <1e-8  V    1.0e-6 V
+divider/superposition   direct    ~1e-9  V    1.0e-8 V
+======================  ========  ==========  ==========
+
+The be/trap split is the integration order showing through: backward
+Euler is O(h), trapezoidal O(h^2), at the same LTE-controlled step
+sequence (``dv_max = 0.05`` default, ``h_max = t_stop / 100``). The
+negative controls at the bottom loosen the LTE control and the Newton
+tolerances and assert the bounds are then *violated* — proof the
+battery actually exercises the accuracy machinery it claims to pin.
+"""
+
+import numpy as np
+import pytest
+from scipy.special import lambertw
+
+from repro.spice import Circuit, OperatingPoint, Transient
+from repro.spice.devices import (
+    Capacitor, Diode, Inductor, Pulse, Resistor, VoltageSource,
+)
+from repro.spice.newton import NewtonOptions
+from repro.spice.transient import TransientOptions
+
+pytestmark = pytest.mark.golden
+
+#: Both fixed-method integrators, forced via TransientOptions.method.
+INTEGRATORS = ("be", "trap")
+
+#: Documented max-|error| bounds [V] — see the module docstring table.
+STEP_BOUND = {"be": 1.0e-2, "trap": 5.0e-4}
+DISCHARGE_BOUND = {"be": 1.0e-2, "trap": 1.5e-3}
+DIODE_BOUND = 1.0e-6
+#: Linear DC is exact up to the Newton gmin floor: 1e-12 S stamped at
+#: every node perturbs kOhm-scale networks by a few nV.
+LINEAR_BOUND = 1.0e-8
+
+TAU = 1e-9       # RC = L/R time constant [s]
+T_EDGE = 1e-9    # stimulus edge start [s]
+T_RISE = 1e-12   # stimulus ramp [s]; centred analytic reference below
+T_STOP = 6e-9
+
+BOLTZMANN = 1.380649e-23
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+
+def _step_source():
+    return VoltageSource("v", "in", "0", shape=Pulse(
+        0, 1, delay=T_EDGE, rise=T_RISE, fall=T_RISE, width=50e-9,
+        period=100e-9))
+
+
+def _max_error_after_edge(wave, exact_fn):
+    """Max |simulated - exact| for samples past the stimulus ramp.
+
+    The analytic forms below treat the 1 ps ramp as a step at its
+    midpoint, which cancels the first-order ramp error; the remaining
+    mismatch decays within a few ramp times, so comparison starts
+    10 ps after the ramp ends.
+    """
+    mask = wave.times >= T_EDGE + T_RISE + 10e-12
+    t = wave.times[mask]
+    exact = exact_fn(t - T_EDGE - T_RISE / 2)
+    return float(np.max(np.abs(wave.values[mask] - exact)))
+
+
+def _rc_charge_error(method, dv_max=0.05, h_max=None):
+    """1 V step into R=1k, C=1p: v_C(t) = 1 - exp(-t / tau)."""
+    ckt = Circuit("rc_charge")
+    ckt.add(_step_source())
+    ckt.add(Resistor("r", "in", "out", 1e3))
+    ckt.add(Capacitor("c", "out", "0", TAU / 1e3))
+    opts = TransientOptions(method=method, dv_max=dv_max, h_max=h_max)
+    res = Transient(ckt, T_STOP, opts).run()
+    return _max_error_after_edge(
+        res.wave("out"), lambda t: 1.0 - np.exp(-t / TAU))
+
+
+def _rc_discharge_error(method):
+    """Source-free R || C released from v(0) = 1 V: v(t) = exp(-t/tau).
+
+    The initial state is supplied directly (SPICE ``uic`` style) via
+    ``run(x0=...)``, bypassing the DC seed that would otherwise relax
+    the node to 0 V at t = 0.
+    """
+    ckt = Circuit("rc_discharge")
+    ckt.add(Resistor("r", "out", "0", 1e3))
+    ckt.add(Capacitor("c", "out", "0", TAU / 1e3, ic=1.0))
+    ckt.finalize()
+    x0 = np.zeros(ckt.system_size())
+    x0[ckt.node_index("out")] = 1.0
+    res = Transient(ckt, 5e-9, TransientOptions(method=method)).run(x0=x0)
+    w = res.wave("out")
+    exact = np.exp(-w.times / TAU)
+    return float(np.max(np.abs(w.values - exact)))
+
+
+def _rl_step_error(method):
+    """1 V step into R=1k in series with L=1u: v_L(t) = exp(-t/tau)."""
+    ckt = Circuit("rl_step")
+    ckt.add(_step_source())
+    ckt.add(Resistor("r", "in", "out", 1e3))
+    ckt.add(Inductor("l", "out", "0", 1e3 * TAU))
+    res = Transient(ckt, T_STOP, TransientOptions(method=method)).run()
+    return _max_error_after_edge(
+        res.wave("out"), lambda t: np.exp(-t / TAU))
+
+
+class TestTransientExponentials:
+    @pytest.mark.parametrize("method", INTEGRATORS)
+    def test_rc_charge(self, method):
+        assert _rc_charge_error(method) < STEP_BOUND[method]
+
+    @pytest.mark.parametrize("method", INTEGRATORS)
+    def test_rc_discharge(self, method):
+        assert _rc_discharge_error(method) < DISCHARGE_BOUND[method]
+
+    @pytest.mark.parametrize("method", INTEGRATORS)
+    def test_rl_step(self, method):
+        assert _rl_step_error(method) < STEP_BOUND[method]
+
+    def test_trap_beats_be(self):
+        """Order separation: trapezoidal error is at least 10x smaller
+        than backward Euler on the same circuit and step control."""
+        assert _rc_charge_error("trap") < _rc_charge_error("be") / 10.0
+        assert _rl_step_error("trap") < _rl_step_error("be") / 10.0
+
+
+def _diode_drop_exact(v_src, r, i_s=1e-14, n=1.0, temp=300.15):
+    """Closed-form diode voltage in a V-R-diode loop via Lambert W.
+
+    Solving V = R Is (exp(v/a) - 1) + v with a = n kT/q gives
+    v = V + R Is - a W((R Is / a) exp((V + R Is) / a)).
+    """
+    a = n * BOLTZMANN * temp / ELEMENTARY_CHARGE
+    w = lambertw((r * i_s / a) * np.exp((v_src + r * i_s) / a))
+    return float(v_src + r * i_s - a * w.real)
+
+
+def _diode_drop_solved(v_src, r, newton=None):
+    ckt = Circuit("diode_r")
+    ckt.add(VoltageSource("v", "in", "0", dc=v_src))
+    ckt.add(Resistor("r", "in", "d", r))
+    ckt.add(Diode("d1", "d", "0"))
+    return OperatingPoint(ckt, options=newton).run()["d"]
+
+
+class TestDiodeLambertW:
+    @pytest.mark.parametrize("v_src,r", [
+        (0.5, 1e3), (0.8, 1e3), (1.2, 1e3), (1.0, 100.0), (2.0, 10e3),
+    ])
+    def test_dc_drop_matches_lambert_w(self, v_src, r):
+        got = _diode_drop_solved(v_src, r)
+        exact = _diode_drop_exact(v_src, r)
+        assert abs(got - exact) < DIODE_BOUND
+
+
+class TestLinearDC:
+    def test_voltage_divider_exact(self):
+        """Three-resistor divider against the hand-computed node set."""
+        ckt = Circuit("divider")
+        ckt.add(VoltageSource("v", "top", "0", dc=1.2))
+        ckt.add(Resistor("r1", "top", "a", 1e3))
+        ckt.add(Resistor("r2", "a", "b", 2e3))
+        ckt.add(Resistor("r3", "b", "0", 3e3))
+        op = OperatingPoint(ckt).run()
+        assert abs(op["a"] - 1.2 * 5.0 / 6.0) < LINEAR_BOUND
+        assert abs(op["b"] - 1.2 * 3.0 / 6.0) < LINEAR_BOUND
+
+    def test_two_source_superposition(self):
+        """Bridge node of a two-source network vs the superposition sum
+        computed analytically (parallel-resistance formula)."""
+        def build(v1, v2):
+            ckt = Circuit("two_source")
+            ckt.add(VoltageSource("va", "l", "0", dc=v1))
+            ckt.add(VoltageSource("vb", "r", "0", dc=v2))
+            ckt.add(Resistor("r1", "l", "mid", 1e3))
+            ckt.add(Resistor("r2", "r", "mid", 2e3))
+            ckt.add(Resistor("r3", "mid", "0", 4e3))
+            return OperatingPoint(ckt).run()["mid"]
+
+        # Millman: v_mid = (v1/R1 + v2/R2) / (1/R1 + 1/R2 + 1/R3).
+        g1, g2, g3 = 1 / 1e3, 1 / 2e3, 1 / 4e3
+        v1, v2 = 0.8, 1.2
+        exact = (v1 * g1 + v2 * g2) / (g1 + g2 + g3)
+        assert abs(build(v1, v2) - exact) < LINEAR_BOUND
+        # And the solved superposition identity itself.
+        assert abs(build(v1, v2)
+                   - build(v1, 0.0) - build(0.0, v2)) < LINEAR_BOUND
+
+
+class TestNegativeControls:
+    """Deliberately degrade the solver; the bounds must then FAIL.
+
+    These prove the battery is sensitive to the machinery it pins: if
+    loosening LTE control or Newton tolerances did not break the
+    bounds, the bounds would be too slack to catch a real regression.
+    """
+
+    def test_loose_lte_control_violates_step_bounds(self):
+        # dv_max 10x looser + 1.5 ns steps: measured 5.0e-2 (be) and
+        # 4.7e-3 (trap) — both well past their bounds.
+        assert _rc_charge_error("be", dv_max=0.5,
+                                h_max=1.5e-9) > STEP_BOUND["be"]
+        assert _rc_charge_error("trap", dv_max=0.5,
+                                h_max=1.5e-9) > STEP_BOUND["trap"]
+
+    def test_loose_newton_violates_diode_bound(self):
+        # Tolerances loosened to the point Newton "converges" after a
+        # single damped iterate: measured error 0.37 V vs 1e-6 bound.
+        loose = NewtonOptions(max_iterations=3, abstol_v=0.5, abstol_i=1.0,
+                              reltol=0.9, max_step_v=10.0)
+        got = _diode_drop_solved(1.0, 1e3, newton=loose)
+        assert abs(got - _diode_drop_exact(1.0, 1e3)) > DIODE_BOUND

@@ -2,39 +2,44 @@
 
 These protect the calibrated result set (EXPERIMENTS.md) from silent
 drift: a model or sizing change that moves a headline metric by more
-than the tolerance should be a conscious decision, accompanied by an
-update here and in EXPERIMENTS.md.
+than the tolerance should be a conscious decision, accompanied by a
+regeneration of ``goldens.json`` (see ``regen.py``) and an update to
+EXPERIMENTS.md.
 
 Tolerances are deliberately loose (25 % for delays/powers, 40 % for
-leakages) — they catch regressions, not noise.
+leakages) — they catch regressions, not noise. Expected values and
+tolerances both live in ``goldens.json`` so the regeneration script
+and this test can never disagree about what is pinned.
 """
+
+import json
+from pathlib import Path
 
 import pytest
 
 from repro.core import LevelShifter
 
+pytestmark = pytest.mark.golden
+
+GOLDENS_PATH = Path(__file__).resolve().parent / "goldens.json"
+DOCUMENT = json.loads(GOLDENS_PATH.read_text())
+
 #: (kind, vddi, vddo) -> expected metrics at the time of calibration.
-GOLDEN = {
-    ("sstvs", 0.8, 1.2): dict(delay_rise=351e-12, delay_fall=158e-12,
-                              power_rise=34e-6, power_fall=27e-6,
-                              leakage_high=1.5e-9, leakage_low=5.7e-9),
-    ("sstvs", 1.2, 0.8): dict(delay_rise=208e-12, delay_fall=27e-12,
-                              power_rise=13e-6, power_fall=0.8e-6,
-                              leakage_high=1.0e-9, leakage_low=4.5e-9),
-    ("combined", 0.8, 1.2): dict(delay_rise=278e-12, delay_fall=161e-12,
-                                 leakage_high=4.0e-9,
-                                 leakage_low=2.97e-6),
-    ("combined", 1.2, 0.8): dict(delay_rise=144e-12, delay_fall=75e-12,
-                                 leakage_high=2.6e-9,
-                                 leakage_low=1.1e-9),
-}
+GOLDEN = {(e["kind"], e["vddi"], e["vddo"]): e["expected"]
+          for e in DOCUMENT["metrics"]}
 
-TOLERANCE = {"delay_rise": 0.25, "delay_fall": 0.25,
-             "power_rise": 0.25, "power_fall": 0.40,
-             "leakage_high": 0.40, "leakage_low": 0.40}
+TOLERANCE = DOCUMENT["tolerance"]
 
 
-@pytest.mark.parametrize("key", sorted(GOLDEN), ids=lambda k: f"{k[0]}_{k[1]}to{k[2]}")
+def test_goldens_document_shape():
+    assert DOCUMENT["schema"] == "repro-goldens-v1"
+    assert len(GOLDEN) == 4
+    for expected in GOLDEN.values():
+        assert set(expected) <= set(TOLERANCE)
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN),
+                         ids=lambda k: f"{k[0]}_{k[1]}to{k[2]}")
 def test_golden_metrics(key):
     kind, vddi, vddo = key
     metrics = LevelShifter(kind).characterize(vddi, vddo)
@@ -45,8 +50,8 @@ def test_golden_metrics(key):
         assert measured == pytest.approx(expected, rel=tolerance), (
             f"{kind} {vddi}->{vddo} {name}: measured "
             f"{measured:.3e}, golden {expected:.3e} "
-            f"(±{tolerance:.0%}) — if intentional, update this file "
-            f"and EXPERIMENTS.md")
+            f"(±{tolerance:.0%}) — if intentional, regenerate "
+            f"goldens.json with regen.py and update EXPERIMENTS.md")
 
 
 def test_golden_area():
@@ -54,7 +59,9 @@ def test_golden_area():
     from repro.layout import estimate_cell_area
     from repro.pdk import Pdk
     est = estimate_cell_area(add_sstvs, Pdk())
-    assert est.total_area_um2 == pytest.approx(4.56, rel=0.10)
+    area = DOCUMENT["area"]
+    assert est.total_area_um2 == pytest.approx(
+        area["sstvs_total_um2"], rel=area["rel_tolerance"])
 
 
 def test_golden_functional_grid():

@@ -26,7 +26,10 @@ from repro.analysis import (
     sweep_delay_surface, validate_functionality,
 )
 from repro.core import ShifterMetrics, StimulusPlan
-from repro.runtime import FaultPlan
+from repro.runtime import (
+    ArtifactStore, ExperimentPoint, ExperimentSpec, FaultPlan, ResultSet,
+    TRACE_SCHEMA, run_experiment,
+)
 from repro.runtime.parallel import default_chunk_size, parallel_map
 
 pytestmark = pytest.mark.resilience
@@ -201,3 +204,98 @@ class TestCampaignParity:
             == [(p.corner, p.temperature_c) for p in serial.points]
         assert [p.metrics for p in pooled.points] \
             == [p.metrics for p in serial.points]
+
+
+def traced_solve(params):
+    """Module-level traced measurement: one real DC solve per point.
+
+    Everything derives from ``params`` so pooled runs are bitwise
+    identical to serial; the solve emits genuine spice-layer telemetry
+    (newton.iterations, dc.* counters) rather than synthetic counts.
+    """
+    from repro.spice import Circuit, OperatingPoint
+    from repro.spice.devices import Diode, Resistor, VoltageSource
+
+    vdd, resistance = params
+    ckt = Circuit("trace_point")
+    ckt.add(VoltageSource("v", "in", "0", dc=vdd))
+    ckt.add(Resistor("r", "in", "d", resistance))
+    ckt.add(Diode("d1", "d", "0"))
+    return OperatingPoint(ckt).run()["d"]
+
+
+def traced_flaky(params):
+    vdd, _ = params
+    if vdd > 1.1:
+        raise ValueError("diverged")
+    return traced_solve(params)
+
+
+def _traced_spec(n=100, measure=traced_solve, **overrides):
+    points = [ExperimentPoint(i, (0.6 + 0.6 * (i % 10) / 10.0,
+                                  1e3 * (1 + i % 7)))
+              for i in range(n)]
+    options = {"name": "trace_parity", "measure": measure,
+               "points": points, "stage": "solve", "codec": "json",
+               "trace": "collect"}
+    options.update(overrides)
+    return ExperimentSpec(**options)
+
+
+def _deterministic(document):
+    """Trace document minus wall-clock payloads (timers, *wall_s).
+
+    Counters and value histograms are exact replicas of the solve
+    sequence and must match bitwise across serial/pooled runs; wall
+    times are real clock readings and cannot.
+    """
+    def clean(snap):
+        return {"counters": snap["counters"],
+                "histograms": {name: payload for name, payload
+                               in snap["histograms"].items()
+                               if not name.endswith("wall_s")}}
+
+    return {"mode": document["mode"],
+            "points": [{"index": p["index"], **clean(p)}
+                       for p in document["points"]],
+            "totals": clean(document["totals"])}
+
+
+class TestTraceParity:
+    """Satellite contract: trace merging never perturbs results, and
+    pooled traces are deterministic-field identical to serial ones."""
+
+    def test_pooled_run_bitwise_equal_serial_with_tracing(self):
+        serial = run_experiment(_traced_spec())
+        pooled = run_experiment(_traced_spec(workers=3, chunk_size=7))
+        # The measured values themselves: exact float equality.
+        assert pooled.values() == serial.values()
+        assert [r.index for r in pooled.rows] \
+            == [r.index for r in serial.rows]
+        # And the merged traces, minus wall-clock noise.
+        assert serial.trace["schema"] == TRACE_SCHEMA
+        assert len(serial.trace["points"]) == 100
+        assert _deterministic(pooled.trace) == _deterministic(serial.trace)
+
+    def test_tracing_does_not_change_values(self):
+        traced = run_experiment(_traced_spec(n=20))
+        untraced = run_experiment(_traced_spec(n=20, trace=None))
+        assert traced.values() == untraced.values()
+        assert untraced.trace is None
+
+    def test_quarantined_points_keep_partial_traces(self):
+        spec = _traced_spec(n=20, measure=traced_flaky, workers=3,
+                            chunk_size=4)
+        pooled = run_experiment(spec)
+        serial = run_experiment(
+            _traced_spec(n=20, measure=traced_flaky))
+        assert pooled.counts["err"] == serial.counts["err"] > 0
+        assert _deterministic(pooled.trace) == _deterministic(serial.trace)
+
+    def test_trace_roundtrips_through_store(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        result = run_experiment(_traced_spec(n=10), store=store)
+        loaded = store.load(result.run_id)
+        assert loaded.trace == result.trace
+        # And through the plain JSON codec.
+        assert ResultSet.from_json(result.to_json()).trace == result.trace

@@ -1,0 +1,235 @@
+"""Unit tests for the telemetry subsystem itself.
+
+The integration-level contracts (spice emission names, campaign
+aggregation parity, store round-trips) live in the spice/runtime
+suites; this file pins the primitives: histogram moment algebra,
+ambient activation semantics, trace-mode plumbing, outlier detection,
+and the rendered summary.
+"""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.runtime import telemetry
+from repro.runtime.experiment import ExperimentPoint, ExperimentSpec
+from repro.runtime.telemetry import (
+    TRACE_MODES, TRACE_SCHEMA, CollectingTracer, Histogram, NullTracer,
+    ProfilingTracer, Tracer, active_tracer, aggregate_traces,
+    campaign_trace_mode, make_tracer, render_trace,
+    set_campaign_trace_mode, trace, trace_outliers,
+)
+
+pytestmark = pytest.mark.experiment
+
+
+class TestHistogram:
+    def test_moments(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.add(v)
+        assert h.count == 4
+        assert h.mean == pytest.approx(2.5)
+        assert h.min == 1.0 and h.max == 4.0
+        assert h.std == pytest.approx(1.118033988749895)
+
+    def test_empty(self):
+        h = Histogram()
+        assert h.mean == 0.0 and h.std == 0.0
+        assert h.to_json()["min"] is None
+
+    def test_merge_equals_combined_stream(self):
+        a, b, combined = Histogram(), Histogram(), Histogram()
+        for v in (1.0, 5.0, 2.0):
+            a.add(v)
+            combined.add(v)
+        for v in (7.0, -3.0):
+            b.add(v)
+            combined.add(v)
+        a.merge(b)
+        assert a.to_json() == combined.to_json()
+
+    def test_merge_empty_is_identity(self):
+        a = Histogram()
+        a.add(2.0)
+        before = a.to_json()
+        a.merge(Histogram())
+        assert a.to_json() == before
+
+    def test_json_roundtrip(self):
+        h = Histogram()
+        h.add(3.25)
+        h.add(-1.5)
+        assert Histogram.from_json(h.to_json()).to_json() == h.to_json()
+
+
+class TestActivation:
+    def test_disabled_by_default(self):
+        assert active_tracer() is None
+
+    def test_trace_activates_and_restores(self):
+        t = CollectingTracer()
+        with trace(t) as active:
+            assert active is t
+            assert active_tracer() is t
+        assert active_tracer() is None
+
+    def test_nested_activation_shadows(self):
+        outer, inner = CollectingTracer(), CollectingTracer()
+        with trace(outer):
+            with trace(inner):
+                assert active_tracer() is inner
+            assert active_tracer() is outer
+        assert active_tracer() is None
+
+    def test_restored_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with trace(CollectingTracer()):
+                raise RuntimeError("boom")
+        assert active_tracer() is None
+
+    def test_null_tracer_records_nothing(self):
+        t = NullTracer()
+        with trace(t):
+            t.count("x")
+            t.observe("y", 1.0)
+            with t.phase("z"):
+                pass
+        assert t.snapshot() == {}
+        assert not t.condition_estimates
+
+    def test_null_phase_is_shared_noop(self):
+        t = Tracer()
+        assert t.phase("a") is t.phase("b")
+
+
+class TestCollectingTracer:
+    def test_counters_histograms_timers(self):
+        t = CollectingTracer()
+        t.count("solves")
+        t.count("solves", 2)
+        t.observe("iters", 4.0)
+        t.observe("iters", 6.0)
+        with t.phase("dc"):
+            pass
+        snap = t.snapshot()
+        assert snap["counters"] == {"solves": 3}
+        assert snap["histograms"]["iters"]["count"] == 2
+        assert snap["timers"]["dc"] >= 0.0
+
+    def test_profiling_tracer_captures_profile(self):
+        t = ProfilingTracer(top=5)
+        with trace(t):
+            sum(range(1000))
+        snap = t.snapshot()
+        assert "cumulative" in snap["profile"]
+        assert snap["counters"] == {}
+
+    def test_make_tracer(self):
+        assert type(make_tracer("collect")) is CollectingTracer
+        assert type(make_tracer("profile")) is ProfilingTracer
+        with pytest.raises(ValueError):
+            make_tracer("bogus")
+
+
+class TestCampaignMode:
+    def test_set_and_clear(self):
+        assert campaign_trace_mode() is None
+        set_campaign_trace_mode("collect")
+        try:
+            assert campaign_trace_mode() == "collect"
+        finally:
+            set_campaign_trace_mode(None)
+        assert campaign_trace_mode() is None
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            set_campaign_trace_mode("verbose")
+
+    def test_spec_validates_trace_mode(self):
+        spec = ExperimentSpec(name="t", measure=len,
+                              points=[ExperimentPoint(0, ())],
+                              trace="bogus")
+        with pytest.raises(AnalysisError, match="trace"):
+            spec.validate()
+        for mode in TRACE_MODES + (None,):
+            ExperimentSpec(name="t", measure=len,
+                           points=[ExperimentPoint(0, ())],
+                           trace=mode).validate()
+
+
+def _snap(counters=None, histograms=None):
+    return {"counters": counters or {}, "histograms": histograms or {},
+            "timers": {}}
+
+
+def _iters(*values):
+    h = Histogram()
+    for v in values:
+        h.add(v)
+    return {"newton.iterations": h.to_json()}
+
+
+class TestAggregation:
+    def test_totals_merge_and_point_order(self):
+        doc = aggregate_traces(
+            [(0, _snap({"dc.solves": 1}, _iters(3.0))),
+             (1, _snap({"dc.solves": 2}, _iters(5.0, 7.0)))],
+            "collect")
+        assert doc["schema"] == TRACE_SCHEMA
+        assert doc["mode"] == "collect"
+        assert [p["index"] for p in doc["points"]] == [0, 1]
+        assert doc["totals"]["counters"] == {"dc.solves": 3}
+        merged = doc["totals"]["histograms"]["newton.iterations"]
+        assert merged["count"] == 3 and merged["max"] == 7.0
+
+    def test_none_snapshots_skipped(self):
+        doc = aggregate_traces([(0, _snap({"a": 1})), (1, None)], "collect")
+        assert len(doc["points"]) == 1
+        assert doc["totals"]["counters"] == {"a": 1}
+
+
+class TestOutliers:
+    def _doc(self, iteration_counts):
+        points = [{"index": i, **_snap({}, _iters(float(n)))}
+                  for i, n in enumerate(iteration_counts)]
+        return {"schema": TRACE_SCHEMA, "mode": "collect",
+                "points": points, "totals": _snap()}
+
+    def test_flags_extreme_point(self):
+        doc = self._doc([4, 5, 4, 5, 4, 5, 4, 60])
+        flagged = trace_outliers(doc, sigma=2.0)
+        assert flagged and flagged[0]["index"] == 7
+        assert flagged[0]["sigmas"] > 2.0
+
+    def test_uniform_distribution_clean(self):
+        assert trace_outliers(self._doc([5] * 8)) == []
+
+    def test_too_few_points_never_flag(self):
+        assert trace_outliers(self._doc([4, 4, 90])) == []
+
+
+class TestRender:
+    def test_summary_sections(self):
+        doc = aggregate_traces(
+            [(i, _snap({"dc.solves": 1}, _iters(4.0 + i)))
+             for i in range(5)],
+            "collect")
+        text = render_trace(doc)
+        assert "5 points" in text
+        assert "dc.solves" in text
+        assert "newton.iterations" in text
+        assert "no convergence outliers" in text
+
+    def test_outlier_and_schema_warnings(self):
+        doc = aggregate_traces(
+            [(i, _snap({}, _iters(v)))
+             for i, v in enumerate([4, 5, 4, 5, 4, 5, 4, 120])],
+            "collect")
+        assert "outliers" in render_trace(doc)
+        doc["schema"] = "repro-trace-v999"
+        assert "WARNING: unknown schema" in render_trace(doc)
+
+    def test_profile_presence_reported(self):
+        doc = aggregate_traces([(0, {**_snap(), "profile": "pstats..."}),
+                                (1, _snap())], "profile")
+        assert "cProfile captured for 1 points" in render_trace(doc)

@@ -1,0 +1,160 @@
+"""Property-based tests for waveform measurements and metric math.
+
+The measurement layer sits between the raw transient solver output and
+every number in the paper's tables, so its invariants are pinned
+property-style rather than with hand-picked examples:
+
+* threshold crossings are monotone (returned in time order), bracketed
+  inside the waveform's time span, and land exactly on the level under
+  the waveform's own linear interpolation;
+* rise/fall propagation delay is invariant under a rigid time shift of
+  both waveforms and under resampling onto any refinement of the
+  original grid (linear interpolation is exact on added knots);
+* :func:`repro.core.metrics.aggregate` matches numpy's mean/ddof-1
+  sigma and is permutation-invariant.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.metrics import METRIC_FIELDS, ShifterMetrics, aggregate
+from repro.spice.waveform import (
+    BOTH, FALL, RISE, Waveform, propagation_delay,
+)
+
+# Unit-scale time grids keep float rounding far below the tolerances.
+deltas = st.lists(st.floats(min_value=1e-3, max_value=1.0),
+                  min_size=3, max_size=24)
+levels = st.floats(min_value=0.05, max_value=0.95)
+shifts = st.floats(min_value=-5.0, max_value=5.0)
+
+
+def _times(delta_list):
+    return np.concatenate(([0.0], np.cumsum(delta_list)))
+
+
+def _wiggly(delta_list, seed):
+    """Arbitrary bounded waveform on an irregular grid."""
+    rng = np.random.default_rng(seed)
+    times = _times(delta_list)
+    return Waveform(times, rng.uniform(-1.0, 1.0, size=times.size))
+
+
+def _ramp(delta_list):
+    """Monotone 0-to-1 rise on an irregular grid (unique crossings)."""
+    times = _times(delta_list)
+    return Waveform(times, np.linspace(0.0, 1.0, times.size))
+
+
+class TestCrossings:
+    @settings(max_examples=60, deadline=None)
+    @given(deltas, levels, st.integers(min_value=0, max_value=2**31))
+    def test_monotone_bracketed_and_on_level(self, d, frac, seed):
+        w = _wiggly(d, seed)
+        lo, hi = w.minimum(), w.maximum()
+        assume(hi - lo > 1e-6)
+        level = lo + frac * (hi - lo)
+        found = w.crossings(level, BOTH)
+        assert found == sorted(found)
+        for t in found:
+            assert w.t_start <= t <= w.t_stop
+            assert w.value_at(t) == pytest.approx(level, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(deltas, levels, st.integers(min_value=0, max_value=2**31))
+    def test_edge_split_partitions_both(self, d, frac, seed):
+        w = _wiggly(d, seed)
+        lo, hi = w.minimum(), w.maximum()
+        assume(hi - lo > 1e-6)
+        level = lo + frac * (hi - lo)
+        both = w.crossings(level, BOTH)
+        rise = w.crossings(level, RISE)
+        fall = w.crossings(level, FALL)
+        assert sorted(rise + fall) == both
+
+    @settings(max_examples=60, deadline=None)
+    @given(deltas, levels)
+    def test_monotone_ramp_single_rise(self, d, level):
+        w = _ramp(d)
+        assert len(w.crossings(level, RISE)) == 1
+        assert w.crossings(level, FALL) == []
+
+
+class TestDelayInvariance:
+    @settings(max_examples=60, deadline=None)
+    @given(deltas, st.floats(min_value=0.01, max_value=2.0), shifts)
+    def test_time_shift(self, d, true_delay, dt):
+        w_in = _ramp(d)
+        w_out = Waveform(w_in.times + true_delay, w_in.values)
+        base = propagation_delay(w_in, w_out, 0.5, 0.5, RISE, RISE)
+        assert base == pytest.approx(true_delay, rel=1e-9, abs=1e-12)
+        shifted = propagation_delay(
+            Waveform(w_in.times + dt, w_in.values),
+            Waveform(w_out.times + dt, w_out.values),
+            0.5, 0.5, RISE, RISE)
+        assert shifted == pytest.approx(base, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(deltas, st.floats(min_value=0.01, max_value=2.0),
+           st.lists(st.floats(min_value=0.0, max_value=1.0),
+                    min_size=1, max_size=16))
+    def test_refined_resampling(self, d, true_delay, fracs):
+        """Adding knots to a piecewise-linear waveform changes nothing."""
+        w_in = _ramp(d)
+        w_out = Waveform(w_in.times + true_delay, w_in.values)
+        base = propagation_delay(w_in, w_out, 0.5, 0.5, RISE, RISE)
+
+        def refine(w):
+            span = w.t_stop - w.t_start
+            extra = w.t_start + span * np.asarray(fracs)
+            grid = np.union1d(w.times, extra)
+            return w.resampled(grid)
+
+        refined = propagation_delay(refine(w_in), refine(w_out),
+                                    0.5, 0.5, RISE, RISE)
+        assert refined == pytest.approx(base, rel=1e-9, abs=1e-9)
+
+
+def _metrics(values):
+    return ShifterMetrics(**dict(zip(METRIC_FIELDS, values)))
+
+
+metric_values = st.lists(
+    st.lists(st.floats(min_value=1e-12, max_value=1e-3),
+             min_size=6, max_size=6),
+    min_size=2, max_size=12)
+
+
+class TestMetricAggregation:
+    @settings(max_examples=40, deadline=None)
+    @given(metric_values)
+    def test_matches_numpy(self, rows):
+        stats = aggregate([_metrics(r) for r in rows])
+        arr = np.asarray(rows)
+        for i, name in enumerate(METRIC_FIELDS):
+            assert getattr(stats.mean, name) == pytest.approx(
+                float(np.mean(arr[:, i])), rel=1e-12)
+            assert getattr(stats.std, name) == pytest.approx(
+                float(np.std(arr[:, i], ddof=1)), rel=1e-9, abs=1e-30)
+
+    @settings(max_examples=40, deadline=None)
+    @given(metric_values, st.randoms(use_true_random=False))
+    def test_permutation_invariant(self, rows, rnd):
+        samples = [_metrics(r) for r in rows]
+        shuffled = list(samples)
+        rnd.shuffle(shuffled)
+        a, b = aggregate(samples), aggregate(shuffled)
+        for name in METRIC_FIELDS:
+            assert getattr(a.mean, name) == pytest.approx(
+                getattr(b.mean, name), rel=1e-12)
+            assert getattr(a.std, name) == pytest.approx(
+                getattr(b.std, name), rel=1e-9, abs=1e-30)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(min_value=1e-12, max_value=1e-3),
+                    min_size=6, max_size=6))
+    def test_ratio_to_self_is_unity(self, values):
+        m = _metrics(values)
+        assert all(r == pytest.approx(1.0, rel=1e-12)
+                   for r in m.ratio_to(m).values())
