@@ -65,10 +65,12 @@ def _rates(wall_s: float) -> dict:
 
 def bench_monte_carlo(runs: int = 100, workers: int = 1,
                       kind: str = "sstvs", vddi: float = 0.8,
-                      vddo: float = 1.2, seed: int = 20080310) -> dict:
+                      vddo: float = 1.2, seed: int = 20080310,
+                      backend: str | None = None) -> dict:
     """Time one Monte Carlo campaign; returns a result record."""
     from repro.analysis.montecarlo import MonteCarloConfig, run_monte_carlo
-    config = MonteCarloConfig(runs=runs, seed=seed, workers=workers)
+    config = MonteCarloConfig(runs=runs, seed=seed, workers=workers,
+                              backend=backend)
     reset_solve_stats()
     started = time.perf_counter()
     result = run_monte_carlo(kind, vddi, vddo, config)
@@ -80,6 +82,7 @@ def bench_monte_carlo(runs: int = 100, workers: int = 1,
         "vddo": vddo,
         "runs": runs,
         "workers": workers,
+        "backend": backend or ("pool" if workers > 1 else "serial"),
         "wall_s": wall_s,
         "functional_yield": result.functional_yield,
         "quarantined": len(result.failures),
@@ -234,8 +237,15 @@ def run_bench_suite(mc_runs: int = 100, sweep_step: float = 0.1,
     """
     mc_serial = bench_monte_carlo(runs=mc_runs, workers=1)
     mc_parallel = bench_monte_carlo(runs=mc_runs, workers=workers)
+    mc_batched = bench_monte_carlo(runs=mc_runs, backend="batched")
+    # Bitwise cross-backend checks before the sample lists are stripped:
+    # both alternative backends must reproduce the serial samples
+    # exactly (ShifterMetrics compares float fields with ==).
+    serial_samples = mc_serial.pop("_samples")
     mc_parallel["identical_to_serial"] = (
-        mc_parallel.pop("_samples") == mc_serial.pop("_samples"))
+        mc_parallel.pop("_samples") == serial_samples)
+    mc_batched["identical_to_serial"] = (
+        mc_batched.pop("_samples") == serial_samples)
     sweep = bench_sweep(step=sweep_step, workers=1)
     tracer = bench_tracer_overhead()
 
@@ -246,6 +256,15 @@ def run_bench_suite(mc_runs: int = 100, sweep_step: float = 0.1,
             baseline["mc100_serial_wall_s"] / mc_parallel["wall_s"])
         speedups["mc100_serial_vs_pre_pr2"] = (
             baseline["mc100_serial_wall_s"] / mc_serial["wall_s"])
+        speedups["mc100_batched_vs_pre_pr2"] = (
+            baseline["mc100_serial_wall_s"] / mc_batched["wall_s"])
+    # The batched-vs-serial headline is meaningful at any sample count
+    # (both run in this process on the same workload).
+    speedups["mc_batched_vs_serial"] = (
+        mc_serial["wall_s"] / mc_batched["wall_s"])
+    if mc_runs == 100:
+        speedups["mc100_batched_vs_serial"] = (
+            speedups["mc_batched_vs_serial"])
     if sweep_step == 0.1:
         speedups["fig8_sweep_single_thread_vs_pre_pr2"] = (
             baseline["fig8_sweep_wall_s"] / sweep["wall_s"])
@@ -254,6 +273,7 @@ def run_bench_suite(mc_runs: int = 100, sweep_step: float = 0.1,
         "workloads": {
             "mc_serial": mc_serial,
             "mc_parallel": mc_parallel,
+            "mc_batched": mc_batched,
             "sweep": sweep,
             "tracer": tracer,
         },
@@ -315,6 +335,36 @@ def latest_entry(trajectory: dict) -> dict:
             raise ValueError("bench trajectory has no entries")
         return entries[-1]
     return trajectory
+
+
+def validate_baseline(trajectory: dict) -> str | None:
+    """Check a loaded baseline file is usable for ``--check``.
+
+    Returns None when the file is a valid trajectory
+    (:data:`BENCH_TRAJECTORY_SCHEMA`) or legacy single record
+    (:data:`BENCH_SCHEMA`) with at least one workload; otherwise an
+    actionable message explaining what is wrong. Guarding here keeps
+    ``repro bench --check`` from silently "passing" against a file it
+    cannot actually compare with (an unknown schema yields an empty
+    workload map, which compares clean against anything).
+    """
+    schema = trajectory.get("schema")
+    if schema == BENCH_TRAJECTORY_SCHEMA:
+        if not trajectory.get("entries"):
+            return ("baseline trajectory has no entries; run "
+                    "'repro bench --out <path>' to record one")
+        entry = trajectory["entries"][-1]
+    elif schema == BENCH_SCHEMA:
+        entry = trajectory
+    else:
+        return (f"unrecognized baseline schema {schema!r} (expected "
+                f"{BENCH_SCHEMA!r} or {BENCH_TRAJECTORY_SCHEMA!r}); "
+                f"the file may be from an older or newer version — "
+                f"re-record it with 'repro bench --out <path>'")
+    if not entry.get("workloads"):
+        return ("baseline record has no workloads to compare against; "
+                "re-record it with 'repro bench --out <path>'")
+    return None
 
 
 def append_trajectory(record: dict, path: str) -> int:

@@ -18,11 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.sweep import SweepGrid
-from repro.core.characterize import quick_delays
+from repro.core.characterize import quick_delays, quick_delays_batch
 from repro.pdk import Pdk
 from repro.runtime.campaign import SampleFailure
 from repro.runtime.experiment import (
-    ExperimentPoint, ExperimentSpec, ResultSet, run_experiment,
+    BatchPointFailure, ExperimentPoint, ExperimentSpec, ResultSet,
+    run_experiment,
 )
 
 #: Experiment name shared by specs, result sets, and stored manifests.
@@ -68,10 +69,20 @@ def _measure(params: tuple) -> bool:
     return bool(q.functional)
 
 
+def _batch_measure(params_list: list) -> list:
+    """Validate many (VDDI, VDDO) pairs as SPMD lanes in one call."""
+    lanes = [(pdk, kind, vddi, vddo, 3.0e-9, 2.5e-9, sizing)
+             for vddi, vddo, kind, pdk, sizing in params_list]
+    return [q if isinstance(q, BatchPointFailure) else bool(q.functional)
+            for q in quick_delays_batch(lanes)]
+
+
 def functional_spec(kind: str, grid: SweepGrid | None = None,
                     pdk: Pdk | None = None, sizing=None,
                     workers: int = 1,
-                    chunk_size: int | None = None) -> ExperimentSpec:
+                    chunk_size: int | None = None,
+                    backend: str | None = None,
+                    batch_width: int = 32) -> ExperimentSpec:
     """Describe a functionality-validation campaign declaratively."""
     grid = grid or SweepGrid.with_step(0.1)
     pdk = pdk or Pdk()
@@ -84,6 +95,8 @@ def functional_spec(kind: str, grid: SweepGrid | None = None,
         name=EXPERIMENT_NAME, measure=_measure, points=points,
         stage="quick_delays", codec="json",
         workers=workers, chunk_size=chunk_size,
+        backend=backend, batch_measure=_batch_measure,
+        batch_width=batch_width,
         metadata={"experiment": "functional", "kind": kind,
                   "pairs": len(points)})
 
@@ -113,17 +126,22 @@ def validate_functionality(kind: str, grid: SweepGrid | None = None,
                            pdk: Pdk | None = None, sizing=None,
                            workers: int = 1,
                            chunk_size: int | None = None,
+                           backend: str | None = None,
+                           batch_width: int = 32,
                            resume: ResultSet | None = None,
                            store=None,
                            run_id: str | None = None) -> FunctionalReport:
     """Check correct level conversion at every grid point.
 
-    ``workers > 1`` distributes pairs over a process pool; the report
-    is identical to a serial run (rows come back in row-major grid
-    order either way).
+    ``workers > 1`` distributes pairs over a process pool;
+    ``backend="batched"`` stacks pairs into SPMD lanes instead. The
+    report is identical to a serial run either way (rows come back in
+    row-major grid order, and batched lane waveforms are bitwise the
+    serial ones).
     """
     spec = functional_spec(kind, grid, pdk=pdk, sizing=sizing,
-                           workers=workers, chunk_size=chunk_size)
+                           workers=workers, chunk_size=chunk_size,
+                           backend=backend, batch_width=batch_width)
     resultset = run_experiment(spec, resume=resume, store=store,
                                run_id=run_id)
     return report_from_resultset(resultset, kind=kind)

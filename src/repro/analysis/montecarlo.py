@@ -31,7 +31,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.characterize import StimulusPlan, characterize
+from repro.core.characterize import (
+    StimulusPlan, characterize, characterize_batch,
+)
 from repro.core.metrics import MetricStatistics, ShifterMetrics, aggregate
 from repro.errors import AnalysisError
 from repro.pdk.variation import VariationSpec, VariedPdk
@@ -67,6 +69,13 @@ class MonteCarloConfig:
     workers: int = 1
     #: Samples per pool submission; None picks ~4 chunks per worker.
     chunk_size: int | None = None
+    #: Execution backend: None keeps the workers-derived default
+    #: ("pool" when workers > 1, else "serial"); "batched" stacks
+    #: samples into SPMD lanes (see :mod:`repro.spice.batch`) and is
+    #: exclusive with workers > 1.
+    backend: str | None = None
+    #: Samples per batched lane group (ignored off the batched backend).
+    batch_width: int = 32
 
     def validate(self) -> None:
         if self.runs < 1:
@@ -75,6 +84,8 @@ class MonteCarloConfig:
             raise AnalysisError("max_failures must be >= 0 or None")
         if self.workers < 1:
             raise AnalysisError("workers must be >= 1")
+        if self.batch_width < 1:
+            raise AnalysisError("batch_width must be >= 1")
 
 
 @dataclass
@@ -140,6 +151,24 @@ def _measure(params: tuple) -> ShifterMetrics:
     return characterize(pdk, kind, vddi, vddo, plan=plan, sizing=sizing)
 
 
+def _batch_measure(params_list: list) -> list:
+    """Run many Monte Carlo samples as SPMD lanes in one call.
+
+    Each lane's VariedPdk derives from the same per-index seed chain as
+    :func:`_measure`, and :func:`characterize_batch` extracts metrics
+    from per-lane bitwise-identical waveforms — so a batched sample is
+    the same ShifterMetrics the serial path returns, bit for bit.
+    """
+    lanes = []
+    for params in params_list:
+        (index, seed, temperature_c, spec, plan, kind, vddi, vddo,
+         sizing) = params
+        rng = np.random.default_rng(np.random.SeedSequence([seed, index]))
+        pdk = VariedPdk(rng, spec, temperature_c=temperature_c)
+        lanes.append((pdk, kind, vddi, vddo, plan, 1e-15, sizing, 1.0))
+    return characterize_batch(lanes)
+
+
 def monte_carlo_spec(kind: str, vddi: float, vddo: float,
                      config: MonteCarloConfig | None = None,
                      sizing=None) -> ExperimentSpec:
@@ -157,7 +186,8 @@ def monte_carlo_spec(kind: str, vddi: float, vddo: float,
         stage="characterize", codec="metrics",
         workers=config.workers, chunk_size=config.chunk_size,
         faults=config.faults, max_failures=config.max_failures,
-        seed=config.seed,
+        seed=config.seed, backend=config.backend,
+        batch_measure=_batch_measure, batch_width=config.batch_width,
         metadata={"experiment": "mc", "kind": kind, "vddi": vddi,
                   "vddo": vddo, "runs": config.runs, "seed": config.seed,
                   "temperature_c": config.temperature_c})

@@ -50,6 +50,15 @@ def _add_voltage_args(parser) -> None:
                         help="output-domain supply [V]")
 
 
+def _add_backend_arg(parser) -> None:
+    parser.add_argument("--backend", default=None,
+                        choices=("serial", "pool", "batched"),
+                        help="execution backend (default: pool when "
+                             "--workers > 1, else serial; 'batched' "
+                             "stacks same-topology points into SPMD "
+                             "lanes — see README Performance)")
+
+
 def _add_campaign_args(parser, workers_default: int = 1) -> None:
     """The shared campaign flags: --workers / --out / --resume / --trace."""
     parser.add_argument("--workers", type=int, default=workers_default,
@@ -155,7 +164,8 @@ def cmd_mc(args) -> int:
     store, resume, run_id = _campaign_io(args)
     config = MonteCarloConfig(runs=args.runs, seed=args.seed,
                               temperature_c=args.temp,
-                              workers=args.workers)
+                              workers=args.workers,
+                              backend=getattr(args, "backend", None))
     result = run_monte_carlo(args.kind, args.vddi, args.vddo, config,
                              resume=resume, store=store, run_id=run_id)
     title = (f"{args.kind} MC, {args.vddi} -> {args.vddo} V, "
@@ -175,7 +185,9 @@ def cmd_functional(args) -> int:
     store, resume, run_id = _campaign_io(args)
     report = validate_functionality(args.kind,
                                     SweepGrid.with_step(args.step),
-                                    workers=args.workers, resume=resume,
+                                    workers=args.workers,
+                                    backend=getattr(args, "backend", None),
+                                    resume=resume,
                                     store=store, run_id=run_id)
     print(report.summary())
     _report_run(report)
@@ -325,6 +337,16 @@ def cmd_show(args) -> int:
             print(f"    {key:14s} {metadata[key]}")
     resultset = store.load(args.run_id)
     print(resultset.pretty(limit=args.limit or len(resultset.rows)))
+    counts = manifest.get("counts", {})
+    expected = int(counts.get("total", len(resultset.rows)))
+    if (len(resultset.rows) < expected
+            and not counts.get("interrupted")):
+        print(f"ERROR: rows.jsonl for run {args.run_id!r} is truncated: "
+              f"the manifest records {expected} rows but only "
+              f"{len(resultset.rows)} could be read. The store is "
+              f"damaged — resume the campaign with --resume "
+              f"{args.run_id} to heal it, or re-run with --out.")
+        return 1
     return 0
 
 
@@ -374,7 +396,7 @@ def cmd_bench(args) -> int:
 
     from repro.analysis.bench import (
         append_trajectory, check_regression, check_tracer_overhead,
-        load_trajectory, run_bench_suite,
+        load_trajectory, run_bench_suite, validate_baseline,
     )
     record = run_bench_suite(mc_runs=args.runs, sweep_step=args.step,
                              workers=args.workers)
@@ -389,9 +411,12 @@ def cmd_bench(args) -> int:
     if tracer.get("null_overhead") is not None:
         print(f"  tracer overhead: null {tracer['null_overhead']:+.2%}, "
               f"collecting {tracer['collecting_overhead']:+.2%}")
-    if not record["workloads"]["mc_parallel"]["identical_to_serial"]:
-        print("FAIL: parallel MC samples differ from serial run")
-        return 1
+    for name, label in (("mc_parallel", "parallel"),
+                        ("mc_batched", "batched")):
+        workload = record["workloads"].get(name, {})
+        if not workload.get("identical_to_serial", True):
+            print(f"FAIL: {label} MC samples differ from serial run")
+            return 1
     overhead_problems = check_tracer_overhead(record)
     for problem in overhead_problems:
         print(f"FAIL: {problem}")
@@ -402,10 +427,23 @@ def cmd_bench(args) -> int:
         if not os.path.exists(baseline_path) \
                 and os.path.exists("BENCH_PR2.json"):
             baseline_path = "BENCH_PR2.json"
+        if not os.path.exists(baseline_path):
+            print(f"no baseline file at {baseline_path}; record one "
+                  f"first with 'repro bench --out {baseline_path}'")
+            return 1
         try:
             baseline = load_trajectory(baseline_path)
         except OSError as exc:
             print(f"cannot load baseline {baseline_path}: {exc}")
+            return 1
+        except ValueError as exc:
+            print(f"baseline {baseline_path} is not valid JSON: {exc}; "
+                  f"re-record it with 'repro bench --out "
+                  f"{baseline_path}'")
+            return 1
+        problem = validate_baseline(baseline)
+        if problem is not None:
+            print(f"baseline {baseline_path}: {problem}")
             return 1
         problems = check_regression(record, baseline)
         for problem in problems:
@@ -492,6 +530,27 @@ def _check_golden(check) -> None:
     for line in tail:
         print(f"  {line}")
     check("golden battery passes", proc.returncode == 0)
+
+
+def _check_batch(check) -> None:
+    """Run the batched-backend equivalence harness (``pytest -m batch``)."""
+    import os
+    import subprocess
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parents[1]
+    root = src.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    print("batched-backend equivalence harness (pytest -m batch):")
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-m", "batch", "-q"],
+        cwd=root, env=env, capture_output=True, text=True)
+    tail = (proc.stdout or "").strip().splitlines()[-3:]
+    for line in tail:
+        print(f"  {line}")
+    check("batch equivalence harness passes", proc.returncode == 0)
 
 
 def _check_coverage(check) -> None:
@@ -632,6 +691,13 @@ def cmd_check(args) -> int:
             _check(f"golden battery raised {type(exc).__name__}: {exc}",
                    False)
 
+    if args.batch:
+        try:
+            _check_batch(_check)
+        except Exception as exc:
+            _check(f"batch harness raised {type(exc).__name__}: {exc}",
+                   False)
+
     if args.coverage:
         try:
             _check_coverage(_check)
@@ -676,12 +742,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=25)
     p.add_argument("--seed", type=int, default=20080310)
     _add_campaign_args(p)
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_mc)
 
     p = sub.add_parser("functional", help="full-grid conversion check")
     p.add_argument("kind", nargs="?", default="sstvs", choices=KINDS)
     p.add_argument("--step", type=float, default=0.2)
     _add_campaign_args(p)
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_functional)
 
     p = sub.add_parser("temp", help="characterization vs temperature")
@@ -762,8 +830,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also run the analytic golden test battery "
                         "(pytest -m golden)")
     p.add_argument("--coverage", action="store_true",
-                   help="also enforce the >=85%% solver-core coverage "
+                   help="also enforce the >=88%% solver-core coverage "
                         "floor (skipped when 'coverage' is not installed)")
+    p.add_argument("--batch", action="store_true",
+                   help="also run the batched-backend equivalence "
+                        "harness (pytest -m batch)")
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("trace", help="convergence summary of a traced run")

@@ -138,9 +138,25 @@ def characterize(pdk, kind: str, vddi: float, vddo: float,
                                       transient_options=transient_options,
                                       driver_scale=driver_scale)
     except ConvergenceError:
-        nan = float("nan")
-        return ShifterMetrics(nan, nan, nan, nan, nan, nan,
-                              functional=False)
+        return _NONFUNCTIONAL
+    return _metrics_from_result(result, probes, kind, vddi, vddo, plan)
+
+
+#: The convergence-failure sentinel: NaN metrics, not functional.
+_NONFUNCTIONAL = ShifterMetrics(
+    float("nan"), float("nan"), float("nan"), float("nan"),
+    float("nan"), float("nan"), functional=False)
+
+
+def _metrics_from_result(result, probes, kind: str, vddi: float,
+                         vddo: float, plan: StimulusPlan
+                         ) -> ShifterMetrics:
+    """Extract the six metrics from a completed stimulus transient.
+
+    Shared verbatim by :func:`characterize` and
+    :func:`characterize_batch`: a batched lane whose waveforms are
+    bitwise the serial ones therefore yields bitwise-identical metrics.
+    """
     w_in = result.wave(probes.in_node)
     w_out = result.wave(probes.out_node)
     i_dut = result.supply_current(probes.dut_supply)
@@ -168,9 +184,7 @@ def characterize(pdk, kind: str, vddi: float, vddo: float,
                          for t in out_fall_times)
     except MeasurementError:
         # The output never crossed its midpoint: non-functional sample.
-        nan = float("nan")
-        return ShifterMetrics(nan, nan, nan, nan, nan, nan,
-                              functional=False)
+        return _NONFUNCTIONAL
 
     def window_power(t_edge: float) -> float:
         return vddo * i_dut.average(t_edge, t_edge + plan.power_window)
@@ -226,6 +240,76 @@ def characterize(pdk, kind: str, vddi: float, vddo: float,
         functional=functional)
 
 
+def characterize_batch(lanes, transient_options=None) -> list:
+    """Characterize N same-topology corners in one batched transient.
+
+    ``lanes`` is a sequence of ``(pdk, kind, vddi, vddo, plan,
+    load_cap, sizing, driver_scale)`` tuples — :func:`characterize`'s
+    arguments, one tuple per lane. Monte Carlo lanes differ only in
+    their :class:`~repro.pdk.variation.VariedPdk` (and possibly the
+    supplies), which is exactly the same-topology case
+    :class:`~repro.spice.batch.LaneGroup` accepts.
+
+    Returns one entry per lane: a :class:`ShifterMetrics` on success, a
+    :class:`~repro.runtime.experiment.BatchPointFailure` where the
+    bench could not even be built (the experiment engine quarantines
+    those, matching what the serial path's raised exception would do).
+    Lanes whose transient stalls come back as the NaN non-functional
+    metrics — the same convention :func:`characterize` uses for
+    :class:`ConvergenceError`.
+
+    If the lanes cannot be stacked (mixed topologies, opaque devices),
+    every lane falls back to the serial :func:`characterize` — the
+    downgrade is per-call and silent, so callers never need to know
+    which path ran.
+    """
+    from repro.runtime.experiment import BatchPointFailure
+    from repro.spice.batch import BatchTransient, BatchUnsupported
+
+    built = []       # (lane_pos, circuit, probes, lane_args)
+    results: list = [None] * len(lanes)
+    for pos, lane in enumerate(lanes):
+        pdk, kind, vddi, vddo, plan, load_cap, sizing, driver_scale = lane
+        plan = plan or StimulusPlan()
+        try:
+            plan.validate()
+            circuit, probes = build_testbench(
+                pdk, kind, vddi, vddo, plan.steps(), load_cap=load_cap,
+                sizing=sizing, driver_scale=driver_scale)
+        except Exception as exc:  # noqa: BLE001 - quarantined per lane
+            results[pos] = BatchPointFailure(stage="build", error=str(exc))
+            continue
+        built.append((pos, circuit, probes,
+                      (kind, vddi, vddo, plan)))
+    if not built:
+        return results
+
+    options = transient_options or _default_transient_options()
+    try:
+        batch = BatchTransient([c for _, c, _, _ in built],
+                               [args[3].t_stop for _, _, _, args in built],
+                               options)
+    except BatchUnsupported:
+        for pos, lane in enumerate(lanes):
+            if results[pos] is None:
+                (pdk, kind, vddi, vddo, plan, load_cap, sizing,
+                 driver_scale) = lane
+                results[pos] = characterize(
+                    pdk, kind, vddi, vddo, plan=plan, load_cap=load_cap,
+                    sizing=sizing, transient_options=transient_options,
+                    driver_scale=driver_scale)
+        return results
+
+    bres = batch.run()
+    for k, (pos, _, probes, (kind, vddi, vddo, plan)) in enumerate(built):
+        if not bres.ok(k):
+            results[pos] = _NONFUNCTIONAL
+            continue
+        results[pos] = _metrics_from_result(bres.lane(k), probes, kind,
+                                            vddi, vddo, plan)
+    return results
+
+
 @dataclass(frozen=True)
 class QuickDelays:
     """Lightweight result for voltage-grid sweeps (Figures 8/9)."""
@@ -244,14 +328,10 @@ def quick_delays(pdk, kind: str, vddi: float, vddo: float,
     delay trend across the voltage grid, not the worst-case sequence),
     which keeps the 169-point grid sweeps tractable.
     """
-    t_rise = settle
-    t_fall = settle + hold
-    t_stop = t_fall + hold
     # Reset pulse first: see StimulusPlan on latch metastability. The
     # pulse is long enough for the SS-TVS ctrl node to charge, so the
     # recovery edge completes before the measurement window.
-    steps = [InputStep(0.2e-9, True), InputStep(1.8e-9, False),
-             InputStep(t_rise, True), InputStep(t_fall, False)]
+    steps, t_rise, t_fall, t_stop = _quick_steps(settle, hold)
     circuit, probes = build_testbench(pdk, kind, vddi, vddo, steps,
                                       sizing=sizing)
     options = transient_options or _default_transient_options()
@@ -259,7 +339,25 @@ def quick_delays(pdk, kind: str, vddi: float, vddo: float,
         result = Transient(circuit, t_stop, options).run()
     except ConvergenceError:
         return QuickDelays(float("nan"), float("nan"), False)
+    return _quick_from_result(result, probes, kind, vddi, vddo,
+                              t_rise, t_fall, hold)
 
+
+def _quick_steps(settle: float, hold: float
+                 ) -> tuple[list[InputStep], float, float, float]:
+    """The two-edge quick stimulus; shared serial/batched."""
+    t_rise = settle
+    t_fall = settle + hold
+    t_stop = t_fall + hold
+    steps = [InputStep(0.2e-9, True), InputStep(1.8e-9, False),
+             InputStep(t_rise, True), InputStep(t_fall, False)]
+    return steps, t_rise, t_fall, t_stop
+
+
+def _quick_from_result(result, probes, kind: str, vddi: float,
+                       vddo: float, t_rise: float, t_fall: float,
+                       hold: float) -> QuickDelays:
+    """Delay/functionality extraction shared by serial and batched."""
     w_in = result.wave(probes.in_node)
     w_out = result.wave(probes.out_node)
     inverting = dut_is_inverting(kind)
@@ -283,6 +381,61 @@ def quick_delays(pdk, kind: str, vddi: float, vddo: float,
     functional = (w_out.value_at(high_sample) >= vddo - tol
                   and abs(w_out.value_at(low_sample)) <= tol)
     return QuickDelays(d_rise, d_fall, bool(functional))
+
+
+def quick_delays_batch(lanes, transient_options=None) -> list:
+    """Batched :func:`quick_delays` over N same-topology grid points.
+
+    ``lanes`` is a sequence of ``(pdk, kind, vddi, vddo, settle, hold,
+    sizing)`` tuples. Same contract as :func:`characterize_batch`:
+    per-lane :class:`QuickDelays` (stalled lanes are the NaN
+    non-functional value), :class:`BatchPointFailure` where the bench
+    cannot be built, transparent all-serial fallback when the lanes
+    cannot be stacked.
+    """
+    from repro.runtime.experiment import BatchPointFailure
+    from repro.spice.batch import BatchTransient, BatchUnsupported
+
+    built = []
+    results: list = [None] * len(lanes)
+    for pos, lane in enumerate(lanes):
+        pdk, kind, vddi, vddo, settle, hold, sizing = lane
+        steps, t_rise, t_fall, t_stop = _quick_steps(settle, hold)
+        try:
+            circuit, probes = build_testbench(pdk, kind, vddi, vddo,
+                                              steps, sizing=sizing)
+        except Exception as exc:  # noqa: BLE001 - quarantined per lane
+            results[pos] = BatchPointFailure(stage="build", error=str(exc))
+            continue
+        built.append((pos, circuit, probes,
+                      (kind, vddi, vddo, t_rise, t_fall, t_stop, hold)))
+    if not built:
+        return results
+
+    options = transient_options or _default_transient_options()
+    try:
+        batch = BatchTransient([c for _, c, _, _ in built],
+                               [args[5] for _, _, _, args in built],
+                               options)
+    except BatchUnsupported:
+        for pos, lane in enumerate(lanes):
+            if results[pos] is None:
+                pdk, kind, vddi, vddo, settle, hold, sizing = lane
+                results[pos] = quick_delays(
+                    pdk, kind, vddi, vddo, settle=settle, hold=hold,
+                    sizing=sizing, transient_options=transient_options)
+        return results
+
+    bres = batch.run()
+    for k, (pos, _, probes, args) in enumerate(built):
+        kind, vddi, vddo, t_rise, t_fall, _, hold = args
+        if not bres.ok(k):
+            results[pos] = QuickDelays(float("nan"), float("nan"), False)
+            continue
+        results[pos] = _quick_from_result(bres.lane(k), probes, kind,
+                                          vddi, vddo, t_rise, t_fall,
+                                          hold)
+    return results
 
 
 #: Experiment name for multi-kind characterization campaigns.

@@ -22,7 +22,9 @@ from repro.runtime.experiment.engine import run_experiment
 from repro.runtime.experiment.resultset import (
     RESULTSET_SCHEMA, ResultRow, ResultSet, get_codec, register_codec,
 )
-from repro.runtime.experiment.spec import ExperimentPoint, ExperimentSpec
+from repro.runtime.experiment.spec import (
+    BACKENDS, BatchPointFailure, ExperimentPoint, ExperimentSpec,
+)
 from repro.runtime.experiment.store import (
     DEFAULT_ROOT, MANIFEST_SCHEMA, ArtifactStore, collect_provenance,
     git_sha, pdk_fingerprint,
@@ -30,6 +32,8 @@ from repro.runtime.experiment.store import (
 
 __all__ = [
     "ArtifactStore",
+    "BACKENDS",
+    "BatchPointFailure",
     "DEFAULT_ROOT",
     "ExperimentPoint",
     "ExperimentSpec",

@@ -189,6 +189,59 @@ def run_experiment(spec: ExperimentSpec, *, progress=None, resume=None,
                 rows.append(ResultRow(ordinal=ordinal, index=index,
                                       status="ok", value=value))
                 _progress(index, value)
+        elif spec.resolved_backend() == "batched" and trace_mode is None:
+            # SPMD lanes: whole chunks of points go through one
+            # vectorized batch_measure call. Per-lane failures come
+            # back as BatchPointFailure values and quarantine exactly
+            # like a raised serial measurement; a chunk whose batched
+            # call itself raises is *evicted to the per-point measure*
+            # (same results, serial speed) rather than lost. Tracing
+            # campaigns take the per-point path instead (the branch
+            # above this one never sees trace_mode set) so traces
+            # aggregate exactly like a serial run.
+            from repro.runtime.experiment.spec import BatchPointFailure
+            width = spec.batch_width
+            for start in range(0, len(pending), width):
+                chunk = pending[start:start + width]
+                try:
+                    values = spec.batch_measure(
+                        [point.params for point in chunk])
+                    if len(values) != len(chunk):
+                        raise AnalysisError(
+                            f"batch_measure returned {len(values)} "
+                            f"values for {len(chunk)} points")
+                except KeyboardInterrupt:
+                    raise
+                except Exception:
+                    values = None
+                if values is None:
+                    # Chunk-level eviction: replay every point through
+                    # the serial measure with normal quarantine.
+                    for point in chunk:
+                        outcome = _measure_worker(
+                            (spec.measure, spec.stage, point.index,
+                             point.params, None))
+                        if outcome[0] == "ok":
+                            rows.append(ResultRow(
+                                ordinal=ordinals[point.index],
+                                index=point.index, status="ok",
+                                value=outcome[2]))
+                            _progress(point.index, outcome[2])
+                        else:
+                            _quarantine(ordinals[point.index],
+                                        point.index, outcome[2],
+                                        outcome[3])
+                    continue
+                for point, value in zip(chunk, values):
+                    if isinstance(value, BatchPointFailure):
+                        _quarantine(ordinals[point.index], point.index,
+                                    value.stage or spec.stage,
+                                    value.error)
+                        continue
+                    rows.append(ResultRow(ordinal=ordinals[point.index],
+                                          index=point.index,
+                                          status="ok", value=value))
+                    _progress(point.index, value)
         else:
             tasks = [(spec.measure, spec.stage, point.index, point.params,
                       trace_mode)

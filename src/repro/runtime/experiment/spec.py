@@ -33,6 +33,29 @@ from repro.errors import AnalysisError
 from repro.runtime.telemetry import TRACE_MODES
 
 
+#: The execution backends a spec may name. ``serial`` runs points one
+#: at a time in-process, ``pool`` distributes them over a process pool
+#: (``workers``), ``batched`` hands whole chunks of points to a
+#: vectorized ``batch_measure`` (SPMD lanes; see
+#: :mod:`repro.spice.batch`).
+BACKENDS = ("serial", "pool", "batched")
+
+
+@dataclass(frozen=True)
+class BatchPointFailure:
+    """A per-lane failure returned (not raised) by a ``batch_measure``.
+
+    A batched measurement evaluates many points per call; one lane's
+    failure must not poison the rest, so instead of raising, the batch
+    function puts one of these in that lane's slot. The engine
+    quarantines the point exactly as if a serial measurement had raised
+    ``error`` at ``stage``.
+    """
+
+    stage: str
+    error: str
+
+
 @dataclass(frozen=True)
 class ExperimentPoint:
     """One point of a campaign's parameter space.
@@ -85,6 +108,20 @@ class ExperimentSpec:
             set by :func:`repro.runtime.telemetry.set_campaign_trace_mode`
             (the CLI ``--trace``/``--profile`` flags). Traces are
             aggregated into the result set's ``repro-trace-v1`` section.
+        backend: execution backend, one of :data:`BACKENDS`; None
+            (default) resolves to ``"pool"`` when ``workers > 1`` and
+            ``"serial"`` otherwise, so existing specs are unchanged.
+            ``"batched"`` requires ``batch_measure`` and is exclusive
+            with ``workers > 1`` (lanes already amortize across points;
+            stacking a pool on top would fight it for cores).
+        batch_measure: module-level function
+            ``batch_measure(params_list) -> values`` evaluating many
+            points in one vectorized call; one returned entry per
+            params, a :class:`BatchPointFailure` in a slot quarantining
+            that point. If the whole call raises, the engine falls back
+            to per-point ``measure`` for that chunk — eviction to
+            serial, never a lost chunk.
+        batch_width: points per ``batch_measure`` call (lane count).
     """
 
     name: str
@@ -100,10 +137,35 @@ class ExperimentSpec:
     retry_policy: object | None = None
     metadata: dict = field(default_factory=dict)
     trace: str | None = None
+    backend: str | None = None
+    batch_measure: Callable | None = None
+    batch_width: int = 32
+
+    def resolved_backend(self) -> str:
+        """The backend this spec will execute on (never None)."""
+        if self.backend is not None:
+            return self.backend
+        return "pool" if self.workers > 1 else "serial"
 
     def validate(self) -> None:
         if self.workers < 1:
             raise AnalysisError("workers must be >= 1")
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise AnalysisError(
+                f"experiment {self.name!r}: backend must be None or one "
+                f"of {BACKENDS}, got {self.backend!r}")
+        if self.backend == "batched":
+            if self.batch_measure is None:
+                raise AnalysisError(
+                    f"experiment {self.name!r}: backend 'batched' "
+                    f"requires a batch_measure function")
+            if self.workers > 1:
+                raise AnalysisError(
+                    f"experiment {self.name!r}: backend 'batched' is "
+                    f"exclusive with workers > 1 (lanes already "
+                    f"amortize across points)")
+        if self.batch_width < 1:
+            raise AnalysisError("batch_width must be >= 1")
         if self.trace is not None and self.trace not in TRACE_MODES:
             raise AnalysisError(
                 f"experiment {self.name!r}: trace must be None or one "

@@ -55,6 +55,13 @@ them):
 ``phase.dc``             timer: wall seconds inside DC ladders
 ``phase.transient``      timer: wall seconds inside transient marches
 ``phase.op``             timer: wall seconds inside OperatingPoint.run
+``batch.*``              counters from the batched SPMD backend
+                         (:mod:`repro.spice.batch`): ``batch.newton.
+                         solves/iterations/lane_iterations/
+                         lane_failures``, ``batch.dc.evicted`` (lanes
+                         sent to the serial retry ladder), ``batch.
+                         tran.lanes/super_steps/steps_accepted/
+                         stalled``
 ======================  =====================================================
 
 Activation is ambient and scoped, mirroring

@@ -1,0 +1,707 @@
+"""Batched SPMD execution of same-topology circuits.
+
+Every campaign in this repository (Monte Carlo, the VDDI×VDDO grids,
+PVT corners) simulates the *same* netlist topology over and over with
+only parameter values changing: W/L/Vt from the variation model, the
+supply voltages, the temperature. This module stacks N such circuits
+into *lanes* of 3-D ndarrays and drives them together:
+
+* :class:`LaneGroup` checks the lanes are structurally identical
+  (same MNA size, same MOSFET stamp layout) and owns the stacked
+  buffers — one ``(L, naug, naug)`` matrix block, one batched EKV
+  parameter set, and one per-lane :class:`~repro.spice.assembly.
+  SolverWorkspace` for everything that is cheap and already bitwise
+  (base matrices, RHS bases, capacitor state).
+* :meth:`LaneGroup.newton` runs a lane-masked damped Newton: one
+  vectorized EKV evaluation over all active lanes, one ``np.add.at``
+  scatter, and one batched LAPACK ``solve`` per iteration. Converged
+  and diverged lanes drop out of the active set immediately, so a
+  straggler never costs the finished lanes anything and a diverging
+  lane cannot poison its neighbors (each lane occupies its own matrix
+  block; LAPACK factorizes the blocks independently).
+* :meth:`LaneGroup.solve_dc` evicts lanes that plain batched Newton
+  cannot crack to the full serial retry ladder
+  (:func:`~repro.spice.newton.solve_dc_report` with the lane's own
+  workspace) — the RetryPolicy fallback stays per-lane and serial,
+  exactly as robust as before.
+* :class:`BatchTransient` marches all lanes with *per-lane* adaptive
+  timesteps: each lane keeps its own t/h/breakpoint/halving state and
+  the group solves one batched Newton per super-step over whatever
+  (t_i, h_i, method_i) each lane wants next. A lane that stalls is
+  marked dead (the serial engine would raise
+  :class:`~repro.errors.ConvergenceError`) without stopping the rest.
+
+**Equivalence contract.** On the fixed-order path — every lane taking
+the same decisions it would take alone — the batched backend is
+*bitwise identical* to the serial solver, and
+``tests/spice/test_batch_equivalence.py`` enforces exactly that. The
+ingredients: per-lane ``begin_solve`` reuses the serial base-matrix /
+RHS code verbatim; the stacked EKV evaluation calls the same
+elementwise kernel (numpy ufuncs are value-deterministic across array
+shapes); the ``np.add.at`` scatter is laid out lane-major so each
+lane's accumulation sub-order matches the serial device-major order;
+and the batched LAPACK ``solve`` gufunc factorizes each ``(n, n)``
+block with the same routine the serial path uses, yielding bit-equal
+solutions per lane. The documented tolerance bound (0 ULP on this
+path) is therefore *test-enforced, not aspirational*; the harness
+carries a negative control showing a genuinely reordered reduction
+does exceed it.
+
+Structural prerequisites are strict on purpose: all lanes must share a
+supported :class:`~repro.spice.assembly.AssemblyPlan` (no opaque
+devices, identical MOSFET/index layout). Anything else raises
+:class:`BatchUnsupported` and callers fall back to the serial path —
+the same downgrade-for-safety convention the cached assembly uses.
+
+With an ambient :class:`~repro.runtime.telemetry.Tracer` active the
+group emits ``batch.*`` counters (lanes entered, batched iterations,
+evictions, transient steps); with tracing disabled each site costs one
+global read, preserving the NullTracer ≤2 % contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError, ConvergenceError
+from repro.runtime import telemetry
+from repro.runtime.faults import active_plan
+from repro.runtime.policy import RetryPolicy
+from repro.runtime.report import SolveReport, TransientReport
+from repro.spice.assembly import SolverWorkspace
+from repro.spice.integration import (
+    BACKWARD_EULER, TRAPEZOIDAL, IntegratorState,
+)
+from repro.spice.newton import (
+    NewtonOptions, add_solve_stats, solve_dc_report,
+)
+from repro.spice.transient import TransientOptions, TransientResult
+
+try:  # pragma: no cover - version-dependent private module
+    # Same gufunc the serial Newton loop uses; on a (L, n, n) stack it
+    # factorizes each block independently with the identical LAPACK
+    # routine, so per-lane solutions are bit-equal to serial calls.
+    from numpy.linalg._umath_linalg import solve1 as _lapack_solve1
+except ImportError:  # pragma: no cover
+    _lapack_solve1 = None
+
+
+class BatchUnsupported(AnalysisError):
+    """The lanes cannot be stacked; callers should run serially."""
+
+
+@dataclass
+class BatchNewtonResult:
+    """Per-lane outcome of one lane-masked batched Newton call."""
+
+    #: Solutions, shape ``(lanes, size)``; rows valid where converged.
+    x: np.ndarray
+    #: Per-lane convergence flags.
+    converged: np.ndarray
+    #: Per-lane iteration counts (at convergence or failure).
+    iterations: np.ndarray
+    #: Per-lane failure messages (None where converged), matching the
+    #: serial solver's ConvergenceError messages.
+    errors: list
+
+
+@dataclass
+class _LaneMarch:
+    """Per-lane adaptive step-control state (mirrors Transient.run)."""
+
+    t_stop: float
+    h_max: float
+    h_min: float
+    breakpoints: list
+    restart_h: float
+    t: float = 0.0
+    h: float = 0.0
+    bp_index: int = 1
+    use_be: bool = True
+    halvings: int = 0
+    hit_bp: bool = False
+    times: list = field(default_factory=list)
+    states: list = field(default_factory=list)
+    report: TransientReport = field(default_factory=TransientReport)
+    error: str | None = None
+
+    @property
+    def active(self) -> bool:
+        return self.error is None and self.t < self.t_stop - 1e-21
+
+
+def _solve_stack(matrices: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Batched linear solve; singular blocks yield non-finite rows."""
+    if _lapack_solve1 is not None:
+        return _lapack_solve1(matrices, rhs)
+    try:  # pragma: no cover - fallback without the private gufunc
+        return np.linalg.solve(matrices, rhs)
+    except np.linalg.LinAlgError:  # pragma: no cover
+        out = np.empty_like(rhs)
+        for k in range(len(rhs)):
+            try:
+                out[k] = np.linalg.solve(matrices[k], rhs[k])
+            except np.linalg.LinAlgError:
+                out[k] = np.nan
+        return out
+
+
+class LaneGroup:
+    """N structurally identical circuits stacked into SPMD lanes.
+
+    Raises :class:`BatchUnsupported` unless every lane has a supported
+    assembly plan, no opaque devices, and the identical MOSFET stamp
+    structure (same flat scatter indices — i.e. the same topology).
+    Parameter *values* (W/L/Vt/VDD/temperature) are free to differ.
+    """
+
+    def __init__(self, circuits: Sequence):
+        if not circuits:
+            raise BatchUnsupported("lane group needs at least one circuit")
+        self.circuits = list(circuits)
+        self.workspaces = [SolverWorkspace(c) for c in self.circuits]
+        self.n_lanes = len(self.circuits)
+        ref = self.workspaces[0].plan
+        for k, ws in enumerate(self.workspaces):
+            plan = ws.plan
+            if not plan.supported:
+                raise BatchUnsupported(
+                    f"lane {k} ({self.circuits[k].title!r}) has an "
+                    f"unsupported assembly plan; run it serially")
+            if plan.opaque:
+                raise BatchUnsupported(
+                    f"lane {k} ({self.circuits[k].title!r}) contains "
+                    f"opaque devices "
+                    f"({', '.join(d.name for d in plan.opaque)}); the "
+                    f"batched backend stamps only trusted-linear + "
+                    f"MOSFET circuits")
+            if (plan.size, plan.n_nodes, plan.damped) != (
+                    ref.size, ref.n_nodes, ref.damped):
+                raise BatchUnsupported(
+                    f"lane {k} has MNA shape (size={plan.size}, "
+                    f"nodes={plan.n_nodes}) but lane 0 has "
+                    f"(size={ref.size}, nodes={ref.n_nodes}); lanes "
+                    f"must share one topology")
+            if not self._same_mosfet_structure(ref, plan):
+                raise BatchUnsupported(
+                    f"lane {k} has a different MOSFET stamp layout than "
+                    f"lane 0; lanes must share one topology")
+        self.size = ref.size
+        self.n_nodes = ref.n_nodes
+        self.naug = ref.naug
+        self.damped = ref.damped
+        L, naug = self.n_lanes, self.naug
+
+        mg = ref.mosfet_group
+        self.n_mos = mg.n if mg is not None else 0
+        if mg is not None:
+            self._dgsb = mg.dgsb  # (4, n_mos), identical across lanes
+            # Lane-major flat indices into the stacked matrix/RHS
+            # blocks: within a lane the sub-order is exactly the serial
+            # device-major order, so np.add.at accumulates bit-equal.
+            lanes = np.arange(L, dtype=np.intp)[:, None]
+            self._mat_idx = np.ascontiguousarray(
+                lanes * (naug * naug) + mg.mat_flat[None, :])
+            self._rhs_idx = np.ascontiguousarray(
+                lanes * naug + mg.rhs_rows[None, :])
+            groups = [ws.plan.mosfet_group for ws in self.workspaces]
+            self._mos_params = tuple(
+                np.stack([getattr(g, name) for g in groups])
+                for name in ("sign", "vto", "n_slope", "ut", "gamma",
+                             "phi", "eta_dibl", "lambda_clm", "ispec"))
+            self._mv = np.empty((L, self.n_mos, 12), dtype=float)
+            self._rv = np.empty((L, self.n_mos, 2), dtype=float)
+
+        # Stacked per-call buffers (worst case: every lane active).
+        self._base_stack = np.empty((L, naug, naug), dtype=float)
+        self._rhsb_stack = np.empty((L, naug), dtype=float)
+        self._A = np.empty((L, naug, naug), dtype=float)
+        self._R = np.empty((L, naug), dtype=float)
+        self._A_flat = self._A.reshape(-1)
+        self._R_flat = self._R.reshape(-1)
+        self._Xaug = np.zeros((L, naug), dtype=float)
+
+    @staticmethod
+    def _same_mosfet_structure(ref, plan) -> bool:
+        a, b = ref.mosfet_group, plan.mosfet_group
+        if (a is None) != (b is None):
+            return False
+        if a is None:
+            return True
+        return (a.n == b.n
+                and np.array_equal(a.mat_flat, b.mat_flat)
+                and np.array_equal(a.rhs_rows, b.rhs_rows)
+                and np.array_equal(a.dgsb, b.dgsb))
+
+    # -- lane-masked batched Newton --------------------------------------
+
+    def newton(self, lane_ids: np.ndarray, x0: np.ndarray, *,
+               times: Sequence[float],
+               integrators: Sequence[Optional[IntegratorState]],
+               options: Optional[NewtonOptions] = None,
+               gmin: Optional[float] = None,
+               source_scale: float = 1.0) -> BatchNewtonResult:
+        """Damped Newton over ``lane_ids``, one batched solve per pass.
+
+        Args:
+            lane_ids: absolute lane indices participating in this call.
+            x0: initial iterates, shape ``(len(lane_ids), size)``.
+            times / integrators: per-lane solve regime (a transient
+                super-step hands every lane its own ``t + h`` and
+                integrator; DC passes 0.0 / None).
+
+        Each lane replays exactly the serial loop's float operations —
+        per-lane damping decisions, per-lane convergence tests — so a
+        converged lane's solution is bitwise what :func:`newton_solve`
+        would return. Converged/failed lanes leave the active set at
+        the end of the iteration that settles them.
+        """
+        opts = options or NewtonOptions()
+        effective_gmin = opts.gmin if gmin is None else gmin
+        lane_ids = np.asarray(lane_ids, dtype=np.intp)
+        nc = len(lane_ids)
+        size, n_nodes, naug = self.size, self.n_nodes, self.naug
+        n_branch = size - n_nodes
+        tracer = telemetry.active_tracer()
+        if tracer is not None:
+            tracer.count("batch.newton.solves", nc)
+
+        # Per-lane solve setup reuses the serial workspace code, so
+        # base matrices and RHS bases are bitwise the serial ones.
+        for k, lane in enumerate(lane_ids):
+            ws = self.workspaces[lane]
+            ws.begin_solve(times[k], integrators[k], effective_gmin,
+                           source_scale)
+            self._base_stack[k] = ws._base
+            self._rhsb_stack[k] = ws._rhs_base
+        add_solve_stats(solves=nc)
+
+        X = np.array(x0, dtype=float, copy=True)
+        converged = np.zeros(nc, dtype=bool)
+        iterations = np.zeros(nc, dtype=np.intp)
+        errors: list = [None] * nc
+        last_dv = np.zeros(nc, dtype=float)
+        alive = np.arange(nc, dtype=np.intp)
+        damped = self.damped
+
+        saved_err = np.seterr(invalid="ignore", over="ignore",
+                              divide="ignore")
+        try:
+            for iteration in range(opts.max_iterations):
+                na = alive.size
+                if na == 0:
+                    break
+                add_solve_stats(iterations=na)
+                if tracer is not None:
+                    tracer.count("batch.newton.iterations")
+                    tracer.count("batch.newton.lane_iterations", na)
+                A = self._A[:na]
+                R = self._R[:na]
+                np.take(self._base_stack[:nc], alive, axis=0, out=A)
+                np.take(self._rhsb_stack[:nc], alive, axis=0, out=R)
+                Xa = self._Xaug[:na]
+                Xa[:, :size] = X[alive]
+                Xa[:, size:] = 0.0
+                if self.n_mos:
+                    self._stamp_mosfets(lane_ids[alive], Xa, A, R,
+                                        effective_gmin, na, naug)
+
+                x_new = _solve_stack(A[:, :size, :size], R[:, :size])
+                finite = np.isfinite(x_new).all(axis=1)
+                if not finite.all():
+                    for pos in np.nonzero(~finite)[0]:
+                        k = alive[pos]
+                        if (np.isfinite(A[pos, :size, :size]).all()
+                                and np.isfinite(R[pos, :size]).all()):
+                            errors[k] = ("singular MNA matrix at "
+                                         f"iteration {iteration}")
+                        else:
+                            errors[k] = ("non-finite solution at "
+                                         f"iteration {iteration}")
+                        iterations[k] = iteration
+
+                rows = alive[finite]
+                if rows.size == 0:
+                    alive = rows
+                    continue
+                xn = x_new[finite]
+                delta = xn - X[rows]
+                absd = np.abs(delta)
+                max_dv = (absd[:, :n_nodes].max(axis=1) if n_nodes
+                          else np.zeros(rows.size))
+                max_di = (absd[:, n_nodes:].max(axis=1) if n_branch
+                          else np.zeros(rows.size))
+                last_dv[rows] = max_dv
+
+                if damped:
+                    clamp = max_dv > opts.max_step_v
+                    # Clamped lanes scale by max_step_v/max_dv exactly
+                    # like the serial loop; unclamped lanes multiply by
+                    # 1.0, which is exact, so one fused update serves
+                    # both without perturbing either.
+                    scale = np.where(clamp,
+                                     opts.max_step_v
+                                     / np.where(clamp, max_dv, 1.0),
+                                     1.0)
+                    X[rows] += delta * scale[:, None]
+                else:
+                    clamp = np.zeros(rows.size, dtype=bool)
+                    X[rows] += delta
+
+                absx = np.abs(X[rows])
+                v_tol = opts.abstol_v + opts.reltol * (
+                    absx[:, :n_nodes].max(axis=1) if n_nodes
+                    else np.zeros(rows.size))
+                i_tol = opts.abstol_i + opts.reltol * (
+                    absx[:, n_nodes:].max(axis=1) if n_branch
+                    else np.zeros(rows.size))
+                conv = (~clamp) & (max_dv <= v_tol) & (max_di <= i_tol)
+                newly = rows[conv]
+                converged[newly] = True
+                iterations[newly] = iteration + 1
+                alive = rows[~conv]
+        finally:
+            np.seterr(**saved_err)
+
+        for k in alive:
+            errors[k] = (f"Newton failed to converge in "
+                         f"{opts.max_iterations} iterations "
+                         f"(last max dV = {last_dv[k]:.3e} V)")
+            iterations[k] = opts.max_iterations
+        if tracer is not None:
+            n_failed = sum(1 for e in errors if e is not None)
+            if n_failed:
+                tracer.count("batch.newton.lane_failures", n_failed)
+        return BatchNewtonResult(x=X, converged=converged,
+                                 iterations=iterations, errors=errors)
+
+    def _stamp_mosfets(self, abs_ids, Xa, A, R, gmin, na, naug) -> None:
+        """Vectorized EKV + scatter over all active lanes at once."""
+        from repro.spice.devices.mosfet import ekv_evaluate
+        V = Xa[:, self._dgsb]  # (na, 4, n_mos)
+        vd, vg, vs, vb = V[:, 0], V[:, 1], V[:, 2], V[:, 3]
+        (sign, vto, n_slope, ut, gamma, phi, eta_dibl, lambda_clm,
+         ispec) = (p[abs_ids] for p in self._mos_params)
+        id_real, gdd, gdg, gds_, gdb = ekv_evaluate(
+            sign, vto, n_slope, ut, gamma, phi, eta_dibl, lambda_clm,
+            ispec, vd, vg, vs, vb)
+        mv = self._mv[:na]
+        mv[..., 0] = gdd
+        mv[..., 2] = gdg
+        mv[..., 4] = gds_
+        mv[..., 6] = gdb
+        np.negative(mv[..., 0:8:2], out=mv[..., 1:8:2])
+        mv[..., 8] = gmin
+        mv[..., 9] = gmin
+        mv[..., 10] = -gmin
+        mv[..., 11] = -gmin
+        np.add.at(self._A_flat[:na * naug * naug],
+                  self._mat_idx[:na].ravel(), mv.reshape(-1))
+        linear_sum = gdd * vd + gdg * vg + gds_ * vs + gdb * vb
+        r = linear_sum - id_real
+        rv = self._rv[:na]
+        rv[..., 0] = r
+        rv[..., 1] = -r
+        np.add.at(self._R_flat[:na * naug],
+                  self._rhs_idx[:na].ravel(), rv.reshape(-1))
+
+    # -- batched DC with serial-ladder eviction --------------------------
+
+    def solve_dc(self, options: Optional[NewtonOptions] = None,
+                 policy: Optional[RetryPolicy] = None,
+                 x0: Optional[np.ndarray] = None,
+                 ) -> tuple[np.ndarray, list, list]:
+        """DC operating points for all lanes.
+
+        Runs the plain-Newton rung batched (bitwise what the serial
+        ladder's first attempt computes); lanes it cannot crack are
+        *evicted to the full serial retry ladder* — gmin stepping and
+        source ramping through :func:`solve_dc_report` with the lane's
+        own workspace, so an all-lanes-evicted run degenerates to
+        exactly the serial path. Returns ``(X, reports, errors)`` where
+        ``reports[k]`` is the eviction's :class:`SolveReport` (None for
+        lanes the batched rung solved) and ``errors[k]`` carries the
+        final ConvergenceError text for lanes the ladder lost too.
+        """
+        opts = options or NewtonOptions()
+        nc = self.n_lanes
+        lane_ids = np.arange(nc, dtype=np.intp)
+        x0s = (np.zeros((nc, self.size))
+               if x0 is None else np.asarray(x0, dtype=float))
+        res = self.newton(lane_ids, x0s, times=[0.0] * nc,
+                          integrators=[None] * nc, options=opts)
+        X = res.x
+        reports: list = [None] * nc
+        errors: list = [None] * nc
+        for k in range(nc):
+            if not res.converged[k]:
+                errors[k] = res.errors[k]
+        evicted = np.nonzero(~res.converged)[0]
+        if evicted.size:
+            tracer = telemetry.active_tracer()
+            if tracer is not None:
+                tracer.count("batch.dc.evicted", int(evicted.size))
+        for k in evicted:
+            try:
+                x, report = solve_dc_report(
+                    self.circuits[k], x0=x0s[k] if x0 is not None
+                    else None, options=opts, policy=policy,
+                    workspace=self.workspaces[k])
+            except ConvergenceError as exc:
+                errors[k] = str(exc)
+                continue
+            X[k] = x
+            reports[k] = report
+            errors[k] = None
+        return X, reports, errors
+
+
+class BatchTransientResult:
+    """Per-lane transient results plus a shared interpolation grid."""
+
+    def __init__(self, lanes: list, errors: list):
+        #: Per-lane :class:`TransientResult` (None where the lane died).
+        self.lanes = lanes
+        #: Per-lane failure text (None where the lane completed) —
+        #: the message the serial engine's ConvergenceError would carry.
+        self.errors = errors
+
+    @property
+    def n_lanes(self) -> int:
+        return len(self.lanes)
+
+    def lane(self, k: int) -> TransientResult:
+        """The lane's result; raises the deferred stall if it died."""
+        if self.lanes[k] is None:
+            raise ConvergenceError(self.errors[k])
+        return self.lanes[k]
+
+    def ok(self, k: int) -> bool:
+        return self.lanes[k] is not None
+
+    def shared_grid(self, samples: int = 512
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """All lanes interpolated onto one uniform time grid.
+
+        Returns ``(grid, states)`` with ``states`` shaped
+        ``(lanes, samples, size)``; dead lanes are NaN rows. Each
+        lane's native adaptive time points remain available through
+        :meth:`lane` — the grid is for cross-lane ndarray consumers
+        (surface plots, vectorized metric sweeps).
+        """
+        t_end = max((r.times[-1] for r in self.lanes if r is not None),
+                    default=0.0)
+        grid = np.linspace(0.0, float(t_end), int(samples))
+        size = next((r._states.shape[1] for r in self.lanes
+                     if r is not None), 0)
+        states = np.full((len(self.lanes), int(samples), size), np.nan)
+        for k, result in enumerate(self.lanes):
+            if result is None:
+                continue
+            for col in range(size):
+                states[k, :, col] = np.interp(
+                    grid, result.times, result._states[:, col])
+        return grid, states
+
+
+class BatchTransient:
+    """Batched transient runner with per-lane adaptive timestep.
+
+    The step-control state machine is replicated *per lane* from
+    :class:`~repro.spice.transient.Transient` — breakpoint snapping,
+    BE-after-breakpoint restarts, dv_max rejection, halving budgets,
+    1.5x growth — so each lane visits exactly the time points and
+    integrator choices it would visit alone, and its accepted states
+    are bitwise the serial ones. Only the Newton solves are pooled:
+    each super-step solves every active lane's next attempted step in
+    one batched call.
+
+    Ambient fault plans are not consumed on this path (the experiment
+    engine keeps fault campaigns serial); construction refuses to race
+    one silently.
+    """
+
+    def __init__(self, circuits: Sequence, t_stop,
+                 options: Optional[TransientOptions] = None):
+        self.group = LaneGroup(circuits)
+        self.options = options or TransientOptions()
+        if np.isscalar(t_stop):
+            t_stops = [float(t_stop)] * self.group.n_lanes
+        else:
+            t_stops = [float(t) for t in t_stop]
+            if len(t_stops) != self.group.n_lanes:
+                raise AnalysisError(
+                    f"got {len(t_stops)} t_stop values for "
+                    f"{self.group.n_lanes} lanes")
+        if any(t <= 0 for t in t_stops):
+            raise AnalysisError("t_stop must be > 0 for every lane")
+        self.t_stops = t_stops
+        if active_plan() is not None:
+            raise BatchUnsupported(
+                "an ambient FaultPlan is active; fault injection "
+                "requires the serial transient path")
+
+    def run(self, x0: Optional[np.ndarray] = None) -> BatchTransientResult:
+        group = self.group
+        opts = self.options
+        if opts.method not in (None, BACKWARD_EULER, TRAPEZOIDAL):
+            raise AnalysisError(
+                f"TransientOptions.method must be None, "
+                f"{BACKWARD_EULER!r} or {TRAPEZOIDAL!r}, "
+                f"got {opts.method!r}")
+        forced_method = opts.method
+        policy = opts.policy or RetryPolicy()
+        policy.validate()
+        tracer = telemetry.active_tracer()
+        n_nodes = group.n_nodes
+        nc = group.n_lanes
+        if tracer is not None:
+            tracer.count("batch.tran.lanes", nc)
+
+        marches: list = []
+        for k in range(nc):
+            t_stop = self.t_stops[k]
+            h_max = opts.h_max if opts.h_max is not None else t_stop / 100.0
+            h_min = opts.h_min if opts.h_min is not None else t_stop * 1e-9
+            if h_min >= h_max:
+                raise AnalysisError(
+                    f"h_min {h_min} must be < h_max {h_max}")
+            restart_h = max(h_min, h_max * opts.restart_fraction)
+            marches.append(_LaneMarch(
+                t_stop=t_stop, h_max=h_max, h_min=h_min,
+                breakpoints=group.circuits[k].breakpoints(t_stop),
+                restart_h=restart_h, h=restart_h))
+
+        # DC seed: batched plain Newton, serial-ladder eviction.
+        X = np.zeros((nc, group.size), dtype=float)
+        if x0 is None:
+            x_dc, dc_reports, dc_errors = group.solve_dc(
+                options=opts.newton, policy=policy)
+            for k, march in enumerate(marches):
+                if dc_errors[k] is not None:
+                    march.error = dc_errors[k]
+                    march.report.stalled = True
+                    continue
+                X[k] = x_dc[k]
+                march.report.dc_report = dc_reports[k]
+        else:
+            X[:] = np.asarray(x0, dtype=float)
+        for k, march in enumerate(marches):
+            if march.error is None:
+                group.workspaces[k].init_state(X[k])
+                march.times.append(0.0)
+                march.states.append(X[k].copy())
+
+        def _stall(k: int, march: _LaneMarch, reason: str) -> None:
+            group.workspaces[k].sync_state()
+            march.report.stalled = True
+            march.error = (
+                f"transient stalled at t={march.t:.6e}s with "
+                f"h={march.h:.3e}s in circuit "
+                f"{group.circuits[k].title!r} ({reason})")
+            if tracer is not None:
+                tracer.count("batch.tran.stalled")
+
+        while True:
+            active = [k for k, m in enumerate(marches) if m.active]
+            if not active:
+                break
+            times = []
+            integrators = []
+            # Per-lane step preparation: same arithmetic and decisions
+            # as the serial engine's loop head.
+            for k in active:
+                m = marches[k]
+                next_bp = (m.breakpoints[m.bp_index]
+                           if m.bp_index < len(m.breakpoints)
+                           else m.t_stop)
+                m.h = min(m.h, m.h_max, m.t_stop - m.t)
+                m.hit_bp = False
+                if m.t + m.h >= next_bp - 1e-21:
+                    m.h = next_bp - m.t
+                    m.hit_bp = True
+                if m.h < m.h_min * 0.5:
+                    m.h = max(m.h, 1e-21)
+                if forced_method is None:
+                    method = BACKWARD_EULER if m.use_be else TRAPEZOIDAL
+                else:
+                    method = forced_method
+                times.append(m.t + m.h)
+                integrators.append(IntegratorState(method=method, dt=m.h))
+
+            lane_ids = np.asarray(active, dtype=np.intp)
+            res = group.newton(lane_ids, X[lane_ids], times=times,
+                               integrators=integrators,
+                               options=opts.newton)
+            if tracer is not None:
+                tracer.count("batch.tran.super_steps")
+
+            for pos, k in enumerate(active):
+                m = marches[k]
+                if not res.converged[pos]:
+                    m.report.newton_failures += 1
+                    if m.h <= m.h_min * 1.0000001:
+                        _stall(k, m, "step at h_min")
+                        continue
+                    if m.halvings >= policy.max_step_halvings:
+                        _stall(k, m, f"halving budget "
+                               f"{policy.max_step_halvings} exhausted")
+                        continue
+                    m.h = max(m.h / 2.0, m.h_min)
+                    m.halvings += 1
+                    m.report.total_halvings += 1
+                    if policy.be_on_retry:
+                        m.use_be = True
+                    continue
+
+                x_new = res.x[pos]
+                max_dv = (float(np.max(np.abs(x_new[:n_nodes]
+                                              - X[k][:n_nodes])))
+                          if n_nodes else 0.0)
+                if (max_dv > opts.dv_max and m.h > m.h_min * 1.0000001
+                        and m.halvings < policy.max_step_halvings):
+                    m.report.steps_rejected_dv += 1
+                    m.h = max(m.h / 2.0, m.h_min)
+                    m.halvings += 1
+                    m.report.total_halvings += 1
+                    continue
+
+                # Accept the lane's step.
+                next_bp = (m.breakpoints[m.bp_index]
+                           if m.bp_index < len(m.breakpoints)
+                           else m.t_stop)
+                group.workspaces[k].update_state(x_new, integrators[pos])
+                m.t = next_bp if m.hit_bp else m.t + m.h
+                X[k] = x_new
+                m.times.append(m.t)
+                m.states.append(x_new.copy())
+                m.report.steps_accepted += 1
+                m.halvings = 0
+                if tracer is not None:
+                    tracer.count("batch.tran.steps_accepted")
+                if m.hit_bp:
+                    m.bp_index += 1
+                    m.h = m.restart_h
+                    m.use_be = True
+                else:
+                    m.use_be = False
+                    if max_dv < 0.3 * opts.dv_max:
+                        m.h = min(m.h * 1.5, m.h_max)
+
+        lanes: list = []
+        errors: list = []
+        for k, m in enumerate(marches):
+            if m.error is not None:
+                lanes.append(None)
+                errors.append(m.error)
+                continue
+            group.workspaces[k].sync_state()
+            lanes.append(TransientResult(group.circuits[k],
+                                         np.asarray(m.times),
+                                         np.asarray(m.states),
+                                         report=m.report))
+            errors.append(None)
+        return BatchTransientResult(lanes, errors)

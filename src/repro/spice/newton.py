@@ -80,6 +80,20 @@ def solve_stats() -> dict:
     return {"solves": _SOLVES, "iterations": _ITERATIONS}
 
 
+def add_solve_stats(solves: int = 0, iterations: int = 0) -> None:
+    """Credit batched work to the global throughput counters.
+
+    The batched backend (:mod:`repro.spice.batch`) performs many
+    lane-solves per LAPACK call; it reports them here so
+    ``repro bench`` rates stay comparable across backends (one lane
+    converging in k iterations counts exactly like one serial solve
+    of k iterations).
+    """
+    global _SOLVES, _ITERATIONS
+    _SOLVES += solves
+    _ITERATIONS += iterations
+
+
 @dataclass
 class NewtonOptions:
     """Tolerances and limits for the Newton iteration."""

@@ -14,7 +14,8 @@ from repro.analysis.bench import (
     BENCH_SCHEMA, BENCH_TRAJECTORY_SCHEMA, PRE_PR2_BASELINE,
     TRACER_OVERHEAD_TOLERANCE, append_trajectory, bench_tracer_overhead,
     check_regression, check_tracer_overhead, latest_entry,
-    load_trajectory, run_bench_suite, write_trajectory,
+    load_trajectory, run_bench_suite, validate_baseline,
+    write_trajectory,
 )
 
 pytestmark = pytest.mark.bench
@@ -69,6 +70,39 @@ class TestTrajectory:
         assert problems and "mc_serial" in problems[0]
 
 
+class TestValidateBaseline:
+    """The ``--check`` baseline guard (satellite: no silent passes)."""
+
+    def test_accepts_valid_trajectory_and_legacy(self, tmp_path):
+        path = str(tmp_path / "BENCH.json")
+        append_trajectory(_record(10.0), path)
+        assert validate_baseline(load_trajectory(path)) is None
+        assert validate_baseline(_record(10.0)) is None
+
+    def test_rejects_unknown_schema(self):
+        problem = validate_baseline({"schema": "repro-bench-v99",
+                                     "workloads": {"mc_serial": {}}})
+        assert problem is not None
+        assert "repro-bench-v99" in problem
+        assert "repro bench --out" in problem  # actionable fix
+
+    def test_rejects_schemaless_dict(self):
+        # An arbitrary JSON object previously slipped through
+        # latest_entry as a "legacy record" with no workloads and
+        # compared clean against anything.
+        problem = validate_baseline({"results": [1, 2, 3]})
+        assert problem is not None and "schema" in problem
+
+    def test_rejects_empty_trajectory(self):
+        problem = validate_baseline({"schema": BENCH_TRAJECTORY_SCHEMA,
+                                     "entries": []})
+        assert problem is not None and "no entries" in problem
+
+    def test_rejects_record_without_workloads(self):
+        problem = validate_baseline({"schema": BENCH_SCHEMA})
+        assert problem is not None and "workloads" in problem
+
+
 @pytest.fixture(scope="module")
 def suite_record():
     return run_bench_suite(mc_runs=2, sweep_step=0.3, workers=2)
@@ -78,21 +112,30 @@ def test_suite_record_shape(suite_record):
     assert suite_record["schema"] == BENCH_SCHEMA
     assert suite_record["baseline_pre_pr2"] == PRE_PR2_BASELINE
     workloads = suite_record["workloads"]
-    assert set(workloads) == {"mc_serial", "mc_parallel", "sweep",
-                              "tracer"}
+    assert set(workloads) == {"mc_serial", "mc_parallel", "mc_batched",
+                              "sweep", "tracer"}
     for record in workloads.values():
         assert record["wall_s"] > 0
     # In-process workloads expose the Newton counters as a rate.
     assert workloads["mc_serial"]["solves"] > 0
     assert workloads["mc_serial"]["solves_per_s"] > 0
+    assert workloads["mc_batched"]["solves_per_s"] > 0
     assert workloads["sweep"]["solves_per_s"] > 0
-    # Off-scale workloads don't report misleading headline speedups.
-    assert suite_record["speedups"] == {}
+    # Off-scale runs keep the pre-PR2 headline speedups out, but the
+    # batched-vs-serial ratio is in-process and valid at any scale.
+    assert set(suite_record["speedups"]) == {"mc_batched_vs_serial"}
+    assert suite_record["speedups"]["mc_batched_vs_serial"] > 0
 
 
 def test_parallel_identical_to_serial(suite_record):
     assert suite_record["workloads"]["mc_parallel"][
         "identical_to_serial"] is True
+
+
+def test_batched_identical_to_serial(suite_record):
+    assert suite_record["workloads"]["mc_batched"][
+        "identical_to_serial"] is True
+    assert suite_record["workloads"]["mc_batched"]["backend"] == "batched"
 
 
 def test_trajectory_roundtrip(suite_record, tmp_path):

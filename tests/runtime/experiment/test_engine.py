@@ -165,3 +165,149 @@ class TestResume:
         resumed = run_experiment(_spec(), resume=partial)
         assert [row.index for row in resumed.rows] \
             == [0, 1, 2, 3, 4, 99]
+
+
+class TestBatchedBackend:
+    """The SPMD dispatch: chunking, per-lane quarantine, eviction."""
+
+    @staticmethod
+    def _batch_square(params_list):
+        return [p * p for p in params_list]
+
+    def test_backend_name_validated(self):
+        with pytest.raises(AnalysisError, match="backend"):
+            run_experiment(_spec(backend="gpu"))
+
+    def test_batched_requires_batch_measure(self):
+        with pytest.raises(AnalysisError, match="batch_measure"):
+            run_experiment(_spec(backend="batched"))
+
+    def test_batched_excludes_worker_pools(self):
+        with pytest.raises(AnalysisError, match="workers"):
+            run_experiment(_spec(backend="batched", workers=2,
+                                 batch_measure=self._batch_square))
+
+    def test_batch_width_must_be_positive(self):
+        with pytest.raises(AnalysisError, match="batch_width"):
+            run_experiment(_spec(backend="batched", batch_width=0,
+                                 batch_measure=self._batch_square))
+
+    def test_resolved_backend_defaults(self):
+        assert _spec().resolved_backend() == "serial"
+        assert _spec(workers=3).resolved_backend() == "pool"
+        assert _spec(backend="serial",
+                     workers=3).resolved_backend() == "serial"
+        assert _spec(backend="batched").resolved_backend() == "batched"
+
+    def test_batched_identical_to_serial(self):
+        serial = run_experiment(_spec(n=7))
+        batched = run_experiment(_spec(
+            n=7, backend="batched", batch_width=3,
+            batch_measure=self._batch_square))
+        assert batched.values() == serial.values()
+        assert [r.index for r in batched.rows] \
+            == [r.index for r in serial.rows]
+
+    def test_chunking_respects_batch_width(self):
+        widths = []
+
+        def recording(params_list):
+            widths.append(len(params_list))
+            return [p * p for p in params_list]
+
+        run_experiment(_spec(n=7, backend="batched", batch_width=3,
+                             batch_measure=recording))
+        assert widths == [3, 3, 1]
+
+    def test_batch_point_failure_is_quarantined(self):
+        from repro.runtime.experiment import BatchPointFailure
+
+        def partial(params_list):
+            return [BatchPointFailure(stage="build", error="lane died")
+                    if p == 2.0 else p * p for p in params_list]
+
+        result = run_experiment(_spec(n=5, backend="batched",
+                                      batch_measure=partial))
+        assert result.counts == {"total": 5, "ok": 4, "err": 1,
+                                 "interrupted": False}
+        failure = result.sample_failures()[0]
+        assert failure.index == 2
+        assert failure.stage == "build"
+        assert "lane died" in failure.error
+
+    def test_raising_chunk_evicted_to_serial(self):
+        # A whole-call crash (e.g. the lanes cannot be stacked) must
+        # not lose the chunk: every point re-runs through the serial
+        # measure and the campaign still matches a serial run.
+        def exploding(params_list):
+            if 2.0 in params_list:
+                raise RuntimeError("stack refused")
+            return [p * p for p in params_list]
+
+        result = run_experiment(_spec(n=6, backend="batched",
+                                      batch_width=2,
+                                      batch_measure=exploding))
+        assert result.counts["err"] == 0
+        assert result.values() == [float(i) ** 2 for i in range(6)]
+
+    def test_wrong_length_reply_evicted_to_serial(self):
+        def short(params_list):
+            return [p * p for p in params_list][:-1]
+
+        result = run_experiment(_spec(n=4, backend="batched",
+                                      batch_width=2,
+                                      batch_measure=short))
+        assert result.counts["err"] == 0
+        assert result.values() == [float(i) ** 2 for i in range(4)]
+
+    def test_serial_fallback_quarantines_real_failures(self):
+        # Eviction re-runs the serial measure; a point that genuinely
+        # fails there lands in quarantine with the serial stage label.
+        def exploding(params_list):
+            raise RuntimeError("stack refused")
+
+        result = run_experiment(_spec(n=5, measure=flaky,
+                                      backend="batched",
+                                      batch_measure=exploding))
+        assert result.counts["ok"] == 4
+        failure = result.sample_failures()[0]
+        assert failure.index == 3
+        assert failure.stage == "measure"
+
+    def test_max_failures_enforced_for_batched_lanes(self):
+        from repro.runtime.experiment import BatchPointFailure
+
+        def all_dead(params_list):
+            return [BatchPointFailure(stage="build", error="nope")
+                    for _ in params_list]
+
+        with pytest.raises(AnalysisError, match="max_failures"):
+            run_experiment(_spec(n=5, backend="batched",
+                                 batch_measure=all_dead,
+                                 max_failures=1))
+
+    def test_resume_runs_only_missing_points_batched(self):
+        seen = []
+
+        def recording(params_list):
+            seen.extend(params_list)
+            return [p * p for p in params_list]
+
+        first = run_experiment(_spec(n=3))
+        spec = _spec(n=6, backend="batched", batch_measure=recording)
+        result = run_experiment(spec, resume=first)
+        assert sorted(seen) == [3.0, 4.0, 5.0]
+        assert result.values() == [float(i) ** 2 for i in range(6)]
+
+    def test_tracing_forces_per_point_path(self):
+        calls = []
+
+        def recording(params_list):
+            calls.append(list(params_list))
+            return [p * p for p in params_list]
+
+        result = run_experiment(_spec(n=3, backend="batched",
+                                      batch_measure=recording,
+                                      trace="collect"))
+        assert calls == []  # traced campaigns stay per-point
+        assert result.values() == [float(i) ** 2 for i in range(3)]

@@ -188,3 +188,108 @@ class TestExperimentCommands:
         assert "experiment engine / artifact store:" in out
         assert "resume completes only the missing points" in out
         assert "FAIL" not in out
+
+
+def _bench_stub_record():
+    import repro.analysis.bench as bench
+
+    return {
+        "schema": bench.BENCH_SCHEMA,
+        "workloads": {
+            "mc_serial": {"wall_s": 0.5, "solves": 10,
+                          "solves_per_s": 20.0},
+            "mc_parallel": {"wall_s": 0.4,
+                            "identical_to_serial": True},
+            "mc_batched": {"wall_s": 0.3, "solves": 10,
+                           "solves_per_s": 33.0, "backend": "batched",
+                           "identical_to_serial": True},
+            "sweep": {"wall_s": 0.2, "solves": 5,
+                      "solves_per_s": 25.0},
+        },
+        "speedups": {},
+    }
+
+
+@pytest.mark.experiment
+class TestCliErrorPaths:
+    """Damaged stores and bad baselines exit nonzero with guidance,
+    never a traceback."""
+
+    def _store_run(self, tmp_path, capsys) -> str:
+        code = main(["mc", "sstvs", "--runs", "2",
+                     "--out", str(tmp_path)])
+        assert code == 0
+        return _stored_run_id(capsys.readouterr().out)
+
+    def test_trace_on_run_without_trace_section(self, tmp_path, capsys):
+        run_id = self._store_run(tmp_path, capsys)
+        code = main(["trace", run_id, "--out", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "no trace section" in out
+        assert "--trace" in out  # tells the user how to get one
+
+    def test_show_on_truncated_rows_file(self, tmp_path, capsys):
+        run_id = self._store_run(tmp_path, capsys)
+        rows = tmp_path / run_id / "rows.jsonl"
+        lines = rows.read_text().splitlines()
+        assert len(lines) == 2
+        rows.write_text(lines[0] + "\n")
+        code = main(["show", run_id, "--out", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "truncated" in out
+        assert "--resume" in out and run_id in out
+
+    def test_show_on_intact_rows_file_stays_clean(self, tmp_path,
+                                                  capsys):
+        run_id = self._store_run(tmp_path, capsys)
+        code = main(["show", run_id, "--out", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "truncated" not in out
+
+    def test_bench_check_missing_baseline(self, tmp_path, capsys,
+                                          monkeypatch):
+        import repro.analysis.bench as bench
+
+        monkeypatch.setattr(bench, "run_bench_suite",
+                            lambda **kwargs: _bench_stub_record())
+        monkeypatch.chdir(tmp_path)  # hide the repo's BENCH_PR2.json
+        target = tmp_path / "MISSING.json"
+        code = main(["bench", "--out", str(target), "--check"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "no baseline file" in out
+        assert "repro bench --out" in out
+
+    def test_bench_check_invalid_json_baseline(self, tmp_path, capsys,
+                                               monkeypatch):
+        import repro.analysis.bench as bench
+
+        monkeypatch.setattr(bench, "run_bench_suite",
+                            lambda **kwargs: _bench_stub_record())
+        target = tmp_path / "BROKEN.json"
+        target.write_text('{"schema": "repro-bench-v1", truncated')
+        code = main(["bench", "--out", str(target), "--check"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "not valid JSON" in out
+        assert "re-record" in out
+
+    def test_bench_check_unknown_baseline_schema(self, tmp_path, capsys,
+                                                 monkeypatch):
+        import json
+
+        import repro.analysis.bench as bench
+
+        monkeypatch.setattr(bench, "run_bench_suite",
+                            lambda **kwargs: _bench_stub_record())
+        target = tmp_path / "OLD.json"
+        target.write_text(json.dumps({"schema": "repro-bench-v99",
+                                      "workloads": {}}))
+        code = main(["bench", "--out", str(target), "--check"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "repro-bench-v99" in out
+        assert "repro bench --out" in out
