@@ -12,7 +12,12 @@ Two fixed workloads track the simulation core's throughput across PRs:
 * **tracer** — :func:`bench_tracer_overhead`, a fixed DC-solve loop run
   with tracing disabled / NullTracer / CollectingTracer back to back,
   guarding the telemetry layer's zero-cost-when-disabled contract
-  (NullTracer ≤ :data:`TRACER_OVERHEAD_TOLERANCE` over disabled).
+  (NullTracer ≤ :data:`TRACER_OVERHEAD_TOLERANCE` over disabled);
+* **cache_hit** — :func:`bench_cache_hit`, the same Monte Carlo run
+  cold then warm against a fresh content-addressed solve cache
+  (:mod:`repro.runtime.cache`): reports the warm-pass hit rate, the
+  cold/warm wall-time ratio, and asserts the warm samples are bitwise
+  identical to the cold ones.
 
 Each workload records wall time and, for in-process runs, the global
 Newton counters from :func:`repro.spice.newton.solve_stats` as a
@@ -113,6 +118,56 @@ def bench_sweep(step: float = 0.1, workers: int = 1,
     }
     if workers <= 1:
         record.update(_rates(wall_s))
+    return record
+
+
+def bench_cache_hit(runs: int = 100, kind: str = "sstvs",
+                    vddi: float = 0.8, vddo: float = 1.2,
+                    seed: int = 20080310) -> dict:
+    """Cold-vs-warm Monte Carlo through the content-addressed cache.
+
+    Runs the same campaign twice against a fresh cache in a temporary
+    directory: the cold pass populates it (every point a miss + store),
+    the warm pass must be served entirely from it. Records both wall
+    times, the warm-pass hit rate, and whether the warm samples are
+    bitwise identical to the cold ones — the cache's core guarantee.
+    """
+    import tempfile
+
+    from repro.analysis.montecarlo import MonteCarloConfig, run_monte_carlo
+    from repro.runtime.cache import SolveCache
+
+    config = MonteCarloConfig(runs=runs, seed=seed)
+    with tempfile.TemporaryDirectory() as root:
+        cache = SolveCache(root)
+        reset_solve_stats()
+        started = time.perf_counter()
+        cold = run_monte_carlo(kind, vddi, vddo, config, cache=cache)
+        cold_wall_s = time.perf_counter() - started
+        cold_rates = _rates(cold_wall_s)
+        started = time.perf_counter()
+        warm = run_monte_carlo(kind, vddi, vddo, config, cache=cache)
+        warm_wall_s = time.perf_counter() - started
+        stats = cache.stats
+    record = {
+        "workload": "cache_hit",
+        "kind": kind,
+        "runs": runs,
+        "cold_wall_s": cold_wall_s,
+        "warm_wall_s": warm_wall_s,
+        "wall_s": cold_wall_s + warm_wall_s,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "stores": stats.stores,
+        "corruptions": stats.corruptions,
+        "warm_hit_rate": stats.hits / runs if runs else None,
+        "warm_speedup": ((cold_wall_s / warm_wall_s)
+                         if warm_wall_s > 0 else None),
+        "warm_identical_to_cold": warm.samples == cold.samples,
+    }
+    # solves/s of the cold (live-solve) pass; the warm pass does no
+    # solver work by construction.
+    record.update(cold_rates)
     return record
 
 
@@ -248,6 +303,7 @@ def run_bench_suite(mc_runs: int = 100, sweep_step: float = 0.1,
         mc_batched.pop("_samples") == serial_samples)
     sweep = bench_sweep(step=sweep_step, workers=1)
     tracer = bench_tracer_overhead()
+    cache_hit = bench_cache_hit(runs=mc_runs)
 
     baseline = dict(PRE_PR2_BASELINE)
     speedups = {}
@@ -276,6 +332,7 @@ def run_bench_suite(mc_runs: int = 100, sweep_step: float = 0.1,
             "mc_batched": mc_batched,
             "sweep": sweep,
             "tracer": tracer,
+            "cache_hit": cache_hit,
         },
         "baseline_pre_pr2": baseline,
         "speedups": speedups,

@@ -162,7 +162,8 @@ def pvt_report(kind: str, vddi: float, vddo: float,
                sizing=None, workers: int = 1,
                chunk_size: int | None = None,
                resume: ResultSet | None = None,
-               store=None, run_id: str | None = None) -> PvtReport:
+               store=None, run_id: str | None = None,
+               cache=None) -> PvtReport:
     """Characterize at every (corner, temperature) combination.
 
     ``workers > 1`` distributes PVT points over a process pool; the
@@ -172,6 +173,6 @@ def pvt_report(kind: str, vddi: float, vddo: float,
                     temperatures=temperatures, plan=plan, sizing=sizing,
                     workers=workers, chunk_size=chunk_size)
     resultset = run_experiment(spec, resume=resume, store=store,
-                               run_id=run_id)
+                               run_id=run_id, cache=cache)
     return report_from_resultset(resultset, kind=kind, vddi=vddi,
                                  vddo=vddo)

@@ -130,7 +130,8 @@ def validate_functionality(kind: str, grid: SweepGrid | None = None,
                            batch_width: int = 32,
                            resume: ResultSet | None = None,
                            store=None,
-                           run_id: str | None = None) -> FunctionalReport:
+                           run_id: str | None = None,
+                           cache=None) -> FunctionalReport:
     """Check correct level conversion at every grid point.
 
     ``workers > 1`` distributes pairs over a process pool;
@@ -143,5 +144,5 @@ def validate_functionality(kind: str, grid: SweepGrid | None = None,
                            workers=workers, chunk_size=chunk_size,
                            backend=backend, batch_width=batch_width)
     resultset = run_experiment(spec, resume=resume, store=store,
-                               run_id=run_id)
+                               run_id=run_id, cache=cache)
     return report_from_resultset(resultset, kind=kind)

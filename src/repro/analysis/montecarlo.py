@@ -233,7 +233,8 @@ def run_monte_carlo(kind: str, vddi: float, vddo: float,
                     progress=None,
                     resume=None,
                     store=None,
-                    run_id: str | None = None) -> MonteCarloResult:
+                    run_id: str | None = None,
+                    cache=None) -> MonteCarloResult:
     """Characterize ``kind`` over ``config.runs`` process samples.
 
     Args:
@@ -257,6 +258,6 @@ def run_monte_carlo(kind: str, vddi: float, vddo: float,
     spec = monte_carlo_spec(kind, vddi, vddo, config, sizing=sizing)
     resultset = run_experiment(spec, progress=progress,
                                resume=_as_resume(resume), store=store,
-                               run_id=run_id)
+                               run_id=run_id, cache=cache)
     return result_from_resultset(resultset, kind=kind, vddi=vddi,
                                  vddo=vddo)

@@ -215,7 +215,8 @@ def vtc_report(kind: str, pairs=DEFAULT_PAIRS, pdk: Pdk | None = None,
                points: int = 121, sizing=None, workers: int = 1,
                chunk_size: int | None = None,
                resume: ResultSet | None = None,
-               store=None, run_id: str | None = None) -> VtcReport:
+               store=None, run_id: str | None = None,
+               cache=None) -> VtcReport:
     """Survey the VTC over several supply pairs.
 
     ``workers > 1`` distributes pairs over a process pool; per-pair
@@ -226,5 +227,5 @@ def vtc_report(kind: str, pairs=DEFAULT_PAIRS, pdk: Pdk | None = None,
     spec = vtc_spec(kind, pairs=pairs, pdk=pdk, points=points,
                     sizing=sizing, workers=workers, chunk_size=chunk_size)
     resultset = run_experiment(spec, resume=resume, store=store,
-                               run_id=run_id)
+                               run_id=run_id, cache=cache)
     return report_from_resultset(resultset, kind=kind)

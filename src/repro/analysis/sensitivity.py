@@ -127,7 +127,8 @@ def metric_sensitivities(kind: str, vddi: float, vddo: float,
                          workers: int = 1,
                          chunk_size: int | None = None,
                          resume: ResultSet | None = None,
-                         store=None, run_id: str | None = None
+                         store=None, run_id: str | None = None,
+                         cache=None
                          ) -> dict[str, Sensitivity]:
     """Central-difference log-log sensitivities for each knob.
 
@@ -139,7 +140,7 @@ def metric_sensitivities(kind: str, vddi: float, vddo: float,
                             base_sizing=base_sizing, plan=plan,
                             workers=workers, chunk_size=chunk_size)
     resultset = run_experiment(spec, resume=resume, store=store,
-                               run_id=run_id)
+                               run_id=run_id, cache=cache)
     return sensitivities_from_resultset(resultset)
 
 

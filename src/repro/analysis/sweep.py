@@ -177,7 +177,8 @@ def sweep_delay_surface(kind: str, grid: SweepGrid | None = None,
                         chunk_size: int | None = None,
                         resume: ResultSet | None = None,
                         store=None,
-                        run_id: str | None = None) -> DelaySurface:
+                        run_id: str | None = None,
+                        cache=None) -> DelaySurface:
     """Run :func:`quick_delays` over the grid; returns the surfaces.
 
     ``workers > 1`` distributes grid cells over a process pool; cell
@@ -195,7 +196,8 @@ def sweep_delay_surface(kind: str, grid: SweepGrid | None = None,
         def engine_progress(index, q):
             progress(index[0], index[1], q)
     resultset = run_experiment(spec, progress=engine_progress,
-                               resume=resume, store=store, run_id=run_id)
+                               resume=resume, store=store, run_id=run_id,
+                               cache=cache)
     return surface_from_resultset(resultset, grid)
 
 

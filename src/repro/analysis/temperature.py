@@ -85,13 +85,14 @@ def sweep_temperature(kind: str, vddi: float, vddo: float,
                       chunk_size: int | None = None,
                       resume: ResultSet | None = None,
                       store=None,
-                      run_id: str | None = None) -> list[TemperaturePoint]:
+                      run_id: str | None = None,
+                      cache=None) -> list[TemperaturePoint]:
     """Nominal-process characterization at each temperature."""
     spec = temperature_spec(kind, vddi, vddo, temperatures=temperatures,
                             sizing=sizing, workers=workers,
                             chunk_size=chunk_size)
     resultset = run_experiment(spec, resume=resume, store=store,
-                               run_id=run_id)
+                               run_id=run_id, cache=cache)
     return points_from_resultset(resultset)
 
 

@@ -17,7 +17,11 @@ Commands map one-to-one onto the library's experiment entry points:
   ``--check`` is the regression guard);
 * ``check`` — fault-injected self-test of the resilient solver runtime
   (``--experiments`` adds an engine/artifact-store smoke test,
-  ``--golden`` runs the analytic golden test battery);
+  ``--golden`` runs the analytic golden test battery, ``--chaos`` the
+  crash/corruption chaos battery);
+* ``serve`` — supervised campaign job service over a drop directory
+  (durable journal, worker watchdog, crash requeue, SIGTERM-clean);
+* ``cache`` — inspect/verify/clear a content-addressed solve cache;
 * ``runs`` / ``show`` — list and inspect stored experiment runs;
 * ``trace`` — convergence summary + outlier report of a traced run;
 * ``vcd`` — dump a characterization transient as VCD.
@@ -77,11 +81,18 @@ def _add_campaign_args(parser, workers_default: int = 1) -> None:
     parser.add_argument("--profile", action="store_true",
                         help="like --trace plus a cProfile per point "
                              "(heavyweight; for digging into slow points)")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="content-addressed solve cache root; "
+                             "points already solved with identical "
+                             "netlist/PDK/stimulus/tolerances are "
+                             "served from the cache, bitwise identical "
+                             "to a live solve")
 
 
 def _campaign_io(args):
-    """Resolve the shared flags into (store, resume, run_id)."""
+    """Resolve the shared flags into (store, resume, run_id, cache)."""
     from repro.runtime import telemetry
+    from repro.runtime.cache import SolveCache
     from repro.runtime.experiment import ArtifactStore, DEFAULT_ROOT
     mode = None
     if getattr(args, "profile", False):
@@ -96,7 +107,10 @@ def _campaign_io(args):
         store = ArtifactStore(getattr(args, "out", None) or DEFAULT_ROOT)
     if getattr(args, "resume", None):
         resume = store.load(args.resume)
-    return store, resume, getattr(args, "resume", None)
+    cache = None
+    if getattr(args, "cache", None):
+        cache = SolveCache(args.cache)
+    return store, resume, getattr(args, "resume", None), cache
 
 
 def _report_run(result) -> None:
@@ -112,11 +126,11 @@ def _print_metrics(metrics, title: str) -> None:
 def cmd_characterize(args) -> int:
     from repro.core.characterize import characterize_kinds
     from repro.pdk import Pdk
-    store, resume, run_id = _campaign_io(args)
+    store, resume, run_id, cache = _campaign_io(args)
     results = characterize_kinds(args.kinds, args.vddi, args.vddo,
                                  pdk=Pdk(args.temp),
                                  workers=args.workers, resume=resume,
-                                 store=store, run_id=run_id)
+                                 store=store, run_id=run_id, cache=cache)
     for kind, metrics in results.items():
         _print_metrics(metrics, f"{kind}: {args.vddi} V -> "
                                 f"{args.vddo} V @ {args.temp} C")
@@ -145,11 +159,11 @@ def cmd_sweep(args) -> int:
     from repro.analysis import (
         SweepGrid, render_surface_ascii, sweep_delay_surface,
     )
-    store, resume, run_id = _campaign_io(args)
+    store, resume, run_id, cache = _campaign_io(args)
     surface = sweep_delay_surface(args.kind,
                                   SweepGrid.with_step(args.step),
                                   workers=args.workers, resume=resume,
-                                  store=store, run_id=run_id)
+                                  store=store, run_id=run_id, cache=cache)
     print("Rising delay [ps]:")
     print(render_surface_ascii(surface, "rise"))
     print("\nFalling delay [ps]:")
@@ -161,13 +175,14 @@ def cmd_sweep(args) -> int:
 
 def cmd_mc(args) -> int:
     from repro.analysis import MonteCarloConfig, run_monte_carlo
-    store, resume, run_id = _campaign_io(args)
+    store, resume, run_id, cache = _campaign_io(args)
     config = MonteCarloConfig(runs=args.runs, seed=args.seed,
                               temperature_c=args.temp,
                               workers=args.workers,
                               backend=getattr(args, "backend", None))
     result = run_monte_carlo(args.kind, args.vddi, args.vddo, config,
-                             resume=resume, store=store, run_id=run_id)
+                             resume=resume, store=store, run_id=run_id,
+                             cache=cache)
     title = (f"{args.kind} MC, {args.vddi} -> {args.vddo} V, "
              f"{args.runs} runs, {args.temp} C")
     if result.statistics is not None:
@@ -182,13 +197,14 @@ def cmd_mc(args) -> int:
 
 def cmd_functional(args) -> int:
     from repro.analysis import SweepGrid, validate_functionality
-    store, resume, run_id = _campaign_io(args)
+    store, resume, run_id, cache = _campaign_io(args)
     report = validate_functionality(args.kind,
                                     SweepGrid.with_step(args.step),
                                     workers=args.workers,
                                     backend=getattr(args, "backend", None),
                                     resume=resume,
-                                    store=store, run_id=run_id)
+                                    store=store, run_id=run_id,
+                                    cache=cache)
     print(report.summary())
     _report_run(report)
     return 0 if report.all_passed else 1
@@ -196,11 +212,11 @@ def cmd_functional(args) -> int:
 
 def cmd_temp(args) -> int:
     from repro.analysis import sweep_temperature
-    store, resume, run_id = _campaign_io(args)
+    store, resume, run_id, cache = _campaign_io(args)
     points = sweep_temperature(args.kind, args.vddi, args.vddo,
                                temperatures=tuple(args.temps),
                                workers=args.workers, resume=resume,
-                               store=store, run_id=run_id)
+                               store=store, run_id=run_id, cache=cache)
     print(f"{args.kind}, {args.vddi} V -> {args.vddo} V:")
     print(f"  {'T[C]':>6s} {'d_rise':>9s} {'d_fall':>9s} "
           f"{'leak_hi':>9s} {'func':>5s}")
@@ -218,11 +234,12 @@ def cmd_sens(args) -> int:
     from repro.analysis import (
         SIZING_KNOBS, metric_sensitivities, render_sensitivity_table,
     )
-    store, resume, run_id = _campaign_io(args)
+    store, resume, run_id, cache = _campaign_io(args)
     knobs = tuple(args.knobs) if args.knobs else SIZING_KNOBS
     sensitivities = metric_sensitivities(
         "sstvs", args.vddi, args.vddo, knobs=knobs,
-        workers=args.workers, resume=resume, store=store, run_id=run_id)
+        workers=args.workers, resume=resume, store=store, run_id=run_id,
+        cache=cache)
     print(render_sensitivity_table(sensitivities))
     return 0
 
@@ -247,10 +264,10 @@ def cmd_area(args) -> int:
 def cmd_liberty(args) -> int:
     from repro.core.libchar import characterize_cell, write_liberty
     from repro.pdk import Pdk
-    store, _, _ = _campaign_io(args)
+    store, _, _, cache = _campaign_io(args)
     cells = [characterize_cell(kind, Pdk(args.temp), args.vddi,
                                args.vddo, workers=args.workers,
-                               store=store)
+                               store=store, cache=cache)
              for kind in args.kinds]
     text = write_liberty(cells)
     if args.output == "-":
@@ -264,10 +281,10 @@ def cmd_liberty(args) -> int:
 
 def cmd_vtc(args) -> int:
     from repro.analysis import vtc_report
-    store, resume, run_id = _campaign_io(args)
+    store, resume, run_id, cache = _campaign_io(args)
     report = vtc_report(args.kind, pairs=((args.vddi, args.vddo),),
                         workers=args.workers, resume=resume,
-                        store=store, run_id=run_id)
+                        store=store, run_id=run_id, cache=cache)
     if report.failures:
         for f in report.failures:
             print(f"VTC extraction failed at {f.index}: "
@@ -287,10 +304,10 @@ def cmd_vtc(args) -> int:
 
 def cmd_pvt(args) -> int:
     from repro.analysis import pvt_report
-    store, resume, run_id = _campaign_io(args)
+    store, resume, run_id, cache = _campaign_io(args)
     report = pvt_report(args.kind, args.vddi, args.vddo,
                         workers=args.workers, resume=resume,
-                        store=store, run_id=run_id)
+                        store=store, run_id=run_id, cache=cache)
     print(report.pretty())
     _report_run(report)
     return 0 if report.all_functional else 1
@@ -383,6 +400,58 @@ def cmd_vcd(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Supervised campaign service over a job drop directory.
+
+    Watches ``--jobs DIR`` for ``*.json`` job files, runs each through
+    the supervised :class:`~repro.runtime.service.CampaignService`
+    (durable journal, worker watchdog, crash requeue with backoff,
+    SIGTERM-clean shutdown) and finishes it as ``<name>.done.json`` /
+    ``<name>.failed.json``. ``--once`` drains the directory and exits.
+    """
+    from repro.runtime.experiment import ArtifactStore, DEFAULT_ROOT
+    from repro.runtime.service import ServiceConfig, serve_jobs
+    config = ServiceConfig(workers=args.workers,
+                           chunk_size=args.chunk_size,
+                           heartbeat_timeout_s=args.heartbeat)
+    store = ArtifactStore(args.out or DEFAULT_ROOT)
+    processed = serve_jobs(args.jobs, store, cache=args.cache,
+                           config=config, once=args.once,
+                           poll_s=args.poll)
+    print(f"serve: {processed} job(s) processed")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    """Inspect or maintain a content-addressed solve cache."""
+    from repro.runtime.cache import SolveCache
+    cache = SolveCache(args.root)
+    if args.action == "stats":
+        report = cache.verify()
+        print(f"cache {cache.root}:")
+        print(f"  entries      {report['entries']}")
+        print(f"  ok           {report['ok']}")
+        print(f"  corrupt      {report['corrupt']}")
+        print(f"  stray tmp    {report['stray_tmp']}")
+        print(f"  quarantined  {report['quarantined_total']}")
+        print(f"  bytes        {cache.total_bytes()}")
+        return 0
+    if args.action == "verify":
+        report = cache.verify()
+        print(f"cache {cache.root}: {report['entries']} entries, "
+              f"{report['corrupt']} corrupt, "
+              f"{report['stray_tmp']} stray tmp")
+        if report["corrupt"]:
+            print("corrupt entries were quarantined; they will be "
+                  "recomputed on next use")
+        return 1 if report["corrupt"] else 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cache {cache.root}: removed {removed} entries")
+        return 0
+    raise AssertionError(f"unhandled cache action {args.action!r}")
+
+
 def cmd_bench(args) -> int:
     """Timed benchmark workloads; appends to a trajectory file.
 
@@ -411,12 +480,19 @@ def cmd_bench(args) -> int:
     if tracer.get("null_overhead") is not None:
         print(f"  tracer overhead: null {tracer['null_overhead']:+.2%}, "
               f"collecting {tracer['collecting_overhead']:+.2%}")
+    cache_hit = record["workloads"].get("cache_hit", {})
+    if cache_hit.get("warm_hit_rate") is not None:
+        print(f"  cache warm pass: {cache_hit['warm_hit_rate']:.0%} hit "
+              f"rate, {cache_hit['warm_speedup']:.1f}x over cold")
     for name, label in (("mc_parallel", "parallel"),
                         ("mc_batched", "batched")):
         workload = record["workloads"].get(name, {})
         if not workload.get("identical_to_serial", True):
             print(f"FAIL: {label} MC samples differ from serial run")
             return 1
+    if not cache_hit.get("warm_identical_to_cold", True):
+        print("FAIL: cache-served MC samples differ from cold solves")
+        return 1
     overhead_problems = check_tracer_overhead(record)
     for problem in overhead_problems:
         print(f"FAIL: {problem}")
@@ -551,6 +627,27 @@ def _check_batch(check) -> None:
     for line in tail:
         print(f"  {line}")
     check("batch equivalence harness passes", proc.returncode == 0)
+
+
+def _check_chaos(check) -> None:
+    """Run the chaos battery (``pytest -m chaos``)."""
+    import os
+    import subprocess
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parents[1]
+    root = src.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    print("crash/corruption chaos battery (pytest -m chaos):")
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-m", "chaos", "-q"],
+        cwd=root, env=env, capture_output=True, text=True)
+    tail = (proc.stdout or "").strip().splitlines()[-3:]
+    for line in tail:
+        print(f"  {line}")
+    check("chaos battery passes", proc.returncode == 0)
 
 
 def _check_coverage(check) -> None:
@@ -698,6 +795,13 @@ def cmd_check(args) -> int:
             _check(f"batch harness raised {type(exc).__name__}: {exc}",
                    False)
 
+    if args.chaos:
+        try:
+            _check_chaos(_check)
+        except Exception as exc:
+            _check(f"chaos battery raised {type(exc).__name__}: {exc}",
+                   False)
+
     if args.coverage:
         try:
             _check_coverage(_check)
@@ -803,6 +907,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="rows to print (0 = all)")
     p.set_defaults(func=cmd_show)
 
+    p = sub.add_parser("serve", help="supervised campaign job service")
+    p.add_argument("--jobs", required=True, metavar="DIR",
+                   help="job drop directory (*.json job files)")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="artifact-store root (default: results)")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="content-addressed solve cache root")
+    p.add_argument("--once", action="store_true",
+                   help="drain the directory and exit instead of "
+                        "polling until SIGTERM")
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent worker processes")
+    p.add_argument("--chunk-size", type=int, default=4,
+                   help="points per worker chunk")
+    p.add_argument("--heartbeat", type=float, default=30.0,
+                   help="seconds without worker progress before the "
+                        "watchdog kills and requeues it")
+    p.add_argument("--poll", type=float, default=0.5,
+                   help="job-directory poll interval [s]")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("cache", help="inspect a solve cache")
+    p.add_argument("action", choices=("stats", "verify", "clear"))
+    p.add_argument("--root", default="cache", metavar="DIR",
+                   help="cache root directory (default: cache)")
+    p.set_defaults(func=cmd_cache)
+
     p = sub.add_parser("bench", help="timed benchmark workloads")
     p.add_argument("--runs", type=int, default=100,
                    help="Monte Carlo workload sample count")
@@ -835,6 +966,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", action="store_true",
                    help="also run the batched-backend equivalence "
                         "harness (pytest -m batch)")
+    p.add_argument("--chaos", action="store_true",
+                   help="also run the crash/corruption chaos battery "
+                        "(pytest -m chaos: worker kills, bit-flips, "
+                        "stale locks, torn writes)")
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("trace", help="convergence summary of a traced run")

@@ -478,7 +478,7 @@ def characterize_kinds(kinds, vddi: float, vddo: float, pdk=None,
                        driver_scale: float = 1.0, workers: int = 1,
                        chunk_size: int | None = None, resume=None,
                        store=None,
-                       run_id: str | None = None) -> dict:
+                       run_id: str | None = None, cache=None) -> dict:
     """Characterize several kinds at one operating point.
 
     Returns ``kind -> ShifterMetrics``, in the order given. Routed
@@ -494,7 +494,7 @@ def characterize_kinds(kinds, vddi: float, vddo: float, pdk=None,
                                    driver_scale=driver_scale,
                                    workers=workers, chunk_size=chunk_size)
     resultset = run_experiment(spec, resume=resume, store=store,
-                               run_id=run_id)
+                               run_id=run_id, cache=cache)
     nan = float("nan")
     return {row.index: row.value if row.ok else ShifterMetrics(
                 nan, nan, nan, nan, nan, nan, functional=False)

@@ -204,7 +204,8 @@ def characterize_cell(kind: str, pdk, vddi: float, vddo: float,
                       sizing=None, workers: int = 1,
                       chunk_size: int | None = None,
                       store=None,
-                      run_id: str | None = None) -> CellCharacterization:
+                      run_id: str | None = None,
+                      cache=None) -> CellCharacterization:
     """Build the NLDM tables for one cell at one voltage pair.
 
     The (slew, load) grid is run through the unified experiment engine;
@@ -218,7 +219,8 @@ def characterize_cell(kind: str, pdk, vddi: float, vddo: float,
     spec = libchar_spec(kind, vddi, vddo, pdk, slews=slews, loads=loads,
                         settle=settle, sizing=sizing, workers=workers,
                         chunk_size=chunk_size)
-    resultset = run_experiment(spec, store=store, run_id=run_id)
+    resultset = run_experiment(spec, store=store, run_id=run_id,
+                               cache=cache)
     failures = resultset.sample_failures()
     if failures:
         f = failures[0]

@@ -27,7 +27,17 @@ that make every solve survivable and observable:
 * :mod:`repro.runtime.telemetry` — zero-cost-when-disabled tracing:
   ambient :class:`Tracer` activation via :func:`trace`, per-solve
   counters/histograms/phase timers emitted by the spice layer, and
-  ``repro-trace-v1`` campaign aggregation rendered by ``repro trace``.
+  ``repro-trace-v1`` campaign aggregation rendered by ``repro trace``;
+* :mod:`repro.runtime.cache` — crash-safe content-addressed solve
+  cache (:class:`SolveCache`): atomic commits, per-entry checksums
+  with quarantine-on-corruption, pid+start-time stale-lock reclaim,
+  read-only degraded mode on I/O errors;
+* :mod:`repro.runtime.service` — supervised campaign job service
+  (:class:`CampaignService`): write-ahead journal, worker
+  heartbeat/watchdog, crash requeue with capped backoff, SIGTERM-clean
+  resumable shutdown — crashed-and-resumed runs are bitwise identical
+  to uninterrupted ones;
+* :func:`sigterm_interrupts` — SIGTERM↔Ctrl-C parity for campaigns.
 
 This package deliberately depends only on :mod:`repro.errors` (plus
 the standard library) at import time, so the solver layers can import
@@ -35,6 +45,7 @@ it freely; the experiment store reaches up to :mod:`repro.pdk` and
 :mod:`repro.core` only lazily, inside functions.
 """
 
+from repro.runtime.cache import CacheStats, SolveCache, cache_key
 from repro.runtime.campaign import CampaignDiagnostics, SampleFailure
 from repro.runtime.experiment import (
     ArtifactStore, ExperimentPoint, ExperimentSpec, ResultRow, ResultSet,
@@ -49,6 +60,10 @@ from repro.runtime.policy import (
     DEFAULT_GMIN_LADDER, DEFAULT_SOURCE_RAMP, RetryPolicy,
 )
 from repro.runtime.report import AttemptRecord, SolveReport, TransientReport
+from repro.runtime.service import (
+    CampaignService, ServiceConfig, ServiceStats,
+)
+from repro.runtime.signals import sigterm_interrupts
 from repro.runtime.telemetry import (
     TRACE_MODES, TRACE_SCHEMA, CollectingTracer, Histogram, NullTracer,
     ProfilingTracer, Tracer, active_tracer, aggregate_traces,
@@ -59,7 +74,14 @@ from repro.runtime.telemetry import (
 __all__ = [
     "ArtifactStore",
     "AttemptRecord",
+    "CacheStats",
     "CampaignDiagnostics",
+    "CampaignService",
+    "ServiceConfig",
+    "ServiceStats",
+    "SolveCache",
+    "cache_key",
+    "sigterm_interrupts",
     "ExperimentPoint",
     "ExperimentSpec",
     "ResultRow",

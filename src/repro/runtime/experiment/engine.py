@@ -25,9 +25,21 @@ free:
   resumed run is bitwise identical to a straight one.
 * **artifacts** — pass ``store=`` to persist the run (rows + provenance
   manifest) through :class:`~repro.runtime.experiment.store.ArtifactStore`.
+* **solve cache** — pass ``cache=`` (a
+  :class:`~repro.runtime.cache.SolveCache` or a root path) to memoize
+  point results across campaigns by content key; hits skip the
+  measurement entirely and are bitwise identical to cold solves
+  because payloads round-trip through the spec's codec.
+* **SIGTERM parity** — inside the engine, SIGTERM behaves exactly like
+  Ctrl-C: partial rows come back with ``interrupted=True`` and the
+  artifact store writes a resumable manifest, so container/CI kills
+  (which send SIGTERM, not SIGINT) never lose completed work.
 
 Fault-injection campaigns run serially regardless of ``workers``: plans
 count firings in mutable in-process state that a pool cannot share.
+They also bypass the solve cache in both directions — an injected
+failure is not content-derivable, so it must never be stored *or*
+served.
 """
 
 from __future__ import annotations
@@ -38,10 +50,12 @@ from contextlib import nullcontext
 
 from repro.errors import AnalysisError
 from repro.runtime import telemetry
-from repro.runtime.experiment.resultset import ResultRow, ResultSet
+from repro.runtime.cache import as_cache, experiment_point_key
+from repro.runtime.experiment.resultset import ResultRow, ResultSet, get_codec
 from repro.runtime.experiment.spec import ExperimentSpec
 from repro.runtime.faults import inject
 from repro.runtime.parallel import parallel_map
+from repro.runtime.signals import sigterm_interrupts
 
 
 def _measure_worker(task: tuple):
@@ -75,7 +89,8 @@ def _measure_worker(task: tuple):
 
 
 def run_experiment(spec: ExperimentSpec, *, progress=None, resume=None,
-                   store=None, run_id: str | None = None) -> ResultSet:
+                   store=None, run_id: str | None = None,
+                   cache=None) -> ResultSet:
     """Execute ``spec`` and return its :class:`ResultSet`.
 
     Args:
@@ -90,10 +105,16 @@ def run_experiment(spec: ExperimentSpec, *, progress=None, resume=None,
             None skips persistence.
         run_id: explicit run id for the artifact store (None = derive
             one from the spec name and wall clock).
+        cache: a :class:`~repro.runtime.cache.SolveCache` (or a cache
+            root path) memoizing point results by content key across
+            campaigns; None disables caching. Ignored for
+            fault-injection campaigns (injected outcomes are not
+            content-derivable and must never be stored or served).
 
     Returns a partial result (``interrupted=True``) instead of raising
-    on KeyboardInterrupt; per-point errors are quarantined into ``err``
-    rows rather than raised.
+    on KeyboardInterrupt — or on SIGTERM, which the engine remaps to
+    the same interrupt path; per-point errors are quarantined into
+    ``err`` rows rather than raised.
     """
     spec.validate()
     started = time.perf_counter()
@@ -129,6 +150,33 @@ def run_experiment(spec: ExperimentSpec, *, progress=None, resume=None,
     progress_broken = False
     interrupted = False
 
+    cache = as_cache(cache) if spec.faults is None else None
+    cache_keys: dict = {}
+    cache_hits: list = []
+    if cache is not None:
+        encode, decode = get_codec(spec.codec)
+        still_pending = []
+        for point in pending:
+            key = experiment_point_key(spec, point.params)
+            cache_keys[point.index] = key
+            hit, payload = cache.get(key)
+            if hit:
+                rows.append(ResultRow(ordinal=ordinals[point.index],
+                                      index=point.index, status="ok",
+                                      value=decode(payload)))
+                cache_hits.append((point.index, rows[-1].value))
+            else:
+                still_pending.append(point)
+        pending = still_pending
+
+    def _cache_store(index, value) -> None:
+        """Commit a freshly measured point; misses only, never faults."""
+        if cache is None:
+            return
+        key = cache_keys.get(index)
+        if key is not None:
+            cache.put(key, encode(value))
+
     def _quarantine(ordinal: int, index, stage: str, error: str) -> None:
         nonlocal failures
         rows.append(ResultRow(ordinal=ordinal, index=index, status="err",
@@ -155,7 +203,14 @@ def run_experiment(spec: ExperimentSpec, *, progress=None, resume=None,
                 f"suppressed, campaign continues", RuntimeWarning,
                 stacklevel=3)
 
+    # SIGTERM (container/CI kill) must take the same partial-results
+    # path as Ctrl-C; the scope is entered manually so the existing
+    # interrupt handling below stays at one indentation level.
+    _term_scope = sigterm_interrupts()
+    _term_scope.__enter__()
     try:
+        for index, value in cache_hits:
+            _progress(index, value)
         if spec.faults is not None:
             # Fault campaigns count firings in mutable in-process state
             # and scope the ambient plan per point; both are invisible
@@ -226,6 +281,7 @@ def run_experiment(spec: ExperimentSpec, *, progress=None, resume=None,
                                 ordinal=ordinals[point.index],
                                 index=point.index, status="ok",
                                 value=outcome[2]))
+                            _cache_store(point.index, outcome[2])
                             _progress(point.index, outcome[2])
                         else:
                             _quarantine(ordinals[point.index],
@@ -241,6 +297,7 @@ def run_experiment(spec: ExperimentSpec, *, progress=None, resume=None,
                     rows.append(ResultRow(ordinal=ordinals[point.index],
                                           index=point.index,
                                           status="ok", value=value))
+                    _cache_store(point.index, value)
                     _progress(point.index, value)
         else:
             tasks = [(spec.measure, spec.stage, point.index, point.params,
@@ -256,6 +313,7 @@ def run_experiment(spec: ExperimentSpec, *, progress=None, resume=None,
                     rows.append(ResultRow(ordinal=ordinals[index],
                                           index=index, status="ok",
                                           value=value))
+                    _cache_store(index, value)
                     _progress(index, value)
                 else:
                     _, index, stage, message, snap = outcome
@@ -264,6 +322,8 @@ def run_experiment(spec: ExperimentSpec, *, progress=None, resume=None,
                     _quarantine(ordinals[index], index, stage, message)
     except KeyboardInterrupt:
         interrupted = True
+    finally:
+        _term_scope.__exit__(None, None, None)
 
     rows.sort(key=lambda row: row.ordinal)
     result = ResultSet(name=spec.name, codec=spec.codec,

@@ -50,6 +50,9 @@ MANIFEST_SCHEMA = "repro-manifest-v1"
 
 MANIFEST_NAME = "manifest.json"
 ROWS_NAME = "rows.jsonl"
+#: Quarantine file for row lines that fail to parse (bit-flips,
+#: interleaved partial writes); written next to ``rows.jsonl``.
+ROWS_REJECTS_NAME = "rows.rejects.jsonl"
 
 #: Default store root, relative to the working directory.
 DEFAULT_ROOT = "results"
@@ -209,11 +212,14 @@ class ArtifactStore:
     def load(self, run_id: str) -> ResultSet:
         """Reload a stored run as a decoded :class:`ResultSet`.
 
-        Tolerates a truncated ``rows.jsonl`` (a run killed mid-write):
-        complete leading lines are returned, the damaged tail is
-        dropped, and the result is marked ``interrupted`` so it reads
-        as the partial run it is — ready to be passed to the engine's
-        ``resume=``.
+        Tolerates a damaged ``rows.jsonl``. A truncated tail (run
+        killed mid-write) loses only the torn final line. A corrupt
+        *interior* line (bit-flip, interleaved partial write) is
+        quarantined to ``rows.rejects.jsonl`` and the valid rows around
+        it still load. Either way the result is marked ``interrupted``
+        so it reads as the partial run it is — and resuming it (with
+        the same run id) recomputes exactly the damaged points and
+        rewrites ``rows.jsonl`` whole, healing the store in place.
         """
         manifest = self.manifest(run_id)
         meta = manifest.get("resultset", {})
@@ -226,28 +232,41 @@ class ArtifactStore:
         _, decode = get_codec(codec)
 
         rows: list[ResultRow] = []
-        truncated = False
+        seen_indices: set = set()
+        rejects: list[tuple[int, str]] = []
         rows_path = self.path(run_id) / meta.get("rows_file", ROWS_NAME)
         if rows_path.is_file():
-            with open(rows_path) as handle:
-                for line in handle:
+            with open(rows_path, errors="replace") as handle:
+                for line_no, line in enumerate(handle, start=1):
                     line = line.strip()
                     if not line:
                         continue
                     try:
                         record = json.loads(line)
-                    except json.JSONDecodeError:
-                        truncated = True
-                        break
-                    row = ResultRow(ordinal=int(record["ordinal"]),
-                                    index=_decode_index(record["index"]),
-                                    status=record["status"])
-                    if row.ok:
-                        row.value = decode(record.get("value"))
-                    else:
-                        row.stage = record.get("stage")
-                        row.error = record.get("error")
+                        row = ResultRow(
+                            ordinal=int(record["ordinal"]),
+                            index=_decode_index(record["index"]),
+                            status=record["status"])
+                        if row.ok:
+                            row.value = decode(record.get("value"))
+                        else:
+                            row.stage = record.get("stage")
+                            row.error = record.get("error")
+                    except Exception:
+                        # A line that fails to parse *or* decode is
+                        # quarantined, not trusted and not fatal: the
+                        # surviving rows around it still load.
+                        rejects.append((line_no, line))
+                        continue
+                    if row.index in seen_indices:
+                        # Interleaved multi-writer duplicates: first
+                        # valid occurrence wins, deterministically.
+                        continue
+                    seen_indices.add(row.index)
                     rows.append(row)
+        truncated = bool(rejects)
+        if rejects:
+            self._quarantine_rejects(run_id, rejects)
         rows.sort(key=lambda row: row.ordinal)
 
         counts = manifest.get("counts", {})
@@ -259,3 +278,33 @@ class ArtifactStore:
                            trace=manifest.get("trace"))
         result.run_id = run_id
         return result
+
+    def _quarantine_rejects(self, run_id: str,
+                            rejects: list[tuple[int, str]]) -> None:
+        """Append unparseable row lines to ``rows.rejects.jsonl``.
+
+        Best-effort: a read-only store (or a full disk) must not turn a
+        tolerant load into a failure, so write errors are warned about
+        and swallowed — the bad lines are simply dropped from the
+        loaded result either way.
+        """
+        import warnings
+        rejects_path = self.path(run_id) / ROWS_REJECTS_NAME
+        try:
+            with open(rejects_path, "a") as handle:
+                for line_no, raw in rejects:
+                    handle.write(json.dumps(
+                        {"line": line_no, "raw": raw},
+                        sort_keys=True) + "\n")
+        except OSError as exc:
+            warnings.warn(
+                f"run {run_id!r}: could not quarantine "
+                f"{len(rejects)} corrupt row line(s) to "
+                f"{ROWS_REJECTS_NAME} ({exc}); lines dropped",
+                RuntimeWarning, stacklevel=3)
+        else:
+            warnings.warn(
+                f"run {run_id!r}: {len(rejects)} corrupt row line(s) "
+                f"quarantined to {ROWS_REJECTS_NAME}; resume the run "
+                f"to recompute and heal them", RuntimeWarning,
+                stacklevel=3)

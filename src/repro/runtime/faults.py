@@ -31,8 +31,33 @@ from repro.errors import AnalysisError
 SOLVE_FAULT_KINDS = ("singular_jacobian", "nan_residual",
                      "iteration_exhaustion")
 
+#: Chaos faults drawn by the storage and scheduling layers (the solve
+#: cache, the campaign service, and their journals):
+#:
+#: * ``worker_crash`` — a service chunk worker dies mid-chunk. The
+#:   ``strategy`` field selects the failure mode: ``"kill"`` (default
+#:   when unset: SIGKILL-style ``os._exit`` after half the chunk),
+#:   ``"hang"`` (stop heartbeating so the watchdog must intervene) or
+#:   ``"torn"`` (die halfway through writing a result line, leaving a
+#:   torn record for the salvager).
+#: * ``cache_corrupt`` — flip one byte of a cache entry *after* it has
+#:   been committed (bitrot / torn overwrite); the next read must
+#:   quarantine it.
+#: * ``cache_torn_write`` — crash between writing the temp file and the
+#:   atomic rename: the temp is left behind, the entry never becomes
+#:   visible.
+#: * ``stale_lock`` — a previous writer "crashed" holding the cache
+#:   lock: a lock file with a mismatched process start-time is planted
+#:   so the reclaim path has to run.
+#: * ``journal_disk_full`` — one journal append fails with ENOSPC; the
+#:   journal must degrade (keep serving, stop persisting) instead of
+#:   failing the campaign.
+CHAOS_FAULT_KINDS = ("worker_crash", "cache_corrupt", "cache_torn_write",
+                     "stale_lock", "journal_disk_full")
+
 #: All recognised fault kinds.
-FAULT_KINDS = SOLVE_FAULT_KINDS + ("timestep_stall", "sample_failure")
+FAULT_KINDS = (SOLVE_FAULT_KINDS + ("timestep_stall", "sample_failure")
+               + CHAOS_FAULT_KINDS)
 
 _UNSET = object()
 

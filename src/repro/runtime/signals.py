@@ -1,0 +1,59 @@
+"""SIGTERM parity for campaigns: container kills behave like Ctrl-C.
+
+Campaigns already treat ``KeyboardInterrupt`` as a first-class outcome:
+the engine returns the rows completed so far with ``interrupted=True``
+and the artifact store persists a resumable manifest. But CI runners,
+``docker stop``, Kubernetes and init systems deliver **SIGTERM**, not
+SIGINT — and Python's default SIGTERM disposition kills the process on
+the spot, losing the partial results the interrupt path was built to
+save.
+
+:func:`sigterm_interrupts` closes that gap: inside the context, SIGTERM
+raises ``KeyboardInterrupt`` in the main thread, so every interrupt
+code path (flush partials, write the manifest, mark ``interrupted``)
+runs identically for both signals. The previous handler is always
+restored on exit.
+
+Signal handlers can only be installed from the main thread; from any
+other thread (or on platforms without SIGTERM) the context degrades to
+a no-op and yields ``False`` — campaigns still run, they just keep the
+platform's default SIGTERM behavior.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+@contextmanager
+def sigterm_interrupts():
+    """Raise ``KeyboardInterrupt`` on SIGTERM inside the block.
+
+    Yields True when the handler was installed, False when it could not
+    be (non-main thread, unsupported platform) and the block runs with
+    the default disposition. Nesting is safe: each scope restores the
+    handler it replaced.
+    """
+    import signal
+
+    if threading.current_thread() is not threading.main_thread():
+        yield False
+        return
+    sigterm = getattr(signal, "SIGTERM", None)
+    if sigterm is None:  # pragma: no cover - non-POSIX safety net
+        yield False
+        return
+
+    def _handler(signum, frame):
+        raise KeyboardInterrupt("SIGTERM")
+
+    try:
+        previous = signal.signal(sigterm, _handler)
+    except (ValueError, OSError):  # pragma: no cover - exotic runtimes
+        yield False
+        return
+    try:
+        yield True
+    finally:
+        signal.signal(sigterm, previous)

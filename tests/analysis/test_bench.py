@@ -113,7 +113,7 @@ def test_suite_record_shape(suite_record):
     assert suite_record["baseline_pre_pr2"] == PRE_PR2_BASELINE
     workloads = suite_record["workloads"]
     assert set(workloads) == {"mc_serial", "mc_parallel", "mc_batched",
-                              "sweep", "tracer"}
+                              "sweep", "tracer", "cache_hit"}
     for record in workloads.values():
         assert record["wall_s"] > 0
     # In-process workloads expose the Newton counters as a rate.
@@ -185,3 +185,29 @@ def test_regression_guard(suite_record):
     within = copy.deepcopy(suite_record)
     within["workloads"]["mc_serial"]["solves_per_s"] = rate * 0.8
     assert check_regression(within, suite_record) == []
+
+
+class TestCacheHitWorkload:
+    def test_record_shape_and_guarantee(self):
+        from repro.analysis.bench import bench_cache_hit
+
+        record = bench_cache_hit(runs=2)
+        assert record["workload"] == "cache_hit"
+        assert record["runs"] == 2
+        assert record["cold_wall_s"] > 0
+        assert record["warm_wall_s"] > 0
+        # Cold pass: every point misses then stores; warm pass: every
+        # point is served from the cache without touching the solver.
+        assert record["misses"] == 2 and record["stores"] == 2
+        assert record["hits"] == 2
+        assert record["warm_hit_rate"] == 1.0
+        assert record["corruptions"] == 0
+        assert record["warm_speedup"] > 1.0
+        assert record["warm_identical_to_cold"] is True
+        assert record["solves_per_s"] > 0  # cold-pass solve rate
+
+    def test_suite_embeds_cache_workload(self, suite_record):
+        cached = suite_record["workloads"]["cache_hit"]
+        assert cached["workload"] == "cache_hit"
+        assert cached["warm_identical_to_cold"] is True
+        assert cached["warm_hit_rate"] == 1.0

@@ -157,3 +157,60 @@ class TestTruncatedResume:
         healed = store.load(full.run_id)
         assert healed.values() == full.values()
         assert not healed.interrupted
+
+
+class TestRejectQuarantine:
+    def _corrupt_interior(self, store, run_id, line_no=2):
+        rows_path = store.path(run_id) / "rows.jsonl"
+        lines = rows_path.read_text().splitlines(keepends=True)
+        lines[line_no - 1] = '{"ordinal": 1, "index": 1, "sta%%GARBAGE\n'
+        rows_path.write_text("".join(lines))
+        return rows_path
+
+    def test_interior_corruption_is_quarantined(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        full = run_experiment(_spec(n=6), store=store)
+        self._corrupt_interior(store, full.run_id)
+
+        with pytest.warns(RuntimeWarning, match="recompute and heal"):
+            partial = store.load(full.run_id)
+        # The corrupt row is dropped, every other row still loads.
+        assert partial.interrupted
+        assert len(partial.rows) == 5
+        assert 1.0 not in [row.value for row in partial.rows]
+
+        rejects = store.path(full.run_id) / "rows.rejects.jsonl"
+        quarantined = [json.loads(line)
+                       for line in rejects.read_text().splitlines()]
+        assert len(quarantined) == 1
+        assert quarantined[0]["line"] == 2
+        assert "GARBAGE" in quarantined[0]["raw"]
+
+    def test_resume_heals_the_quarantined_row(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        full = run_experiment(_spec(n=6), store=store)
+        self._corrupt_interior(store, full.run_id)
+
+        with pytest.warns(RuntimeWarning):
+            partial = store.load(full.run_id)
+        resumed = run_experiment(_spec(n=6), resume=partial,
+                                 store=store, run_id=full.run_id)
+        assert resumed.values() == full.values()
+        assert not resumed.interrupted
+        healed = store.load(full.run_id)
+        assert healed.values() == full.values()
+        assert not healed.interrupted
+
+    def test_duplicate_indices_first_valid_wins(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        full = run_experiment(_spec(n=3), store=store)
+        rows_path = store.path(full.run_id) / "rows.jsonl"
+        lines = rows_path.read_text().splitlines(keepends=True)
+        duplicate = json.loads(lines[0])
+        duplicate["value"] = -999.0
+        rows_path.write_text("".join(lines)
+                             + json.dumps(duplicate) + "\n")
+
+        loaded = store.load(full.run_id)
+        assert len(loaded.rows) == 3
+        assert loaded.values() == full.values()

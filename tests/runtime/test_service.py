@@ -1,0 +1,283 @@
+"""Supervised campaign service: journal, watchdog, requeue, jobs."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.runtime.cache import SolveCache
+from repro.runtime.experiment import (
+    ArtifactStore, ExperimentPoint, ExperimentSpec, ResultRow, ResultSet,
+    run_experiment,
+)
+from repro.runtime.faults import FaultPlan, FaultSpec, inject
+from repro.runtime.service import (
+    CampaignService, JournalWriter, ServiceConfig, ServiceStats,
+    build_job_spec, replay_journal, serve_jobs,
+)
+
+
+def square(x):
+    return x * x
+
+
+def flaky(x):
+    if x == 2.0:
+        raise ValueError("sample 2 diverged")
+    return x * x
+
+
+def die_hard(x):
+    """Kill the worker process outright — no exception to quarantine."""
+    if x == 2.0:
+        os._exit(1)
+    return x * x
+
+
+def _spec(measure=square, n=6, **overrides):
+    points = [ExperimentPoint(i, float(i)) for i in range(n)]
+    options = {"name": "service-unit", "measure": measure,
+               "points": points, "codec": "json"}
+    options.update(overrides)
+    return ExperimentSpec(**options)
+
+
+def _config(**overrides):
+    options = {"chunk_size": 2, "workers": 2, "poll_interval_s": 0.005,
+               "backoff_base_s": 0.01, "backoff_cap_s": 0.05}
+    options.update(overrides)
+    return ServiceConfig(**options)
+
+
+class TestServiceConfig:
+    @pytest.mark.parametrize("field, bad", [
+        ("chunk_size", 0), ("workers", 0), ("max_attempts", 0),
+        ("heartbeat_timeout_s", 0.0),
+    ])
+    def test_validate_rejects(self, field, bad):
+        config = ServiceConfig(**{field: bad})
+        with pytest.raises(AnalysisError):
+            config.validate()
+
+    def test_defaults_are_valid(self):
+        ServiceConfig().validate()
+
+    def test_stats_to_json(self):
+        blob = ServiceStats(crashes=2, requeues=2).to_json()
+        assert blob["crashes"] == 2
+        assert blob["chunks_dispatched"] == 0
+
+
+class TestJournal:
+    def test_append_replay_round_trip(self, tmp_path):
+        journal = JournalWriter(tmp_path / "journal.jsonl")
+        journal.append({"t": "job", "points": 4})
+        journal.append({"t": "done", "chunk": 0})
+        records = replay_journal(journal.path)
+        assert [r["t"] for r in records] == ["job", "done"]
+        assert all(r["schema"] == "repro-journal-v1" for r in records)
+        assert all("utc" in r for r in records)
+        assert journal.records_written == 2
+
+    def test_replay_skips_torn_and_corrupt_lines(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        good = json.dumps({"t": "job"})
+        path.write_text(good + "\n"
+                        + "{corrupt interior line\n"
+                        + json.dumps({"t": "done"}) + "\n"
+                        + '{"t": "torn-tail", "chunk')
+        records = replay_journal(path)
+        assert [r["t"] for r in records] == ["job", "done"]
+
+    def test_replay_of_missing_journal_is_empty(self, tmp_path):
+        assert replay_journal(tmp_path / "nope.jsonl") == []
+
+    def test_disk_full_degrades_not_raises(self, tmp_path):
+        journal = JournalWriter(tmp_path / "journal.jsonl")
+        journal.append({"t": "job"})
+        plan = FaultPlan([FaultSpec("journal_disk_full")])
+        with inject(plan):
+            with pytest.warns(RuntimeWarning, match="journal"):
+                journal.append({"t": "dispatch"})
+        assert journal.degraded
+        journal.append({"t": "dropped"})  # silently a no-op
+        assert [r["t"] for r in replay_journal(journal.path)] == ["job"]
+
+
+class TestCampaignService:
+    def test_matches_run_experiment_bitwise(self, tmp_path):
+        serial = run_experiment(_spec())
+        service = CampaignService(tmp_path, config=_config())
+        result = service.run(_spec())
+        assert result.values() == serial.values()
+        assert result.counts == serial.counts
+        assert service.stats.chunks_completed == 3
+        assert service.stats.crashes == 0
+
+    def test_writes_journal_and_manifest(self, tmp_path):
+        service = CampaignService(tmp_path, config=_config())
+        result = service.run(_spec())
+        records = replay_journal(service.journal_path(result.run_id))
+        kinds = [r["t"] for r in records]
+        assert kinds[0] == "job"
+        assert kinds[-1] == "finished"
+        assert kinds.count("dispatch") == 3
+        reloaded = ArtifactStore(tmp_path).load(result.run_id)
+        assert reloaded.values() == result.values()
+
+    def test_err_rows_quarantined_like_engine(self, tmp_path):
+        serial = run_experiment(_spec(measure=flaky))
+        service = CampaignService(tmp_path, config=_config())
+        result = service.run(_spec(measure=flaky))
+        assert result.counts == serial.counts
+        bad = [row for row in result.rows if not row.ok]
+        assert [row.index for row in bad] == [2]
+        assert "diverged" in bad[0].error
+
+    def test_max_failures_aborts(self, tmp_path):
+        service = CampaignService(tmp_path, config=_config())
+        with pytest.raises(AnalysisError, match="max_failures"):
+            service.run(_spec(measure=flaky, max_failures=0))
+
+    def test_fault_campaigns_are_rejected(self, tmp_path):
+        service = CampaignService(tmp_path, config=_config())
+        spec = _spec(faults=FaultPlan.fail_samples([0]))
+        with pytest.raises(AnalysisError, match="run_experiment"):
+            service.run(spec)
+
+    def test_cold_then_warm_cache(self, tmp_path):
+        cache = SolveCache(tmp_path / "cache")
+        store = tmp_path / "store"
+        cold_service = CampaignService(store, cache=cache,
+                                       config=_config())
+        cold = cold_service.run(_spec())
+        assert cache.stats.stores == 6
+        warm_service = CampaignService(store, cache=cache,
+                                       config=_config())
+        warm = warm_service.run(_spec())
+        assert warm_service.stats.cache_hits == 6
+        assert warm_service.stats.chunks_dispatched == 0
+        assert warm.values() == cold.values()
+
+    def test_resume_keeps_prior_rows(self, tmp_path):
+        prior = ResultSet(
+            name="service-unit", codec="json", metadata={},
+            rows=[ResultRow(ordinal=0, index=0, status="ok", value=-1.0),
+                  ResultRow(ordinal=1, index=1, status="ok", value=-2.0)],
+            interrupted=True)
+        service = CampaignService(tmp_path, config=_config())
+        result = service.run(_spec(), resume=prior)
+        values = {row.index: row.value for row in result.rows}
+        assert values[0] == -1.0 and values[1] == -2.0  # not recomputed
+        assert values[5] == 25.0
+        assert service.stats.chunks_dispatched == 2  # 4 pending / 2
+
+    def test_worker_crash_is_requeued_and_result_identical(self,
+                                                           tmp_path):
+        serial = run_experiment(_spec())
+        service = CampaignService(tmp_path, config=_config())
+        plan = FaultPlan([FaultSpec("worker_crash", sample_index=0)])
+        with inject(plan):
+            result = service.run(_spec())
+        assert service.stats.crashes == 1
+        assert service.stats.requeues == 1
+        assert result.values() == serial.values()
+        records = replay_journal(service.journal_path(result.run_id))
+        kinds = [r["t"] for r in records]
+        assert "crash" in kinds and "requeue" in kinds
+
+    def test_hung_worker_is_killed_by_watchdog(self, tmp_path):
+        serial = run_experiment(_spec())
+        config = _config(heartbeat_timeout_s=0.4)
+        service = CampaignService(tmp_path, config=config)
+        plan = FaultPlan([FaultSpec("worker_crash", strategy="hang",
+                                    sample_index=0)])
+        with inject(plan):
+            result = service.run(_spec())
+        assert service.stats.watchdog_kills == 1
+        assert result.values() == serial.values()
+
+    def test_torn_chunk_line_is_skipped_then_recomputed(self, tmp_path):
+        serial = run_experiment(_spec())
+        service = CampaignService(tmp_path, config=_config())
+        plan = FaultPlan([FaultSpec("worker_crash", strategy="torn",
+                                    sample_index=0)])
+        with inject(plan):
+            result = service.run(_spec())
+        assert service.stats.crashes == 1
+        assert result.values() == serial.values()
+
+    def test_repeated_deaths_quarantine_the_chunk(self, tmp_path):
+        config = _config(chunk_size=4, workers=1, max_attempts=2)
+        service = CampaignService(tmp_path, config=config)
+        result = service.run(_spec(measure=die_hard, n=4))
+        values = {row.index: row.value for row in result.rows
+                  if row.ok}
+        assert values == {0: 0.0, 1: 1.0}  # salvaged before the death
+        bad = {row.index: row for row in result.rows if not row.ok}
+        assert set(bad) == {2, 3}
+        assert all("worker died" in row.error for row in bad.values())
+        assert service.stats.quarantined == 2
+        assert service.stats.crashes == config.max_attempts
+
+    def test_journal_disk_full_does_not_hurt_the_run(self, tmp_path):
+        serial = run_experiment(_spec())
+        service = CampaignService(tmp_path, config=_config())
+        plan = FaultPlan([FaultSpec("journal_disk_full")])
+        with inject(plan):
+            with pytest.warns(RuntimeWarning, match="journal"):
+                result = service.run(_spec())
+        assert result.values() == serial.values()
+
+
+class TestJobFiles:
+    def test_build_mc_spec(self):
+        spec = build_job_spec({"experiment": "mc", "kind": "sstvs",
+                               "runs": 3, "seed": 7})
+        assert len(spec.points) == 3
+        assert spec.name == "Monte Carlo"
+
+    def test_build_functional_spec(self):
+        spec = build_job_spec({"experiment": "functional",
+                               "kind": "sstvs", "step": 0.4})
+        assert len(spec.points) > 0
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown job"):
+            build_job_spec({"experiment": "quantum"})
+
+    def test_non_dict_request_rejected(self):
+        with pytest.raises(AnalysisError, match="JSON object"):
+            build_job_spec(["mc"])
+
+    def test_serve_empty_directory(self, tmp_path):
+        jobs = tmp_path / "jobs"
+        jobs.mkdir()
+        assert serve_jobs(jobs, tmp_path / "store", once=True,
+                          report=lambda *_: None) == 0
+
+    def test_serve_processes_and_finishes_jobs(self, tmp_path):
+        jobs = tmp_path / "jobs"
+        jobs.mkdir()
+        (jobs / "good.json").write_text(json.dumps(
+            {"experiment": "mc", "kind": "sstvs", "runs": 2,
+             "seed": 11}))
+        (jobs / "bad.json").write_text(json.dumps(
+            {"experiment": "quantum"}))
+        lines = []
+        processed = serve_jobs(jobs, tmp_path / "store",
+                               config=_config(), once=True,
+                               report=lines.append)
+        assert processed == 2
+        failed = json.loads((jobs / "bad.failed.json").read_text())
+        assert failed["state"] == "failed"
+        assert "unknown job" in failed["error"]
+        done = json.loads((jobs / "good.done.json").read_text())
+        assert done["state"] == "done"
+        assert done["counts"]["ok"] == 2
+        assert done["run_id"]
+        assert not (jobs / "good.running").exists()
+        assert not (jobs / "good.json").exists()
+        result = ArtifactStore(tmp_path / "store").load(done["run_id"])
+        assert result.counts["ok"] == 2

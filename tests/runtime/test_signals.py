@@ -1,0 +1,52 @@
+"""SIGTERM parity: orchestrated shutdown equals Ctrl-C."""
+
+import os
+import signal
+import threading
+
+import pytest
+
+from repro.runtime.signals import sigterm_interrupts
+
+
+class TestSigtermInterrupts:
+    def test_sigterm_raises_keyboard_interrupt(self):
+        with pytest.raises(KeyboardInterrupt, match="SIGTERM"):
+            with sigterm_interrupts() as installed:
+                assert installed
+                os.kill(os.getpid(), signal.SIGTERM)
+
+    def test_previous_handler_is_restored(self):
+        sentinel = []
+
+        def previous(signum, frame):
+            sentinel.append(signum)
+
+        old = signal.signal(signal.SIGTERM, previous)
+        try:
+            with sigterm_interrupts():
+                assert signal.getsignal(signal.SIGTERM) is not previous
+            assert signal.getsignal(signal.SIGTERM) is previous
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert sentinel == [signal.SIGTERM]
+        finally:
+            signal.signal(signal.SIGTERM, old)
+
+    def test_restored_even_after_interrupt(self):
+        old = signal.getsignal(signal.SIGTERM)
+        with pytest.raises(KeyboardInterrupt):
+            with sigterm_interrupts():
+                os.kill(os.getpid(), signal.SIGTERM)
+        assert signal.getsignal(signal.SIGTERM) is old
+
+    def test_noop_off_the_main_thread(self):
+        observed = []
+
+        def body():
+            with sigterm_interrupts() as installed:
+                observed.append(installed)
+
+        worker = threading.Thread(target=body)
+        worker.start()
+        worker.join()
+        assert observed == [False]

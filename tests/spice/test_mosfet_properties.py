@@ -145,6 +145,15 @@ class TestVdsZeroCrossing:
         assert abs(g_rev - g_mid) <= 5e-2 * scale
 
 
+def _monotone_floor(i1: float, i2: float) -> float:
+    # The EKV current is analytically monotone, but its exp/log1p
+    # evaluation carries ~1e-9 relative noise; for bias deltas below
+    # that resolution (hypothesis will find femtovolt pairs) the
+    # ordering of two nearly-equal currents is float noise, not model
+    # behaviour.
+    return 1e-9 * max(abs(i1), abs(i2)) + 1e-24
+
+
 class TestMonotonicity:
     """Where the physics orders the currents, the model must too."""
 
@@ -155,7 +164,7 @@ class TestMonotonicity:
         vg1, vg2 = sorted((lo, hi))
         i1 = nmos.evaluate(vd, vg1, 0.0, 0.0)[0]
         i2 = nmos.evaluate(vd, vg2, 0.0, 0.0)[0]
-        assert i2 >= i1
+        assert i2 >= i1 - _monotone_floor(i1, i2)
 
     @settings(deadline=None,
               suppress_health_check=[HealthCheck.function_scoped_fixture])
@@ -164,7 +173,7 @@ class TestMonotonicity:
         vd1, vd2 = sorted((lo, hi))
         i1 = nmos.evaluate(vd1, vg, 0.0, 0.0)[0]
         i2 = nmos.evaluate(vd2, vg, 0.0, 0.0)[0]
-        assert i2 >= i1
+        assert i2 >= i1 - _monotone_floor(i1, i2)
 
     @settings(deadline=None,
               suppress_health_check=[HealthCheck.function_scoped_fixture])

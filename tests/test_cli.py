@@ -293,3 +293,119 @@ class TestCliErrorPaths:
         assert code == 1
         assert "repro-bench-v99" in out
         assert "repro bench --out" in out
+
+
+class TestCacheServeParser:
+    def test_serve_requires_jobs(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--jobs", "jobs"])
+        assert args.once is False
+        assert args.workers == 2
+        assert args.chunk_size == 4
+
+    def test_cache_action_choices(self):
+        args = build_parser().parse_args(["cache", "stats"])
+        assert args.action == "stats" and args.root == "cache"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "defrag"])
+
+    def test_campaign_cache_flag(self):
+        args = build_parser().parse_args(["mc", "sstvs",
+                                          "--cache", "solves"])
+        assert args.cache == "solves"
+        assert build_parser().parse_args(["mc", "sstvs"]).cache is None
+
+    def test_check_chaos_flag(self):
+        assert build_parser().parse_args(["check", "--chaos"]).chaos
+        assert not build_parser().parse_args(["check"]).chaos
+
+
+@pytest.mark.experiment
+class TestCacheServeCommands:
+    def test_cache_stats_on_empty_root(self, tmp_path, capsys):
+        code = main(["cache", "stats", "--root", str(tmp_path / "c")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0" in out
+
+    def test_mc_with_cache_then_stats_verify_clear(self, tmp_path,
+                                                   capsys):
+        cache_root = str(tmp_path / "solves")
+        code = main(["mc", "sstvs", "--runs", "2",
+                     "--cache", cache_root])
+        assert code == 0
+        capsys.readouterr()
+
+        code = main(["cache", "stats", "--root", cache_root])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "entries" in out and "2" in out
+
+        code = main(["cache", "verify", "--root", cache_root])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 corrupt" in out
+
+        code = main(["cache", "clear", "--root", cache_root])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2" in out
+
+    def test_cache_verify_flags_corruption(self, tmp_path, capsys):
+        import json as _json
+
+        from repro.runtime.cache import SolveCache, cache_key
+
+        cache_root = tmp_path / "solves"
+        cache = SolveCache(cache_root)
+        key = cache_key(x=1)
+        cache.put(key, 1.0)
+        entry = _json.loads(cache.entry_path(key).read_text())
+        entry["value"] = 2.0  # checksum now stale
+        cache.entry_path(key).write_text(_json.dumps(entry))
+
+        with pytest.warns(RuntimeWarning):
+            code = main(["cache", "verify", "--root", str(cache_root)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "1 corrupt" in out
+
+    def test_mc_warm_cache_reruns_identically(self, tmp_path, capsys):
+        cache_root = str(tmp_path / "solves")
+        assert main(["mc", "sstvs", "--runs", "2",
+                     "--cache", cache_root]) == 0
+        cold = capsys.readouterr().out
+        assert main(["mc", "sstvs", "--runs", "2",
+                     "--cache", cache_root]) == 0
+        warm = capsys.readouterr().out
+        assert [l for l in warm.splitlines() if "yield" in l] \
+            == [l for l in cold.splitlines() if "yield" in l]
+
+    def test_serve_once_empty_directory(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs"
+        jobs.mkdir()
+        code = main(["serve", "--jobs", str(jobs), "--once",
+                     "--out", str(tmp_path / "store")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 job(s) processed" in out
+
+    def test_serve_once_runs_a_job_file(self, tmp_path, capsys):
+        import json as _json
+
+        jobs = tmp_path / "jobs"
+        jobs.mkdir()
+        (jobs / "job1.json").write_text(_json.dumps(
+            {"experiment": "mc", "kind": "sstvs", "runs": 2}))
+        code = main(["serve", "--jobs", str(jobs), "--once",
+                     "--out", str(tmp_path / "store"),
+                     "--cache", str(tmp_path / "solves")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 job(s) processed" in out
+        status = _json.loads((jobs / "job1.done.json").read_text())
+        assert status["state"] == "done"
+        assert status["counts"]["ok"] == 2
