@@ -31,6 +31,7 @@ below the stored baseline.
 
 from __future__ import annotations
 
+import gc
 import json
 import time
 from datetime import datetime, timezone
@@ -58,8 +59,33 @@ REGRESSION_TOLERANCE = 0.30
 #: "zero-cost-when-disabled" contract, asserted on every bench run.
 TRACER_OVERHEAD_TOLERANCE = 0.02
 
+#: Machine-independent floor on process-pool scaling: the pooled Monte
+#: Carlo run must achieve at least this fraction of perfect speedup
+#: over the *effective* worker count (``min(workers, usable cores)``).
+#: Normalizing by usable cores keeps the guard meaningful everywhere —
+#: on a 1-core container "pool beats serial" is impossible, but "pool
+#: costs at most 2x its fair share" still is.
+POOL_EFFICIENCY_FLOOR = 0.5
+
+
+def _isolate() -> None:
+    """Collect garbage before entering a timed region.
+
+    Workloads in one suite run otherwise contaminate each other: the
+    serial campaigns leave enough surviving-then-dying objects behind
+    that gen-2 collections fire *inside* the next workload's timed
+    region (measured: up to ~25% on ``mc_batched`` when it follows
+    ``mc_serial`` in-process). Standard benchmark isolation — each
+    timed region starts with an empty collector debt.
+    """
+    gc.collect()
+
 
 def _rates(wall_s: float) -> dict:
+    # Valid for every backend: pool and sharded-batched workers measure
+    # their solve-counter deltas in-process and ship them home with each
+    # outcome (see repro.runtime.experiment.engine._stats_delta), so the
+    # global counters reflect the whole campaign here too.
     stats = solve_stats()
     return {
         "solves": stats["solves"],
@@ -71,11 +97,16 @@ def _rates(wall_s: float) -> dict:
 def bench_monte_carlo(runs: int = 100, workers: int = 1,
                       kind: str = "sstvs", vddi: float = 0.8,
                       vddo: float = 1.2, seed: int = 20080310,
-                      backend: str | None = None) -> dict:
+                      backend: str | None = None,
+                      batch_width: int | None = None,
+                      solver: str | None = None) -> dict:
     """Time one Monte Carlo campaign; returns a result record."""
     from repro.analysis.montecarlo import MonteCarloConfig, run_monte_carlo
     config = MonteCarloConfig(runs=runs, seed=seed, workers=workers,
-                              backend=backend)
+                              backend=backend, solver=solver)
+    if batch_width is not None:
+        config.batch_width = batch_width
+    _isolate()
     reset_solve_stats()
     started = time.perf_counter()
     result = run_monte_carlo(kind, vddi, vddo, config)
@@ -88,12 +119,13 @@ def bench_monte_carlo(runs: int = 100, workers: int = 1,
         "runs": runs,
         "workers": workers,
         "backend": backend or ("pool" if workers > 1 else "serial"),
+        "batch_width": config.batch_width,
+        "solver": solver or "auto",
         "wall_s": wall_s,
         "functional_yield": result.functional_yield,
         "quarantined": len(result.failures),
     }
-    if workers <= 1:
-        record.update(_rates(wall_s))
+    record.update(_rates(wall_s))
     record["_samples"] = result.samples  # stripped before serialization
     return record
 
@@ -103,6 +135,7 @@ def bench_sweep(step: float = 0.1, workers: int = 1,
     """Time one delay-surface sweep; returns a result record."""
     from repro.analysis.sweep import SweepGrid, sweep_delay_surface
     grid = SweepGrid.with_step(step)
+    _isolate()
     reset_solve_stats()
     started = time.perf_counter()
     surface = sweep_delay_surface(kind, grid, workers=workers)
@@ -116,8 +149,7 @@ def bench_sweep(step: float = 0.1, workers: int = 1,
         "wall_s": wall_s,
         "functional_fraction": surface.functional_fraction,
     }
-    if workers <= 1:
-        record.update(_rates(wall_s))
+    record.update(_rates(wall_s))
     return record
 
 
@@ -140,11 +172,13 @@ def bench_cache_hit(runs: int = 100, kind: str = "sstvs",
     config = MonteCarloConfig(runs=runs, seed=seed)
     with tempfile.TemporaryDirectory() as root:
         cache = SolveCache(root)
+        _isolate()
         reset_solve_stats()
         started = time.perf_counter()
         cold = run_monte_carlo(kind, vddi, vddo, config, cache=cache)
         cold_wall_s = time.perf_counter() - started
         cold_rates = _rates(cold_wall_s)
+        _isolate()
         started = time.perf_counter()
         warm = run_monte_carlo(kind, vddi, vddo, config, cache=cache)
         warm_wall_s = time.perf_counter() - started
@@ -169,6 +203,146 @@ def bench_cache_hit(runs: int = 100, kind: str = "sstvs",
     # solver work by construction.
     record.update(cold_rates)
     return record
+
+
+def bench_sparse_crossover(lanes: int = 16, repeats: int = 3,
+                           cells: tuple = (1, 2, 4, 8, 12, 16, 24, 32),
+                           seed: int = 20080310) -> dict:
+    """Locate the dense/sparse linear-kernel crossover by system size.
+
+    Tiles the real sstvs testbench's MNA sparsity pattern into a block
+    ladder of ``k`` coupled shifter cells — the chained-workload shape
+    ROADMAP items 3-4 target — and times one ``lanes``-wide batched
+    solve per size through both kernels: dense LAPACK
+    (:func:`repro.spice.batch._solve_stack`) and the pattern-reuse
+    sparse LU (:class:`repro.spice.sparse.SparsePlan`). The symbolic
+    factorization runs outside the timed region, exactly as campaigns
+    amortize it (once per topology, thousands of numeric solves).
+
+    Records per-size wall times, the factor's nonzero count, the first
+    size where sparse wins, and :data:`SPARSE_AUTO_THRESHOLD` so a
+    drifting machine shows up as a crossover/threshold mismatch in the
+    trajectory rather than silent mis-selection.
+    """
+    import numpy as np
+
+    from repro.core.testbench import InputStep, build_testbench
+    from repro.pdk.variation import VariationSpec, VariedPdk
+    from repro.spice.assembly import SolverWorkspace
+    from repro.spice.batch import _solve_stack
+    from repro.spice.sparse import (
+        SPARSE_AUTO_THRESHOLD, SparsePlan, structural_pattern,
+    )
+
+    rng = np.random.default_rng(seed)
+    pdk = VariedPdk(rng, VariationSpec())
+    circuit, _ = build_testbench(pdk, "sstvs", 0.8, 1.2,
+                                 steps=[InputStep(0.2e-9, True)])
+    cell = structural_pattern(SolverWorkspace(circuit).plan)
+    nc = cell.shape[0]
+
+    _isolate()
+    suite_started = time.perf_counter()
+    sizes = []
+    for k in cells:
+        n = nc * k
+        pattern = np.zeros((n, n), dtype=bool)
+        for b in range(k):
+            lo = b * nc
+            pattern[lo:lo + nc, lo:lo + nc] = cell
+            if b:  # couple adjacent cells (output drives next input)
+                pattern[lo, lo - 1] = pattern[lo - 1, lo] = True
+        mats = rng.standard_normal((lanes, n, n)) * pattern
+        mats += np.eye(n) * (2.0 * n)
+        rhs = rng.standard_normal((lanes, n))
+        plan = SparsePlan(pattern)  # symbolic phase: once per topology
+        dense_s = min(_timed(lambda: _solve_stack(mats, rhs))
+                      for _ in range(repeats))
+        sparse_s = min(_timed(lambda: plan.solve(mats, rhs))
+                       for _ in range(repeats))
+        sizes.append({
+            "size": n,
+            "cells": k,
+            "nnz_factor": plan.nnz_factor,
+            "dense_s": dense_s,
+            "sparse_s": sparse_s,
+            "sparse_vs_dense": dense_s / sparse_s if sparse_s else None,
+        })
+    crossover = next((entry["size"] for entry in sizes
+                      if entry["sparse_s"] < entry["dense_s"]), None)
+    return {
+        "workload": "sparse_crossover",
+        "lanes": lanes,
+        "repeats": repeats,
+        "cell_size": nc,
+        "sizes": sizes,
+        "measured_crossover_size": crossover,
+        "auto_threshold": SPARSE_AUTO_THRESHOLD,
+        "wall_s": time.perf_counter() - suite_started,
+    }
+
+
+def _timed(thunk) -> float:
+    started = time.perf_counter()
+    thunk()
+    return time.perf_counter() - started
+
+
+def machine_calibration(repeats: int = 3) -> dict:
+    """A fixed LAPACK workload that prices the machine, not the code.
+
+    The shared benchmark container's wall clock swings by tens of
+    percent with hypervisor load; this constant-work microbenchmark
+    (2000 batched 100x13 solves — the MC workload's kernel shape) is
+    recorded alongside every suite entry so a trajectory reader can
+    tell a code regression (rate down, calibration flat) from a noisy
+    machine (both move together).
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    matrices = rng.standard_normal((100, 13, 13)) + np.eye(13) * 5.0
+    rhs = rng.standard_normal((100, 13, 1))
+    _isolate()
+    np.linalg.solve(matrices, rhs)  # warm the gufunc outside the timing
+
+    def pass_once():
+        for _ in range(2000):
+            np.linalg.solve(matrices, rhs)
+
+    best = min(_timed(pass_once) for _ in range(repeats))
+    return {"lapack_fixed_work_s": best, "repeats": repeats}
+
+
+def check_pool_efficiency(record: dict,
+                          floor: float = POOL_EFFICIENCY_FLOOR
+                          ) -> list[str]:
+    """Assert the machine-independent pool-scaling floor on a suite.
+
+    ``pool_efficiency`` is serial wall time over pooled wall time,
+    normalized by the effective worker count — 1.0 is perfect scaling
+    on any machine, and the floor is a fraction of perfect rather than
+    of serial, so the guard neither lies on many-core boxes nor fails
+    spuriously on one-core containers.
+    """
+    entry = latest_entry(record)
+    efficiency = entry.get("speedups", {}).get("pool_efficiency")
+    if efficiency is None or efficiency >= floor:
+        return []
+    workers = entry.get("workloads", {}).get(
+        "mc_parallel", {}).get("workers")
+    return [f"pool: efficiency {efficiency:.2f} is below the "
+            f"{floor:.0%}-of-perfect floor (workers={workers}); the "
+            f"process pool is costing more than it contributes"]
+
+
+def _effective_workers(workers: int) -> int:
+    import os
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        usable = os.cpu_count() or 1
+    return max(1, min(workers, usable))
 
 
 def _tracer_overhead_circuits(n: int) -> list:
@@ -224,6 +398,7 @@ def bench_tracer_overhead(solves: int = 200, repeats: int = 3) -> dict:
 
     order = ("disabled", "null", "collecting")
     durations: dict[str, list[float]] = {name: [] for name in order}
+    _isolate()
     suite_started = time.perf_counter()
     for _ in range(repeats):
         for k, ckt in enumerate(circuits):
@@ -293,17 +468,22 @@ def run_bench_suite(mc_runs: int = 100, sweep_step: float = 0.1,
     mc_serial = bench_monte_carlo(runs=mc_runs, workers=1)
     mc_parallel = bench_monte_carlo(runs=mc_runs, workers=workers)
     mc_batched = bench_monte_carlo(runs=mc_runs, backend="batched")
+    mc_batched_sharded = bench_monte_carlo(runs=mc_runs, workers=2,
+                                           backend="batched")
     # Bitwise cross-backend checks before the sample lists are stripped:
-    # both alternative backends must reproduce the serial samples
+    # every alternative backend must reproduce the serial samples
     # exactly (ShifterMetrics compares float fields with ==).
     serial_samples = mc_serial.pop("_samples")
     mc_parallel["identical_to_serial"] = (
         mc_parallel.pop("_samples") == serial_samples)
     mc_batched["identical_to_serial"] = (
         mc_batched.pop("_samples") == serial_samples)
+    mc_batched_sharded["identical_to_serial"] = (
+        mc_batched_sharded.pop("_samples") == serial_samples)
     sweep = bench_sweep(step=sweep_step, workers=1)
     tracer = bench_tracer_overhead()
     cache_hit = bench_cache_hit(runs=mc_runs)
+    sparse_crossover = bench_sparse_crossover()
 
     baseline = dict(PRE_PR2_BASELINE)
     speedups = {}
@@ -318,9 +498,16 @@ def run_bench_suite(mc_runs: int = 100, sweep_step: float = 0.1,
     # (both run in this process on the same workload).
     speedups["mc_batched_vs_serial"] = (
         mc_serial["wall_s"] / mc_batched["wall_s"])
+    speedups["mc_batched_sharded_vs_serial"] = (
+        mc_serial["wall_s"] / mc_batched_sharded["wall_s"])
     if mc_runs == 100:
         speedups["mc100_batched_vs_serial"] = (
             speedups["mc_batched_vs_serial"])
+    # Machine-independent pool scaling: fraction of perfect speedup
+    # over the workers that can actually run (see POOL_EFFICIENCY_FLOOR).
+    speedups["pool_efficiency"] = (
+        mc_serial["wall_s"]
+        / (mc_parallel["wall_s"] * _effective_workers(workers)))
     if sweep_step == 0.1:
         speedups["fig8_sweep_single_thread_vs_pre_pr2"] = (
             baseline["fig8_sweep_wall_s"] / sweep["wall_s"])
@@ -330,12 +517,15 @@ def run_bench_suite(mc_runs: int = 100, sweep_step: float = 0.1,
             "mc_serial": mc_serial,
             "mc_parallel": mc_parallel,
             "mc_batched": mc_batched,
+            "mc_batched_sharded": mc_batched_sharded,
             "sweep": sweep,
             "tracer": tracer,
             "cache_hit": cache_hit,
+            "sparse_crossover": sparse_crossover,
         },
         "baseline_pre_pr2": baseline,
         "speedups": speedups,
+        "machine": machine_calibration(),
     }
 
 

@@ -82,7 +82,8 @@ def functional_spec(kind: str, grid: SweepGrid | None = None,
                     workers: int = 1,
                     chunk_size: int | None = None,
                     backend: str | None = None,
-                    batch_width: int = 32) -> ExperimentSpec:
+                    batch_width: int = 128,
+                    solver: str | None = None) -> ExperimentSpec:
     """Describe a functionality-validation campaign declaratively."""
     grid = grid or SweepGrid.with_step(0.1)
     pdk = pdk or Pdk()
@@ -96,7 +97,7 @@ def functional_spec(kind: str, grid: SweepGrid | None = None,
         stage="quick_delays", codec="json",
         workers=workers, chunk_size=chunk_size,
         backend=backend, batch_measure=_batch_measure,
-        batch_width=batch_width,
+        batch_width=batch_width, solver=solver,
         metadata={"experiment": "functional", "kind": kind,
                   "pairs": len(points)})
 
@@ -127,7 +128,8 @@ def validate_functionality(kind: str, grid: SweepGrid | None = None,
                            workers: int = 1,
                            chunk_size: int | None = None,
                            backend: str | None = None,
-                           batch_width: int = 32,
+                           batch_width: int = 128,
+                           solver: str | None = None,
                            resume: ResultSet | None = None,
                            store=None,
                            run_id: str | None = None,
@@ -135,14 +137,16 @@ def validate_functionality(kind: str, grid: SweepGrid | None = None,
     """Check correct level conversion at every grid point.
 
     ``workers > 1`` distributes pairs over a process pool;
-    ``backend="batched"`` stacks pairs into SPMD lanes instead. The
-    report is identical to a serial run either way (rows come back in
-    row-major grid order, and batched lane waveforms are bitwise the
-    serial ones).
+    ``backend="batched"`` stacks pairs into SPMD lanes instead (and
+    with ``workers > 1`` runs sharded-batched). The report is identical
+    to a serial run either way (rows come back in row-major grid order,
+    and batched lane waveforms are bitwise the serial ones);
+    ``solver`` picks the linear kernel without entering the cache key.
     """
     spec = functional_spec(kind, grid, pdk=pdk, sizing=sizing,
                            workers=workers, chunk_size=chunk_size,
-                           backend=backend, batch_width=batch_width)
+                           backend=backend, batch_width=batch_width,
+                           solver=solver)
     resultset = run_experiment(spec, resume=resume, store=store,
                                run_id=run_id, cache=cache)
     return report_from_resultset(resultset, kind=kind)

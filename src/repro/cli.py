@@ -60,7 +60,16 @@ def _add_backend_arg(parser) -> None:
                         help="execution backend (default: pool when "
                              "--workers > 1, else serial; 'batched' "
                              "stacks same-topology points into SPMD "
-                             "lanes — see README Performance)")
+                             "lanes, and with --workers > 1 shards "
+                             "lane groups over the pool — see README "
+                             "Performance)")
+    parser.add_argument("--solver", default=None,
+                        choices=("auto", "dense", "sparse"),
+                        help="linear-solve kernel (default auto: dense "
+                             "LAPACK below the size threshold, sparse "
+                             "pattern-reuse LU above; an execution "
+                             "knob — results and cache keys are "
+                             "unaffected)")
 
 
 def _add_campaign_args(parser, workers_default: int = 1) -> None:
@@ -179,7 +188,8 @@ def cmd_mc(args) -> int:
     config = MonteCarloConfig(runs=args.runs, seed=args.seed,
                               temperature_c=args.temp,
                               workers=args.workers,
-                              backend=getattr(args, "backend", None))
+                              backend=getattr(args, "backend", None),
+                              solver=getattr(args, "solver", None))
     result = run_monte_carlo(args.kind, args.vddi, args.vddo, config,
                              resume=resume, store=store, run_id=run_id,
                              cache=cache)
@@ -202,6 +212,7 @@ def cmd_functional(args) -> int:
                                     SweepGrid.with_step(args.step),
                                     workers=args.workers,
                                     backend=getattr(args, "backend", None),
+                                    solver=getattr(args, "solver", None),
                                     resume=resume,
                                     store=store, run_id=run_id,
                                     cache=cache)
@@ -464,8 +475,9 @@ def cmd_bench(args) -> int:
     import os
 
     from repro.analysis.bench import (
-        append_trajectory, check_regression, check_tracer_overhead,
-        load_trajectory, run_bench_suite, validate_baseline,
+        append_trajectory, check_pool_efficiency, check_regression,
+        check_tracer_overhead, load_trajectory, run_bench_suite,
+        validate_baseline,
     )
     record = run_bench_suite(mc_runs=args.runs, sweep_step=args.step,
                              workers=args.workers)
@@ -484,8 +496,16 @@ def cmd_bench(args) -> int:
     if cache_hit.get("warm_hit_rate") is not None:
         print(f"  cache warm pass: {cache_hit['warm_hit_rate']:.0%} hit "
               f"rate, {cache_hit['warm_speedup']:.1f}x over cold")
+    crossover = record["workloads"].get("sparse_crossover", {})
+    if crossover.get("sizes"):
+        measured = crossover.get("measured_crossover_size")
+        print(f"  sparse crossover: "
+              f"{'n=' + str(measured) if measured else 'not reached'} "
+              f"(auto threshold n={crossover['auto_threshold']}, "
+              f"largest tested n={crossover['sizes'][-1]['size']})")
     for name, label in (("mc_parallel", "parallel"),
-                        ("mc_batched", "batched")):
+                        ("mc_batched", "batched"),
+                        ("mc_batched_sharded", "sharded-batched")):
         workload = record["workloads"].get(name, {})
         if not workload.get("identical_to_serial", True):
             print(f"FAIL: {label} MC samples differ from serial run")
@@ -494,6 +514,7 @@ def cmd_bench(args) -> int:
         print("FAIL: cache-served MC samples differ from cold solves")
         return 1
     overhead_problems = check_tracer_overhead(record)
+    overhead_problems += check_pool_efficiency(record)
     for problem in overhead_problems:
         print(f"FAIL: {problem}")
     if overhead_problems:

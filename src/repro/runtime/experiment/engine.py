@@ -44,6 +44,7 @@ served.
 
 from __future__ import annotations
 
+import logging
 import time
 import warnings
 from contextlib import nullcontext
@@ -52,40 +53,118 @@ from repro.errors import AnalysisError
 from repro.runtime import telemetry
 from repro.runtime.cache import as_cache, experiment_point_key
 from repro.runtime.experiment.resultset import ResultRow, ResultSet, get_codec
-from repro.runtime.experiment.spec import ExperimentSpec
+from repro.runtime.experiment.spec import BatchPointFailure, ExperimentSpec
 from repro.runtime.faults import inject
 from repro.runtime.parallel import parallel_map
 from repro.runtime.signals import sigterm_interrupts
+from repro.spice.newton import add_solve_stats, solve_stats
+from repro.spice.sparse import solver_scope
+
+_LOG = logging.getLogger("repro.runtime.experiment")
 
 
-def _measure_worker(task: tuple):
+def _stats_delta(before: dict) -> tuple:
+    """Solve-counter delta since ``before``, undone locally.
+
+    Pool workers accumulate solve counters in their own process, where
+    the campaign can't see them; each worker therefore measures its own
+    delta, *subtracts it back out locally*, and ships it home with the
+    outcome for the parent to re-add. The undo makes the trick a no-op
+    composition in-process too (serial short-circuit), so every backend
+    reports solves/iterations identically.
+    """
+    after = solve_stats()
+    ds = after["solves"] - before["solves"]
+    di = after["iterations"] - before["iterations"]
+    add_solve_stats(-ds, -di)
+    return (ds, di)
+
+
+def _measure_worker(task: tuple, context: tuple):
     """Run one point's measurement; shared by serial and pool paths.
 
-    Module-level so the process pool can pickle it by reference.
-    Per-point failures are encoded in the return value rather than
-    raised — quarantine must survive the pool boundary. The trace mode
-    rides in the task tuple (never in ambient process state) so pooled
-    workers trace exactly like a serial run; each point gets a fresh
-    tracer and its snapshot comes back with the outcome.
+    Module-level so the process pool can pickle it by reference. The
+    task is just ``(index, params)``; everything task-invariant
+    (measure function, stage, trace mode, solver) rides in ``context``,
+    pickled once per chunk instead of once per point. Per-point
+    failures are encoded in the return value rather than raised —
+    quarantine must survive the pool boundary. Trace mode and solver
+    ride in the context (never in ambient process state) so pooled
+    workers behave exactly like a serial run; each point gets a fresh
+    tracer and its snapshot comes back with the outcome, as does the
+    point's solve-counter delta.
     """
-    measure, stage, index, params, trace_mode = task
+    index, params = task
+    measure, stage, trace_mode, solver = context
     snap = None
+    before = solve_stats()
     try:
-        if trace_mode is None:
-            value = measure(params)
-        else:
-            tracer = telemetry.make_tracer(trace_mode)
-            try:
-                with telemetry.trace(tracer):
-                    value = measure(params)
-            finally:
-                # Failed points keep their partial trace — a diverging
-                # corner's convergence record is exactly what the
-                # outlier report is for.
-                snap = tracer.snapshot()
+        with solver_scope(solver):
+            if trace_mode is None:
+                value = measure(params)
+            else:
+                tracer = telemetry.make_tracer(trace_mode)
+                try:
+                    with telemetry.trace(tracer):
+                        value = measure(params)
+                finally:
+                    # Failed points keep their partial trace — a
+                    # diverging corner's convergence record is exactly
+                    # what the outlier report is for.
+                    snap = tracer.snapshot()
     except Exception as exc:
-        return ("err", index, stage, f"{type(exc).__name__}: {exc}", snap)
-    return ("ok", index, value, snap)
+        return ("err", index, stage, f"{type(exc).__name__}: {exc}",
+                snap, _stats_delta(before))
+    return ("ok", index, value, snap, _stats_delta(before))
+
+
+def _batch_chunk_worker(task: tuple, context: tuple):
+    """Evaluate one lane-group chunk; shared by in-process and sharded.
+
+    One task is one ``batch_measure`` call: ``(indices, params_list)``.
+    Lane failures come back as :class:`BatchPointFailure` values and
+    are normalized to err outcomes; a chunk whose batched call itself
+    raises is **evicted in-worker** to the per-point measure (same
+    results, serial speed, still inside this worker's shard) and the
+    exception text is returned so the parent can log why. Returns
+    ``(outcomes, evicted_reason_or_None, stats_delta)``.
+    """
+    indices, params_list = task
+    batch_measure, measure, stage, solver = context
+    before = solve_stats()
+    evicted = None
+    outcomes = []
+    with solver_scope(solver):
+        try:
+            values = batch_measure(list(params_list))
+            if len(values) != len(params_list):
+                raise AnalysisError(
+                    f"batch_measure returned {len(values)} values for "
+                    f"{len(params_list)} points")
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            evicted = f"{type(exc).__name__}: {exc}"
+            values = None
+        if values is None:
+            for index, params in zip(indices, params_list):
+                try:
+                    value = measure(params)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    outcomes.append(("err", index, stage,
+                                     f"{type(exc).__name__}: {exc}"))
+                else:
+                    outcomes.append(("ok", index, value))
+        else:
+            for index, value in zip(indices, values):
+                if isinstance(value, BatchPointFailure):
+                    outcomes.append(("err", index, value.stage or stage,
+                                     value.error))
+                else:
+                    outcomes.append(("ok", index, value))
+    return (outcomes, evicted, _stats_delta(before))
 
 
 def run_experiment(spec: ExperimentSpec, *, progress=None, resume=None,
@@ -229,7 +308,8 @@ def run_experiment(spec: ExperimentSpec, *, progress=None, resume=None,
                 trace_scope = (telemetry.trace(tracer)
                                if tracer is not None else nullcontext())
                 try:
-                    with scope, inject(spec.faults), trace_scope:
+                    with scope, inject(spec.faults), trace_scope, \
+                            solver_scope(spec.solver):
                         value = spec.measure(point.params)
                 except KeyboardInterrupt:
                     raise
@@ -246,68 +326,62 @@ def run_experiment(spec: ExperimentSpec, *, progress=None, resume=None,
                 _progress(index, value)
         elif spec.resolved_backend() == "batched" and trace_mode is None:
             # SPMD lanes: whole chunks of points go through one
-            # vectorized batch_measure call. Per-lane failures come
+            # vectorized batch_measure call. With ``workers > 1`` this
+            # is the *sharded-batched* mode: each chunk is one
+            # LaneGroup-sized shard, shipped whole to a pool worker
+            # that runs the batched Newton/transient on it, with the
+            # task-invariant context (batch_measure, measure, stage,
+            # solver) pickled once per shard. Per-lane failures come
             # back as BatchPointFailure values and quarantine exactly
             # like a raised serial measurement; a chunk whose batched
-            # call itself raises is *evicted to the per-point measure*
-            # (same results, serial speed) rather than lost. Tracing
-            # campaigns take the per-point path instead (the branch
-            # above this one never sees trace_mode set) so traces
-            # aggregate exactly like a serial run.
-            from repro.runtime.experiment.spec import BatchPointFailure
+            # call itself raises is *evicted to the per-point measure
+            # in-worker* (same results, serial speed) rather than
+            # lost, and the reason is logged here. Tracing campaigns
+            # take the per-point path instead (the branch above this
+            # one never sees trace_mode set) so traces aggregate
+            # exactly like a serial run.
             width = spec.batch_width
+            chunk_tasks = []
             for start in range(0, len(pending), width):
                 chunk = pending[start:start + width]
-                try:
-                    values = spec.batch_measure(
-                        [point.params for point in chunk])
-                    if len(values) != len(chunk):
-                        raise AnalysisError(
-                            f"batch_measure returned {len(values)} "
-                            f"values for {len(chunk)} points")
-                except KeyboardInterrupt:
-                    raise
-                except Exception:
-                    values = None
-                if values is None:
-                    # Chunk-level eviction: replay every point through
-                    # the serial measure with normal quarantine.
-                    for point in chunk:
-                        outcome = _measure_worker(
-                            (spec.measure, spec.stage, point.index,
-                             point.params, None))
-                        if outcome[0] == "ok":
-                            rows.append(ResultRow(
-                                ordinal=ordinals[point.index],
-                                index=point.index, status="ok",
-                                value=outcome[2]))
-                            _cache_store(point.index, outcome[2])
-                            _progress(point.index, outcome[2])
-                        else:
-                            _quarantine(ordinals[point.index],
-                                        point.index, outcome[2],
-                                        outcome[3])
-                    continue
-                for point, value in zip(chunk, values):
-                    if isinstance(value, BatchPointFailure):
-                        _quarantine(ordinals[point.index], point.index,
-                                    value.stage or spec.stage,
-                                    value.error)
-                        continue
-                    rows.append(ResultRow(ordinal=ordinals[point.index],
-                                          index=point.index,
-                                          status="ok", value=value))
-                    _cache_store(point.index, value)
-                    _progress(point.index, value)
+                chunk_tasks.append(
+                    (tuple(point.index for point in chunk),
+                     [point.params for point in chunk]))
+            batch_context = (spec.batch_measure, spec.measure,
+                             spec.stage, spec.solver)
+            for outcomes, evicted, stats in parallel_map(
+                    _batch_chunk_worker, chunk_tasks,
+                    workers=spec.workers, chunk_size=1,
+                    context=batch_context):
+                add_solve_stats(*stats)
+                if evicted is not None:
+                    _LOG.warning(
+                        "%s: batch_measure failed for a %d-point chunk "
+                        "(%s); chunk evicted to the per-point measure",
+                        spec.name, len(outcomes), evicted)
+                for outcome in outcomes:
+                    if outcome[0] == "ok":
+                        _, index, value = outcome
+                        rows.append(ResultRow(ordinal=ordinals[index],
+                                              index=index, status="ok",
+                                              value=value))
+                        _cache_store(index, value)
+                        _progress(index, value)
+                    else:
+                        _, index, stage, message = outcome
+                        _quarantine(ordinals[index], index, stage,
+                                    message)
         else:
-            tasks = [(spec.measure, spec.stage, point.index, point.params,
-                      trace_mode)
-                     for point in pending]
+            tasks = [(point.index, point.params) for point in pending]
+            point_context = (spec.measure, spec.stage, trace_mode,
+                             spec.solver)
             for outcome in parallel_map(_measure_worker, tasks,
                                         workers=spec.workers,
-                                        chunk_size=spec.chunk_size):
+                                        chunk_size=spec.chunk_size,
+                                        context=point_context):
+                add_solve_stats(*outcome[-1])
                 if outcome[0] == "ok":
-                    _, index, value, snap = outcome
+                    _, index, value, snap, _stats = outcome
                     if snap is not None:
                         traces[index] = snap
                     rows.append(ResultRow(ordinal=ordinals[index],
@@ -316,7 +390,7 @@ def run_experiment(spec: ExperimentSpec, *, progress=None, resume=None,
                     _cache_store(index, value)
                     _progress(index, value)
                 else:
-                    _, index, stage, message, snap = outcome
+                    _, index, stage, message, snap, _stats = outcome
                     if snap is not None:
                         traces[index] = snap
                     _quarantine(ordinals[index], index, stage, message)

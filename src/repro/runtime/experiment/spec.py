@@ -31,6 +31,7 @@ from typing import Callable, Hashable, Sequence
 
 from repro.errors import AnalysisError
 from repro.runtime.telemetry import TRACE_MODES
+from repro.spice.sparse import validate_solver
 
 
 #: The execution backends a spec may name. ``serial`` runs points one
@@ -111,17 +112,25 @@ class ExperimentSpec:
         backend: execution backend, one of :data:`BACKENDS`; None
             (default) resolves to ``"pool"`` when ``workers > 1`` and
             ``"serial"`` otherwise, so existing specs are unchanged.
-            ``"batched"`` requires ``batch_measure`` and is exclusive
-            with ``workers > 1`` (lanes already amortize across points;
-            stacking a pool on top would fight it for cores).
+            ``"batched"`` requires ``batch_measure``; combined with
+            ``workers > 1`` it runs *sharded-batched* — points are
+            chunked into per-worker lane groups, each pool worker
+            drives the SPMD backend on its shard, and chunk eviction /
+            quarantine / resume behave exactly as in-process.
         batch_measure: module-level function
             ``batch_measure(params_list) -> values`` evaluating many
             points in one vectorized call; one returned entry per
             params, a :class:`BatchPointFailure` in a slot quarantining
             that point. If the whole call raises, the engine falls back
             to per-point ``measure`` for that chunk — eviction to
-            serial, never a lost chunk.
-        batch_width: points per ``batch_measure`` call (lane count).
+            serial with a logged reason, never a lost chunk.
+        batch_width: points per ``batch_measure`` call (lane count);
+            with ``workers > 1`` also the shard granularity.
+        solver: linear-solve kernel for every measurement in this
+            campaign: "dense", "sparse" (pattern-reuse LU), or "auto"
+            (by MNA size); None keeps the ambient default ("auto").
+            An execution knob by design: it is excluded from solve-
+            cache content keys and from provenance identity.
     """
 
     name: str
@@ -139,7 +148,8 @@ class ExperimentSpec:
     trace: str | None = None
     backend: str | None = None
     batch_measure: Callable | None = None
-    batch_width: int = 32
+    batch_width: int = 128
+    solver: str | None = None
 
     def resolved_backend(self) -> str:
         """The backend this spec will execute on (never None)."""
@@ -158,14 +168,23 @@ class ExperimentSpec:
             if self.batch_measure is None:
                 raise AnalysisError(
                     f"experiment {self.name!r}: backend 'batched' "
-                    f"requires a batch_measure function")
-            if self.workers > 1:
+                    f"requires a batch_measure function. The campaign "
+                    f"driver must supply a module-level "
+                    f"batch_measure(params_list) that evaluates whole "
+                    f"lane groups (see repro.spice.batch); drivers "
+                    f"without one can only run backend='serial' or "
+                    f"'pool'.")
+            if self.workers > 1 and "<locals>" in getattr(
+                    self.batch_measure, "__qualname__", ""):
                 raise AnalysisError(
-                    f"experiment {self.name!r}: backend 'batched' is "
-                    f"exclusive with workers > 1 (lanes already "
-                    f"amortize across points)")
+                    f"experiment {self.name!r}: batch_measure must be "
+                    f"a module-level function to run sharded-batched "
+                    f"(workers > 1 ships it to pool workers by pickled "
+                    f"reference)")
         if self.batch_width < 1:
             raise AnalysisError("batch_width must be >= 1")
+        if self.solver is not None:
+            validate_solver(self.solver)
         if self.trace is not None and self.trace not in TRACE_MODES:
             raise AnalysisError(
                 f"experiment {self.name!r}: trace must be None or one "

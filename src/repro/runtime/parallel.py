@@ -43,8 +43,10 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
-def _run_chunk(worker: Callable, chunk: Sequence) -> list:
-    return [worker(task) for task in chunk]
+def _run_chunk(worker: Callable, chunk: Sequence, context=None) -> list:
+    if context is None:
+        return [worker(task) for task in chunk]
+    return [worker(task, context) for task in chunk]
 
 
 def default_chunk_size(n_tasks: int, workers: int) -> int:
@@ -54,25 +56,33 @@ def default_chunk_size(n_tasks: int, workers: int) -> int:
 
 def parallel_map(worker: Callable[[T], R], tasks: Iterable[T], *,
                  workers: int = 1,
-                 chunk_size: int | None = None) -> Iterator[R]:
+                 chunk_size: int | None = None,
+                 context=None) -> Iterator[R]:
     """Yield ``worker(task)`` for every task, possibly from a pool.
 
     Args:
         worker: a *module-level* function (pickled by reference for the
             pool path). It must derive everything from its task
-            argument; results must be picklable.
+            argument (plus ``context``, when given); results must be
+            picklable.
         tasks: task values; consumed eagerly.
         workers: ``<= 1`` runs serially in-process (no pool, no pickle,
             task order preserved) — the behavior-identical default.
         chunk_size: tasks per pool submission; default
             :func:`default_chunk_size`.
+        context: optional task-invariant payload. When given, the
+            worker is called as ``worker(task, context)`` and the
+            context is pickled **once per chunk submission** instead of
+            once per task — campaign specs put the heavy shared
+            arguments (measure function, stage, trace mode, solver)
+            here so per-point task tuples stay tiny.
 
     Yields results in completion order (== task order when serial).
     """
     tasks = list(tasks)
     if workers is None or workers <= 1 or len(tasks) <= 1:
         for task in tasks:
-            yield worker(task)
+            yield worker(task) if context is None else worker(task, context)
         return
     if chunk_size is None:
         chunk_size = default_chunk_size(len(tasks), workers)
@@ -84,7 +94,7 @@ def parallel_map(worker: Callable[[T], R], tasks: Iterable[T], *,
     executor = ProcessPoolExecutor(max_workers=min(workers, len(chunks)),
                                    mp_context=ctx)
     try:
-        futures = [executor.submit(_run_chunk, worker, chunk)
+        futures = [executor.submit(_run_chunk, worker, chunk, context)
                    for chunk in chunks]
         for future in as_completed(futures):
             for result in future.result():

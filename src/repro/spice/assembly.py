@@ -61,8 +61,11 @@ _TRUSTED_LINEAR = (Resistor, Capacitor, VoltageSource, CurrentSource,
                    Vcvs, Vccs, Inductor)
 
 #: Cached base matrices per plan; transient runs alternate between a
-#: handful of (method, dt) pairs once the step controller settles.
-_BASE_CACHE_SIZE = 8
+#: handful of (method, dt) pairs once the step controller settles, but
+#: a batched lane group cycles every lane's growth/halving dt sequence
+#: through its shared plan, so the window is sized for that churn (the
+#: memory cost is naug² floats per entry — a few KB).
+_BASE_CACHE_SIZE = 64
 
 
 class _MosfetGroup:

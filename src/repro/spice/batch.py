@@ -61,6 +61,7 @@ global read, preserving the NullTracer ≤2 % contract.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -70,14 +71,18 @@ from repro.errors import AnalysisError, ConvergenceError
 from repro.runtime import telemetry
 from repro.runtime.faults import active_plan
 from repro.runtime.policy import RetryPolicy
-from repro.runtime.report import SolveReport, TransientReport
+from repro.runtime.report import AttemptRecord, SolveReport, TransientReport
 from repro.spice.assembly import SolverWorkspace
+from repro.spice.devices.sources import (
+    CurrentSource, Dc, Pulse, Pwl, VoltageSource,
+)
 from repro.spice.integration import (
     BACKWARD_EULER, TRAPEZOIDAL, IntegratorState,
 )
 from repro.spice.newton import (
     NewtonOptions, add_solve_stats, solve_dc_report,
 )
+from repro.spice.sparse import resolve_solver, sparse_plan_for
 from repro.spice.transient import TransientOptions, TransientResult
 
 try:  # pragma: no cover - version-dependent private module
@@ -106,31 +111,20 @@ class BatchNewtonResult:
     #: Per-lane failure messages (None where converged), matching the
     #: serial solver's ConvergenceError messages.
     errors: list
+    #: Per-lane last raw update magnitude — the serial loop's ``max_dv``
+    #: at exit — used to fill :class:`AttemptRecord.residual` exactly as
+    #: the serial ladder would (None semantics: see the record field).
+    last_dv: np.ndarray = None
 
 
 @dataclass
 class _LaneMarch:
-    """Per-lane adaptive step-control state (mirrors Transient.run)."""
+    """Per-lane transient bookkeeping (hot state lives in arrays)."""
 
-    t_stop: float
-    h_max: float
-    h_min: float
-    breakpoints: list
-    restart_h: float
-    t: float = 0.0
-    h: float = 0.0
-    bp_index: int = 1
-    use_be: bool = True
-    halvings: int = 0
-    hit_bp: bool = False
     times: list = field(default_factory=list)
     states: list = field(default_factory=list)
     report: TransientReport = field(default_factory=TransientReport)
     error: str | None = None
-
-    @property
-    def active(self) -> bool:
-        return self.error is None and self.t < self.t_stop - 1e-21
 
 
 def _solve_stack(matrices: np.ndarray, rhs: np.ndarray) -> np.ndarray:
@@ -208,21 +202,115 @@ class LaneGroup:
             self._rhs_idx = np.ascontiguousarray(
                 lanes * naug + mg.rhs_rows[None, :])
             groups = [ws.plan.mosfet_group for ws in self.workspaces]
-            self._mos_params = tuple(
-                np.stack([getattr(g, name) for g in groups])
-                for name in ("sign", "vto", "n_slope", "ut", "gamma",
-                             "phi", "eta_dibl", "lambda_clm", "ispec"))
+            self._mos_params = np.stack(
+                [np.stack([getattr(g, name) for g in groups])
+                 for name in ("sign", "vto", "n_slope", "ut", "gamma",
+                              "phi", "eta_dibl", "lambda_clm", "ispec")])
             self._mv = np.empty((L, self.n_mos, 12), dtype=float)
             self._rv = np.empty((L, self.n_mos, 2), dtype=float)
 
-        # Stacked per-call buffers (worst case: every lane active).
+        # Stacked per-call buffers. The base-matrix stack is indexed by
+        # *absolute* lane id with a per-lane (method, dt, gmin) memo, so
+        # a lane whose regime did not change between solves skips both
+        # the assembly-plan cache lookup and the block copy.
         self._base_stack = np.empty((L, naug, naug), dtype=float)
+        # Per-lane (method, dt, gmin) memo for the base stack, kept as
+        # parallel arrays so staleness checks vectorize over a whole
+        # lane set. method code: -1 invalid, 0 DC, 1 BE, 2 TRAP.
+        self._bk_method = np.full(L, -1, dtype=np.int8)
+        self._bk_dt = np.zeros(L, dtype=float)
+        self._bk_gmin = np.full(L, np.nan, dtype=float)
         self._rhsb_stack = np.empty((L, naug), dtype=float)
         self._A = np.empty((L, naug, naug), dtype=float)
         self._R = np.empty((L, naug), dtype=float)
         self._A_flat = self._A.reshape(-1)
         self._R_flat = self._R.reshape(-1)
         self._Xaug = np.zeros((L, naug), dtype=float)
+        # Lazily resolved sparse plan (False = not yet looked up); the
+        # symbolic factorization is shared with the serial path through
+        # the assembly-plan cache, so selection stays bitwise-coherent.
+        self._sparse = False
+
+        # Stacked per-solve setup. Same-topology lanes share one RHS
+        # row layout and one capacitor structure (checked, not
+        # assumed), which lets the per-solve RHS rebuild and the
+        # capacitor companion/state updates run across all lanes at
+        # once; a non-uniform group keeps the per-lane workspace path.
+        cg = ref.cap_group
+        self.n_caps = cg.n if cg is not None else 0
+        self._uniform = all(
+            self._same_solve_structure(ref, ws.plan)
+            for ws in self.workspaces[1:])
+        if self._uniform:
+            lanes_col = np.arange(L, dtype=np.intp)[:, None]
+            rows_tr = ref._rhs_tr[0]
+            rows_dc = ref._rhs_dc[0]
+            # Lane-major flat RHS scatter indices: within a lane the
+            # sub-order is the serial order, so np.add.at accumulates
+            # each lane's base bit-equal to begin_solve's.
+            self._rhs_tr_idx = np.ascontiguousarray(
+                lanes_col * naug + rows_tr[None, :])
+            self._rhs_dc_idx = np.ascontiguousarray(
+                lanes_col * naug + rows_dc[None, :])
+            self._tr_vals_stack = np.empty((L, rows_tr.size), dtype=float)
+            self._dc_vals_stack = np.empty((L, rows_dc.size), dtype=float)
+            self._rhsb_flat = self._rhsb_stack.reshape(-1)
+            # Scalar RHS devices split per lane into static (Dc-shaped
+            # sources, whose entries depend only on source_scale) and
+            # time-varying waveforms. Static values live in a per-scale
+            # template so the per-solve Python loop touches only the
+            # waveform devices.
+            self._static_scalar: dict = {}
+            self._dynamic_scalar: dict = {}
+            self._dyn_vec: dict = {}
+            self._dyn_scalar_any: dict = {}
+            self._static_vals: dict = {}
+            self._static_scale: dict = {}
+            for regime, rows in (("tr", rows_tr), ("dc", rows_dc)):
+                statics: list = []
+                dynamics: list = []
+                for ws in self.workspaces:
+                    scalar = (ws.plan._rhs_tr if regime == "tr"
+                              else ws.plan._rhs_dc)[1]
+                    statics.append([e for e in scalar
+                                    if self._is_static_source(e[0])])
+                    dynamics.append([e for e in scalar
+                                     if not self._is_static_source(e[0])])
+                self._static_scalar[regime] = statics
+                self._static_vals[regime] = np.empty((L, rows.size),
+                                                     dtype=float)
+                self._static_scale[regime] = None
+                # Pulse/Pwl voltage sources occupying the same slot in
+                # every lane evaluate vectorized across lanes; any
+                # other waveform stays on the per-lane Python loop.
+                self._dyn_vec[regime] = self._vector_columns(dynamics)
+                self._dynamic_scalar[regime] = dynamics
+                self._dyn_scalar_any[regime] = any(
+                    len(d) for d in dynamics)
+            if cg is not None:
+                self._cap_a = cg.a
+                self._cap_b = cg.b
+                self._cap_c = np.stack(
+                    [ws.plan.cap_group.c for ws in self.workspaces])
+                self._cap_ic = np.stack(
+                    [ws.plan.cap_group.ic for ws in self.workspaces])
+        # Stacked capacitor state (L, n_caps), lazily loaded from the
+        # device objects like SolverWorkspace._cap_state.
+        self._cap_v: Optional[np.ndarray] = None
+        self._cap_i: Optional[np.ndarray] = None
+        # Companion terms computed by the last _begin_solve_batch,
+        # reusable by the state update of the same super-step (the
+        # inputs — dt, method, previous state — are unchanged between
+        # the two, so the values are identical by construction).
+        self._companion_cache = None
+
+    def _sparse_kernel(self, opts: NewtonOptions):
+        """The lane stack's sparse plan when selected, else None."""
+        if resolve_solver(opts.solver, self.size) != "sparse":
+            return None
+        if self._sparse is False:
+            self._sparse = sparse_plan_for(self.workspaces[0].plan)
+        return self._sparse
 
     @staticmethod
     def _same_mosfet_structure(ref, plan) -> bool:
@@ -235,6 +323,117 @@ class LaneGroup:
                 and np.array_equal(a.mat_flat, b.mat_flat)
                 and np.array_equal(a.rhs_rows, b.rhs_rows)
                 and np.array_equal(a.dgsb, b.dgsb))
+
+    @staticmethod
+    def _is_static_source(device) -> bool:
+        """True when the device's RHS entries ignore time/integrator."""
+        return (isinstance(device, (VoltageSource, CurrentSource))
+                and type(device.shape) is Dc)
+
+    @staticmethod
+    def _vector_columns(dynamics: list) -> list:
+        """Extract lane-vectorizable waveform voltage-source slots.
+
+        A slot qualifies when *every* lane's device there is a plain
+        :class:`VoltageSource` with one RHS entry and a :class:`Pulse`
+        shape (any parameters) or a :class:`Pwl` shape sharing one time
+        grid across lanes; qualifying entries are removed from the
+        per-lane ``dynamics`` lists (mutated in place) and returned as
+        ``(kind, start, payload)`` tuples — ``("pulse", start, params)``
+        with ``params`` shaped ``(7, L)`` in (v1, v2, delay, rise,
+        fall, width, period) order, or ``("pwl", start, (t_pts,
+        v_pts))`` with ``t_pts`` shaped ``(npts,)`` and ``v_pts``
+        ``(L, npts)``.
+        """
+        n = len(dynamics[0])
+        if any(len(d) != n for d in dynamics):
+            return []
+        columns = []
+        for j in range(n):
+            col = [d[j] for d in dynamics]
+            start = col[0][1]
+            if not all(e[1] == start and e[2] == 1
+                       and type(e[0]) is VoltageSource for e in col):
+                continue
+            shapes = [e[0].shape for e in col]
+            if all(type(s) is Pulse for s in shapes):
+                params = np.array(
+                    [[s.v1, s.v2, s.delay, s.rise, s.fall, s.width,
+                      s.period] for s in shapes], dtype=float).T
+                columns.append(("pulse", start,
+                                np.ascontiguousarray(params)))
+            elif all(type(s) is Pwl for s in shapes):
+                t_pts = np.asarray(shapes[0].times, dtype=float)
+                if any(s.times != shapes[0].times for s in shapes[1:]):
+                    continue
+                v_pts = np.array([s.values for s in shapes], dtype=float)
+                columns.append(("pwl", start, (t_pts, v_pts)))
+        taken = {start for _, start, _ in columns}
+        for d in dynamics:
+            d[:] = [e for e in d if e[1] not in taken]
+        return columns
+
+    @staticmethod
+    def _pulse_value_lanes(t: np.ndarray, params: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`Pulse.value` — identical float ops per lane.
+
+        Every branch is evaluated elementwise with the exact serial
+        expressions and np.where selects per lane; ``%`` on nonnegative
+        operands is ``np.mod``, and rise/fall/period are validated > 0,
+        so no branch traps.
+        """
+        v1, v2, delay, rise, fall, width, period = params
+        tau = np.mod(t - delay, period)
+        tau2 = tau - rise
+        tau3 = tau2 - width
+        return np.where(
+            t < delay, v1,
+            np.where(tau < rise, v1 + (v2 - v1) * tau / rise,
+                     np.where(tau2 < width, v2,
+                              np.where(tau3 < fall,
+                                       v2 + (v1 - v2) * tau3 / fall,
+                                       v1))))
+
+    @staticmethod
+    def _pwl_value_lanes(t: np.ndarray, t_pts: np.ndarray,
+                         v_rows: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`Pwl.value` — identical float ops per lane.
+
+        ``np.searchsorted(side="right")`` is exactly ``bisect_right``;
+        the interpolation expression is the serial one elementwise, and
+        out-of-range lanes (selected out by np.where) read a clamped
+        segment whose finite division cannot trap.
+        """
+        idx = np.searchsorted(t_pts, t, side="right") - 1
+        idx = np.clip(idx, 0, t_pts.size - 2)
+        rows = np.arange(len(t))
+        t0 = t_pts[idx]
+        t1 = t_pts[idx + 1]
+        v0 = v_rows[rows, idx]
+        v1 = v_rows[rows, idx + 1]
+        interp = v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+        return np.where(t <= t_pts[0], v_rows[:, 0],
+                        np.where(t >= t_pts[-1], v_rows[:, -1], interp))
+
+    @staticmethod
+    def _same_solve_structure(ref, plan) -> bool:
+        """Identical RHS row layout + capacitor structure vs lane 0."""
+        for a, b in ((ref._rhs_tr, plan._rhs_tr),
+                     (ref._rhs_dc, plan._rhs_dc)):
+            if not (np.array_equal(a[0], b[0])
+                    and np.array_equal(a[2], b[2])
+                    and np.array_equal(a[3], b[3])
+                    and [(s, c) for _, s, c in a[1]]
+                    == [(s, c) for _, s, c in b[1]]):
+                return False
+        a, b = ref.cap_group, plan.cap_group
+        if (a is None) != (b is None):
+            return False
+        if a is not None and not (
+                a.n == b.n and np.array_equal(a.a, b.a)
+                and np.array_equal(a.b, b.b)):
+            return False
+        return True
 
     # -- lane-masked batched Newton --------------------------------------
 
@@ -269,14 +468,11 @@ class LaneGroup:
         if tracer is not None:
             tracer.count("batch.newton.solves", nc)
 
-        # Per-lane solve setup reuses the serial workspace code, so
-        # base matrices and RHS bases are bitwise the serial ones.
-        for k, lane in enumerate(lane_ids):
-            ws = self.workspaces[lane]
-            ws.begin_solve(times[k], integrators[k], effective_gmin,
-                           source_scale)
-            self._base_stack[k] = ws._base
-            self._rhsb_stack[k] = ws._rhs_base
+        # Per-solve setup: base matrices and RHS bases, bitwise the
+        # serial begin_solve's (stacked across lanes where structure
+        # allows, per-lane workspace code otherwise).
+        self._begin_solve_batch(lane_ids, times, integrators,
+                                effective_gmin, source_scale)
         add_solve_stats(solves=nc)
 
         X = np.array(x0, dtype=float, copy=True)
@@ -286,6 +482,7 @@ class LaneGroup:
         last_dv = np.zeros(nc, dtype=float)
         alive = np.arange(nc, dtype=np.intp)
         damped = self.damped
+        sparse = self._sparse_kernel(opts)
 
         saved_err = np.seterr(invalid="ignore", over="ignore",
                               divide="ignore")
@@ -300,16 +497,20 @@ class LaneGroup:
                     tracer.count("batch.newton.lane_iterations", na)
                 A = self._A[:na]
                 R = self._R[:na]
-                np.take(self._base_stack[:nc], alive, axis=0, out=A)
+                abs_alive = lane_ids[alive]
+                np.take(self._base_stack, abs_alive, axis=0, out=A)
                 np.take(self._rhsb_stack[:nc], alive, axis=0, out=R)
                 Xa = self._Xaug[:na]
                 Xa[:, :size] = X[alive]
                 Xa[:, size:] = 0.0
                 if self.n_mos:
-                    self._stamp_mosfets(lane_ids[alive], Xa, A, R,
+                    self._stamp_mosfets(abs_alive, Xa, A, R,
                                         effective_gmin, na, naug)
 
-                x_new = _solve_stack(A[:, :size, :size], R[:, :size])
+                if sparse is not None:
+                    x_new = sparse.solve(A[:, :size, :size], R[:, :size])
+                else:
+                    x_new = _solve_stack(A[:, :size, :size], R[:, :size])
                 finite = np.isfinite(x_new).all(axis=1)
                 if not finite.all():
                     for pos in np.nonzero(~finite)[0]:
@@ -376,7 +577,8 @@ class LaneGroup:
             if n_failed:
                 tracer.count("batch.newton.lane_failures", n_failed)
         return BatchNewtonResult(x=X, converged=converged,
-                                 iterations=iterations, errors=errors)
+                                 iterations=iterations, errors=errors,
+                                 last_dv=last_dv)
 
     def _stamp_mosfets(self, abs_ids, Xa, A, R, gmin, na, naug) -> None:
         """Vectorized EKV + scatter over all active lanes at once."""
@@ -384,7 +586,7 @@ class LaneGroup:
         V = Xa[:, self._dgsb]  # (na, 4, n_mos)
         vd, vg, vs, vb = V[:, 0], V[:, 1], V[:, 2], V[:, 3]
         (sign, vto, n_slope, ut, gamma, phi, eta_dibl, lambda_clm,
-         ispec) = (p[abs_ids] for p in self._mos_params)
+         ispec) = self._mos_params[:, abs_ids]
         id_real, gdd, gdg, gds_, gdb = ekv_evaluate(
             sign, vto, n_slope, ut, gamma, phi, eta_dibl, lambda_clm,
             ispec, vd, vg, vs, vb)
@@ -408,6 +610,199 @@ class LaneGroup:
         np.add.at(self._R_flat[:na * naug],
                   self._rhs_idx[:na].ravel(), rv.reshape(-1))
 
+    # -- stacked per-solve setup and capacitor state ---------------------
+
+    def _begin_solve_batch(self, lane_ids, times, integrators, gmin,
+                           source_scale) -> None:
+        """Rebuild every lane's base matrix and RHS base for one solve.
+
+        The scalar source values still come from each lane's own device
+        objects (waveform evaluation is data-dependent Python), but the
+        capacitor companion and the RHS scatter run stacked across
+        lanes. Per lane the value order and the float expressions are
+        exactly :meth:`SolverWorkspace.begin_solve`'s, so the bases are
+        bitwise the serial ones.
+        """
+        nc = len(lane_ids)
+        self._companion_cache = None
+        transient = nc > 0 and integrators[0] is not None
+        if not self._uniform or any(
+                (i is not None) != transient for i in integrators):
+            for k, lane in enumerate(lane_ids):
+                ws = self.workspaces[lane]
+                ws.begin_solve(times[k], integrators[k], gmin,
+                               source_scale)
+                self._base_stack[lane] = ws._base
+                self._bk_method[lane] = -1
+                self._rhsb_stack[k] = ws._rhs_base
+            return
+        regime = "tr" if transient else "dc"
+        vals = (self._tr_vals_stack if transient
+                else self._dc_vals_stack)[:nc]
+        idx = (self._rhs_tr_idx if transient else self._rhs_dc_idx)[:nc]
+        template = self._static_vals[regime]
+        if self._static_scale[regime] != source_scale:
+            for lane, entries_list in enumerate(
+                    self._static_scalar[regime]):
+                row = template[lane]
+                for device, start, count in entries_list:
+                    entries = device.dynamic_rhs_entries(
+                        0.0, source_scale, None)
+                    for j in range(count):
+                        row[start + j] = entries[j][1]
+            self._static_scale[regime] = source_scale
+        np.take(template, lane_ids, axis=0, out=vals)
+        if self._dyn_vec[regime]:
+            t_arr = np.asarray(times, dtype=float)
+            for kind, start, payload in self._dyn_vec[regime]:
+                if kind == "pulse":
+                    vals[:, start] = self._pulse_value_lanes(
+                        t_arr, payload[:, lane_ids]) * source_scale
+                else:
+                    t_pts, v_pts = payload
+                    vals[:, start] = self._pwl_value_lanes(
+                        t_arr, t_pts, v_pts[lane_ids]) * source_scale
+        lid = np.asarray(lane_ids, dtype=np.intp)
+        if transient:
+            m_codes = np.fromiter(
+                (1 if i.method == BACKWARD_EULER else 2
+                 for i in integrators), dtype=np.int8, count=nc)
+            dts = np.fromiter((i.dt for i in integrators), dtype=float,
+                              count=nc)
+        else:
+            m_codes = np.zeros(nc, dtype=np.int8)
+            dts = np.zeros(nc, dtype=float)
+        stale = ((self._bk_method[lid] != m_codes)
+                 | (self._bk_dt[lid] != dts)
+                 | (self._bk_gmin[lid] != gmin))
+        if stale.any():
+            for k in np.nonzero(stale)[0]:
+                lane = lid[k]
+                self._base_stack[lane] = self.workspaces[
+                    lane].plan.base_matrix(integrators[k], gmin)
+            self._bk_method[lid] = m_codes
+            self._bk_dt[lid] = dts
+            self._bk_gmin[lid] = gmin
+        dynamic = self._dynamic_scalar[regime]
+        if self._dyn_scalar_any[regime]:
+            for k, lane in enumerate(lane_ids):
+                vk = vals[k]
+                t = times[k]
+                integ = integrators[k]
+                for device, start, count in dynamic[lane]:
+                    entries = device.dynamic_rhs_entries(t, source_scale,
+                                                         integ)
+                    for j in range(count):
+                        vk[start + j] = entries[j][1]
+        if transient and self.n_caps:
+            ref = self.workspaces[0].plan
+            geq, ieq = self._companion_lanes(np.asarray(lane_ids),
+                                             integrators)
+            self._companion_cache = (np.asarray(lane_ids, dtype=np.intp),
+                                     geq, ieq)
+            vals[:, ref._rhs_tr[2]] = -ieq
+            vals[:, ref._rhs_tr[3]] = ieq
+        R = self._rhsb_stack[:nc]
+        R[...] = 0.0
+        np.add.at(self._rhsb_flat[:nc * self.naug], idx.ravel(),
+                  vals.ravel())
+
+    def _cap_state_stack(self) -> None:
+        """Lazy-load stacked capacitor state from the device objects."""
+        if self._cap_v is None:
+            self._cap_v = np.array(
+                [[c._v_prev for c in ws.plan.cap_group.caps]
+                 for ws in self.workspaces], dtype=float)
+            self._cap_i = np.array(
+                [[c._i_prev for c in ws.plan.cap_group.caps]
+                 for ws in self.workspaces], dtype=float)
+
+    def _companion_lanes(self, lane_ids, integrators):
+        """Stacked :meth:`_CapacitorGroup.companion` (same float ops)."""
+        self._cap_state_stack()
+        v_prev = self._cap_v[lane_ids]
+        i_prev = self._cap_i[lane_ids]
+        c = self._cap_c[lane_ids]
+        n = len(integrators)
+        dt = np.fromiter((i.dt for i in integrators), dtype=float,
+                         count=n)[:, None]
+        be = np.fromiter((i.method == BACKWARD_EULER for i in integrators),
+                         dtype=bool, count=n)[:, None]
+        # Both branches are evaluated elementwise with the exact serial
+        # expressions; np.where selects per lane, so a BE lane's values
+        # are bitwise the BE companion's and likewise for TRAP.
+        geq_be = c / dt
+        geq_tr = 2.0 * c / dt
+        geq = np.where(be, geq_be, geq_tr)
+        ieq = np.where(be, -geq_be * v_prev,
+                       -(geq_tr * v_prev + i_prev))
+        return geq, ieq
+
+    def _cap_terminal_v(self, lane_ids, X) -> np.ndarray:
+        """Per-lane capacitor terminal voltages (serial x_aug gather)."""
+        Xa = self._Xaug[:len(lane_ids)]
+        Xa[:, :self.size] = X
+        Xa[:, self.size:] = 0.0
+        return Xa[:, self._cap_a] - Xa[:, self._cap_b]
+
+    def init_state_lanes(self, lane_ids: np.ndarray,
+                         X: np.ndarray) -> None:
+        """Stacked :meth:`SolverWorkspace.init_state` over lanes."""
+        if not self._uniform:
+            for k, lane in enumerate(lane_ids):
+                self.workspaces[lane].init_state(X[k])
+            return
+        if self.n_caps:
+            self._cap_state_stack()
+            v = self._cap_terminal_v(lane_ids, X)
+            ic = self._cap_ic[lane_ids]
+            self._cap_v[lane_ids] = np.where(np.isnan(ic), v, ic)
+            self._cap_i[lane_ids] = 0.0
+        for k, lane in enumerate(lane_ids):
+            for device in self.workspaces[lane].plan.stateful_scalar:
+                device.init_state(X[k])
+
+    def update_state_lanes(self, lane_ids: np.ndarray, X_new: np.ndarray,
+                           integrators: Sequence) -> None:
+        """Stacked :meth:`SolverWorkspace.update_state` over lanes."""
+        if not self._uniform:
+            for k, lane in enumerate(lane_ids):
+                self.workspaces[lane].update_state(X_new[k],
+                                                   integrators[k])
+            return
+        if self.n_caps:
+            v_new = self._cap_terminal_v(lane_ids, X_new)
+            cache = self._companion_cache
+            if cache is not None:
+                cached_ids, geq_all, ieq_all = cache
+                pos = np.searchsorted(cached_ids, lane_ids)
+                pos = np.minimum(pos, cached_ids.size - 1)
+                if np.array_equal(cached_ids[pos], lane_ids):
+                    geq, ieq = geq_all[pos], ieq_all[pos]
+                else:
+                    geq, ieq = self._companion_lanes(lane_ids,
+                                                     integrators)
+            else:
+                geq, ieq = self._companion_lanes(lane_ids, integrators)
+            self._cap_i[lane_ids] = geq * v_new + ieq
+            self._cap_v[lane_ids] = v_new
+            # The previous state just changed; the cached companion no
+            # longer reflects it.
+            self._companion_cache = None
+        for k, lane in enumerate(lane_ids):
+            for device in self.workspaces[lane].plan.stateful_scalar:
+                device.update_state(X_new[k], integrators[k])
+
+    def sync_state_lane(self, lane: int) -> None:
+        """Write one lane's stacked capacitor state back to devices."""
+        if not self._uniform or not self.n_caps or self._cap_v is None:
+            self.workspaces[lane].sync_state()
+            return
+        caps = self.workspaces[lane].plan.cap_group.caps
+        for cap, v, i in zip(caps, self._cap_v[lane], self._cap_i[lane]):
+            cap._v_prev = float(v)
+            cap._i_prev = float(i)
+
     # -- batched DC with serial-ladder eviction --------------------------
 
     def solve_dc(self, options: Optional[NewtonOptions] = None,
@@ -417,14 +812,20 @@ class LaneGroup:
         """DC operating points for all lanes.
 
         Runs the plain-Newton rung batched (bitwise what the serial
-        ladder's first attempt computes); lanes it cannot crack are
-        *evicted to the full serial retry ladder* — gmin stepping and
-        source ramping through :func:`solve_dc_report` with the lane's
-        own workspace, so an all-lanes-evicted run degenerates to
-        exactly the serial path. Returns ``(X, reports, errors)`` where
-        ``reports[k]`` is the eviction's :class:`SolveReport` (None for
-        lanes the batched rung solved) and ``errors[k]`` carries the
-        final ConvergenceError text for lanes the ladder lost too.
+        ladder's first attempt computes); lanes it cannot crack fall to
+        the retry ladder. On the common path — no tracer, no fault
+        plan, no wall-clock/iteration budgets — the whole ladder runs
+        *batched* too: every gmin rung and source-ramp rung is one
+        lane-masked Newton call over the still-failing lanes, replaying
+        the serial ladder's per-lane control flow (a lane failing any
+        gmin rung falls through to source stepping from zeros), so each
+        lane lands bitwise where :func:`solve_dc_report` would put it.
+        Otherwise lanes are evicted one at a time to the serial ladder
+        with the lane's own workspace, exactly as before. Returns
+        ``(X, reports, errors)`` where ``reports[k]`` is the ladder's
+        :class:`SolveReport` (None for lanes the batched rung solved)
+        and ``errors[k]`` carries the final ConvergenceError text for
+        lanes the ladder lost too.
         """
         opts = options or NewtonOptions()
         nc = self.n_lanes
@@ -440,10 +841,19 @@ class LaneGroup:
             if not res.converged[k]:
                 errors[k] = res.errors[k]
         evicted = np.nonzero(~res.converged)[0]
-        if evicted.size:
-            tracer = telemetry.active_tracer()
-            if tracer is not None:
-                tracer.count("batch.dc.evicted", int(evicted.size))
+        if not evicted.size:
+            return X, reports, errors
+        tracer = telemetry.active_tracer()
+        if tracer is not None:
+            tracer.count("batch.dc.evicted", int(evicted.size))
+        pol = policy or RetryPolicy()
+        pol.validate()
+        if (tracer is None and active_plan() is None
+                and pol.max_wall_clock_s is None
+                and pol.max_total_iterations is None):
+            self._ladder_batched(evicted, x0s, opts, pol, res, X,
+                                 reports, errors)
+            return X, reports, errors
         for k in evicted:
             try:
                 x, report = solve_dc_report(
@@ -457,6 +867,108 @@ class LaneGroup:
             reports[k] = report
             errors[k] = None
         return X, reports, errors
+
+    def _ladder_batched(self, evicted, x0s, opts, pol, first, X,
+                        reports, errors) -> None:
+        """Replay the serial DC retry ladder across lanes at once.
+
+        Per lane the control flow is exactly the serial
+        ``_solve_dc_report_impl``'s: the recorded plain attempt
+        (synthesized from the already-failed batched rung rather than
+        re-run — same deterministic failure, same record fields), then
+        the gmin ladder carried rung to rung, with any rung failure
+        dropping the lane through to source stepping from zeros. Each
+        rung is one lane-masked batched Newton call, bitwise the serial
+        attempt per lane.
+        """
+        started = _time.monotonic()
+
+        def _record(strategy: str, detail: str, res, pos) -> AttemptRecord:
+            rec = AttemptRecord(strategy=strategy, detail=detail)
+            rec.iterations = int(res.iterations[pos])
+            if res.converged[pos]:
+                rec.converged = True
+                rec.residual = float(res.last_dv[pos])
+            else:
+                rec.residual = (float(res.last_dv[pos])
+                                if res.iterations[pos] > 0 else None)
+                rec.error = res.errors[pos]
+            return rec
+
+        ladder_reports: dict = {}
+        for k in evicted:
+            rep = SolveReport()
+            rep.attempts.append(_record("newton", "plain", first, int(k)))
+            ladder_reports[int(k)] = rep
+
+        def _finish(k: int, strategy: str, x) -> None:
+            rep = ladder_reports[k]
+            rep.converged = True
+            rep.winning_strategy = strategy
+            rep.wall_time_s = _time.monotonic() - started
+            X[k] = x
+            reports[k] = rep
+            errors[k] = None
+
+        ids = np.asarray(evicted, dtype=np.intp)
+        to_source: list = []
+        if pol.enable_gmin_stepping:
+            Xg = np.array(x0s[ids], copy=True)
+            for g in tuple(pol.gmin_ladder) + (opts.gmin,):
+                if ids.size == 0:
+                    break
+                res = self.newton(ids, Xg, times=[0.0] * len(ids),
+                                  integrators=[None] * len(ids),
+                                  options=opts, gmin=g)
+                for pos, k in enumerate(ids):
+                    ladder_reports[int(k)].attempts.append(
+                        _record("gmin", f"gmin={g:g}", res, pos))
+                ok = res.converged
+                to_source.extend(int(k) for k in ids[~ok])
+                ids = ids[ok]
+                Xg = res.x[ok]
+            for pos, k in enumerate(ids):
+                _finish(int(k), "gmin", Xg[pos])
+        else:
+            to_source = [int(k) for k in ids]
+
+        failed: list = []
+        src = np.asarray(sorted(to_source), dtype=np.intp)
+        if pol.enable_source_stepping and src.size:
+            ramp = tuple(pol.source_ramp)
+            Xs = np.zeros((src.size, self.size))
+            for scale in ramp:
+                if src.size == 0:
+                    break
+                res = self.newton(src, Xs, times=[0.0] * len(src),
+                                  integrators=[None] * len(src),
+                                  options=opts, source_scale=scale)
+                for pos, k in enumerate(src):
+                    ladder_reports[int(k)].attempts.append(
+                        _record("source", f"scale={scale:g}", res, pos))
+                ok = res.converged
+                failed.extend(int(k) for k in src[~ok])
+                src = src[ok]
+                Xs = res.x[ok]
+            if ramp:
+                for pos, k in enumerate(src):
+                    _finish(int(k), "source", Xs[pos])
+            else:
+                failed.extend(int(k) for k in src)
+        else:
+            failed.extend(int(k) for k in src)
+
+        for k in sorted(failed):
+            rep = ladder_reports[k]
+            rep.converged = False
+            rep.wall_time_s = _time.monotonic() - started
+            # The serial eviction surfaces a failed ladder through the
+            # ConvergenceError text alone (reports[k] stays None).
+            errors[k] = (
+                f"DC solution not found for circuit "
+                f"{self.circuits[k].title!r} after "
+                f"{len(rep.attempts)} attempts "
+                f"({rep.strategy_summary()})")
 
 
 class BatchTransientResult:
@@ -561,7 +1073,16 @@ class BatchTransient:
         if tracer is not None:
             tracer.count("batch.tran.lanes", nc)
 
-        marches: list = []
+        # Per-lane step-control state lives in flat arrays so the loop
+        # head and accept/reject bookkeeping run vectorized over the
+        # active set; per lane the arithmetic (and hence every float
+        # decision) is exactly the serial engine's.
+        marches: list = [_LaneMarch() for _ in range(nc)]
+        t_stop_a = np.asarray(self.t_stops, dtype=float)
+        h_max_a = np.empty(nc, dtype=float)
+        h_min_a = np.empty(nc, dtype=float)
+        restart_a = np.empty(nc, dtype=float)
+        bp_rows = []
         for k in range(nc):
             t_stop = self.t_stops[k]
             h_max = opts.h_max if opts.h_max is not None else t_stop / 100.0
@@ -569,11 +1090,17 @@ class BatchTransient:
             if h_min >= h_max:
                 raise AnalysisError(
                     f"h_min {h_min} must be < h_max {h_max}")
-            restart_h = max(h_min, h_max * opts.restart_fraction)
-            marches.append(_LaneMarch(
-                t_stop=t_stop, h_max=h_max, h_min=h_min,
-                breakpoints=group.circuits[k].breakpoints(t_stop),
-                restart_h=restart_h, h=restart_h))
+            h_max_a[k] = h_max
+            h_min_a[k] = h_min
+            restart_a[k] = max(h_min, h_max * opts.restart_fraction)
+            bp_rows.append(group.circuits[k].breakpoints(t_stop))
+        # Breakpoint lookup table, padded per lane with its own t_stop —
+        # exactly the serial "past the last breakpoint -> t_stop" rule.
+        bp_width = max((len(r) for r in bp_rows), default=0) + 2
+        bp_mat = np.empty((nc, bp_width), dtype=float)
+        for k, row in enumerate(bp_rows):
+            bp_mat[k, :len(row)] = row
+            bp_mat[k, len(row):] = t_stop_a[k]
 
         # DC seed: batched plain Newton, serial-ladder eviction.
         X = np.zeros((nc, group.size), dtype=float)
@@ -589,107 +1116,134 @@ class BatchTransient:
                 march.report.dc_report = dc_reports[k]
         else:
             X[:] = np.asarray(x0, dtype=float)
-        for k, march in enumerate(marches):
-            if march.error is None:
-                group.workspaces[k].init_state(X[k])
-                march.times.append(0.0)
-                march.states.append(X[k].copy())
+        live = np.asarray([k for k, m in enumerate(marches)
+                           if m.error is None], dtype=np.intp)
+        if live.size:
+            group.init_state_lanes(live, X[live])
+        for k in live:
+            marches[k].times.append(0.0)
+            marches[k].states.append(X[k].copy())
 
-        def _stall(k: int, march: _LaneMarch, reason: str) -> None:
-            group.workspaces[k].sync_state()
-            march.report.stalled = True
-            march.error = (
-                f"transient stalled at t={march.t:.6e}s with "
-                f"h={march.h:.3e}s in circuit "
+        # Hot per-lane step-control state.
+        dead = np.asarray([m.error is not None for m in marches])
+        t = np.zeros(nc, dtype=float)
+        h = restart_a.copy()
+        bp_idx = np.ones(nc, dtype=np.intp)  # breakpoints[0] == 0.0
+        use_be = np.ones(nc, dtype=bool)  # first step from DC uses BE
+        halvings = np.zeros(nc, dtype=np.intp)
+        max_halv = policy.max_step_halvings
+
+        def _stall(k: int, reason: str) -> None:
+            group.sync_state_lane(k)
+            marches[k].report.stalled = True
+            marches[k].error = (
+                f"transient stalled at t={t[k]:.6e}s with "
+                f"h={h[k]:.3e}s in circuit "
                 f"{group.circuits[k].title!r} ({reason})")
+            dead[k] = True
             if tracer is not None:
                 tracer.count("batch.tran.stalled")
 
         while True:
-            active = [k for k, m in enumerate(marches) if m.active]
-            if not active:
+            act = np.nonzero(~dead & (t < t_stop_a - 1e-21))[0]
+            if act.size == 0:
                 break
-            times = []
-            integrators = []
-            # Per-lane step preparation: same arithmetic and decisions
-            # as the serial engine's loop head.
-            for k in active:
-                m = marches[k]
-                next_bp = (m.breakpoints[m.bp_index]
-                           if m.bp_index < len(m.breakpoints)
-                           else m.t_stop)
-                m.h = min(m.h, m.h_max, m.t_stop - m.t)
-                m.hit_bp = False
-                if m.t + m.h >= next_bp - 1e-21:
-                    m.h = next_bp - m.t
-                    m.hit_bp = True
-                if m.h < m.h_min * 0.5:
-                    m.h = max(m.h, 1e-21)
-                if forced_method is None:
-                    method = BACKWARD_EULER if m.use_be else TRAPEZOIDAL
-                else:
-                    method = forced_method
-                times.append(m.t + m.h)
-                integrators.append(IntegratorState(method=method, dt=m.h))
+            # Vectorized loop head: same arithmetic and decisions as
+            # the serial engine's, elementwise per lane (min/max and
+            # np.minimum/np.maximum select the same values; comparisons
+            # and the float expressions are the serial ones verbatim).
+            ta = t[act]
+            next_bp = bp_mat[act, np.minimum(bp_idx[act], bp_width - 1)]
+            ha = np.minimum(np.minimum(h[act], h_max_a[act]),
+                            t_stop_a[act] - ta)
+            hit = ta + ha >= next_bp - 1e-21
+            ha = np.where(hit, next_bp - ta, ha)
+            ha = np.where(ha < h_min_a[act] * 0.5,
+                          np.maximum(ha, 1e-21), ha)
+            h[act] = ha
+            if forced_method is None:
+                be = use_be[act]
+            else:
+                be = np.full(act.size, forced_method == BACKWARD_EULER)
+            # Python floats on the way out: dt is a dict key (base-
+            # matrix memos hash Python floats several times faster than
+            # numpy scalars) and the value is bit-identical either way.
+            integrators = [
+                IntegratorState(method=BACKWARD_EULER if b else TRAPEZOIDAL,
+                                dt=dt)
+                for b, dt in zip(be.tolist(), ha.tolist())]
 
-            lane_ids = np.asarray(active, dtype=np.intp)
-            res = group.newton(lane_ids, X[lane_ids], times=times,
+            res = group.newton(act, X[act], times=(ta + ha).tolist(),
                                integrators=integrators,
                                options=opts.newton)
             if tracer is not None:
                 tracer.count("batch.tran.super_steps")
+            # Per-lane accepted-step dv, one vectorized pass: rowwise
+            # max over the same elements the serial engine reduces, and
+            # max is order-exact, so each lane's value is bitwise the
+            # serial scalar.
+            dv_rows = (np.abs(res.x[:, :n_nodes]
+                              - X[act, :n_nodes]).max(axis=1)
+                       if n_nodes else np.zeros(act.size))
+            conv = res.converged
 
-            for pos, k in enumerate(active):
-                m = marches[k]
-                if not res.converged[pos]:
+            # Newton failures (rare): serial halve-or-stall, per lane.
+            if not conv.all():
+                for pos in np.nonzero(~conv)[0]:
+                    k = act[pos]
+                    m = marches[k]
                     m.report.newton_failures += 1
-                    if m.h <= m.h_min * 1.0000001:
-                        _stall(k, m, "step at h_min")
+                    if h[k] <= h_min_a[k] * 1.0000001:
+                        _stall(k, "step at h_min")
                         continue
-                    if m.halvings >= policy.max_step_halvings:
-                        _stall(k, m, f"halving budget "
-                               f"{policy.max_step_halvings} exhausted")
+                    if halvings[k] >= max_halv:
+                        _stall(k, f"halving budget {max_halv} exhausted")
                         continue
-                    m.h = max(m.h / 2.0, m.h_min)
-                    m.halvings += 1
+                    h[k] = max(h[k] / 2.0, h_min_a[k])
+                    halvings[k] += 1
                     m.report.total_halvings += 1
                     if policy.be_on_retry:
-                        m.use_be = True
-                    continue
+                        use_be[k] = True
 
-                x_new = res.x[pos]
-                max_dv = (float(np.max(np.abs(x_new[:n_nodes]
-                                              - X[k][:n_nodes])))
-                          if n_nodes else 0.0)
-                if (max_dv > opts.dv_max and m.h > m.h_min * 1.0000001
-                        and m.halvings < policy.max_step_halvings):
-                    m.report.steps_rejected_dv += 1
-                    m.h = max(m.h / 2.0, m.h_min)
-                    m.halvings += 1
-                    m.report.total_halvings += 1
-                    continue
+            # Accuracy rejections, vectorized (counters per lane).
+            rej = (conv & (dv_rows > opts.dv_max)
+                   & (h[act] > h_min_a[act] * 1.0000001)
+                   & (halvings[act] < max_halv))
+            if rej.any():
+                ids = act[rej]
+                h[ids] = np.maximum(h[ids] / 2.0, h_min_a[ids])
+                halvings[ids] += 1
+                for k in ids:
+                    marches[k].report.steps_rejected_dv += 1
+                    marches[k].report.total_halvings += 1
 
-                # Accept the lane's step.
-                next_bp = (m.breakpoints[m.bp_index]
-                           if m.bp_index < len(m.breakpoints)
-                           else m.t_stop)
-                group.workspaces[k].update_state(x_new, integrators[pos])
-                m.t = next_bp if m.hit_bp else m.t + m.h
-                X[k] = x_new
-                m.times.append(m.t)
-                m.states.append(x_new.copy())
-                m.report.steps_accepted += 1
-                m.halvings = 0
-                if tracer is not None:
-                    tracer.count("batch.tran.steps_accepted")
-                if m.hit_bp:
-                    m.bp_index += 1
-                    m.h = m.restart_h
-                    m.use_be = True
-                else:
-                    m.use_be = False
-                    if max_dv < 0.3 * opts.dv_max:
-                        m.h = min(m.h * 1.5, m.h_max)
+            # Accepted steps: state arrays update vectorized, the
+            # capacitor-state update runs stacked, and only the result
+            # recording (times/states/report) stays per lane.
+            acc = np.nonzero(conv & ~rej)[0]
+            if acc.size:
+                ids = act[acc]
+                hit_acc = hit[acc]
+                t[ids] = np.where(hit_acc, next_bp[acc], t[ids] + h[ids])
+                X[ids] = res.x[acc]
+                bp_idx[ids] += hit_acc
+                grow = ~hit_acc & (dv_rows[acc] < 0.3 * opts.dv_max)
+                h[ids] = np.where(hit_acc, restart_a[ids],
+                                  np.where(grow,
+                                           np.minimum(h[ids] * 1.5,
+                                                      h_max_a[ids]),
+                                           h[ids]))
+                use_be[ids] = hit_acc
+                halvings[ids] = 0
+                group.update_state_lanes(
+                    ids, X[ids], [integrators[p] for p in acc])
+                for pos, k in zip(acc, ids):
+                    m = marches[k]
+                    m.times.append(t[k])
+                    m.states.append(res.x[pos].copy())
+                    m.report.steps_accepted += 1
+                    if tracer is not None:
+                        tracer.count("batch.tran.steps_accepted")
 
         lanes: list = []
         errors: list = []
@@ -698,7 +1252,7 @@ class BatchTransient:
                 lanes.append(None)
                 errors.append(m.error)
                 continue
-            group.workspaces[k].sync_state()
+            group.sync_state_lane(k)
             lanes.append(TransientResult(group.circuits[k],
                                          np.asarray(m.times),
                                          np.asarray(m.states),

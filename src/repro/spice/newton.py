@@ -37,6 +37,7 @@ from repro.runtime.policy import RetryPolicy
 from repro.runtime.report import AttemptRecord, SolveReport
 from repro.spice.assembly import SolverWorkspace
 from repro.spice.integration import IntegratorState
+from repro.spice.sparse import resolve_solver, sparse_plan_for
 
 try:  # pragma: no cover - version-dependent private module
     # The gufunc np.linalg.solve dispatches to, minus the wrapper's
@@ -109,6 +110,13 @@ class NewtonOptions:
     max_step_v: float = 0.3
     #: Conductance floor for nonlinear devices.
     gmin: float = 1e-12
+    #: Linear-solve kernel: "dense" (batched LAPACK), "sparse"
+    #: (pattern-reuse LU, :mod:`repro.spice.sparse`), or "auto"
+    #: (by system size). None defers to the ambient campaign scope
+    #: (:func:`repro.spice.sparse.solver_scope`), which defaults to
+    #: "auto". The resolution rule depends on the topology alone, so
+    #: serial, batched, and sharded runs always pick the same kernel.
+    solver: str | None = None
 
 
 def newton_solve(circuit, x0: np.ndarray, time: float = 0.0,
@@ -156,6 +164,12 @@ def newton_solve(circuit, x0: np.ndarray, time: float = 0.0,
     _SOLVES += 1
     delta = np.empty_like(x)
     scratch = np.empty_like(x)
+    # Kernel selection is deterministic in (mode, size) alone; the
+    # sparse symbolic factorization is cached on the assembly plan, so
+    # only the numeric refactor runs per iteration.
+    sparse = (sparse_plan_for(ws.plan)
+              if resolve_solver(opts.solver, ws.size) == "sparse"
+              else None)
 
     def _fail(message: str, iterations: int,
               residual: float | None, injected: str | None = None,
@@ -200,7 +214,12 @@ def newton_solve(circuit, x0: np.ndarray, time: float = 0.0,
             elif injected == "nan_residual":
                 system.rhs[:] = np.nan
             try:
-                if _lapack_solve1 is not None:
+                if sparse is not None:
+                    # Never raises: a zero pivot divides to non-finite
+                    # entries, classified by the finiteness check below
+                    # with the same text as the dense path.
+                    x_new = sparse.solve1(system.matrix, system.rhs)
+                elif _lapack_solve1 is not None:
                     x_new = _lapack_solve1(system.matrix, system.rhs)
                 else:
                     x_new = np.linalg.solve(system.matrix, system.rhs)

@@ -82,21 +82,19 @@ class Waveform:
         if edge not in (RISE, FALL, BOTH):
             raise MeasurementError(f"edge must be rise/fall/both, got {edge!r}")
         v = self.values - level
-        result: list[float] = []
-        for i in range(v.size - 1):
-            a, b = v[i], v[i + 1]
-            if a == b:
-                continue
-            rising = a < 0.0 <= b
-            falling = a >= 0.0 > b
-            if (edge == RISE and not rising) or (edge == FALL and not falling):
-                continue
-            if not (rising or falling):
-                continue
-            frac = a / (a - b)
-            result.append(float(self.times[i] + frac *
-                                (self.times[i + 1] - self.times[i])))
-        return result
+        a, b = v[:-1], v[1:]
+        rising = (a < 0.0) & (b >= 0.0)
+        falling = (a >= 0.0) & (b < 0.0)
+        if edge == RISE:
+            sel = rising
+        elif edge == FALL:
+            sel = falling
+        else:
+            sel = rising | falling
+        i = np.nonzero(sel)[0]
+        frac = a[i] / (a[i] - b[i])
+        t = self.times[i] + frac * (self.times[i + 1] - self.times[i])
+        return [float(x) for x in t]
 
     def cross(self, level: float, edge: str = BOTH, occurrence: int = 1,
               after: float = -np.inf) -> float:

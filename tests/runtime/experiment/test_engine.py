@@ -22,6 +22,13 @@ def flaky(x):
     return x + 1
 
 
+def _batch_flaky(params_list):
+    """Module-level batch measure (picklable for sharded-batched)."""
+    from repro.runtime.experiment import BatchPointFailure
+    return [BatchPointFailure(stage="build", error="lane died")
+            if p == 3.0 else p * p for p in params_list]
+
+
 def _spec(measure=square, n=5, **overrides):
     points = [ExperimentPoint(i, float(i)) for i in range(n)]
     options = {"name": "unit", "measure": measure, "points": points,
@@ -182,10 +189,35 @@ class TestBatchedBackend:
         with pytest.raises(AnalysisError, match="batch_measure"):
             run_experiment(_spec(backend="batched"))
 
-    def test_batched_excludes_worker_pools(self):
-        with pytest.raises(AnalysisError, match="workers"):
+    def test_sharded_batched_matches_serial(self):
+        # batched × workers composes: chunks become per-worker shards
+        # and the results are bitwise those of the serial campaign.
+        serial = run_experiment(_spec(n=9))
+        sharded = run_experiment(_spec(n=9, backend="batched",
+                                       batch_width=2, workers=3,
+                                       batch_measure=self._batch_square))
+        assert sharded.values() == serial.values()
+        assert [r.index for r in sharded.rows] \
+            == [r.index for r in serial.rows]
+
+    def test_sharded_batched_requires_module_level_batch_measure(self):
+        def local_batch(params_list):
+            return [p * p for p in params_list]
+
+        with pytest.raises(AnalysisError, match="module-level"):
             run_experiment(_spec(backend="batched", workers=2,
-                                 batch_measure=self._batch_square))
+                                 batch_measure=local_batch))
+
+    def test_sharded_quarantine_survives_the_pool_boundary(self):
+        result = run_experiment(_spec(n=6, measure=flaky,
+                                      backend="batched", batch_width=2,
+                                      workers=2,
+                                      batch_measure=_batch_flaky))
+        assert result.counts["ok"] == 5
+        failure = result.sample_failures()[0]
+        assert failure.index == 3
+        assert failure.stage == "build"
+        assert "lane died" in failure.error
 
     def test_batch_width_must_be_positive(self):
         with pytest.raises(AnalysisError, match="batch_width"):

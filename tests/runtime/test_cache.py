@@ -378,3 +378,38 @@ class TestEngineIntegration:
         warm = run_experiment(_spec(measure=square, n=6), cache=cache)
         for a, b in zip(cold.values(), warm.values()):
             assert a == b and type(a) is type(b)
+
+    def test_execution_knobs_are_excluded_from_point_keys(self):
+        # backend / workers / batch_width / solver choose *how* a point
+        # is computed, never *what*; two specs differing only in those
+        # knobs must key every point identically.
+        base = _spec(n=3)
+        tuned = _spec(n=3, backend="batched", batch_measure=square,
+                      workers=4, batch_width=64, solver="sparse",
+                      chunk_size=2)
+        for point in base.points:
+            assert experiment_point_key(base, point.params) \
+                == experiment_point_key(tuned, point.params)
+
+    def test_sharded_sparse_warm_run_hits_serial_dense_entries(
+            self, tmp_path):
+        # End to end: a cold serial dense campaign populates the cache;
+        # re-running the same campaign sharded-batched with the sparse
+        # kernel must hit every entry and return bitwise the same
+        # metrics — execution knobs are invisible to the cache.
+        from repro.analysis.montecarlo import (
+            MonteCarloConfig, monte_carlo_spec,
+        )
+        cache = SolveCache(tmp_path)
+        cold_cfg = MonteCarloConfig(runs=4, solver="dense")
+        cold = run_experiment(
+            monte_carlo_spec("sstvs", 0.8, 1.2, cold_cfg), cache=cache)
+        assert cache.stats.stores == 4
+        warm_cfg = MonteCarloConfig(runs=4, backend="batched",
+                                    workers=2, batch_width=2,
+                                    solver="sparse")
+        warm = run_experiment(
+            monte_carlo_spec("sstvs", 0.8, 1.2, warm_cfg), cache=cache)
+        assert cache.stats.hits == 4
+        for a, b in zip(cold.values(), warm.values()):
+            assert a == b
