@@ -23,6 +23,10 @@ from repro.analysis.sensitivity import (
     SIZING_KNOBS, Sensitivity, metric_sensitivities,
     render_sensitivity_table,
 )
+from repro.analysis.leaderboard import (
+    LEADERBOARD_SCHEMA, build_leaderboard, load_leaderboard,
+    rank_leaderboard, render_leaderboard, write_leaderboard,
+)
 
 __all__ = [
     "MonteCarloConfig",
@@ -53,4 +57,10 @@ __all__ = [
     "metric_sensitivities",
     "render_sensitivity_table",
     "SIZING_KNOBS",
+    "LEADERBOARD_SCHEMA",
+    "build_leaderboard",
+    "load_leaderboard",
+    "rank_leaderboard",
+    "render_leaderboard",
+    "write_leaderboard",
 ]

@@ -108,8 +108,8 @@ class PvtReport:
 
 def _measure(params: tuple) -> ShifterMetrics:
     """Characterize one PVT point; shared by serial and pool paths."""
-    corner, temp, kind, vddi, vddo, plan, sizing = params
-    pdk = CornerPdk(corner, temperature_c=temp)
+    corner, temp, kind, vddi, vddo, plan, sizing, node = params
+    pdk = CornerPdk(corner, temperature_c=temp, node=node)
     return characterize(pdk, kind, vddi, vddo, plan=plan, sizing=sizing)
 
 
@@ -117,11 +117,12 @@ def pvt_spec(kind: str, vddi: float, vddo: float,
              corners=DEFAULT_CORNERS, temperatures=DEFAULT_TEMPS,
              plan: StimulusPlan | None = None, sizing=None,
              workers: int = 1,
-             chunk_size: int | None = None) -> ExperimentSpec:
+             chunk_size: int | None = None,
+             pdk_node: str = "ptm90") -> ExperimentSpec:
     """Describe a PVT-corner campaign declaratively."""
     points = [ExperimentPoint((corner, float(temp)),
                               (corner, float(temp), kind, vddi, vddo,
-                               plan, sizing))
+                               plan, sizing, pdk_node))
               for corner in corners for temp in temperatures]
     return ExperimentSpec(
         name=EXPERIMENT_NAME, measure=_measure, points=points,
@@ -129,7 +130,8 @@ def pvt_spec(kind: str, vddi: float, vddo: float,
         workers=workers, chunk_size=chunk_size,
         metadata={"experiment": "pvt", "kind": kind, "vddi": vddi,
                   "vddo": vddo, "corners": list(corners),
-                  "temperatures": [float(t) for t in temperatures]})
+                  "temperatures": [float(t) for t in temperatures],
+                  "pdk_node": pdk_node})
 
 
 def report_from_resultset(resultset: ResultSet,
@@ -163,7 +165,7 @@ def pvt_report(kind: str, vddi: float, vddo: float,
                chunk_size: int | None = None,
                resume: ResultSet | None = None,
                store=None, run_id: str | None = None,
-               cache=None) -> PvtReport:
+               cache=None, pdk_node: str = "ptm90") -> PvtReport:
     """Characterize at every (corner, temperature) combination.
 
     ``workers > 1`` distributes PVT points over a process pool; the
@@ -171,7 +173,8 @@ def pvt_report(kind: str, vddi: float, vddo: float,
     """
     spec = pvt_spec(kind, vddi, vddo, corners=corners,
                     temperatures=temperatures, plan=plan, sizing=sizing,
-                    workers=workers, chunk_size=chunk_size)
+                    workers=workers, chunk_size=chunk_size,
+                    pdk_node=pdk_node)
     resultset = run_experiment(spec, resume=resume, store=store,
                                run_id=run_id, cache=cache)
     return report_from_resultset(resultset, kind=kind, vddi=vddi,

@@ -99,7 +99,8 @@ def functional_spec(kind: str, grid: SweepGrid | None = None,
         backend=backend, batch_measure=_batch_measure,
         batch_width=batch_width, solver=solver,
         metadata={"experiment": "functional", "kind": kind,
-                  "pairs": len(points)})
+                  "pairs": len(points),
+                  "pdk_node": getattr(pdk, "node", "ptm90")})
 
 
 def report_from_resultset(resultset: ResultSet,

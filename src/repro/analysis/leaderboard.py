@@ -1,0 +1,238 @@
+"""Standing cell x node x corner leaderboard.
+
+``repro bench --leaderboard`` characterizes every registered cell on
+every registered PDK node at every process corner (each node's
+canonical up-shift pair) and folds the results into one versioned
+artifact: the six metrics per (cell, node, corner), plus per
+(cell, node) the estimated area and the minimum detectable input
+supply (the lowest VDDI the cell still converts from, found by a
+descending scan at the typical corner).
+
+The artifact is a plain dict (schema ``repro-leaderboard-v1``) written
+atomically by :func:`write_leaderboard`; re-running against an
+existing file bumps its ``version`` so trend diffs are first-class.
+Because cells and nodes come from the registries, a third-party
+topology or node registered at import time appears on the next
+leaderboard run with no changes here.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.cells.registry import cell_names, get_cell
+from repro.core.characterize import StimulusPlan, characterize
+from repro.core.metrics import METRIC_FIELDS
+from repro.errors import AnalysisError
+from repro.pdk import CornerPdk
+from repro.pdk.corners import CORNER_SHIFTS
+from repro.pdk.registry import get_node, node_fingerprint, node_names
+from repro.units import format_eng
+
+#: Artifact schema tag.
+LEADERBOARD_SCHEMA = "repro-leaderboard-v1"
+
+#: All registered corners, typical first (stable render order).
+DEFAULT_CORNERS = ("tt",) + tuple(
+    c for c in sorted(CORNER_SHIFTS) if c != "tt")
+
+#: Granularity of the minimum-detectable-input scan [V].
+MIN_VDDI_STEP = 0.05
+
+
+def _min_detectable_vddi(cell: str, node, plan, step: float) -> float:
+    """Lowest VDDI (typical corner) the cell still converts from.
+
+    Scans downward from the node's canonical VDDI until conversion
+    fails (well below the rated range — this is the discriminating
+    figure for sense-amplifier-style cells); returns the last
+    functional supply, or NaN if even the canonical pair fails.
+    """
+    vddo = float(node.default_pair[1])
+    best = float("nan")
+    vddi = float(node.default_pair[0])
+    floor = step - 1e-12
+    while vddi >= floor:
+        try:
+            metrics = characterize(CornerPdk("tt", node=node.name),
+                                   cell, vddi, vddo, plan=plan)
+        except Exception:
+            break
+        if not metrics.functional:
+            break
+        best = vddi
+        vddi = round(vddi - step, 6)
+    return best
+
+
+def _cell_area(cell: str, node_name: str):
+    """(area_um2, device_count) from the registry's area probe."""
+    from repro.layout import estimate_cell_area
+    from repro.pdk.registry import make_pdk
+    spec = get_cell(cell)
+    if spec.area_probe is None:
+        return float("nan"), spec.device_count
+    est = estimate_cell_area(spec.area_probe, make_pdk(node_name))
+    return est.total_area_um2, est.device_count
+
+
+def build_leaderboard(cells=None, nodes=None, corners=None,
+                      plan: StimulusPlan | None = None,
+                      min_vddi_step: float = MIN_VDDI_STEP,
+                      progress=None) -> dict:
+    """Characterize cells x nodes x corners into the artifact dict.
+
+    Args default to *everything registered*; pass subsets to scope a
+    quick look. ``progress`` is an optional ``(label) -> None`` hook
+    fired before each (cell, node, corner) characterization.
+    """
+    cells = tuple(cells) if cells else cell_names()
+    nodes = tuple(nodes) if nodes else node_names()
+    corners = tuple(corners) if corners else DEFAULT_CORNERS
+    for corner in corners:
+        if corner not in CORNER_SHIFTS:
+            raise AnalysisError(
+                f"unknown corner {corner!r}; known corners: "
+                f"{', '.join(sorted(CORNER_SHIFTS))}")
+    unknown_cells = [c for c in cells if c not in cell_names()]
+    if unknown_cells:
+        get_cell(unknown_cells[0])  # raises with the live listing
+
+    node_info = {}
+    for name in nodes:
+        node = get_node(name)  # raises with the live listing
+        node_info[name] = {
+            "fingerprint": node_fingerprint(name),
+            "vddi": float(node.default_pair[0]),
+            "vddo": float(node.default_pair[1]),
+            "vdd_min": node.vdd_min,
+            "vdd_max": node.vdd_max,
+            "description": node.description,
+        }
+
+    entries = []
+    summaries = {}
+    for name in nodes:
+        node = get_node(name)
+        vddi, vddo = (float(v) for v in node.default_pair)
+        for cell in cells:
+            for corner in corners:
+                if progress is not None:
+                    progress(f"{cell}@{name}/{corner}")
+                entry = {"cell": cell, "node": name, "corner": corner,
+                         "vddi": vddi, "vddo": vddo}
+                try:
+                    metrics = characterize(
+                        CornerPdk(corner, node=name), cell, vddi, vddo,
+                        plan=plan)
+                except Exception as exc:
+                    entry["error"] = f"{type(exc).__name__}: {exc}"
+                    entry["functional"] = False
+                else:
+                    for field in METRIC_FIELDS:
+                        entry[field] = getattr(metrics, field)
+                    entry["functional"] = bool(metrics.functional)
+                entries.append(entry)
+            if progress is not None:
+                progress(f"{cell}@{name} area / min-VDDI scan")
+            area, devices = _cell_area(cell, name)
+            summaries[f"{cell}@{name}"] = {
+                "cell": cell, "node": name,
+                "area_um2": area, "device_count": devices,
+                "min_detectable_vddi": _min_detectable_vddi(
+                    cell, node, plan, min_vddi_step),
+                "provenance": get_cell(cell).provenance,
+            }
+
+    return {
+        "schema": LEADERBOARD_SCHEMA,
+        "version": 1,
+        "cells": list(cells),
+        "nodes": node_info,
+        "corners": list(corners),
+        "entries": entries,
+        "summaries": summaries,
+    }
+
+
+def rank_leaderboard(board: dict, node: str,
+                     metric: str = "delay_rise") -> list:
+    """Typical-corner ranking of one node's functional cells."""
+    if metric not in METRIC_FIELDS:
+        raise AnalysisError(f"unknown metric {metric!r}")
+    rows = [e for e in board["entries"]
+            if e["node"] == node and e["corner"] == "tt"
+            and e.get("functional")]
+    return sorted(rows, key=lambda e: e[metric])
+
+
+def render_leaderboard(board: dict) -> str:
+    """Text tables: per node, typical-corner metrics plus worst-corner
+    delay spread, area and the min-VDDI scan result."""
+    lines = []
+    for name, info in board["nodes"].items():
+        lines.append(f"node {name}: {info['vddi']:g} V -> "
+                     f"{info['vddo']:g} V  [{info['fingerprint']}]")
+        lines.append(
+            f"  {'cell':<11s} {'d_rise':>9s} {'d_fall':>9s} "
+            f"{'power':>9s} {'leak_hi':>9s} {'worst_d':>9s} "
+            f"{'area':>7s} {'minVDDI':>8s} {'func':>4s}")
+        for entry in rank_leaderboard(board, name):
+            cell = entry["cell"]
+            cell_entries = [e for e in board["entries"]
+                            if e["node"] == name and e["cell"] == cell
+                            and e.get("functional")]
+            worst = max((max(e["delay_rise"], e["delay_fall"])
+                         for e in cell_entries), default=float("nan"))
+            summary = board["summaries"][f"{cell}@{name}"]
+            min_vddi = summary["min_detectable_vddi"]
+            lines.append(
+                f"  {cell:<11s} "
+                f"{format_eng(entry['delay_rise'], 's', 3):>9s} "
+                f"{format_eng(entry['delay_fall'], 's', 3):>9s} "
+                f"{format_eng(entry['power_rise'], 'W', 3):>9s} "
+                f"{format_eng(entry['leakage_high'], 'A', 3):>9s} "
+                f"{format_eng(worst, 's', 3):>9s} "
+                f"{summary['area_um2']:>6.2f} "
+                f"{min_vddi:>7.2f}V "
+                f"{len(cell_entries):>3d}c")
+        broken = sorted({e["cell"] for e in board["entries"]
+                         if e["node"] == name and not e.get("functional")})
+        if broken:
+            lines.append(f"  non-functional corners on: "
+                         f"{', '.join(broken)}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def write_leaderboard(board: dict, path: str) -> dict:
+    """Atomically write the artifact, bumping ``version`` over any
+    existing file at ``path``; returns the written dict."""
+    previous_version = 0
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                previous = json.load(handle)
+            previous_version = int(previous.get("version", 0))
+        except (OSError, ValueError):
+            previous_version = 0
+    board = dict(board)
+    board["version"] = previous_version + 1
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as handle:
+        json.dump(board, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return board
+
+
+def load_leaderboard(path: str) -> dict:
+    """Read an artifact back, validating its schema tag."""
+    with open(path) as handle:
+        board = json.load(handle)
+    if board.get("schema") != LEADERBOARD_SCHEMA:
+        raise AnalysisError(
+            f"{path} is not a leaderboard artifact "
+            f"(schema {board.get('schema')!r})")
+    return board

@@ -85,6 +85,10 @@ class MonteCarloConfig:
     #: An execution knob: excluded from solve-cache keys, results are
     #: kernel-independent up to the tested ULP bound.
     solver: str | None = None
+    #: Registered PDK node every sample's VariedPdk binds to. Part of
+    #: the content identity (rides in each point's params and the spec
+    #: metadata), so two nodes never share cache entries.
+    pdk_node: str = "ptm90"
 
     def validate(self) -> None:
         if self.runs < 1:
@@ -95,6 +99,8 @@ class MonteCarloConfig:
             raise AnalysisError("workers must be >= 1")
         if self.batch_width < 1:
             raise AnalysisError("batch_width must be >= 1")
+        from repro.pdk.registry import get_node
+        get_node(self.pdk_node)  # unknown nodes fail with the listing
 
 
 @dataclass
@@ -154,9 +160,9 @@ def _measure(params: tuple) -> ShifterMetrics:
     a pool worker computes bit-for-bit what the serial loop would.
     """
     (index, seed, temperature_c, spec, plan, kind, vddi, vddo,
-     sizing) = params
+     sizing, node) = params
     rng = np.random.default_rng(np.random.SeedSequence([seed, index]))
-    pdk = VariedPdk(rng, spec, temperature_c=temperature_c)
+    pdk = VariedPdk(rng, spec, temperature_c=temperature_c, node=node)
     return characterize(pdk, kind, vddi, vddo, plan=plan, sizing=sizing)
 
 
@@ -171,9 +177,9 @@ def _batch_measure(params_list: list) -> list:
     lanes = []
     for params in params_list:
         (index, seed, temperature_c, spec, plan, kind, vddi, vddo,
-         sizing) = params
+         sizing, node) = params
         rng = np.random.default_rng(np.random.SeedSequence([seed, index]))
-        pdk = VariedPdk(rng, spec, temperature_c=temperature_c)
+        pdk = VariedPdk(rng, spec, temperature_c=temperature_c, node=node)
         lanes.append((pdk, kind, vddi, vddo, plan, 1e-15, sizing, 1.0))
     return characterize_batch(lanes)
 
@@ -187,7 +193,7 @@ def monte_carlo_spec(kind: str, vddi: float, vddo: float,
     points = [
         ExperimentPoint(index, (index, config.seed, config.temperature_c,
                                 config.spec, config.plan, kind, vddi,
-                                vddo, sizing))
+                                vddo, sizing, config.pdk_node))
         for index in range(config.runs)
     ]
     return ExperimentSpec(
@@ -200,7 +206,8 @@ def monte_carlo_spec(kind: str, vddi: float, vddo: float,
         solver=config.solver,
         metadata={"experiment": "mc", "kind": kind, "vddi": vddi,
                   "vddo": vddo, "runs": config.runs, "seed": config.seed,
-                  "temperature_c": config.temperature_c})
+                  "temperature_c": config.temperature_c,
+                  "pdk_node": config.pdk_node})
 
 
 def result_from_resultset(resultset: ResultSet,

@@ -24,7 +24,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.testbench import build_dut, dut_is_inverting
+from repro.cells.registry import (
+    add_select_sources, build_dut, dut_is_inverting,
+)
 from repro.errors import AnalysisError, MeasurementError
 from repro.pdk import Pdk
 from repro.runtime.campaign import SampleFailure
@@ -88,10 +90,7 @@ def extract_vtc(kind: str, vddi: float, vddo: float,
     circuit.add(VoltageSource("vdrv", "vddi", "0", dc=vddi))
     circuit.add(VoltageSource("vin", "in", "0", dc=vddi))
     build_dut(circuit, pdk, kind, "in", "out", "vddo", "vddi", sizing)
-    if kind == "combined":
-        sel = vddo if vddi < vddo else 0.0
-        circuit.add(VoltageSource("vsel", "sel", "0", dc=sel))
-        circuit.add(VoltageSource("vselb", "selb", "0", dc=vddo - sel))
+    add_select_sources(circuit, kind, vddi, vddo)
 
     # Sweep from the input-high side: that state is driven
     # unconditionally by every DUT, so the latch is pinned correctly
@@ -193,7 +192,8 @@ def vtc_spec(kind: str, pairs=DEFAULT_PAIRS, pdk: Pdk | None = None,
         workers=workers, chunk_size=chunk_size,
         metadata={"experiment": "vtc", "kind": kind,
                   "pairs": [[float(a), float(b)] for a, b in pairs],
-                  "points": points})
+                  "points": points,
+                  "pdk_node": getattr(pdk, "node", "ptm90")})
 
 
 def report_from_resultset(resultset: ResultSet,

@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, fields, replace
 
+from repro.cells.registry import get_cell
 from repro.cells.sstvs import SstvsSizing
 from repro.core.characterize import StimulusPlan, characterize
 from repro.core.metrics import METRIC_FIELDS
@@ -82,9 +83,10 @@ def sensitivity_spec(kind: str, vddi: float, vddo: float,
                      workers: int = 1,
                      chunk_size: int | None = None) -> ExperimentSpec:
     """Describe a sensitivity campaign declaratively (validates args)."""
-    if kind != "sstvs":
-        raise AnalysisError("sensitivities are defined for the sstvs "
-                            "sizing knobs")
+    if get_cell(kind).sizing_type is not SstvsSizing:
+        raise AnalysisError(
+            f"sensitivities are defined for the sstvs sizing knobs; "
+            f"{kind!r} takes no SstvsSizing")
     if not 0 < relative_step < 0.5:
         raise AnalysisError("relative_step must be in (0, 0.5)")
     unknown = [k for k in knobs if k not in SIZING_KNOBS]
@@ -101,7 +103,8 @@ def sensitivity_spec(kind: str, vddi: float, vddo: float,
         workers=workers, chunk_size=chunk_size,
         metadata={"experiment": "sensitivity", "kind": kind,
                   "vddi": vddi, "vddo": vddo, "knobs": list(knobs),
-                  "relative_step": relative_step})
+                  "relative_step": relative_step,
+                  "pdk_node": getattr(pdk, "node", "ptm90")})
 
 
 def sensitivities_from_resultset(resultset: ResultSet

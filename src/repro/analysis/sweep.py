@@ -135,7 +135,8 @@ def sweep_spec(kind: str, grid: SweepGrid | None = None,
         workers=workers, chunk_size=chunk_size,
         metadata={"experiment": "sweep", "kind": kind,
                   "vddi_values": [float(v) for v in grid.vddi_values],
-                  "vddo_values": [float(v) for v in grid.vddo_values]})
+                  "vddo_values": [float(v) for v in grid.vddo_values],
+                  "pdk_node": getattr(pdk, "node", "ptm90")})
 
 
 def grid_from_resultset(resultset: ResultSet) -> SweepGrid:

@@ -42,18 +42,20 @@ class TemperaturePoint:
 
 def _measure(params: tuple) -> ShifterMetrics:
     """Characterize at one temperature; shared by serial/pool paths."""
-    temp, kind, vddi, vddo, sizing = params
-    pdk = Pdk(temperature_c=temp)
+    temp, kind, vddi, vddo, sizing, node = params
+    pdk = Pdk(temperature_c=temp, node=node)
     return characterize(pdk, kind, vddi, vddo, sizing=sizing)
 
 
 def temperature_spec(kind: str, vddi: float, vddo: float,
                      temperatures=PAPER_TEMPERATURES, sizing=None,
                      workers: int = 1,
-                     chunk_size: int | None = None) -> ExperimentSpec:
+                     chunk_size: int | None = None,
+                     pdk_node: str = "ptm90") -> ExperimentSpec:
     """Describe a nominal temperature sweep declaratively."""
     points = [ExperimentPoint(float(temp),
-                              (float(temp), kind, vddi, vddo, sizing))
+                              (float(temp), kind, vddi, vddo, sizing,
+                               pdk_node))
               for temp in temperatures]
     return ExperimentSpec(
         name=EXPERIMENT_NAME, measure=_measure, points=points,
@@ -61,7 +63,8 @@ def temperature_spec(kind: str, vddi: float, vddo: float,
         workers=workers, chunk_size=chunk_size,
         metadata={"experiment": "temperature", "kind": kind,
                   "vddi": vddi, "vddo": vddo,
-                  "temperatures": [float(t) for t in temperatures]})
+                  "temperatures": [float(t) for t in temperatures],
+                  "pdk_node": pdk_node})
 
 
 def points_from_resultset(resultset: ResultSet) -> list[TemperaturePoint]:
@@ -86,11 +89,12 @@ def sweep_temperature(kind: str, vddi: float, vddo: float,
                       resume: ResultSet | None = None,
                       store=None,
                       run_id: str | None = None,
-                      cache=None) -> list[TemperaturePoint]:
+                      cache=None,
+                      pdk_node: str = "ptm90") -> list[TemperaturePoint]:
     """Nominal-process characterization at each temperature."""
     spec = temperature_spec(kind, vddi, vddo, temperatures=temperatures,
                             sizing=sizing, workers=workers,
-                            chunk_size=chunk_size)
+                            chunk_size=chunk_size, pdk_node=pdk_node)
     resultset = run_experiment(spec, resume=resume, store=store,
                                run_id=run_id, cache=cache)
     return points_from_resultset(resultset)
@@ -101,7 +105,8 @@ def monte_carlo_over_temperature(kind: str, vddi: float, vddo: float,
                                  temperatures=PAPER_TEMPERATURES,
                                  seed: int = 20080310,
                                  sizing=None, workers: int = 1,
-                                 chunk_size: int | None = None
+                                 chunk_size: int | None = None,
+                                 pdk_node: str = "ptm90"
                                  ) -> dict[float, MonteCarloResult]:
     """Monte Carlo repeated per temperature (paper's validation).
 
@@ -113,7 +118,8 @@ def monte_carlo_over_temperature(kind: str, vddi: float, vddo: float,
     for temp in temperatures:
         config = MonteCarloConfig(runs=runs, seed=seed,
                                   temperature_c=temp, workers=workers,
-                                  chunk_size=chunk_size)
+                                  chunk_size=chunk_size,
+                                  pdk_node=pdk_node)
         results[temp] = run_monte_carlo(kind, vddi, vddo, config,
                                         sizing=sizing)
     return results

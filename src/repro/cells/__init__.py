@@ -1,4 +1,10 @@
-"""Cell library: primitive gates and every level shifter in the study."""
+"""Cell library: primitive gates and every level shifter in the study.
+
+Shifter cells are *registered plugins*: importing this package
+registers the built-in zoo with :mod:`repro.cells.registry`, and every
+consumer (benches, campaigns, the CLI) resolves kinds through
+:func:`repro.cells.registry.get_cell` rather than hardcoded branches.
+"""
 
 from repro.cells.inverter import add_inverter
 from repro.cells.gates import add_nand2, add_nor2
@@ -7,6 +13,12 @@ from repro.cells.cvs import add_cvs
 from repro.cells.ssvs import add_ssvs_khan, add_ssvs_puri
 from repro.cells.sstvs import SstvsSizing, add_sstvs
 from repro.cells.combined_vs import add_combined_vs
+from repro.cells.lpls import add_lpls_pass, add_lpls_split
+from repro.cells.ulpls import add_ulpls
+from repro.cells.registry import (
+    CellSpec, add_select_sources, build_dut, cell_names, dut_is_inverting,
+    get_cell, register_cell,
+)
 
 __all__ = [
     "add_inverter",
@@ -20,4 +32,14 @@ __all__ = [
     "add_sstvs",
     "SstvsSizing",
     "add_combined_vs",
+    "add_lpls_split",
+    "add_lpls_pass",
+    "add_ulpls",
+    "CellSpec",
+    "register_cell",
+    "get_cell",
+    "cell_names",
+    "build_dut",
+    "dut_is_inverting",
+    "add_select_sources",
 ]

@@ -1,0 +1,91 @@
+"""Low-power level shifters after Kumar/Arya/Pandey (arXiv 1011.0507).
+
+The source paper surveys low-power DCVS-derived shifters; its
+transistor-level figures are not available in this environment, so the
+two cells here are reconstructions from the published operating
+descriptions (the same methodology as the SS-VS reconstructions in
+:mod:`repro.cells.ssvs`; DESIGN.md documents every assumption).
+
+* **Split-pull-up DCVS** (:func:`add_lpls_split`): the classic CVS's
+  short-circuit current flows while a low-swing-driven NMOS fights a
+  fully-on cross-coupled PMOS. Splitting each pull-up into two series
+  PMOS, the extra device gated by the *input* (true side) or its
+  complement (output side), starves the pull-up exactly during the
+  fight: the blocking device sees ``Vgs = VDDI - VDDO`` instead of
+  ``-VDDO``, cutting the crowbar current without touching the static
+  states. Non-inverting, dual-supply like the CVS it improves on.
+
+* **Pass-gate shifter** (:func:`add_lpls_pass`): the minimal-area
+  alternative — an always-on NMOS pass device (gate tied to VDDO)
+  admits the input up to ``min(VDDI, VDDO - Vtn)``; a VDDO inverter
+  senses the attenuated level; a weak PMOS keeper closes the loop,
+  restoring the internal node to full VDDO whenever the output is low
+  so the inverter leaks only subthreshold current in the high state.
+  Inverting, single-supply, four transistors.
+"""
+
+from __future__ import annotations
+
+from repro.cells.inverter import add_inverter
+
+
+def add_lpls_split(circuit, pdk, name: str, inp: str, out: str,
+                   vddi: str, vddo: str, gnd: str = "0",
+                   wn: float = 0.6e-6, wp: float = 0.3e-6,
+                   lp: float = 0.15e-6,
+                   l: float | None = None) -> dict:
+    """Add a split-pull-up DCVS shifter; returns probe/device names.
+
+    Same latch skeleton and sizing discipline as
+    :func:`repro.cells.cvs.add_cvs` (pull-downs must win the ratioed
+    fight), but each pull-up is two series PMOS: the latch device
+    (gate = opposite latch node) in series with the contention blocker
+    (gate = the input phase that is high while that side's pull-down
+    is fighting). The series devices are drawn at twice the CVS pull-up
+    width and shorter length so the *static* pull-up strength matches
+    the CVS while the *dynamic* fight is much weaker.
+    """
+    b = f"{name}.b"
+    x1 = f"{name}.x1"
+    p1 = f"{name}.p1"
+    p2 = f"{name}.p2"
+    devices = {}
+    devices.update(add_inverter(circuit, pdk, f"{name}.invin", inp, b,
+                                vddi, gnd, l=l))
+    devices["mn1"] = circuit.add(pdk.mosfet(
+        f"{name}.mn1", x1, inp, gnd, gnd, "n", wn, l)).name
+    devices["mn2"] = circuit.add(pdk.mosfet(
+        f"{name}.mn2", out, b, gnd, gnd, "n", wn, l)).name
+    devices["mp1a"] = circuit.add(pdk.mosfet(
+        f"{name}.mp1a", p1, out, vddo, vddo, "p", wp, lp)).name
+    devices["mp1b"] = circuit.add(pdk.mosfet(
+        f"{name}.mp1b", x1, inp, p1, vddo, "p", wp, lp)).name
+    devices["mp2a"] = circuit.add(pdk.mosfet(
+        f"{name}.mp2a", p2, x1, vddo, vddo, "p", wp, lp)).name
+    devices["mp2b"] = circuit.add(pdk.mosfet(
+        f"{name}.mp2b", out, b, p2, vddo, "p", wp, lp)).name
+    devices["nodes"] = {"b": b, "x1": x1, "p1": p1, "p2": p2}
+    return devices
+
+
+def add_lpls_pass(circuit, pdk, name: str, inp: str, out: str,
+                  vddo: str, gnd: str = "0", w_pass: float = 0.6e-6,
+                  w_keep: float = 0.12e-6, l_keep: float = 0.2e-6,
+                  l: float | None = None) -> dict:
+    """Add a pass-gate level shifter (inverting, single supply).
+
+    The pass NMOS's gate is wired to the VDDO rail node itself, so the
+    internal node ``a`` tracks ``min(VDDI, VDDO - Vtn)``; the keeper is
+    deliberately weak and long so the pass device wins the only ratioed
+    fight (pulling ``a`` back down on a falling input).
+    """
+    a = f"{name}.a"
+    devices = {}
+    devices["mpass"] = circuit.add(pdk.mosfet(
+        f"{name}.mpass", a, vddo, inp, gnd, "n", w_pass, l)).name
+    devices.update({f"inv_{k}": v for k, v in add_inverter(
+        circuit, pdk, f"{name}.inv1", a, out, vddo, gnd, l=l).items()})
+    devices["mkeep"] = circuit.add(pdk.mosfet(
+        f"{name}.mkeep", a, out, vddo, vddo, "p", w_keep, l_keep)).name
+    devices["nodes"] = {"a": a}
+    return devices

@@ -1,0 +1,66 @@
+"""Ultra-low-power level shifter with a current-mirror input sense.
+
+Reconstruction of the 22 nm ULPLS of arXiv 2302.08553, which detects
+input swings down to tens of millivolts. The published claim rests on
+sensing the input in the *current* domain instead of the voltage
+domain: a low-Vt input NMOS converts even a subthreshold gate swing
+into decades of drain-current change, a PMOS mirror amplifies it, and
+only then does a conventional inverter restore rails. The
+transistor-level figure is not available in this environment; the
+reconstruction (documented in DESIGN.md) follows the operating
+description:
+
+* **M1** (low-Vt NMOS, gate = input): the sense device. At millivolt
+  inputs it operates purely in subthreshold, where
+  ``Id ~ exp(Vgs / (n Vt))`` — the near-ideal slope of the lv22 node
+  is exactly what makes a 70 mV swing produce a usable current ratio.
+* **MP1/MP2** (PMOS diode + mirror, 1:4): amplify M1's sink current
+  into a VDDO-referred pull-up on the mirror output ``y``.
+* **MLOAD** (weak, long, high-Vt NMOS, gate tied to the VDDO rail):
+  the always-on current reference ``y`` is compared against. The
+  minimum detectable input is set by where the mirrored M1 current
+  crosses this reference.
+* **MRST** (weak, long PMOS, gate = input): with the input low it
+  parks the mirror gate ``x`` at full VDDO, turning the mirror hard
+  off so the low state burns only leakage; with the input high it is
+  mostly off (``Vgs = VDDI - VDDO``) and merely adds a known offset to
+  the sensed current.
+* Output inverter ``y -> out`` (VDDO): rail restoration. Overall
+  polarity is inverting, like the SS-TVS.
+
+The cost — static mirror current while the input is high — is the
+textbook price of current-mode sensing; the leaderboard's power
+columns make it visible next to the latch-based cells.
+"""
+
+from __future__ import annotations
+
+from repro.cells.inverter import add_inverter
+from repro.pdk.ptm90 import HIGH_VT, LOW_VT
+
+
+def add_ulpls(circuit, pdk, name: str, inp: str, out: str, vddo: str,
+              gnd: str = "0", w_sense: float = 1.0e-6,
+              w_diode: float = 0.15e-6, w_mirror: float = 0.6e-6,
+              w_load: float = 0.1e-6, l_load: float = 0.5e-6,
+              w_rst: float = 0.2e-6, l_rst: float = 0.2e-6,
+              l: float | None = None) -> dict:
+    """Add a current-mirror ULPLS (inverting, single supply)."""
+    x = f"{name}.x"
+    y = f"{name}.y"
+    devices = {}
+    devices["m1"] = circuit.add(pdk.mosfet(
+        f"{name}.m1", x, inp, gnd, gnd, "n", w_sense, l, LOW_VT)).name
+    devices["mp1"] = circuit.add(pdk.mosfet(
+        f"{name}.mp1", x, x, vddo, vddo, "p", w_diode, l)).name
+    devices["mp2"] = circuit.add(pdk.mosfet(
+        f"{name}.mp2", y, x, vddo, vddo, "p", w_mirror, l)).name
+    devices["mrst"] = circuit.add(pdk.mosfet(
+        f"{name}.mrst", x, inp, vddo, vddo, "p", w_rst, l_rst)).name
+    devices["mload"] = circuit.add(pdk.mosfet(
+        f"{name}.mload", y, vddo, gnd, gnd, "n", w_load, l_load,
+        HIGH_VT)).name
+    devices.update({f"inv_{k}": v for k, v in add_inverter(
+        circuit, pdk, f"{name}.inv1", y, out, vddo, gnd, l=l).items()})
+    devices["nodes"] = {"x": x, "y": y}
+    return devices

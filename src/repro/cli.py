@@ -14,11 +14,18 @@ Commands map one-to-one onto the library's experiment entry points:
 * ``vtc`` — DC transfer curve / noise margins;
 * ``pvt`` — process-corner x temperature report;
 * ``bench`` — timed benchmark workloads (appends to a trajectory file;
-  ``--check`` is the regression guard);
+  ``--check`` is the regression guard; ``--leaderboard`` characterizes
+  every registered cell x PDK node x corner into LEADERBOARD.json);
 * ``check`` — fault-injected self-test of the resilient solver runtime
-  (``--experiments`` adds an engine/artifact-store smoke test,
-  ``--golden`` runs the analytic golden test battery, ``--chaos`` the
-  crash/corruption chaos battery);
+  (``--cells`` smokes the cell & PDK registries, ``--experiments``
+  adds an engine/artifact-store smoke test, ``--golden`` runs the
+  analytic golden test battery, ``--chaos`` the crash/corruption
+  chaos battery);
+
+Cell kinds and PDK nodes come from the live registries
+(:mod:`repro.cells.registry`, :mod:`repro.pdk.registry`): a topology
+or node registered at import time is immediately addressable from
+every subcommand, and unknown names fail listing what *is* registered.
 * ``serve`` — supervised campaign job service over a drop directory
   (durable journal, worker watchdog, crash requeue, SIGTERM-clean);
 * ``cache`` — inspect/verify/clear a content-addressed solve cache;
@@ -42,8 +49,9 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.cells.registry import cell_names
 from repro.core.metrics import METRIC_FIELDS, METRIC_LABELS, METRIC_UNITS
-from repro.core.testbench import KINDS
+from repro.pdk.registry import node_names
 from repro.units import format_eng
 
 
@@ -52,6 +60,13 @@ def _add_voltage_args(parser) -> None:
                         help="input-domain supply [V]")
     parser.add_argument("--vddo", type=float, default=1.2,
                         help="output-domain supply [V]")
+
+
+def _add_pdk_arg(parser) -> None:
+    parser.add_argument("--pdk", default="ptm90", choices=node_names(),
+                        help="registered PDK node to run on (choices "
+                             "come from the live node registry; see "
+                             "README 'Cell & PDK zoo')")
 
 
 def _add_backend_arg(parser) -> None:
@@ -134,14 +149,14 @@ def _print_metrics(metrics, title: str) -> None:
 
 def cmd_characterize(args) -> int:
     from repro.core.characterize import characterize_kinds
-    from repro.pdk import Pdk
+    from repro.pdk import make_pdk
     store, resume, run_id, cache = _campaign_io(args)
     results = characterize_kinds(args.kinds, args.vddi, args.vddo,
-                                 pdk=Pdk(args.temp),
+                                 pdk=make_pdk(args.pdk, args.temp),
                                  workers=args.workers, resume=resume,
                                  store=store, run_id=run_id, cache=cache)
     for kind, metrics in results.items():
-        _print_metrics(metrics, f"{kind}: {args.vddi} V -> "
+        _print_metrics(metrics, f"{kind} [{args.pdk}]: {args.vddi} V -> "
                                 f"{args.vddo} V @ {args.temp} C")
     if store is not None and store.list_runs():
         print(f"stored run under {store.root}")
@@ -168,9 +183,11 @@ def cmd_sweep(args) -> int:
     from repro.analysis import (
         SweepGrid, render_surface_ascii, sweep_delay_surface,
     )
+    from repro.pdk import make_pdk
     store, resume, run_id, cache = _campaign_io(args)
     surface = sweep_delay_surface(args.kind,
                                   SweepGrid.with_step(args.step),
+                                  pdk=make_pdk(args.pdk, args.temp),
                                   workers=args.workers, resume=resume,
                                   store=store, run_id=run_id, cache=cache)
     print("Rising delay [ps]:")
@@ -189,7 +206,8 @@ def cmd_mc(args) -> int:
                               temperature_c=args.temp,
                               workers=args.workers,
                               backend=getattr(args, "backend", None),
-                              solver=getattr(args, "solver", None))
+                              solver=getattr(args, "solver", None),
+                              pdk_node=args.pdk)
     result = run_monte_carlo(args.kind, args.vddi, args.vddo, config,
                              resume=resume, store=store, run_id=run_id,
                              cache=cache)
@@ -207,9 +225,11 @@ def cmd_mc(args) -> int:
 
 def cmd_functional(args) -> int:
     from repro.analysis import SweepGrid, validate_functionality
+    from repro.pdk import make_pdk
     store, resume, run_id, cache = _campaign_io(args)
     report = validate_functionality(args.kind,
                                     SweepGrid.with_step(args.step),
+                                    pdk=make_pdk(args.pdk, args.temp),
                                     workers=args.workers,
                                     backend=getattr(args, "backend", None),
                                     solver=getattr(args, "solver", None),
@@ -227,8 +247,9 @@ def cmd_temp(args) -> int:
     points = sweep_temperature(args.kind, args.vddi, args.vddo,
                                temperatures=tuple(args.temps),
                                workers=args.workers, resume=resume,
-                               store=store, run_id=run_id, cache=cache)
-    print(f"{args.kind}, {args.vddi} V -> {args.vddo} V:")
+                               store=store, run_id=run_id, cache=cache,
+                               pdk_node=args.pdk)
+    print(f"{args.kind} [{args.pdk}], {args.vddi} V -> {args.vddo} V:")
     print(f"  {'T[C]':>6s} {'d_rise':>9s} {'d_fall':>9s} "
           f"{'leak_hi':>9s} {'func':>5s}")
     for p in points:
@@ -245,10 +266,12 @@ def cmd_sens(args) -> int:
     from repro.analysis import (
         SIZING_KNOBS, metric_sensitivities, render_sensitivity_table,
     )
+    from repro.pdk import make_pdk
     store, resume, run_id, cache = _campaign_io(args)
     knobs = tuple(args.knobs) if args.knobs else SIZING_KNOBS
     sensitivities = metric_sensitivities(
-        "sstvs", args.vddi, args.vddo, knobs=knobs,
+        args.kind, args.vddi, args.vddo, knobs=knobs,
+        pdk=make_pdk(args.pdk, args.temp),
         workers=args.workers, resume=resume, store=store, run_id=run_id,
         cache=cache)
     print(render_sensitivity_table(sensitivities))
@@ -256,17 +279,17 @@ def cmd_sens(args) -> int:
 
 
 def cmd_area(args) -> int:
-    from repro.cells import (
-        add_combined_vs, add_cvs, add_inverter, add_ssvs_khan, add_sstvs,
-    )
+    from repro.cells.registry import get_cell
     from repro.layout import estimate_cell_area
-    from repro.pdk import Pdk
-    pdk = Pdk()
-    for name, builder in (("inverter", add_inverter), ("cvs", add_cvs),
-                          ("ssvs_khan", add_ssvs_khan),
-                          ("combined_vs", add_combined_vs),
-                          ("sstvs", add_sstvs)):
-        est = estimate_cell_area(builder, pdk)
+    from repro.pdk import make_pdk
+    pdk = make_pdk(args.pdk)
+    for name in cell_names():
+        spec = get_cell(name)
+        if spec.area_probe is None:
+            print(f"{name:12s} {'n/a':>10s} ({spec.device_count} devices, "
+                  f"no area probe registered)")
+            continue
+        est = estimate_cell_area(spec.area_probe, pdk)
         print(f"{name:12s} {est.total_area_um2:6.2f} um^2 "
               f"({est.device_count} devices)")
     return 0
@@ -274,10 +297,10 @@ def cmd_area(args) -> int:
 
 def cmd_liberty(args) -> int:
     from repro.core.libchar import characterize_cell, write_liberty
-    from repro.pdk import Pdk
+    from repro.pdk import make_pdk
     store, _, _, cache = _campaign_io(args)
-    cells = [characterize_cell(kind, Pdk(args.temp), args.vddi,
-                               args.vddo, workers=args.workers,
+    cells = [characterize_cell(kind, make_pdk(args.pdk, args.temp),
+                               args.vddi, args.vddo, workers=args.workers,
                                store=store, cache=cache)
              for kind in args.kinds]
     text = write_liberty(cells)
@@ -292,8 +315,10 @@ def cmd_liberty(args) -> int:
 
 def cmd_vtc(args) -> int:
     from repro.analysis import vtc_report
+    from repro.pdk import make_pdk
     store, resume, run_id, cache = _campaign_io(args)
     report = vtc_report(args.kind, pairs=((args.vddi, args.vddo),),
+                        pdk=make_pdk(args.pdk, args.temp),
                         workers=args.workers, resume=resume,
                         store=store, run_id=run_id, cache=cache)
     if report.failures:
@@ -318,7 +343,8 @@ def cmd_pvt(args) -> int:
     store, resume, run_id, cache = _campaign_io(args)
     report = pvt_report(args.kind, args.vddi, args.vddo,
                         workers=args.workers, resume=resume,
-                        store=store, run_id=run_id, cache=cache)
+                        store=store, run_id=run_id, cache=cache,
+                        pdk_node=args.pdk)
     print(report.pretty())
     _report_run(report)
     return 0 if report.all_functional else 1
@@ -396,9 +422,10 @@ def cmd_trace(args) -> int:
 
 def cmd_vcd(args) -> int:
     from repro.core.characterize import StimulusPlan, run_stimulus
-    from repro.pdk import Pdk
+    from repro.pdk import make_pdk
     from repro.spice.vcd import write_vcd
-    result, probes = run_stimulus(Pdk(args.temp), args.kind, args.vddi,
+    result, probes = run_stimulus(make_pdk(args.pdk, args.temp),
+                                  args.kind, args.vddi,
                                   args.vddo, StimulusPlan())
     nodes = [probes.in_node, probes.out_node]
     nodes += list(probes.internal.get("nodes", {}).values())
@@ -479,6 +506,8 @@ def cmd_bench(args) -> int:
         check_tracer_overhead, load_trajectory, run_bench_suite,
         validate_baseline,
     )
+    if args.leaderboard:
+        return _bench_leaderboard(args)
     record = run_bench_suite(mc_runs=args.runs, sweep_step=args.step,
                              workers=args.workers)
     for name, workload in record["workloads"].items():
@@ -553,6 +582,48 @@ def cmd_bench(args) -> int:
     print(f"appended to {args.out} ({entries} entr"
           f"{'y' if entries == 1 else 'ies'})")
     return 0
+
+
+def _bench_leaderboard(args) -> int:
+    """Characterize cells x nodes x corners into the standing artifact."""
+    from repro.analysis.leaderboard import (
+        build_leaderboard, render_leaderboard, write_leaderboard,
+    )
+    out = args.out if args.out != "BENCH.json" else "LEADERBOARD.json"
+
+    def progress(label: str) -> None:
+        print(f"\r  {label:<44s}", end="", flush=True)
+
+    board = build_leaderboard(cells=args.cells, nodes=args.nodes,
+                              corners=args.corners, progress=progress)
+    print("\r" + " " * 48 + "\r", end="")
+    board = write_leaderboard(board, out)
+    print(render_leaderboard(board))
+    entries = len(board["entries"])
+    print(f"wrote {out} (version {board['version']}, "
+          f"{entries} corner entries)")
+    return 0
+
+
+def _check_cells(check) -> None:
+    """Registry smoke: every cell characterizes on every node."""
+    from repro.core.characterize import characterize
+    from repro.pdk.registry import get_node, make_pdk
+    print("cell & PDK registry smoke (every cell x node, canonical "
+          "pair):")
+    for node_name in node_names():
+        node = get_node(node_name)
+        vddi, vddo = node.default_pair
+        for cell in cell_names():
+            label = (f"{cell}@{node_name} converts "
+                     f"{vddi:g} V -> {vddo:g} V")
+            try:
+                metrics = characterize(make_pdk(node_name), cell,
+                                       vddi, vddo)
+            except Exception as exc:
+                check(f"{label} ({type(exc).__name__}: {exc})", False)
+            else:
+                check(label, metrics.functional)
 
 
 def _check_experiments(check) -> None:
@@ -795,6 +866,13 @@ def cmd_check(args) -> int:
                and result.functional_yield < 1.0)
         print("  " + result.failure_summary().replace("\n", "\n  "))
 
+    if args.cells:
+        try:
+            _check_cells(_check)
+        except Exception as exc:
+            _check(f"registry smoke raised {type(exc).__name__}: {exc}",
+                   False)
+
     if args.experiments:
         try:
             _check_experiments(_check)
@@ -846,8 +924,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("characterize", help="six-metric characterization")
-    p.add_argument("kinds", nargs="+", choices=KINDS, metavar="kind")
+    p.add_argument("kinds", nargs="+", choices=cell_names(),
+                   metavar="kind")
     _add_voltage_args(p)
+    _add_pdk_arg(p)
     _add_campaign_args(p)
     p.set_defaults(func=cmd_characterize)
 
@@ -856,62 +936,79 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("sweep", help="delay surfaces (Figures 8/9)")
-    p.add_argument("kind", nargs="?", default="sstvs", choices=KINDS)
+    p.add_argument("kind", nargs="?", default="sstvs",
+                   choices=cell_names(), metavar="kind")
     p.add_argument("--step", type=float, default=0.2)
+    _add_pdk_arg(p)
     _add_campaign_args(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("mc", help="Monte Carlo statistics (Tables 3/4)")
-    p.add_argument("kind", nargs="?", default="sstvs", choices=KINDS)
+    p.add_argument("kind", nargs="?", default="sstvs",
+                   choices=cell_names(), metavar="kind")
     _add_voltage_args(p)
     p.add_argument("--runs", type=int, default=25)
     p.add_argument("--seed", type=int, default=20080310)
+    _add_pdk_arg(p)
     _add_campaign_args(p)
     _add_backend_arg(p)
     p.set_defaults(func=cmd_mc)
 
     p = sub.add_parser("functional", help="full-grid conversion check")
-    p.add_argument("kind", nargs="?", default="sstvs", choices=KINDS)
+    p.add_argument("kind", nargs="?", default="sstvs",
+                   choices=cell_names(), metavar="kind")
     p.add_argument("--step", type=float, default=0.2)
+    _add_pdk_arg(p)
     _add_campaign_args(p)
     _add_backend_arg(p)
     p.set_defaults(func=cmd_functional)
 
     p = sub.add_parser("temp", help="characterization vs temperature")
-    p.add_argument("kind", nargs="?", default="sstvs", choices=KINDS)
+    p.add_argument("kind", nargs="?", default="sstvs",
+                   choices=cell_names(), metavar="kind")
     _add_voltage_args(p)
     p.add_argument("--temps", type=float, nargs="+",
                    default=[27.0, 60.0, 90.0],
                    help="temperatures [C] (paper: 27 60 90)")
+    _add_pdk_arg(p)
     _add_campaign_args(p)
     p.set_defaults(func=cmd_temp)
 
     p = sub.add_parser("sens", help="sizing-knob sensitivities (sstvs)")
+    p.add_argument("kind", nargs="?", default="sstvs",
+                   choices=cell_names(), metavar="kind")
     _add_voltage_args(p)
     p.add_argument("--knobs", nargs="+", default=None,
                    help="sizing knobs to perturb (default: all)")
+    _add_pdk_arg(p)
     _add_campaign_args(p)
     p.set_defaults(func=cmd_sens)
 
     p = sub.add_parser("area", help="cell-area estimates (Figure 7)")
+    _add_pdk_arg(p)
     p.set_defaults(func=cmd_area)
 
     p = sub.add_parser("liberty", help="NLDM characterization -> .lib")
-    p.add_argument("kinds", nargs="+", choices=KINDS)
+    p.add_argument("kinds", nargs="+", choices=cell_names(),
+                   metavar="kind")
     _add_voltage_args(p)
     p.add_argument("--output", "-o", default="-")
+    _add_pdk_arg(p)
     _add_campaign_args(p)
     p.set_defaults(func=cmd_liberty)
 
     p = sub.add_parser("vtc", help="DC transfer curve / noise margins")
-    p.add_argument("kind", choices=KINDS)
+    p.add_argument("kind", choices=cell_names(), metavar="kind")
     _add_voltage_args(p)
+    _add_pdk_arg(p)
     _add_campaign_args(p)
     p.set_defaults(func=cmd_vtc)
 
     p = sub.add_parser("pvt", help="process-corner x temperature report")
-    p.add_argument("kind", nargs="?", default="sstvs", choices=KINDS)
+    p.add_argument("kind", nargs="?", default="sstvs",
+                   choices=cell_names(), metavar="kind")
     _add_voltage_args(p)
+    _add_pdk_arg(p)
     _add_campaign_args(p)
     p.set_defaults(func=cmd_pvt)
 
@@ -970,11 +1067,30 @@ def build_parser() -> argparse.ArgumentParser:
                         "regression")
     p.add_argument("--workers", type=int, default=4,
                    help="pool width for the parallel MC workload")
+    p.add_argument("--leaderboard", action="store_true",
+                   help="instead of the timed workloads, characterize "
+                        "every registered cell on every registered PDK "
+                        "node at every process corner and write the "
+                        "standing leaderboard artifact (--out defaults "
+                        "to LEADERBOARD.json in this mode)")
+    p.add_argument("--cells", nargs="+", default=None,
+                   choices=cell_names(), metavar="cell",
+                   help="leaderboard: restrict to these cells")
+    p.add_argument("--nodes", nargs="+", default=None,
+                   choices=node_names(), metavar="node",
+                   help="leaderboard: restrict to these PDK nodes")
+    p.add_argument("--corners", nargs="+", default=None,
+                   help="leaderboard: restrict to these corners "
+                        "(default: all)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("check", help="fault-injected solver self-test")
     p.add_argument("--runs", type=int, default=6,
                    help="smoke-campaign sample count")
+    p.add_argument("--cells", action="store_true",
+                   help="also smoke-test the cell & PDK registries: "
+                        "characterize every registered cell on every "
+                        "registered node at its canonical pair")
     p.add_argument("--experiments", action="store_true",
                    help="also smoke-test the experiment engine and "
                         "artifact store (persist, reload, resume)")
@@ -1002,8 +1118,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("vcd", help="dump a characterization transient")
-    p.add_argument("kind", choices=KINDS)
+    p.add_argument("kind", choices=cell_names(), metavar="kind")
     _add_voltage_args(p)
+    _add_pdk_arg(p)
     p.add_argument("--output", "-o", default="shifter.vcd")
     p.set_defaults(func=cmd_vcd)
 

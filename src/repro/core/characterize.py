@@ -515,7 +515,8 @@ def characterize_kinds_spec(kinds, vddi: float, vddo: float, pdk=None,
         points=points, stage="characterize", codec="metrics",
         workers=workers, chunk_size=chunk_size,
         metadata={"experiment": "characterize", "kinds": list(kinds),
-                  "vddi": vddi, "vddo": vddo})
+                  "vddi": vddi, "vddo": vddo,
+                  "pdk_node": getattr(pdk, "node", "ptm90")})
 
 
 def characterize_kinds(kinds, vddi: float, vddo: float, pdk=None,

@@ -24,7 +24,9 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.testbench import build_dut, dut_is_inverting
+from repro.cells.registry import (
+    add_select_sources, build_dut, dut_is_inverting,
+)
 from repro.errors import AnalysisError, MeasurementError
 from repro.spice import Circuit, Transient
 from repro.spice.devices import Capacitor, Pwl, VoltageSource
@@ -135,10 +137,7 @@ def _grid_measure(params: tuple) -> dict:
                               shape=_input_pwl(vddi, slew,
                                                t_rise, t_fall)))
     build_dut(circuit, pdk, kind, "in", "out", "vddo", "vddi", sizing)
-    if kind == "combined":
-        sel = vddo if vddi < vddo else 0.0
-        circuit.add(VoltageSource("vsel", "sel", "0", dc=sel))
-        circuit.add(VoltageSource("vselb", "selb", "0", dc=vddo - sel))
+    add_select_sources(circuit, kind, vddi, vddo)
     circuit.add(Capacitor("cload", "out", "0", float(load)))
     input_cap = _estimate_input_capacitance(circuit, "in")
     options = TransientOptions(h_max=50e-12, dv_max=0.05)
@@ -194,7 +193,8 @@ def libchar_spec(kind: str, vddi: float, vddo: float, pdk,
         chunk_size=chunk_size,
         metadata={"experiment": "libchar", "kind": kind, "vddi": vddi,
                   "vddo": vddo, "slews": [float(s) for s in slews],
-                  "loads": [float(c) for c in loads]})
+                  "loads": [float(c) for c in loads],
+                  "pdk_node": getattr(pdk, "node", "ptm90")})
 
 
 def characterize_cell(kind: str, pdk, vddi: float, vddo: float,

@@ -14,9 +14,8 @@ from __future__ import annotations
 from repro.core.characterize import (
     QuickDelays, StimulusPlan, characterize, quick_delays,
 )
+from repro.cells.registry import get_cell
 from repro.core.metrics import ShifterMetrics
-from repro.core.testbench import KINDS
-from repro.errors import AnalysisError
 from repro.pdk import Pdk
 
 
@@ -24,17 +23,16 @@ class LevelShifter:
     """One shifter kind bound to a PDK and optional sizing.
 
     Args:
-        kind: one of ``"sstvs"``, ``"combined"``, ``"inverter"``,
-            ``"ssvs_khan"``, ``"ssvs_puri"``, ``"cvs"``.
+        kind: any registered cell name (see
+            :func:`repro.cells.registry.cell_names`), e.g. ``"sstvs"``.
         pdk: device factory; defaults to the nominal 27 C PDK.
-        sizing: optional :class:`~repro.cells.sstvs.SstvsSizing` for
-            the SS-TVS kind.
+        sizing: optional sizing dataclass matching the cell's
+            ``sizing_type`` (e.g. :class:`~repro.cells.sstvs.SstvsSizing`
+            for the SS-TVS).
     """
 
     def __init__(self, kind: str, pdk: Pdk | None = None, sizing=None):
-        if kind not in KINDS:
-            raise AnalysisError(f"unknown shifter kind {kind!r}; "
-                                f"expected one of {KINDS}")
+        get_cell(kind)  # unknown kinds fail with the registry listing
         self.kind = kind
         self.pdk = pdk or Pdk()
         self.sizing = sizing

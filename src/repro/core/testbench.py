@@ -21,23 +21,32 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.cells import (
-    add_combined_vs, add_cvs, add_inverter, add_ssvs_khan, add_ssvs_puri,
-    add_sstvs,
+from repro.cells import add_inverter
+from repro.cells.registry import (
+    add_select_sources, build_dut, cell_names, dut_is_inverting,
 )
-from repro.cells.sstvs import SstvsSizing
 from repro.errors import AnalysisError
 from repro.spice import Circuit
 from repro.spice.devices import Capacitor, Pwl, VoltageSource
 
-#: DUT kind identifiers.
+#: Well-known kind identifiers (the paper's cells). The registry — not
+#: these constants — is the source of truth; they exist so call sites
+#: read as prose.
 SSTVS = "sstvs"
 COMBINED = "combined"
 INVERTER = "inverter"
 SSVS_KHAN = "ssvs_khan"
 SSVS_PURI = "ssvs_puri"
 CVS = "cvs"
-KINDS = (SSTVS, COMBINED, INVERTER, SSVS_KHAN, SSVS_PURI, CVS)
+
+
+def __getattr__(name: str):
+    # KINDS is computed, not stored: late-registered cells appear in it
+    # automatically, so argparse choices, sweep-all campaigns, and the
+    # test matrix track the live registry.
+    if name == "KINDS":
+        return cell_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Default output load, from the paper ("loaded with a fixed
 #: capacitance of 1 fF").
@@ -91,32 +100,6 @@ def input_source_pwl(steps: Sequence[InputStep], vddi: float,
     return Pwl(points)
 
 
-def build_dut(circuit: Circuit, pdk, kind: str, inp: str, out: str,
-              vddo_node: str, vddi_node: str, sizing=None) -> dict:
-    """Instantiate one DUT kind; returns its device/node map."""
-    if kind == SSTVS:
-        return add_sstvs(circuit, pdk, "dut", inp, out, vddo_node,
-                         sizing=sizing if isinstance(sizing, SstvsSizing)
-                         else None)
-    if kind == COMBINED:
-        return add_combined_vs(circuit, pdk, "dut", inp, out, vddo_node,
-                               "sel", "selb")
-    if kind == INVERTER:
-        return add_inverter(circuit, pdk, "dut", inp, out, vddo_node)
-    if kind == SSVS_KHAN:
-        return add_ssvs_khan(circuit, pdk, "dut", inp, out, vddo_node)
-    if kind == SSVS_PURI:
-        return add_ssvs_puri(circuit, pdk, "dut", inp, out, vddo_node)
-    if kind == CVS:
-        return add_cvs(circuit, pdk, "dut", inp, out, vddi_node, vddo_node)
-    raise AnalysisError(f"unknown DUT kind {kind!r}; expected one of {KINDS}")
-
-
-def dut_is_inverting(kind: str) -> bool:
-    """Polarity of each DUT (the CVS of Figure 1 is non-inverting)."""
-    return kind != CVS
-
-
 def build_testbench(pdk, kind: str, vddi: float, vddo: float,
                     steps: Sequence[InputStep],
                     load_cap: float = LOAD_CAP,
@@ -150,13 +133,9 @@ def build_testbench(pdk, kind: str, vddi: float, vddo: float,
                  wn=WN_DEFAULT * driver_scale,
                  wp=WP_DEFAULT * driver_scale)
 
-    if kind == COMBINED:
-        # External direction control: select the SS-VS path for a
-        # low-to-high shift, the inverter path otherwise.
-        sel_level = vddo if vddi < vddo else 0.0
-        circuit.add(VoltageSource("vsel", "sel", "0", dc=sel_level))
-        circuit.add(VoltageSource("vselb", "selb", "0",
-                                  dc=vddo - sel_level))
+    # Externally steered cells (the combined VS) get their
+    # direction-select sources from the registry's shared helper.
+    add_select_sources(circuit, kind, vddi, vddo)
 
     probes.internal = build_dut(circuit, pdk, kind, probes.in_node,
                                 probes.out_node, "vddo", "vddi", sizing)

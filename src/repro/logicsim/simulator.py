@@ -110,9 +110,9 @@ class LogicSimulator:
     def run(self, t_stop: float) -> None:
         """Advance simulation time to ``t_stop``."""
         while self._queue and self._queue[0][0] <= t_stop:
-            time, _, kind, target, payload = heapq.heappop(self._queue)
+            time, _, event_kind, target, payload = heapq.heappop(self._queue)
             self._now = time
-            if kind == "net":
+            if event_kind == "net":
                 self._apply(target, payload)
             else:
                 self.supplies.set(target, payload)

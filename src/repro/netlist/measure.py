@@ -39,8 +39,8 @@ def _signal(result, expr: str) -> Waveform:
     match = _SIGNAL_RE.match(expr.strip())
     if match is None:
         raise NetlistError(f"cannot parse signal expression {expr!r}")
-    kind, name = match.group(1).lower(), match.group(2)
-    if kind == "v":
+    sig_kind, name = match.group(1).lower(), match.group(2)
+    if sig_kind == "v":
         return result.wave(name)
     return result.branch_current(name)
 

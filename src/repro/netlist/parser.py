@@ -138,7 +138,7 @@ class DeckParser:
     def _element(self, circuit: Circuit, stmt: Statement, prefix: str,
                  port_map: dict[str, str]) -> None:
         head = stmt.tokens[0]
-        kind = head[0].lower()
+        letter = head[0].lower()
         name = prefix + head.lower()
 
         def node(token: str) -> str:
@@ -150,39 +150,39 @@ class DeckParser:
             return prefix + low if prefix else low
 
         tokens = list(stmt.tokens)
-        if kind == "r":
+        if letter == "r":
             self._need(stmt, 4)
             circuit.add(Resistor(name, node(tokens[1]), node(tokens[2]),
                                  parse_value(tokens[3])))
-        elif kind == "c":
+        elif letter == "c":
             self._need(stmt, 4)
             circuit.add(Capacitor(name, node(tokens[1]), node(tokens[2]),
                                   parse_value(tokens[3])))
-        elif kind in ("v", "i"):
+        elif letter in ("v", "i"):
             shape = self._source_shape(stmt, tokens[3:])
-            cls = VoltageSource if kind == "v" else CurrentSource
+            cls = VoltageSource if letter == "v" else CurrentSource
             circuit.add(cls(name, node(tokens[1]), node(tokens[2]),
                             shape=shape))
-        elif kind == "l":
+        elif letter == "l":
             self._need(stmt, 4)
             circuit.add(Inductor(name, node(tokens[1]), node(tokens[2]),
                                  parse_value(tokens[3])))
-        elif kind == "e":
+        elif letter == "e":
             self._need(stmt, 6)
             circuit.add(Vcvs(name, node(tokens[1]), node(tokens[2]),
                              node(tokens[3]), node(tokens[4]),
                              parse_value(tokens[5])))
-        elif kind == "g":
+        elif letter == "g":
             self._need(stmt, 6)
             circuit.add(Vccs(name, node(tokens[1]), node(tokens[2]),
                              node(tokens[3]), node(tokens[4]),
                              parse_value(tokens[5])))
-        elif kind == "d":
+        elif letter == "d":
             self._need(stmt, 3)
             circuit.add(Diode(name, node(tokens[1]), node(tokens[2])))
-        elif kind == "m":
+        elif letter == "m":
             self._mosfet(circuit, stmt, name, node)
-        elif kind == "x":
+        elif letter == "x":
             self._instance(circuit, stmt, name, node)
         else:
             raise NetlistError(f"unsupported element {head!r}",

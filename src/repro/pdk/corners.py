@@ -33,14 +33,24 @@ class CornerPdk(Pdk):
     """
 
     def __init__(self, corner: str, temperature_c: float = 27.0,
-                 spec: VariationSpec | None = None):
-        super().__init__(temperature_c)
+                 spec: VariationSpec | None = None,
+                 node: str | None = None):
+        super().__init__(temperature_c, node=node)
         corner = corner.lower()
         if corner not in CORNER_SHIFTS:
             raise ModelError(
                 f"unknown corner {corner!r}; expected {sorted(CORNER_SHIFTS)}")
         self.corner = corner
         self.spec = spec or VariationSpec()
+
+    def at_temperature(self, temperature_c: float) -> "CornerPdk":
+        """Same corner and node at a different temperature."""
+        return CornerPdk(self.corner, temperature_c, self.spec,
+                         node=self.node)
+
+    def __repr__(self) -> str:
+        return (f"<CornerPdk node={self.node} corner={self.corner} "
+                f"T={self.temperature_c} C>")
 
     def mosfet(self, name: str, drain: str, gate: str, source: str,
                bulk: str, polarity: str, w: float,

@@ -1,0 +1,121 @@
+"""lv22: a scaled ultra-low-voltage model-card set (22 nm class).
+
+Second calibrated node beside :mod:`repro.pdk.ptm90`, motivated by the
+22 nm ultra-low-power level shifter of arXiv 2302.08553, which detects
+input swings down to tens of millivolts — an operating regime that
+lives *entirely* in the MOSFET subthreshold law. The node is therefore
+calibrated to stress exactly the EKV behaviors that regime depends on:
+
+* low thresholds (0.24 V / -0.22 V nominal) so a 0.5 V supply leaves
+  usable overdrive, with a near-intrinsic subthreshold slope
+  (n = 1.08/1.12, ~64-66 mV/dec at 300 K) — the steep slope is what
+  makes millivolt-scale inputs produce decades of current change;
+* strong DIBL (eta = 0.12): at 22 nm the drain couples visibly into
+  the barrier, so off-state leakage is bias-dependent, which the
+  leaderboard's leakage columns must resolve;
+* thinner oxide (1.05 nm) and shorter extensions: per-um capacitances
+  drop roughly with the pitch, keeping the fF-class loads of the
+  benches meaningful at the smaller drive currents.
+
+The numbers are calibrated against public 22 nm planar/early-FinFET
+operating targets the same way ptm90 was calibrated against PTM-90
+(drive strength, slope, Ioff class — not any specific foundry deck).
+Cells built on this node keep their drawn geometries unless they size
+explicitly; the drawn length default shrinks to 25 nm via the node's
+:data:`LDRAWN`.
+
+Temperature scaling reuses the first-order laws of the ptm90 module
+with a smaller threshold tempco (thin-body channels are less doped).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.pdk.ptm90 import (
+    FLAVORS, HIGH_VT, LOW_VT, NOMINAL, TNOM_K, _BaseCard,
+    celsius_to_kelvin,
+)
+
+__all__ = ["LMIN", "LDRAWN", "VDD_NOMINAL", "THRESHOLDS", "make_card",
+           "NOMINAL", "HIGH_VT", "LOW_VT", "FLAVORS"]
+from repro.spice.devices.mosfet import MosfetParams
+
+#: Process minimum channel length [m].
+LMIN = 22e-9
+
+#: Default drawn channel length used by the cell library on this node [m].
+LDRAWN = 25e-9
+
+#: Nominal supply of the node [V] (the ULPLS paper's output domain).
+VDD_NOMINAL = 0.5
+
+#: Threshold temperature coefficient [V/K] — lightly doped thin-body
+#: channels drift less than the 90 nm bulk's 0.7 mV/K.
+VT_TEMPCO = 0.45e-3
+
+#: Mobility temperature exponent (phonon-limited, as at 90 nm).
+MOBILITY_EXPONENT = -1.5
+
+_NMOS_BASE = _BaseCard(
+    polarity="n", n_slope=1.08, u0=0.0120, tox=1.05e-9, lambda_clm=0.22,
+    gamma=0.0, phi=0.80, eta_dibl=0.12, cgdo=1.6e-10, cgso=1.6e-10,
+    cj=0.8e-3, ldiff=4.0e-8, gate_leak=1.0e4,
+)
+
+_PMOS_BASE = _BaseCard(
+    polarity="p", n_slope=1.12, u0=0.0060, tox=1.05e-9, lambda_clm=0.26,
+    gamma=0.0, phi=0.80, eta_dibl=0.12, cgdo=1.6e-10, cgso=1.6e-10,
+    cj=0.9e-3, ldiff=4.0e-8, gate_leak=1.0e4,
+)
+
+#: Zero-bias threshold magnitudes [V] per (polarity, flavor) at TNOM.
+#: Nominal devices leave ~0.26 V of overdrive at the 0.5 V rail; the
+#: low-Vt flavor (80 mV) is the near-native device the ULPLS input
+#: stage needs to sense sub-100 mV swings.
+THRESHOLDS = {
+    ("n", NOMINAL): 0.24,
+    ("n", HIGH_VT): 0.33,
+    ("n", LOW_VT): 0.08,
+    ("p", NOMINAL): 0.22,
+    ("p", HIGH_VT): 0.30,
+    ("p", LOW_VT): 0.10,
+}
+
+
+def make_card(polarity: str, flavor: str = NOMINAL,
+              temperature_c: float = 27.0) -> MosfetParams:
+    """Build a :class:`MosfetParams` card at the given temperature."""
+    if polarity not in ("n", "p"):
+        raise ModelError(f"polarity must be 'n' or 'p', got {polarity!r}")
+    if flavor not in FLAVORS:
+        raise ModelError(
+            f"unknown flavor {flavor!r}; expected one of {FLAVORS}")
+    base = _NMOS_BASE if polarity == "n" else _PMOS_BASE
+    temp_k = celsius_to_kelvin(temperature_c)
+    # The low-Vt flavor sits on a near-undoped channel: its slope is
+    # essentially the 60 mV/dec ideal, which is what lets follower
+    # stages pass levels with almost no slope-factor division.
+    n_slope = 1.02 if flavor == LOW_VT else base.n_slope
+    vto = THRESHOLDS[(polarity, flavor)] - VT_TEMPCO * (temp_k - TNOM_K)
+    if vto <= 0.005:
+        raise ModelError(
+            f"threshold collapsed to {vto:.3f} V at {temperature_c} C")
+    u0 = base.u0 * (temp_k / TNOM_K) ** MOBILITY_EXPONENT
+    return MosfetParams(
+        name=f"lv22_{polarity}mos_{flavor}",
+        polarity=polarity,
+        vto=vto,
+        n_slope=n_slope,
+        u0=u0,
+        tox=base.tox,
+        lambda_clm=base.lambda_clm,
+        gamma=base.gamma,
+        phi=base.phi,
+        eta_dibl=base.eta_dibl,
+        cgdo=base.cgdo,
+        cgso=base.cgso,
+        cj=base.cj,
+        ldiff=base.ldiff,
+        gate_leak=base.gate_leak,
+        temperature=temp_k,
+    )

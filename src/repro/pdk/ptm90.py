@@ -137,12 +137,21 @@ def make_card(polarity: str, flavor: str = NOMINAL,
 
 
 class Pdk:
-    """Device factory binding model cards to a temperature.
+    """Device factory binding one registered node's cards to a temperature.
 
     Cell builders ask the PDK for transistors instead of constructing
     :class:`Mosfet` objects directly; this single indirection point is
     what lets Monte Carlo and corner subclasses perturb every device
-    independently without touching cell code.
+    independently without touching cell code. Which *cards* back the
+    factory is the ``node`` name, resolved through
+    :mod:`repro.pdk.registry` — ``Pdk()`` is the paper's 90 nm node,
+    ``Pdk(node="lv22")`` the ultra-low-voltage one, with identical cell
+    code on top.
+
+    The node name is part of the factory's identity: it appears in
+    ``repr`` (which the solve cache's canonical encoding uses for
+    opaque objects), so two nodes can never produce colliding cache
+    keys even when every other parameter matches.
 
     Example::
 
@@ -150,17 +159,31 @@ class Pdk:
         m1 = pdk.mosfet("m1", "out", "in", "0", "0", "n", w=0.2e-6)
     """
 
-    lmin = LMIN
-    ldrawn = LDRAWN
-
-    def __init__(self, temperature_c: float = 27.0):
+    def __init__(self, temperature_c: float = 27.0,
+                 node: str | None = None):
         self.temperature_c = float(temperature_c)
+        self.node = str(node) if node else "ptm90"
         self._cards: dict[tuple[str, str], MosfetParams] = {}
+
+    def _node_spec(self):
+        from repro.pdk.registry import get_node
+        return get_node(self.node)
+
+    @property
+    def lmin(self) -> float:
+        """Process minimum channel length of the bound node [m]."""
+        return self._node_spec().lmin
+
+    @property
+    def ldrawn(self) -> float:
+        """Default drawn channel length of the bound node [m]."""
+        return self._node_spec().ldrawn
 
     def card(self, polarity: str, flavor: str = NOMINAL) -> MosfetParams:
         key = (polarity, flavor)
         if key not in self._cards:
-            self._cards[key] = make_card(polarity, flavor, self.temperature_c)
+            self._cards[key] = self._node_spec().make_card(
+                polarity, flavor, self.temperature_c)
         return self._cards[key]
 
     def mosfet(self, name: str, drain: str, gate: str, source: str,
@@ -173,8 +196,9 @@ class Pdk:
                       self.card(polarity, flavor), w, length, m=m)
 
     def at_temperature(self, temperature_c: float) -> "Pdk":
-        """A sibling PDK at a different temperature."""
-        return type(self)(temperature_c)
+        """A sibling PDK at a different temperature (same node)."""
+        return Pdk(temperature_c, node=self.node)
 
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<{type(self).__name__} T={self.temperature_c} C>"
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} node={self.node} "
+                f"T={self.temperature_c} C>")

@@ -59,8 +59,9 @@ class VariedPdk(Pdk):
 
     def __init__(self, rng: np.random.Generator,
                  spec: VariationSpec | None = None,
-                 temperature_c: float = 27.0):
-        super().__init__(temperature_c)
+                 temperature_c: float = 27.0,
+                 node: str | None = None):
+        super().__init__(temperature_c, node=node)
         self.rng = rng
         self.spec = spec or VariationSpec()
         self.spec.validate()

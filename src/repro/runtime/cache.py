@@ -134,16 +134,41 @@ def cache_key(**components) -> str:
     return hashlib.sha256(canonical_blob(components).encode()).hexdigest()
 
 
-def _cached_pdk_fingerprint() -> str:
-    """Process-cached PDK fingerprint (the cards are code constants)."""
-    global _PDK_FINGERPRINT
-    if _PDK_FINGERPRINT is None:
+def _cached_pdk_fingerprint(node: str = "ptm90") -> str:
+    """Process-cached per-node PDK fingerprint (cards are constants).
+
+    Keyed by node name: a single process-wide fingerprint would silently
+    serve one node's digest for every node once a second PDK exists,
+    aliasing their cache entries into each other.
+    """
+    fingerprint = _PDK_FINGERPRINTS.get(node)
+    if fingerprint is None:
         from repro.runtime.experiment.store import pdk_fingerprint
-        _PDK_FINGERPRINT = pdk_fingerprint()
-    return _PDK_FINGERPRINT
+        fingerprint = _PDK_FINGERPRINTS[node] = pdk_fingerprint(node)
+    return fingerprint
 
 
-_PDK_FINGERPRINT: str | None = None
+_PDK_FINGERPRINTS: dict[str, str] = {}
+
+
+def _point_pdk_node(spec, params) -> str:
+    """Resolve which PDK node one experiment point runs on.
+
+    Spec builders record the node in ``spec.metadata["pdk_node"]``;
+    failing that, a PDK-like object (``.node`` string plus a callable
+    ``.mosfet``) riding in the params tuple names it. Default is the
+    paper's ``ptm90``.
+    """
+    metadata = getattr(spec, "metadata", None) or {}
+    node = metadata.get("pdk_node")
+    if node:
+        return str(node)
+    items = params if isinstance(params, (tuple, list)) else (params,)
+    for item in items:
+        node = getattr(item, "node", None)
+        if isinstance(node, str) and callable(getattr(item, "mosfet", None)):
+            return node
+    return "ptm90"
 
 
 def experiment_point_key(spec, params) -> str:
@@ -152,11 +177,11 @@ def experiment_point_key(spec, params) -> str:
     Keys on everything the measured payload can depend on: the
     measurement function's identity (module + qualname — the netlist
     builder), the point params (netlist sizing, supplies, stimulus
-    plan, tolerances, per-sample seed), the PDK fingerprint, the solver
-    retry policy, and the payload codec. Campaign *execution* knobs
-    (workers, backend, chunking) are deliberately excluded: a pooled,
-    batched or resumed run must hit the same entries a serial run
-    writes — that is the whole point.
+    plan, tolerances, per-sample seed), the point's own PDK node
+    fingerprint, the solver retry policy, and the payload codec.
+    Campaign *execution* knobs (workers, backend, chunking) are
+    deliberately excluded: a pooled, batched or resumed run must hit
+    the same entries a serial run writes — that is the whole point.
     """
     from repro.runtime.policy import RetryPolicy
     measure = spec.measure
@@ -164,7 +189,7 @@ def experiment_point_key(spec, params) -> str:
     return cache_key(
         measure=f"{measure.__module__}:{measure.__qualname__}",
         codec=spec.codec,
-        pdk_fingerprint=_cached_pdk_fingerprint(),
+        pdk_fingerprint=_cached_pdk_fingerprint(_point_pdk_node(spec, params)),
         retry_policy=policy,
         params=params,
     )

@@ -70,28 +70,19 @@ def git_sha() -> str | None:
     return sha if out.returncode == 0 and sha else None
 
 
-def pdk_fingerprint() -> str:
-    """Stable hash over every (polarity, flavor) model card at TNOM.
+def pdk_fingerprint(node: str = "ptm90") -> str:
+    """Stable hash over every (polarity, flavor) model card of a node.
 
-    Any change to the PDK's electrical parameters changes the
+    Any change to the node's electrical parameters changes the
     fingerprint, so a stored run carries proof of which models produced
-    it. Imported lazily: the runtime package must stay importable from
-    below :mod:`repro.pdk` in the dependency graph.
+    it. Delegates to :func:`repro.pdk.registry.node_fingerprint`
+    (imported lazily: the runtime package must stay importable from
+    below :mod:`repro.pdk` in the dependency graph); the ``ptm90``
+    digest is byte-compatible with the historical single-node one.
     """
-    import hashlib
-    from dataclasses import fields
+    from repro.pdk.registry import node_fingerprint
 
-    from repro.pdk.ptm90 import FLAVORS, make_card
-
-    parts = []
-    for polarity in ("n", "p"):
-        for flavor in FLAVORS:
-            card = make_card(polarity, flavor)
-            values = ",".join(f"{f.name}={getattr(card, f.name)!r}"
-                              for f in fields(card))
-            parts.append(f"{polarity}/{flavor}:{values}")
-    digest = hashlib.sha256("\n".join(parts).encode()).hexdigest()
-    return digest[:16]
+    return node_fingerprint(node)
 
 
 def collect_provenance(spec=None, wall_s: float | None = None) -> dict:
@@ -103,11 +94,14 @@ def collect_provenance(spec=None, wall_s: float | None = None) -> dict:
     from repro.runtime.policy import RetryPolicy
 
     policy = getattr(spec, "retry_policy", None) or RetryPolicy.default()
+    metadata = getattr(spec, "metadata", None) or {}
+    pdk_node = str(metadata.get("pdk_node") or "ptm90")
     return {
         "git_sha": git_sha(),
         "seed": getattr(spec, "seed", None),
         "retry_policy": asdict(policy),
-        "pdk_fingerprint": pdk_fingerprint(),
+        "pdk_node": pdk_node,
+        "pdk_fingerprint": pdk_fingerprint(pdk_node),
         "workers": getattr(spec, "workers", None),
         "chunk_size": getattr(spec, "chunk_size", None),
         "wall_s": wall_s,

@@ -97,9 +97,9 @@ class FaultSpec:
     def exhausted(self) -> bool:
         return self.count is not None and self.fired >= self.count
 
-    def matches(self, kind: str, strategy: str | None,
+    def matches(self, fault_kind: str, strategy: str | None,
                 sample: int | None, time: float | None) -> bool:
-        if kind != self.kind or self.exhausted:
+        if fault_kind != self.kind or self.exhausted:
             return False
         if self.strategy is not None and strategy != self.strategy:
             return False

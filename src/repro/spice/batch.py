@@ -654,8 +654,8 @@ class LaneGroup:
         np.take(template, lane_ids, axis=0, out=vals)
         if self._dyn_vec[regime]:
             t_arr = np.asarray(times, dtype=float)
-            for kind, start, payload in self._dyn_vec[regime]:
-                if kind == "pulse":
+            for shape, start, payload in self._dyn_vec[regime]:
+                if shape == "pulse":
                     vals[:, start] = self._pulse_value_lanes(
                         t_arr, payload[:, lane_ids]) * source_scale
                 else:

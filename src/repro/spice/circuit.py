@@ -193,10 +193,10 @@ class Circuit:
             opaque: list[Device] = []
             mosfets: list[Device] = []
             for device in self.devices.values():
-                kind = getattr(device, "stamp_kind", "opaque")
-                if kind == "linear":
+                stamp_kind = getattr(device, "stamp_kind", "opaque")
+                if stamp_kind == "linear":
                     linear.append(device)
-                elif kind == "mosfet":
+                elif stamp_kind == "mosfet":
                     mosfets.append(device)
                 else:
                     opaque.append(device)

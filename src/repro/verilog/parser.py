@@ -90,7 +90,7 @@ def parse_verilog(text: str) -> dict[str, VerilogModule]:
 
         consumed_spans = []
         for decl in _DECL_RE.finditer(body):
-            kind = decl.group(1)
+            decl_kind = decl.group(1)
             nets = [n.strip() for n in decl.group(2).split(",")
                     if n.strip()]
             for net in nets:
@@ -98,7 +98,7 @@ def parse_verilog(text: str) -> dict[str, VerilogModule]:
                     raise NetlistError(
                         f"{name}: bad net name {net!r} (vectors are "
                         "not supported)")
-            getattr(module, kind + "s" if kind != "wire"
+            getattr(module, decl_kind + "s" if decl_kind != "wire"
                     else "wires").extend(nets)
             consumed_spans.append(decl.span())
 

@@ -1,0 +1,121 @@
+"""The cell registry: registration, dispatch, dynamic errors."""
+
+import pytest
+
+from repro.cells import registry as cell_registry
+from repro.cells.registry import (
+    CellSpec, add_select_sources, build_dut, cell_names,
+    dut_is_inverting, get_cell, register_cell,
+)
+from repro.cells.sstvs import add_sstvs
+from repro.core import testbench
+from repro.core.shifter import LevelShifter
+from repro.errors import AnalysisError
+from repro.pdk import Pdk
+from repro.spice import Circuit
+from repro.spice.devices import VoltageSource
+from repro.spice.devices.mosfet import Mosfet
+
+ZOO = ("sstvs", "combined", "inverter", "ssvs_khan", "ssvs_puri",
+       "cvs", "lpls_split", "lpls_pass", "ulpls")
+
+
+def _noop_build(circuit, pdk, name, inp, out, vddo, vddi, sizing):
+    return {}
+
+
+class TestRegistration:
+    def test_builtin_zoo_registered(self):
+        for kind in ZOO:
+            assert kind in cell_names()
+
+    def test_unknown_kind_error_lists_live_registry(self):
+        with pytest.raises(AnalysisError) as err:
+            get_cell("warp")
+        message = str(err.value)
+        assert "warp" in message
+        for kind in ZOO:
+            assert kind in message
+
+    def test_duplicate_registration_guard(self):
+        spec = get_cell("sstvs")
+        with pytest.raises(AnalysisError):
+            register_cell(spec)
+        assert register_cell(spec, replace=True) is spec
+
+    def test_late_registered_cell_appears_everywhere(self):
+        register_cell(CellSpec(name="testcell", build=_noop_build))
+        try:
+            assert get_cell("testcell").build is _noop_build
+            # Dynamic error listing picks it up...
+            with pytest.raises(AnalysisError) as err:
+                get_cell("nonesuch")
+            assert "testcell" in str(err.value)
+            # ...and so does the testbench's KINDS view.
+            assert "testcell" in testbench.KINDS
+        finally:
+            del cell_registry._CELLS["testcell"]
+        assert "testcell" not in testbench.KINDS
+
+
+class TestDispatch:
+    def test_build_dut_matches_native_builder(self):
+        pdk = Pdk()
+        via_registry = Circuit("reg")
+        build_dut(via_registry, pdk, "sstvs", "in", "out", "vddo",
+                  "vddi")
+        native = Circuit("nat")
+        add_sstvs(native, pdk, "dut", "in", "out", "vddo")
+        reg_devices = sorted(via_registry.devices)
+        assert reg_devices == sorted(native.devices)
+        count = sum(1 for d in via_registry.devices.values()
+                    if isinstance(d, Mosfet))
+        assert count == get_cell("sstvs").device_count
+
+    def test_device_counts_are_honest(self):
+        pdk = Pdk()
+        for kind in ZOO:
+            circuit = Circuit(f"count_{kind}")
+            circuit.add(VoltageSource("vdd", "vddo", "0", dc=1.2))
+            circuit.add(VoltageSource("vdi", "vddi", "0", dc=0.8))
+            circuit.add(VoltageSource("vin", "in", "0", dc=0.8))
+            build_dut(circuit, pdk, kind, "in", "out", "vddo", "vddi")
+            count = sum(1 for d in circuit.devices.values()
+                        if isinstance(d, Mosfet))
+            assert count == get_cell(kind).device_count, kind
+
+    def test_polarity_flags(self):
+        assert dut_is_inverting("sstvs")
+        assert dut_is_inverting("ulpls")
+        assert not dut_is_inverting("cvs")
+        assert not dut_is_inverting("lpls_split")
+
+    def test_select_sources_only_for_combined(self):
+        for kind in ZOO:
+            circuit = Circuit(f"sel_{kind}")
+            added = add_select_sources(circuit, kind, 0.8, 1.2)
+            assert added == (kind == "combined")
+            assert ("vsel" in circuit.devices) == added
+
+    def test_select_levels_follow_shift_direction(self):
+        spec = get_cell("combined")
+        # Up-shift: route through the SS-VS path (sel = VDDO).
+        assert spec.select_levels(0.8, 1.2) == (1.2, 0.0)
+        # Down-shift: the inverter path (sel = 0).
+        assert spec.select_levels(1.2, 0.8) == (0.0, 0.8)
+
+
+class TestConsumers:
+    def test_level_shifter_rejects_unknown_kind_with_listing(self):
+        with pytest.raises(AnalysisError) as err:
+            LevelShifter("warp", 0.8, 1.2)
+        assert "sstvs" in str(err.value)
+
+    def test_testbench_kinds_is_the_registry_view(self):
+        assert tuple(testbench.KINDS) == cell_names()
+
+    def test_specs_carry_provenance(self):
+        for kind in ZOO:
+            spec = get_cell(kind)
+            assert spec.provenance, kind
+            assert spec.description, kind

@@ -1,0 +1,64 @@
+"""Registry round trips: every cell, both nodes, cache and batch.
+
+The acceptance bar for the plugin registries: each registered cell
+characterizes end-to-end on each registered node, a cache-served
+re-run is bitwise the live run, and the batched SPMD path agrees with
+the serial path to 0 ULP for the new topologies.
+"""
+
+import pytest
+
+from repro.cells.registry import cell_names
+from repro.core.characterize import (
+    StimulusPlan, characterize, characterize_batch, characterize_kinds,
+)
+from repro.core.metrics import METRIC_FIELDS
+from repro.pdk import make_pdk
+from repro.pdk.registry import get_node, node_names
+from repro.runtime.cache import SolveCache
+
+NEW_TOPOLOGIES = ("lpls_split", "lpls_pass", "ulpls")
+
+
+def _bitwise_equal(a, b):
+    for name in METRIC_FIELDS:
+        if getattr(a, name).hex() != getattr(b, name).hex():
+            return False
+    return a.functional == b.functional
+
+
+@pytest.mark.integration
+@pytest.mark.parametrize("node", ["ptm90", "lv22"])
+def test_every_cell_characterizes_and_recaches_bitwise(node, tmp_path):
+    vddi, vddo = get_node(node).default_pair
+    cache = SolveCache(tmp_path / "cache")
+    live = characterize_kinds(cell_names(), vddi, vddo,
+                              pdk=make_pdk(node), cache=cache)
+    assert set(live) == set(cell_names())
+    for kind, metrics in live.items():
+        assert metrics.functional, f"{kind}@{node} is not functional"
+    assert cache.stats.misses > 0
+
+    cached = characterize_kinds(cell_names(), vddi, vddo,
+                                pdk=make_pdk(node), cache=cache)
+    assert cache.stats.hits >= len(cell_names())
+    for kind in cell_names():
+        assert _bitwise_equal(live[kind], cached[kind]), (
+            f"cache-served {kind}@{node} differs from the live solve")
+
+
+@pytest.mark.batch
+@pytest.mark.parametrize("node", ["ptm90", "lv22"])
+@pytest.mark.parametrize("kind", NEW_TOPOLOGIES)
+def test_new_topologies_batched_equals_serial_bitwise(node, kind):
+    spec = get_node(node)
+    vddi, vddo = spec.default_pair
+    plan = StimulusPlan()
+    pairs = [(vddi, vddo), (round(vddi + 0.05, 3), vddo)]
+    lanes = [(make_pdk(node), kind, a, b, plan, 1e-15, None, 1.0)
+             for a, b in pairs]
+    batched = characterize_batch(lanes)
+    for (a, b), lane_metrics in zip(pairs, batched):
+        serial = characterize(make_pdk(node), kind, a, b, plan=plan)
+        assert _bitwise_equal(serial, lane_metrics), (
+            f"batched {kind}@{node} ({a} -> {b} V) differs from serial")

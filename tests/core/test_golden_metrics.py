@@ -1,0 +1,37 @@
+"""Pre-refactor golden pin for the registry dispatch path.
+
+``golden_ptm90_metrics.json`` was captured on the string-dispatch code
+(commit a2773b6) with every float stored as ``float.hex()``. The cell
+and PDK registries must reproduce those numbers *bitwise*: any device
+insertion-order change, select-source reshuffle, or card drift shows up
+here as a hex mismatch, not a tolerance wobble.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.characterize import characterize
+from repro.core.metrics import METRIC_FIELDS
+from repro.pdk import Pdk
+
+GOLDEN_PATH = Path(__file__).parent / "golden_ptm90_metrics.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    document = json.loads(GOLDEN_PATH.read_text())
+    assert document["schema"] == "repro-golden-metrics-v1"
+    assert document["pdk"] == "ptm90"
+    return document
+
+
+@pytest.mark.parametrize("kind", ["sstvs", "combined"])
+def test_registry_dispatch_matches_pre_refactor_bitwise(golden, kind):
+    metrics = characterize(Pdk(), kind, golden["vddi"], golden["vddo"])
+    pinned = golden["metrics"][kind]
+    assert metrics.functional == pinned["functional"]
+    for name in METRIC_FIELDS:
+        assert getattr(metrics, name).hex() == pinned[name], (
+            f"{kind}.{name} drifted from the pre-registry capture")

@@ -1,0 +1,117 @@
+"""The named PDK-node registry and the second (lv22) node."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.pdk import CornerPdk, Pdk, VariedPdk, make_pdk
+from repro.pdk import registry as pdk_registry
+from repro.pdk.registry import (
+    PdkNode, get_node, node_fingerprint, node_names, register_node,
+)
+from repro.pdk.variation import VariationSpec
+
+import numpy as np
+
+
+class TestRegistry:
+    def test_builtin_nodes_registered(self):
+        assert "ptm90" in node_names()
+        assert "lv22" in node_names()
+
+    def test_unknown_node_error_lists_live_registry(self):
+        with pytest.raises(ModelError) as err:
+            get_node("tsmc7")
+        message = str(err.value)
+        assert "tsmc7" in message
+        for name in node_names():
+            assert name in message
+
+    def test_duplicate_registration_guard(self):
+        node = get_node("ptm90")
+        with pytest.raises(ModelError):
+            register_node(node)
+        # replace=True is the explicit override path.
+        assert register_node(node, replace=True) is node
+
+    def test_late_registered_node_is_addressable(self):
+        base = get_node("ptm90")
+        custom = PdkNode(
+            name="testnode", description="registry test double",
+            make_card=base.make_card, flavors=base.flavors,
+            lmin=base.lmin, ldrawn=base.ldrawn,
+            vdd_nominal=base.vdd_nominal, vdd_min=base.vdd_min,
+            vdd_max=base.vdd_max, default_pair=base.default_pair)
+        register_node(custom)
+        try:
+            assert get_node("testnode") is custom
+            assert make_pdk("testnode").node == "testnode"
+            with pytest.raises(ModelError) as err:
+                get_node("nonesuch")
+            assert "testnode" in str(err.value)
+        finally:
+            del pdk_registry._NODES["testnode"]
+
+
+class TestFingerprints:
+    def test_nodes_have_distinct_fingerprints(self):
+        assert node_fingerprint("ptm90") != node_fingerprint("lv22")
+
+    def test_ptm90_fingerprint_is_byte_compatible(self):
+        # Pinned to the digest the single-node fingerprint produced
+        # before the registry existed: ptm90 cache entries and stored
+        # manifests must stay valid across the refactor.
+        assert node_fingerprint("ptm90") == "ad0f2b4dbc1337e0"
+
+    def test_fingerprint_is_stable(self):
+        assert node_fingerprint("lv22") == node_fingerprint("lv22")
+
+
+class TestNodeThreading:
+    def test_make_pdk_binds_node(self):
+        pdk = make_pdk("lv22", temperature_c=60.0)
+        assert pdk.node == "lv22"
+        assert pdk.temperature_c == 60.0
+
+    def test_default_node_is_ptm90(self):
+        assert Pdk().node == "ptm90"
+        assert make_pdk().node == "ptm90"
+
+    def test_cards_differ_between_nodes(self):
+        ptm90 = Pdk()
+        lv22 = make_pdk("lv22")
+        assert ptm90.card("n").vto != lv22.card("n").vto
+        assert ptm90.lmin != lv22.lmin
+
+    def test_at_temperature_preserves_node(self):
+        assert make_pdk("lv22").at_temperature(90.0).node == "lv22"
+
+    def test_varied_pdk_carries_node(self):
+        rng = np.random.default_rng(7)
+        varied = VariedPdk(rng, VariationSpec(), node="lv22")
+        assert varied.node == "lv22"
+
+    def test_corner_pdk_carries_node(self):
+        corner = CornerPdk("ss", node="lv22")
+        assert corner.node == "lv22"
+        assert corner.at_temperature(90.0).node == "lv22"
+        assert corner.at_temperature(90.0).corner == "ss"
+
+    def test_repr_names_the_node(self):
+        assert "lv22" in repr(make_pdk("lv22"))
+        assert "lv22" in repr(CornerPdk("ff", node="lv22"))
+
+
+class TestLv22Node:
+    def test_supply_conventions(self):
+        node = get_node("lv22")
+        assert node.vdd_nominal == 0.5
+        assert node.vdd_min < node.default_pair[0] <= node.vdd_max
+        assert node.default_pair == (0.35, 0.5)
+
+    def test_geometry_is_scaled_down(self):
+        assert get_node("lv22").lmin < get_node("ptm90").lmin
+
+    def test_thresholds_are_subhalf_volt(self):
+        pdk = make_pdk("lv22")
+        assert 0 < pdk.card("n").vto < 0.3
+        assert 0 < abs(pdk.card("p").vto) < 0.3

@@ -1,0 +1,85 @@
+"""Per-node cache-key separation (the fingerprint-aliasing fix).
+
+Before the PDK registry, ``_cached_pdk_fingerprint`` computed one
+process-wide digest: the first node to touch the cache would have
+stamped its fingerprint onto every other node's keys, silently serving
+one process's solves for another. These tests pin the fix: two nodes
+never share cache entries, through either the metadata route or a
+PDK object riding in the params tuple.
+"""
+
+from repro.core.characterize import characterize_kinds_spec
+from repro.pdk import Pdk, make_pdk
+from repro.runtime.cache import (
+    _cached_pdk_fingerprint, _point_pdk_node, experiment_point_key,
+)
+from repro.runtime.experiment import ExperimentPoint, ExperimentSpec
+
+
+def _spec(metadata):
+    return ExperimentSpec(name="t", measure=_measure,
+                          points=[ExperimentPoint(0, (0,))],
+                          codec="json", metadata=metadata)
+
+
+def _measure(params):
+    return 0.0
+
+
+class TestFingerprintCache:
+    def test_keyed_by_node_not_process_wide(self):
+        ptm90 = _cached_pdk_fingerprint("ptm90")
+        lv22 = _cached_pdk_fingerprint("lv22")
+        assert ptm90 != lv22
+        # Ask again in the other order: each node gets its own digest
+        # back, not whichever was computed first.
+        assert _cached_pdk_fingerprint("lv22") == lv22
+        assert _cached_pdk_fingerprint("ptm90") == ptm90
+
+    def test_default_is_ptm90(self):
+        assert _cached_pdk_fingerprint() == _cached_pdk_fingerprint("ptm90")
+
+
+class TestPointNodeResolution:
+    def test_metadata_route(self):
+        assert _point_pdk_node(_spec({"pdk_node": "lv22"}), (1, 2)) \
+            == "lv22"
+
+    def test_params_route_finds_a_pdk_object(self):
+        spec = _spec({})
+        assert _point_pdk_node(spec, (0.8, make_pdk("lv22"), None)) \
+            == "lv22"
+        assert _point_pdk_node(spec, (0.8, Pdk(), None)) == "ptm90"
+
+    def test_default_when_nothing_names_a_node(self):
+        assert _point_pdk_node(_spec({}), (1, "x", None)) == "ptm90"
+
+
+class TestKeySeparation:
+    def test_metadata_node_separates_keys(self):
+        a = experiment_point_key(_spec({"pdk_node": "ptm90"}), (1, 2))
+        b = experiment_point_key(_spec({"pdk_node": "lv22"}), (1, 2))
+        assert a != b
+
+    def test_params_borne_pdk_separates_keys(self):
+        # Same spec, params differing only in the PDK object's node:
+        # both the canonical repr of the Pdk AND the fingerprint differ.
+        spec = _spec({})
+        a = experiment_point_key(spec, (0.8, 1.2, Pdk()))
+        b = experiment_point_key(spec, (0.8, 1.2, make_pdk("lv22")))
+        assert a != b
+
+    def test_characterize_specs_never_alias_across_nodes(self):
+        ptm90 = characterize_kinds_spec(["sstvs"], 0.8, 1.2, pdk=Pdk())
+        lv22 = characterize_kinds_spec(["sstvs"], 0.8, 1.2,
+                                       pdk=make_pdk("lv22"))
+        keys_a = {experiment_point_key(ptm90, p.params)
+                  for p in ptm90.points}
+        keys_b = {experiment_point_key(lv22, p.params)
+                  for p in lv22.points}
+        assert not keys_a & keys_b
+
+    def test_same_node_keys_are_reproducible(self):
+        spec = _spec({"pdk_node": "lv22"})
+        assert experiment_point_key(spec, (1, 2)) \
+            == experiment_point_key(spec, (1, 2))

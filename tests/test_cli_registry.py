@@ -1,0 +1,111 @@
+"""CLI surface of the cell & PDK registries.
+
+Unknown kinds and nodes must fail with the *live* registered names
+(exit code 2 from argparse), every driver must accept ``--pdk``, and
+the bench/check extensions must reach the registries end to end.
+"""
+
+import json
+
+import pytest
+
+from repro.cells.registry import cell_names
+from repro.cli import build_parser, main
+from repro.pdk.registry import node_names
+
+
+class TestErrorPaths:
+    @pytest.mark.parametrize("argv", [
+        ["characterize", "warp"],
+        ["sweep", "warp"],
+        ["mc", "warp"],
+        ["vtc", "warp"],
+        ["liberty", "warp"],
+    ])
+    def test_unknown_kind_lists_registered_cells(self, argv, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(argv)
+        assert err.value.code == 2
+        message = capsys.readouterr().err
+        for kind in cell_names():
+            assert kind in message
+
+    @pytest.mark.parametrize("command", [
+        "characterize", "sweep", "mc", "functional", "temp", "sens",
+        "liberty", "vtc", "pvt",
+    ])
+    def test_unknown_pdk_lists_registered_nodes(self, command, capsys):
+        argv = [command, "--pdk", "sky130"]
+        if command in ("characterize", "liberty", "vtc"):
+            argv.insert(1, "sstvs")
+        with pytest.raises(SystemExit) as err:
+            main(argv)
+        assert err.value.code == 2
+        message = capsys.readouterr().err
+        for node in node_names():
+            assert node in message
+
+    def test_new_zoo_kinds_are_accepted(self):
+        parser = build_parser()
+        for kind in ("lpls_split", "lpls_pass", "ulpls"):
+            args = parser.parse_args(["characterize", kind])
+            assert args.kinds == [kind]
+
+    def test_every_campaign_driver_has_pdk_knob(self):
+        parser = build_parser()
+        for argv in (["characterize", "sstvs"], ["sweep"], ["mc"],
+                     ["functional"], ["temp"], ["sens"],
+                     ["liberty", "sstvs"], ["vtc", "sstvs"], ["pvt"]):
+            args = parser.parse_args(argv + ["--pdk", "lv22"])
+            assert args.pdk == "lv22"
+
+
+class TestCommands:
+    def test_characterize_on_lv22(self, capsys):
+        code = main(["characterize", "inverter", "--pdk", "lv22",
+                     "--vddi", "0.35", "--vddo", "0.5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[lv22]" in out and "Functional" in out
+
+    def test_area_lists_the_whole_zoo(self, capsys):
+        code = main(["area"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for kind in cell_names():
+            assert kind in out
+
+    def test_bench_leaderboard_writes_artifact(self, tmp_path, capsys):
+        path = str(tmp_path / "LB.json")
+        code = main(["bench", "--leaderboard", "--cells", "inverter",
+                     "--nodes", "lv22", "--corners", "tt",
+                     "--out", path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "inverter" in out
+        with open(path) as handle:
+            board = json.load(handle)
+        assert board["schema"] == "repro-leaderboard-v1"
+        assert board["version"] == 1
+        assert len(board["entries"]) == 1
+
+    def test_check_accepts_cells_flag(self):
+        args = build_parser().parse_args(["check", "--cells"])
+        assert args.cells is True
+
+    def test_check_cells_smokes_the_registries(self, monkeypatch):
+        # Narrow both registries so the smoke is one characterization.
+        from repro.cells import registry as cells_reg
+        from repro.cli import _check_cells
+        from repro.pdk import registry as pdk_reg
+        monkeypatch.setattr(
+            cells_reg, "_CELLS",
+            {"inverter": cells_reg._CELLS["inverter"]})
+        monkeypatch.setattr(
+            pdk_reg, "_NODES", {"lv22": pdk_reg._NODES["lv22"]})
+        results = []
+        _check_cells(lambda label, ok: results.append((label, ok)))
+        assert len(results) == 1
+        label, ok = results[0]
+        assert "inverter@lv22" in label
+        assert ok

@@ -1,0 +1,38 @@
+"""Lint: cell-kind string dispatch must not regrow outside the registry.
+
+The registry refactor deleted every ``kind == "..."`` branch from the
+benches, analyses and CLI; the one legitimate place to interpret a
+cell kind is :mod:`repro.cells.registry`. This walks the source tree
+and fails on any comparison against a bare ``kind`` name anywhere
+else, so a future "quick fix" can't quietly reintroduce dispatch that
+new registered cells would fall through.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+#: The registry is the single allowed interpreter of cell kinds.
+ALLOWED = {SRC / "cells" / "registry.py"}
+
+#: A bare ``kind`` compared for equality; attribute access
+#: (``self.kind ==``, ``spec.kind !=``) stays legal — those are typed
+#: fields of non-cell domains (faults, measurements), not dispatch.
+PATTERN = re.compile(r"(?<![.\w])kind\s*(==|!=)")
+
+
+def test_no_kind_comparisons_outside_the_registry():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1):
+            if PATTERN.search(line):
+                offenders.append(
+                    f"{path.relative_to(SRC.parent.parent)}:{lineno}: "
+                    f"{line.strip()}")
+    assert not offenders, (
+        "cell-kind string dispatch outside repro.cells.registry:\n  "
+        + "\n  ".join(offenders))
