@@ -17,7 +17,11 @@ Two fixed workloads track the simulation core's throughput across PRs:
   cold then warm against a fresh content-addressed solve cache
   (:mod:`repro.runtime.cache`): reports the warm-pass hit rate, the
   cold/warm wall-time ratio, and asserts the warm samples are bitwise
-  identical to the cold ones.
+  identical to the cold ones;
+* **floorplan_scale** — :func:`bench_floorplan_scale`, the
+  generate → assign → anneal → sign-off pipeline at 50/200/800 blocks
+  with a fixed move budget, timing each stage separately so annealer
+  throughput and STA/netlist scaling regress independently.
 
 Each workload records wall time and, for in-process runs, the global
 Newton counters from :func:`repro.spice.newton.solve_stats` as a
@@ -282,6 +286,67 @@ def bench_sparse_crossover(lanes: int = 16, repeats: int = 3,
     }
 
 
+def bench_floorplan_scale(sizes: tuple = (50, 200, 800),
+                          moves: int = 150, seed: int = 20080310,
+                          design_seed: int = 0) -> dict:
+    """Time the floorplanner pipeline across design sizes.
+
+    For each block count: generate a synthetic multi-voltage design,
+    assign SS-TVS shifters, anneal a fixed (small) move budget, build
+    the crossing netlist + synthetic timing library, and sign off
+    through the STA engine. Per-size wall times are recorded for each
+    stage separately, so a regression in (say) netlist construction —
+    the part that used to be quadratic in fanout lookups — is visible
+    independently of annealing throughput. The annealing rate is
+    reported as evaluated moves per second, which is the cost driver
+    at SoC scale (``default_moves`` grows with the block count).
+    """
+    from repro.floorplan import (
+        anneal_floorplan, assign_shifters, build_crossing_netlist,
+        build_timing_library, generate_design, signoff_floorplan,
+    )
+
+    _isolate()
+    suite_started = time.perf_counter()
+    entries = []
+    for blocks in sizes:
+        started = time.perf_counter()
+        design = generate_design(blocks=blocks, seed=design_seed)
+        assignment = assign_shifters(design, "sstvs",
+                                     characterize_leakage=False)
+        setup_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        result = anneal_floorplan(design, assignment, seed=seed,
+                                  moves=moves)
+        anneal_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        netlist, paths = build_crossing_netlist(design, assignment,
+                                                result.positions)
+        library = build_timing_library(design, assignment)
+        report = signoff_floorplan(netlist, paths, library,
+                                   required=2e-9)
+        signoff_s = time.perf_counter() - started
+
+        entries.append({
+            "blocks": blocks,
+            "crossings": len(assignment.crossings),
+            "setup_s": setup_s,
+            "anneal_s": anneal_s,
+            "moves_per_s": moves / anneal_s if anneal_s > 0 else None,
+            "signoff_s": signoff_s,
+            "signoff_ok": report.ok,
+            "cost": result.cost,
+        })
+    return {
+        "workload": "floorplan_scale",
+        "sizes": entries,
+        "moves": moves,
+        "wall_s": time.perf_counter() - suite_started,
+    }
+
+
 def _timed(thunk) -> float:
     started = time.perf_counter()
     thunk()
@@ -484,6 +549,7 @@ def run_bench_suite(mc_runs: int = 100, sweep_step: float = 0.1,
     tracer = bench_tracer_overhead()
     cache_hit = bench_cache_hit(runs=mc_runs)
     sparse_crossover = bench_sparse_crossover()
+    floorplan_scale = bench_floorplan_scale()
 
     baseline = dict(PRE_PR2_BASELINE)
     speedups = {}
@@ -522,6 +588,7 @@ def run_bench_suite(mc_runs: int = 100, sweep_step: float = 0.1,
             "tracer": tracer,
             "cache_hit": cache_hit,
             "sparse_crossover": sparse_crossover,
+            "floorplan_scale": floorplan_scale,
         },
         "baseline_pre_pr2": baseline,
         "speedups": speedups,

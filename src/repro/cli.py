@@ -16,11 +16,16 @@ Commands map one-to-one onto the library's experiment entry points:
 * ``bench`` — timed benchmark workloads (appends to a trajectory file;
   ``--check`` is the regression guard; ``--leaderboard`` characterizes
   every registered cell x PDK node x corner into LEADERBOARD.json);
+* ``floorplan`` — shifter-assignment floorplan campaign: synthesize or
+  bridge a multi-voltage design, assign a registered shifter cell to
+  every domain crossing per strategy, anneal a sequence-pair
+  floorplan, and sign every incumbent off through the NLDM STA
+  engine;
 * ``check`` — fault-injected self-test of the resilient solver runtime
   (``--cells`` smokes the cell & PDK registries, ``--experiments``
   adds an engine/artifact-store smoke test, ``--golden`` runs the
   analytic golden test battery, ``--chaos`` the crash/corruption
-  chaos battery);
+  chaos battery, ``--floorplan`` the floorplanner battery);
 
 Cell kinds and PDK nodes come from the live registries
 (:mod:`repro.cells.registry`, :mod:`repro.pdk.registry`): a topology
@@ -350,6 +355,98 @@ def cmd_pvt(args) -> int:
     return 0 if report.all_functional else 1
 
 
+def _floorplan_design(args):
+    """Resolve a bridged Verilog design, or None for the generator."""
+    if not args.verilog:
+        return None
+    from repro.errors import AnalysisError
+    from repro.floorplan import design_from_verilog
+    from repro.verilog import parse_verilog
+    with open(args.verilog) as handle:
+        modules = parse_verilog(handle.read())
+    if args.top:
+        try:
+            module = modules[args.top]
+        except KeyError:
+            raise AnalysisError(
+                f"no module {args.top!r} in {args.verilog} "
+                f"(have {sorted(modules)})") from None
+    else:
+        module = next(iter(modules.values()))
+    domains = {}
+    for entry in args.domain:
+        name, _, volts = entry.partition("=")
+        if not volts:
+            raise AnalysisError(
+                f"--domain wants NAME=VOLTS, got {entry!r}")
+        domains[name] = float(volts)
+    block_domains = {}
+    for entry in args.block_domain:
+        inst, _, domain = entry.partition("=")
+        if not domain:
+            raise AnalysisError(
+                f"--block-domain wants INSTANCE=DOMAIN, got {entry!r}")
+        block_domains[inst] = domain
+    return design_from_verilog(module, block_domains, domains)
+
+
+def cmd_floorplan(args) -> int:
+    """Shifter-assignment floorplan campaign with STA sign-off."""
+    from repro.floorplan import (
+        best_by_strategy, floorplan_spec, leaderboard_leakage,
+        run_floorplan_campaign,
+    )
+    store, resume, run_id, cache = _campaign_io(args)
+    design = _floorplan_design(args)
+    leakage = args.leakage
+    if leakage == "leaderboard":
+        from repro.analysis.leaderboard import load_leaderboard
+        leakage = leaderboard_leakage(load_leaderboard(args.board),
+                                      args.pdk)
+    spec = floorplan_spec(
+        design=design, blocks=args.blocks, domains=args.domains,
+        design_seed=args.design_seed,
+        crossing_factor=args.crossing_factor,
+        strategies=tuple(args.strategies), seed=args.seed,
+        restarts=args.restarts, moves=args.moves,
+        required=args.required * 1e-9, timing=args.timing,
+        node=args.pdk, leakage=leakage,
+        require_signoff=args.require_signoff, workers=args.workers)
+    result = run_floorplan_campaign(spec, resume=resume, store=store,
+                                    run_id=run_id, cache=cache)
+    print(f"floorplan campaign [{args.pdk}]: "
+          f"{spec.metadata['blocks']} blocks, "
+          f"{spec.metadata['moves']} moves/anneal, required "
+          f"{args.required:g} ns ({args.timing} timing)")
+    print(f"  {'point':>14s} {'cost':>12s} {'bbox[um2]':>11s} "
+          f"{'rails[um]':>10s} {'slack[ps]':>10s} {'signoff':>8s}")
+    for row in result.rows:
+        if not row.ok:
+            print(f"  {str(row.index):>14s} [{row.stage}] {row.error}")
+            continue
+        p = row.value
+        verdict = "MET" if p["signoff_ok"] else "VIOLATED"
+        print(f"  {str(row.index):>14s} {p['cost']:>12.1f} "
+              f"{p['area']:>11.0f} {p['rail_length']:>10.0f} "
+              f"{p['worst_slack'] * 1e12:>10.1f} {verdict:>8s}")
+    best = best_by_strategy(result)
+    for strategy, payload in best.items():
+        print(f"  best {strategy:>8s}: cost {payload['cost']:.1f} "
+              f"(seed {payload['seed']}, digest "
+              f"{payload['placement_digest'][:12]})")
+    if "sstvs" in best and "cvs" in best:
+        ratio = best["cvs"]["cost"] / best["sstvs"]["cost"]
+        print(f"  sstvs vs cvs objective: {ratio:.3f}x "
+              f"({'sstvs wins' if ratio > 1 else 'cvs wins'} — CVS "
+              f"pays {best['cvs']['rail_length']:.0f} um of extra "
+              f"supply rail)")
+    if result.interrupted:
+        print("interrupted — partial results stored")
+    _report_run(result)
+    failures = result.counts["err"]
+    return 0 if failures == 0 and not result.interrupted else 1
+
+
 def cmd_runs(args) -> int:
     """List stored experiment runs (``results/<run-id>/``)."""
     from repro.runtime.experiment import ArtifactStore, DEFAULT_ROOT
@@ -532,6 +629,12 @@ def cmd_bench(args) -> int:
               f"{'n=' + str(measured) if measured else 'not reached'} "
               f"(auto threshold n={crossover['auto_threshold']}, "
               f"largest tested n={crossover['sizes'][-1]['size']})")
+    floorplan = record["workloads"].get("floorplan_scale", {})
+    for entry in floorplan.get("sizes", []):
+        print(f"  floorplan {entry['blocks']:4d} blocks: "
+              f"{entry['moves_per_s']:7.0f} moves/s, sign-off "
+              f"{entry['signoff_s']:.2f} s over {entry['crossings']} "
+              f"crossings")
     for name, label in (("mc_parallel", "parallel"),
                         ("mc_batched", "batched"),
                         ("mc_batched_sharded", "sharded-batched")):
@@ -742,14 +845,36 @@ def _check_chaos(check) -> None:
     check("chaos battery passes", proc.returncode == 0)
 
 
-def _check_coverage(check) -> None:
-    """Enforce the solver-core coverage floor (gated on the tool).
+def _check_floorplan(check) -> None:
+    """Run the floorplanner test battery (``pytest -m floorplan``)."""
+    import os
+    import subprocess
+    from pathlib import Path
 
-    The floor itself (>= 85 % of ``src/repro/spice``) lives in
-    pyproject.toml under ``[tool.coverage.report] fail_under``; this
-    check runs the spice + golden suites under ``coverage`` and lets
-    ``coverage report`` apply it. When the ``coverage`` package is not
-    installed the check is skipped loudly rather than failed — the
+    src = Path(__file__).resolve().parents[1]
+    root = src.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    print("floorplanner battery (pytest -m floorplan):")
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-m", "floorplan", "-q"],
+        cwd=root, env=env, capture_output=True, text=True)
+    tail = (proc.stdout or "").strip().splitlines()[-3:]
+    for line in tail:
+        print(f"  {line}")
+    check("floorplan battery passes", proc.returncode == 0)
+
+
+def _check_coverage(check) -> None:
+    """Enforce the solver-core + floorplan coverage floor.
+
+    The floor itself (over ``src/repro/spice`` plus the floorplanning
+    stack ``src/repro/{floorplan,soc,sta}``) lives in pyproject.toml
+    under ``[tool.coverage.report] fail_under``; this check runs the
+    spice + golden + floorplan/soc/sta suites under ``coverage`` and
+    lets ``coverage report`` apply it. When the ``coverage`` package is
+    not installed the check is skipped loudly rather than failed — the
     floor is config, the tool is optional.
     """
     import importlib.util
@@ -766,11 +891,12 @@ def _check_coverage(check) -> None:
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
-    print("spice coverage floor (coverage run -m pytest tests/spice "
-          "tests/golden):")
+    print("coverage floor (coverage run -m pytest tests/spice "
+          "tests/golden tests/floorplan tests/soc tests/sta):")
     proc = subprocess.run(
         [sys.executable, "-m", "coverage", "run", "-m", "pytest",
-         "tests/spice", "tests/golden", "-q"],
+         "tests/spice", "tests/golden", "tests/floorplan", "tests/soc",
+         "tests/sta", "-q"],
         cwd=root, env=env, capture_output=True, text=True)
     check("coverage test run passes", proc.returncode == 0)
     report = subprocess.run(
@@ -779,7 +905,7 @@ def _check_coverage(check) -> None:
     tail = (report.stdout or "").strip().splitlines()[-2:]
     for line in tail:
         print(f"  {line}")
-    check("src/repro/spice coverage >= pyproject floor",
+    check("spice + floorplan-stack coverage >= pyproject floor",
           report.returncode == 0)
 
 
@@ -901,6 +1027,13 @@ def cmd_check(args) -> int:
             _check(f"chaos battery raised {type(exc).__name__}: {exc}",
                    False)
 
+    if args.floorplan:
+        try:
+            _check_floorplan(_check)
+        except Exception as exc:
+            _check(f"floorplan battery raised {type(exc).__name__}: {exc}",
+                   False)
+
     if args.coverage:
         try:
             _check_coverage(_check)
@@ -1012,6 +1145,58 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign_args(p)
     p.set_defaults(func=cmd_pvt)
 
+    p = sub.add_parser("floorplan",
+                       help="shifter-assignment floorplan campaign")
+    from repro.floorplan import FLOORPLAN_STRATEGIES
+    p.add_argument("--blocks", type=int, default=64,
+                   help="synthetic design: block count")
+    p.add_argument("--domains", type=int, default=4,
+                   help="synthetic design: voltage-domain count")
+    p.add_argument("--design-seed", type=int, default=0,
+                   help="synthetic design: generator seed")
+    p.add_argument("--crossing-factor", type=float, default=1.5,
+                   help="synthetic design: nets per block")
+    p.add_argument("--verilog", default=None, metavar="FILE",
+                   help="floorplan a structural Verilog design instead "
+                        "of the synthetic generator")
+    p.add_argument("--top", default=None,
+                   help="Verilog: top module (default: first parsed)")
+    p.add_argument("--domain", action="append", default=[],
+                   metavar="NAME=VOLTS",
+                   help="Verilog: declare a voltage domain (repeat)")
+    p.add_argument("--block-domain", action="append", default=[],
+                   metavar="INSTANCE=DOMAIN",
+                   help="Verilog: pin an instance to a domain (repeat)")
+    p.add_argument("--strategies", nargs="+",
+                   default=list(FLOORPLAN_STRATEGIES),
+                   choices=list(FLOORPLAN_STRATEGIES), metavar="strategy",
+                   help="shifter strategies to floorplan "
+                        f"(default: {' '.join(FLOORPLAN_STRATEGIES)})")
+    p.add_argument("--seed", type=int, default=0,
+                   help="annealing seed (same seed => bitwise-identical "
+                        "floorplan)")
+    p.add_argument("--restarts", type=int, default=1,
+                   help="independent annealing restarts per strategy")
+    p.add_argument("--moves", type=int, default=None,
+                   help="annealing moves (default: scaled to design)")
+    p.add_argument("--required", type=float, default=2.0,
+                   help="sign-off required arrival [ns]")
+    p.add_argument("--timing", choices=("synthetic", "spice"),
+                   default="synthetic",
+                   help="crossing-path NLDM source: deterministic "
+                        "synthetic tables or SPICE characterization")
+    p.add_argument("--leakage", choices=("none", "spice", "leaderboard"),
+                   default="none",
+                   help="shifter leakage costing: none, SPICE "
+                        "characterization, or the standing leaderboard")
+    p.add_argument("--board", default="LEADERBOARD.json",
+                   help="leaderboard artifact for --leakage leaderboard")
+    p.add_argument("--require-signoff", action="store_true",
+                   help="treat an STA violation as a point failure")
+    _add_pdk_arg(p)
+    _add_campaign_args(p)
+    p.set_defaults(func=cmd_floorplan)
+
     p = sub.add_parser("runs", help="list stored experiment runs")
     p.add_argument("--out", default=None, metavar="DIR",
                    help="artifact-store root (default: results)")
@@ -1107,6 +1292,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also run the crash/corruption chaos battery "
                         "(pytest -m chaos: worker kills, bit-flips, "
                         "stale locks, torn writes)")
+    p.add_argument("--floorplan", action="store_true",
+                   help="also run the floorplanner battery (pytest -m "
+                        "floorplan: annealer invariants, golden "
+                        "benchmark, STA negative controls, SoC-scale "
+                        "campaign)")
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("trace", help="convergence summary of a traced run")

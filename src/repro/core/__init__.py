@@ -2,7 +2,7 @@
 
 from repro.core.characterize import (
     QuickDelays, StimulusPlan, characterize, characterize_kinds,
-    quick_delays, run_stimulus,
+    quick_delays, run_stimulus, worst_leakage,
 )
 from repro.core.metrics import (
     METRIC_FIELDS, METRIC_LABELS, METRIC_UNITS, MetricStatistics,
@@ -25,6 +25,7 @@ __all__ = [
     "StimulusPlan",
     "characterize",
     "characterize_kinds",
+    "worst_leakage",
     "quick_delays",
     "run_stimulus",
     "QuickDelays",

@@ -546,3 +546,18 @@ def characterize_kinds(kinds, vddi: float, vddo: float, pdk=None,
     return {row.index: row.value if row.ok else ShifterMetrics(
                 nan, nan, nan, nan, nan, nan, functional=False)
             for row in resultset.rows}
+
+
+def worst_leakage(pdk, kind: str, vddi: float, vddo: float,
+                  cache=None) -> float:
+    """Worst-state static leakage [A] of one cell at one pair.
+
+    Routed through the experiment engine so a :class:`SolveCache`
+    passed as ``cache`` serves repeat queries bitwise-identically to a
+    live solve — the shifter planner and the floorplanner cost leakage
+    through here, sharing cache entries with ``characterize_kinds``
+    campaigns at the same operating point.
+    """
+    metrics = characterize_kinds([kind], vddi, vddo, pdk=pdk,
+                                 cache=cache)[kind]
+    return max(metrics.leakage_high, metrics.leakage_low)

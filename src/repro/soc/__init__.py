@@ -10,8 +10,8 @@ from repro.soc.dvs import (
 from repro.soc.energy import CrossingEnergyModel, EnergyReport
 from repro.soc.planner import (
     COMBINED_STRATEGY, CVS_STRATEGY, INVERTER_STRATEGY, PlanReport,
-    STRATEGIES, SSTVS_STRATEGY, SSVS_STRATEGY, ShifterPlanner, Soc,
-    manhattan,
+    STRATEGIES, STRATEGY_CELLS, SSTVS_STRATEGY, SSVS_STRATEGY,
+    ShifterPlanner, Soc, manhattan,
 )
 
 __all__ = [
@@ -25,6 +25,7 @@ __all__ = [
     "PlanReport",
     "manhattan",
     "STRATEGIES",
+    "STRATEGY_CELLS",
     "CVS_STRATEGY",
     "COMBINED_STRATEGY",
     "SSTVS_STRATEGY",

@@ -26,10 +26,8 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
-from repro.cells import (
-    add_combined_vs, add_cvs, add_inverter, add_ssvs_khan, add_sstvs,
-)
-from repro.core import characterize
+from repro.cells.registry import get_cell
+from repro.core import worst_leakage
 from repro.errors import AnalysisError
 from repro.layout import estimate_cell_area
 from repro.pdk import Pdk
@@ -45,6 +43,14 @@ INVERTER_STRATEGY = "inverter"
 SSVS_STRATEGY = "ssvs"
 STRATEGIES = (CVS_STRATEGY, COMBINED_STRATEGY, SSTVS_STRATEGY,
               INVERTER_STRATEGY, SSVS_STRATEGY)
+
+#: Strategy -> registered cell kind; every cell property the planner
+#: costs (area probe, rail/select wiring needs, leakage bench) comes
+#: from the :mod:`repro.cells.registry` spec, never hand-rolled here.
+STRATEGY_CELLS = {CVS_STRATEGY: "cvs", COMBINED_STRATEGY: "combined",
+                  SSTVS_STRATEGY: "sstvs",
+                  INVERTER_STRATEGY: "inverter",
+                  SSVS_STRATEGY: "ssvs_khan"}
 
 #: Assumed width of a routed supply rail vs a signal wire [um].
 POWER_RAIL_WIDTH = 2.0
@@ -132,10 +138,14 @@ class ShifterPlanner:
     """Costs each insertion strategy on a given SoC."""
 
     def __init__(self, soc: Soc, pdk: Pdk | None = None,
-                 characterize_leakage: bool = True):
+                 characterize_leakage: bool = True, cache=None):
         self.soc = soc
         self.pdk = pdk or Pdk()
         self.characterize_leakage = characterize_leakage
+        #: Optional :class:`repro.runtime.cache.SolveCache`: leakage
+        #: characterizations are keyed content-addressed and replayed
+        #: bitwise on warm plans instead of re-paying every solve.
+        self.cache = cache
         self._leakage_cache: dict = {}
         self._area_cache: dict = {}
 
@@ -143,27 +153,20 @@ class ShifterPlanner:
 
     def _cell_area_um2(self, strategy: str) -> float:
         if strategy not in self._area_cache:
-            builder = {CVS_STRATEGY: add_cvs,
-                       COMBINED_STRATEGY: add_combined_vs,
-                       SSTVS_STRATEGY: add_sstvs,
-                       INVERTER_STRATEGY: add_inverter,
-                       SSVS_STRATEGY: add_ssvs_khan}[strategy]
+            spec = get_cell(STRATEGY_CELLS[strategy])
             self._area_cache[strategy] = estimate_cell_area(
-                builder, self.pdk).total_area_um2
+                spec.area_probe, self.pdk).total_area_um2
         return self._area_cache[strategy]
 
     def _leakage(self, strategy: str, vddi: float, vddo: float) -> float:
         """Worst-state static leakage of one shifter at a voltage pair."""
         if not self.characterize_leakage:
             return 0.0
-        kind = {CVS_STRATEGY: "cvs", COMBINED_STRATEGY: "combined",
-                SSTVS_STRATEGY: "sstvs", INVERTER_STRATEGY: "inverter",
-                SSVS_STRATEGY: "ssvs_khan"}[strategy]
+        kind = STRATEGY_CELLS[strategy]
         key = (kind, round(vddi, 3), round(vddo, 3))
         if key not in self._leakage_cache:
-            metrics = characterize(self.pdk, kind, vddi, vddo)
-            self._leakage_cache[key] = max(metrics.leakage_high,
-                                           metrics.leakage_low)
+            self._leakage_cache[key] = worst_leakage(
+                self.pdk, kind, vddi, vddo, cache=self.cache)
         return self._leakage_cache[key]
 
     # -- planning -----------------------------------------------------------
@@ -173,6 +176,7 @@ class ShifterPlanner:
             raise AnalysisError(f"unknown strategy {strategy!r}; "
                                 f"expected one of {STRATEGIES}")
         report = PlanReport(strategy=strategy)
+        spec = get_cell(STRATEGY_CELLS[strategy])
         rails_routed: set = set()
         control_routed: set = set()
 
@@ -194,7 +198,7 @@ class ShifterPlanner:
             flips = relationship_flips(src.domain.schedule,
                                        dst.domain.schedule)
 
-            if strategy == CVS_STRATEGY:
+            if spec.uses_vddi_rail:
                 # The destination needs the source domain's rail.
                 rail = (src.domain.name, dst.name)
                 if rail not in rails_routed:
@@ -202,7 +206,7 @@ class ShifterPlanner:
                     report.extra_supply_rails += 1
                     report.supply_route_length += distance
                     report.supply_route_area += distance * POWER_RAIL_WIDTH
-            elif strategy == COMBINED_STRATEGY:
+            elif spec.needs_select:
                 # Single supply, but a direction-control wire per
                 # domain pair entering the destination; under DVS the
                 # control must be recomputed and re-routed from

@@ -41,6 +41,12 @@ class GateNetlist:
         self.primary_outputs: list[str] = []
         #: Extra wire capacitance per net [F].
         self.net_wire_cap: dict[str, float] = {}
+        # Net indexes kept in lockstep with ``instances`` so fanout
+        # and driver lookups stay O(1); SoC-scale crossing netlists
+        # (thousands of instances) would otherwise make validation
+        # and load computation quadratic.
+        self._net_loads: dict[str, list] = {}
+        self._net_driver: dict[str, GateInstance] = {}
 
     # -- construction -----------------------------------------------------
 
@@ -48,14 +54,15 @@ class GateNetlist:
                      output_net: str) -> GateInstance:
         if name in self.instances:
             raise AnalysisError(f"duplicate instance {name!r}")
-        drivers = [inst for inst in self.instances.values()
-                   if inst.output_net == output_net]
-        if drivers:
+        driver = self._net_driver.get(output_net)
+        if driver is not None:
             raise AnalysisError(
                 f"net {output_net!r} already driven by "
-                f"{drivers[0].name!r}")
+                f"{driver.name!r}")
         instance = GateInstance(name, cell, input_net, output_net)
         self.instances[name] = instance
+        self._net_loads.setdefault(input_net, []).append(instance)
+        self._net_driver[output_net] = instance
         return instance
 
     def add_primary_input(self, net: str) -> None:
@@ -74,14 +81,10 @@ class GateNetlist:
     # -- structure ----------------------------------------------------------
 
     def loads_of(self, net: str) -> list[GateInstance]:
-        return [inst for inst in self.instances.values()
-                if inst.input_net == net]
+        return list(self._net_loads.get(net, ()))
 
     def driver_of(self, net: str) -> GateInstance | None:
-        for inst in self.instances.values():
-            if inst.output_net == net:
-                return inst
-        return None
+        return self._net_driver.get(net)
 
     def graph(self) -> "nx.DiGraph":
         """Instance-level DAG (edges follow nets)."""

@@ -114,9 +114,14 @@ def test_suite_record_shape(suite_record):
     workloads = suite_record["workloads"]
     assert set(workloads) == {"mc_serial", "mc_parallel", "mc_batched",
                               "mc_batched_sharded", "sweep", "tracer",
-                              "cache_hit", "sparse_crossover"}
+                              "cache_hit", "sparse_crossover",
+                              "floorplan_scale"}
     for record in workloads.values():
         assert record["wall_s"] > 0
+    # The floorplan workload times each pipeline stage per size.
+    for entry in workloads["floorplan_scale"]["sizes"]:
+        assert entry["moves_per_s"] > 0
+        assert entry["signoff_s"] > 0
     # Every campaign workload exposes the Newton counters as a rate —
     # pool and sharded workers ship their deltas home.
     assert workloads["mc_serial"]["solves"] > 0

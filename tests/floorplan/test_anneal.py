@@ -1,0 +1,142 @@
+"""Annealer invariants: sequence-pair legality, seed determinism,
+incumbent monotonicity — property-based where the space is cheap to
+sample."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.floorplan import (
+    ObjectiveWeights, anneal_floorplan, assign_shifters, default_moves,
+    generate_design, pack_sequence_pair,
+)
+
+pytestmark = pytest.mark.floorplan
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _overlap(a, b) -> bool:
+    ax, ay, aw, ah = a
+    bx, by, bw, bh = b
+    return (ax < bx + bw and bx < ax + aw
+            and ay < by + bh and by < ay + ah)
+
+
+def _floorplanned(design_seed: int, anneal_seed: int, blocks: int = 8,
+                  moves: int = 120):
+    design = generate_design(blocks=blocks, domains=3,
+                             seed=design_seed)
+    assignment = assign_shifters(design, "sstvs",
+                                 characterize_leakage=False)
+    return design, anneal_floorplan(design, assignment,
+                                    seed=anneal_seed, moves=moves)
+
+
+class TestSequencePair:
+    @settings(max_examples=40, deadline=None)
+    @given(st.data(), st.integers(min_value=1, max_value=10))
+    def test_packing_is_overlap_free_and_in_bbox(self, data, n):
+        """Any (gamma+, gamma-) pair packs to a legal placement — the
+        representation cannot express an overlap."""
+        gamma_pos = data.draw(st.permutations(range(n)))
+        gamma_neg = data.draw(st.permutations(range(n)))
+        widths = data.draw(st.lists(
+            st.floats(min_value=1.0, max_value=100.0),
+            min_size=n, max_size=n))
+        heights = data.draw(st.lists(
+            st.floats(min_value=1.0, max_value=100.0),
+            min_size=n, max_size=n))
+        x, y, total_w, total_h = pack_sequence_pair(
+            gamma_pos, gamma_neg, widths, heights)
+        rects = [(x[i], y[i], widths[i], heights[i]) for i in range(n)]
+        for i in range(n):
+            assert x[i] >= 0.0 and y[i] >= 0.0
+            assert x[i] + widths[i] <= total_w + 1e-9
+            assert y[i] + heights[i] <= total_h + 1e-9
+            for j in range(i + 1, n):
+                assert not _overlap(rects[i], rects[j]), (i, j)
+
+    def test_left_of_relation(self):
+        # b0 before b1 in both sequences => b0 strictly left of b1.
+        x, y, w, h = pack_sequence_pair([0, 1], [0, 1],
+                                        [10.0, 20.0], [5.0, 5.0])
+        assert x[0] + 10.0 <= x[1]
+        assert (w, h) == (30.0, 5.0)
+
+    def test_below_relation(self):
+        # b0 after b1 in gamma+ but before in gamma- => b0 below b1.
+        x, y, w, h = pack_sequence_pair([1, 0], [0, 1],
+                                        [10.0, 20.0], [5.0, 7.0])
+        assert y[0] + 5.0 <= y[1]
+        assert (w, h) == (20.0, 12.0)
+
+
+class TestDeterminism:
+    @settings(max_examples=10, deadline=None)
+    @given(seeds, seeds)
+    def test_same_seed_bitwise_identical(self, design_seed,
+                                         anneal_seed):
+        """The whole result — placement, cost, acceptance counters —
+        is a pure function of (design, seed, moves)."""
+        _, a = _floorplanned(design_seed, anneal_seed)
+        _, b = _floorplanned(design_seed, anneal_seed)
+        assert a.digest() == b.digest()
+        assert a.cost.hex() == b.cost.hex()
+        assert a.positions == b.positions
+        assert (a.accepted, a.evaluated, a.incumbent_move) == \
+            (b.accepted, b.evaluated, b.incumbent_move)
+
+    def test_different_seeds_explore_differently(self):
+        _, a = _floorplanned(0, 1)
+        _, b = _floorplanned(0, 2)
+        assert a.digest() != b.digest()
+
+
+class TestResultLegality:
+    @settings(max_examples=15, deadline=None)
+    @given(seeds)
+    def test_incumbent_places_all_modules_without_overlap(self, seed):
+        design, result = _floorplanned(design_seed=3, anneal_seed=seed)
+        assert set(result.positions) == \
+            {m.name for m in design.modules}
+        rects = list(result.positions.values())
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                assert not _overlap(rects[i], rects[j])
+
+    @settings(max_examples=15, deadline=None)
+    @given(seeds)
+    def test_annealing_never_worsens_the_incumbent(self, seed):
+        """The returned cost is the best cost seen, so it can only
+        improve on the initial (moves=0) packing."""
+        _, initial = _floorplanned(design_seed=5, anneal_seed=seed,
+                                   moves=0)
+        _, annealed = _floorplanned(design_seed=5, anneal_seed=seed,
+                                    moves=150)
+        assert annealed.cost <= initial.cost
+
+    def test_rotation_preserves_block_area(self):
+        design, result = _floorplanned(design_seed=2, anneal_seed=9)
+        by_name = design.module_map()
+        for name, (_, _, w, h) in result.positions.items():
+            module = by_name[name]
+            assert {w, h} == {module.width, module.height}
+
+
+class TestKnobs:
+    def test_default_moves_scales_with_blocks(self):
+        assert default_moves(10) == 2000
+        assert default_moves(1000) == 4000
+
+    def test_weights_steer_the_objective(self):
+        design = generate_design(blocks=8, domains=3, seed=0)
+        assignment = assign_shifters(design, "cvs",
+                                     characterize_leakage=False)
+        heavy = anneal_floorplan(
+            design, assignment, seed=0, moves=150,
+            weights=ObjectiveWeights(rail=500.0))
+        light = anneal_floorplan(
+            design, assignment, seed=0, moves=150,
+            weights=ObjectiveWeights(rail=0.0))
+        assert heavy.cost != light.cost
+        assert light.breakdown.rail_length >= 0.0

@@ -134,3 +134,56 @@ class TestDvsFeasibility:
         soc2 = Soc([a, b], [Crossing("lo", "hi")])
         planner2 = ShifterPlanner(soc2, characterize_leakage=False)
         assert not planner2.plan(INVERTER_STRATEGY).feasible
+
+
+class TestRegistryCosting:
+    """The planner's wiring costs come from registry flags, not from
+    hard-coded strategy names: a spec that declares uses_vddi_rail gets
+    rail routing, one that declares needs_select gets control wires."""
+
+    def test_strategy_cells_all_registered(self):
+        from repro.cells.registry import get_cell
+        from repro.soc import STRATEGY_CELLS
+        for strategy, kind in STRATEGY_CELLS.items():
+            spec = get_cell(kind)  # raises if unregistered
+            assert spec.name == kind, strategy
+
+    def test_rail_and_select_follow_registry_flags(self, planner):
+        from repro.cells.registry import get_cell
+        from repro.soc import STRATEGIES, STRATEGY_CELLS
+        for strategy in STRATEGIES:
+            spec = get_cell(STRATEGY_CELLS[strategy])
+            report = planner.plan(strategy)
+            assert (report.extra_supply_rails > 0) == \
+                spec.uses_vddi_rail, strategy
+            assert (report.control_wires > 0) == spec.needs_select, \
+                strategy
+
+
+class TestLeakageCache:
+    def test_warm_plan_is_bitwise_identical_to_cold(self, tmp_path):
+        """A SolveCache-backed plan replays leakage bitwise when warm.
+
+        Cold and warm passes share one code path (worst_leakage ->
+        characterize_kinds), so the only difference a warm cache may
+        make is wall time — never bits.
+        """
+        from repro.runtime.cache import SolveCache
+
+        def one_plan(cache):
+            a = Module("hi", VoltageDomain.fixed("v1", 1.2), x=0, y=0)
+            b = Module("lo", VoltageDomain.fixed("v2", 0.8),
+                       x=100, y=0)
+            soc = Soc([a, b], [Crossing("hi", "lo")])
+            planner = ShifterPlanner(soc, cache=cache)
+            return planner.plan(SSTVS_STRATEGY)
+
+        cold_cache = SolveCache(tmp_path / "cache")
+        cold = one_plan(cold_cache)
+        assert cold_cache.stats.stores > 0
+        warm_cache = SolveCache(tmp_path / "cache")
+        warm = one_plan(warm_cache)
+        assert warm_cache.stats.hits > 0
+        assert warm_cache.stats.misses == 0
+        assert warm.leakage == cold.leakage  # bitwise, not approx
+        assert warm.leakage > 0.0

@@ -22,17 +22,50 @@ ALLOWED = {SRC / "cells" / "registry.py"}
 PATTERN = re.compile(r"(?<![.\w])kind\s*(==|!=)")
 
 
-def test_no_kind_comparisons_outside_the_registry():
+#: Shifter cells must be reached through :func:`get_cell`; importing a
+#: concrete ``add_*`` builder outside :mod:`repro.cells` hard-codes a
+#: topology and bypasses every registered property (area probe, rail /
+#: select wiring flags, leakage bench). ``add_inverter`` is exempt: the
+#: testbench layer legitimately uses it as a raw driver/load primitive,
+#: not as a level-shifter choice.
+SHIFTER_BUILDERS = ("add_sstvs", "add_cvs", "add_combined_vs",
+                    "add_ssvs_khan", "add_ssvs_puri", "add_lpls_split",
+                    "add_lpls_pass", "add_ulpls")
+
+BUILDER_PATTERN = re.compile(
+    r"(?<![.\w])(" + "|".join(SHIFTER_BUILDERS) + r")\b")
+
+#: The cells package itself defines, registers and re-exports builders.
+BUILDER_ALLOWED_DIRS = {SRC / "cells"}
+
+
+def _offenders(pattern, allowed_files=(), allowed_dirs=()):
     offenders = []
     for path in sorted(SRC.rglob("*.py")):
-        if path in ALLOWED:
+        if path in allowed_files:
+            continue
+        if any(parent in allowed_dirs for parent in path.parents):
             continue
         for lineno, line in enumerate(
                 path.read_text().splitlines(), start=1):
-            if PATTERN.search(line):
+            if pattern.search(line):
                 offenders.append(
                     f"{path.relative_to(SRC.parent.parent)}:{lineno}: "
                     f"{line.strip()}")
+    return offenders
+
+
+def test_no_kind_comparisons_outside_the_registry():
+    offenders = _offenders(PATTERN, allowed_files=ALLOWED)
     assert not offenders, (
         "cell-kind string dispatch outside repro.cells.registry:\n  "
+        + "\n  ".join(offenders))
+
+
+def test_no_shifter_builder_imports_outside_cells():
+    offenders = _offenders(BUILDER_PATTERN,
+                           allowed_dirs=BUILDER_ALLOWED_DIRS)
+    assert not offenders, (
+        "shifter builders referenced outside repro.cells (use "
+        "get_cell(...).build / the registry spec instead):\n  "
         + "\n  ".join(offenders))
